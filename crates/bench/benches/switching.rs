@@ -1,0 +1,58 @@
+//! Criterion benchmark for whole-simulation throughput: events/sec of a
+//! loaded router chain — the simulator-as-substrate cost, useful when
+//! sizing larger experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sirpent::router::scripted::ScriptedHost;
+use sirpent::router::viper::SwitchMode;
+use sirpent::sim::{SimDuration, SimTime};
+use sirpent::wire::viper::Priority;
+use sirpent_bench::topo::{chain, frame, packet};
+
+fn run_chain(hops: usize, packets: usize, mode: SwitchMode) -> u64 {
+    let mut c = chain(7, hops, 100_000_000, SimDuration(1_000), mode);
+    for i in 0..packets {
+        let pkt = packet(hops, vec![0x42; 512], Priority::NORMAL);
+        c.sim
+            .node_mut::<ScriptedHost>(c.src)
+            .plan(SimTime(i as u64 * 50_000), 0, frame(pkt));
+    }
+    ScriptedHost::start(&mut c.sim, c.src);
+    c.sim.run_until(SimTime(1_000_000_000));
+    assert_eq!(c.sim.node::<ScriptedHost>(c.dst).received.len(), packets);
+    c.sim.events_dispatched()
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(20);
+    for hops in [1usize, 4] {
+        let packets = 200;
+        let events = run_chain(hops, packets, SwitchMode::CutThrough);
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(
+            BenchmarkId::new("cut_through_chain", hops),
+            &hops,
+            |b, &hops| b.iter(|| run_chain(hops, packets, SwitchMode::CutThrough)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("store_forward_chain", hops),
+            &hops,
+            |b, &hops| {
+                b.iter(|| {
+                    run_chain(
+                        hops,
+                        packets,
+                        SwitchMode::StoreAndForward {
+                            process_delay: SimDuration::from_micros(50),
+                        },
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

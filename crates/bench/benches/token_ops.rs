@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the token subsystem: the E5 cost
+//! asymmetry (cached check vs full decrypt) plus minting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sirpent::token::{AuthPolicy, Grant, TokenCache, TokenMinter};
+use sirpent::wire::viper::Priority;
+
+fn grant() -> Grant {
+    Grant {
+        router_id: 1,
+        port: 2,
+        max_priority: Priority::new(5),
+        reverse_ok: true,
+        account: 7,
+        byte_limit: 0,
+        expiry_s: 0,
+    }
+}
+
+fn bench_tokens(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tokens");
+    let mut minter = TokenMinter::new(0xBEEF, 1);
+    let key = minter.router_key(1);
+    let tok = minter.mint(grant());
+
+    g.bench_function("mint", |b| {
+        b.iter(|| minter.mint(std::hint::black_box(grant())))
+    });
+    g.bench_function("unseal_full", |b| {
+        b.iter(|| key.unseal(std::hint::black_box(&tok)).unwrap())
+    });
+
+    let mut cache = TokenCache::new(minter.router_key(1), 1, AuthPolicy::Optimistic);
+    cache.check(&tok, 2, None, Priority::NORMAL, 100, 0);
+    g.bench_function("cache_hit_check", |b| {
+        b.iter(|| cache.check(std::hint::black_box(&tok), 2, None, Priority::NORMAL, 100, 0))
+    });
+
+    // Cold path: fresh token each time (pre-minted to keep minting out
+    // of the measurement).
+    let toks: Vec<_> = (0..4096).map(|_| minter.mint(grant()).to_vec()).collect();
+    let mut i = 0usize;
+    let mut cold = TokenCache::new(minter.router_key(1), 1, AuthPolicy::Optimistic);
+    g.bench_function("cache_miss_check", |b| {
+        b.iter(|| {
+            let t = &toks[i % toks.len()];
+            i += 1;
+            cold.check(std::hint::black_box(t), 2, None, Priority::NORMAL, 100, 0)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tokens);
+criterion_main!(benches);

@@ -1,0 +1,320 @@
+//! E12 — §4.1: misdelivery without a network checksum.
+//!
+//! Sirpent's header carries no checksum: "the packet may be misrouted
+//! rather than dropped immediately, as done with IP. … the probability
+//! of a packet with a corrupted header successfully routing further in
+//! the internetwork is quite low. … With Sirpent, the transport layer
+//! must deal with misdelivered packets." We corrupt headers on a middle
+//! link at increasing rates and account for every packet's fate:
+//! dropped structurally at a router, misrouted into the void, misrouted
+//! to the wrong host (and rejected by its 64-bit entity id), or caught
+//! by the transport checksum — verifying that **no corrupted payload is
+//! ever accepted**. The IP baseline's per-router checksum drop is run on
+//! the same topology for contrast.
+
+use serde::Serialize;
+use sirpent::compile::CompiledRoute;
+use sirpent::directory::{AccessSpec, HopSpec, RouteRecord, Security};
+use sirpent::host::{HostPortKind, SirpentHost};
+use sirpent::router::ip::{IpConfig, IpDrop, IpPortConfig, IpRouter, RouteEntry};
+use sirpent::router::link::LinkFrame;
+use sirpent::router::scripted::ScriptedHost;
+use sirpent::router::viper::{PortKind, ViperConfig, ViperRouter};
+use sirpent::sim::{FaultConfig, SimDuration, SimTime};
+use sirpent::wire::ipish;
+use sirpent::wire::viper::Priority;
+use sirpent::wire::vmtp::EntityId;
+use sirpent::Net;
+use sirpent::transport::RatePacer;
+use sirpent_bench::{pct, write_json, Table};
+
+const RATE: u64 = 10_000_000;
+const PROP: SimDuration = SimDuration(5_000);
+const N: usize = 400;
+
+#[derive(Serialize)]
+struct Row {
+    corrupt_prob: f64,
+    sent: usize,
+    delivered_clean: u64,
+    router_drops: u64,
+    host_misrouted: u64,
+    host_unparseable: u64,
+    transport_misdelivered: u64,
+    transport_checksum: u64,
+    accepted_corrupt: u64,
+}
+
+fn sirpent_run(corrupt: f64) -> Row {
+    // src — R1 —(faulty)— R2 — {dst, bystander}
+    let mut net = Net::new(121);
+    // Pin the source pacer (min = max) so repeated retransmissions do not
+    // collapse the sending rate — this experiment isolates corruption
+    // behaviour, not congestion response.
+    let mut src_ep = Net::default_endpoint(0xA);
+    src_ep.pacer = RatePacer::new(8_000_000, 8_000_000, 8_000_000);
+    let src = net.host_with(src_ep, vec![(0, HostPortKind::PointToPoint)]);
+    let dst = net.host(0xB, vec![(0, HostPortKind::PointToPoint)]);
+    let bystander = net.host(0xC, vec![(0, HostPortKind::PointToPoint)]);
+    let r1 = net.viper(ViperConfig::basic(1, &[1, 2]));
+    let r2 = net.viper(ViperConfig::basic(2, &[1, 2, 3]));
+    net.p2p(src, 0, r1, 1, RATE, PROP);
+    let (mid, _) = net.sim.p2p(r1, 2, r2, 1, RATE, PROP);
+    net.p2p(r2, 2, dst, 0, RATE, PROP);
+    net.p2p(r2, 3, bystander, 0, RATE, PROP);
+    let mut sim = net.into_sim();
+    sim.set_faults(
+        mid,
+        FaultConfig {
+            drop_prob: 0.0,
+            corrupt_prob: corrupt,
+        },
+    );
+
+    let route = CompiledRoute::compile(
+        &RouteRecord {
+            access: AccessSpec {
+                host_port: 0,
+                ethernet_next: None,
+                bandwidth_bps: RATE,
+                prop_delay: PROP,
+                mtu: 1550,
+            },
+            hops: vec![
+                HopSpec {
+                    router_id: 1,
+                    port: 2,
+                    ethernet_next: None,
+                    bandwidth_bps: RATE,
+                    prop_delay: PROP,
+                    mtu: 1550,
+                    cost: 1,
+                    security: Security::Open,
+                },
+                HopSpec {
+                    router_id: 2,
+                    port: 2,
+                    ethernet_next: None,
+                    bandwidth_bps: RATE,
+                    prop_delay: PROP,
+                    mtu: 1550,
+                    cost: 1,
+                    security: Security::Open,
+                },
+            ],
+            endpoint_selector: vec![],
+        },
+        &[],
+        Priority::NORMAL,
+    );
+    {
+        let h = sim.node_mut::<SirpentHost>(src);
+        h.install_routes(EntityId(0xB), vec![route]);
+        for i in 0..N {
+            h.queue_request(SimTime(i as u64 * 2_000_000), EntityId(0xB), vec![0x44; 600]);
+        }
+    }
+    SirpentHost::start(&mut sim, src);
+    sim.run_until(SimTime(N as u64 * 2_000_000 + 2_000_000_000));
+
+    let r2s = sim.node::<ViperRouter>(r2);
+    let router_drops = r2s.stats.total_drops();
+    let dsth = sim.node::<SirpentHost>(dst);
+    let byh = sim.node::<SirpentHost>(bystander);
+    // A corrupted payload that still parsed as a valid message would be
+    // an integrity failure; the transport checksum must catch them all.
+    let accepted_corrupt = dsth
+        .inbox
+        .iter()
+        .filter(|m| m.message.iter().any(|&b| b != 0x44))
+        .count() as u64;
+    Row {
+        corrupt_prob: corrupt,
+        sent: N,
+        delivered_clean: dsth.inbox.len() as u64 - accepted_corrupt,
+        router_drops,
+        host_misrouted: dsth.stats.misrouted + byh.stats.misrouted,
+        host_unparseable: dsth.stats.unparseable + byh.stats.unparseable,
+        transport_misdelivered: dsth.endpoint().stats.misdelivered
+            + byh.endpoint().stats.misdelivered,
+        transport_checksum: dsth.endpoint().stats.checksum_rejected
+            + dsth.endpoint().stats.malformed
+            + byh.endpoint().stats.checksum_rejected,
+        accepted_corrupt,
+    }
+}
+
+fn ip_run(corrupt: f64) -> (u64, u64, u64) {
+    // Same shape with the IP router: corruption is caught *at the router*
+    // by the header checksum (drop) or at the receiver by payload checks.
+    let mut sim = sirpent::sim::Simulator::new(122);
+    let src = sim.add_node(Box::new(ScriptedHost::new()));
+    let dst = sim.add_node(Box::new(ScriptedHost::new()));
+    let mk = |routes: Vec<RouteEntry>| {
+        IpRouter::new(IpConfig {
+            process_delay: SimDuration::from_micros(50),
+            ports: vec![
+                IpPortConfig {
+                    port: 1,
+                    kind: PortKind::PointToPoint,
+                    mtu: 1550,
+                },
+                IpPortConfig {
+                    port: 2,
+                    kind: PortKind::PointToPoint,
+                    mtu: 1550,
+                },
+            ],
+            routes,
+            queue_capacity: 256,
+        })
+    };
+    let r1 = sim.add_node(Box::new(mk(vec![RouteEntry {
+        prefix: ipish::Address::new(10, 0, 2, 0),
+        prefix_len: 24,
+        out_port: 2,
+        next_hop_mac: None,
+    }])));
+    let r2 = sim.add_node(Box::new(mk(vec![RouteEntry {
+        prefix: ipish::Address::new(10, 0, 2, 0),
+        prefix_len: 24,
+        out_port: 2,
+        next_hop_mac: None,
+    }])));
+    sim.p2p(src, 0, r1, 1, RATE, PROP);
+    let (mid, _) = sim.p2p(r1, 2, r2, 1, RATE, PROP);
+    sim.p2p(r2, 2, dst, 0, RATE, PROP);
+    sim.set_faults(
+        mid,
+        FaultConfig {
+            drop_prob: 0.0,
+            corrupt_prob: corrupt,
+        },
+    );
+    for i in 0..N {
+        let mut d = ipish::Repr {
+            tos: 0,
+            total_len: (ipish::HEADER_LEN + 600) as u16,
+            ident: i as u16,
+            dont_frag: false,
+            more_frags: false,
+            frag_offset: 0,
+            ttl: 16,
+            protocol: 17,
+            src: ipish::Address::new(10, 0, 1, 1),
+            dst: ipish::Address::new(10, 0, 2, 2),
+        }
+        .to_bytes();
+        d.extend(vec![0x44; 600]);
+        sim.node_mut::<ScriptedHost>(src).plan(
+            SimTime(i as u64 * 2_000_000),
+            0,
+            LinkFrame::Ipish(d).to_p2p_bytes(),
+        );
+    }
+    ScriptedHost::start(&mut sim, src);
+    sim.run_until(SimTime(N as u64 * 2_000_000 + 1_000_000_000));
+    let checksum_drops = sim
+        .node::<IpRouter>(r2)
+        .stats
+        .drops
+        .get(&IpDrop::Checksum)
+        .copied()
+        .unwrap_or(0);
+    let rx = &sim.node::<ScriptedHost>(dst).received;
+    let delivered = rx.len() as u64;
+    // IP's header checksum says nothing about the payload: count frames
+    // the receiver got with silently corrupted contents.
+    let corrupt_payloads = rx
+        .iter()
+        .filter(|f| {
+            matches!(LinkFrame::from_p2p_bytes(&f.bytes),
+                Ok(LinkFrame::Ipish(d)) if d[ipish::HEADER_LEN..].iter().any(|&b| b != 0x44))
+        })
+        .count() as u64;
+    (checksum_drops, delivered, corrupt_payloads)
+}
+
+fn main() {
+    let mut t = Table::new(
+        "E12 — header corruption on the middle link (Sirpent, no network checksum)",
+        &[
+            "p(corrupt)",
+            "clean deliveries",
+            "router drops",
+            "host misrouted",
+            "host unparseable",
+            "xport misdeliv",
+            "xport checksum",
+            "ACCEPTED CORRUPT",
+        ],
+    );
+    let mut rows = Vec::new();
+    for p in [0.0f64, 0.05, 0.2, 0.5] {
+        let r = sirpent_run(p);
+        t.row(&[
+            &pct(r.corrupt_prob),
+            &format!("{}/{}", r.delivered_clean, r.sent),
+            &r.router_drops,
+            &r.host_misrouted,
+            &r.host_unparseable,
+            &r.transport_misdelivered,
+            &r.transport_checksum,
+            &r.accepted_corrupt,
+        ]);
+        assert_eq!(r.accepted_corrupt, 0, "end-to-end integrity must hold");
+        rows.push(r);
+    }
+    t.print();
+    println!(
+        "corrupted headers misroute or die structurally; every survivor is\n\
+         rejected by the transport's 64-bit entity check or its checksum —\n\
+         zero corrupted payloads accepted. Retransmission recovers the rest\n\
+         (clean deliveries stay high at low corruption rates, the regime the\n\
+         paper argues from: \"header corruption is a low probability event\")."
+    );
+
+    let mut t2 = Table::new(
+        "E12b — IP baseline on the same topology (header checksum at routers)",
+        &["p(corrupt)", "checksum drops @ router", "delivered", "of which corrupt payload"],
+    );
+    #[derive(Serialize)]
+    struct IpRow {
+        corrupt_prob: f64,
+        checksum_drops: u64,
+        delivered: u64,
+        corrupt_payloads: u64,
+    }
+    let mut iprows = Vec::new();
+    for p in [0.05f64, 0.2, 0.5] {
+        let (drops, delivered, corrupt_payloads) = ip_run(p);
+        t2.row(&[&pct(p), &drops, &delivered, &corrupt_payloads]);
+        iprows.push(IpRow {
+            corrupt_prob: p,
+            checksum_drops: drops,
+            delivered,
+            corrupt_payloads,
+        });
+    }
+    t2.print();
+    println!(
+        "IP detects corruption one hop earlier at the price of verifying and\n\
+         rewriting a checksum on *every* packet at *every* router (§1). Note\n\
+         the IP header checksum does not protect the payload either — both\n\
+         architectures need the transport for end-to-end integrity (§4.1's\n\
+         end-to-end argument)."
+    );
+
+    #[derive(Serialize)]
+    struct All {
+        sirpent: Vec<Row>,
+        ip: Vec<IpRow>,
+    }
+    write_json(
+        "e12_misdelivery",
+        &All {
+            sirpent: rows,
+            ip: iprows,
+        },
+    );
+}

@@ -1,0 +1,119 @@
+//! Convenience builder for assembling internetworks.
+//!
+//! Wraps the simulator with defaults appropriate to the paper's regime
+//! (10 Mb/s Ethernet-era links up to gigabit trunks) so examples, tests
+//! and benches can assemble topologies in a few lines.
+
+use sirpent_router::viper::{ViperConfig, ViperRouter};
+use sirpent_sim::{NodeId, SimDuration, Simulator};
+use sirpent_transport::{EndpointConfig, HostClock, LifetimeFilter, RatePacer};
+use sirpent_wire::vmtp::EntityId;
+
+use crate::host::{HostPortKind, SirpentHost};
+
+/// Default segment payload per transport packet: "roughly 1 kilobyte
+/// transport packet plus up to 500 bytes of VIPER header information"
+/// within the 1500-byte transmission unit (§5).
+pub const DEFAULT_SEG_SIZE: usize = 1000;
+
+/// An internetwork under construction.
+pub struct Net {
+    /// The underlying simulator (public: attach custom nodes freely).
+    pub sim: Simulator,
+}
+
+impl Net {
+    /// Start building with a deterministic seed.
+    pub fn new(seed: u64) -> Net {
+        Net {
+            sim: Simulator::new(seed),
+        }
+    }
+
+    /// Default endpoint configuration for a host with the given entity
+    /// id: a perfect clock, a 60 s / 5 s lifetime filter, 1000-byte
+    /// segments, an 8 Mb/s pacer.
+    pub fn default_endpoint(entity: u64) -> EndpointConfig {
+        EndpointConfig {
+            entity: EntityId(entity),
+            clock: HostClock::perfect(1_000_000),
+            lifetime: LifetimeFilter::steady(60_000, 5_000),
+            seg_size: DEFAULT_SEG_SIZE,
+            pacer: RatePacer::new(8_000_000, 500_000, 8_000_000),
+        }
+    }
+
+    /// Add a Sirpent host with default endpoint settings.
+    pub fn host(&mut self, entity: u64, ports: Vec<(u8, HostPortKind)>) -> NodeId {
+        self.host_with(Self::default_endpoint(entity), ports)
+    }
+
+    /// Add a Sirpent host with explicit endpoint settings.
+    pub fn host_with(
+        &mut self,
+        endpoint: EndpointConfig,
+        ports: Vec<(u8, HostPortKind)>,
+    ) -> NodeId {
+        self.sim
+            .add_node(Box::new(SirpentHost::new(endpoint, ports)))
+    }
+
+    /// Add a VIPER router.
+    pub fn viper(&mut self, cfg: ViperConfig) -> NodeId {
+        self.sim.add_node(Box::new(ViperRouter::new(cfg)))
+    }
+
+    /// Full-duplex point-to-point link.
+    pub fn p2p(
+        &mut self,
+        a: NodeId,
+        a_port: u8,
+        b: NodeId,
+        b_port: u8,
+        rate_bps: u64,
+        prop: SimDuration,
+    ) {
+        self.sim.p2p(a, a_port, b, b_port, rate_bps, prop);
+    }
+
+    /// Shared Ethernet segment over the listed (node, port) stations.
+    pub fn bus(
+        &mut self,
+        rate_bps: u64,
+        prop: SimDuration,
+        stations: &[(NodeId, u8)],
+    ) -> sirpent_sim::ChannelId {
+        let ch = self.sim.add_channel(rate_bps, prop);
+        for &(n, p) in stations {
+            self.sim.attach(ch, n, p);
+        }
+        ch
+    }
+
+    /// Finish building.
+    pub fn into_sim(self) -> Simulator {
+        self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_nodes() {
+        let mut net = Net::new(1);
+        let h1 = net.host(1, vec![(0, HostPortKind::PointToPoint)]);
+        let h2 = net.host(2, vec![(0, HostPortKind::PointToPoint)]);
+        let r = net.viper(ViperConfig::basic(1, &[1, 2]));
+        net.p2p(h1, 0, r, 1, 10_000_000, SimDuration::from_micros(2));
+        net.p2p(r, 2, h2, 0, 10_000_000, SimDuration::from_micros(2));
+        let sim = net.into_sim();
+        assert_eq!(
+            sim.node::<SirpentHost>(h1).entity(),
+            EntityId(1)
+        );
+        assert_eq!(sim.node::<SirpentHost>(h2).entity(), EntityId(2));
+        let _ = sim.node::<ViperRouter>(r);
+    }
+}

@@ -1,0 +1,682 @@
+//! The Sirpent host stack: transport endpoint + route management +
+//! packet framing, as one simulator node.
+//!
+//! The host is where the paper's end-to-end machinery converges:
+//!
+//! * requests are paced onto a **compiled source route** (possibly one of
+//!   several alternates managed by the §6.3 failover logic);
+//! * replies, acks and retransmission traffic to a peer use the **return
+//!   route built from the received packet's trailer** — a server needs no
+//!   routing knowledge at all (§2);
+//! * rate-control feedback from routers slows the pacer and can trigger
+//!   a route switch (§2.2 + §6.3);
+//! * everything the transport rejects (misdelivery, staleness,
+//!   corruption) is counted for the experiments.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use sirpent_router::link::LinkFrame;
+use sirpent_sim::{transmission_time, Context, Event, Node, SimDuration, SimTime};
+use sirpent_transport::{
+    Action, Endpoint, EndpointConfig, FailoverPolicy, RouteSet, Verdict,
+};
+use sirpent_wire::ethernet;
+use sirpent_wire::packet::{PacketBuilder, PacketView};
+use sirpent_wire::viper::{SegmentRepr, PORT_LOCAL};
+use sirpent_wire::vmtp::{EntityId, Kind};
+
+use crate::compile::CompiledRoute;
+
+/// A host port's link type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostPortKind {
+    /// Point-to-point link (to a router, typically).
+    PointToPoint,
+    /// Shared Ethernet; our station address.
+    Ethernet {
+        /// Our MAC.
+        mac: ethernet::Address,
+    },
+}
+
+/// A message delivered to the application.
+#[derive(Debug, Clone)]
+pub struct DeliveredMsg {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Sending entity.
+    pub peer: EntityId,
+    /// Transaction id.
+    pub transaction: u32,
+    /// Request or response.
+    pub kind: Kind,
+    /// The message bytes.
+    pub message: Vec<u8>,
+    /// Whether the packet that completed it arrived truncated.
+    pub truncated: bool,
+}
+
+/// Host-level happenings the experiments observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostEvent {
+    /// The failover logic switched routes for `dst`.
+    RouteSwitched {
+        /// Destination entity affected.
+        dst: EntityId,
+        /// New route index.
+        index: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// All routes to `dst` look bad; a directory re-query is needed.
+    NeedsRequery {
+        /// Destination entity affected.
+        dst: EntityId,
+        /// When.
+        at: SimTime,
+    },
+    /// A request ran out of retries.
+    GaveUp {
+        /// The failed transaction.
+        transaction: u32,
+        /// When.
+        at: SimTime,
+    },
+}
+
+/// Host counters.
+#[derive(Debug, Default)]
+pub struct HostStats {
+    /// Requests the application queued.
+    pub requests_sent: u64,
+    /// Responses sent by the auto-responder.
+    pub responses_sent: u64,
+    /// Sirpent packets whose leading segment was not local — misrouted
+    /// to us (E12).
+    pub misrouted: u64,
+    /// Frames that failed to parse at all.
+    pub unparseable: u64,
+    /// Rate-control messages received.
+    pub backpressure_received: u64,
+    /// Truncated packets observed.
+    pub truncated_seen: u64,
+    /// Packets whose local segment's endpoint selector named a
+    /// different intra-host endpoint (§2.2 unified addressing).
+    pub wrong_endpoint: u64,
+}
+
+struct ReplyContext {
+    route: Vec<SegmentRepr>,
+    host_port: u8,
+    eth: Option<ethernet::Repr>,
+}
+
+struct SendTracker {
+    dst: EntityId,
+    started: SimTime,
+    attempts: u32,
+    /// The request group is fully acknowledged.
+    send_done: bool,
+    /// The response arrived (transaction complete).
+    responded: bool,
+    payload_len: usize,
+}
+
+enum Pending {
+    Transmit { port: u8, bytes: Vec<u8> },
+    Retransmit { transaction: u32 },
+}
+
+/// A queued application request.
+pub struct QueuedRequest {
+    /// When to send.
+    pub at: SimTime,
+    /// Destination entity (must have routes installed).
+    pub dst: EntityId,
+    /// Request payload.
+    pub payload: Vec<u8>,
+}
+
+const KEY_KICK: u64 = 0;
+const MAX_ATTEMPTS: u32 = 5;
+
+/// The Sirpent host node.
+pub struct SirpentHost {
+    endpoint: Endpoint,
+    ports: HashMap<u8, HostPortKind>,
+    routes: HashMap<EntityId, RouteSet<CompiledRoute>>,
+    reply_ctx: HashMap<EntityId, ReplyContext>,
+    /// Responses already sent, retained for re-send on replayed
+    /// requests (the VMTP server-side transaction record).
+    sent_responses: HashMap<(EntityId, u32), Vec<u8>>,
+    inflight: HashMap<u32, SendTracker>,
+    pending: HashMap<u64, Pending>,
+    next_key: u64,
+    next_txn: u32,
+    app_queue: Vec<QueuedRequest>,
+    queue_next: usize,
+    failover: FailoverPolicy,
+    /// The intra-host endpoint selector this host answers to, matched
+    /// against the final local segment's `portInfo` (§2.2: "a Sirpent
+    /// header segment can be used to designate the port within a host").
+    /// Empty = accept any selector.
+    pub endpoint_selector: Vec<u8>,
+    /// Respond to each delivered request with this payload (None =
+    /// silent sink); `echo` instead mirrors the request back.
+    pub auto_respond: Option<Vec<u8>>,
+    /// Echo requests back as responses (overrides `auto_respond`).
+    pub echo: bool,
+    /// Delivered messages, in order.
+    pub inbox: Vec<DeliveredMsg>,
+    /// Measured request→response round trips.
+    pub rtt_samples: Vec<(SimTime, SimDuration)>,
+    /// Notable events.
+    pub events: Vec<HostEvent>,
+    /// Counters.
+    pub stats: HostStats,
+}
+
+impl SirpentHost {
+    /// Create a host with the given transport endpoint and ports.
+    pub fn new(endpoint: EndpointConfig, ports: Vec<(u8, HostPortKind)>) -> SirpentHost {
+        SirpentHost {
+            endpoint: Endpoint::new(endpoint),
+            ports: ports.into_iter().collect(),
+            routes: HashMap::new(),
+            reply_ctx: HashMap::new(),
+            sent_responses: HashMap::new(),
+            inflight: HashMap::new(),
+            pending: HashMap::new(),
+            next_key: 1,
+            next_txn: 1,
+            app_queue: Vec::new(),
+            queue_next: 0,
+            failover: FailoverPolicy::default(),
+            endpoint_selector: Vec::new(),
+            auto_respond: None,
+            echo: false,
+            inbox: Vec::new(),
+            rtt_samples: Vec::new(),
+            events: Vec::new(),
+            stats: HostStats::default(),
+        }
+    }
+
+    /// Our transport identity.
+    pub fn entity(&self) -> EntityId {
+        self.endpoint.entity()
+    }
+
+    /// Access the transport endpoint (stats, pacer).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Mutable transport access.
+    pub fn endpoint_mut(&mut self) -> &mut Endpoint {
+        &mut self.endpoint
+    }
+
+    /// Set the failover policy for subsequently installed route sets.
+    pub fn set_failover(&mut self, policy: FailoverPolicy) {
+        self.failover = policy;
+    }
+
+    /// Install the route alternatives for a destination (from directory
+    /// advisories, already compiled).
+    pub fn install_routes(&mut self, dst: EntityId, routes: Vec<CompiledRoute>) {
+        assert!(!routes.is_empty(), "need at least one route");
+        let pairs = routes.into_iter().map(|r| {
+            let rtt = r.base_rtt;
+            (r, rtt)
+        });
+        self.routes
+            .insert(dst, RouteSet::new(pairs.collect(), self.failover));
+    }
+
+    /// Which route index is currently used toward `dst`.
+    pub fn current_route_index(&self, dst: EntityId) -> Option<usize> {
+        self.routes.get(&dst).map(|r| r.current_index())
+    }
+
+    /// Queue a request for later sending; call [`SirpentHost::start`]
+    /// afterwards.
+    pub fn queue_request(&mut self, at: SimTime, dst: EntityId, payload: Vec<u8>) {
+        self.app_queue.push(QueuedRequest { at, dst, payload });
+    }
+
+    /// Arm the host's queued requests (sorts pending ones and kicks the
+    /// first timer). Mirrors `ScriptedHost::start`.
+    pub fn start(sim: &mut sirpent_sim::Simulator, me: sirpent_sim::NodeId) {
+        let now = sim.now();
+        let host = sim.node_mut::<SirpentHost>(me);
+        let n = host.queue_next;
+        host.app_queue[n..].sort_by_key(|q| q.at);
+        if let Some(next) = host.app_queue.get(n) {
+            let at = next.at.max(now);
+            sim.kick(at, me, KEY_KICK);
+        }
+    }
+
+    fn schedule(&mut self, ctx: &mut Context<'_>, at: SimTime, p: Pending) {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.pending.insert(key, p);
+        ctx.schedule_at(at, key);
+    }
+
+    /// Frame and schedule one Sirpent packet built from `vmtp` bytes
+    /// over an explicit (route, port, eth) path.
+    fn ship(
+        &mut self,
+        ctx: &mut Context<'_>,
+        at: SimTime,
+        vmtp: Vec<u8>,
+        segments: &[SegmentRepr],
+        host_port: u8,
+        eth: Option<ethernet::Repr>,
+    ) {
+        let Ok(packet) = PacketBuilder::new()
+            .route(segments.to_vec())
+            .payload(vmtp)
+            .build()
+        else {
+            return;
+        };
+        let lf = LinkFrame::Sirpent {
+            ff_hint: 0,
+            packet,
+        };
+        let bytes = match (&self.ports.get(&host_port), eth) {
+            (Some(HostPortKind::Ethernet { mac }), Some(h)) => {
+                lf.to_ethernet_bytes(*mac, h.dst)
+            }
+            (Some(HostPortKind::Ethernet { mac }), None) => {
+                // Shouldn't happen with well-formed routes; broadcast.
+                lf.to_ethernet_bytes(*mac, ethernet::Address::BROADCAST)
+            }
+            _ => lf.to_p2p_bytes(),
+        };
+        self.schedule(ctx, at.max(ctx.now()), Pending::Transmit {
+            port: host_port,
+            bytes,
+        });
+    }
+
+    /// Execute transport actions in the context of a destination (for
+    /// forward-routed traffic) or a reply context.
+    fn run_actions(
+        &mut self,
+        ctx: &mut Context<'_>,
+        actions: Vec<Action>,
+        dst: EntityId,
+        use_reply_ctx: bool,
+    ) {
+        for a in actions {
+            match a {
+                Action::Transmit { at, bytes } => {
+                    if use_reply_ctx {
+                        let Some(rc) = self.reply_ctx.get(&dst) else {
+                            continue;
+                        };
+                        let (route, port, eth) = (rc.route.clone(), rc.host_port, rc.eth);
+                        self.ship(ctx, at, bytes, &route, port, eth);
+                    } else {
+                        let Some(set) = self.routes.get(&dst) else {
+                            continue;
+                        };
+                        let r = set.current().clone();
+                        self.ship(ctx, at, bytes, &r.segments, r.host_port, r.first_eth);
+                    }
+                }
+                Action::Deliver {
+                    peer,
+                    transaction,
+                    kind,
+                    message,
+                } => {
+                    self.deliver(ctx, peer, transaction, kind, message, false);
+                }
+                Action::SendComplete { transaction } => {
+                    if let Some(t) = self.inflight.get_mut(&transaction) {
+                        t.send_done = true;
+                    }
+                }
+                Action::ReplayedRequest { peer, transaction } => {
+                    // The requester is missing our response: re-send it
+                    // over the (fresh) reply route.
+                    if let Some(body) = self.sent_responses.get(&(peer, transaction)).cloned()
+                    {
+                        let now = ctx.now();
+                        if let Some(actions) = self.endpoint.send_message(
+                            now,
+                            peer,
+                            transaction,
+                            Kind::Response,
+                            &body,
+                        ) {
+                            self.run_actions(ctx, actions, peer, true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        ctx: &mut Context<'_>,
+        peer: EntityId,
+        transaction: u32,
+        kind: Kind,
+        message: Vec<u8>,
+        truncated: bool,
+    ) {
+        let now = ctx.now();
+        self.inbox.push(DeliveredMsg {
+            at: now,
+            peer,
+            transaction,
+            kind,
+            message: message.clone(),
+            truncated,
+        });
+        match kind {
+            Kind::Response => {
+                // Request/response RTT sample for failover + stats.
+                if let Some(t) = self.inflight.get_mut(&transaction) {
+                    if t.responded {
+                        return; // duplicate response
+                    }
+                    t.responded = true;
+                    let rtt = now - t.started;
+                    let dst = t.dst;
+                    self.rtt_samples.push((now, rtt));
+                    if let Some(set) = self.routes.get_mut(&dst) {
+                        match set.on_rtt_sample(now, rtt) {
+                            Verdict::Switched(i) => self.events.push(HostEvent::RouteSwitched {
+                                dst,
+                                index: i,
+                                at: now,
+                            }),
+                            Verdict::Requery => {
+                                self.events.push(HostEvent::NeedsRequery { dst, at: now })
+                            }
+                            Verdict::Stay => {}
+                        }
+                    }
+                }
+            }
+            Kind::Request => {
+                let body = if self.echo {
+                    Some(message)
+                } else {
+                    self.auto_respond.clone()
+                };
+                if let Some(body) = body {
+                    if let Some(actions) = self.endpoint.send_message(
+                        now,
+                        peer,
+                        transaction,
+                        Kind::Response,
+                        &body,
+                    ) {
+                        self.stats.responses_sent += 1;
+                        self.sent_responses.insert((peer, transaction), body);
+                        self.run_actions(ctx, actions, peer, true);
+                    }
+                }
+            }
+            Kind::Ack => {}
+        }
+    }
+
+    fn send_queued(&mut self, ctx: &mut Context<'_>) {
+        while self.queue_next < self.app_queue.len()
+            && self.app_queue[self.queue_next].at <= ctx.now()
+        {
+            let q = &self.app_queue[self.queue_next];
+            let (dst, payload) = (q.dst, q.payload.clone());
+            self.queue_next += 1;
+            let txn = self.next_txn;
+            self.next_txn += 1;
+            let now = ctx.now();
+            let Some(actions) = self
+                .endpoint
+                .send_message(now, dst, txn, Kind::Request, &payload)
+            else {
+                continue;
+            };
+            self.stats.requests_sent += 1;
+            let payload_len = payload.len();
+            self.inflight.insert(
+                txn,
+                SendTracker {
+                    dst,
+                    started: now,
+                    attempts: 1,
+                    send_done: false,
+                    responded: false,
+                    payload_len,
+                },
+            );
+            self.run_actions(ctx, actions, dst, false);
+            let timeout = self.txn_timeout(dst, payload_len);
+            let at = now + timeout;
+            self.schedule(ctx, at, Pending::Retransmit { transaction: txn });
+        }
+        if self.queue_next < self.app_queue.len() {
+            let at = self.app_queue[self.queue_next].at;
+            ctx.schedule_at(at, KEY_KICK);
+        }
+    }
+
+    /// Retransmission timeout for a transaction: the failover layer's
+    /// RTT-based timeout *plus* the time the pacer needs to clock the
+    /// whole group out — a paced multi-packet message must not time out
+    /// while it is still legitimately being sent (§4.3's rate-based
+    /// intra-group flow control).
+    fn txn_timeout(&self, dst: EntityId, payload_len: usize) -> SimDuration {
+        let base = self
+            .routes
+            .get(&dst)
+            .map(|s| s.timeout())
+            .unwrap_or(SimDuration::from_millis(100));
+        let pace = transmission_time(payload_len + 128, self.endpoint.pacer.rate_bps.max(1));
+        base + pace
+    }
+
+    fn on_retransmit(&mut self, ctx: &mut Context<'_>, txn: u32) {
+        let now = ctx.now();
+        let Some(t) = self.inflight.get_mut(&txn) else {
+            return;
+        };
+        if t.responded {
+            return; // transaction finished
+        }
+        let dst = t.dst;
+        let payload_len = t.payload_len;
+        if t.attempts >= MAX_ATTEMPTS {
+            self.events.push(HostEvent::GaveUp {
+                transaction: txn,
+                at: now,
+            });
+            return;
+        }
+        t.attempts += 1;
+        // Loss signal to failover (may switch route) and to the pacer.
+        if let Some(set) = self.routes.get_mut(&dst) {
+            match set.on_loss(now) {
+                Verdict::Switched(i) => self.events.push(HostEvent::RouteSwitched {
+                    dst,
+                    index: i,
+                    at: now,
+                }),
+                Verdict::Requery => self.events.push(HostEvent::NeedsRequery { dst, at: now }),
+                Verdict::Stay => {}
+            }
+        }
+        self.endpoint.pacer.on_loss();
+        let mut actions = self.endpoint.on_retransmit_timer(now, txn);
+        if actions.is_empty() {
+            // The request is fully acknowledged but no response came:
+            // probe the server so it re-sends the response.
+            actions = self.endpoint.probe(now, txn);
+        }
+        self.run_actions(ctx, actions, dst, false);
+        let timeout = self.txn_timeout(dst, payload_len);
+        let at = now + timeout;
+        self.schedule(ctx, at, Pending::Retransmit { transaction: txn });
+    }
+
+    fn on_sirpent_packet(
+        &mut self,
+        ctx: &mut Context<'_>,
+        packet: Vec<u8>,
+        arrival_port: u8,
+        arrival_eth: Option<ethernet::Repr>,
+    ) {
+        let Ok(view) = PacketView::parse(&packet) else {
+            self.stats.unparseable += 1;
+            return;
+        };
+        if view.route.len() != 1 || view.route[0].port != PORT_LOCAL {
+            // Misrouted: a corrupted header sent it to the wrong place
+            // (E12) — hosts are not routers, drop it.
+            self.stats.misrouted += 1;
+            return;
+        }
+        // Intra-host addressing (§2.2): the local segment's portInfo
+        // selects the endpoint within this host.
+        if !self.endpoint_selector.is_empty()
+            && !view.route[0].port_info.is_empty()
+            && view.route[0].port_info != self.endpoint_selector
+        {
+            self.stats.wrong_endpoint += 1;
+            return;
+        }
+        let truncated = view.trailer.truncated.is_some();
+        if truncated {
+            self.stats.truncated_seen += 1;
+        }
+        let data = view.data(&packet).to_vec();
+        let now = ctx.now();
+
+        // Peek the transport source so reply context can be stored
+        // before actions run.
+        if let Ok(hdr) = sirpent_wire::vmtp::Header::parse(&data) {
+            let reply_route = sirpent_wire::packet::reply_route(&view);
+            self.reply_ctx.insert(
+                hdr.src,
+                ReplyContext {
+                    route: reply_route,
+                    host_port: arrival_port,
+                    eth: arrival_eth.map(|h| h.reversed()),
+                },
+            );
+            let actions = self.endpoint.on_packet(now, &data);
+            self.run_actions(ctx, actions, hdr.src, true);
+        } else {
+            self.stats.unparseable += 1;
+        }
+    }
+}
+
+impl Node for SirpentHost {
+    fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+        match ev {
+            Event::Frame(fe) => {
+                let port = fe.port;
+                let Some(kind) = self.ports.get(&port).cloned() else {
+                    return;
+                };
+                match kind {
+                    HostPortKind::PointToPoint => {
+                        match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                            Ok(LinkFrame::Sirpent { packet, .. }) => {
+                                self.on_sirpent_packet(ctx, packet, port, None)
+                            }
+                            Ok(LinkFrame::RateControl(msg)) => {
+                                self.on_rate_control(ctx, msg);
+                            }
+                            Ok(_) => {}
+                            Err(_) => self.stats.unparseable += 1,
+                        }
+                    }
+                    HostPortKind::Ethernet { mac } => {
+                        match LinkFrame::from_ethernet_bytes(&fe.frame.bytes) {
+                            Ok((hdr, inner)) => {
+                                if hdr.dst != mac && !hdr.dst.is_broadcast() {
+                                    return;
+                                }
+                                match inner {
+                                    LinkFrame::Sirpent { packet, .. } => self
+                                        .on_sirpent_packet(ctx, packet, port, Some(hdr)),
+                                    LinkFrame::RateControl(msg) => {
+                                        self.on_rate_control(ctx, msg)
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            Err(_) => self.stats.unparseable += 1,
+                        }
+                    }
+                }
+            }
+            Event::Timer { key: KEY_KICK } => self.send_queued(ctx),
+            Event::Timer { key } => match self.pending.remove(&key) {
+                Some(Pending::Transmit { port, bytes }) => {
+                    let _ = ctx.transmit(port, bytes);
+                }
+                Some(Pending::Retransmit { transaction }) => {
+                    self.on_retransmit(ctx, transaction)
+                }
+                None => {}
+            },
+            Event::TxDone { .. } | Event::FrameAborted { .. } => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl SirpentHost {
+    fn on_rate_control(&mut self, ctx: &mut Context<'_>, msg: sirpent_router::RateControlMsg) {
+        let now = ctx.now();
+        self.stats.backpressure_received += 1;
+        self.endpoint.pacer.on_backpressure(msg.allowed_bps);
+        // Switch away from routes transiting the congested router.
+        let dsts: Vec<EntityId> = self
+            .routes
+            .iter()
+            .filter(|(_, set)| {
+                set.current()
+                    .router_ids
+                    .contains(&msg.congested_router)
+            })
+            .map(|(d, _)| *d)
+            .collect();
+        for dst in dsts {
+            if let Some(set) = self.routes.get_mut(&dst) {
+                match set.on_backpressure(now) {
+                    Verdict::Switched(i) => self.events.push(HostEvent::RouteSwitched {
+                        dst,
+                        index: i,
+                        at: now,
+                    }),
+                    Verdict::Requery => {
+                        self.events.push(HostEvent::NeedsRequery { dst, at: now })
+                    }
+                    Verdict::Stay => {}
+                }
+            }
+        }
+    }
+}

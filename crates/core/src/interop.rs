@@ -1,0 +1,267 @@
+//! Sirpent over IP: the internetwork as one logical hop (§2.3).
+//!
+//! "The Sirpent approach can be viewed and implemented as an extended
+//! form of IP as follows. An IP protocol number is assigned to the
+//! Sirpent protocol. A Sirpent packet can view the Internet as providing
+//! one logical hop across its internetwork. That is, the packet is
+//! source routed to an IP host or gateway so that the header is now an
+//! IP header. The host/gateway uses standard IP to route the packet to
+//! the specified destination host. At this point, the packet is
+//! demultiplexed to the Sirpent protocol module which interprets the
+//! remainder of the packet header as a source route on from that point."
+//!
+//! [`IpGateway`] is that host/gateway: some of its VIPER port values are
+//! bound to *remote gateways' IP addresses*; a packet routed to such a
+//! port is encapsulated in an IP-like datagram and crosses a cloud of
+//! ordinary [`sirpent_router::ip::IpRouter`]s; the remote gateway
+//! demultiplexes on the Sirpent protocol number and continues the source
+//! route. Return hops name the *encapsulation port value*, so the
+//! trailer-built reply route transparently re-crosses the cloud.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use sirpent_router::link::LinkFrame;
+use sirpent_sim::{Context, Event, Node, SimDuration, SimTime};
+use sirpent_wire::ipish;
+use sirpent_wire::packet::{append_return_hop, strip_front_segment};
+use sirpent_wire::viper::{Flags, SegmentRepr, PORT_LOCAL};
+
+/// IP protocol number carried by encapsulated Sirpent packets (our
+/// concretization of "an IP protocol number is assigned to the Sirpent
+/// protocol").
+pub const IPPROTO_SIRPENT: u8 = 0x5E;
+
+/// Gateway configuration.
+pub struct GatewayConfig {
+    /// This gateway's address in the IP cloud.
+    pub my_ip: ipish::Address,
+    /// The port facing the IP cloud (point-to-point to an IP router).
+    pub ip_port: u8,
+    /// VIPER port value → remote gateway address: using this port value
+    /// in a route means "one logical hop across the cloud to there".
+    pub encap_map: Vec<(u8, ipish::Address)>,
+    /// Sirpent-facing point-to-point ports.
+    pub local_ports: Vec<u8>,
+    /// Per-packet processing delay (the gateway is a host-grade node,
+    /// store-and-forward).
+    pub process_delay: SimDuration,
+    /// TTL stamped on encapsulating datagrams.
+    pub ttl: u8,
+}
+
+/// Counters.
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    /// Sirpent packets wrapped into datagrams.
+    pub encapsulated: u64,
+    /// Datagrams unwrapped back into Sirpent packets.
+    pub decapsulated: u64,
+    /// Plain Sirpent forwards between local ports.
+    pub forwarded_local: u64,
+    /// Packets dropped (no binding / parse failure / wrong protocol).
+    pub dropped: u64,
+}
+
+enum Pending {
+    FromSirpent { packet: Vec<u8>, arrival_port: u8 },
+    FromCloud { datagram: Vec<u8> },
+}
+
+/// The Sirpent↔IP gateway node.
+pub struct IpGateway {
+    cfg: GatewayConfig,
+    rev_map: HashMap<u32, u8>, // remote gw ip → encap port value
+    pending: HashMap<u64, Pending>,
+    next_key: u64,
+    busy: HashMap<u8, bool>,
+    queues: HashMap<u8, Vec<Vec<u8>>>,
+    ident: u16,
+    /// Counters.
+    pub stats: GatewayStats,
+    /// Packets whose final segment addressed the gateway itself.
+    pub local_delivered: Vec<(SimTime, Vec<u8>)>,
+}
+
+impl IpGateway {
+    /// Build a gateway.
+    pub fn new(cfg: GatewayConfig) -> IpGateway {
+        let rev_map = cfg
+            .encap_map
+            .iter()
+            .map(|&(port, ip)| (ip.0, port))
+            .collect();
+        IpGateway {
+            cfg,
+            rev_map,
+            pending: HashMap::new(),
+            next_key: 1,
+            busy: HashMap::new(),
+            queues: HashMap::new(),
+            ident: 1,
+            stats: GatewayStats::default(),
+            local_delivered: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, ctx: &mut Context<'_>, port: u8, frame: Vec<u8>) {
+        if *self.busy.get(&port).unwrap_or(&false) {
+            self.queues.entry(port).or_default().push(frame);
+        } else {
+            self.busy.insert(port, true);
+            let _ = ctx.transmit(port, frame);
+        }
+    }
+
+    /// Route a Sirpent packet whose leading segment has just become
+    /// current. `arrival_id` identifies where it came from (a local port
+    /// number, or the encap port value for cloud arrivals) for the
+    /// return hop.
+    fn route(&mut self, ctx: &mut Context<'_>, mut packet: Vec<u8>, arrival_id: u8) {
+        let Ok(seg) = strip_front_segment(&mut packet) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        if seg.port == PORT_LOCAL {
+            self.local_delivered.push((ctx.now(), packet));
+            return;
+        }
+        // Return hop names where the packet came *from* (§2).
+        append_return_hop(
+            &mut packet,
+            SegmentRepr {
+                port: arrival_id,
+                flags: Flags {
+                    rpf: true,
+                    ..Default::default()
+                },
+                priority: seg.priority,
+                port_token: seg.port_token.clone(),
+                port_info: Vec::new(),
+            },
+        );
+
+        if let Some(&(_, remote)) = self
+            .cfg
+            .encap_map
+            .iter()
+            .find(|&&(p, _)| p == seg.port)
+        {
+            // One logical hop across the cloud: encapsulate.
+            let mut dgram = ipish::Repr {
+                tos: 0,
+                total_len: (ipish::HEADER_LEN + packet.len()) as u16,
+                ident: self.ident,
+                dont_frag: false,
+                more_frags: false,
+                frag_offset: 0,
+                ttl: self.cfg.ttl,
+                protocol: IPPROTO_SIRPENT,
+                src: self.cfg.my_ip,
+                dst: remote,
+            }
+            .to_bytes();
+            self.ident = self.ident.wrapping_add(1);
+            dgram.extend_from_slice(&packet);
+            self.stats.encapsulated += 1;
+            let frame = LinkFrame::Ipish(dgram).to_p2p_bytes();
+            self.send(ctx, self.cfg.ip_port, frame);
+        } else if self.cfg.local_ports.contains(&seg.port) {
+            self.stats.forwarded_local += 1;
+            let frame = LinkFrame::Sirpent {
+                ff_hint: 0,
+                packet,
+            }
+            .to_p2p_bytes();
+            self.send(ctx, seg.port, frame);
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    fn on_cloud_datagram(&mut self, ctx: &mut Context<'_>, datagram: Vec<u8>) {
+        let Ok(hdr) = ipish::Repr::parse(&datagram) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        if hdr.dst != self.cfg.my_ip || hdr.protocol != IPPROTO_SIRPENT {
+            self.stats.dropped += 1;
+            return;
+        }
+        // Demultiplex to the Sirpent module (§2.3): the datagram payload
+        // resumes the source route. The virtual arrival "port" is the
+        // encap value bound to the *sending* gateway, so replies
+        // re-cross the cloud.
+        let Some(&arrival) = self.rev_map.get(&hdr.src.0) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        let packet = datagram[ipish::HEADER_LEN..hdr.total_len as usize].to_vec();
+        self.stats.decapsulated += 1;
+        self.route(ctx, packet, arrival);
+    }
+}
+
+impl Node for IpGateway {
+    fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+        match ev {
+            Event::Frame(fe) => {
+                let key = self.next_key;
+                self.next_key += 1;
+                let pend = if fe.port == self.cfg.ip_port {
+                    match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                        Ok(LinkFrame::Ipish(d)) => Pending::FromCloud { datagram: d },
+                        _ => {
+                            self.stats.dropped += 1;
+                            return;
+                        }
+                    }
+                } else {
+                    match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                        Ok(LinkFrame::Sirpent { packet, .. }) => Pending::FromSirpent {
+                            packet,
+                            arrival_port: fe.port,
+                        },
+                        _ => {
+                            self.stats.dropped += 1;
+                            return;
+                        }
+                    }
+                };
+                self.pending.insert(key, pend);
+                ctx.schedule_at(fe.last_bit + self.cfg.process_delay, key);
+            }
+            Event::Timer { key } => match self.pending.remove(&key) {
+                Some(Pending::FromSirpent {
+                    packet,
+                    arrival_port,
+                }) => self.route(ctx, packet, arrival_port),
+                Some(Pending::FromCloud { datagram }) => self.on_cloud_datagram(ctx, datagram),
+                None => {}
+            },
+            Event::TxDone { port, .. } => {
+                let next = self
+                    .queues
+                    .get_mut(&port)
+                    .and_then(|q| if q.is_empty() { None } else { Some(q.remove(0)) });
+                match next {
+                    Some(f) => {
+                        let _ = ctx.transmit(port, f);
+                    }
+                    None => {
+                        self.busy.insert(port, false);
+                    }
+                }
+            }
+            Event::FrameAborted { .. } => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

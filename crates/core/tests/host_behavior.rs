@@ -1,0 +1,442 @@
+//! Behavioural tests for the Sirpent host stack.
+
+use sirpent::compile::CompiledRoute;
+use sirpent::directory::{AccessSpec, EthernetHop, HopSpec, RouteRecord, Security};
+use sirpent::host::{HostEvent, HostPortKind, SirpentHost};
+use sirpent::router::link::{LinkFrame, RateControlMsg};
+use sirpent::router::scripted::ScriptedHost;
+use sirpent::router::viper::{PortConfig, PortKind, ViperConfig, ViperRouter};
+use sirpent::sim::{SimDuration, SimTime};
+use sirpent::transport::FailoverPolicy;
+use sirpent::wire::ethernet;
+use sirpent::wire::packet::PacketBuilder;
+use sirpent::wire::viper::{Priority, SegmentRepr, PORT_LOCAL};
+use sirpent::wire::vmtp::EntityId;
+use sirpent::Net;
+
+const RATE: u64 = 10_000_000;
+const PROP: SimDuration = SimDuration(5_000);
+
+fn p2p_route(host_port: u8, router_id: u32, out_port: u8) -> CompiledRoute {
+    CompiledRoute::compile(
+        &RouteRecord {
+            access: AccessSpec {
+                host_port,
+                ethernet_next: None,
+                bandwidth_bps: RATE,
+                prop_delay: PROP,
+                mtu: 1550,
+            },
+            hops: vec![HopSpec {
+                router_id,
+                port: out_port,
+                ethernet_next: None,
+                bandwidth_bps: RATE,
+                prop_delay: PROP,
+                mtu: 1550,
+                cost: 1,
+                security: Security::Controlled,
+            }],
+            endpoint_selector: vec![],
+        },
+        &[],
+        Priority::NORMAL,
+    )
+}
+
+#[test]
+fn hosts_exchange_over_ethernet_access() {
+    // Both hosts share an Ethernet with the router; the whole §2 packet
+    // layout ([enetHdr1, seg(+enetHdr2), data]) goes over real buses.
+    let mac_a = ethernet::Address::from_index(0xA);
+    let mac_b = ethernet::Address::from_index(0xB);
+    let mac_r1 = ethernet::Address::from_index(0x21);
+    let mac_r2 = ethernet::Address::from_index(0x22);
+
+    let mut net = Net::new(3);
+    let a = net.host(0xA, vec![(0, HostPortKind::Ethernet { mac: mac_a })]);
+    let b = net.host(0xB, vec![(0, HostPortKind::Ethernet { mac: mac_b })]);
+    let mut cfg = ViperConfig::basic(1, &[]);
+    cfg.ports = vec![
+        PortConfig {
+            port: 1,
+            kind: PortKind::Ethernet { mac: mac_r1 },
+            mtu: 1550,
+        },
+        PortConfig {
+            port: 2,
+            kind: PortKind::Ethernet { mac: mac_r2 },
+            mtu: 1550,
+        },
+    ];
+    let r = net.viper(cfg);
+    net.bus(RATE, PROP, &[(a, 0), (r, 1)]);
+    net.bus(RATE, PROP, &[(r, 2), (b, 0)]);
+    let mut sim = net.into_sim();
+
+    let route = CompiledRoute::compile(
+        &RouteRecord {
+            access: AccessSpec {
+                host_port: 0,
+                ethernet_next: Some(EthernetHop {
+                    src: mac_a,
+                    dst: mac_r1,
+                }),
+                bandwidth_bps: RATE,
+                prop_delay: PROP,
+                mtu: 1550,
+            },
+            hops: vec![HopSpec {
+                router_id: 1,
+                port: 2,
+                ethernet_next: Some(EthernetHop {
+                    src: mac_r2,
+                    dst: mac_b,
+                }),
+                bandwidth_bps: RATE,
+                prop_delay: PROP,
+                mtu: 1550,
+                cost: 1,
+                security: Security::Controlled,
+            }],
+            endpoint_selector: vec![],
+        },
+        &[],
+        Priority::NORMAL,
+    );
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![route]);
+    sim.node_mut::<SirpentHost>(b).echo = true;
+    sim.node_mut::<SirpentHost>(a)
+        .queue_request(SimTime::ZERO, EntityId(0xB), b"ethernet all the way".to_vec());
+    SirpentHost::start(&mut sim, a);
+    sim.run_until(SimTime(100_000_000));
+
+    let client = sim.node::<SirpentHost>(a);
+    assert_eq!(client.inbox.len(), 1);
+    assert_eq!(client.inbox[0].message, b"ethernet all the way");
+    // The reply used the reversed Ethernet headers end to end.
+    assert_eq!(sim.node::<SirpentHost>(b).stats.responses_sent, 1);
+}
+
+#[test]
+fn misrouted_packet_counted_and_ignored() {
+    // Deliver a Sirpent packet whose leading segment is NOT local: a
+    // host is not a router and must count + drop it (E12 bookkeeping).
+    let mut net = Net::new(4);
+    let a = net.host(0xA, vec![(0, HostPortKind::PointToPoint)]);
+    let x = net.sim.add_node(Box::new(ScriptedHost::new()));
+    net.p2p(x, 0, a, 0, RATE, PROP);
+    let mut sim = net.into_sim();
+
+    let pkt = PacketBuilder::new()
+        .segment(SegmentRepr::minimal(7)) // transit segment, not local
+        .segment(SegmentRepr::minimal(PORT_LOCAL))
+        .payload(b"lost".to_vec())
+        .build()
+        .unwrap();
+    sim.node_mut::<ScriptedHost>(x).plan(
+        SimTime::ZERO,
+        0,
+        LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+    );
+    ScriptedHost::start(&mut sim, x);
+    sim.run_until(SimTime(10_000_000));
+
+    let host = sim.node::<SirpentHost>(a);
+    assert_eq!(host.stats.misrouted, 1);
+    assert!(host.inbox.is_empty());
+}
+
+#[test]
+fn backpressure_slows_pacer_and_switches_routes() {
+    let mut net = Net::new(5);
+    let a = net.host(
+        0xA,
+        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+    );
+    let x = net.sim.add_node(Box::new(ScriptedHost::new()));
+    let y = net.sim.add_node(Box::new(ScriptedHost::new()));
+    net.p2p(x, 0, a, 0, RATE, PROP);
+    net.p2p(y, 0, a, 1, RATE, PROP);
+    let mut sim = net.into_sim();
+
+    {
+        let h = sim.node_mut::<SirpentHost>(a);
+        h.set_failover(FailoverPolicy::default());
+        h.install_routes(
+            EntityId(0xB),
+            vec![p2p_route(0, 9, 2), p2p_route(1, 8, 2)],
+        );
+        assert_eq!(h.current_route_index(EntityId(0xB)), Some(0));
+    }
+
+    // A rate-control message arrives naming router 9 (on the current
+    // route).
+    let rc = RateControlMsg {
+        congested_router: 9,
+        congested_port: 2,
+        allowed_bps: 1_000_000,
+        queue_len: 9,
+    };
+    sim.node_mut::<ScriptedHost>(x).plan(
+        SimTime::ZERO,
+        0,
+        LinkFrame::RateControl(rc).to_p2p_bytes(),
+    );
+    ScriptedHost::start(&mut sim, x);
+    sim.run_until(SimTime(10_000_000));
+
+    let h = sim.node::<SirpentHost>(a);
+    assert_eq!(h.stats.backpressure_received, 1);
+    assert!(
+        h.endpoint().pacer.rate_bps <= 1_000_000,
+        "pacer clamped to the granted rate"
+    );
+    assert_eq!(
+        h.current_route_index(EntityId(0xB)),
+        Some(1),
+        "switched away from the congested router"
+    );
+    assert!(h
+        .events
+        .iter()
+        .any(|e| matches!(e, HostEvent::RouteSwitched { index: 1, .. })));
+}
+
+#[test]
+fn backpressure_for_foreign_router_does_not_switch() {
+    let mut net = Net::new(6);
+    let a = net.host(
+        0xA,
+        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+    );
+    let x = net.sim.add_node(Box::new(ScriptedHost::new()));
+    net.p2p(x, 0, a, 0, RATE, PROP);
+    let dummy = net.sim.add_node(Box::new(ScriptedHost::new()));
+    net.p2p(dummy, 0, a, 1, RATE, PROP);
+    let mut sim = net.into_sim();
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![p2p_route(0, 9, 2), p2p_route(1, 8, 2)]);
+
+    let rc = RateControlMsg {
+        congested_router: 777, // not on any installed route
+        congested_port: 2,
+        allowed_bps: 1_000_000,
+        queue_len: 9,
+    };
+    sim.node_mut::<ScriptedHost>(x).plan(
+        SimTime::ZERO,
+        0,
+        LinkFrame::RateControl(rc).to_p2p_bytes(),
+    );
+    ScriptedHost::start(&mut sim, x);
+    sim.run_until(SimTime(10_000_000));
+
+    let h = sim.node::<SirpentHost>(a);
+    assert_eq!(h.current_route_index(EntityId(0xB)), Some(0), "no switch");
+}
+
+#[test]
+fn truncated_packets_are_flagged_not_accepted() {
+    // Small next-hop MTU truncates the request; the receiving host
+    // notices the marker and the transport never delivers the damaged
+    // message; the sender retransmits but the route simply can't carry
+    // it (give-up after max attempts).
+    let mut net = Net::new(7);
+    let a = net.host(0xA, vec![(0, HostPortKind::PointToPoint)]);
+    let b = net.host(0xB, vec![(0, HostPortKind::PointToPoint)]);
+    let mut cfg = ViperConfig::basic(1, &[1, 2]);
+    cfg.ports[1].mtu = 400; // too small for a ~1 KB request packet
+    let r = net.viper(cfg);
+    net.p2p(a, 0, r, 1, RATE, PROP);
+    net.p2p(r, 2, b, 0, RATE, PROP);
+    let mut sim = net.into_sim();
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![p2p_route(0, 1, 2)]);
+    sim.node_mut::<SirpentHost>(a)
+        .queue_request(SimTime::ZERO, EntityId(0xB), vec![9u8; 900]);
+    SirpentHost::start(&mut sim, a);
+    sim.run_until(SimTime(2_000_000_000));
+
+    let server = sim.node::<SirpentHost>(b);
+    assert!(server.inbox.is_empty(), "truncated data never delivered");
+    assert!(server.stats.truncated_seen > 0, "marker was detected (§2)");
+    assert!(sim.node::<ViperRouter>(r).stats.truncated > 0);
+    let client = sim.node::<SirpentHost>(a);
+    assert!(client
+        .events
+        .iter()
+        .any(|e| matches!(e, HostEvent::GaveUp { .. })));
+}
+
+#[test]
+fn intra_host_selector_is_carried_in_local_segment() {
+    // §2.2: Sirpent unifies inter- and intra-host addressing — the
+    // final local segment's portInfo selects the endpoint within the
+    // host. Verify the compiled route carries it onto the wire.
+    let rec = RouteRecord {
+        access: AccessSpec {
+            host_port: 0,
+            ethernet_next: None,
+            bandwidth_bps: RATE,
+            prop_delay: PROP,
+            mtu: 1550,
+        },
+        hops: vec![],
+        endpoint_selector: vec![0xE0, 0x01],
+    };
+    let route = CompiledRoute::compile(&rec, &[], Priority::NORMAL);
+    let pkt = PacketBuilder::new()
+        .route(route.segments.clone())
+        .payload(b"x".to_vec())
+        .build()
+        .unwrap();
+    let view = sirpent::wire::packet::PacketView::parse(&pkt).unwrap();
+    assert_eq!(view.route.last().unwrap().port, PORT_LOCAL);
+    assert_eq!(view.route.last().unwrap().port_info, vec![0xE0, 0x01]);
+}
+
+#[test]
+fn endpoint_selector_demultiplexes_within_a_host() {
+    // Two logical services on one host, distinguished purely by the
+    // local segment's selector: the wrong selector is refused, the
+    // right one (or a wildcard-empty one) delivers.
+    let mut net = Net::new(8);
+    let a = net.host(0xA, vec![(0, HostPortKind::PointToPoint)]);
+    let b = net.host(0xB, vec![(0, HostPortKind::PointToPoint)]);
+    let r = net.viper(ViperConfig::basic(1, &[1, 2]));
+    net.p2p(a, 0, r, 1, RATE, PROP);
+    net.p2p(r, 2, b, 0, RATE, PROP);
+    let mut sim = net.into_sim();
+    sim.node_mut::<SirpentHost>(b).endpoint_selector = vec![0x51];
+
+    let route_with = |sel: Vec<u8>| {
+        CompiledRoute::compile(
+            &RouteRecord {
+                access: AccessSpec {
+                    host_port: 0,
+                    ethernet_next: None,
+                    bandwidth_bps: RATE,
+                    prop_delay: PROP,
+                    mtu: 1550,
+                },
+                hops: vec![HopSpec {
+                    router_id: 1,
+                    port: 2,
+                    ethernet_next: None,
+                    bandwidth_bps: RATE,
+                    prop_delay: PROP,
+                    mtu: 1550,
+                    cost: 1,
+                    security: Security::Controlled,
+                }],
+                endpoint_selector: sel,
+            },
+            &[],
+            Priority::NORMAL,
+        )
+    };
+
+    // Wrong selector first.
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![route_with(vec![0x99])]);
+    sim.node_mut::<SirpentHost>(a)
+        .queue_request(SimTime::ZERO, EntityId(0xB), b"to the wrong socket".to_vec());
+    SirpentHost::start(&mut sim, a);
+    sim.run_until(SimTime(100_000_000));
+    {
+        let server = sim.node::<SirpentHost>(b);
+        assert!(server.inbox.is_empty());
+        assert!(server.stats.wrong_endpoint > 0);
+    }
+
+    // Correct selector delivers.
+    let t = sim.now();
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![route_with(vec![0x51])]);
+    sim.node_mut::<SirpentHost>(a)
+        .queue_request(t, EntityId(0xB), b"to the right socket".to_vec());
+    SirpentHost::start(&mut sim, a);
+    sim.run_until(SimTime(t.as_nanos() + 100_000_000));
+    let server = sim.node::<SirpentHost>(b);
+    assert_eq!(server.inbox.len(), 1);
+    assert_eq!(server.inbox[0].message, b"to the right socket");
+}
+
+#[test]
+fn compressed_ethernet_port_info_saves_bytes_and_still_routes() {
+    // §2 footnote: the portInfo may carry only destination + type; the
+    // router fills in its own source address when forwarding.
+    let mac_a = ethernet::Address::from_index(0xA1);
+    let mac_b = ethernet::Address::from_index(0xB1);
+    let mac_r1 = ethernet::Address::from_index(0x31);
+    let mac_r2 = ethernet::Address::from_index(0x32);
+
+    let mut net = Net::new(11);
+    let a = net.host(0xA, vec![(0, HostPortKind::Ethernet { mac: mac_a })]);
+    let b = net.host(0xB, vec![(0, HostPortKind::Ethernet { mac: mac_b })]);
+    let mut cfg = ViperConfig::basic(1, &[]);
+    cfg.ports = vec![
+        PortConfig {
+            port: 1,
+            kind: PortKind::Ethernet { mac: mac_r1 },
+            mtu: 1550,
+        },
+        PortConfig {
+            port: 2,
+            kind: PortKind::Ethernet { mac: mac_r2 },
+            mtu: 1550,
+        },
+    ];
+    let r = net.viper(cfg);
+    net.bus(RATE, PROP, &[(a, 0), (r, 1)]);
+    net.bus(RATE, PROP, &[(r, 2), (b, 0)]);
+    let mut sim = net.into_sim();
+
+    let record = RouteRecord {
+        access: AccessSpec {
+            host_port: 0,
+            ethernet_next: Some(EthernetHop {
+                src: mac_a,
+                dst: mac_r1,
+            }),
+            bandwidth_bps: RATE,
+            prop_delay: PROP,
+            mtu: 1550,
+        },
+        hops: vec![HopSpec {
+            router_id: 1,
+            port: 2,
+            ethernet_next: Some(EthernetHop {
+                src: mac_r2,
+                dst: mac_b,
+            }),
+            bandwidth_bps: RATE,
+            prop_delay: PROP,
+            mtu: 1550,
+            cost: 1,
+            security: Security::Controlled,
+        }],
+        endpoint_selector: vec![],
+    };
+    let full = CompiledRoute::compile(&record, &[], Priority::NORMAL);
+    let compressed = CompiledRoute::compile_opts(&record, &[], Priority::NORMAL, true);
+    assert_eq!(
+        full.header_bytes() - compressed.header_bytes(),
+        6,
+        "6 bytes saved per Ethernet hop"
+    );
+
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![compressed]);
+    sim.node_mut::<SirpentHost>(b).echo = true;
+    sim.node_mut::<SirpentHost>(a)
+        .queue_request(SimTime::ZERO, EntityId(0xB), b"compressed".to_vec());
+    SirpentHost::start(&mut sim, a);
+    sim.run_until(SimTime(100_000_000));
+
+    let client = sim.node::<SirpentHost>(a);
+    assert_eq!(client.inbox.len(), 1, "routed and replied");
+    assert_eq!(client.inbox[0].message, b"compressed");
+}

@@ -1,0 +1,173 @@
+//! Client-side route caching with on-use staleness detection.
+//!
+//! §3: "The use of caching, on-use detection of stale data and
+//! hierarchical structure for the routing information … reduces the
+//! expected response time for routing queries and the expected load on
+//! directory servers." The cache holds whole advisories; a client that
+//! experiences a failure on a cached route *invalidates on use* and
+//! re-queries.
+
+use std::collections::HashMap;
+
+use sirpent_sim::{SimDuration, SimTime};
+
+use crate::name::Name;
+use crate::server::Advisory;
+
+/// One cached lookup.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    advisories: Vec<Advisory>,
+    fetched_at: SimTime,
+}
+
+/// Client-side cache of route advisories.
+pub struct RouteCache {
+    ttl: SimDuration,
+    entries: HashMap<Name, CacheEntry>,
+    /// Cache hits served.
+    pub hits: u64,
+    /// Misses (expired or absent).
+    pub misses: u64,
+    /// On-use invalidations after route failures.
+    pub invalidations: u64,
+}
+
+impl RouteCache {
+    /// A cache whose entries expire after `ttl`.
+    pub fn new(ttl: SimDuration) -> RouteCache {
+        RouteCache {
+            ttl,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Look up fresh advisories for `service`.
+    pub fn get(&mut self, service: &Name, now: SimTime) -> Option<&[Advisory]> {
+        match self.entries.get(service) {
+            Some(e) if now - e.fetched_at <= self.ttl => {
+                self.hits += 1;
+                Some(&self.entries[service].advisories)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a query result.
+    pub fn put(&mut self, service: Name, advisories: Vec<Advisory>, now: SimTime) {
+        self.entries.insert(
+            service,
+            CacheEntry {
+                advisories,
+                fetched_at: now,
+            },
+        );
+    }
+
+    /// On-use staleness: a route from this entry failed; drop the whole
+    /// entry so the next send re-queries.
+    pub fn invalidate(&mut self, service: &Name) {
+        if self.entries.remove(service).is_some() {
+            self.invalidations += 1;
+        }
+    }
+
+    /// Drop one advisory (by index) from a cached entry, keeping the
+    /// alternates — the client "switches between these routes" (§6.3)
+    /// without a re-query while alternates remain.
+    pub fn drop_route(&mut self, service: &Name, index: usize) {
+        if let Some(e) = self.entries.get_mut(service) {
+            if index < e.advisories.len() {
+                e.advisories.remove(index);
+            }
+            if e.advisories.is_empty() {
+                self.entries.remove(service);
+                self.invalidations += 1;
+            }
+        }
+    }
+
+    /// Number of cached services.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{AccessSpec, RouteRecord};
+    use crate::server::Advisory;
+
+    fn adv(tag: u8) -> Advisory {
+        let route = RouteRecord {
+            access: AccessSpec {
+                host_port: tag,
+                ethernet_next: None,
+                bandwidth_bps: 1,
+                prop_delay: SimDuration::ZERO,
+                mtu: 1500,
+            },
+            hops: vec![],
+            endpoint_selector: vec![],
+        };
+        Advisory {
+            props: route.properties(),
+            route,
+            tokens: vec![],
+            reported_load: 0.0,
+        }
+    }
+
+    fn svc() -> Name {
+        Name::parse("s.example")
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let mut c = RouteCache::new(SimDuration::from_secs(10));
+        assert!(c.get(&svc(), SimTime::ZERO).is_none());
+        c.put(svc(), vec![adv(1)], SimTime::ZERO);
+        assert!(c.get(&svc(), SimTime(5_000_000_000)).is_some());
+        assert!(c.get(&svc(), SimTime(11_000_000_000)).is_none());
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn invalidate_on_use() {
+        let mut c = RouteCache::new(SimDuration::from_secs(10));
+        c.put(svc(), vec![adv(1)], SimTime::ZERO);
+        c.invalidate(&svc());
+        assert!(c.get(&svc(), SimTime(1)).is_none());
+        assert_eq!(c.invalidations, 1);
+        // Invalidating a missing entry is a no-op.
+        c.invalidate(&svc());
+        assert_eq!(c.invalidations, 1);
+    }
+
+    #[test]
+    fn drop_route_keeps_alternates() {
+        let mut c = RouteCache::new(SimDuration::from_secs(10));
+        c.put(svc(), vec![adv(1), adv(2)], SimTime::ZERO);
+        c.drop_route(&svc(), 0);
+        let got = c.get(&svc(), SimTime(1)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].route.access.host_port, 2);
+        // Dropping the last one removes the entry.
+        c.drop_route(&svc(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.invalidations, 1);
+    }
+}

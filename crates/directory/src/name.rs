@@ -1,0 +1,150 @@
+//! Hierarchical character-string names.
+//!
+//! §3: "the hierarchical character-string names serve as the unique
+//! hierarchical identifiers for hosts, gateways and networks, required by
+//! Singh's scheme. … `stanford.edu` represents both a naming and routing
+//! domain from an administrative standpoint. Subdomains, such as
+//! `cs.stanford.edu`, can have similar properties as a subnetwork."
+//!
+//! Names are dotted, least-significant label first (`venus.cs.stanford.edu`);
+//! a **region** is any suffix.
+
+/// A hierarchical name. Stored as labels, most-specific first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// Parse a dotted name. Empty labels are rejected by debug assert and
+    /// dropped.
+    pub fn parse(s: &str) -> Name {
+        Name {
+            labels: s
+                .split('.')
+                .filter(|l| !l.is_empty())
+                .map(|l| l.to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// The root (empty) name — the top of the region hierarchy.
+    pub fn root() -> Name {
+        Name { labels: Vec::new() }
+    }
+
+    /// Number of labels.
+    pub fn depth(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether `self` falls within `region` (i.e. `region` is a suffix).
+    /// Every name is within the root region.
+    pub fn within(&self, region: &Name) -> bool {
+        if region.labels.len() > self.labels.len() {
+            return false;
+        }
+        self.labels
+            .iter()
+            .rev()
+            .zip(region.labels.iter().rev())
+            .all(|(a, b)| a == b)
+    }
+
+    /// The immediately enclosing region (`cs.stanford.edu` →
+    /// `stanford.edu`); `None` at the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// The deepest region containing both names (their common suffix).
+    pub fn common_region(&self, other: &Name) -> Name {
+        let common: Vec<String> = self
+            .labels
+            .iter()
+            .rev()
+            .zip(other.labels.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .map(|(a, _)| a.clone())
+            .collect();
+        Name {
+            labels: common.into_iter().rev().collect(),
+        }
+    }
+
+    /// Region distance between two names: the number of region levels a
+    /// query must climb and descend (used to model directory query
+    /// latency, §3 footnote 10).
+    pub fn region_distance(&self, other: &Name) -> usize {
+        let common = self.common_region(other).depth();
+        (self.depth() - common) + (other.depth() - common)
+    }
+}
+
+impl core::fmt::Display for Name {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.labels.is_empty() {
+            write!(f, ".")
+        } else {
+            write!(f, "{}", self.labels.join("."))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = Name::parse("Venus.CS.Stanford.EDU");
+        assert_eq!(n.to_string(), "venus.cs.stanford.edu");
+        assert_eq!(n.depth(), 4);
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(Name::parse("a..b").depth(), 2, "empty labels dropped");
+    }
+
+    #[test]
+    fn region_membership() {
+        let host = Name::parse("venus.cs.stanford.edu");
+        assert!(host.within(&Name::parse("cs.stanford.edu")));
+        assert!(host.within(&Name::parse("stanford.edu")));
+        assert!(host.within(&Name::parse("edu")));
+        assert!(host.within(&Name::root()));
+        assert!(!host.within(&Name::parse("ee.stanford.edu")));
+        assert!(!host.within(&Name::parse("mit.edu")));
+        assert!(!Name::parse("edu").within(&host));
+    }
+
+    #[test]
+    fn parent_chain() {
+        let n = Name::parse("cs.stanford.edu");
+        assert_eq!(n.parent().unwrap().to_string(), "stanford.edu");
+        assert_eq!(Name::root().parent(), None);
+        let mut cur = n;
+        let mut steps = 0;
+        while let Some(p) = cur.parent() {
+            cur = p;
+            steps += 1;
+        }
+        assert_eq!(steps, 3);
+    }
+
+    #[test]
+    fn common_region_and_distance() {
+        let a = Name::parse("venus.cs.stanford.edu");
+        let b = Name::parse("mars.cs.stanford.edu");
+        let c = Name::parse("x.lcs.mit.edu");
+        assert_eq!(a.common_region(&b).to_string(), "cs.stanford.edu");
+        assert_eq!(a.common_region(&c).to_string(), "edu");
+        assert_eq!(a.region_distance(&b), 2, "sibling hosts");
+        assert_eq!(a.region_distance(&c), 3 + 3);
+        assert_eq!(a.region_distance(&a), 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! The internetwork routing directory service.
+//!
+//! §3: "The global internetwork directory service is extended in Sirpent
+//! to provide routes to a host or service, given its character-string
+//! name. … the routes to a service can be regarded as just one of many
+//! attributes of the service." The directory also issues the authorizing
+//! tokens with each route, maintains "reasonably up-to-date load
+//! information on links using reports received from network monitoring
+//! stations, individual routers and sources experiencing problems", and
+//! aggregates the routers' accounting ledgers.
+//!
+//! The hierarchy of region servers (Singh's scheme) is modelled by the
+//! region math in [`crate::name`]: a query's latency grows with the
+//! region distance between client and service, and the per-region
+//! delegation counters record how many levels were traversed.
+
+use std::collections::HashMap;
+
+use sirpent_sim::SimDuration;
+use sirpent_token::{Accounting, Grant, TokenMinter};
+use sirpent_wire::viper::Priority;
+
+use crate::name::Name;
+use crate::route::{Preference, RouteProperties, RouteRecord};
+
+/// A route advisory returned to a client.
+#[derive(Debug, Clone)]
+pub struct Advisory {
+    /// The route itself.
+    pub route: RouteRecord,
+    /// Its aggregate properties — bandwidth, delay, MTU, cost, security
+    /// (§3: the client learns RTT and MTU up front).
+    pub props: RouteProperties,
+    /// Sealed port tokens, one per hop (empty when the directory has no
+    /// minting authority configured).
+    pub tokens: Vec<Vec<u8>>,
+    /// Current worst-case reported load along the route, 0.0–1.0.
+    pub reported_load: f64,
+}
+
+/// Everything known about one named service.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRecord {
+    /// Non-routing attributes (the directory is a general database, §3).
+    pub attributes: HashMap<String, String>,
+    /// Registered routes, tagged by the client region they serve.
+    pub routes: Vec<(Name, RouteRecord)>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkStatus {
+    down: bool,
+    load: f64,
+}
+
+/// Result of a query, including the cost model for obtaining it.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Matching advisories, best first under the requested preference.
+    pub advisories: Vec<Advisory>,
+    /// Region levels traversed to resolve the query (0 = same region —
+    /// served by the local region server).
+    pub region_levels: usize,
+    /// Modeled time to obtain this answer without a cache ("acquiring a
+    /// route requires a full round trip to the region server", §3 fn 10).
+    pub latency: SimDuration,
+}
+
+/// Token-minting configuration for advisories.
+pub struct TokenIssue {
+    /// The domain minter.
+    pub minter: TokenMinter,
+    /// Priority ceiling granted on issued tokens.
+    pub max_priority: Priority,
+    /// Whether return-direction use is granted.
+    pub reverse_ok: bool,
+    /// Byte budget per token (0 = unlimited).
+    pub byte_limit: u32,
+    /// Expiry (simulation seconds; 0 = never).
+    pub expiry_s: u32,
+}
+
+/// The directory service.
+pub struct Directory {
+    records: HashMap<Name, ServiceRecord>,
+    links: HashMap<(u32, u8), LinkStatus>,
+    issue: Option<TokenIssue>,
+    /// Aggregated usage collected from router ledgers.
+    pub billing: Accounting,
+    /// Base RTT to a same-region server.
+    pub base_query_rtt: SimDuration,
+    /// Additional RTT per region level traversed.
+    pub per_level_rtt: SimDuration,
+    /// Total queries served.
+    pub queries: u64,
+    /// Queries that had to climb at least one region level.
+    pub delegated_queries: u64,
+}
+
+impl Directory {
+    /// An empty directory with default latency model (0.5 ms local,
+    /// +1 ms per region level).
+    pub fn new() -> Directory {
+        Directory {
+            records: HashMap::new(),
+            links: HashMap::new(),
+            issue: None,
+            billing: Accounting::new(),
+            base_query_rtt: SimDuration::from_micros(500),
+            per_level_rtt: SimDuration::from_millis(1),
+            queries: 0,
+            delegated_queries: 0,
+        }
+    }
+
+    /// Enable token issuance.
+    pub fn with_tokens(mut self, issue: TokenIssue) -> Directory {
+        self.issue = Some(issue);
+        self
+    }
+
+    /// Register (or extend) a service record.
+    pub fn register_service(&mut self, name: Name) -> &mut ServiceRecord {
+        self.records.entry(name).or_default()
+    }
+
+    /// Register a route to `service` usable by clients within
+    /// `client_region`.
+    pub fn register_route(&mut self, service: &Name, client_region: Name, route: RouteRecord) {
+        self.records
+            .entry(service.clone())
+            .or_default()
+            .routes
+            .push((client_region, route));
+    }
+
+    /// Set a non-routing attribute.
+    pub fn set_attribute(&mut self, service: &Name, key: &str, value: &str) {
+        self.records
+            .entry(service.clone())
+            .or_default()
+            .attributes
+            .insert(key.to_string(), value.to_string());
+    }
+
+    /// Read an attribute.
+    pub fn attribute(&self, service: &Name, key: &str) -> Option<&str> {
+        self.records
+            .get(service)?
+            .attributes
+            .get(key)
+            .map(|s| s.as_str())
+    }
+
+    /// A router/monitor load report for one link.
+    pub fn report_load(&mut self, router_id: u32, port: u8, load: f64) {
+        self.links.entry((router_id, port)).or_default().load = load.clamp(0.0, 1.0);
+    }
+
+    /// A link-failure report ("individual routers and sources
+    /// experiencing problems with routes they are using", §6.3).
+    pub fn report_down(&mut self, router_id: u32, port: u8) {
+        self.links.entry((router_id, port)).or_default().down = true;
+    }
+
+    /// A link-recovery report.
+    pub fn report_up(&mut self, router_id: u32, port: u8) {
+        self.links.entry((router_id, port)).or_default().down = false;
+    }
+
+    /// Fold a router's accounting ledger into the billing aggregate.
+    pub fn collect_accounting(&mut self, ledger: &Accounting) {
+        self.billing.merge(ledger);
+    }
+
+    fn route_status(&self, route: &RouteRecord) -> (bool, f64) {
+        let mut down = false;
+        let mut load: f64 = 0.0;
+        for h in &route.hops {
+            if let Some(st) = self.links.get(&(h.router_id, h.port)) {
+                down |= st.down;
+                load = load.max(st.load);
+            }
+        }
+        (down, load)
+    }
+
+    /// Query routes from `client` to `service` with a preference.
+    /// Returns up to `max_routes` advisories, best first; routes through
+    /// links reported down are excluded, heavily loaded routes are
+    /// deprioritized.
+    pub fn query(
+        &mut self,
+        client: &Name,
+        service: &Name,
+        pref: Preference,
+        max_routes: usize,
+        account: u32,
+    ) -> QueryResult {
+        self.queries += 1;
+        let levels = client.region_distance(service);
+        if levels > 0 {
+            self.delegated_queries += 1;
+        }
+        let latency = self.base_query_rtt + self.per_level_rtt.times(levels as u64);
+
+        let mut candidates: Vec<(RouteRecord, RouteProperties, f64)> = Vec::new();
+        if let Some(rec) = self.records.get(service) {
+            for (region, route) in &rec.routes {
+                if !client.within(region) {
+                    continue;
+                }
+                let (down, load) = self.route_status(route);
+                if down {
+                    continue;
+                }
+                candidates.push((route.clone(), route.properties(), load));
+            }
+        }
+        candidates.sort_by_key(|(_, p, load)| {
+            let overloaded = *load > 0.9;
+            (overloaded, pref.key(p))
+        });
+        candidates.truncate(max_routes);
+
+        let advisories = candidates
+            .into_iter()
+            .map(|(route, props, load)| {
+                let tokens = match self.issue.as_mut() {
+                    None => Vec::new(),
+                    Some(issue) => route
+                        .hops
+                        .iter()
+                        .map(|h| {
+                            issue
+                                .minter
+                                .mint(Grant {
+                                    router_id: h.router_id,
+                                    port: h.port,
+                                    max_priority: issue.max_priority,
+                                    reverse_ok: issue.reverse_ok,
+                                    account,
+                                    byte_limit: issue.byte_limit,
+                                    expiry_s: issue.expiry_s,
+                                })
+                                .to_vec()
+                        })
+                        .collect(),
+                };
+                Advisory {
+                    props,
+                    reported_load: load,
+                    tokens,
+                    route,
+                }
+            })
+            .collect();
+
+        QueryResult {
+            advisories,
+            region_levels: levels,
+            latency,
+        }
+    }
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{AccessSpec, HopSpec, Security};
+
+    fn access() -> AccessSpec {
+        AccessSpec {
+            host_port: 0,
+            ethernet_next: None,
+            bandwidth_bps: 10_000_000,
+            prop_delay: SimDuration::from_micros(5),
+            mtu: 1500,
+        }
+    }
+
+    fn hop(router: u32, port: u8, bw: u64, prop_us: u64, cost: u32) -> HopSpec {
+        HopSpec {
+            router_id: router,
+            port,
+            ethernet_next: None,
+            bandwidth_bps: bw,
+            prop_delay: SimDuration::from_micros(prop_us),
+            mtu: 1500,
+            cost,
+            security: Security::Controlled,
+        }
+    }
+
+    fn route(hops: Vec<HopSpec>) -> RouteRecord {
+        RouteRecord {
+            access: access(),
+            hops,
+            endpoint_selector: vec![],
+        }
+    }
+
+    fn names() -> (Name, Name) {
+        (
+            Name::parse("venus.cs.stanford.edu"),
+            Name::parse("printsrv.cs.stanford.edu"),
+        )
+    }
+
+    #[test]
+    fn query_returns_multiple_routes_best_first() {
+        let (client, service) = names();
+        let mut d = Directory::new();
+        let near = route(vec![hop(1, 2, 1_000_000, 100, 1)]);
+        let far = route(vec![hop(2, 3, 100_000_000, 5000, 9)]);
+        d.register_route(&service, Name::parse("stanford.edu"), near.clone());
+        d.register_route(&service, Name::parse("stanford.edu"), far.clone());
+
+        let r = d.query(&client, &service, Preference::LowDelay, 4, 1);
+        assert_eq!(r.advisories.len(), 2, "multiple routes (§3)");
+        assert_eq!(r.advisories[0].route, near, "low delay first");
+
+        let r = d.query(&client, &service, Preference::HighBandwidth, 4, 1);
+        assert_eq!(r.advisories[0].route, far, "bandwidth first");
+    }
+
+    #[test]
+    fn region_scoping_filters_routes() {
+        let (client, service) = names();
+        let mut d = Directory::new();
+        d.register_route(
+            &service,
+            Name::parse("mit.edu"),
+            route(vec![hop(9, 1, 1, 1, 1)]),
+        );
+        let r = d.query(&client, &service, Preference::LowDelay, 4, 1);
+        assert!(
+            r.advisories.is_empty(),
+            "routes registered for another region don't apply"
+        );
+    }
+
+    #[test]
+    fn down_links_excluded_loaded_links_deprioritized() {
+        let (client, service) = names();
+        let mut d = Directory::new();
+        let via1 = route(vec![hop(1, 2, 10_000_000, 100, 1)]);
+        let via2 = route(vec![hop(2, 2, 10_000_000, 200, 1)]);
+        d.register_route(&service, Name::root(), via1.clone());
+        d.register_route(&service, Name::root(), via2.clone());
+
+        // Load on router 1's link pushes via1 behind via2 despite delay.
+        d.report_load(1, 2, 0.95);
+        let r = d.query(&client, &service, Preference::LowDelay, 4, 1);
+        assert_eq!(r.advisories[0].route, via2);
+        assert!((r.advisories[1].reported_load - 0.95).abs() < 1e-9);
+
+        // Failure removes via1 entirely.
+        d.report_down(1, 2);
+        let r = d.query(&client, &service, Preference::LowDelay, 4, 1);
+        assert_eq!(r.advisories.len(), 1);
+        assert_eq!(r.advisories[0].route, via2);
+
+        // Recovery restores it.
+        d.report_up(1, 2);
+        d.report_load(1, 2, 0.0);
+        let r = d.query(&client, &service, Preference::LowDelay, 4, 1);
+        assert_eq!(r.advisories.len(), 2);
+        assert_eq!(r.advisories[0].route, via1);
+    }
+
+    #[test]
+    fn query_latency_grows_with_region_distance() {
+        let mut d = Directory::new();
+        let local_c = Name::parse("a.cs.stanford.edu");
+        let local_s = Name::parse("b.cs.stanford.edu");
+        let remote_s = Name::parse("x.lcs.mit.edu");
+        d.register_route(&local_s, Name::root(), route(vec![]));
+        d.register_route(&remote_s, Name::root(), route(vec![]));
+
+        let near = d.query(&local_c, &local_s, Preference::LowDelay, 1, 1);
+        let far = d.query(&local_c, &remote_s, Preference::LowDelay, 1, 1);
+        assert_eq!(near.region_levels, 2);
+        assert_eq!(far.region_levels, 6);
+        assert!(far.latency > near.latency);
+        assert_eq!(d.queries, 2);
+        assert_eq!(d.delegated_queries, 2);
+    }
+
+    #[test]
+    fn tokens_minted_per_hop() {
+        let (client, service) = names();
+        let minter = TokenMinter::new(0xFEED_FACE, 3);
+        let key1 = minter.router_key(1);
+        let key2 = minter.router_key(2);
+        let mut d = Directory::new().with_tokens(TokenIssue {
+            minter,
+            max_priority: Priority::new(5),
+            reverse_ok: true,
+            byte_limit: 0,
+            expiry_s: 0,
+        });
+        d.register_route(
+            &service,
+            Name::root(),
+            route(vec![hop(1, 2, 1, 1, 1), hop(2, 4, 1, 1, 1)]),
+        );
+        let r = d.query(&client, &service, Preference::LowDelay, 1, 42);
+        let adv = &r.advisories[0];
+        assert_eq!(adv.tokens.len(), 2, "one token per hop (§5)");
+        let b1 = key1.unseal(&adv.tokens[0]).unwrap();
+        assert_eq!(b1.port, 2);
+        assert_eq!(b1.account, 42);
+        let b2 = key2.unseal(&adv.tokens[1]).unwrap();
+        assert_eq!(b2.port, 4);
+        assert!(b2.reverse_ok);
+        // Cross-checking fails: hop-1 token does not verify at router 2.
+        assert!(key2.unseal(&adv.tokens[0]).is_err());
+    }
+
+    #[test]
+    fn attributes_are_stored_alongside_routes() {
+        let mut d = Directory::new();
+        let s = Name::parse("printsrv.cs.stanford.edu");
+        d.set_attribute(&s, "protocol", "vmtp");
+        d.set_attribute(&s, "owner", "csd-facilities");
+        assert_eq!(d.attribute(&s, "protocol"), Some("vmtp"));
+        assert_eq!(d.attribute(&s, "missing"), None);
+    }
+
+    #[test]
+    fn billing_aggregates_router_ledgers() {
+        let mut d = Directory::new();
+        let mut l1 = Accounting::new();
+        l1.charge(7, 1000);
+        let mut l2 = Accounting::new();
+        l2.charge(7, 500);
+        l2.charge(8, 100);
+        d.collect_accounting(&l1);
+        d.collect_accounting(&l2);
+        assert_eq!(d.billing.usage(7).bytes, 1500);
+        assert_eq!(d.billing.usage(8).packets, 1);
+    }
+}

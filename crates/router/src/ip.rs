@@ -1,0 +1,577 @@
+//! The IP-style store-and-forward datagram router — the paper's primary
+//! baseline (§1).
+//!
+//! "Each router must (or at least, is supposed to) determine the next hop
+//! of the route from the destination address, update the Time To Live
+//! (TTL) field, possibly fragment the packet and update the header
+//! checksum before sending on the packet. As a consequence of this
+//! processing, each packet suffers a reception, storage and processing
+//! delay at each router." All four costs are modelled here, on real
+//! bytes:
+//!
+//! * full reception (acts at `last_bit`, never before),
+//! * routing-table lookup (longest prefix match),
+//! * TTL decrement + checksum update (and verification on arrival),
+//! * fragmentation to the next hop's MTU.
+//!
+//! Unlike the Sirpent router, per-router state grows with the
+//! internetwork: the routing table names every reachable prefix (§2.3's
+//! scalability contrast).
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use sirpent_sim::stats::Summary;
+use sirpent_sim::{Context, Event, Node, SimDuration, SimTime};
+use sirpent_wire::ethernet;
+use sirpent_wire::ipish::{self, Address};
+
+use crate::link::LinkFrame;
+use crate::viper::PortKind;
+
+/// One forwarding-table entry.
+#[derive(Debug, Clone)]
+pub struct RouteEntry {
+    /// Destination prefix.
+    pub prefix: Address,
+    /// Prefix length in bits (0–32).
+    pub prefix_len: u8,
+    /// Output port; 0 delivers locally.
+    pub out_port: u8,
+    /// Next-hop station when the output port is an Ethernet.
+    pub next_hop_mac: Option<ethernet::Address>,
+}
+
+/// Port description for the IP router.
+#[derive(Debug, Clone)]
+pub struct IpPortConfig {
+    /// Port number.
+    pub port: u8,
+    /// Link type.
+    pub kind: PortKind,
+    /// MTU of the attached network.
+    pub mtu: usize,
+}
+
+/// Router configuration.
+pub struct IpConfig {
+    /// Per-packet processing time after full reception (lookup + TTL +
+    /// checksum work).
+    pub process_delay: SimDuration,
+    /// Ports.
+    pub ports: Vec<IpPortConfig>,
+    /// The forwarding table.
+    pub routes: Vec<RouteEntry>,
+    /// Output queue capacity (packets), FIFO drop-tail.
+    pub queue_capacity: usize,
+}
+
+/// Drop reasons for the stats table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpDrop {
+    /// Header checksum failed (corruption detected — the router pays to
+    /// notice).
+    Checksum,
+    /// TTL reached zero.
+    TtlExpired,
+    /// No matching route.
+    NoRoute,
+    /// Output queue full.
+    QueueFull,
+    /// Needs fragmentation but DF set (or unusable MTU).
+    CannotFragment,
+    /// Undecodable frame.
+    BadFrame,
+}
+
+/// Counters.
+#[derive(Debug, Default)]
+pub struct IpStats {
+    /// Datagrams forwarded (fragments counted individually).
+    pub forwarded: u64,
+    /// Local deliveries.
+    pub local: u64,
+    /// Drops by reason.
+    pub drops: HashMap<IpDrop, u64>,
+    /// Fragments produced.
+    pub fragments_made: u64,
+    /// First bit in → first bit out, per forwarded datagram (seconds).
+    pub forward_delay: Summary,
+    /// Peak queue depth.
+    pub max_queue: usize,
+}
+
+impl IpStats {
+    fn drop(&mut self, why: IpDrop) {
+        *self.drops.entry(why).or_insert(0) += 1;
+    }
+
+    /// Sum of all drops.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+}
+
+struct OutQueue {
+    cfg: IpPortConfig,
+    queue: Vec<(Vec<u8>, SimTime)>, // frame bytes, first_bit of the datagram
+    busy: bool,
+}
+
+enum Pending {
+    Process {
+        datagram: Vec<u8>,
+        first_bit: SimTime,
+    },
+}
+
+/// The store-and-forward IP-like router node.
+pub struct IpRouter {
+    cfg: IpConfig,
+    ports: HashMap<u8, OutQueue>,
+    pending: HashMap<u64, Pending>,
+    next_key: u64,
+    /// Datagrams addressed to this router (matched a local route).
+    pub local_delivered: Vec<(SimTime, Vec<u8>)>,
+    /// Counters.
+    pub stats: IpStats,
+}
+
+impl IpRouter {
+    /// Build the router.
+    pub fn new(cfg: IpConfig) -> IpRouter {
+        let ports = cfg
+            .ports
+            .iter()
+            .map(|p| {
+                (
+                    p.port,
+                    OutQueue {
+                        cfg: p.clone(),
+                        queue: Vec::new(),
+                        busy: false,
+                    },
+                )
+            })
+            .collect();
+        IpRouter {
+            cfg,
+            ports,
+            pending: HashMap::new(),
+            next_key: 1,
+            local_delivered: Vec::new(),
+            stats: IpStats::default(),
+        }
+    }
+
+    /// Longest-prefix match.
+    pub fn lookup(&self, dst: Address) -> Option<&RouteEntry> {
+        self.cfg
+            .routes
+            .iter()
+            .filter(|r| dst.prefix(r.prefix_len) == r.prefix.prefix(r.prefix_len))
+            .max_by_key(|r| r.prefix_len)
+    }
+
+    /// Bytes of forwarding state this router holds — the §2.3 scalability
+    /// metric (each entry: prefix + len + port + MAC).
+    pub fn state_bytes(&self) -> usize {
+        self.cfg.routes.len() * (4 + 1 + 1 + 6)
+    }
+
+    fn process(&mut self, ctx: &mut Context<'_>, datagram: Vec<u8>, first_bit: SimTime) {
+        // Verify + parse (checksum check is mandatory per-hop work).
+        let repr = match ipish::Repr::parse(&datagram) {
+            Ok(r) => r,
+            Err(sirpent_wire::Error::Checksum) => {
+                self.stats.drop(IpDrop::Checksum);
+                return;
+            }
+            Err(_) => {
+                self.stats.drop(IpDrop::BadFrame);
+                return;
+            }
+        };
+        let Some(route) = self.lookup(repr.dst).cloned() else {
+            self.stats.drop(IpDrop::NoRoute);
+            return;
+        };
+        if route.out_port == 0 {
+            self.stats.local += 1;
+            self.local_delivered.push((ctx.now(), datagram));
+            return;
+        }
+        let mut datagram = datagram;
+        // TTL decrement + incremental checksum rewrite.
+        match ipish::decrement_ttl(&mut datagram) {
+            Ok(true) => {}
+            Ok(false) => {
+                self.stats.drop(IpDrop::TtlExpired);
+                return;
+            }
+            Err(_) => {
+                self.stats.drop(IpDrop::BadFrame);
+                return;
+            }
+        }
+
+        let Some(op) = self.ports.get(&route.out_port) else {
+            self.stats.drop(IpDrop::NoRoute);
+            return;
+        };
+        let mtu = op.cfg.mtu;
+        let kind = op.cfg.kind.clone();
+        // The link framing costs a byte or 14; fragment the IP datagram
+        // so the *framed* size fits.
+        let overhead = match &kind {
+            PortKind::PointToPoint => 1,
+            PortKind::Ethernet { .. } => ethernet::HEADER_LEN + 1,
+        };
+        let pieces = match ipish::fragment(&datagram, mtu.saturating_sub(overhead)) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.drop(IpDrop::CannotFragment);
+                return;
+            }
+        };
+        if pieces.len() > 1 {
+            self.stats.fragments_made += pieces.len() as u64;
+        }
+        for piece in pieces {
+            let frame = match &kind {
+                PortKind::PointToPoint => LinkFrame::Ipish(piece).to_p2p_bytes(),
+                PortKind::Ethernet { mac } => {
+                    let dst = route.next_hop_mac.unwrap_or(ethernet::Address::BROADCAST);
+                    LinkFrame::Ipish(piece).to_ethernet_bytes(*mac, dst)
+                }
+            };
+            let op = self.ports.get_mut(&route.out_port).expect("checked");
+            if op.queue.len() >= self.cfg.queue_capacity {
+                self.stats.drop(IpDrop::QueueFull);
+                continue;
+            }
+            op.queue.push((frame, first_bit));
+            self.stats.max_queue = self.stats.max_queue.max(op.queue.len());
+        }
+        self.service(ctx, route.out_port);
+    }
+
+    fn service(&mut self, ctx: &mut Context<'_>, port: u8) {
+        let Some(op) = self.ports.get_mut(&port) else {
+            return;
+        };
+        if op.busy || op.queue.is_empty() {
+            return;
+        }
+        let (frame, first_bit) = op.queue.remove(0);
+        op.busy = true;
+        if let Ok(tx) = ctx.transmit(port, frame) {
+            self.stats.forwarded += 1;
+            self.stats
+                .forward_delay
+                .record_duration(tx.start - first_bit);
+        }
+    }
+}
+
+impl Node for IpRouter {
+    fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+        match ev {
+            Event::Frame(fe) => {
+                let Some(op) = self.ports.get(&fe.port) else {
+                    self.stats.drop(IpDrop::BadFrame);
+                    return;
+                };
+                let datagram = match &op.cfg.kind {
+                    PortKind::PointToPoint => match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                        Ok(LinkFrame::Ipish(d)) => d,
+                        _ => {
+                            self.stats.drop(IpDrop::BadFrame);
+                            return;
+                        }
+                    },
+                    PortKind::Ethernet { mac } => {
+                        match LinkFrame::from_ethernet_bytes(&fe.frame.bytes) {
+                            Ok((hdr, LinkFrame::Ipish(d))) => {
+                                if hdr.dst != *mac && !hdr.dst.is_broadcast() {
+                                    return;
+                                }
+                                d
+                            }
+                            _ => {
+                                self.stats.drop(IpDrop::BadFrame);
+                                return;
+                            }
+                        }
+                    }
+                };
+                // Store-and-forward: act only after the full frame + the
+                // per-packet processing delay.
+                let key = self.next_key;
+                self.next_key += 1;
+                self.pending.insert(
+                    key,
+                    Pending::Process {
+                        datagram,
+                        first_bit: fe.first_bit,
+                    },
+                );
+                ctx.schedule_at(fe.last_bit + self.cfg.process_delay, key);
+            }
+            Event::TxDone { port, .. } => {
+                if let Some(op) = self.ports.get_mut(&port) {
+                    op.busy = false;
+                }
+                self.service(ctx, port);
+            }
+            Event::Timer { key } => {
+                if let Some(Pending::Process {
+                    datagram,
+                    first_bit,
+                }) = self.pending.remove(&key)
+                {
+                    self.process(ctx, datagram, first_bit);
+                }
+            }
+            Event::FrameAborted { .. } => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripted::ScriptedHost;
+    use sirpent_sim::Simulator;
+    use sirpent_wire::ipish::{Repr, DEFAULT_TTL, HEADER_LEN};
+
+    const MBPS_10: u64 = 10_000_000;
+
+    fn datagram(src: Address, dst: Address, payload: usize, ttl: u8) -> Vec<u8> {
+        let mut d = Repr {
+            tos: 0,
+            total_len: (HEADER_LEN + payload) as u16,
+            ident: 7,
+            dont_frag: false,
+            more_frags: false,
+            frag_offset: 0,
+            ttl,
+            protocol: 17,
+            src,
+            dst,
+        }
+        .to_bytes();
+        d.extend(vec![0xAB; payload]);
+        d
+    }
+
+    fn one_router() -> (Simulator, sirpent_sim::NodeId, sirpent_sim::NodeId, sirpent_sim::NodeId)
+    {
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(Box::new(ScriptedHost::new()));
+        let dst = sim.add_node(Box::new(ScriptedHost::new()));
+        let r = sim.add_node(Box::new(IpRouter::new(IpConfig {
+            process_delay: SimDuration::from_micros(50),
+            ports: vec![
+                IpPortConfig {
+                    port: 1,
+                    kind: PortKind::PointToPoint,
+                    mtu: 1500,
+                },
+                IpPortConfig {
+                    port: 2,
+                    kind: PortKind::PointToPoint,
+                    mtu: 1500,
+                },
+            ],
+            routes: vec![RouteEntry {
+                prefix: Address::new(10, 0, 2, 0),
+                prefix_len: 24,
+                out_port: 2,
+                next_hop_mac: None,
+            }],
+            queue_capacity: 32,
+        })));
+        sim.p2p(src, 0, r, 1, MBPS_10, SimDuration::from_micros(1));
+        sim.p2p(r, 2, dst, 0, MBPS_10, SimDuration::from_micros(1));
+        (sim, src, r, dst)
+    }
+
+    #[test]
+    fn forwards_after_full_reception_plus_processing() {
+        let (mut sim, src, r, dst) = one_router();
+        let d = datagram(
+            Address::new(10, 0, 1, 1),
+            Address::new(10, 0, 2, 2),
+            1000,
+            DEFAULT_TTL,
+        );
+        let dlen = d.len();
+        sim.node_mut::<ScriptedHost>(src)
+            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        ScriptedHost::start(&mut sim, src);
+        sim.run(10_000);
+
+        let rx = sim.node::<ScriptedHost>(dst).received_p2p();
+        assert_eq!(rx.len(), 1);
+        let LinkFrame::Ipish(got) = &rx[0].1 else {
+            panic!("wrong frame kind")
+        };
+        let repr = Repr::parse(got).unwrap();
+        assert_eq!(repr.ttl, DEFAULT_TTL - 1, "TTL decremented");
+        assert_eq!(got.len(), dlen);
+
+        // Store-and-forward: first bit out must be at least
+        // last-bit-in + 50 µs. Frame = 1021 bytes at 10 Mb/s = 816.8 µs,
+        // + 1 µs prop: last bit in at 817.8 µs, so delivery starts no
+        // earlier than 867.8 µs.
+        let st = sim.node::<IpRouter>(r);
+        assert_eq!(st.stats.forwarded, 1);
+        let delay = st.stats.forward_delay.mean();
+        assert!(
+            delay > 800e-6,
+            "store-and-forward delay {delay} must include reception"
+        );
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let (mut sim, src, r, dst) = one_router();
+        let d = datagram(Address::new(10, 0, 1, 1), Address::new(10, 0, 2, 2), 10, 1);
+        sim.node_mut::<ScriptedHost>(src)
+            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        ScriptedHost::start(&mut sim, src);
+        sim.run(10_000);
+        assert!(sim.node::<ScriptedHost>(dst).received.is_empty());
+        assert_eq!(
+            sim.node::<IpRouter>(r).stats.drops[&IpDrop::TtlExpired],
+            1
+        );
+    }
+
+    #[test]
+    fn corrupt_header_dropped_at_router() {
+        let (mut sim, src, r, dst) = one_router();
+        let mut d = datagram(
+            Address::new(10, 0, 1, 1),
+            Address::new(10, 0, 2, 2),
+            10,
+            9,
+        );
+        d[16] ^= 0x55; // corrupt destination
+        sim.node_mut::<ScriptedHost>(src)
+            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        ScriptedHost::start(&mut sim, src);
+        sim.run(10_000);
+        assert!(sim.node::<ScriptedHost>(dst).received.is_empty());
+        assert_eq!(sim.node::<IpRouter>(r).stats.drops[&IpDrop::Checksum], 1);
+    }
+
+    #[test]
+    fn no_route_drops() {
+        let (mut sim, src, r, _dst) = one_router();
+        let d = datagram(
+            Address::new(10, 0, 1, 1),
+            Address::new(10, 9, 9, 9),
+            10,
+            9,
+        );
+        sim.node_mut::<ScriptedHost>(src)
+            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        ScriptedHost::start(&mut sim, src);
+        sim.run(10_000);
+        assert_eq!(sim.node::<IpRouter>(r).stats.drops[&IpDrop::NoRoute], 1);
+    }
+
+    #[test]
+    fn fragments_to_small_mtu() {
+        let mut sim = Simulator::new(2);
+        let src = sim.add_node(Box::new(ScriptedHost::new()));
+        let dst = sim.add_node(Box::new(ScriptedHost::new()));
+        let r = sim.add_node(Box::new(IpRouter::new(IpConfig {
+            process_delay: SimDuration::from_micros(50),
+            ports: vec![
+                IpPortConfig {
+                    port: 1,
+                    kind: PortKind::PointToPoint,
+                    mtu: 1500,
+                },
+                IpPortConfig {
+                    port: 2,
+                    kind: PortKind::PointToPoint,
+                    mtu: 256,
+                },
+            ],
+            routes: vec![RouteEntry {
+                prefix: Address::new(10, 0, 2, 0),
+                prefix_len: 24,
+                out_port: 2,
+                next_hop_mac: None,
+            }],
+            queue_capacity: 32,
+        })));
+        sim.p2p(src, 0, r, 1, MBPS_10, SimDuration::ZERO);
+        sim.p2p(r, 2, dst, 0, MBPS_10, SimDuration::ZERO);
+        let d = datagram(
+            Address::new(10, 0, 1, 1),
+            Address::new(10, 0, 2, 2),
+            1000,
+            9,
+        );
+        sim.node_mut::<ScriptedHost>(src)
+            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        ScriptedHost::start(&mut sim, src);
+        sim.run(10_000);
+
+        let rx = sim.node::<ScriptedHost>(dst).received_p2p();
+        assert!(rx.len() > 1, "got {} fragments", rx.len());
+        // Reassemble and verify payload integrity end-to-end.
+        let mut re = sirpent_wire::ipish::Reassembly::new();
+        let mut out = None;
+        for (_, f) in &rx {
+            let LinkFrame::Ipish(d) = f else { panic!() };
+            if let Some(done) = re.push(d).unwrap() {
+                out = Some(done);
+            }
+        }
+        let out = out.expect("reassembles");
+        assert_eq!(out.len(), HEADER_LEN + 1000);
+        assert!(out[HEADER_LEN..].iter().all(|&b| b == 0xAB));
+        assert_eq!(sim.node::<IpRouter>(r).stats.fragments_made, rx.len() as u64);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let r = IpRouter::new(IpConfig {
+            process_delay: SimDuration::ZERO,
+            ports: vec![],
+            routes: vec![
+                RouteEntry {
+                    prefix: Address::new(10, 0, 0, 0),
+                    prefix_len: 8,
+                    out_port: 1,
+                    next_hop_mac: None,
+                },
+                RouteEntry {
+                    prefix: Address::new(10, 0, 2, 0),
+                    prefix_len: 24,
+                    out_port: 2,
+                    next_hop_mac: None,
+                },
+            ],
+            queue_capacity: 1,
+        });
+        assert_eq!(r.lookup(Address::new(10, 0, 2, 9)).unwrap().out_port, 2);
+        assert_eq!(r.lookup(Address::new(10, 7, 7, 7)).unwrap().out_port, 1);
+        assert!(r.lookup(Address::new(11, 0, 0, 1)).is_none());
+        assert_eq!(r.state_bytes(), 2 * 12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Logical ports, logical hops, and multicast port mappings (§2.2).
+//!
+//! "A network can use a port identifier to designate a group of links
+//! that are all equivalent from the standpoint of the Sirpent source" —
+//! a replicated trunk balanced by local load — or "a port may also
+//! designate multiple hops across multiple networks to some common
+//! destination", which the router expands into an explicit source route
+//! on entry (the Blazenet transit example). Port values can also be
+//! "reserved to specify multiple ports, rather than just one port"
+//! (multicast mechanism 1), including a broadcast value.
+
+use sirpent_wire::viper::SegmentRepr;
+
+/// Strategy for picking a member of a replicated-trunk group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrunkStrategy {
+    /// The first member whose channel is idle; falls back to the member
+    /// that frees soonest ("routed to whichever of the channels was
+    /// free").
+    FirstFree,
+    /// Rotate across members regardless of state.
+    RoundRobin,
+}
+
+/// What a port value resolves to at this router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortBinding {
+    /// An ordinary physical output port (the identity binding).
+    Physical(u8),
+    /// A replicated trunk: several physical ports treated as one logical
+    /// link.
+    Trunk {
+        /// Physical member ports.
+        members: Vec<u8>,
+        /// Selection strategy.
+        strategy: TrunkStrategy,
+    },
+    /// A logical hop: the segment is replaced by an explicit multi-hop
+    /// source route (spliced onto the front of the packet), whose first
+    /// segment then routes out a physical port here.
+    Splice(Vec<SegmentRepr>),
+    /// Multicast: forward a copy out each listed physical port.
+    MulticastSet(Vec<u8>),
+    /// Broadcast: forward a copy out every port except the arrival port.
+    Broadcast,
+}
+
+/// Per-router table of non-identity port bindings.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalTable {
+    entries: Vec<(u8, PortBinding)>,
+    rr_state: std::cell::Cell<usize>,
+}
+
+impl LogicalTable {
+    /// An empty table: every port is physical.
+    pub fn new() -> LogicalTable {
+        LogicalTable::default()
+    }
+
+    /// Bind `port` to something other than itself.
+    pub fn bind(&mut self, port: u8, binding: PortBinding) {
+        self.entries.retain(|(p, _)| *p != port);
+        self.entries.push((port, binding));
+    }
+
+    /// Resolve a port value. Returns the identity binding when no entry
+    /// exists.
+    pub fn resolve(&self, port: u8) -> PortBinding {
+        self.entries
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map(|(_, b)| b.clone())
+            .unwrap_or(PortBinding::Physical(port))
+    }
+
+    /// Pick a trunk member given each member's next-free time (as
+    /// reported by the simulator): first idle member, else the one that
+    /// frees soonest. Round-robin ignores the times.
+    pub fn pick_trunk_member(
+        &self,
+        members: &[u8],
+        strategy: TrunkStrategy,
+        free_at_ns: impl Fn(u8) -> u64,
+        now_ns: u64,
+    ) -> u8 {
+        debug_assert!(!members.is_empty(), "trunk must have members");
+        match strategy {
+            TrunkStrategy::RoundRobin => {
+                let i = self.rr_state.get();
+                self.rr_state.set(i.wrapping_add(1));
+                members[i % members.len()]
+            }
+            TrunkStrategy::FirstFree => {
+                let mut best = members[0];
+                let mut best_free = u64::MAX;
+                for &m in members {
+                    let f = free_at_ns(m);
+                    if f <= now_ns {
+                        return m; // idle right now
+                    }
+                    if f < best_free {
+                        best_free = f;
+                        best = m;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_by_default() {
+        let t = LogicalTable::new();
+        assert_eq!(t.resolve(7), PortBinding::Physical(7));
+    }
+
+    #[test]
+    fn bindings_override_and_replace() {
+        let mut t = LogicalTable::new();
+        t.bind(200, PortBinding::MulticastSet(vec![1, 2, 3]));
+        assert_eq!(t.resolve(200), PortBinding::MulticastSet(vec![1, 2, 3]));
+        t.bind(200, PortBinding::Broadcast);
+        assert_eq!(t.resolve(200), PortBinding::Broadcast);
+        assert_eq!(t.resolve(201), PortBinding::Physical(201));
+    }
+
+    #[test]
+    fn trunk_first_free_prefers_idle() {
+        let t = LogicalTable::new();
+        let members = [1u8, 2, 3];
+        // Port 2 idle; others busy.
+        let free = |p: u8| match p {
+            1 => 500,
+            2 => 0,
+            _ => 900,
+        };
+        assert_eq!(
+            t.pick_trunk_member(&members, TrunkStrategy::FirstFree, free, 100),
+            2
+        );
+        // All busy: the soonest-free wins.
+        let free = |p: u8| match p {
+            1 => 500,
+            2 => 400,
+            _ => 900,
+        };
+        assert_eq!(
+            t.pick_trunk_member(&members, TrunkStrategy::FirstFree, free, 100),
+            2
+        );
+    }
+
+    #[test]
+    fn trunk_round_robin_cycles() {
+        let t = LogicalTable::new();
+        let members = [5u8, 6];
+        let picks: Vec<u8> = (0..4)
+            .map(|_| t.pick_trunk_member(&members, TrunkStrategy::RoundRobin, |_| 0, 0))
+            .collect();
+        assert_eq!(picks, vec![5, 6, 5, 6]);
+    }
+
+    #[test]
+    fn splice_binding_carries_route() {
+        let mut t = LogicalTable::new();
+        let inner = vec![SegmentRepr::minimal(4), SegmentRepr::minimal(9)];
+        t.bind(150, PortBinding::Splice(inner.clone()));
+        assert_eq!(t.resolve(150), PortBinding::Splice(inner));
+    }
+}

@@ -1,0 +1,226 @@
+//! A scripted endpoint node for tests, examples and benches.
+//!
+//! `ScriptedHost` transmits pre-built link frames at chosen instants and
+//! records everything it receives, with timing. It implements no
+//! protocol logic of its own — the full Sirpent host stack lives in the
+//! `sirpent` core crate — but it is exactly what router-level tests and
+//! delay measurements need: a deterministic packet gun and a sink.
+
+use std::any::Any;
+
+use sirpent_sim::{Context, Event, Node, SimTime};
+use sirpent_wire::ethernet;
+
+use crate::link::LinkFrame;
+
+/// One record of a received frame.
+#[derive(Debug, Clone)]
+pub struct Received {
+    /// When the first bit arrived.
+    pub first_bit: SimTime,
+    /// When the last bit arrived.
+    pub last_bit: SimTime,
+    /// Arrival port.
+    pub port: u8,
+    /// Raw frame bytes.
+    pub bytes: Vec<u8>,
+    /// Whether fault injection corrupted this copy.
+    pub corrupted: bool,
+    /// Engine frame id (for abort matching).
+    pub frame_id: sirpent_sim::FrameId,
+}
+
+/// A transmission scheduled on a scripted host.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    /// When to send.
+    pub at: SimTime,
+    /// Which local port to send on.
+    pub port: u8,
+    /// The fully framed bytes to put on the wire.
+    pub bytes: Vec<u8>,
+}
+
+/// The scripted endpoint.
+#[derive(Default)]
+pub struct ScriptedHost {
+    plan: Vec<Planned>,
+    next: usize,
+    /// Everything received, in arrival order.
+    pub received: Vec<Received>,
+    /// Ethernet filter: when set, frames on Ethernet ports whose
+    /// destination is neither this address nor broadcast are ignored.
+    pub mac: Option<ethernet::Address>,
+    /// Count of frames ignored by the MAC filter.
+    pub filtered: u64,
+    /// TxDone instants observed.
+    pub tx_done: Vec<SimTime>,
+    /// Frames whose transmission was aborted upstream (preemption):
+    /// removed from `received`, counted here.
+    pub aborted: u64,
+}
+
+/// Timer key used internally to trigger planned sends.
+const KEY_SEND: u64 = 1;
+
+impl ScriptedHost {
+    /// Create an empty host (attach plans with [`ScriptedHost::plan`]).
+    pub fn new() -> ScriptedHost {
+        ScriptedHost::default()
+    }
+
+    /// Add one planned transmission. Plans must be added before the
+    /// simulation starts and be kicked with [`ScriptedHost::start`].
+    pub fn plan(&mut self, at: SimTime, port: u8, bytes: Vec<u8>) {
+        self.plan.push(Planned { at, port, bytes });
+    }
+
+    /// Convenience: plan a link frame on a point-to-point port.
+    pub fn plan_p2p(&mut self, at: SimTime, port: u8, frame: &LinkFrame) {
+        self.plan(at, port, frame.to_p2p_bytes());
+    }
+
+    /// Sort pending plans and arm the next timer. Call after adding
+    /// plans; may be called repeatedly mid-simulation to arm plans added
+    /// later.
+    pub fn start(sim: &mut sirpent_sim::Simulator, me: sirpent_sim::NodeId) {
+        let now = sim.now();
+        let host = sim.node_mut::<ScriptedHost>(me);
+        let n = host.next;
+        host.plan[n..].sort_by_key(|p| p.at);
+        if let Some(next) = host.plan.get(n) {
+            let at = next.at.max(now);
+            sim.kick(at, me, KEY_SEND);
+        }
+    }
+
+    /// Received frames decoded as point-to-point link frames (decode
+    /// failures skipped).
+    pub fn received_p2p(&self) -> Vec<(SimTime, LinkFrame)> {
+        self.received
+            .iter()
+            .filter_map(|r| {
+                LinkFrame::from_p2p_bytes(&r.bytes)
+                    .ok()
+                    .map(|f| (r.last_bit, f))
+            })
+            .collect()
+    }
+
+    /// Received frames decoded as Ethernet (decode failures skipped).
+    pub fn received_ethernet(&self) -> Vec<(SimTime, ethernet::Repr, LinkFrame)> {
+        self.received
+            .iter()
+            .filter_map(|r| {
+                LinkFrame::from_ethernet_bytes(&r.bytes)
+                    .ok()
+                    .map(|(h, f)| (r.last_bit, h, f))
+            })
+            .collect()
+    }
+}
+
+impl Node for ScriptedHost {
+    fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+        match ev {
+            Event::Frame(fe) => {
+                if let Some(mac) = self.mac {
+                    if let Ok(hdr) = ethernet::Repr::parse(&fe.frame.bytes) {
+                        if hdr.dst != mac && !hdr.dst.is_broadcast() {
+                            self.filtered += 1;
+                            return;
+                        }
+                    }
+                }
+                self.received.push(Received {
+                    first_bit: fe.first_bit,
+                    last_bit: fe.last_bit,
+                    port: fe.port,
+                    bytes: fe.frame.bytes,
+                    corrupted: fe.corrupted,
+                    frame_id: fe.frame.id,
+                });
+            }
+            Event::Timer { key: KEY_SEND } => {
+                // Send every plan due now, then arm the next.
+                while self.next < self.plan.len() && self.plan[self.next].at <= ctx.now() {
+                    let p = self.plan[self.next].clone();
+                    self.next += 1;
+                    let _ = ctx.transmit(p.port, p.bytes);
+                }
+                if self.next < self.plan.len() {
+                    ctx.schedule_at(self.plan[self.next].at, KEY_SEND);
+                }
+            }
+            Event::TxDone { .. } => self.tx_done.push(ctx.now()),
+            Event::FrameAborted { frame, .. } => {
+                // A frame announced earlier never fully arrived: it is
+                // not a reception.
+                let before = self.received.len();
+                self.received.retain(|r| r.frame_id != frame);
+                self.aborted += (before - self.received.len()) as u64;
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirpent_sim::{SimDuration, Simulator};
+
+    #[test]
+    fn plans_fire_in_order() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(ScriptedHost::new()));
+        let b = sim.add_node(Box::new(ScriptedHost::new()));
+        sim.p2p(a, 0, b, 0, 10_000_000, SimDuration::ZERO);
+        {
+            let h = sim.node_mut::<ScriptedHost>(a);
+            h.plan(SimTime(2_000), 0, vec![2]);
+            h.plan(SimTime(1_000), 0, vec![1]);
+            h.plan(SimTime(3_000), 0, vec![3]);
+        }
+        ScriptedHost::start(&mut sim, a);
+        sim.run(100);
+        let rx = &sim.node::<ScriptedHost>(b).received;
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx[0].bytes, vec![1]);
+        assert_eq!(rx[1].bytes, vec![2]);
+        assert_eq!(rx[2].bytes, vec![3]);
+        assert_eq!(sim.node::<ScriptedHost>(a).tx_done.len(), 3);
+    }
+
+    #[test]
+    fn mac_filter_ignores_foreign_frames() {
+        let mut sim = Simulator::new(2);
+        let a = sim.add_node(Box::new(ScriptedHost::new()));
+        let b = sim.add_node(Box::new(ScriptedHost::new()));
+        let c = sim.add_node(Box::new(ScriptedHost::new()));
+        let bus = sim.add_channel(10_000_000, SimDuration::ZERO);
+        sim.attach(bus, a, 0);
+        sim.attach(bus, b, 0);
+        sim.attach(bus, c, 0);
+        let mac_b = ethernet::Address::from_index(2);
+        let mac_c = ethernet::Address::from_index(3);
+        sim.node_mut::<ScriptedHost>(b).mac = Some(mac_b);
+        sim.node_mut::<ScriptedHost>(c).mac = Some(mac_c);
+        let frame = LinkFrame::Ipish(vec![7])
+            .to_ethernet_bytes(ethernet::Address::from_index(1), mac_b);
+        sim.node_mut::<ScriptedHost>(a).plan(SimTime::ZERO, 0, frame);
+        ScriptedHost::start(&mut sim, a);
+        sim.run(100);
+        assert_eq!(sim.node::<ScriptedHost>(b).received.len(), 1);
+        assert_eq!(sim.node::<ScriptedHost>(c).received.len(), 0);
+        assert_eq!(sim.node::<ScriptedHost>(c).filtered, 1);
+    }
+}

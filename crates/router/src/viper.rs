@@ -1,0 +1,1157 @@
+//! The VIPER router — the paper's switching element (§2.1, §5).
+//!
+//! Per packet, the router:
+//!
+//! 1. receives the first bits of the frame; under **cut-through** it acts
+//!    as soon as the leading header segment (whose fixed fields arrive
+//!    first) is in, plus a sub-microsecond decision delay; under
+//!    **store-and-forward** (the IP-style baseline discipline applied to
+//!    the same wire format) it waits for the whole frame plus a
+//!    processing delay;
+//! 2. strips the leading VIPER segment, resolves its port (identity,
+//!    replicated trunk, logical-hop splice, multicast set, broadcast, or
+//!    tree branches);
+//! 3. checks the port token against its token cache (optimistic /
+//!    blocking / drop, §2.2);
+//! 4. appends the **return hop** to the trailer — the arrival port, the
+//!    same link token, and the arrival network's header with source and
+//!    destination reversed;
+//! 5. forwards out the output port: immediately if idle, else the packet
+//!    is queued by priority, dropped (DIB flag), or — at priorities 6/7 —
+//!    **preempts** the transmission in progress;
+//! 6. monitors each output queue and pushes **rate-control feedback**
+//!    upstream along the arrival ports feeding it (§2.2), with optional
+//!    feed-forward queue hints accelerating detection.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use sirpent_sim::stats::Summary;
+use sirpent_sim::{
+    transmission_time, Context, Event, FrameId, Node, SimDuration, SimTime,
+};
+use sirpent_token::{AuthPolicy, Decision, SealingKey, TokenCache};
+use sirpent_wire::packet::{peek_front_segment, strip_front_segment, truncate_packet};
+use sirpent_wire::trailer::Entry as TrailerEntry;
+use sirpent_wire::viper::{Flags, Priority, SegmentRepr, PORT_LOCAL};
+use sirpent_wire::{ethernet, VIPER_TRANSMISSION_UNIT};
+
+use crate::link::{LinkFrame, RateControlMsg};
+use crate::logical::{LogicalTable, PortBinding};
+use crate::multicast::decode_tree;
+
+/// Switching discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchMode {
+    /// Decide and start forwarding while the packet is still arriving
+    /// (§2.1). The decision is made once the leading segment has arrived.
+    CutThrough,
+    /// Receive the whole packet, then process — the conventional
+    /// discipline the paper contrasts against.
+    StoreAndForward {
+        /// Per-packet processing time after full reception.
+        process_delay: SimDuration,
+    },
+}
+
+/// Physical characteristics of one router port.
+#[derive(Debug, Clone)]
+pub struct PortConfig {
+    /// Port number (1–255; 0 is reserved for local delivery).
+    pub port: u8,
+    /// Link type on this port.
+    pub kind: PortKind,
+    /// Maximum frame the attached network carries.
+    pub mtu: usize,
+}
+
+/// The network type behind a port — determines link framing and the
+/// return-hop `portInfo`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortKind {
+    /// A point-to-point link: no addressing needed, 2-byte shim.
+    PointToPoint,
+    /// A shared Ethernet; the router's station address on it.
+    Ethernet {
+        /// Our MAC on this segment.
+        mac: ethernet::Address,
+    },
+}
+
+/// Token-checking configuration.
+pub struct AuthConfig {
+    /// This router's sealing key (provisioned from the domain minter).
+    pub key: SealingKey,
+    /// First-packet policy.
+    pub policy: AuthPolicy,
+    /// How long a full decrypt+verify takes (the delay a blocked packet
+    /// waits; §2.2 "the blocking action allows some time for the token to
+    /// be processed").
+    pub verify_delay: SimDuration,
+    /// Whether packets without any token are refused.
+    pub require_token: bool,
+}
+
+/// Rate-based congestion-control configuration (§2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct CongestionConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Queue occupancy that triggers upstream backpressure.
+    pub queue_high: usize,
+    /// Fraction of the output rate granted (divided among feeders) when
+    /// congestion is signalled.
+    pub decrease_factor: f64,
+    /// Floor on the granted rate.
+    pub min_rate_bps: u64,
+    /// Additive re-increase applied every interval ("progressively push
+    /// the authorized rate up, similar to Jacobson's slow start … at the
+    /// network layer").
+    pub increase_step_bps: u64,
+    /// Interval between increases.
+    pub increase_interval: SimDuration,
+    /// Minimum spacing of backpressure messages per (queue, feeder).
+    pub signal_interval: SimDuration,
+    /// React to feed-forward hints on arriving packets (ablation knob).
+    pub use_feedforward: bool,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig {
+            enabled: false,
+            queue_high: 8,
+            decrease_factor: 0.5,
+            min_rate_bps: 100_000,
+            increase_step_bps: 1_000_000,
+            increase_interval: SimDuration::from_millis(10),
+            signal_interval: SimDuration::from_millis(1),
+            use_feedforward: false,
+        }
+    }
+}
+
+/// Full router configuration.
+pub struct ViperConfig {
+    /// Identity used in tokens and rate-control messages.
+    pub router_id: u32,
+    /// Switching discipline.
+    pub mode: SwitchMode,
+    /// Switch decision + setup time (§6.1: "can reasonably be
+    /// significantly less than a microsecond").
+    pub decision_delay: SimDuration,
+    /// The physical ports.
+    pub ports: Vec<PortConfig>,
+    /// Token checking; `None` disables (open network).
+    pub auth: Option<AuthConfig>,
+    /// Logical / multicast port bindings.
+    pub logical: LogicalTable,
+    /// Output queue capacity, packets.
+    pub queue_capacity: usize,
+    /// Congestion control.
+    pub congestion: CongestionConfig,
+}
+
+impl ViperConfig {
+    /// A plain cut-through router with the given point-to-point ports,
+    /// 1500-byte MTU, no tokens, no congestion control.
+    pub fn basic(router_id: u32, ports: &[u8]) -> ViperConfig {
+        ViperConfig {
+            router_id,
+            mode: SwitchMode::CutThrough,
+            decision_delay: SimDuration::from_nanos(500),
+            ports: ports
+                .iter()
+                .map(|&p| PortConfig {
+                    port: p,
+                    kind: PortKind::PointToPoint,
+                    mtu: VIPER_TRANSMISSION_UNIT + 64,
+                })
+                .collect(),
+            auth: None,
+            logical: LogicalTable::new(),
+            queue_capacity: 64,
+            congestion: CongestionConfig::default(),
+        }
+    }
+}
+
+/// Why packets were dropped, for the stats table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Leading segment failed to parse (e.g. corrupted header — Sirpent
+    /// has no checksum, so this only catches structural damage).
+    ParseError,
+    /// The resolved port has no attached channel.
+    NoSuchPort,
+    /// Output queue full.
+    QueueFull,
+    /// Drop-if-blocked flag and the port was busy.
+    DropIfBlocked,
+    /// Preempted mid-transmission by a priority 6/7 packet.
+    Preempted,
+    /// Token missing and required.
+    TokenMissing,
+    /// Token rejected (any reason).
+    TokenRejected,
+    /// Malformed logical/multicast structure.
+    BadStructure,
+    /// Recursion limit on splices/trees.
+    TooDeep,
+    /// Arrived on an unknown port or with an unusable frame.
+    BadFrame,
+}
+
+/// Counters exposed by the router.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// Packets forwarded (copies count individually).
+    pub forwarded: u64,
+    /// Packets delivered to the router's own local port 0.
+    pub local: u64,
+    /// Packets dropped, by reason.
+    pub drops: HashMap<DropReason, u64>,
+    /// Truncations applied for next-hop MTU (§2: marker appended).
+    pub truncated: u64,
+    /// Token checks that hit the cache.
+    pub token_cache_hits: u64,
+    /// Token checks that performed the full decrypt.
+    pub token_decrypts: u64,
+    /// Packets held for blocking verification.
+    pub token_blocked: u64,
+    /// Backpressure messages sent upstream.
+    pub backpressure_sent: u64,
+    /// Rate limits currently installed (gauge at last change).
+    pub limits_installed: u64,
+    /// Delay from first bit in to first bit out, successfully forwarded
+    /// packets (seconds).
+    pub forward_delay: Summary,
+    /// Peak output-queue depth observed.
+    pub max_queue: usize,
+}
+
+impl RouterStats {
+    fn drop(&mut self, why: DropReason) {
+        *self.drops.entry(why).or_insert(0) += 1;
+    }
+
+    /// Total drops across reasons.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+}
+
+/// A packet waiting on an output port.
+struct Queued {
+    frame_bytes: Vec<u8>,
+    priority: Priority,
+    dib: bool,
+    /// Earliest instant the transmission may start (cut-through: we may
+    /// not finish sending before the tail has arrived).
+    earliest: SimTime,
+    /// Port field of the packet's *next* segment (the congested router's
+    /// output) — the classification key for rate limits.
+    next_seg_port: Option<u8>,
+    /// The port this packet arrived on (identifies the feeder for
+    /// backpressure); `None` for locally originated packets.
+    arrival_port: Option<u8>,
+    /// First-bit arrival time (for the forward-delay statistic).
+    first_bit: SimTime,
+    /// Incoming frame identity while the tail is still arriving (for
+    /// abort propagation).
+    in_frame: Option<FrameId>,
+    seq: u64,
+}
+
+struct CurTx {
+    frame: FrameId,
+    priority: Priority,
+    in_frame: Option<FrameId>,
+}
+
+struct OutPort {
+    cfg: PortConfig,
+    queue: Vec<Queued>,
+    current: Option<CurTx>,
+    /// Earliest armed service-timer instant (stale timers are harmless —
+    /// the handler just re-runs the eligibility scan).
+    service_timer_at: Option<SimTime>,
+}
+
+/// A soft rate-limit installed by upstream backpressure (§2.2's
+/// dynamically generated per-flow soft state).
+struct FlowLimit {
+    out_port: u8,
+    next_port: u8,
+    allowed_bps: u64,
+    next_release: SimTime,
+}
+
+enum Pending {
+    Process(Arrival),
+    Service(u8),
+    Retry(Work, Vec<u8>),
+}
+
+/// Raw arrival being held until its decision instant.
+struct Arrival {
+    packet: Vec<u8>,
+    arrival_port: u8,
+    eth_return: Option<ethernet::Repr>,
+    in_tail: SimTime,
+    first_bit: SimTime,
+    in_frame: FrameId,
+}
+
+/// A packet mid-pipeline: segment stripped, not yet forwarded.
+struct Work {
+    packet: Vec<u8>,
+    seg: SegmentRepr,
+    arrival_port: Option<u8>,
+    eth_return: Option<ethernet::Repr>,
+    in_tail: SimTime,
+    first_bit: SimTime,
+    in_frame: Option<FrameId>,
+    depth: u8,
+}
+
+const KEY_INCREASE_TICK: u64 = 0;
+const MAX_DEPTH: u8 = 8;
+
+/// The router node.
+pub struct ViperRouter {
+    cfg: ViperConfig,
+    ports: HashMap<u8, OutPort>,
+    token_cache: Option<TokenCache>,
+    limits: Vec<FlowLimit>,
+    pending: HashMap<u64, Pending>,
+    next_key: u64,
+    tick_armed: bool,
+    last_signal: HashMap<(u8, u8), SimTime>,
+    /// Packets whose final segment addressed this router (port 0).
+    pub local_delivered: Vec<(SimTime, Vec<u8>)>,
+    /// Counters.
+    pub stats: RouterStats,
+    /// Map from in-flight incoming frames we are cutting through to the
+    /// output (port, frame) — for abort propagation.
+    cutting: HashMap<FrameId, (u8, FrameId)>,
+}
+
+impl ViperRouter {
+    /// Build a router from its configuration.
+    pub fn new(cfg: ViperConfig) -> ViperRouter {
+        let ports = cfg
+            .ports
+            .iter()
+            .map(|p| {
+                (
+                    p.port,
+                    OutPort {
+                        cfg: p.clone(),
+                        queue: Vec::new(),
+                        current: None,
+                        service_timer_at: None,
+                    },
+                )
+            })
+            .collect();
+        let token_cache = cfg
+            .auth
+            .as_ref()
+            .map(|a| TokenCache::new(a.key.clone(), cfg.router_id, a.policy));
+        ViperRouter {
+            cfg,
+            ports,
+            token_cache,
+            limits: Vec::new(),
+            pending: HashMap::new(),
+            next_key: 1,
+            tick_armed: false,
+            last_signal: HashMap::new(),
+            local_delivered: Vec::new(),
+            stats: RouterStats::default(),
+            cutting: HashMap::new(),
+        }
+    }
+
+    /// This router's id.
+    pub fn router_id(&self) -> u32 {
+        self.cfg.router_id
+    }
+
+    /// The token cache (if token checking is enabled).
+    pub fn token_cache(&self) -> Option<&TokenCache> {
+        self.token_cache.as_ref()
+    }
+
+    /// Current queue depth on an output port.
+    pub fn queue_len(&self, port: u8) -> usize {
+        self.ports.get(&port).map(|p| p.queue.len()).unwrap_or(0)
+    }
+
+    /// Number of rate limits currently installed.
+    pub fn active_limits(&self) -> usize {
+        self.limits.len()
+    }
+
+    fn schedule(&mut self, ctx: &mut Context<'_>, at: SimTime, p: Pending) {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.pending.insert(key, p);
+        ctx.schedule_at(at, key);
+    }
+
+    // ----- arrival ------------------------------------------------------
+
+    fn on_frame(&mut self, ctx: &mut Context<'_>, fe: sirpent_sim::FrameEvent) {
+        let port = fe.port;
+        let Some(op) = self.ports.get(&port) else {
+            self.stats.drop(DropReason::BadFrame);
+            return;
+        };
+        let kind = op.cfg.kind.clone();
+        let (link, eth_return) = match &kind {
+            PortKind::PointToPoint => match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                Ok(f) => (f, None),
+                Err(_) => {
+                    self.stats.drop(DropReason::ParseError);
+                    return;
+                }
+            },
+            PortKind::Ethernet { mac } => {
+                match LinkFrame::from_ethernet_bytes(&fe.frame.bytes) {
+                    Ok((hdr, f)) => {
+                        if hdr.dst != *mac && !hdr.dst.is_broadcast() {
+                            return; // not for us; the bus delivers to all
+                        }
+                        (f, Some(hdr.reversed()))
+                    }
+                    Err(_) => {
+                        self.stats.drop(DropReason::ParseError);
+                        return;
+                    }
+                }
+            }
+        };
+
+        match link {
+            LinkFrame::Sirpent { ff_hint, packet } => {
+                // Feed-forward: a large hint warns that a burst is
+                // heading for whatever queue these packets use; treat it
+                // as an early congestion signal on this feeder.
+                if self.cfg.congestion.enabled
+                    && self.cfg.congestion.use_feedforward
+                    && ff_hint as usize >= self.cfg.congestion.queue_high
+                {
+                    if let Ok(seg) = peek_front_segment(&packet) {
+                        if let PortBinding::Physical(p) = self.cfg.logical.resolve(seg.port) {
+                            self.maybe_signal_feeder(ctx, p, port, ff_hint as usize);
+                        }
+                    }
+                }
+                // Decide when the pipeline may act on this packet.
+                let ready = match self.cfg.mode {
+                    SwitchMode::CutThrough => {
+                        // The decision fields are at the very front of
+                        // the frame; the whole leading segment (port,
+                        // token, info) must be in before we can strip it.
+                        let link_hdr = match kind {
+                            PortKind::PointToPoint => 2,
+                            PortKind::Ethernet { .. } => ethernet::HEADER_LEN + 2,
+                        };
+                        let seg_len = peek_front_segment(&packet)
+                            .map(|s| s.buffer_len())
+                            .unwrap_or(4);
+                        fe.byte_arrival(link_hdr + seg_len) + self.cfg.decision_delay
+                    }
+                    SwitchMode::StoreAndForward { process_delay } => fe.last_bit + process_delay,
+                };
+                let arrival = Arrival {
+                    packet,
+                    arrival_port: port,
+                    eth_return,
+                    in_tail: fe.last_bit,
+                    first_bit: fe.first_bit,
+                    in_frame: fe.frame.id,
+                };
+                self.schedule(ctx, ready, Pending::Process(arrival));
+            }
+            LinkFrame::RateControl(msg) => self.on_rate_control(ctx, port, msg),
+            LinkFrame::Ipish(_) | LinkFrame::Cvc(_) => {
+                self.stats.drop(DropReason::BadFrame);
+            }
+        }
+    }
+
+    // ----- pipeline -----------------------------------------------------
+
+    fn process(&mut self, ctx: &mut Context<'_>, a: Arrival) {
+        let mut packet = a.packet;
+        let seg = match strip_front_segment(&mut packet) {
+            Ok(s) => s,
+            Err(_) => {
+                self.stats.drop(DropReason::ParseError);
+                return;
+            }
+        };
+        let work = Work {
+            packet,
+            seg,
+            arrival_port: Some(a.arrival_port),
+            eth_return: a.eth_return,
+            in_tail: a.in_tail,
+            first_bit: a.first_bit,
+            in_frame: Some(a.in_frame),
+            depth: 0,
+        };
+        self.route_work(ctx, work);
+    }
+
+    fn route_work(&mut self, ctx: &mut Context<'_>, work: Work) {
+        if work.depth > MAX_DEPTH {
+            self.stats.drop(DropReason::TooDeep);
+            return;
+        }
+
+        // Tree-structured multicast: the segment's portInfo holds branch
+        // routes; each branch replaces the tree segment for one copy.
+        if work.seg.flags.tree {
+            let branches = match decode_tree(&work.seg.port_info) {
+                Ok(b) => b,
+                Err(_) => {
+                    self.stats.drop(DropReason::BadStructure);
+                    return;
+                }
+            };
+            for branch in branches {
+                let mut pkt = branch;
+                pkt.extend_from_slice(&work.packet);
+                let seg = match strip_front_segment(&mut pkt) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.stats.drop(DropReason::ParseError);
+                        continue;
+                    }
+                };
+                self.route_work(
+                    ctx,
+                    Work {
+                        packet: pkt,
+                        seg,
+                        arrival_port: work.arrival_port,
+                        eth_return: work.eth_return,
+                        in_tail: work.in_tail,
+                        first_bit: work.first_bit,
+                        in_frame: None, // copies decouple from the input
+                        depth: work.depth + 1,
+                    },
+                );
+            }
+            return;
+        }
+
+        if work.seg.port == PORT_LOCAL {
+            self.stats.local += 1;
+            self.local_delivered.push((ctx.now(), work.packet));
+            return;
+        }
+
+        let out_ports: Vec<u8> = match self.cfg.logical.resolve(work.seg.port) {
+            PortBinding::Physical(p) => vec![p],
+            PortBinding::Trunk { members, strategy } => {
+                let now_ns = ctx.now().as_nanos();
+                // Prefer a member that is idle *and* has an empty queue.
+                let free_at = |m: u8| -> u64 {
+                    let queued = self
+                        .ports
+                        .get(&m)
+                        .map(|p| p.queue.len() + usize::from(p.current.is_some()))
+                        .unwrap_or(usize::MAX);
+                    if queued > 0 {
+                        // Penalize occupied members so FirstFree skips them.
+                        now_ns + 1 + queued as u64
+                    } else {
+                        ctx.channel_free_at(m).map(|t| t.as_nanos()).unwrap_or(u64::MAX)
+                    }
+                };
+                vec![self
+                    .cfg
+                    .logical
+                    .pick_trunk_member(&members, strategy, free_at, now_ns)]
+            }
+            PortBinding::Splice(route) => {
+                // Logical hop: replace the segment with the explicit
+                // route and re-route (the Blazenet entry operation). The
+                // splice costs one extra pass, mirroring "the packet
+                // delay of adding this routing information".
+                let mut pkt = Vec::new();
+                for s in &route {
+                    pkt.extend_from_slice(&s.to_bytes());
+                }
+                pkt.extend_from_slice(&work.packet);
+                let seg = match strip_front_segment(&mut pkt) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.stats.drop(DropReason::BadStructure);
+                        return;
+                    }
+                };
+                self.route_work(
+                    ctx,
+                    Work {
+                        packet: pkt,
+                        seg,
+                        depth: work.depth + 1,
+                        ..work
+                    },
+                );
+                return;
+            }
+            PortBinding::MulticastSet(ports) => ports,
+            PortBinding::Broadcast => self
+                .ports
+                .keys()
+                .copied()
+                .filter(|&p| Some(p) != work.arrival_port)
+                .collect(),
+        };
+
+        if out_ports.is_empty() || out_ports.iter().any(|p| !self.ports.contains_key(p)) {
+            self.stats.drop(DropReason::NoSuchPort);
+            return;
+        }
+
+        self.auth_then_forward(ctx, work, out_ports);
+    }
+
+    fn auth_then_forward(&mut self, ctx: &mut Context<'_>, work: Work, out_ports: Vec<u8>) {
+        if let Some(cache) = self.token_cache.as_mut() {
+            let require = self
+                .cfg
+                .auth
+                .as_ref()
+                .map(|a| a.require_token)
+                .unwrap_or(false);
+            if work.seg.port_token.is_empty() {
+                if require {
+                    self.stats.drop(DropReason::TokenMissing);
+                    return;
+                }
+            } else {
+                let now_s = (ctx.now().as_nanos() / 1_000_000_000) as u32;
+                // Tokens are *link tokens* (§2): the cache accepts the
+                // packet when the token's port matches either the exit
+                // port (forward use) or the arrival port (reverse use,
+                // which additionally requires reverse authorization).
+                let outcome = cache.check(
+                    &work.seg.port_token,
+                    work.seg.port,
+                    work.arrival_port,
+                    work.seg.priority,
+                    work.packet.len(),
+                    now_s,
+                );
+                if outcome.cache_hit {
+                    self.stats.token_cache_hits += 1;
+                }
+                if outcome.did_decrypt {
+                    self.stats.token_decrypts += 1;
+                }
+                match outcome.decision {
+                    Decision::Forward => {}
+                    Decision::Block => {
+                        self.stats.token_blocked += 1;
+                        let delay = self
+                            .cfg
+                            .auth
+                            .as_ref()
+                            .map(|a| a.verify_delay)
+                            .unwrap_or(SimDuration::from_micros(100));
+                        let at = ctx.now() + delay;
+                        self.schedule(ctx, at, Pending::Retry(work, out_ports.clone()));
+                        return;
+                    }
+                    Decision::Reject(_) => {
+                        self.stats.drop(DropReason::TokenRejected);
+                        return;
+                    }
+                }
+            }
+        }
+        self.finish_forward(ctx, work, out_ports);
+    }
+
+    fn retry(&mut self, ctx: &mut Context<'_>, work: Work, out_ports: Vec<u8>) {
+        // The blocking delay has elapsed; the cache is resolved now.
+        if let Some(cache) = self.token_cache.as_mut() {
+            let now_s = (ctx.now().as_nanos() / 1_000_000_000) as u32;
+            let outcome = cache.recheck_blocked(
+                &work.seg.port_token,
+                work.seg.port,
+                work.arrival_port,
+                work.seg.priority,
+                work.packet.len(),
+                now_s,
+            );
+            match outcome.decision {
+                Decision::Forward => self.finish_forward(ctx, work, out_ports),
+                _ => self.stats.drop(DropReason::TokenRejected),
+            }
+        }
+    }
+
+    fn finish_forward(&mut self, ctx: &mut Context<'_>, mut work: Work, out_ports: Vec<u8>) {
+        // Return hop: arrival port, same link token, reversed network
+        // header of the arrival network (§2).
+        if let Some(ap) = work.arrival_port {
+            let return_hop = SegmentRepr {
+                port: ap,
+                flags: Flags {
+                    rpf: true,
+                    ..Default::default()
+                },
+                priority: work.seg.priority,
+                port_token: work.seg.port_token.clone(),
+                port_info: work
+                    .eth_return
+                    .map(|h| h.to_bytes())
+                    .unwrap_or_default(),
+            };
+            TrailerEntry::ReturnHop(return_hop).append_to(&mut work.packet);
+        }
+
+        let copies = out_ports.len();
+        for (i, &out) in out_ports.iter().enumerate() {
+            let packet = if i + 1 == copies {
+                std::mem::take(&mut work.packet)
+            } else {
+                work.packet.clone()
+            };
+            self.enqueue(
+                ctx,
+                out,
+                packet,
+                &work.seg,
+                work.arrival_port,
+                work.in_tail,
+                work.first_bit,
+                if copies == 1 { work.in_frame } else { None },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue(
+        &mut self,
+        ctx: &mut Context<'_>,
+        out: u8,
+        mut packet: Vec<u8>,
+        seg: &SegmentRepr,
+        arrival_port: Option<u8>,
+        in_tail: SimTime,
+        first_bit: SimTime,
+        in_frame: Option<FrameId>,
+    ) {
+        let Ok(out_rate) = ctx.channel_rate(out) else {
+            self.stats.drop(DropReason::NoSuchPort);
+            return;
+        };
+        let next_seg_port = peek_front_segment(&packet).ok().map(|s| s.port);
+        let (mtu, kind) = {
+            let op = &self.ports[&out];
+            (op.cfg.mtu, op.cfg.kind.clone())
+        };
+
+        // Frame for the outgoing network.
+        let compose = |packet: &[u8], qlen: usize| -> Option<Vec<u8>> {
+            let lf = LinkFrame::Sirpent {
+                ff_hint: qlen.min(255) as u8,
+                packet: packet.to_vec(),
+            };
+            match &kind {
+                PortKind::PointToPoint => Some(lf.to_p2p_bytes()),
+                PortKind::Ethernet { mac } => {
+                    // The stripped segment's portInfo is the Ethernet
+                    // header for this hop (§2's running example) — either
+                    // the full 14 bytes or the compressed dst+type form
+                    // (§2 footnote: the router fills in the source).
+                    let hdr = if seg.port_info.len() == ethernet::COMPRESSED_LEN {
+                        ethernet::Repr::parse_compressed(&seg.port_info, *mac).ok()?
+                    } else {
+                        ethernet::Repr::parse(&seg.port_info).ok()?
+                    };
+                    Some(lf.to_ethernet_bytes(*mac, hdr.dst))
+                }
+            }
+        };
+        let qlen = self.ports[&out].queue.len();
+        let mut frame_bytes = match compose(&packet, qlen) {
+            Some(f) => f,
+            None => {
+                self.stats.drop(DropReason::BadStructure);
+                return;
+            }
+        };
+
+        // Next-hop MTU: truncate and mark (§2) — the receiver's transport
+        // detects the damage; nothing is silently lost.
+        if frame_bytes.len() > mtu {
+            let overhead = frame_bytes.len() - packet.len();
+            let marker = 7; // truncation trailer entry size
+            let keep = mtu.saturating_sub(overhead + marker);
+            truncate_packet(&mut packet, keep);
+            self.stats.truncated += 1;
+            frame_bytes = match compose(&packet, qlen) {
+                Some(f) => f,
+                None => {
+                    self.stats.drop(DropReason::BadStructure);
+                    return;
+                }
+            };
+        }
+
+        // Cut-through constraint: we may not finish transmitting before
+        // the tail has arrived (equal-rate links make this vacuous; on a
+        // faster output it delays the start; §2.1 notes cut-through
+        // applies when rates match).
+        let out_tx = transmission_time(frame_bytes.len(), out_rate);
+        let earliest = if in_tail > ctx.now() + out_tx {
+            SimTime(in_tail.as_nanos().saturating_sub(out_tx.as_nanos()))
+        } else {
+            ctx.now()
+        };
+
+        let op = self.ports.get_mut(&out).expect("validated above");
+        if op.queue.len() >= self.cfg.queue_capacity {
+            self.stats.drop(DropReason::QueueFull);
+            self.maybe_signal_congestion(ctx, out);
+            return;
+        }
+        let seq = self.next_key; // reuse counter for FIFO tie-break
+        self.next_key += 1;
+        op.queue.push(Queued {
+            frame_bytes,
+            priority: seg.priority,
+            dib: seg.flags.dib,
+            earliest,
+            next_seg_port,
+            arrival_port,
+            first_bit,
+            in_frame,
+            seq,
+        });
+        self.stats.max_queue = self.stats.max_queue.max(op.queue.len());
+        self.maybe_signal_congestion(ctx, out);
+        self.try_service(ctx, out);
+    }
+
+    // ----- output service ----------------------------------------------
+
+    /// When this queued packet may start, considering cut-through arrival
+    /// and rate limits.
+    fn release_time(&self, out: u8, q: &Queued) -> SimTime {
+        let mut t = q.earliest;
+        if let Some(next) = q.next_seg_port {
+            for l in &self.limits {
+                if l.out_port == out && l.next_port == next {
+                    t = t.max(l.next_release);
+                }
+            }
+        }
+        t
+    }
+
+    fn try_service(&mut self, ctx: &mut Context<'_>, out: u8) {
+        let now = ctx.now();
+        let Some(op) = self.ports.get(&out) else {
+            return;
+        };
+
+        // Pick the best eligible packet: highest priority rank, FIFO
+        // within rank, eligible (released) now.
+        let mut best: Option<(usize, i8, u64)> = None;
+        let mut soonest: Option<SimTime> = None;
+        for (i, q) in op.queue.iter().enumerate() {
+            let rel = self.release_time(out, q);
+            if rel <= now {
+                let key = (q.priority.rank(), q.seq);
+                match best {
+                    Some((_, r, s)) if (r, u64::MAX - s) >= (key.0, u64::MAX - key.1) => {}
+                    _ => best = Some((i, key.0, key.1)),
+                }
+            } else {
+                soonest = Some(soonest.map_or(rel, |s: SimTime| s.min(rel)));
+            }
+        }
+
+        let op = self.ports.get_mut(&out).expect("checked");
+        match best {
+            None => {
+                // Nothing eligible; arm a service timer for the soonest
+                // release (re-arm if a sooner release appeared).
+                if let Some(at) = soonest {
+                    let need = match op.service_timer_at {
+                        None => true,
+                        Some(armed) => at < armed,
+                    };
+                    if need {
+                        op.service_timer_at = Some(at);
+                        self.schedule(ctx, at, Pending::Service(out));
+                    }
+                }
+            }
+            Some((idx, rank, _)) => {
+                if let Some(cur) = &op.current {
+                    // Busy: consider preemption (§5: priorities 6 and 7).
+                    let q_prio = op.queue[idx].priority;
+                    if q_prio.is_preemptive() && cur.priority.rank() < rank {
+                        let aborted_in = cur.in_frame;
+                        if ctx.abort_current_tx(out).is_ok() {
+                            if let Some(inf) = aborted_in {
+                                self.cutting.remove(&inf);
+                            }
+                            self.stats.drop(DropReason::Preempted);
+                            self.ports.get_mut(&out).expect("checked").current = None;
+                            self.start_tx(ctx, out, idx);
+                        }
+                    } else if op.queue[idx].dib {
+                        // Drop-if-blocked: the port is busy, discard.
+                        op.queue.remove(idx);
+                        self.stats.drop(DropReason::DropIfBlocked);
+                    }
+                } else {
+                    self.start_tx(ctx, out, idx);
+                }
+            }
+        }
+    }
+
+    fn start_tx(&mut self, ctx: &mut Context<'_>, out: u8, idx: usize) {
+        let q = self.ports.get_mut(&out).expect("port exists").queue.remove(idx);
+        let Ok(tx) = ctx.transmit(out, q.frame_bytes.clone()) else {
+            self.stats.drop(DropReason::NoSuchPort);
+            return;
+        };
+        // Charge rate limits.
+        if let Some(next) = q.next_seg_port {
+            let len = q.frame_bytes.len();
+            for l in &mut self.limits {
+                if l.out_port == out && l.next_port == next {
+                    l.next_release = tx.start + transmission_time(len, l.allowed_bps.max(1));
+                }
+            }
+        }
+        self.stats.forwarded += 1;
+        self.stats
+            .forward_delay
+            .record_duration(tx.start - q.first_bit);
+        if let Some(inf) = q.in_frame {
+            if q.earliest > q.first_bit {
+                // Tail may still be arriving: remember for abort
+                // propagation.
+                self.cutting.insert(inf, (out, tx.frame));
+            }
+        }
+        self.ports.get_mut(&out).expect("port exists").current = Some(CurTx {
+            frame: tx.frame,
+            priority: q.priority,
+            in_frame: q.in_frame,
+        });
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut Context<'_>, port: u8, frame: FrameId) {
+        let Some(op) = self.ports.get_mut(&port) else {
+            return;
+        };
+        match &op.current {
+            Some(cur) if cur.frame == frame => {
+                if let Some(inf) = cur.in_frame {
+                    self.cutting.remove(&inf);
+                }
+                op.current = None;
+                self.try_service(ctx, port);
+            }
+            _ => {} // control frame or stale
+        }
+    }
+
+    fn on_frame_aborted(&mut self, ctx: &mut Context<'_>, in_frame: FrameId) {
+        // The upstream sender aborted a frame we may be cutting through:
+        // abort our own onward transmission and drop queued copies.
+        if let Some((out, out_frame)) = self.cutting.remove(&in_frame) {
+            if let Some(op) = self.ports.get_mut(&out) {
+                let is_current = op
+                    .current
+                    .as_ref()
+                    .map(|c| c.frame == out_frame)
+                    .unwrap_or(false);
+                if is_current && ctx.abort_current_tx(out).is_ok() {
+                    self.ports.get_mut(&out).expect("exists").current = None;
+                    self.stats.drop(DropReason::Preempted);
+                    self.try_service(ctx, out);
+                }
+            }
+        }
+        // Also purge any queued packet that came from this frame.
+        for op in self.ports.values_mut() {
+            op.queue.retain(|q| q.in_frame != Some(in_frame));
+        }
+    }
+
+    // ----- congestion control -------------------------------------------
+
+    fn maybe_signal_congestion(&mut self, ctx: &mut Context<'_>, out: u8) {
+        if !self.cfg.congestion.enabled {
+            return;
+        }
+        let qlen = self.ports[&out].queue.len();
+        if qlen < self.cfg.congestion.queue_high {
+            return;
+        }
+        // Identify the feeders of this queue from the arrival ports of
+        // its queued packets (§2.2: "the congested router has access to
+        // the source route [and arrival ports], it can easily determine
+        // the upstream routers feeding the queue").
+        let feeders: Vec<u8> = {
+            let mut f: Vec<u8> = self.ports[&out]
+                .queue
+                .iter()
+                .filter_map(|q| q.arrival_port)
+                .collect();
+            f.sort_unstable();
+            f.dedup();
+            f
+        };
+        for feeder in feeders {
+            self.maybe_signal_feeder(ctx, out, feeder, qlen);
+        }
+    }
+
+    fn maybe_signal_feeder(&mut self, ctx: &mut Context<'_>, out: u8, feeder: u8, qlen: usize) {
+        let now = ctx.now();
+        let last = self
+            .last_signal
+            .get(&(out, feeder))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        if last != SimTime::ZERO && now - last < self.cfg.congestion.signal_interval {
+            return;
+        }
+        self.last_signal.insert((out, feeder), now);
+        let out_rate = ctx.channel_rate(out).unwrap_or(0);
+        let allowed = ((out_rate as f64 * self.cfg.congestion.decrease_factor) as u64)
+            .max(self.cfg.congestion.min_rate_bps);
+        let msg = RateControlMsg {
+            congested_router: self.cfg.router_id,
+            congested_port: out,
+            allowed_bps: allowed,
+            queue_len: qlen.min(u16::MAX as usize) as u16,
+        };
+        // Send upstream out the feeder port. For Ethernet feeders we
+        // broadcast the control frame (stations filter).
+        let frame = match &self.ports[&feeder].cfg.kind {
+            PortKind::PointToPoint => LinkFrame::RateControl(msg).to_p2p_bytes(),
+            PortKind::Ethernet { mac } => LinkFrame::RateControl(msg)
+                .to_ethernet_bytes(*mac, ethernet::Address::BROADCAST),
+        };
+        let _ = ctx.transmit(feeder, frame);
+        self.stats.backpressure_sent += 1;
+    }
+
+    fn on_rate_control(&mut self, ctx: &mut Context<'_>, port: u8, msg: RateControlMsg) {
+        if !self.cfg.congestion.enabled {
+            return;
+        }
+        // Install/update the soft flow limit: packets leaving on `port`
+        // (toward the congested router) whose next segment asks for the
+        // congested output.
+        let now = ctx.now();
+        match self
+            .limits
+            .iter_mut()
+            .find(|l| l.out_port == port && l.next_port == msg.congested_port)
+        {
+            Some(l) => l.allowed_bps = msg.allowed_bps.max(self.cfg.congestion.min_rate_bps),
+            None => self.limits.push(FlowLimit {
+                out_port: port,
+                next_port: msg.congested_port,
+                allowed_bps: msg.allowed_bps.max(self.cfg.congestion.min_rate_bps),
+                next_release: now,
+            }),
+        }
+        self.stats.limits_installed = self.limits.len() as u64;
+        if !self.tick_armed {
+            self.tick_armed = true;
+            ctx.schedule_in(self.cfg.congestion.increase_interval, KEY_INCREASE_TICK);
+        }
+        // If our own queue toward the congested router is now rate
+        // limited and builds up, maybe_signal_congestion will recursively
+        // push the limit further upstream at the next enqueue.
+    }
+
+    fn on_increase_tick(&mut self, ctx: &mut Context<'_>) {
+        let step = self.cfg.congestion.increase_step_bps;
+        let mut line_rates: HashMap<u8, u64> = HashMap::new();
+        for l in &self.limits {
+            if let Ok(r) = ctx.channel_rate(l.out_port) {
+                line_rates.insert(l.out_port, r);
+            }
+        }
+        for l in &mut self.limits {
+            l.allowed_bps = l.allowed_bps.saturating_add(step);
+        }
+        // A limit that has recovered to the line rate dissolves (§2.2:
+        // soft state, "it can be discarded").
+        self.limits
+            .retain(|l| match line_rates.get(&l.out_port) {
+                Some(&line) => l.allowed_bps < line,
+                None => true,
+            });
+        self.stats.limits_installed = self.limits.len() as u64;
+        if self.limits.is_empty() {
+            self.tick_armed = false;
+        } else {
+            ctx.schedule_in(self.cfg.congestion.increase_interval, KEY_INCREASE_TICK);
+        }
+        // Wake all ports in case a release time moved earlier.
+        let ports: Vec<u8> = self.ports.keys().copied().collect();
+        for p in ports {
+            self.try_service(ctx, p);
+        }
+    }
+}
+
+impl Node for ViperRouter {
+    fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+        match ev {
+            Event::Frame(fe) => self.on_frame(ctx, fe),
+            Event::TxDone { port, frame } => self.on_tx_done(ctx, port, frame),
+            Event::FrameAborted { frame, .. } => self.on_frame_aborted(ctx, frame),
+            Event::Timer { key } => {
+                if key == KEY_INCREASE_TICK {
+                    self.on_increase_tick(ctx);
+                    return;
+                }
+                match self.pending.remove(&key) {
+                    Some(Pending::Process(a)) => self.process(ctx, a),
+                    Some(Pending::Service(port)) => {
+                        if let Some(op) = self.ports.get_mut(&port) {
+                            op.service_timer_at = None;
+                        }
+                        self.try_service(ctx, port);
+                    }
+                    Some(Pending::Retry(work, out_ports)) => self.retry(ctx, work, out_ports),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

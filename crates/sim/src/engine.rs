@@ -1,0 +1,1030 @@
+//! The deterministic discrete-event engine.
+//!
+//! Nodes (hosts, routers, switches, shared segments) exchange byte frames
+//! over **channels**. A channel models a transmission medium with a fixed
+//! data rate and propagation delay and one or more taps; a point-to-point
+//! full-duplex link is a pair of two-tap channels, a classic Ethernet is a
+//! single many-tap channel (half-duplex broadcast bus).
+//!
+//! ## Partial arrival and cut-through
+//!
+//! The engine delivers a [`Event::Frame`] to every receiving tap at the
+//! moment the **first bit** arrives, carrying the time at which the
+//! **last bit** will arrive and the channel rate. A cut-through router
+//! can therefore act as soon as the decision fields have arrived
+//! (`first_bit + transmission_time(header_len, rate)`), while a
+//! store-and-forward router simply waits for `last_bit` — both faithful
+//! to the byte-level timing the paper's §6.1 delay arithmetic relies on.
+//!
+//! ## Preemption
+//!
+//! A sender may abort its own in-flight transmission
+//! ([`Context::abort_current_tx`]) — this is how priorities 6 and 7
+//! preempt lower-priority packets mid-transmission (§5). Downstream taps
+//! receive [`Event::FrameAborted`] strictly before the aborted frame's
+//! `last_bit`, so no receiver can have acted on a complete frame that
+//! never fully arrived.
+//!
+//! ## Determinism
+//!
+//! Events are ordered by `(time, sequence)` where the sequence is the
+//! scheduling order; the only randomness flows from the seeded RNG, so a
+//! run is reproducible bit-for-bit from its seed.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::{bytes_in, transmission_time, SimDuration, SimTime};
+
+/// Identifies a node within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies a channel within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(pub usize);
+
+/// Identifies one transmitted frame instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameId(pub u64);
+
+/// A frame in flight: an identity plus its bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Engine-assigned unique id.
+    pub id: FrameId,
+    /// The frame contents.
+    pub bytes: Vec<u8>,
+}
+
+/// Delivery of a frame's first bit at a receiving tap.
+#[derive(Debug, Clone)]
+pub struct FrameEvent {
+    /// The local port the frame is arriving on.
+    pub port: u8,
+    /// The arriving frame (complete bytes; timing fields say when they
+    /// are *valid*).
+    pub frame: Frame,
+    /// When the first bit arrived (== the event's delivery time).
+    pub first_bit: SimTime,
+    /// When the last bit will have arrived.
+    pub last_bit: SimTime,
+    /// The channel's data rate, for computing per-byte arrival times.
+    pub rate_bps: u64,
+    /// Whether the fault injector corrupted this copy.
+    pub corrupted: bool,
+}
+
+impl FrameEvent {
+    /// The instant by which the first `n` bytes have arrived.
+    pub fn byte_arrival(&self, n: usize) -> SimTime {
+        self.first_bit + transmission_time(n, self.rate_bps)
+    }
+}
+
+/// An event delivered to a node.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// First bit of a frame has arrived on a port.
+    Frame(FrameEvent),
+    /// A frame previously announced on this port was aborted by its
+    /// sender after `bytes_received` bytes.
+    FrameAborted {
+        /// The local receiving port.
+        port: u8,
+        /// Which frame was aborted.
+        frame: FrameId,
+        /// Bytes that made it onto the wire before the abort.
+        bytes_received: usize,
+    },
+    /// A transmission this node started on `port` has finished clocking
+    /// out.
+    TxDone {
+        /// The local transmitting port.
+        port: u8,
+        /// The completed frame.
+        frame: FrameId,
+    },
+    /// A timer set via [`Context::schedule_in`] / [`Context::schedule_at`]
+    /// fired.
+    Timer {
+        /// The caller-chosen key.
+        key: u64,
+    },
+}
+
+/// Information returned when a transmission is accepted.
+#[derive(Debug, Clone, Copy)]
+pub struct TxInfo {
+    /// Engine-assigned frame id.
+    pub frame: FrameId,
+    /// When the first bit goes onto the wire (>= now; later if the
+    /// channel was busy).
+    pub start: SimTime,
+    /// When the last bit goes onto the wire.
+    pub end: SimTime,
+}
+
+/// Information returned when an in-flight transmission is aborted.
+#[derive(Debug, Clone, Copy)]
+pub struct AbortInfo {
+    /// The aborted frame.
+    pub frame: FrameId,
+    /// Bytes already clocked out when the abort took effect.
+    pub bytes_sent: usize,
+}
+
+/// Engine-level errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The (node, port) pair is not attached to any channel for
+    /// transmission.
+    PortNotAttached,
+    /// Abort was requested but the channel has queued transmissions
+    /// behind the current one (aborting is only supported for a sole
+    /// transmitter, e.g. a router output onto a point-to-point link).
+    AbortWithQueue,
+    /// Abort was requested but nothing this node sent is on the wire.
+    NothingToAbort,
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::PortNotAttached => write!(f, "port not attached to a channel"),
+            SimError::AbortWithQueue => write!(f, "cannot abort with queued transmissions"),
+            SimError::NothingToAbort => write!(f, "no in-flight transmission to abort"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Fault-injection configuration for a channel (applied independently per
+/// receiving tap, seeded-deterministic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Probability a delivered copy is dropped entirely.
+    pub drop_prob: f64,
+    /// Probability one random byte of a delivered copy is corrupted.
+    pub corrupt_prob: f64,
+}
+
+/// Per-channel counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelStats {
+    /// Frames accepted for transmission.
+    pub frames: u64,
+    /// Bytes accepted for transmission.
+    pub bytes: u64,
+    /// Wire-busy time accumulated.
+    pub busy: SimDuration,
+    /// Copies dropped by fault injection.
+    pub drops: u64,
+    /// Copies corrupted by fault injection.
+    pub corrupted: u64,
+    /// Transmissions aborted by their sender.
+    pub aborts: u64,
+}
+
+impl ChannelStats {
+    /// Fraction of `[0, horizon)` the wire was busy.
+    pub fn utilization(&self, horizon: SimDuration) -> f64 {
+        if horizon.as_nanos() == 0 {
+            0.0
+        } else {
+            self.busy.as_nanos() as f64 / horizon.as_nanos() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TxRecord {
+    sender: NodeId,
+    frame: FrameId,
+    start: SimTime,
+    end: SimTime,
+}
+
+struct Channel {
+    rate_bps: u64,
+    prop: SimDuration,
+    taps: Vec<(NodeId, u8)>,
+    free_at: SimTime,
+    in_flight: VecDeque<TxRecord>,
+    faults: FaultConfig,
+    stats: ChannelStats,
+}
+
+/// The behaviour of a simulated node.
+pub trait Node: 'static {
+    /// Handle one event. `ctx` gives access to the clock, channels and
+    /// scheduler.
+    fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event);
+
+    /// Downcast support (used by tests and harnesses to inspect node
+    /// state after a run).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    target: NodeId,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Everything in the simulator except the node objects themselves — this
+/// split lets a node borrow the core mutably (through [`Context`]) while
+/// it is itself borrowed for dispatch.
+pub(crate) struct Core {
+    now: SimTime,
+    seq: u64,
+    frame_seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    channels: Vec<Channel>,
+    tx_map: HashMap<(NodeId, u8), ChannelId>,
+    rng: StdRng,
+    trace: Option<Vec<(SimTime, NodeId, String)>>,
+    events_dispatched: u64,
+}
+
+impl Core {
+    fn push(&mut self, time: SimTime, target: NodeId, event: Event) {
+        debug_assert!(time >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq,
+            target,
+            event,
+        }));
+    }
+
+    fn transmit_from(
+        &mut self,
+        sender: NodeId,
+        port: u8,
+        bytes: Vec<u8>,
+    ) -> Result<TxInfo, SimError> {
+        let &ch_id = self
+            .tx_map
+            .get(&(sender, port))
+            .ok_or(SimError::PortNotAttached)?;
+        let now = self.now;
+        let frame = FrameId(self.frame_seq);
+        self.frame_seq += 1;
+        let (start, end, prop, rate, receivers) = {
+            let ch = &mut self.channels[ch_id.0];
+            let start = ch.free_at.max(now);
+            let end = start + transmission_time(bytes.len(), ch.rate_bps);
+            ch.free_at = end;
+            ch.in_flight.push_back(TxRecord {
+                sender,
+                frame,
+                start,
+                end,
+            });
+            ch.stats.frames += 1;
+            ch.stats.bytes += bytes.len() as u64;
+            ch.stats.busy = ch.stats.busy + (end - start);
+            let receivers: Vec<(NodeId, u8)> = ch
+                .taps
+                .iter()
+                .copied()
+                .filter(|&(n, _)| n != sender)
+                .collect();
+            (start, end, ch.prop, ch.rate_bps, receivers)
+        };
+
+        // Sender notification when the last bit clocks out.
+        self.push(end, sender, Event::TxDone { port, frame });
+
+        // Per-tap delivery with fault injection.
+        for (node, rx_port) in receivers {
+            let (drop_p, corrupt_p) = {
+                let f = self.channels[ch_id.0].faults;
+                (f.drop_prob, f.corrupt_prob)
+            };
+            if drop_p > 0.0 && self.rng.gen_bool(drop_p.clamp(0.0, 1.0)) {
+                self.channels[ch_id.0].stats.drops += 1;
+                continue;
+            }
+            let mut copy = bytes.clone();
+            let mut corrupted = false;
+            if corrupt_p > 0.0 && !copy.is_empty() && self.rng.gen_bool(corrupt_p.clamp(0.0, 1.0))
+            {
+                let i = self.rng.gen_range(0..copy.len());
+                let mut flip = 0u8;
+                while flip == 0 {
+                    flip = self.rng.gen();
+                }
+                copy[i] ^= flip;
+                corrupted = true;
+                self.channels[ch_id.0].stats.corrupted += 1;
+            }
+            let fe = FrameEvent {
+                port: rx_port,
+                frame: Frame {
+                    id: frame,
+                    bytes: copy,
+                },
+                first_bit: start + prop,
+                last_bit: end + prop,
+                rate_bps: rate,
+                corrupted,
+            };
+            self.push(start + prop, node, Event::Frame(fe));
+        }
+
+        Ok(TxInfo { frame, start, end })
+    }
+
+    fn abort_from(&mut self, sender: NodeId, port: u8) -> Result<AbortInfo, SimError> {
+        let &ch_id = self
+            .tx_map
+            .get(&(sender, port))
+            .ok_or(SimError::PortNotAttached)?;
+        let now = self.now;
+        let (frame, bytes_sent, prop, receivers, unsent) = {
+            let ch = &mut self.channels[ch_id.0];
+            let Some(front) = ch.in_flight.front().copied() else {
+                return Err(SimError::NothingToAbort);
+            };
+            if front.sender != sender || front.start > now || front.end <= now {
+                return Err(SimError::NothingToAbort);
+            }
+            if ch.in_flight.len() > 1 {
+                return Err(SimError::AbortWithQueue);
+            }
+            ch.in_flight.pop_front();
+            ch.free_at = now;
+            ch.stats.aborts += 1;
+            // Give back the unspent busy time.
+            let unspent = front.end - now;
+            ch.stats.busy = SimDuration(ch.stats.busy.as_nanos().saturating_sub(
+                unspent.as_nanos(),
+            ));
+            let bytes_sent = bytes_in(now - front.start, ch.rate_bps);
+            let receivers: Vec<(NodeId, u8)> = ch
+                .taps
+                .iter()
+                .copied()
+                .filter(|&(n, _)| n != sender)
+                .collect();
+            (front.frame, bytes_sent, ch.prop, receivers, unspent)
+        };
+        let _ = unsent;
+        for (node, rx_port) in receivers {
+            self.push(
+                now + prop,
+                node,
+                Event::FrameAborted {
+                    port: rx_port,
+                    frame,
+                    bytes_received: bytes_sent,
+                },
+            );
+        }
+        Ok(AbortInfo { frame, bytes_sent })
+    }
+}
+
+/// The node-facing handle into the simulation during event dispatch.
+pub struct Context<'a> {
+    core: &'a mut Core,
+    me: NodeId,
+}
+
+impl Context<'_> {
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Queue `bytes` for transmission out `port`. If the channel is busy
+    /// the transmission starts when it frees (FIFO in call order); use
+    /// [`Context::channel_free_at`] to implement smarter queueing above.
+    pub fn transmit(&mut self, port: u8, bytes: Vec<u8>) -> Result<TxInfo, SimError> {
+        self.core.transmit_from(self.me, port, bytes)
+    }
+
+    /// When the channel behind `port` becomes idle (now or earlier means
+    /// idle already).
+    pub fn channel_free_at(&self, port: u8) -> Result<SimTime, SimError> {
+        let &ch = self
+            .core
+            .tx_map
+            .get(&(self.me, port))
+            .ok_or(SimError::PortNotAttached)?;
+        Ok(self.core.channels[ch.0].free_at)
+    }
+
+    /// The data rate of the channel behind `port`.
+    pub fn channel_rate(&self, port: u8) -> Result<u64, SimError> {
+        let &ch = self
+            .core
+            .tx_map
+            .get(&(self.me, port))
+            .ok_or(SimError::PortNotAttached)?;
+        Ok(self.core.channels[ch.0].rate_bps)
+    }
+
+    /// The propagation delay of the channel behind `port`.
+    pub fn channel_prop(&self, port: u8) -> Result<SimDuration, SimError> {
+        let &ch = self
+            .core
+            .tx_map
+            .get(&(self.me, port))
+            .ok_or(SimError::PortNotAttached)?;
+        Ok(self.core.channels[ch.0].prop)
+    }
+
+    /// Abort this node's own in-flight transmission on `port` (priority
+    /// 6/7 preemption, §5). Downstream taps are notified.
+    pub fn abort_current_tx(&mut self, port: u8) -> Result<AbortInfo, SimError> {
+        self.core.abort_from(self.me, port)
+    }
+
+    /// Deliver a [`Event::Timer`] with `key` to this node after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, key: u64) {
+        let at = self.core.now + delay;
+        self.core.push(at, self.me, Event::Timer { key });
+    }
+
+    /// Deliver a [`Event::Timer`] with `key` to this node at `time`
+    /// (clamped to now).
+    pub fn schedule_at(&mut self, time: SimTime, key: u64) {
+        let at = time.max(self.core.now);
+        self.core.push(at, self.me, Event::Timer { key });
+    }
+
+    /// The seeded simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Record a trace line (no-op unless tracing was enabled on the
+    /// simulator).
+    pub fn trace(&mut self, msg: impl FnOnce() -> String) {
+        if let Some(t) = self.core.trace.as_mut() {
+            let line = msg();
+            t.push((self.core.now, self.me, line));
+        }
+    }
+}
+
+/// The simulator: nodes + core.
+pub struct Simulator {
+    core: Core,
+    nodes: Vec<Option<Box<dyn Node>>>,
+}
+
+impl Simulator {
+    /// Create a simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            core: Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                frame_seq: 0,
+                heap: BinaryHeap::new(),
+                channels: Vec::new(),
+                tx_map: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                trace: None,
+                events_dispatched: 0,
+            },
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Turn on trace collection.
+    pub fn enable_trace(&mut self) {
+        self.core.trace = Some(Vec::new());
+    }
+
+    /// The collected trace (empty unless enabled).
+    pub fn trace(&self) -> &[(SimTime, NodeId, String)] {
+        self.core.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Create a channel (no taps yet).
+    pub fn add_channel(&mut self, rate_bps: u64, prop: SimDuration) -> ChannelId {
+        let id = ChannelId(self.core.channels.len());
+        self.core.channels.push(Channel {
+            rate_bps,
+            prop,
+            taps: Vec::new(),
+            free_at: SimTime::ZERO,
+            in_flight: VecDeque::new(),
+            faults: FaultConfig::default(),
+            stats: ChannelStats::default(),
+        });
+        id
+    }
+
+    /// Attach `(node, port)` as a tap: it both transmits into and
+    /// receives from the channel.
+    ///
+    /// # Panics
+    /// Panics if the `(node, port)` pair is already attached for
+    /// transmission elsewhere — a port fronts exactly one channel.
+    pub fn attach(&mut self, ch: ChannelId, node: NodeId, port: u8) {
+        let prev = self.core.tx_map.insert((node, port), ch);
+        assert!(
+            prev.is_none(),
+            "port {port} of node {node:?} already attached"
+        );
+        self.core.channels[ch.0].taps.push((node, port));
+    }
+
+    /// Convenience: a full-duplex point-to-point link as two simplex
+    /// channels. Returns `(a_to_b, b_to_a)`.
+    pub fn p2p(
+        &mut self,
+        a: NodeId,
+        a_port: u8,
+        b: NodeId,
+        b_port: u8,
+        rate_bps: u64,
+        prop: SimDuration,
+    ) -> (ChannelId, ChannelId) {
+        let ab = self.add_channel(rate_bps, prop);
+        let ba = self.add_channel(rate_bps, prop);
+        // Simplex: the tx side is attached via tx_map; the rx side is a
+        // tap that never transmits. Attach sender to its channel and add
+        // the receiver as a bare tap.
+        let prev = self.core.tx_map.insert((a, a_port), ab);
+        assert!(prev.is_none(), "port already attached");
+        self.core.channels[ab.0].taps.push((a, a_port));
+        self.core.channels[ab.0].taps.push((b, b_port));
+        let prev = self.core.tx_map.insert((b, b_port), ba);
+        assert!(prev.is_none(), "port already attached");
+        self.core.channels[ba.0].taps.push((b, b_port));
+        self.core.channels[ba.0].taps.push((a, a_port));
+        (ab, ba)
+    }
+
+    /// Set fault injection for a channel.
+    pub fn set_faults(&mut self, ch: ChannelId, faults: FaultConfig) {
+        self.core.channels[ch.0].faults = faults;
+    }
+
+    /// Counters for a channel.
+    pub fn channel_stats(&self, ch: ChannelId) -> ChannelStats {
+        self.core.channels[ch.0].stats
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.core.events_dispatched
+    }
+
+    /// Schedule an initial event from outside (e.g. kick a host to start
+    /// sending at t=0). Instants in the past are clamped to now.
+    pub fn kick(&mut self, at: SimTime, node: NodeId, key: u64) {
+        let at = at.max(self.core.now);
+        self.core.push(at, node, Event::Timer { key });
+    }
+
+    /// Dispatch the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(sched)) = self.core.heap.pop() else {
+            return false;
+        };
+        self.core.now = sched.time;
+        // Engine-internal bookkeeping: retire the matching tx record so
+        // stale TxDones from aborted transmissions are suppressed.
+        if let Event::TxDone { port, .. } = sched.event {
+            let valid = if let Some(&ch) = self.core.tx_map.get(&(sched.target, port)) {
+                let inflight = &mut self.core.channels[ch.0].in_flight;
+                if let Some(pos) = inflight
+                    .iter()
+                    .position(|t| t.end == sched.time && t.sender == sched.target)
+                {
+                    inflight.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            if !valid {
+                return true; // aborted transmission: swallow the TxDone
+            }
+        }
+        self.core.events_dispatched += 1;
+        let mut node = self.nodes[sched.target.0]
+            .take()
+            .expect("node re-entrancy is impossible in a sequential engine");
+        {
+            let mut ctx = Context {
+                core: &mut self.core,
+                me: sched.target,
+            };
+            node.on_event(&mut ctx, sched.event);
+        }
+        self.nodes[sched.target.0] = Some(node);
+        true
+    }
+
+    /// Run until the queue drains or `max_events` have been dispatched.
+    pub fn run(&mut self, max_events: u64) {
+        let limit = self.core.events_dispatched + max_events;
+        while self.core.events_dispatched < limit && self.step() {}
+    }
+
+    /// Run until simulated `deadline` (events at exactly `deadline` are
+    /// processed; later ones stay queued).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.core.heap.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.core.now = self.core.now.max(deadline);
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    pub fn node<T: 'static>(&self, id: NodeId) -> &T {
+        self.nodes[id.0]
+            .as_ref()
+            .expect("node present")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .as_mut()
+            .expect("node present")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test node that records everything it sees and can be scripted to
+    /// transmit on timers.
+    #[derive(Default)]
+    struct Probe {
+        frames: Vec<(SimTime, SimTime, Vec<u8>, bool)>,
+        aborted: Vec<(SimTime, usize)>,
+        tx_done: Vec<SimTime>,
+        timers: Vec<(SimTime, u64)>,
+        send_on_timer: Option<(u8, Vec<u8>)>,
+        abort_on_timer: Option<(u64, u8)>,
+    }
+
+    impl Node for Probe {
+        fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+            match ev {
+                Event::Frame(fe) => {
+                    self.frames
+                        .push((fe.first_bit, fe.last_bit, fe.frame.bytes, fe.corrupted))
+                }
+                Event::FrameAborted {
+                    bytes_received, ..
+                } => self.aborted.push((ctx.now(), bytes_received)),
+                Event::TxDone { .. } => self.tx_done.push(ctx.now()),
+                Event::Timer { key } => {
+                    self.timers.push((ctx.now(), key));
+                    if let Some((abort_key, port)) = self.abort_on_timer {
+                        if key == abort_key {
+                            ctx.abort_current_tx(port).unwrap();
+                            return;
+                        }
+                    }
+                    if let Some((port, bytes)) = self.send_on_timer.clone() {
+                        ctx.transmit(port, bytes).unwrap();
+                    }
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    const MBPS_10: u64 = 10_000_000;
+
+    #[test]
+    fn frame_timing_is_byte_accurate() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::from_micros(5));
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![0xAA; 1000]));
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.run(1000);
+
+        // 1000 bytes at 10 Mb/s = 800 µs; prop 5 µs.
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len(), 1);
+        let (first, last, ref bytes, corrupted) = probe_b.frames[0];
+        assert_eq!(first, SimTime(5_000));
+        assert_eq!(last, SimTime(805_000));
+        assert_eq!(bytes.len(), 1000);
+        assert!(!corrupted);
+        // Sender's TxDone at 800 µs (no prop).
+        assert_eq!(sim.node::<Probe>(a).tx_done, vec![SimTime(800_000)]);
+    }
+
+    #[test]
+    fn byte_arrival_math() {
+        let fe = FrameEvent {
+            port: 0,
+            frame: Frame {
+                id: FrameId(0),
+                bytes: vec![0; 100],
+            },
+            first_bit: SimTime(1000),
+            last_bit: SimTime(2000),
+            rate_bps: 8_000_000_000, // 1 byte/ns
+            corrupted: false,
+        };
+        assert_eq!(fe.byte_arrival(0), SimTime(1000));
+        assert_eq!(fe.byte_arrival(18), SimTime(1018));
+    }
+
+    #[test]
+    fn busy_channel_serializes_fifo() {
+        let mut sim = Simulator::new(2);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        // Two back-to-back transmissions queued at the same instant.
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![1; 125])); // 100 µs each
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.kick(SimTime::ZERO, a, 2);
+        sim.run(1000);
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len(), 2);
+        assert_eq!(probe_b.frames[0].0, SimTime::ZERO);
+        assert_eq!(probe_b.frames[1].0, SimTime(100_000), "second waits");
+    }
+
+    #[test]
+    fn abort_notifies_receiver_before_tail() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::from_micros(1));
+        {
+            let pa = sim.node_mut::<Probe>(a);
+            pa.send_on_timer = Some((0, vec![9; 1250])); // 1 ms tx time
+            pa.abort_on_timer = Some((99, 0));
+        }
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.kick(SimTime(400_000), a, 99); // abort 40% through
+        sim.run(1000);
+
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len(), 1, "header already announced");
+        let tail = probe_b.frames[0].1;
+        assert_eq!(probe_b.aborted.len(), 1);
+        let (abort_seen, bytes_rx) = probe_b.aborted[0];
+        assert!(abort_seen < tail, "abort must precede the phantom tail");
+        // 400 µs at 10 Mb/s = 500 bytes.
+        assert_eq!(bytes_rx, 500);
+        // Sender never gets a TxDone for the aborted frame.
+        assert!(sim.node::<Probe>(a).tx_done.is_empty());
+    }
+
+    #[test]
+    fn abort_frees_the_channel() {
+        let mut sim = Simulator::new(4);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        {
+            let pa = sim.node_mut::<Probe>(a);
+            pa.send_on_timer = Some((0, vec![7; 1250]));
+            pa.abort_on_timer = Some((99, 0));
+        }
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.kick(SimTime(100_000), a, 99);
+        // A new transmission right after the abort goes out immediately.
+        sim.kick(SimTime(100_000), a, 2);
+        sim.run(1000);
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len(), 2);
+        assert_eq!(probe_b.frames[1].0, SimTime(100_000));
+        assert_eq!(sim.channel_stats(ab).aborts, 1);
+    }
+
+    #[test]
+    fn shared_bus_broadcasts_to_all_other_taps() {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let c = sim.add_node(Box::<Probe>::default());
+        let bus = sim.add_channel(MBPS_10, SimDuration::from_micros(2));
+        sim.attach(bus, a, 0);
+        sim.attach(bus, b, 0);
+        sim.attach(bus, c, 0);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![3; 100]));
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.run(100);
+        assert_eq!(sim.node::<Probe>(b).frames.len(), 1);
+        assert_eq!(sim.node::<Probe>(c).frames.len(), 1);
+        assert_eq!(sim.node::<Probe>(a).frames.len(), 0, "no self-delivery");
+    }
+
+    #[test]
+    fn fault_injection_drops_and_corrupts() {
+        let mut sim = Simulator::new(6);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.set_faults(
+            ab,
+            FaultConfig {
+                drop_prob: 0.3,
+                corrupt_prob: 0.3,
+            },
+        );
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![0x55; 64]));
+        for i in 0..200 {
+            sim.kick(SimTime(i * 1_000_000), a, 1);
+        }
+        sim.run(10_000);
+        let st = sim.channel_stats(ab);
+        assert!(st.drops > 20, "drops={}", st.drops);
+        assert!(st.corrupted > 20, "corrupted={}", st.corrupted);
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len() as u64, 200 - st.drops);
+        let corrupt_seen = probe_b.frames.iter().filter(|f| f.3).count() as u64;
+        assert_eq!(corrupt_seen, st.corrupted);
+        // Corruption really flips a byte.
+        for f in probe_b.frames.iter().filter(|f| f.3) {
+            assert_ne!(f.2, vec![0x55; 64]);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        fn run(seed: u64) -> Vec<(SimTime, usize)> {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node(Box::<Probe>::default());
+            let b = sim.add_node(Box::<Probe>::default());
+            let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::from_micros(3));
+            sim.set_faults(
+                ab,
+                FaultConfig {
+                    drop_prob: 0.2,
+                    corrupt_prob: 0.2,
+                },
+            );
+            sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![1; 99]));
+            for i in 0..50 {
+                sim.kick(SimTime(i * 500_000), a, 1);
+            }
+            sim.run(10_000);
+            sim.node::<Probe>(b)
+                .frames
+                .iter()
+                .map(|f| (f.0, f.2.len()))
+                .collect()
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut sim = Simulator::new(7);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![1; 125])); // 100 µs
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.kick(SimTime(500_000), a, 1);
+        sim.run_until(SimTime(1_000_000));
+        let st = sim.channel_stats(ab);
+        assert_eq!(st.frames, 2);
+        assert_eq!(st.busy, SimDuration::from_micros(200));
+        let u = st.utilization(SimDuration::from_millis(1));
+        assert!((u - 0.2).abs() < 1e-9, "u={u}");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Simulator::new(8);
+        sim.run_until(SimTime(5_000_000));
+        assert_eq!(sim.now(), SimTime(5_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let mut sim = Simulator::new(9);
+        let a = sim.add_node(Box::<Probe>::default());
+        let ch1 = sim.add_channel(MBPS_10, SimDuration::ZERO);
+        let ch2 = sim.add_channel(MBPS_10, SimDuration::ZERO);
+        sim.attach(ch1, a, 0);
+        sim.attach(ch2, a, 0);
+    }
+
+    #[test]
+    fn abort_without_tx_errors() {
+        struct Aborter(Option<SimError>);
+        impl Node for Aborter {
+            fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+                if matches!(ev, Event::Timer { .. }) {
+                    self.0 = ctx.abort_current_tx(0).err();
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(10);
+        let a = sim.add_node(Box::new(Aborter(None)));
+        let b = sim.add_node(Box::<Probe>::default());
+        sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.kick(SimTime::ZERO, a, 0);
+        sim.run(10);
+        assert_eq!(sim.node::<Aborter>(a).0, Some(SimError::NothingToAbort));
+    }
+
+    #[test]
+    fn trace_collection() {
+        struct Tracer;
+        impl Node for Tracer {
+            fn on_event(&mut self, ctx: &mut Context<'_>, _ev: Event) {
+                ctx.trace(|| "hello".to_string());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(11);
+        let a = sim.add_node(Box::new(Tracer));
+        sim.enable_trace();
+        sim.kick(SimTime(100), a, 0);
+        sim.run(10);
+        assert_eq!(sim.trace().len(), 1);
+        assert_eq!(sim.trace()[0].2, "hello");
+    }
+}

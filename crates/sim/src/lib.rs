@@ -1,0 +1,31 @@
+//! # sirpent-sim — deterministic discrete-event network simulator
+//!
+//! The substrate under the Sirpent/VIPER reproduction. The paper's
+//! evaluation (§6) reasons about byte-level timing — when a header has
+//! arrived versus when a whole packet has arrived — so the engine models
+//! **partial frame arrival** explicitly: receivers learn of a frame when
+//! its first bit lands and are told when its last bit will, letting
+//! cut-through and store-and-forward switches be expressed faithfully and
+//! compared on identical topologies.
+//!
+//! * [`engine`] — event queue, nodes, channels (point-to-point links and
+//!   shared broadcast segments), preemptive aborts, fault injection.
+//! * [`time`] — nanosecond clock and rate arithmetic.
+//! * [`workload`] — the paper's §6.2 packet-size mix and hop-count
+//!   locality model, plus Poisson/CBR/bursty-on-off arrival processes.
+//! * [`stats`] — summaries, histograms, time-weighted averages, and the
+//!   analytic M/D/1 results §6.1 quotes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod stats;
+pub mod time;
+pub mod workload;
+
+pub use engine::{
+    AbortInfo, ChannelId, Context, Event, FaultConfig, Frame, FrameEvent, FrameId, Node, NodeId,
+    SimError, Simulator, TxInfo,
+};
+pub use time::{bytes_in, transmission_time, SimDuration, SimTime};

@@ -1,0 +1,277 @@
+//! Measurement utilities: running summaries, delay histograms, and
+//! time-weighted averages (for queue lengths and utilization).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Running scalar summary: count / mean / min / max / variance (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Create an empty summary.
+    pub fn new() -> Summary {
+        Summary {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Fixed-bucket histogram over durations, log₂-spaced from 1 ns up.
+#[derive(Debug, Clone)]
+pub struct DelayHistogram {
+    buckets: Vec<u64>,
+    summary: Summary,
+}
+
+impl DelayHistogram {
+    /// 64 log₂ buckets cover 1 ns … ~584 years.
+    pub fn new() -> DelayHistogram {
+        DelayHistogram {
+            buckets: vec![0; 64],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Record one delay.
+    pub fn record(&mut self, d: SimDuration) {
+        let idx = 64 - d.as_nanos().max(1).leading_zeros() as usize - 1;
+        self.buckets[idx.min(63)] += 1;
+        self.summary.record_duration(d);
+    }
+
+    /// The scalar summary.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Approximate percentile (by bucket upper bound), `p` in 0..=100.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = (p / 100.0 * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return SimDuration(1u64 << (i + 1).min(63));
+            }
+        }
+        SimDuration(u64::MAX)
+    }
+}
+
+impl Default for DelayHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Time-weighted average of a step function (e.g. queue length over
+/// time). Integrates value·dt between updates.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    last_v: f64,
+    integral: f64,
+    t0: SimTime,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `t0` with initial value `v0`.
+    pub fn new(t0: SimTime, v0: f64) -> TimeWeighted {
+        TimeWeighted {
+            last_t: t0,
+            last_v: v0,
+            integral: 0.0,
+            t0,
+            peak: v0,
+        }
+    }
+
+    /// The value changed to `v` at time `t`.
+    pub fn update(&mut self, t: SimTime, v: f64) {
+        let dt = (t - self.last_t).as_secs_f64();
+        self.integral += self.last_v * dt;
+        self.last_t = t;
+        self.last_v = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Time-weighted mean over `[t0, t]`.
+    pub fn mean_at(&self, t: SimTime) -> f64 {
+        let span = (t - self.t0).as_secs_f64();
+        if span <= 0.0 {
+            return self.last_v;
+        }
+        let tail = (t - self.last_t).as_secs_f64();
+        (self.integral + self.last_v * tail) / span
+    }
+
+    /// Largest value seen.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The current value.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+}
+
+/// Analytic M/D/1 queueing results used by §6.1 ("M/D/1 modeling of the
+/// queue suggests an average queue length of approximately one packet or
+/// less … at up to about 70 percent utilization").
+pub mod mdl {
+    /// Mean number in system (including the one in service) for M/D/1 at
+    /// utilization `rho` (Pollaczek–Khinchine).
+    pub fn mean_in_system(rho: f64) -> f64 {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
+        rho + rho * rho / (2.0 * (1.0 - rho))
+    }
+
+    /// Mean *waiting* time in units of the (deterministic) service time.
+    pub fn mean_wait_in_service_times(rho: f64) -> f64 {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0,1)");
+        rho / (2.0 * (1.0 - rho))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = DelayHistogram::new();
+        for us in [1u64, 2, 4, 8, 100, 1000] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.summary().count(), 6);
+        assert!(h.percentile(50.0) <= SimDuration::from_micros(16));
+        assert!(h.percentile(100.0) >= SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn time_weighted_square_wave() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime(500_000_000), 2.0); // 0 for 0.5 s
+        tw.update(SimTime(1_000_000_000), 0.0); // 2 for 0.5 s
+        let mean = tw.mean_at(SimTime(1_000_000_000));
+        assert!((mean - 1.0).abs() < 1e-12, "mean={mean}");
+        assert_eq!(tw.peak(), 2.0);
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn mdl_matches_paper_70_percent_claim() {
+        // At ρ = 0.7 the mean number in system is ≈ 1.52 and the mean
+        // queue (excluding in service) is ≈ 0.82 — "approximately one
+        // packet or less, excluding the packet currently being
+        // transmitted" (§6.1).
+        let rho: f64 = 0.7;
+        let in_system = mdl::mean_in_system(rho);
+        let queued = in_system - rho;
+        assert!(queued < 1.0, "queued={queued}");
+        assert!(queued > 0.5);
+        // "The average queueing delay is then approximately the
+        // transmission time for half an average packet" at moderate load:
+        // at ρ = 0.5 the wait is exactly 0.5 service times.
+        let w = mdl::mean_wait_in_service_times(0.5);
+        assert!((w - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn mdl_rejects_unstable_rho() {
+        let _ = mdl::mean_in_system(1.0);
+    }
+}

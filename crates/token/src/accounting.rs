@@ -1,0 +1,105 @@
+//! Per-account usage ledger.
+//!
+//! §2.2: "Cache entries are also used to maintain accounting information
+//! such as packet or byte counts to be charged to the account designated
+//! by the token." The ledger lives beside the token cache; the routing
+//! directory (which mints tokens) can collect it for billing.
+
+use std::collections::HashMap;
+
+use sirpent_wire::token::AccountId;
+
+/// Usage charged to one account.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Usage {
+    /// Packets forwarded on this account.
+    pub packets: u64,
+    /// Bytes forwarded on this account.
+    pub bytes: u64,
+}
+
+/// The ledger: account → usage.
+#[derive(Debug, Clone, Default)]
+pub struct Accounting {
+    ledger: HashMap<AccountId, Usage>,
+}
+
+impl Accounting {
+    /// An empty ledger.
+    pub fn new() -> Accounting {
+        Accounting::default()
+    }
+
+    /// Charge one packet of `bytes` to `account`.
+    pub fn charge(&mut self, account: AccountId, bytes: u64) {
+        let u = self.ledger.entry(account).or_default();
+        u.packets += 1;
+        u.bytes += bytes;
+    }
+
+    /// Usage for one account (zero if never charged).
+    pub fn usage(&self, account: AccountId) -> Usage {
+        self.ledger.get(&account).copied().unwrap_or_default()
+    }
+
+    /// Iterate over all (account, usage) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (AccountId, Usage)> + '_ {
+        self.ledger.iter().map(|(&a, &u)| (a, u))
+    }
+
+    /// Number of accounts with any usage.
+    pub fn accounts(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// Total bytes charged across all accounts.
+    pub fn total_bytes(&self) -> u64 {
+        self.ledger.values().map(|u| u.bytes).sum()
+    }
+
+    /// Fold another ledger into this one (directory-side aggregation of
+    /// reports from many routers).
+    pub fn merge(&mut self, other: &Accounting) {
+        for (a, u) in other.iter() {
+            let e = self.ledger.entry(a).or_default();
+            e.packets += u.packets;
+            e.bytes += u.bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut a = Accounting::new();
+        a.charge(1, 100);
+        a.charge(1, 50);
+        a.charge(2, 10);
+        assert_eq!(a.usage(1), Usage {
+            packets: 2,
+            bytes: 150
+        });
+        assert_eq!(a.usage(2).packets, 1);
+        assert_eq!(a.usage(3), Usage::default());
+        assert_eq!(a.accounts(), 2);
+        assert_eq!(a.total_bytes(), 160);
+    }
+
+    #[test]
+    fn merge_aggregates_routers() {
+        let mut r1 = Accounting::new();
+        let mut r2 = Accounting::new();
+        r1.charge(1, 10);
+        r2.charge(1, 20);
+        r2.charge(2, 5);
+        let mut dir = Accounting::new();
+        dir.merge(&r1);
+        dir.merge(&r2);
+        assert_eq!(dir.usage(1).bytes, 30);
+        assert_eq!(dir.usage(1).packets, 2);
+        assert_eq!(dir.usage(2).bytes, 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! # sirpent-token — encrypted port-token capabilities
+//!
+//! §2.2 of the paper bases Sirpent's resource management on **tokens**:
+//! encrypted, difficult-to-forge capabilities that name the output port
+//! and type of service they authorize, the account to charge, an optional
+//! usage limit, and whether the reverse route is covered. This crate
+//! provides:
+//!
+//! * [`cipher`] — a from-scratch Speck64/128 block cipher (the approved
+//!   dependency list has no crypto crate);
+//! * [`seal`] — encrypt-then-MAC sealing of the 24-byte token body into
+//!   the opaque 32-byte wire blob;
+//! * [`cache`] — the router-side token cache with the paper's three
+//!   first-packet policies (optimistic / blocking / drop) and the
+//!   invalid-token-flood escalation;
+//! * [`mint`] — directory-side token issuance;
+//! * [`accounting`] — the per-account usage ledger cache entries feed.
+//!
+//! ```
+//! use sirpent_token::{TokenMinter, Grant, TokenCache, AuthPolicy, Decision};
+//! use sirpent_wire::viper::Priority;
+//!
+//! let mut minter = TokenMinter::new(0xD0_0D_A1, 7);
+//! let token = minter.mint(Grant {
+//!     router_id: 3, port: 2, max_priority: Priority::new(5),
+//!     reverse_ok: true, account: 42, byte_limit: 0, expiry_s: 0,
+//! });
+//! let mut cache = TokenCache::new(minter.router_key(3), 3, AuthPolicy::Optimistic);
+//! let outcome = cache.check(&token, 2, None, Priority::NORMAL, 1000, 0);
+//! assert_eq!(outcome.decision, Decision::Forward);
+//! assert_eq!(cache.accounting().usage(42).bytes, 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod cache;
+pub mod cipher;
+pub mod mint;
+pub mod seal;
+
+pub use accounting::{Accounting, Usage};
+pub use cache::{AttackResponse, AuthPolicy, CheckOutcome, Decision, RejectReason, TokenCache};
+pub use cipher::{Key, Speck64};
+pub use mint::{Grant, TokenMinter};
+pub use seal::{SealingKey, TokenError};

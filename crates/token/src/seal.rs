@@ -1,0 +1,185 @@
+//! Sealing token bodies into opaque, difficult-to-forge capabilities.
+//!
+//! A token body (24 bytes, layout in `sirpent_wire::token`) is CBC
+//! encrypted under the router's encryption key, then a CBC-MAC under a
+//! distinct MAC key is appended (encrypt-then-MAC), giving the 32-byte
+//! blob carried in the VIPER `portToken` field. "These tokens are opaque
+//! capabilities to all but the router and the administration domain that
+//! manages the router" (§5).
+
+use crate::cipher::{Key, Speck64};
+use sirpent_wire::token::{Body, BODY_LEN, SEALED_LEN};
+
+/// Why a token failed to unseal or authorize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenError {
+    /// Wrong length for a sealed token.
+    BadLength,
+    /// MAC verification failed — forged or corrupted.
+    BadMac,
+    /// Decrypted body failed structural validation.
+    BadBody,
+}
+
+impl core::fmt::Display for TokenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TokenError::BadLength => write!(f, "sealed token has wrong length"),
+            TokenError::BadMac => write!(f, "token MAC verification failed"),
+            TokenError::BadBody => write!(f, "token body is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// The pair of keys a router (or its administrative domain) holds.
+#[derive(Debug, Clone)]
+pub struct SealingKey {
+    enc: Speck64,
+    mac: Speck64,
+}
+
+impl SealingKey {
+    /// Construct from explicit key material.
+    pub fn new(enc_key: Key, mac_key: Key) -> SealingKey {
+        SealingKey {
+            enc: Speck64::new(enc_key),
+            mac: Speck64::new(mac_key),
+        }
+    }
+
+    /// Derive a router's sealing key from a domain master secret — a
+    /// tiny KDF built from the cipher itself. Routers in the same
+    /// administrative domain share the master; distinct routers get
+    /// distinct keys.
+    pub fn derive(master: u64, router_id: u32) -> SealingKey {
+        let kdf = Speck64::new(Key([
+            master as u32,
+            (master >> 32) as u32,
+            0x5EA1_1395, // "sealing" domain-separation constants
+            0x0000_CDF5,
+        ]));
+        let mut words = [0u32; 8];
+        for (i, w) in words.iter_mut().enumerate() {
+            let block = kdf.encrypt_block(((router_id as u64) << 8) | i as u64);
+            *w = (block ^ (block >> 32)) as u32;
+        }
+        SealingKey::new(
+            Key([words[0], words[1], words[2], words[3]]),
+            Key([words[4], words[5], words[6], words[7]]),
+        )
+    }
+
+    /// Seal a body into the 32-byte wire token.
+    pub fn seal(&self, body: &Body) -> [u8; SEALED_LEN] {
+        let mut out = [0u8; SEALED_LEN];
+        out[..BODY_LEN].copy_from_slice(&body.to_bytes());
+        self.enc.cbc_encrypt(&mut out[..BODY_LEN]);
+        let tag = self.mac.cbc_mac(&out[..BODY_LEN]);
+        out[BODY_LEN..].copy_from_slice(&tag.to_be_bytes());
+        out
+    }
+
+    /// Verify and open a sealed token.
+    pub fn unseal(&self, sealed: &[u8]) -> Result<Body, TokenError> {
+        if sealed.len() != SEALED_LEN {
+            return Err(TokenError::BadLength);
+        }
+        let claimed = u64::from_be_bytes(sealed[BODY_LEN..].try_into().unwrap());
+        if self.mac.cbc_mac(&sealed[..BODY_LEN]) != claimed {
+            return Err(TokenError::BadMac);
+        }
+        let mut pt = sealed[..BODY_LEN].to_vec();
+        self.enc.cbc_decrypt(&mut pt);
+        Body::parse(&pt).map_err(|_| TokenError::BadBody)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirpent_wire::viper::Priority;
+
+    fn body() -> Body {
+        Body {
+            port: 4,
+            max_priority: Priority::new(5),
+            reverse_ok: true,
+            account: 1001,
+            byte_limit: 0,
+            expiry_s: 0,
+            router_id: 7,
+            nonce: 0x1234_5678,
+        }
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let k = SealingKey::derive(0xDEAD_BEEF_CAFE_F00D, 7);
+        let sealed = k.seal(&body());
+        assert_eq!(sealed.len(), SEALED_LEN);
+        assert_eq!(k.unseal(&sealed).unwrap(), body());
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let k = SealingKey::derive(1, 1);
+        let sealed = k.seal(&body());
+        for i in 0..SEALED_LEN {
+            for bit in 0..8 {
+                let mut forged = sealed;
+                forged[i] ^= 1 << bit;
+                assert!(
+                    k.unseal(&forged).is_err(),
+                    "flip at {i}.{bit} must not verify"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_router_key_rejects() {
+        let k7 = SealingKey::derive(99, 7);
+        let k8 = SealingKey::derive(99, 8);
+        let sealed = k7.seal(&body());
+        assert_eq!(k8.unseal(&sealed).unwrap_err(), TokenError::BadMac);
+    }
+
+    #[test]
+    fn wrong_master_rejects() {
+        let a = SealingKey::derive(1, 7);
+        let b = SealingKey::derive(2, 7);
+        assert!(b.unseal(&a.seal(&body())).is_err());
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let k = SealingKey::derive(1, 1);
+        assert_eq!(k.unseal(&[0u8; 31]).unwrap_err(), TokenError::BadLength);
+        assert_eq!(k.unseal(&[]).unwrap_err(), TokenError::BadLength);
+    }
+
+    #[test]
+    fn tokens_are_opaque() {
+        // The sealed form must not leak the account id or port in clear.
+        let k = SealingKey::derive(42, 3);
+        let b = body();
+        let sealed = k.seal(&b);
+        let plain = b.to_bytes();
+        // No 4-byte window of the sealed token equals the account bytes.
+        let acct = b.account.to_be_bytes();
+        assert!(!sealed.windows(4).any(|w| w == acct));
+        assert_ne!(&sealed[..BODY_LEN], &plain[..]);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_tokens() {
+        let k = SealingKey::derive(42, 3);
+        let mut b1 = body();
+        let mut b2 = body();
+        b1.nonce = 1;
+        b2.nonce = 2;
+        assert_ne!(k.seal(&b1), k.seal(&b2));
+    }
+}

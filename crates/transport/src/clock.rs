@@ -1,0 +1,159 @@
+//! Per-host clocks and loose synchronization.
+//!
+//! §4.2 requires "approximately synchronized clocks among the
+//! communicating hosts" for timestamp-based lifetime enforcement, and
+//! argues this is feasible via clock-synchronization protocols and radio
+//! time sources; "clock synchronization need not be more accurate than
+//! multiple seconds".
+//!
+//! Each host clock has an offset and a frequency skew relative to
+//! simulated true time. A [`SyncService`] models periodic correction
+//! with a bounded residual error (the WWV/NTP-style substitute).
+
+use sirpent_sim::SimTime;
+
+/// A host's real-time-of-day clock, reporting 32-bit milliseconds since
+/// the epoch, modulo 2³² (the VMTP timestamp domain, §4.2).
+#[derive(Debug, Clone, Copy)]
+pub struct HostClock {
+    /// Epoch value of true time zero, in ms (lets tests place the clock
+    /// near the 32-bit wraparound).
+    pub epoch_ms: u64,
+    /// Fixed offset error, ms (positive = fast).
+    pub offset_ms: i64,
+    /// Frequency error in parts per million.
+    pub skew_ppm: f64,
+}
+
+impl HostClock {
+    /// A perfect clock starting at `epoch_ms`.
+    pub fn perfect(epoch_ms: u64) -> HostClock {
+        HostClock {
+            epoch_ms,
+            offset_ms: 0,
+            skew_ppm: 0.0,
+        }
+    }
+
+    /// The 32-bit millisecond timestamp this host believes it is at
+    /// simulated instant `now`. Never returns the reserved invalid value
+    /// 0 (maps to 1), matching §4.2's "a timestamp value of 0 is reserved
+    /// to mean that the timestamp is invalid".
+    pub fn now_ms(&self, now: SimTime) -> u32 {
+        let true_ms = now.as_nanos() as f64 / 1e6;
+        let drift = true_ms * self.skew_ppm / 1e6;
+        let local = self.epoch_ms as i64 + true_ms as i64 + drift as i64 + self.offset_ms;
+        let wrapped = (local.rem_euclid(1 << 32)) as u32;
+        if wrapped == 0 {
+            1
+        } else {
+            wrapped
+        }
+    }
+
+    /// Apply a synchronization correction of `delta_ms`.
+    pub fn adjust(&mut self, delta_ms: i64) {
+        self.offset_ms += delta_ms;
+    }
+
+    /// Current error against true time, in ms (ignoring skew accumulated
+    /// after the last adjustment — used by tests and the sync model).
+    pub fn error_ms(&self, now: SimTime) -> i64 {
+        let true_ms = now.as_nanos() as f64 / 1e6;
+        let drift = (true_ms * self.skew_ppm / 1e6) as i64;
+        self.offset_ms + drift
+    }
+}
+
+/// A model of a clock-synchronization service: each `sync` pulls the
+/// clock to within `residual_ms` of true time (probabilistically exact
+/// here — the bound is what matters for §4.2).
+#[derive(Debug, Clone, Copy)]
+pub struct SyncService {
+    /// Residual error after a synchronization, ms.
+    pub residual_ms: i64,
+}
+
+impl SyncService {
+    /// Synchronize `clock` at instant `now`.
+    pub fn sync(&self, clock: &mut HostClock, now: SimTime) {
+        let err = clock.error_ms(now);
+        if err.abs() > self.residual_ms {
+            let target = if err > 0 {
+                self.residual_ms
+            } else {
+                -self.residual_ms
+            };
+            clock.adjust(target - err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirpent_sim::SimDuration;
+
+    #[test]
+    fn perfect_clock_tracks_true_time() {
+        let c = HostClock::perfect(1_000_000);
+        assert_eq!(c.now_ms(SimTime::ZERO), 1_000_000);
+        assert_eq!(
+            c.now_ms(SimTime::ZERO + SimDuration::from_millis(2500)),
+            1_002_500
+        );
+    }
+
+    #[test]
+    fn offset_and_skew_shift_readings() {
+        let mut c = HostClock::perfect(0);
+        c.offset_ms = 3000;
+        assert_eq!(c.now_ms(SimTime::ZERO), 3000);
+        c.skew_ppm = 1000.0; // 1 ms fast per second
+        let t = SimTime::ZERO + SimDuration::from_secs(100);
+        assert_eq!(c.now_ms(t), 3000 + 100_000 + 100);
+    }
+
+    #[test]
+    fn wraps_modulo_2_32() {
+        let c = HostClock::perfect((1u64 << 32) - 10);
+        let t = SimTime::ZERO + SimDuration::from_millis(20);
+        // 2^32 - 10 + 20 = 2^32 + 10 → wraps to 10.
+        assert_eq!(c.now_ms(t), 10);
+    }
+
+    #[test]
+    fn zero_reading_maps_to_one() {
+        let c = HostClock::perfect(0);
+        assert_eq!(c.now_ms(SimTime::ZERO), 1, "0 is the invalid sentinel");
+    }
+
+    #[test]
+    fn sync_bounds_error() {
+        let mut c = HostClock::perfect(0);
+        c.offset_ms = 50_000;
+        let s = SyncService { residual_ms: 2000 };
+        s.sync(&mut c, SimTime::ZERO);
+        assert!(c.error_ms(SimTime::ZERO).abs() <= 2000);
+
+        c.offset_ms = -80_000;
+        s.sync(&mut c, SimTime::ZERO);
+        assert!(c.error_ms(SimTime::ZERO).abs() <= 2000);
+
+        // Already within bound: untouched.
+        let before = c.offset_ms;
+        s.sync(&mut c, SimTime::ZERO);
+        assert_eq!(c.offset_ms, before);
+    }
+
+    #[test]
+    fn skew_accumulates_until_next_sync() {
+        let mut c = HostClock::perfect(0);
+        c.skew_ppm = 500.0; // 0.5 ms/s
+        let s = SyncService { residual_ms: 100 };
+        let t1 = SimTime::ZERO + SimDuration::from_secs(3600);
+        assert!(c.error_ms(t1) > 1000, "an hour of drift exceeds a second");
+        s.sync(&mut c, t1);
+        assert!(c.error_ms(t1).abs() <= 100);
+    }
+}

@@ -1,0 +1,291 @@
+//! Multi-route failover (§6.3).
+//!
+//! "Clients can request multiple routes (rather than a single route) to
+//! the desired host or service, and switch between these routes based on
+//! the performance of the different routes. Because the client knows the
+//! base round trip time for the route, measures the actual round trip
+//! time as part of reliable communication, and receives feedback from
+//! the rate-based congestion control mechanism …, it is able to quickly
+//! detect and react to congestion and link failures."
+//!
+//! The manager is generic over the route payload `R` (the core crate
+//! stores compiled VIPER routes in it).
+
+use sirpent_sim::{SimDuration, SimTime};
+
+/// Detection thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverPolicy {
+    /// Switch when the measured RTT exceeds `rtt_factor ×` the base RTT.
+    pub rtt_factor: f64,
+    /// Switch after this many consecutive losses (timeouts).
+    pub loss_threshold: u32,
+    /// Switch immediately on receiving backpressure naming our route.
+    pub switch_on_backpressure: bool,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> Self {
+        FailoverPolicy {
+            rtt_factor: 3.0,
+            loss_threshold: 2,
+            switch_on_backpressure: true,
+        }
+    }
+}
+
+/// One managed route and its health state.
+#[derive(Debug, Clone)]
+struct Managed<R> {
+    route: R,
+    base_rtt: SimDuration,
+    consecutive_losses: u32,
+    samples: u64,
+    last_rtt: Option<SimDuration>,
+}
+
+/// What the client learned from an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Keep using the current route.
+    Stay,
+    /// Switched to the route now current (index given).
+    Switched(usize),
+    /// All routes look bad; a directory re-query is needed
+    /// (on-use cache invalidation, §3).
+    Requery,
+}
+
+/// The failover manager.
+#[derive(Debug, Clone)]
+pub struct RouteSet<R> {
+    routes: Vec<Managed<R>>,
+    current: usize,
+    policy: FailoverPolicy,
+    /// Total route switches performed.
+    pub switches: u64,
+    /// When the last switch happened.
+    pub last_switch: Option<SimTime>,
+}
+
+impl<R> RouteSet<R> {
+    /// Manage a set of (route, base-RTT) alternatives; the first is used
+    /// initially.
+    pub fn new(routes: Vec<(R, SimDuration)>, policy: FailoverPolicy) -> RouteSet<R> {
+        assert!(!routes.is_empty(), "at least one route required");
+        RouteSet {
+            routes: routes
+                .into_iter()
+                .map(|(route, base_rtt)| Managed {
+                    route,
+                    base_rtt,
+                    consecutive_losses: 0,
+                    samples: 0,
+                    last_rtt: None,
+                })
+                .collect(),
+            current: 0,
+            policy,
+            switches: 0,
+            last_switch: None,
+        }
+    }
+
+    /// The route in use.
+    pub fn current(&self) -> &R {
+        &self.routes[self.current].route
+    }
+
+    /// Index of the route in use.
+    pub fn current_index(&self) -> usize {
+        self.current
+    }
+
+    /// Number of alternatives.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Base RTT of the current route ("the client knows the base round
+    /// trip time", §6.3).
+    pub fn base_rtt(&self) -> SimDuration {
+        self.routes[self.current].base_rtt
+    }
+
+    /// A retransmission timeout for the current route: a small multiple
+    /// of base RTT before any samples, then of the last measured RTT.
+    pub fn timeout(&self) -> SimDuration {
+        let m = &self.routes[self.current];
+        let basis = m.last_rtt.unwrap_or(m.base_rtt);
+        SimDuration(basis.as_nanos().saturating_mul(2).max(1))
+    }
+
+    fn switch(&mut self, now: SimTime) -> Verdict {
+        if self.routes.len() == 1 {
+            return Verdict::Requery;
+        }
+        let all_bad = self
+            .routes
+            .iter()
+            .all(|r| r.consecutive_losses >= self.policy.loss_threshold);
+        if all_bad {
+            return Verdict::Requery;
+        }
+        // Rotate to the next route that isn't known-bad.
+        let n = self.routes.len();
+        for step in 1..n {
+            let cand = (self.current + step) % n;
+            if self.routes[cand].consecutive_losses < self.policy.loss_threshold {
+                self.current = cand;
+                self.switches += 1;
+                self.last_switch = Some(now);
+                return Verdict::Switched(cand);
+            }
+        }
+        Verdict::Requery
+    }
+
+    /// An RTT sample completed on the current route.
+    pub fn on_rtt_sample(&mut self, now: SimTime, rtt: SimDuration) -> Verdict {
+        let m = &mut self.routes[self.current];
+        m.samples += 1;
+        m.last_rtt = Some(rtt);
+        m.consecutive_losses = 0;
+        let limit = m.base_rtt.as_nanos() as f64 * self.policy.rtt_factor;
+        if rtt.as_nanos() as f64 > limit {
+            // Congestion detected by RTT inflation.
+            self.switch(now)
+        } else {
+            Verdict::Stay
+        }
+    }
+
+    /// A timeout (loss) on the current route.
+    pub fn on_loss(&mut self, now: SimTime) -> Verdict {
+        let m = &mut self.routes[self.current];
+        m.consecutive_losses += 1;
+        if m.consecutive_losses >= self.policy.loss_threshold {
+            self.switch(now)
+        } else {
+            Verdict::Stay
+        }
+    }
+
+    /// Backpressure feedback arrived attributable to the current route.
+    pub fn on_backpressure(&mut self, now: SimTime) -> Verdict {
+        if self.policy.switch_on_backpressure {
+            self.switch(now)
+        } else {
+            Verdict::Stay
+        }
+    }
+
+    /// Replace the whole set after a directory re-query.
+    pub fn replace(&mut self, routes: Vec<(R, SimDuration)>) {
+        assert!(!routes.is_empty());
+        *self = RouteSet::new(routes, self.policy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> RouteSet<&'static str> {
+        RouteSet::new(
+            vec![
+                ("primary", SimDuration::from_millis(2)),
+                ("backup", SimDuration::from_millis(5)),
+            ],
+            FailoverPolicy::default(),
+        )
+    }
+
+    #[test]
+    fn healthy_route_stays() {
+        let mut s = set();
+        for _ in 0..10 {
+            assert_eq!(
+                s.on_rtt_sample(SimTime(1), SimDuration::from_millis(2)),
+                Verdict::Stay
+            );
+        }
+        assert_eq!(*s.current(), "primary");
+        assert_eq!(s.switches, 0);
+    }
+
+    #[test]
+    fn rtt_inflation_triggers_switch() {
+        let mut s = set();
+        // 3× base = 6 ms; 7 ms sample trips it.
+        let v = s.on_rtt_sample(SimTime(9), SimDuration::from_millis(7));
+        assert_eq!(v, Verdict::Switched(1));
+        assert_eq!(*s.current(), "backup");
+        assert_eq!(s.last_switch, Some(SimTime(9)));
+    }
+
+    #[test]
+    fn losses_trigger_switch_then_requery() {
+        let mut s = set();
+        assert_eq!(s.on_loss(SimTime(1)), Verdict::Stay);
+        assert_eq!(s.on_loss(SimTime(2)), Verdict::Switched(1));
+        // Backup dies too → nothing left → requery.
+        assert_eq!(s.on_loss(SimTime(3)), Verdict::Stay);
+        assert_eq!(s.on_loss(SimTime(4)), Verdict::Requery);
+    }
+
+    #[test]
+    fn success_resets_loss_counter() {
+        let mut s = set();
+        s.on_loss(SimTime(1));
+        s.on_rtt_sample(SimTime(2), SimDuration::from_millis(2));
+        assert_eq!(s.on_loss(SimTime(3)), Verdict::Stay, "counter was reset");
+    }
+
+    #[test]
+    fn backpressure_switches_when_enabled() {
+        let mut s = set();
+        assert_eq!(s.on_backpressure(SimTime(5)), Verdict::Switched(1));
+        let mut s2 = RouteSet::new(
+            vec![("only", SimDuration::from_millis(1))],
+            FailoverPolicy {
+                switch_on_backpressure: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s2.on_backpressure(SimTime(5)), Verdict::Stay);
+    }
+
+    #[test]
+    fn timeout_uses_base_then_measured_rtt() {
+        let mut s = set();
+        assert_eq!(s.timeout(), SimDuration::from_millis(4), "2× base");
+        s.on_rtt_sample(SimTime(1), SimDuration::from_millis(3));
+        assert_eq!(s.timeout(), SimDuration::from_millis(6), "2× measured");
+    }
+
+    #[test]
+    fn replace_resets_state() {
+        let mut s = set();
+        s.on_loss(SimTime(1));
+        s.on_loss(SimTime(2));
+        s.replace(vec![("fresh", SimDuration::from_millis(1))]);
+        assert_eq!(*s.current(), "fresh");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn single_route_requery_on_failure() {
+        let mut s = RouteSet::new(
+            vec![("only", SimDuration::from_millis(1))],
+            FailoverPolicy::default(),
+        );
+        s.on_loss(SimTime(1));
+        assert_eq!(s.on_loss(SimTime(2)), Verdict::Requery);
+    }
+}

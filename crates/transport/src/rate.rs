@@ -1,0 +1,134 @@
+//! Rate-based transmission pacing (§2.1, §4.3).
+//!
+//! VMTP and NetBLT are the paper's examples of rate-based transports:
+//! the sender spaces packets by a configured rate, and cut-through
+//! switching "preserves the gaps introduced by the sender". The pacer
+//! also reacts to network rate-control feedback (multiplicative decrease)
+//! and recovers additively, mirroring the network-layer mechanism end to
+//! end.
+
+use sirpent_sim::{transmission_time, SimDuration, SimTime};
+
+/// A sender-side pacer.
+#[derive(Debug, Clone, Copy)]
+pub struct RatePacer {
+    /// Current sending rate, bits/sec.
+    pub rate_bps: u64,
+    /// Upper bound (line or policy rate).
+    pub max_bps: u64,
+    /// Lower bound.
+    pub min_bps: u64,
+    /// Additive recovery per interval.
+    pub increase_step_bps: u64,
+    /// Recovery interval.
+    pub increase_interval: SimDuration,
+    next_send: SimTime,
+    last_increase: SimTime,
+}
+
+impl RatePacer {
+    /// A pacer starting at `rate_bps` with bounds.
+    pub fn new(rate_bps: u64, min_bps: u64, max_bps: u64) -> RatePacer {
+        RatePacer {
+            rate_bps: rate_bps.clamp(min_bps, max_bps),
+            max_bps,
+            min_bps,
+            increase_step_bps: max_bps / 10,
+            increase_interval: SimDuration::from_millis(10),
+            next_send: SimTime::ZERO,
+            last_increase: SimTime::ZERO,
+        }
+    }
+
+    /// The inter-packet gap for a packet of `bytes` at the current rate.
+    pub fn gap(&self, bytes: usize) -> SimDuration {
+        transmission_time(bytes, self.rate_bps.max(1))
+    }
+
+    /// Reserve a slot for a packet of `bytes` no earlier than `now`;
+    /// returns the time it should go out and advances the pacer.
+    pub fn schedule(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        self.maybe_recover(now);
+        let at = self.next_send.max(now);
+        self.next_send = at + self.gap(bytes);
+        at
+    }
+
+    /// Network backpressure arrived granting `allowed_bps`: clamp down
+    /// (never up — recovery is additive).
+    pub fn on_backpressure(&mut self, allowed_bps: u64) {
+        self.rate_bps = self
+            .rate_bps
+            .min(allowed_bps)
+            .clamp(self.min_bps, self.max_bps);
+    }
+
+    /// A loss/timeout signal: halve.
+    pub fn on_loss(&mut self) {
+        self.rate_bps = (self.rate_bps / 2).clamp(self.min_bps, self.max_bps);
+    }
+
+    fn maybe_recover(&mut self, now: SimTime) {
+        while now - self.last_increase >= self.increase_interval {
+            self.last_increase += self.increase_interval;
+            self.rate_bps = (self.rate_bps + self.increase_step_bps).min(self.max_bps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_match_rate() {
+        let p = RatePacer::new(8_000_000, 1000, 1_000_000_000);
+        // 1000 bytes at 8 Mb/s = 1 ms.
+        assert_eq!(p.gap(1000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn schedule_spaces_packets() {
+        let mut p = RatePacer::new(8_000_000, 1000, 8_000_000);
+        let t0 = p.schedule(SimTime::ZERO, 1000);
+        let t1 = p.schedule(SimTime::ZERO, 1000);
+        let t2 = p.schedule(SimTime::ZERO, 1000);
+        assert_eq!(t0, SimTime::ZERO);
+        assert_eq!(t1, SimTime(1_000_000));
+        assert_eq!(t2, SimTime(2_000_000));
+        // A late caller isn't penalized: gap measured from now.
+        let t3 = p.schedule(SimTime(10_000_000), 1000);
+        assert_eq!(t3, SimTime(10_000_000));
+    }
+
+    #[test]
+    fn backpressure_clamps_down_only() {
+        let mut p = RatePacer::new(8_000_000, 100_000, 10_000_000);
+        p.on_backpressure(2_000_000);
+        assert_eq!(p.rate_bps, 2_000_000);
+        p.on_backpressure(5_000_000);
+        assert_eq!(p.rate_bps, 2_000_000, "never raises");
+        p.on_loss();
+        assert_eq!(p.rate_bps, 1_000_000);
+        p.on_loss();
+        p.on_loss();
+        p.on_loss();
+        assert_eq!(p.rate_bps, 125_000);
+        p.on_loss();
+        assert_eq!(p.rate_bps, 100_000, "floor");
+    }
+
+    #[test]
+    fn additive_recovery_over_time() {
+        let mut p = RatePacer::new(10_000_000, 100_000, 10_000_000);
+        p.increase_step_bps = 1_000_000;
+        p.increase_interval = SimDuration::from_millis(10);
+        p.on_backpressure(1_000_000);
+        // 50 ms later: five increase intervals have passed.
+        p.schedule(SimTime(50_000_000), 100);
+        assert_eq!(p.rate_bps, 6_000_000);
+        // Eventually back at line rate, capped.
+        p.schedule(SimTime(200_000_000), 100);
+        assert_eq!(p.rate_bps, 10_000_000);
+    }
+}

@@ -1,0 +1,214 @@
+//! Concatenated-virtual-circuit (X.75-style) framing — the second
+//! baseline the paper argues against (§1): "The CVC approach requires a
+//! circuit setup between endpoints before communication can take place,
+//! introducing a full roundtrip delay. It also requires a significant
+//! amount of state in the gateways."
+//!
+//! The format is deliberately minimal: circuits are identified per link by
+//! a 16-bit VCI; a call-setup message carries the destination address the
+//! switches use to pick the next hop (and allocate per-circuit state);
+//! data packets carry only the VCI.
+
+use crate::{Error, Result};
+
+/// Message discriminants.
+mod msgtype {
+    pub const SETUP: u8 = 1;
+    pub const ACCEPT: u8 = 2;
+    pub const REJECT: u8 = 3;
+    pub const TEARDOWN: u8 = 4;
+    pub const DATA: u8 = 5;
+}
+
+/// A virtual-circuit identifier, meaningful per link.
+pub type Vci = u16;
+
+/// A parsed CVC message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Open a circuit toward `dest` using `vci` on this link. `reserve`
+    /// is the bandwidth to reserve in bits/sec (the static resource
+    /// allocation the paper criticizes; 0 = none).
+    Setup {
+        /// VCI chosen by the caller for this link.
+        vci: Vci,
+        /// Flat destination address (same space as the IP-like baseline).
+        dest: u32,
+        /// Reserved bandwidth in bits/sec, 0 for best effort.
+        reserve: u32,
+    },
+    /// The circuit is open end-to-end.
+    Accept {
+        /// Echoed VCI.
+        vci: Vci,
+    },
+    /// The circuit could not be opened (no state, no bandwidth, no route).
+    Reject {
+        /// Echoed VCI.
+        vci: Vci,
+        /// Diagnostic code.
+        reason: u8,
+    },
+    /// Release the circuit and its switch state.
+    Teardown {
+        /// Echoed VCI.
+        vci: Vci,
+    },
+    /// User data on an open circuit.
+    Data {
+        /// The circuit this belongs to.
+        vci: Vci,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+}
+
+/// Fixed overhead of a CVC data packet: type byte + VCI. This is the
+/// per-packet header-size advantage circuits buy with their setup cost.
+pub const DATA_HEADER_LEN: usize = 3;
+
+impl Message {
+    /// Bytes `emit` writes.
+    pub fn buffer_len(&self) -> usize {
+        match self {
+            Message::Setup { .. } => 1 + 2 + 4 + 4,
+            Message::Accept { .. } | Message::Teardown { .. } => 1 + 2,
+            Message::Reject { .. } => 1 + 2 + 1,
+            Message::Data { payload, .. } => DATA_HEADER_LEN + payload.len(),
+        }
+    }
+
+    /// Serialize to a fresh vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.buffer_len());
+        match self {
+            Message::Setup { vci, dest, reserve } => {
+                v.push(msgtype::SETUP);
+                v.extend_from_slice(&vci.to_be_bytes());
+                v.extend_from_slice(&dest.to_be_bytes());
+                v.extend_from_slice(&reserve.to_be_bytes());
+            }
+            Message::Accept { vci } => {
+                v.push(msgtype::ACCEPT);
+                v.extend_from_slice(&vci.to_be_bytes());
+            }
+            Message::Reject { vci, reason } => {
+                v.push(msgtype::REJECT);
+                v.extend_from_slice(&vci.to_be_bytes());
+                v.push(*reason);
+            }
+            Message::Teardown { vci } => {
+                v.push(msgtype::TEARDOWN);
+                v.extend_from_slice(&vci.to_be_bytes());
+            }
+            Message::Data { vci, payload } => {
+                v.push(msgtype::DATA);
+                v.extend_from_slice(&vci.to_be_bytes());
+                v.extend_from_slice(payload);
+            }
+        }
+        v
+    }
+
+    /// Parse from a byte slice.
+    pub fn parse(buffer: &[u8]) -> Result<Message> {
+        if buffer.len() < 3 {
+            return Err(Error::Truncated);
+        }
+        let vci = u16::from_be_bytes([buffer[1], buffer[2]]);
+        match buffer[0] {
+            msgtype::SETUP => {
+                if buffer.len() < 11 {
+                    return Err(Error::Truncated);
+                }
+                Ok(Message::Setup {
+                    vci,
+                    dest: u32::from_be_bytes([buffer[3], buffer[4], buffer[5], buffer[6]]),
+                    reserve: u32::from_be_bytes([buffer[7], buffer[8], buffer[9], buffer[10]]),
+                })
+            }
+            msgtype::ACCEPT => Ok(Message::Accept { vci }),
+            msgtype::REJECT => {
+                if buffer.len() < 4 {
+                    return Err(Error::Truncated);
+                }
+                Ok(Message::Reject {
+                    vci,
+                    reason: buffer[3],
+                })
+            }
+            msgtype::TEARDOWN => Ok(Message::Teardown { vci }),
+            msgtype::DATA => Ok(Message::Data {
+                vci,
+                payload: buffer[3..].to_vec(),
+            }),
+            _ => Err(Error::Malformed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let msgs = [
+            Message::Setup {
+                vci: 42,
+                dest: 0xC0A80105,
+                reserve: 1_000_000,
+            },
+            Message::Accept { vci: 42 },
+            Message::Reject {
+                vci: 42,
+                reason: 3,
+            },
+            Message::Teardown { vci: 42 },
+            Message::Data {
+                vci: 42,
+                payload: b"circuit bytes".to_vec(),
+            },
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(bytes.len(), m.buffer_len());
+            assert_eq!(Message::parse(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn data_header_is_three_bytes() {
+        let m = Message::Data {
+            vci: 1,
+            payload: vec![0; 100],
+        };
+        assert_eq!(m.buffer_len() - 100, DATA_HEADER_LEN);
+    }
+
+    #[test]
+    fn junk_rejected() {
+        assert!(Message::parse(&[]).is_err());
+        assert!(Message::parse(&[9, 0, 1]).is_err());
+        assert!(Message::parse(&[msgtype::SETUP, 0, 1]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn data_roundtrip(vci in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let m = Message::Data { vci, payload };
+            prop_assert_eq!(Message::parse(&m.to_bytes()).unwrap(), m);
+        }
+
+        #[test]
+        fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Message::parse(&bytes);
+        }
+    }
+}

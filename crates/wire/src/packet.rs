@@ -1,0 +1,425 @@
+//! Whole-packet assembly and the per-router byte operations.
+//!
+//! A Sirpent packet on the wire (after any link header) is
+//!
+//! ```text
+//! [ seg 1 ][ seg 2 ] … [ seg N ][ user data ][ trailer … ]
+//! ```
+//!
+//! where `seg i` is the VIPER header segment for the *i*-th router on the
+//! route and the last segment addresses the destination host itself with
+//! the reserved local port 0 (§2.2: "Sirpent unifies inter-host and
+//! intra-host addressing" — the final segment's `portInfo` may select the
+//! transport endpoint within the host).
+//!
+//! Routers never re-encode the whole packet: they **strip** the leading
+//! segment, **append** a reversed return-hop entry to the trailer, and
+//! forward the bytes in between untouched (§2). Those exact byte
+//! operations live here so the router crate manipulates real buffers, and
+//! header-overhead measurements are honest.
+
+use crate::trailer::{Entry, Trailer};
+use crate::viper::{Segment, SegmentRepr, PORT_LOCAL};
+use crate::{Error, Result, VIPER_MAX_SEGMENTS, VIPER_TRANSMISSION_UNIT};
+
+/// Builder for a fresh Sirpent packet at the sending host.
+#[derive(Debug, Clone, Default)]
+pub struct PacketBuilder {
+    route: Vec<SegmentRepr>,
+    payload: Vec<u8>,
+    enforce_mtu: bool,
+}
+
+impl PacketBuilder {
+    /// Start building a packet.
+    pub fn new() -> PacketBuilder {
+        PacketBuilder {
+            enforce_mtu: true,
+            ..Default::default()
+        }
+    }
+
+    /// Append one routing hop.
+    pub fn segment(mut self, seg: SegmentRepr) -> PacketBuilder {
+        self.route.push(seg);
+        self
+    }
+
+    /// Append a whole route.
+    pub fn route(mut self, segs: impl IntoIterator<Item = SegmentRepr>) -> PacketBuilder {
+        self.route.extend(segs);
+        self
+    }
+
+    /// Set the user data.
+    pub fn payload(mut self, data: impl Into<Vec<u8>>) -> PacketBuilder {
+        self.payload = data.into();
+        self
+    }
+
+    /// Disable the 1500-byte transmission-unit check (used by tests that
+    /// exercise MTU truncation at routers).
+    pub fn without_mtu_check(mut self) -> PacketBuilder {
+        self.enforce_mtu = false;
+        self
+    }
+
+    /// Assemble the packet bytes: route segments, payload, and the trailer
+    /// base marker.
+    pub fn build(self) -> Result<Vec<u8>> {
+        if self.route.len() > VIPER_MAX_SEGMENTS {
+            return Err(Error::TooManySegments);
+        }
+        if self.route.is_empty() || self.route.last().map(|s| s.port) != Some(PORT_LOCAL) {
+            // Every route must terminate with a local-delivery segment.
+            return Err(Error::Malformed);
+        }
+        let header: usize = self.route.iter().map(|s| s.buffer_len()).sum();
+        let mut buf = Vec::with_capacity(header + self.payload.len() + 8);
+        for seg in &self.route {
+            let at = buf.len();
+            buf.resize(at + seg.buffer_len(), 0);
+            seg.emit(&mut buf[at..])?;
+        }
+        buf.extend_from_slice(&self.payload);
+        Entry::Base.append_to(&mut buf);
+        if self.enforce_mtu && buf.len() > VIPER_TRANSMISSION_UNIT {
+            return Err(Error::ExceedsTransmissionUnit);
+        }
+        Ok(buf)
+    }
+}
+
+/// A fully parsed view of a Sirpent packet (owned representation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketView {
+    /// Remaining route: the header segments still at the front, ending
+    /// with the local-delivery segment.
+    pub route: Vec<SegmentRepr>,
+    /// Offset where user data begins.
+    pub data_start: usize,
+    /// Offset where user data ends (= trailer start; may include null
+    /// padding the transport layer trims via its own length field).
+    pub data_end: usize,
+    /// The decoded trailer.
+    pub trailer: Trailer,
+}
+
+impl PacketView {
+    /// Parse a complete Sirpent packet.
+    pub fn parse(buffer: &[u8]) -> Result<PacketView> {
+        let (route, data_start) = parse_route(buffer)?;
+        let trailer = Trailer::parse(buffer)?;
+        if trailer.start_offset < data_start {
+            return Err(Error::Malformed);
+        }
+        Ok(PacketView {
+            route,
+            data_start,
+            data_end: trailer.start_offset,
+            trailer,
+        })
+    }
+
+    /// The user-data bytes of `buffer` (which must be the same buffer
+    /// passed to [`PacketView::parse`]).
+    pub fn data<'a>(&self, buffer: &'a [u8]) -> &'a [u8] {
+        &buffer[self.data_start..self.data_end]
+    }
+}
+
+/// Walk the leading header segments of a packet. Segments are read until
+/// (and including) the local-delivery segment (`port == 0`). Returns the
+/// segments and the offset of the first byte after them.
+pub fn parse_route(buffer: &[u8]) -> Result<(Vec<SegmentRepr>, usize)> {
+    let mut at = 0usize;
+    let mut route = Vec::new();
+    loop {
+        if route.len() > VIPER_MAX_SEGMENTS {
+            return Err(Error::TooManySegments);
+        }
+        let seg = Segment::new_checked(&buffer[at..])?;
+        let repr = SegmentRepr::parse(&seg)?;
+        at += seg.total_len();
+        let local = repr.port == PORT_LOCAL;
+        route.push(repr);
+        if local {
+            return Ok((route, at));
+        }
+    }
+}
+
+/// Router operation: strip the leading header segment off a packet,
+/// returning the segment and leaving `packet` holding the rest (§2: "the
+/// router removes the network header from the front of the packet as well
+/// as the port, typeOfService and portToken fields").
+pub fn strip_front_segment(packet: &mut Vec<u8>) -> Result<SegmentRepr> {
+    let seg = Segment::new_checked(&packet[..])?;
+    let len = seg.total_len();
+    let repr = SegmentRepr::parse(&seg)?;
+    packet.drain(..len);
+    Ok(repr)
+}
+
+/// Peek at the leading header segment without consuming it. This is what
+/// a cut-through switch does: the decision fields arrive first and the
+/// switch acts while the rest of the packet is still in flight.
+pub fn peek_front_segment(packet: &[u8]) -> Result<SegmentRepr> {
+    let seg = Segment::new_checked(packet)?;
+    SegmentRepr::parse(&seg)
+}
+
+/// Router operation: append a reversed return-hop segment to the trailer
+/// (§2: the router "revises the network-specific portion … so that it
+/// constitutes a correct return hop through this router and appends the
+/// return port and network header fields to the end of the packet").
+pub fn append_return_hop(packet: &mut Vec<u8>, return_hop: SegmentRepr) {
+    Entry::ReturnHop(return_hop).append_to(packet);
+}
+
+/// Router operation: mark a packet as truncated after `keep` bytes. The
+/// tail is dropped and the truncation marker appended so "the receiver can
+/// detect packet truncation even when it only affects the packet trailer"
+/// (§2).
+pub fn truncate_packet(packet: &mut Vec<u8>, keep: usize) {
+    let lost = packet.len().saturating_sub(keep) as u32;
+    packet.truncate(keep);
+    Entry::Truncated { lost_bytes: lost }.append_to(packet);
+}
+
+/// Receiver operation: given a delivered packet (single local segment at
+/// the front), produce the route for a **reply** back to the source. The
+/// trailer hops are reversed; the local segment that addressed *us* is
+/// replaced at the end of the return route by a fresh local segment for
+/// the peer (constructed by the caller's transport from the original
+/// first-hop information if intra-host addressing is needed).
+pub fn reply_route(view: &PacketView) -> Vec<SegmentRepr> {
+    let mut route = view.trailer.return_route();
+    route.push(SegmentRepr::minimal(PORT_LOCAL));
+    route
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viper::Flags;
+
+    fn seg(port: u8) -> SegmentRepr {
+        SegmentRepr {
+            port,
+            flags: Flags {
+                vnt: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn local() -> SegmentRepr {
+        SegmentRepr::minimal(PORT_LOCAL)
+    }
+
+    #[test]
+    fn build_and_parse_two_hop_packet() {
+        let bytes = PacketBuilder::new()
+            .segment(seg(3))
+            .segment(seg(1))
+            .segment(local())
+            .payload(b"hello sirpent".to_vec())
+            .build()
+            .unwrap();
+        let view = PacketView::parse(&bytes).unwrap();
+        assert_eq!(view.route.len(), 3);
+        assert_eq!(view.route[0].port, 3);
+        assert_eq!(view.route[2].port, PORT_LOCAL);
+        assert_eq!(view.data(&bytes), b"hello sirpent");
+        assert!(view.trailer.return_hops.is_empty());
+    }
+
+    #[test]
+    fn route_must_end_local() {
+        let err = PacketBuilder::new()
+            .segment(seg(3))
+            .payload(b"x".to_vec())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::Malformed);
+    }
+
+    #[test]
+    fn empty_route_rejected() {
+        assert_eq!(
+            PacketBuilder::new().payload(b"x".to_vec()).build().unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn too_many_segments_rejected() {
+        let mut b = PacketBuilder::new().without_mtu_check();
+        for _ in 0..49 {
+            b = b.segment(seg(1));
+        }
+        let err = b.segment(local()).build().unwrap_err();
+        assert_eq!(err, Error::TooManySegments);
+    }
+
+    #[test]
+    fn mtu_enforced_and_escapable() {
+        let big = vec![0u8; 1600];
+        let err = PacketBuilder::new()
+            .segment(local())
+            .payload(big.clone())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::ExceedsTransmissionUnit);
+        let ok = PacketBuilder::new()
+            .without_mtu_check()
+            .segment(local())
+            .payload(big)
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn simulated_router_pass() {
+        // Emulate what one router does, then check receiver-side reversal.
+        let mut pkt = PacketBuilder::new()
+            .segment(seg(7))
+            .segment(local())
+            .payload(b"data".to_vec())
+            .build()
+            .unwrap();
+
+        // Router: strip front, append reversed hop with the return port.
+        let front = strip_front_segment(&mut pkt).unwrap();
+        assert_eq!(front.port, 7);
+        let return_hop = SegmentRepr {
+            port: 2, // the port the packet arrived on
+            ..front.clone()
+        };
+        append_return_hop(&mut pkt, return_hop);
+
+        // Receiver: only the local segment remains up front.
+        let view = PacketView::parse(&pkt).unwrap();
+        assert_eq!(view.route.len(), 1);
+        assert_eq!(view.route[0].port, PORT_LOCAL);
+        assert_eq!(view.data(&pkt), b"data");
+        assert_eq!(view.trailer.return_hops.len(), 1);
+        assert_eq!(view.trailer.return_hops[0].port, 2);
+
+        // Reply route: reversed hops + fresh local segment.
+        let reply = reply_route(&view);
+        assert_eq!(reply.len(), 2);
+        assert_eq!(reply[0].port, 2);
+        assert_eq!(reply[1].port, PORT_LOCAL);
+    }
+
+    #[test]
+    fn multi_hop_reversal_order() {
+        let mut pkt = PacketBuilder::new()
+            .segment(seg(10))
+            .segment(seg(11))
+            .segment(seg(12))
+            .segment(local())
+            .payload(b"p".to_vec())
+            .build()
+            .unwrap();
+        // Three routers, arriving on ports 20, 21, 22 respectively.
+        for arrive_port in [20u8, 21, 22] {
+            let front = strip_front_segment(&mut pkt).unwrap();
+            append_return_hop(
+                &mut pkt,
+                SegmentRepr {
+                    port: arrive_port,
+                    ..front
+                },
+            );
+        }
+        let view = PacketView::parse(&pkt).unwrap();
+        let reply = reply_route(&view);
+        // Return route visits the last router first.
+        assert_eq!(
+            reply.iter().map(|s| s.port).collect::<Vec<_>>(),
+            vec![22, 21, 20, 0]
+        );
+    }
+
+    #[test]
+    fn truncation_roundtrip() {
+        let mut pkt = PacketBuilder::new()
+            .segment(local())
+            .payload(vec![9u8; 100])
+            .build()
+            .unwrap();
+        let orig = pkt.len();
+        truncate_packet(&mut pkt, 40);
+        // The trailer base was cut off with the tail; the walk stops at
+        // the truncation marker and reports the loss.
+        let t = Trailer::parse(&pkt).unwrap();
+        assert_eq!(t.truncated, Some((orig - 40) as u32));
+        assert!(t.return_hops.is_empty());
+        assert!(pkt.len() < orig);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let pkt = PacketBuilder::new()
+            .segment(seg(5))
+            .segment(local())
+            .payload(b"z".to_vec())
+            .build()
+            .unwrap();
+        let before = pkt.clone();
+        let front = peek_front_segment(&pkt).unwrap();
+        assert_eq!(front.port, 5);
+        assert_eq!(pkt, before);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn full_path_reversal(ports in proptest::collection::vec(1u8..=255, 1..10),
+                              arrive in proptest::collection::vec(1u8..=255, 10),
+                              data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            // Build a route of N transit hops + local, push it through N
+            // emulated routers, check the receiver reconstructs the exact
+            // reversed arrival-port sequence.
+            let mut b = PacketBuilder::new().without_mtu_check();
+            for &p in &ports {
+                b = b.segment(SegmentRepr::minimal(p));
+            }
+            let mut pkt = b
+                .segment(SegmentRepr::minimal(PORT_LOCAL))
+                .payload(data.clone())
+                .build()
+                .unwrap();
+
+            for i in 0..ports.len() {
+                let front = strip_front_segment(&mut pkt).unwrap();
+                prop_assert_eq!(front.port, ports[i]);
+                append_return_hop(&mut pkt, SegmentRepr { port: arrive[i], ..front });
+            }
+
+            let view = PacketView::parse(&pkt).unwrap();
+            prop_assert_eq!(view.data(&pkt), &data[..]);
+            let reply = reply_route(&view);
+            let got: Vec<u8> = reply.iter().map(|s| s.port).collect();
+            let mut want: Vec<u8> = arrive[..ports.len()].to_vec();
+            want.reverse();
+            want.push(PORT_LOCAL);
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = PacketView::parse(&bytes);
+            let _ = parse_route(&bytes);
+        }
+    }
+}

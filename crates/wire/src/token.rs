@@ -1,0 +1,141 @@
+//! The plaintext body of a port token.
+//!
+//! §2.2: "Each token is an encrypted (difficult-to-forge) capability that
+//! identifies the port and type of service that it authorizes, the
+//! account to which usage is to be charged, optionally a limit on
+//! resource usage authorized by this token, and whether reverse route
+//! charging is authorized."
+//!
+//! This module defines only the **plaintext layout** (24 bytes). The
+//! `sirpent-token` crate seals it under a per-router key into the opaque
+//! 32-byte blob that actually rides in the VIPER `portToken` field, and
+//! owns the cache/optimistic-authorization machinery.
+
+use crate::viper::Priority;
+use crate::{Error, Result};
+
+/// Size of the plaintext token body.
+pub const BODY_LEN: usize = 24;
+
+/// Size of the sealed (encrypted + MAC) token as carried on the wire.
+pub const SEALED_LEN: usize = 32;
+
+/// Current token format version.
+pub const VERSION: u8 = 1;
+
+/// Account identifier charged for usage under a token.
+pub type AccountId = u32;
+
+/// The decoded capability contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Body {
+    /// Output port this token authorizes at its router.
+    pub port: u8,
+    /// Highest priority the holder may use through that port ("the port
+    /// and type of service that it authorizes").
+    pub max_priority: Priority,
+    /// Whether the token also authorizes the *return* route through this
+    /// port ("whether reverse route charging is authorized").
+    pub reverse_ok: bool,
+    /// The account to which usage is charged.
+    pub account: AccountId,
+    /// Resource limit in bytes; 0 = unlimited.
+    pub byte_limit: u32,
+    /// Expiry, in seconds of simulation time; 0 = never.
+    pub expiry_s: u32,
+    /// The router this token is valid at (tokens are per-router
+    /// capabilities issued by the routing directory).
+    pub router_id: u32,
+    /// Anti-forgery nonce chosen at mint time.
+    pub nonce: u32,
+}
+
+impl Body {
+    /// Serialize into the fixed 24-byte layout.
+    pub fn to_bytes(&self) -> [u8; BODY_LEN] {
+        let mut b = [0u8; BODY_LEN];
+        b[0] = VERSION;
+        b[1] = self.port;
+        b[2] = self.max_priority.raw();
+        b[3] = u8::from(self.reverse_ok);
+        b[4..8].copy_from_slice(&self.account.to_be_bytes());
+        b[8..12].copy_from_slice(&self.byte_limit.to_be_bytes());
+        b[12..16].copy_from_slice(&self.expiry_s.to_be_bytes());
+        b[16..20].copy_from_slice(&self.router_id.to_be_bytes());
+        b[20..24].copy_from_slice(&self.nonce.to_be_bytes());
+        b
+    }
+
+    /// Parse the fixed layout, rejecting unknown versions.
+    pub fn parse(b: &[u8]) -> Result<Body> {
+        if b.len() < BODY_LEN {
+            return Err(Error::Truncated);
+        }
+        if b[0] != VERSION {
+            return Err(Error::Malformed);
+        }
+        if b[2] > 0x0F || b[3] > 1 {
+            return Err(Error::Malformed);
+        }
+        Ok(Body {
+            port: b[1],
+            max_priority: Priority::new(b[2]),
+            reverse_ok: b[3] == 1,
+            account: u32::from_be_bytes(b[4..8].try_into().unwrap()),
+            byte_limit: u32::from_be_bytes(b[8..12].try_into().unwrap()),
+            expiry_s: u32::from_be_bytes(b[12..16].try_into().unwrap()),
+            router_id: u32::from_be_bytes(b[16..20].try_into().unwrap()),
+            nonce: u32::from_be_bytes(b[20..24].try_into().unwrap()),
+        })
+    }
+
+    /// Whether `prio` is within what this token authorizes.
+    pub fn allows_priority(&self, prio: Priority) -> bool {
+        prio <= self.max_priority
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body() -> Body {
+        Body {
+            port: 7,
+            max_priority: Priority::new(6),
+            reverse_ok: true,
+            account: 0xACC0_0001,
+            byte_limit: 1 << 20,
+            expiry_s: 3600,
+            router_id: 0x0000_00A0,
+            nonce: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn body_roundtrip() {
+        let b = body();
+        assert_eq!(Body::parse(&b.to_bytes()).unwrap(), b);
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut bytes = body().to_bytes();
+        bytes[0] = 99;
+        assert_eq!(Body::parse(&bytes).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn priority_ceiling() {
+        let b = body(); // max priority 6
+        assert!(b.allows_priority(Priority::new(0)));
+        assert!(b.allows_priority(Priority::new(6)));
+        assert!(!b.allows_priority(Priority::new(7)));
+        assert!(b.allows_priority(Priority::new(15)), "below-normal allowed");
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Body::parse(&[0u8; 10]).unwrap_err(), Error::Truncated);
+    }
+}

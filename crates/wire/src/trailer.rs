@@ -1,0 +1,349 @@
+//! The Sirpent packet trailer.
+//!
+//! "Each Sirpent packet is structured as a sequence of header segments
+//! followed by user data, followed by the Sirpent trailer" (§2). As a
+//! packet traverses each router, the router strips the leading header
+//! segment and "appends the return port and network header fields to the
+//! end of the packet", already modified to constitute a correct *return*
+//! hop. The final receiver walks the trailer backwards to reconstruct a
+//! route to the source without any routing knowledge of its own — a
+//! network-independent reversal (§2).
+//!
+//! ## Encoding (this reproduction's concretization)
+//!
+//! The paper does not pin an exact trailer byte layout beyond "a length
+//! field (not shown) indicates the size of the Ethernet header, allowing
+//! network-independent manipulation of the header/trailer segments". We
+//! encode each trailer entry as
+//!
+//! ```text
+//! [ entry payload … ][ len: u16 BE ][ kind: u8 ]
+//! ```
+//!
+//! so it can be *appended* in O(payload) and *walked backwards* from the
+//! end of the frame (link layers delimit frames, so the packet end is
+//! known; Sirpent carries no explicit length, §2). The source lays down a
+//! zero-length **base** entry when building the packet, which terminates
+//! the backwards walk; everything before the base is user data (possibly
+//! null-padded, which the base boundary makes unambiguous).
+//!
+//! Entry kinds:
+//! * `Base` — boundary marker written by the source.
+//! * `ReturnHop` — a reversed header segment appended by a router.
+//! * `Truncated` — "a special segment … which is not a legal Sirpent
+//!   header segment, indicating that the packet has been truncated" (§2),
+//!   appended when a cut-through router discovers mid-flight that the
+//!   packet exceeds the next hop's MTU.
+
+use crate::viper::SegmentRepr;
+use crate::{Error, Result};
+
+/// Bytes of fixed framing per entry (u16 length + u8 kind).
+pub const ENTRY_OVERHEAD: usize = 3;
+
+/// Wire values for entry kinds.
+mod kind {
+    pub const BASE: u8 = 0;
+    pub const RETURN_HOP: u8 = 1;
+    pub const TRUNCATED: u8 = 2;
+}
+
+/// One entry of the Sirpent trailer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// The boundary marker laid down by the sending host.
+    Base,
+    /// A return-hop header segment appended by a router. The segment is a
+    /// fully-formed VIPER segment whose `port` is the *return* port and
+    /// whose `port_info` has already had its network-specific fields
+    /// reversed (e.g. Ethernet src/dst swapped).
+    ReturnHop(SegmentRepr),
+    /// Truncation marker carrying the number of payload bytes that were
+    /// cut off, as known to the truncating router.
+    Truncated {
+        /// How many bytes were dropped from the tail of the packet.
+        lost_bytes: u32,
+    },
+}
+
+impl Entry {
+    /// Bytes appended by [`Entry::append_to`].
+    pub fn encoded_len(&self) -> usize {
+        self.payload_len() + ENTRY_OVERHEAD
+    }
+
+    fn payload_len(&self) -> usize {
+        match self {
+            Entry::Base => 0,
+            Entry::ReturnHop(seg) => seg.buffer_len(),
+            Entry::Truncated { .. } => 4,
+        }
+    }
+
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Entry::Base => kind::BASE,
+            Entry::ReturnHop(_) => kind::RETURN_HOP,
+            Entry::Truncated { .. } => kind::TRUNCATED,
+        }
+    }
+
+    /// Append this entry to the end of a packet buffer.
+    pub fn append_to(&self, packet: &mut Vec<u8>) {
+        let plen = self.payload_len();
+        match self {
+            Entry::Base => {}
+            Entry::ReturnHop(seg) => {
+                let at = packet.len();
+                packet.resize(at + plen, 0);
+                seg.emit(&mut packet[at..]).expect("sized exactly");
+            }
+            Entry::Truncated { lost_bytes } => {
+                packet.extend_from_slice(&lost_bytes.to_be_bytes());
+            }
+        }
+        packet.extend_from_slice(&(plen as u16).to_be_bytes());
+        packet.push(self.kind_byte());
+    }
+
+    /// Decode the entry whose framing ends at `end` (exclusive) within
+    /// `buffer`. Returns the entry and the offset at which it *begins*
+    /// (i.e. where the previous entry's framing ends).
+    pub fn parse_backwards(buffer: &[u8], end: usize) -> Result<(Entry, usize)> {
+        if end < ENTRY_OVERHEAD || end > buffer.len() {
+            return Err(Error::Truncated);
+        }
+        let kind_b = buffer[end - 1];
+        let plen = u16::from_be_bytes([buffer[end - 3], buffer[end - 2]]) as usize;
+        let payload_end = end - ENTRY_OVERHEAD;
+        if payload_end < plen {
+            return Err(Error::Truncated);
+        }
+        let start = payload_end - plen;
+        let payload = &buffer[start..payload_end];
+        let entry = match kind_b {
+            kind::BASE => {
+                if plen != 0 {
+                    return Err(Error::Malformed);
+                }
+                Entry::Base
+            }
+            kind::RETURN_HOP => {
+                let (seg, used) = SegmentRepr::parse_prefix(payload)?;
+                if used != plen {
+                    return Err(Error::Malformed);
+                }
+                Entry::ReturnHop(seg)
+            }
+            kind::TRUNCATED => {
+                if plen != 4 {
+                    return Err(Error::Malformed);
+                }
+                Entry::Truncated {
+                    lost_bytes: u32::from_be_bytes([
+                        payload[0], payload[1], payload[2], payload[3],
+                    ]),
+                }
+            }
+            other => return Err(Error::UnknownTrailerKind(other)),
+        };
+        Ok((entry, start))
+    }
+}
+
+/// The fully decoded trailer of a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trailer {
+    /// Return-hop segments in the order the routers appended them
+    /// (first entry = first router on the forward path).
+    pub return_hops: Vec<SegmentRepr>,
+    /// Whether a truncation marker was present, and how many bytes it
+    /// reported lost.
+    pub truncated: Option<u32>,
+    /// Offset within the packet buffer where the trailer begins (the
+    /// start of the base entry's framing). User data ends at or before
+    /// this offset.
+    pub start_offset: usize,
+}
+
+impl Trailer {
+    /// Walk the trailer backwards from the end of `buffer` until the base
+    /// marker.
+    ///
+    /// If a **truncation marker** is encountered, the walk stops there:
+    /// everything earlier in the packet was cut mid-flight and is
+    /// unreliable, so the trailer reports `truncated = Some(..)` together
+    /// with only the return hops appended by routers *after* the
+    /// truncating one.
+    pub fn parse(buffer: &[u8]) -> Result<Trailer> {
+        let mut end = buffer.len();
+        let mut hops_rev: Vec<SegmentRepr> = Vec::new();
+        loop {
+            let (entry, start) = Entry::parse_backwards(buffer, end).map_err(|e| match e {
+                Error::Truncated => Error::MissingTrailerBase,
+                other => other,
+            })?;
+            match entry {
+                Entry::Base => {
+                    hops_rev.reverse();
+                    return Ok(Trailer {
+                        return_hops: hops_rev,
+                        truncated: None,
+                        start_offset: start,
+                    });
+                }
+                Entry::ReturnHop(seg) => hops_rev.push(seg),
+                Entry::Truncated { lost_bytes } => {
+                    hops_rev.reverse();
+                    return Ok(Trailer {
+                        return_hops: hops_rev,
+                        truncated: Some(lost_bytes),
+                        start_offset: start,
+                    });
+                }
+            }
+            end = start;
+        }
+    }
+
+    /// Construct the **return route** per §2: "the receiver locates the
+    /// beginning of the trailer of (former) header segments and copies
+    /// each segment into a separate return address area in *reverse
+    /// order*". Because each router already reversed the network-specific
+    /// fields and substituted the return port, reversal here is entirely
+    /// network-independent.
+    pub fn return_route(&self) -> Vec<SegmentRepr> {
+        let mut route = self.return_hops.clone();
+        route.reverse();
+        route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viper::{Flags, Priority};
+
+    fn hop(port: u8) -> SegmentRepr {
+        SegmentRepr {
+            port,
+            flags: Flags::default(),
+            priority: Priority::NORMAL,
+            port_token: vec![port; 8],
+            port_info: vec![port ^ 0xFF; 14],
+        }
+    }
+
+    #[test]
+    fn empty_trailer_parses() {
+        let mut buf = b"data".to_vec();
+        Entry::Base.append_to(&mut buf);
+        let t = Trailer::parse(&buf).unwrap();
+        assert!(t.return_hops.is_empty());
+        assert_eq!(t.truncated, None);
+        assert_eq!(t.start_offset, 4);
+    }
+
+    #[test]
+    fn hops_append_and_reverse() {
+        let mut buf = b"payload".to_vec();
+        Entry::Base.append_to(&mut buf);
+        for p in [1u8, 2, 3] {
+            Entry::ReturnHop(hop(p)).append_to(&mut buf);
+        }
+        let t = Trailer::parse(&buf).unwrap();
+        assert_eq!(
+            t.return_hops.iter().map(|s| s.port).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // Return route is reversed: last router first.
+        assert_eq!(
+            t.return_route().iter().map(|s| s.port).collect::<Vec<_>>(),
+            vec![3, 2, 1]
+        );
+        assert_eq!(t.start_offset, 7);
+    }
+
+    #[test]
+    fn truncation_marker_detected() {
+        // A truncating router cuts the tail (losing earlier trailer
+        // entries) and appends the marker; later routers still append
+        // their return hops after it.
+        let mut buf = vec![0xAA; 20]; // remains of the cut packet
+        Entry::Truncated { lost_bytes: 512 }.append_to(&mut buf);
+        Entry::ReturnHop(hop(9)).append_to(&mut buf);
+        let t = Trailer::parse(&buf).unwrap();
+        assert_eq!(t.truncated, Some(512));
+        assert_eq!(t.return_hops.len(), 1, "hops after the marker survive");
+        assert_eq!(t.return_hops[0].port, 9);
+        assert_eq!(t.start_offset, 20);
+    }
+
+    #[test]
+    fn missing_base_is_detected() {
+        let mut buf = Vec::new();
+        Entry::ReturnHop(hop(1)).append_to(&mut buf);
+        // No base entry anywhere — walk must fail, not loop or panic.
+        assert_eq!(
+            Trailer::parse(&buf).unwrap_err(),
+            Error::MissingTrailerBase
+        );
+    }
+
+    #[test]
+    fn unknown_kind_reported() {
+        let mut buf = Vec::new();
+        Entry::Base.append_to(&mut buf);
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        buf.push(77);
+        assert_eq!(
+            Trailer::parse(&buf).unwrap_err(),
+            Error::UnknownTrailerKind(77)
+        );
+    }
+
+    #[test]
+    fn null_padding_before_trailer_is_harmless() {
+        // §2 footnote: "A packet can be padded with null bytes between the
+        // end of the actual data and beginning of the Sirpent trailer
+        // without confusion."
+        let mut buf = b"data".to_vec();
+        buf.extend_from_slice(&[0u8; 32]); // padding
+        Entry::Base.append_to(&mut buf);
+        Entry::ReturnHop(hop(4)).append_to(&mut buf);
+        let t = Trailer::parse(&buf).unwrap();
+        assert_eq!(t.return_hops.len(), 1);
+        assert_eq!(t.start_offset, 4 + 32);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn trailer_roundtrip(ports in proptest::collection::vec(any::<u8>(), 0..20),
+                             data in proptest::collection::vec(any::<u8>(), 0..100)) {
+            let mut buf = data.clone();
+            Entry::Base.append_to(&mut buf);
+            for &p in &ports {
+                Entry::ReturnHop(SegmentRepr::minimal(p)).append_to(&mut buf);
+            }
+            let t = Trailer::parse(&buf).unwrap();
+            prop_assert_eq!(t.start_offset, data.len());
+            let got: Vec<u8> = t.return_hops.iter().map(|s| s.port).collect();
+            prop_assert_eq!(got, ports.clone());
+            let rev: Vec<u8> = t.return_route().iter().map(|s| s.port).collect();
+            let mut want = ports.clone();
+            want.reverse();
+            prop_assert_eq!(rev, want);
+        }
+
+        #[test]
+        fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Trailer::parse(&bytes);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Policy-based routing (§3, §8): "policy routing issues, whether for
+//! security, reliability or accounting reasons, can be made by the
+//! source host and routing server with no complication of the
+//! internetwork routers."
+//!
+//! One service is reachable over two paths: a cheap, fast route across
+//! *open* shared infrastructure, and a slower, costlier route over
+//! *secure* administratively-controlled links. The directory returns
+//! both with their properties; different clients pick different routes
+//! purely by stating a preference — the routers never learn any policy.
+//!
+//! Run with: `cargo run --example policy_routing`
+
+use sirpent::compile::CompiledRoute;
+use sirpent::directory::{
+    AccessSpec, Directory, HopSpec, Name, Preference, RouteRecord, Security,
+};
+use sirpent::host::{HostPortKind, SirpentHost};
+use sirpent::router::viper::ViperConfig;
+use sirpent::sim::{SimDuration, SimTime};
+use sirpent::wire::viper::Priority;
+use sirpent::wire::vmtp::EntityId;
+use sirpent::Net;
+
+const RATE: u64 = 10_000_000;
+
+fn hop(router_id: u32, prop: SimDuration, cost: u32, security: Security) -> HopSpec {
+    HopSpec {
+        router_id,
+        port: 2,
+        ethernet_next: None,
+        bandwidth_bps: RATE,
+        prop_delay: prop,
+        mtu: 1550,
+        cost,
+        security,
+    }
+}
+
+fn main() {
+    // Two disjoint paths to the same server:
+    //   port 0 → R1 (open exchange, 10 µs, cost 1)
+    //   port 1 → R2 (leased secure line, 200 µs, cost 20)
+    let mut net = Net::new(2001);
+    let client = net.host(
+        0xC1,
+        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+    );
+    let server = net.host(
+        0x51,
+        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+    );
+    let r1 = net.viper(ViperConfig::basic(1, &[1, 2]));
+    let r2 = net.viper(ViperConfig::basic(2, &[1, 2]));
+    let fast = SimDuration::from_micros(10);
+    let slow = SimDuration::from_micros(200);
+    net.p2p(client, 0, r1, 1, RATE, fast);
+    net.p2p(r1, 2, server, 0, RATE, fast);
+    net.p2p(client, 1, r2, 1, RATE, slow);
+    net.p2p(r2, 2, server, 1, RATE, slow);
+    let mut sim = net.into_sim();
+
+    let mut dir = Directory::new();
+    let svc = Name::parse("payroll.corp.example");
+    dir.register_route(
+        &svc,
+        Name::root(),
+        RouteRecord {
+            access: AccessSpec {
+                host_port: 0,
+                ethernet_next: None,
+                bandwidth_bps: RATE,
+                prop_delay: fast,
+                mtu: 1550,
+            },
+            hops: vec![hop(1, fast, 1, Security::Open)],
+            endpoint_selector: vec![],
+        },
+    );
+    dir.register_route(
+        &svc,
+        Name::root(),
+        RouteRecord {
+            access: AccessSpec {
+                host_port: 1,
+                ethernet_next: None,
+                bandwidth_bps: RATE,
+                prop_delay: slow,
+                mtu: 1550,
+            },
+            hops: vec![hop(2, slow, 20, Security::Secure)],
+            endpoint_selector: vec![],
+        },
+    );
+
+    let me = Name::parse("hr-desk.corp.example");
+    println!("directory offers two routes to {svc}:");
+    for (pref, label) in [
+        (Preference::LowDelay, "bulk reporting (wants low delay)"),
+        (Preference::Secure, "payroll upload (wants security)"),
+        (Preference::LowCost, "overnight sync (wants low cost)"),
+    ] {
+        let q = dir.query(&me, &svc, pref, 2, 1);
+        let best = &q.advisories[0];
+        println!(
+            "  {label}: picked the route via R{} — prop {}, cost {}, {:?}",
+            best.route.hops[0].router_id,
+            best.props.prop_delay,
+            best.props.cost,
+            best.props.security,
+        );
+    }
+
+    // Drive the secure choice end to end: the payroll upload goes over
+    // the slow secure line even though a faster path exists, and the
+    // routers enforce nothing — the policy lived entirely in the query.
+    let q = dir.query(&me, &svc, Preference::Secure, 2, 1);
+    let secure_route = CompiledRoute::compile(&q.advisories[0].route, &[], Priority::NORMAL);
+    assert_eq!(secure_route.router_ids, vec![2], "secure path chosen");
+    sim.node_mut::<SirpentHost>(client)
+        .install_routes(EntityId(0x51), vec![secure_route]);
+    sim.node_mut::<SirpentHost>(server).auto_respond = Some(b"payroll ack".to_vec());
+    sim.node_mut::<SirpentHost>(client).queue_request(
+        SimTime::ZERO,
+        EntityId(0x51),
+        b"salary batch 2026-07".to_vec(),
+    );
+    SirpentHost::start(&mut sim, client);
+    sim.run_until(SimTime(100_000_000));
+
+    let c = sim.node::<SirpentHost>(client);
+    assert_eq!(c.inbox.len(), 1);
+    let rtt = c.rtt_samples[0].1;
+    println!(
+        "\npayroll upload completed over the secure path: RTT {} (≈4 × 200 µs\n\
+         propagation — the price of the policy, paid knowingly: the client saw\n\
+         both routes' properties up front, §3)",
+        rtt
+    );
+    assert!(rtt > SimDuration::from_micros(800), "paid the secure path");
+}

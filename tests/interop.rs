@@ -1,0 +1,212 @@
+//! Sirpent over IP (§2.3): source-routed traffic crossing a cloud of
+//! standard store-and-forward IP routers as one logical hop, including
+//! trailer-built replies re-crossing the cloud.
+
+use sirpent::host::{HostPortKind, SirpentHost};
+use sirpent::interop::{GatewayConfig, IpGateway, IPPROTO_SIRPENT};
+use sirpent::router::ip::{IpConfig, IpPortConfig, IpRouter, RouteEntry};
+use sirpent::router::viper::PortKind;
+use sirpent::sim::{SimDuration, SimTime};
+use sirpent::wire::ipish::Address;
+use sirpent::wire::viper::{Flags, Priority, SegmentRepr, PORT_LOCAL};
+use sirpent::wire::vmtp::EntityId;
+use sirpent::{CompiledRoute, Net};
+
+const RATE: u64 = 10_000_000;
+const PROP: SimDuration = SimDuration(10_000);
+
+const GW1_IP: Address = Address(0x0A000101); // 10.0.1.1
+const GW2_IP: Address = Address(0x0A000201); // 10.0.2.1
+const ENCAP_TO_GW2: u8 = 100; // GW1's logical port across the cloud
+const ENCAP_TO_GW1: u8 = 100; // GW2's logical port back
+
+/// host A — GW1 — [IP router] — GW2 — host B.
+#[test]
+fn sirpent_crosses_ip_cloud_and_reply_returns() {
+    let mut net = Net::new(55);
+    let a = net.host(0xA, vec![(0, HostPortKind::PointToPoint)]);
+    let b = net.host(0xB, vec![(0, HostPortKind::PointToPoint)]);
+    let gw1 = net.sim.add_node(Box::new(IpGateway::new(GatewayConfig {
+        my_ip: GW1_IP,
+        ip_port: 2,
+        encap_map: vec![(ENCAP_TO_GW2, GW2_IP)],
+        local_ports: vec![1],
+        process_delay: SimDuration::from_micros(30),
+        ttl: 16,
+    })));
+    let gw2 = net.sim.add_node(Box::new(IpGateway::new(GatewayConfig {
+        my_ip: GW2_IP,
+        ip_port: 2,
+        encap_map: vec![(ENCAP_TO_GW1, GW1_IP)],
+        local_ports: vec![1],
+        process_delay: SimDuration::from_micros(30),
+        ttl: 16,
+    })));
+    // One IP router in the middle of the cloud.
+    let cloud = net.sim.add_node(Box::new(IpRouter::new(IpConfig {
+        process_delay: SimDuration::from_micros(50),
+        ports: vec![
+            IpPortConfig {
+                port: 1,
+                kind: PortKind::PointToPoint,
+                mtu: 1600,
+            },
+            IpPortConfig {
+                port: 2,
+                kind: PortKind::PointToPoint,
+                mtu: 1600,
+            },
+        ],
+        routes: vec![
+            RouteEntry {
+                prefix: GW2_IP,
+                prefix_len: 24,
+                out_port: 2,
+                next_hop_mac: None,
+            },
+            RouteEntry {
+                prefix: GW1_IP,
+                prefix_len: 24,
+                out_port: 1,
+                next_hop_mac: None,
+            },
+        ],
+        queue_capacity: 64,
+    })));
+    net.p2p(a, 0, gw1, 1, RATE, PROP);
+    net.p2p(gw1, 2, cloud, 1, RATE, PROP);
+    net.p2p(cloud, 2, gw2, 2, RATE, PROP);
+    net.p2p(gw2, 1, b, 0, RATE, PROP);
+    let mut sim = net.into_sim();
+
+    // A's route: [GW1: across the cloud][GW2: out local port 1][local].
+    let route = CompiledRoute {
+        host_port: 0,
+        first_eth: None,
+        segments: vec![
+            SegmentRepr {
+                port: ENCAP_TO_GW2,
+                flags: Flags {
+                    vnt: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            SegmentRepr {
+                port: 1,
+                flags: Flags {
+                    vnt: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            SegmentRepr {
+                port: PORT_LOCAL,
+                priority: Priority::NORMAL,
+                ..Default::default()
+            },
+        ],
+        path_mtu: 1400,
+        base_rtt: SimDuration::from_millis(5),
+        router_ids: vec![],
+    };
+    sim.node_mut::<SirpentHost>(a)
+        .install_routes(EntityId(0xB), vec![route]);
+    sim.node_mut::<SirpentHost>(b).echo = true;
+    sim.node_mut::<SirpentHost>(a).queue_request(
+        SimTime::ZERO,
+        EntityId(0xB),
+        b"across the internet".to_vec(),
+    );
+    SirpentHost::start(&mut sim, a);
+    sim.run_until(SimTime(100_000_000));
+
+    // B got the request; A got the echo back — all via the cloud.
+    let server = sim.node::<SirpentHost>(b);
+    assert_eq!(server.inbox.len(), 1);
+    assert_eq!(server.inbox[0].message, b"across the internet");
+
+    let client = sim.node::<SirpentHost>(a);
+    assert_eq!(client.inbox.len(), 1, "reply recrossed the cloud");
+    assert_eq!(client.inbox[0].message, b"across the internet");
+
+    // Gateways actually encapsulated/decapsulated (both directions:
+    // request + its ack + response + its ack = ≥2 each way).
+    let g1 = sim.node::<IpGateway>(gw1);
+    let g2 = sim.node::<IpGateway>(gw2);
+    assert!(g1.stats.encapsulated >= 2, "{:?}", g1.stats);
+    assert!(g1.stats.decapsulated >= 2);
+    assert!(g2.stats.encapsulated >= 2);
+    assert!(g2.stats.decapsulated >= 2);
+    assert_eq!(g1.stats.dropped, 0);
+
+    // The IP router in the cloud did standard IP work on every crossing.
+    let c = sim.node::<IpRouter>(cloud);
+    assert!(c.stats.forwarded >= 4);
+    assert_eq!(c.stats.total_drops(), 0);
+}
+
+/// Wrong-protocol and wrong-address datagrams are dropped at the
+/// gateway, not misinterpreted.
+#[test]
+fn gateway_rejects_foreign_datagrams() {
+    use sirpent::router::link::LinkFrame;
+    use sirpent::router::scripted::ScriptedHost;
+    use sirpent::wire::ipish;
+
+    let mut net = Net::new(56);
+    let outsider = net.sim.add_node(Box::new(ScriptedHost::new()));
+    let gw = net.sim.add_node(Box::new(IpGateway::new(GatewayConfig {
+        my_ip: GW1_IP,
+        ip_port: 2,
+        encap_map: vec![(ENCAP_TO_GW2, GW2_IP)],
+        local_ports: vec![1],
+        process_delay: SimDuration::from_micros(10),
+        ttl: 16,
+    })));
+    net.p2p(outsider, 0, gw, 2, RATE, PROP);
+    let mut sim = net.into_sim();
+
+    // Datagram with the right address but a foreign protocol.
+    let mut d1 = ipish::Repr {
+        tos: 0,
+        total_len: (ipish::HEADER_LEN + 4) as u16,
+        ident: 1,
+        dont_frag: false,
+        more_frags: false,
+        frag_offset: 0,
+        ttl: 9,
+        protocol: 17, // UDP-ish, not Sirpent
+        src: GW2_IP,
+        dst: GW1_IP,
+    }
+    .to_bytes();
+    d1.extend_from_slice(&[1, 2, 3, 4]);
+    // Datagram with the Sirpent protocol but addressed elsewhere.
+    let mut d2 = ipish::Repr {
+        tos: 0,
+        total_len: (ipish::HEADER_LEN + 4) as u16,
+        ident: 2,
+        dont_frag: false,
+        more_frags: false,
+        frag_offset: 0,
+        ttl: 9,
+        protocol: IPPROTO_SIRPENT,
+        src: GW2_IP,
+        dst: Address(0x0A00FFFF),
+    }
+    .to_bytes();
+    d2.extend_from_slice(&[1, 2, 3, 4]);
+
+    {
+        let h = sim.node_mut::<ScriptedHost>(outsider);
+        h.plan(SimTime::ZERO, 0, LinkFrame::Ipish(d1).to_p2p_bytes());
+        h.plan(SimTime(1_000_000), 0, LinkFrame::Ipish(d2).to_p2p_bytes());
+    }
+    ScriptedHost::start(&mut sim, outsider);
+    sim.run_until(SimTime(10_000_000));
+
+    let g = sim.node::<IpGateway>(gw);
+    assert_eq!(g.stats.dropped, 2);
+    assert_eq!(g.stats.decapsulated, 0);
+}
