@@ -33,7 +33,16 @@ fn bench_tokens(c: &mut Criterion) {
     let mut cache = TokenCache::new(minter.router_key(1), 1, AuthPolicy::Optimistic);
     cache.check(&tok, 2, None, Priority::NORMAL, 100, 0);
     g.bench_function("cache_hit_check", |b| {
-        b.iter(|| cache.check(std::hint::black_box(&tok), 2, None, Priority::NORMAL, 100, 0))
+        b.iter(|| {
+            cache.check(
+                std::hint::black_box(&tok),
+                2,
+                None,
+                Priority::NORMAL,
+                100,
+                0,
+            )
+        })
     });
 
     // Cold path: fresh token each time (pre-minted to keep minting out

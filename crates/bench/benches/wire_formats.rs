@@ -53,20 +53,16 @@ fn bench_router_byte_ops(c: &mut Criterion) {
                 bench.iter(|| {
                     let mut p = pkt.clone();
                     let seg = strip_front_segment(&mut p).unwrap();
-                    append_return_hop(
-                        &mut p,
-                        SegmentRepr {
-                            port: 1,
-                            ..seg
-                        },
-                    );
+                    append_return_hop(&mut p, SegmentRepr { port: 1, ..seg }).unwrap();
                     p
                 })
             },
         );
-        g.bench_with_input(BenchmarkId::new("peek_decision", hops), &pkt, |bench, pkt| {
-            bench.iter(|| peek_front_segment(std::hint::black_box(pkt)).unwrap().port)
-        });
+        g.bench_with_input(
+            BenchmarkId::new("peek_decision", hops),
+            &pkt,
+            |bench, pkt| bench.iter(|| peek_front_segment(std::hint::black_box(pkt)).unwrap().port),
+        );
         g.bench_with_input(BenchmarkId::new("full_parse", hops), &pkt, |bench, pkt| {
             bench.iter(|| PacketView::parse(std::hint::black_box(pkt)).unwrap())
         });

@@ -122,18 +122,18 @@ fn main() {
     // ---- setup amortization ------------------------------------------------
     let mut t = Table::new(
         "E10a — m messages over a fresh association (2 hops, 250 µs/link prop)",
-        &["messages", "Sirpent total", "CVC total (incl. setup RTT)", "CVC/Sirpent"],
+        &[
+            "messages",
+            "Sirpent total",
+            "CVC total (incl. setup RTT)",
+            "CVC/Sirpent",
+        ],
     );
     let mut rows = Vec::new();
     for m in [1usize, 2, 5, 10, 50, 200] {
         let s = sirpent_total(m, 512);
         let c = cvc_total(m, 512);
-        t.row(&[
-            &m,
-            &dur_us(s),
-            &dur_us(c),
-            &format!("{:.2}×", c / s),
-        ]);
+        t.row(&[&m, &dur_us(s), &dur_us(c), &format!("{:.2}×", c / s)]);
         rows.push(AmortRow {
             messages: m,
             sirpent_ms: s * 1e3,

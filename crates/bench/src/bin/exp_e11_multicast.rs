@@ -76,7 +76,13 @@ struct McRow {
 fn main() {
     let mut t = Table::new(
         "E11 — the three multicast mechanisms (§2), star of k members",
-        &["mechanism", "k", "source header B", "delivered", "router copies"],
+        &[
+            "mechanism",
+            "k",
+            "source header B",
+            "delivered",
+            "router copies",
+        ],
     );
     let mut rows = Vec::new();
 
@@ -97,7 +103,11 @@ fn main() {
             sim.node_mut::<ScriptedHost>(src).plan(
                 SimTime::ZERO,
                 0,
-                LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+                LinkFrame::Sirpent {
+                    ff_hint: 0,
+                    packet: pkt.into(),
+                }
+                .to_p2p_bytes(),
             );
             ScriptedHost::start(&mut sim, src);
             sim.run_until(SimTime(50_000_000));
@@ -138,11 +148,15 @@ fn main() {
             let hdr = tree_seg.buffer_len();
             let mut pkt = tree_seg.to_bytes();
             pkt.extend_from_slice(&[0x32; 64]);
-            trailer::Entry::Base.append_to(&mut pkt);
+            trailer::Entry::Base.append_to(&mut pkt).unwrap();
             sim.node_mut::<ScriptedHost>(src).plan(
                 SimTime::ZERO,
                 0,
-                LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+                LinkFrame::Sirpent {
+                    ff_hint: 0,
+                    packet: pkt.into(),
+                }
+                .to_p2p_bytes(),
             );
             ScriptedHost::start(&mut sim, src);
             sim.run_until(SimTime(50_000_000));
@@ -190,7 +204,11 @@ fn main() {
             sim.node_mut::<ScriptedHost>(src).plan(
                 SimTime::ZERO,
                 0,
-                LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+                LinkFrame::Sirpent {
+                    ff_hint: 0,
+                    packet: pkt.into(),
+                }
+                .to_p2p_bytes(),
             );
             ScriptedHost::start(&mut sim, src);
             while sim.node::<ScriptedHost>(agent).received.is_empty() {
@@ -208,7 +226,11 @@ fn main() {
                 sim.node_mut::<ScriptedHost>(agent).plan(
                     explode_at,
                     0,
-                    LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+                    LinkFrame::Sirpent {
+                        ff_hint: 0,
+                        packet: pkt.into(),
+                    }
+                    .to_p2p_bytes(),
                 );
             }
             ScriptedHost::start(&mut sim, agent);

@@ -21,11 +21,11 @@ use sirpent::router::link::LinkFrame;
 use sirpent::router::scripted::ScriptedHost;
 use sirpent::router::viper::{PortKind, ViperConfig, ViperRouter};
 use sirpent::sim::{FaultConfig, SimDuration, SimTime};
+use sirpent::transport::RatePacer;
 use sirpent::wire::ipish;
 use sirpent::wire::viper::Priority;
 use sirpent::wire::vmtp::EntityId;
 use sirpent::Net;
-use sirpent::transport::RatePacer;
 use sirpent_bench::{pct, write_json, Table};
 
 const RATE: u64 = 10_000_000;
@@ -111,7 +111,11 @@ fn sirpent_run(corrupt: f64) -> Row {
         let h = sim.node_mut::<SirpentHost>(src);
         h.install_routes(EntityId(0xB), vec![route]);
         for i in 0..N {
-            h.queue_request(SimTime(i as u64 * 2_000_000), EntityId(0xB), vec![0x44; 600]);
+            h.queue_request(
+                SimTime(i as u64 * 2_000_000),
+                EntityId(0xB),
+                vec![0x44; 600],
+            );
         }
     }
     SirpentHost::start(&mut sim, src);
@@ -276,7 +280,12 @@ fn main() {
 
     let mut t2 = Table::new(
         "E12b — IP baseline on the same topology (header checksum at routers)",
-        &["p(corrupt)", "checksum drops @ router", "delivered", "of which corrupt payload"],
+        &[
+            "p(corrupt)",
+            "checksum drops @ router",
+            "delivered",
+            "of which corrupt payload",
+        ],
     );
     #[derive(Serialize)]
     struct IpRow {

@@ -120,12 +120,15 @@ fn main() {
     let minimal_route: usize = (0..VIPER_MAX_SEGMENTS)
         .map(|_| SegmentRepr::minimal(1).buffer_len())
         .sum();
-    let ethernet_route: usize = (0..VIPER_MAX_SEGMENTS)
-        .map(|_| 18usize)
-        .sum();
+    let ethernet_route: usize = (0..VIPER_MAX_SEGMENTS).map(|_| 18usize).sum();
     let mut t2 = Table::new(
         "E1b — §2.3 route-size budget (48 segments, \"expected under 500 bytes\")",
-        &["route composition", "bytes", "within 500 B", "addressable endpoints"],
+        &[
+            "route composition",
+            "bytes",
+            "within 500 B",
+            "addressable endpoints",
+        ],
     );
     t2.row(&[
         &"48 minimal p2p segments",

@@ -72,7 +72,13 @@ fn main() {
     // ---- 1. per-hop delay vs packet size --------------------------------
     let mut t1 = Table::new(
         "E2a — one-router delivery delay vs packet size (10 Mb/s links)",
-        &["payload B", "cut-through", "store-and-forward", "saved", "≈pkt wire time"],
+        &[
+            "payload B",
+            "cut-through",
+            "store-and-forward",
+            "saved",
+            "≈pkt wire time",
+        ],
     );
     let mut size_rows = Vec::new();
     for payload in [64usize, 256, 576, 1024, 1400] {
@@ -173,11 +179,9 @@ fn main() {
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             at += -u.ln() / lambda;
             let pkt = packet(1, vec![0x4D; payload], Priority::NORMAL);
-            c.sim.node_mut::<ScriptedHost>(src).plan(
-                SimTime((at * 1e9) as u64),
-                0,
-                frame(pkt),
-            );
+            c.sim
+                .node_mut::<ScriptedHost>(src)
+                .plan(SimTime((at * 1e9) as u64), 0, frame(pkt));
         }
         ScriptedHost::start(&mut c.sim, src);
         let horizon = at + 0.5;

@@ -89,7 +89,11 @@ fn main() {
         "E3a — §6.2 headline: average header overhead (1M packets)",
         &["quantity", "measured", "paper"],
     );
-    t.row(&[&"avg packet size (B)", &format!("{avg_pkt:.0}"), &"~633 (\"3/8 of max\")"]);
+    t.row(&[
+        &"avg packet size (B)",
+        &format!("{avg_pkt:.0}"),
+        &"~633 (\"3/8 of max\")",
+    ]);
     t.row(&[&"3/8 × max", &format!("{:.0}", 0.375 * 2048.0), &"768"]);
     t.row(&[&"avg hops", &format!("{avg_hops:.3}"), &"0.2"]);
     t.row(&[&"VIPER hdr/hop (B)", &hop18, &"18"]);
@@ -157,5 +161,11 @@ fn main() {
         mix: Vec<MixRow>,
         sweep: Vec<SweepRow>,
     }
-    write_json("e3_overhead", &All { mix: mix_rows, sweep });
+    write_json(
+        "e3_overhead",
+        &All {
+            mix: mix_rows,
+            sweep,
+        },
+    );
 }

@@ -196,7 +196,15 @@ fn main() {
     // ---- 1+2: buffer sweep, control on/off -------------------------------
     let mut t = Table::new(
         "E4a — bottleneck under 5× overload, 400 ms: rate control on/off",
-        &["queue cap", "control", "utilization", "peak queue", "drops@bneck", "drops@upstrm", "bp msgs"],
+        &[
+            "queue cap",
+            "control",
+            "utilization",
+            "peak queue",
+            "drops@bneck",
+            "drops@upstrm",
+            "bp msgs",
+        ],
     );
     let mut rows = Vec::new();
     // The eight configurations are independent simulations: run them on
@@ -205,16 +213,18 @@ fn main() {
         .iter()
         .flat_map(|&cap| [(cap, false), (cap, true)])
         .collect();
-    let results: Vec<(usize, bool, FloodResult)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(usize, bool, FloodResult)> = std::thread::scope(|scope| {
         let handles: Vec<_> = configs
             .iter()
             .map(|&(cap, control)| {
-                scope.spawn(move |_| (cap, control, flood(cap, control, false, 400)))
+                scope.spawn(move || (cap, control, flood(cap, control, false, 400)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("no worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no worker panicked"))
+            .collect()
+    });
     for (cap, control, r) in results {
         t.row(&[
             &cap,
@@ -248,7 +258,13 @@ fn main() {
     let (b_drops, u_drops, bp_rx, final_rate_kbps, util) = adaptive_source_flood(400);
     let mut ta = Table::new(
         "E4a2 — same overload, source obeys backpressure (full cascade)",
-        &["drops@bneck", "drops@upstrm", "bp msgs at source", "final source rate kb/s", "bneck util"],
+        &[
+            "drops@bneck",
+            "drops@upstrm",
+            "bp msgs at source",
+            "final source rate kb/s",
+            "bneck util",
+        ],
     );
     ta.row(&[&b_drops, &u_drops, &bp_rx, &final_rate_kbps, &pct(util)]);
     ta.print();
@@ -264,19 +280,35 @@ fn main() {
         "E4b — feed-forward queue hints (§2.2 ablation, 120 ms of overload)",
         &["variant", "bp msgs", "peak queue", "drops"],
     );
-    t3.row(&[&"backpressure only", &base.backpressure, &base.max_queue, &(base.drops_bottleneck + base.drops_upstream)]);
-    t3.row(&[&"+ feed-forward hints", &with_ff.backpressure, &with_ff.max_queue, &(with_ff.drops_bottleneck + with_ff.drops_upstream)]);
+    t3.row(&[
+        &"backpressure only",
+        &base.backpressure,
+        &base.max_queue,
+        &(base.drops_bottleneck + base.drops_upstream),
+    ]);
+    t3.row(&[
+        &"+ feed-forward hints",
+        &with_ff.backpressure,
+        &with_ff.max_queue,
+        &(with_ff.drops_bottleneck + with_ff.drops_upstream),
+    ]);
     t3.print();
 
     // ---- 4: failover time after link failure ------------------------------
     let mut net = Net::new(31);
     let client = net.host(
         0xC,
-        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
     );
     let server = net.host(
         0x5,
-        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
     );
     let r1 = net.viper(ViperConfig::basic(1, &[1, 2]));
     let r2 = net.viper(ViperConfig::basic(2, &[1, 2]));
@@ -328,8 +360,20 @@ fn main() {
 
     let fail_at = SimTime(500_000_000);
     sim.run_until(fail_at);
-    sim.set_faults(dead1, FaultConfig { drop_prob: 1.0, corrupt_prob: 0.0 });
-    sim.set_faults(dead2, FaultConfig { drop_prob: 1.0, corrupt_prob: 0.0 });
+    sim.set_faults(
+        dead1,
+        FaultConfig {
+            drop_prob: 1.0,
+            corrupt_prob: 0.0,
+        },
+    );
+    sim.set_faults(
+        dead2,
+        FaultConfig {
+            drop_prob: 1.0,
+            corrupt_prob: 0.0,
+        },
+    );
     sim.run_until(SimTime(2_000_000_000));
 
     let c = sim.node::<SirpentHost>(client);
@@ -350,7 +394,10 @@ fn main() {
         .map(|s| (s.as_nanos() as f64 - fail_at.as_nanos() as f64) / 1e6)
         .unwrap_or(f64::NAN);
     t4.row(&[&"detection + switch time", &format!("{switch_ms:.2} ms")]);
-    t4.row(&[&"transactions completed", &format!("{}/200", c.rtt_samples.len())]);
+    t4.row(&[
+        &"transactions completed",
+        &format!("{}/200", c.rtt_samples.len()),
+    ]);
     t4.row(&[&"transactions abandoned", &gave_up]);
     t4.print();
     println!(

@@ -77,7 +77,7 @@ fn first_second_latency(policy: AuthPolicy) -> (Option<f64>, Option<f64>) {
             0,
             LinkFrame::Sirpent {
                 ff_hint: 0,
-                packet: pkt(1),
+                packet: pkt(1).into(),
             }
             .to_p2p_bytes(),
         );
@@ -86,7 +86,7 @@ fn first_second_latency(policy: AuthPolicy) -> (Option<f64>, Option<f64>) {
             0,
             LinkFrame::Sirpent {
                 ff_hint: 0,
-                packet: pkt(2),
+                packet: pkt(2).into(),
             }
             .to_p2p_bytes(),
         );
@@ -148,7 +148,11 @@ fn main() {
         "E5a — token check cost: cached fast path vs full decrypt+verify",
         &["path", "ns/check", "relative"],
     );
-    t.row(&[&"cached (hash lookup + authorize)", &format!("{cached_ns:.0}"), &"1×"]);
+    t.row(&[
+        &"cached (hash lookup + authorize)",
+        &format!("{cached_ns:.0}"),
+        &"1×",
+    ]);
     t.row(&[
         &"full unseal (Speck CBC + MAC)",
         &format!("{decrypt_ns:.0}"),
@@ -224,17 +228,28 @@ fn main() {
 
     // ---- accounting --------------------------------------------------------
     let mut cache = TokenCache::new(minter.router_key(1), 1, AuthPolicy::Optimistic);
-    let t_a = minter.mint(Grant { account: 100, ..grant() }).to_vec();
-    let t_b = minter.mint(Grant { account: 200, ..grant() }).to_vec();
+    let t_a = minter
+        .mint(Grant {
+            account: 100,
+            ..grant()
+        })
+        .to_vec();
+    let t_b = minter
+        .mint(Grant {
+            account: 200,
+            ..grant()
+        })
+        .to_vec();
     for _ in 0..10 {
         cache.check(&t_a, 2, None, Priority::NORMAL, 1000, 0);
     }
     for _ in 0..3 {
         cache.check(&t_b, 2, None, Priority::NORMAL, 500, 0);
     }
-    let mut t4 = Table::new("E5d — per-account accounting from cache entries", &[
-        "account", "packets", "bytes",
-    ]);
+    let mut t4 = Table::new(
+        "E5d — per-account accounting from cache entries",
+        &["account", "packets", "bytes"],
+    );
     for acct in [100u32, 200] {
         let u = cache.accounting().usage(acct);
         t4.row(&[&acct, &u.packets, &u.bytes]);

@@ -70,7 +70,11 @@ fn trunk_run(n: usize, size: usize, logical: bool, gap_ns: u64) -> (f64, Vec<usi
         sim.node_mut::<ScriptedHost>(src).plan(
             SimTime(i as u64 * gap_ns),
             0,
-            LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+            LinkFrame::Sirpent {
+                ff_hint: 0,
+                packet: pkt.into(),
+            }
+            .to_p2p_bytes(),
         );
     }
     ScriptedHost::start(&mut sim, src);
@@ -99,7 +103,12 @@ fn main() {
     let size = 1250usize; // 100 µs on one 100 Mb/s channel
     let mut t = Table::new(
         "E6a — 10×100 Mb/s trunk as one logical link vs static single channel",
-        &["offered load (of trunk)", "logical: mean router delay", "static: mean router delay", "members used (logical)"],
+        &[
+            "offered load (of trunk)",
+            "logical: mean router delay",
+            "static: mean router delay",
+            "members used (logical)",
+        ],
     );
     let mut rows = Vec::new();
     for frac in [0.05f64, 0.2, 0.5, 0.8] {
@@ -114,7 +123,11 @@ fn main() {
             &pct(frac),
             &dur_us(d_log),
             &dur_us(d_stat),
-            &format!("{used}/10 (min {} max {})", per_ch.iter().min().unwrap(), per_ch.iter().max().unwrap()),
+            &format!(
+                "{used}/10 (min {} max {})",
+                per_ch.iter().min().unwrap(),
+                per_ch.iter().max().unwrap()
+            ),
         ]);
         rows.push(TrunkRow {
             offered_fraction: frac,
@@ -135,7 +148,12 @@ fn main() {
     // ---- 2: logical-hop expansion cost -------------------------------------
     let mut t2 = Table::new(
         "E6b — logical-hop (route splice) cost: \"route bits / data rate\" (§2.2)",
-        &["spliced route", "route bytes", "added header wire time @100 Mb/s", "measured extra delay"],
+        &[
+            "spliced route",
+            "route bytes",
+            "added header wire time @100 Mb/s",
+            "measured extra delay",
+        ],
     );
     // Compare forwarding through a router that splices a 3-segment route
     // vs one that forwards directly; measure delay difference.
@@ -165,7 +183,11 @@ fn main() {
         sim.node_mut::<ScriptedHost>(src).plan(
             SimTime::ZERO,
             0,
-            LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+            LinkFrame::Sirpent {
+                ff_hint: 0,
+                packet: pkt.into(),
+            }
+            .to_p2p_bytes(),
         );
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);

@@ -42,7 +42,12 @@ fn main() {
     // ---- state growth -------------------------------------------------------
     let mut t = Table::new(
         "E7a — per-router state vs internetwork size (router with 8 ports)",
-        &["reachable networks", "Sirpent router B", "IP router B", "IP/Sirpent"],
+        &[
+            "reachable networks",
+            "Sirpent router B",
+            "IP router B",
+            "IP/Sirpent",
+        ],
     );
     let mut rows = Vec::new();
     for n in [10usize, 100, 1_000, 10_000, 100_000] {
@@ -110,7 +115,13 @@ fn main() {
     // 20 routers all using ports {1,2}; no router knows anything beyond
     // its own links, yet the packet threads the whole chain.
     let hops = 20usize;
-    let mut c = chain(71, hops, 100_000_000, SimDuration(1_000), SwitchMode::CutThrough);
+    let mut c = chain(
+        71,
+        hops,
+        100_000_000,
+        SimDuration(1_000),
+        SwitchMode::CutThrough,
+    );
     let pkt = packet(hops, vec![0x5C; 256], Priority::NORMAL);
     c.sim
         .node_mut::<ScriptedHost>(c.src)

@@ -36,7 +36,11 @@ fn main() {
 
     let mut t = Table::new(
         "E8a — delayed packets: timestamp (MPL 30 s) vs IP TTL (hop budget)",
-        &["network delay", "timestamp verdict", "TTL verdict (3 hops, TTL 32)"],
+        &[
+            "network delay",
+            "timestamp verdict",
+            "TTL verdict (3 hops, TTL 32)",
+        ],
     );
     let mut rows = Vec::new();
     for delay_ms in [0u64, 100, 1_000, 10_000, 29_000, 31_000, 60_000, 600_000] {
@@ -117,7 +121,10 @@ fn main() {
         let stamp = sender.now_ms(sent);
         let now = r.now_ms(sirpent::sim::SimTime(sent.as_nanos() + 1_000_000)); // 1 ms later
         let ok = filter.accept(now, stamp).is_ok();
-        t2.row(&[&format!("{offset} ms"), &(if ok { "accepted" } else { "discarded" })]);
+        t2.row(&[
+            &format!("{offset} ms"),
+            &(if ok { "accepted" } else { "discarded" }),
+        ]);
         skew_rows.push(SkewRow {
             offset_ms: offset,
             accepted: ok,

@@ -30,7 +30,8 @@ impl Table {
     /// Append one row (any Display values).
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Render with aligned columns.
@@ -139,13 +140,7 @@ pub mod topo {
 
     /// Build a chain of `n` VIPER routers with the given mode and link
     /// parameters. Router ports: 1 = upstream, 2 = downstream.
-    pub fn chain(
-        seed: u64,
-        n: usize,
-        rate_bps: u64,
-        prop: SimDuration,
-        mode: SwitchMode,
-    ) -> Chain {
+    pub fn chain(seed: u64, n: usize, rate_bps: u64, prop: SimDuration, mode: SwitchMode) -> Chain {
         let mut sim = Simulator::new(seed);
         let src = sim.add_node(Box::new(ScriptedHost::new()));
         let dst = sim.add_node(Box::new(ScriptedHost::new()));
@@ -196,6 +191,10 @@ pub mod topo {
 
     /// Frame a Sirpent packet for a point-to-point link.
     pub fn frame(packet: Vec<u8>) -> Vec<u8> {
-        LinkFrame::Sirpent { ff_hint: 0, packet }.to_p2p_bytes()
+        LinkFrame::Sirpent {
+            ff_hint: 0,
+            packet: packet.into(),
+        }
+        .to_p2p_bytes()
     }
 }

@@ -109,10 +109,7 @@ mod tests {
         net.p2p(h1, 0, r, 1, 10_000_000, SimDuration::from_micros(2));
         net.p2p(r, 2, h2, 0, 10_000_000, SimDuration::from_micros(2));
         let sim = net.into_sim();
-        assert_eq!(
-            sim.node::<SirpentHost>(h1).entity(),
-            EntityId(1)
-        );
+        assert_eq!(sim.node::<SirpentHost>(h1).entity(), EntityId(1));
         assert_eq!(sim.node::<SirpentHost>(h2).entity(), EntityId(2));
         let _ = sim.node::<ViperRouter>(r);
     }

@@ -18,9 +18,7 @@ use std::collections::HashMap;
 
 use sirpent_router::link::LinkFrame;
 use sirpent_sim::{transmission_time, Context, Event, Node, SimDuration, SimTime};
-use sirpent_transport::{
-    Action, Endpoint, EndpointConfig, FailoverPolicy, RouteSet, Verdict,
-};
+use sirpent_transport::{Action, Endpoint, EndpointConfig, FailoverPolicy, RouteSet, Verdict};
 use sirpent_wire::ethernet;
 use sirpent_wire::packet::{PacketBuilder, PacketView};
 use sirpent_wire::viper::{SegmentRepr, PORT_LOCAL};
@@ -286,22 +284,24 @@ impl SirpentHost {
         };
         let lf = LinkFrame::Sirpent {
             ff_hint: 0,
-            packet,
+            packet: packet.into(),
         };
         let bytes = match (&self.ports.get(&host_port), eth) {
-            (Some(HostPortKind::Ethernet { mac }), Some(h)) => {
-                lf.to_ethernet_bytes(*mac, h.dst)
-            }
+            (Some(HostPortKind::Ethernet { mac }), Some(h)) => lf.to_ethernet_bytes(*mac, h.dst),
             (Some(HostPortKind::Ethernet { mac }), None) => {
                 // Shouldn't happen with well-formed routes; broadcast.
                 lf.to_ethernet_bytes(*mac, ethernet::Address::BROADCAST)
             }
             _ => lf.to_p2p_bytes(),
         };
-        self.schedule(ctx, at.max(ctx.now()), Pending::Transmit {
-            port: host_port,
-            bytes,
-        });
+        self.schedule(
+            ctx,
+            at.max(ctx.now()),
+            Pending::Transmit {
+                port: host_port,
+                bytes,
+            },
+        );
     }
 
     /// Execute transport actions in the context of a destination (for
@@ -346,8 +346,7 @@ impl SirpentHost {
                 Action::ReplayedRequest { peer, transaction } => {
                     // The requester is missing our response: re-send it
                     // over the (fresh) reply route.
-                    if let Some(body) = self.sent_responses.get(&(peer, transaction)).cloned()
-                    {
+                    if let Some(body) = self.sent_responses.get(&(peer, transaction)).cloned() {
                         let now = ctx.now();
                         if let Some(actions) = self.endpoint.send_message(
                             now,
@@ -415,13 +414,10 @@ impl SirpentHost {
                     self.auto_respond.clone()
                 };
                 if let Some(body) = body {
-                    if let Some(actions) = self.endpoint.send_message(
-                        now,
-                        peer,
-                        transaction,
-                        Kind::Response,
-                        &body,
-                    ) {
+                    if let Some(actions) =
+                        self.endpoint
+                            .send_message(now, peer, transaction, Kind::Response, &body)
+                    {
                         self.stats.responses_sent += 1;
                         self.sent_responses.insert((peer, transaction), body);
                         self.run_actions(ctx, actions, peer, true);
@@ -533,7 +529,7 @@ impl SirpentHost {
     fn on_sirpent_packet(
         &mut self,
         ctx: &mut Context<'_>,
-        packet: Vec<u8>,
+        packet: sirpent_wire::buf::PacketBuf,
         arrival_port: u8,
         arrival_eth: Option<ethernet::Repr>,
     ) {
@@ -560,7 +556,12 @@ impl SirpentHost {
         if truncated {
             self.stats.truncated_seen += 1;
         }
-        let data = view.data(&packet).to_vec();
+        // Carve the user-data window out of the shared buffer: truncate
+        // the trailer off, advance past the route header. Both are O(1)
+        // offset moves on the same store — no copy on the delivery path.
+        let mut data = packet.clone();
+        data.truncate(view.data_end);
+        data.advance(view.data_start);
         let now = ctx.now();
 
         // Peek the transport source so reply context can be stored
@@ -575,7 +576,7 @@ impl SirpentHost {
                     eth: arrival_eth.map(|h| h.reversed()),
                 },
             );
-            let actions = self.endpoint.on_packet(now, &data);
+            let actions = self.endpoint.on_packet_buf(now, &data);
             self.run_actions(ctx, actions, hdr.src, true);
         } else {
             self.stats.unparseable += 1;
@@ -593,7 +594,7 @@ impl Node for SirpentHost {
                 };
                 match kind {
                     HostPortKind::PointToPoint => {
-                        match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                        match LinkFrame::from_p2p_frame(&fe.frame.payload) {
                             Ok(LinkFrame::Sirpent { packet, .. }) => {
                                 self.on_sirpent_packet(ctx, packet, port, None)
                             }
@@ -605,17 +606,16 @@ impl Node for SirpentHost {
                         }
                     }
                     HostPortKind::Ethernet { mac } => {
-                        match LinkFrame::from_ethernet_bytes(&fe.frame.bytes) {
+                        match LinkFrame::from_ethernet_frame(&fe.frame.payload) {
                             Ok((hdr, inner)) => {
                                 if hdr.dst != mac && !hdr.dst.is_broadcast() {
                                     return;
                                 }
                                 match inner {
-                                    LinkFrame::Sirpent { packet, .. } => self
-                                        .on_sirpent_packet(ctx, packet, port, Some(hdr)),
-                                    LinkFrame::RateControl(msg) => {
-                                        self.on_rate_control(ctx, msg)
+                                    LinkFrame::Sirpent { packet, .. } => {
+                                        self.on_sirpent_packet(ctx, packet, port, Some(hdr))
                                     }
+                                    LinkFrame::RateControl(msg) => self.on_rate_control(ctx, msg),
                                     _ => {}
                                 }
                             }
@@ -629,9 +629,7 @@ impl Node for SirpentHost {
                 Some(Pending::Transmit { port, bytes }) => {
                     let _ = ctx.transmit(port, bytes);
                 }
-                Some(Pending::Retransmit { transaction }) => {
-                    self.on_retransmit(ctx, transaction)
-                }
+                Some(Pending::Retransmit { transaction }) => self.on_retransmit(ctx, transaction),
                 None => {}
             },
             Event::TxDone { .. } | Event::FrameAborted { .. } => {}
@@ -656,11 +654,7 @@ impl SirpentHost {
         let dsts: Vec<EntityId> = self
             .routes
             .iter()
-            .filter(|(_, set)| {
-                set.current()
-                    .router_ids
-                    .contains(&msg.congested_router)
-            })
+            .filter(|(_, set)| set.current().router_ids.contains(&msg.congested_router))
             .map(|(d, _)| *d)
             .collect();
         for dst in dsts {
@@ -671,9 +665,7 @@ impl SirpentHost {
                         index: i,
                         at: now,
                     }),
-                    Verdict::Requery => {
-                        self.events.push(HostEvent::NeedsRequery { dst, at: now })
-                    }
+                    Verdict::Requery => self.events.push(HostEvent::NeedsRequery { dst, at: now }),
                     Verdict::Stay => {}
                 }
             }

@@ -23,8 +23,9 @@ use std::collections::HashMap;
 
 use sirpent_router::link::LinkFrame;
 use sirpent_sim::{Context, Event, Node, SimDuration, SimTime};
+use sirpent_wire::buf::PacketBuf;
 use sirpent_wire::ipish;
-use sirpent_wire::packet::{append_return_hop, strip_front_segment};
+use sirpent_wire::packet::{append_return_hop_buf, strip_front_segment_buf};
 use sirpent_wire::viper::{Flags, SegmentRepr, PORT_LOCAL};
 
 /// IP protocol number carried by encapsulated Sirpent packets (our
@@ -64,7 +65,7 @@ pub struct GatewayStats {
 }
 
 enum Pending {
-    FromSirpent { packet: Vec<u8>, arrival_port: u8 },
+    FromSirpent { packet: PacketBuf, arrival_port: u8 },
     FromCloud { datagram: Vec<u8> },
 }
 
@@ -117,36 +118,36 @@ impl IpGateway {
     /// current. `arrival_id` identifies where it came from (a local port
     /// number, or the encap port value for cloud arrivals) for the
     /// return hop.
-    fn route(&mut self, ctx: &mut Context<'_>, mut packet: Vec<u8>, arrival_id: u8) {
-        let Ok(seg) = strip_front_segment(&mut packet) else {
+    fn route(&mut self, ctx: &mut Context<'_>, mut packet: PacketBuf, arrival_id: u8) {
+        let Ok(seg) = strip_front_segment_buf(&mut packet) else {
             self.stats.dropped += 1;
             return;
         };
-        if seg.port == PORT_LOCAL {
-            self.local_delivered.push((ctx.now(), packet));
+        if seg.port() == PORT_LOCAL {
+            self.local_delivered.push((ctx.now(), packet.to_vec()));
             return;
         }
-        // Return hop names where the packet came *from* (§2).
-        append_return_hop(
-            &mut packet,
-            SegmentRepr {
-                port: arrival_id,
-                flags: Flags {
-                    rpf: true,
-                    ..Default::default()
-                },
-                priority: seg.priority,
-                port_token: seg.port_token.clone(),
-                port_info: Vec::new(),
+        // Return hop names where the packet came *from* (§2). Extract
+        // the fields first, then release the view so the append runs on
+        // a uniquely-owned store.
+        let out_port = seg.port();
+        let return_hop = SegmentRepr {
+            port: arrival_id,
+            flags: Flags {
+                rpf: true,
+                ..Default::default()
             },
-        );
+            priority: seg.priority(),
+            port_token: seg.port_token().to_vec(),
+            port_info: Vec::new(),
+        };
+        drop(seg);
+        if append_return_hop_buf(&mut packet, return_hop).is_err() {
+            self.stats.dropped += 1;
+            return;
+        }
 
-        if let Some(&(_, remote)) = self
-            .cfg
-            .encap_map
-            .iter()
-            .find(|&&(p, _)| p == seg.port)
-        {
+        if let Some(&(_, remote)) = self.cfg.encap_map.iter().find(|&&(p, _)| p == out_port) {
             // One logical hop across the cloud: encapsulate.
             let mut dgram = ipish::Repr {
                 tos: 0,
@@ -162,18 +163,14 @@ impl IpGateway {
             }
             .to_bytes();
             self.ident = self.ident.wrapping_add(1);
-            dgram.extend_from_slice(&packet);
+            dgram.extend_from_slice(packet.as_slice());
             self.stats.encapsulated += 1;
             let frame = LinkFrame::Ipish(dgram).to_p2p_bytes();
             self.send(ctx, self.cfg.ip_port, frame);
-        } else if self.cfg.local_ports.contains(&seg.port) {
+        } else if self.cfg.local_ports.contains(&out_port) {
             self.stats.forwarded_local += 1;
-            let frame = LinkFrame::Sirpent {
-                ff_hint: 0,
-                packet,
-            }
-            .to_p2p_bytes();
-            self.send(ctx, seg.port, frame);
+            let frame = LinkFrame::Sirpent { ff_hint: 0, packet }.to_p2p_bytes();
+            self.send(ctx, out_port, frame);
         } else {
             self.stats.dropped += 1;
         }
@@ -196,7 +193,7 @@ impl IpGateway {
             self.stats.dropped += 1;
             return;
         };
-        let packet = datagram[ipish::HEADER_LEN..hdr.total_len as usize].to_vec();
+        let packet = PacketBuf::from(&datagram[ipish::HEADER_LEN..hdr.total_len as usize]);
         self.stats.decapsulated += 1;
         self.route(ctx, packet, arrival);
     }
@@ -209,7 +206,7 @@ impl Node for IpGateway {
                 let key = self.next_key;
                 self.next_key += 1;
                 let pend = if fe.port == self.cfg.ip_port {
-                    match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                    match LinkFrame::from_p2p_frame(&fe.frame.payload) {
                         Ok(LinkFrame::Ipish(d)) => Pending::FromCloud { datagram: d },
                         _ => {
                             self.stats.dropped += 1;
@@ -217,7 +214,7 @@ impl Node for IpGateway {
                         }
                     }
                 } else {
-                    match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                    match LinkFrame::from_p2p_frame(&fe.frame.payload) {
                         Ok(LinkFrame::Sirpent { packet, .. }) => Pending::FromSirpent {
                             packet,
                             arrival_port: fe.port,
@@ -240,10 +237,13 @@ impl Node for IpGateway {
                 None => {}
             },
             Event::TxDone { port, .. } => {
-                let next = self
-                    .queues
-                    .get_mut(&port)
-                    .and_then(|q| if q.is_empty() { None } else { Some(q.remove(0)) });
+                let next = self.queues.get_mut(&port).and_then(|q| {
+                    if q.is_empty() {
+                        None
+                    } else {
+                        Some(q.remove(0))
+                    }
+                });
                 match next {
                     Some(f) => {
                         let _ = ctx.transmit(port, f);

@@ -89,8 +89,8 @@ pub mod interop;
 
 pub use build::Net;
 pub use compile::CompiledRoute;
-pub use interop::{GatewayConfig, IpGateway, IPPROTO_SIRPENT};
 pub use host::{DeliveredMsg, HostEvent, HostPortKind, HostStats, SirpentHost};
+pub use interop::{GatewayConfig, IpGateway, IPPROTO_SIRPENT};
 
 pub use sirpent_directory as directory;
 pub use sirpent_router as router;

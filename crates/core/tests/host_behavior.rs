@@ -107,8 +107,11 @@ fn hosts_exchange_over_ethernet_access() {
     sim.node_mut::<SirpentHost>(a)
         .install_routes(EntityId(0xB), vec![route]);
     sim.node_mut::<SirpentHost>(b).echo = true;
-    sim.node_mut::<SirpentHost>(a)
-        .queue_request(SimTime::ZERO, EntityId(0xB), b"ethernet all the way".to_vec());
+    sim.node_mut::<SirpentHost>(a).queue_request(
+        SimTime::ZERO,
+        EntityId(0xB),
+        b"ethernet all the way".to_vec(),
+    );
     SirpentHost::start(&mut sim, a);
     sim.run_until(SimTime(100_000_000));
 
@@ -138,7 +141,11 @@ fn misrouted_packet_counted_and_ignored() {
     sim.node_mut::<ScriptedHost>(x).plan(
         SimTime::ZERO,
         0,
-        LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+        LinkFrame::Sirpent {
+            ff_hint: 0,
+            packet: pkt.into(),
+        }
+        .to_p2p_bytes(),
     );
     ScriptedHost::start(&mut sim, x);
     sim.run_until(SimTime(10_000_000));
@@ -153,7 +160,10 @@ fn backpressure_slows_pacer_and_switches_routes() {
     let mut net = Net::new(5);
     let a = net.host(
         0xA,
-        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
     );
     let x = net.sim.add_node(Box::new(ScriptedHost::new()));
     let y = net.sim.add_node(Box::new(ScriptedHost::new()));
@@ -164,10 +174,7 @@ fn backpressure_slows_pacer_and_switches_routes() {
     {
         let h = sim.node_mut::<SirpentHost>(a);
         h.set_failover(FailoverPolicy::default());
-        h.install_routes(
-            EntityId(0xB),
-            vec![p2p_route(0, 9, 2), p2p_route(1, 8, 2)],
-        );
+        h.install_routes(EntityId(0xB), vec![p2p_route(0, 9, 2), p2p_route(1, 8, 2)]);
         assert_eq!(h.current_route_index(EntityId(0xB)), Some(0));
     }
 
@@ -209,7 +216,10 @@ fn backpressure_for_foreign_router_does_not_switch() {
     let mut net = Net::new(6);
     let a = net.host(
         0xA,
-        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
     );
     let x = net.sim.add_node(Box::new(ScriptedHost::new()));
     net.p2p(x, 0, a, 0, RATE, PROP);
@@ -341,8 +351,11 @@ fn endpoint_selector_demultiplexes_within_a_host() {
     // Wrong selector first.
     sim.node_mut::<SirpentHost>(a)
         .install_routes(EntityId(0xB), vec![route_with(vec![0x99])]);
-    sim.node_mut::<SirpentHost>(a)
-        .queue_request(SimTime::ZERO, EntityId(0xB), b"to the wrong socket".to_vec());
+    sim.node_mut::<SirpentHost>(a).queue_request(
+        SimTime::ZERO,
+        EntityId(0xB),
+        b"to the wrong socket".to_vec(),
+    );
     SirpentHost::start(&mut sim, a);
     sim.run_until(SimTime(100_000_000));
     {
@@ -431,8 +444,11 @@ fn compressed_ethernet_port_info_saves_bytes_and_still_routes() {
     sim.node_mut::<SirpentHost>(a)
         .install_routes(EntityId(0xB), vec![compressed]);
     sim.node_mut::<SirpentHost>(b).echo = true;
-    sim.node_mut::<SirpentHost>(a)
-        .queue_request(SimTime::ZERO, EntityId(0xB), b"compressed".to_vec());
+    sim.node_mut::<SirpentHost>(a).queue_request(
+        SimTime::ZERO,
+        EntityId(0xB),
+        b"compressed".to_vec(),
+    );
     SirpentHost::start(&mut sim, a);
     sim.run_until(SimTime(100_000_000));
 

@@ -25,5 +25,7 @@ pub mod server;
 
 pub use cache::RouteCache;
 pub use name::Name;
-pub use route::{AccessSpec, EthernetHop, HopSpec, Preference, RouteProperties, RouteRecord, Security};
+pub use route::{
+    AccessSpec, EthernetHop, HopSpec, Preference, RouteProperties, RouteRecord, Security,
+};
 pub use server::{Advisory, Directory, QueryResult, ServiceRecord, TokenIssue};

@@ -160,12 +160,11 @@ impl Preference {
     pub fn key(self, p: &RouteProperties) -> (i64, i64) {
         match self {
             Preference::LowDelay => (p.prop_delay.as_nanos() as i64, p.cost as i64),
-            Preference::HighBandwidth => (-(p.bandwidth_bps as i64), p.prop_delay.as_nanos() as i64),
+            Preference::HighBandwidth => {
+                (-(p.bandwidth_bps as i64), p.prop_delay.as_nanos() as i64)
+            }
             Preference::LowCost => (p.cost as i64, p.prop_delay.as_nanos() as i64),
-            Preference::Secure => (
-                -(p.security as i64),
-                p.prop_delay.as_nanos() as i64,
-            ),
+            Preference::Secure => (-(p.security as i64), p.prop_delay.as_nanos() as i64),
         }
     }
 }

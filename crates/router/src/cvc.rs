@@ -75,7 +75,11 @@ pub struct CvcStats {
 }
 
 enum Pending {
-    Deliver { port: u8, msg: Message, first_bit: SimTime },
+    Deliver {
+        port: u8,
+        msg: Message,
+        first_bit: SimTime,
+    },
 }
 
 /// The CVC switch node.
@@ -190,20 +194,8 @@ impl CvcSwitch {
                 if out_port == 0 {
                     // We are the destination attachment: open the circuit
                     // and confirm back toward the caller.
-                    self.table.insert(
-                        (in_port, vci),
-                        Leg {
-                            port: 0,
-                            vci,
-                        },
-                    );
-                    self.table.insert(
-                        (0, vci),
-                        Leg {
-                            port: in_port,
-                            vci,
-                        },
-                    );
+                    self.table.insert((in_port, vci), Leg { port: 0, vci });
+                    self.table.insert((0, vci), Leg { port: in_port, vci });
                     self.bump_peak();
                     self.send(ctx, in_port, &Message::Accept { vci });
                     return;
@@ -216,16 +208,10 @@ impl CvcSwitch {
                         vci: out_vci,
                     },
                 );
-                self.table.insert(
-                    (out_port, out_vci),
-                    Leg {
-                        port: in_port,
-                        vci,
-                    },
-                );
+                self.table
+                    .insert((out_port, out_vci), Leg { port: in_port, vci });
                 if reserve > 0 {
-                    self.leg_reserve
-                        .insert((out_port, out_vci), reserve as u64);
+                    self.leg_reserve.insert((out_port, out_vci), reserve as u64);
                 }
                 self.bump_peak();
                 self.send(
@@ -244,7 +230,9 @@ impl CvcSwitch {
                     Some(back) if back.port != 0 => {
                         self.send(ctx, back.port, &Message::Accept { vci: back.vci })
                     }
-                    _ => self.local_control.push((ctx.now(), Message::Accept { vci })),
+                    _ => self
+                        .local_control
+                        .push((ctx.now(), Message::Accept { vci })),
                 }
             }
             Message::Reject { vci, reason } => match self.table.get(&(in_port, vci)).copied() {
@@ -307,8 +295,7 @@ impl Node for CvcSwitch {
     fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
         match ev {
             Event::Frame(fe) => {
-                let Ok(LinkFrame::Cvc(bytes)) = LinkFrame::from_p2p_bytes(&fe.frame.bytes)
-                else {
+                let Ok(LinkFrame::Cvc(bytes)) = LinkFrame::from_p2p_frame(&fe.frame.payload) else {
                     return;
                 };
                 let Ok(msg) = Message::parse(&bytes) else {
@@ -429,7 +416,9 @@ mod tests {
         // Host got the Accept (full round trip).
         let rx = sim.node::<ScriptedHost>(a).received_p2p();
         assert_eq!(rx.len(), 1);
-        let LinkFrame::Cvc(b) = &rx[0].1 else { panic!() };
+        let LinkFrame::Cvc(b) = &rx[0].1 else {
+            panic!()
+        };
         assert_eq!(Message::parse(b).unwrap(), Message::Accept { vci: 9 });
         let accept_time = rx[0].0;
         // Setup RTT ≥ 2 hops each way + 2 × setup_delay ≈ > 400 µs.
@@ -484,7 +473,9 @@ mod tests {
         sim.run(10_000);
         let rx = sim.node::<ScriptedHost>(a).received_p2p();
         assert_eq!(rx.len(), 1);
-        let LinkFrame::Cvc(b) = &rx[0].1 else { panic!() };
+        let LinkFrame::Cvc(b) = &rx[0].1 else {
+            panic!()
+        };
         assert!(matches!(
             Message::parse(b).unwrap(),
             Message::Reject { vci: 4, .. }

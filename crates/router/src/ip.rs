@@ -283,7 +283,7 @@ impl Node for IpRouter {
                     return;
                 };
                 let datagram = match &op.cfg.kind {
-                    PortKind::PointToPoint => match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+                    PortKind::PointToPoint => match LinkFrame::from_p2p_frame(&fe.frame.payload) {
                         Ok(LinkFrame::Ipish(d)) => d,
                         _ => {
                             self.stats.drop(IpDrop::BadFrame);
@@ -291,7 +291,7 @@ impl Node for IpRouter {
                         }
                     },
                     PortKind::Ethernet { mac } => {
-                        match LinkFrame::from_ethernet_bytes(&fe.frame.bytes) {
+                        match LinkFrame::from_ethernet_frame(&fe.frame.payload) {
                             Ok((hdr, LinkFrame::Ipish(d))) => {
                                 if hdr.dst != *mac && !hdr.dst.is_broadcast() {
                                     return;
@@ -373,8 +373,12 @@ mod tests {
         d
     }
 
-    fn one_router() -> (Simulator, sirpent_sim::NodeId, sirpent_sim::NodeId, sirpent_sim::NodeId)
-    {
+    fn one_router() -> (
+        Simulator,
+        sirpent_sim::NodeId,
+        sirpent_sim::NodeId,
+        sirpent_sim::NodeId,
+    ) {
         let mut sim = Simulator::new(1);
         let src = sim.add_node(Box::new(ScriptedHost::new()));
         let dst = sim.add_node(Box::new(ScriptedHost::new()));
@@ -415,8 +419,11 @@ mod tests {
             DEFAULT_TTL,
         );
         let dlen = d.len();
-        sim.node_mut::<ScriptedHost>(src)
-            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        sim.node_mut::<ScriptedHost>(src).plan(
+            SimTime::ZERO,
+            0,
+            LinkFrame::Ipish(d).to_p2p_bytes(),
+        );
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);
 
@@ -446,29 +453,27 @@ mod tests {
     fn ttl_expiry_drops() {
         let (mut sim, src, r, dst) = one_router();
         let d = datagram(Address::new(10, 0, 1, 1), Address::new(10, 0, 2, 2), 10, 1);
-        sim.node_mut::<ScriptedHost>(src)
-            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        sim.node_mut::<ScriptedHost>(src).plan(
+            SimTime::ZERO,
+            0,
+            LinkFrame::Ipish(d).to_p2p_bytes(),
+        );
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);
         assert!(sim.node::<ScriptedHost>(dst).received.is_empty());
-        assert_eq!(
-            sim.node::<IpRouter>(r).stats.drops[&IpDrop::TtlExpired],
-            1
-        );
+        assert_eq!(sim.node::<IpRouter>(r).stats.drops[&IpDrop::TtlExpired], 1);
     }
 
     #[test]
     fn corrupt_header_dropped_at_router() {
         let (mut sim, src, r, dst) = one_router();
-        let mut d = datagram(
-            Address::new(10, 0, 1, 1),
-            Address::new(10, 0, 2, 2),
-            10,
-            9,
-        );
+        let mut d = datagram(Address::new(10, 0, 1, 1), Address::new(10, 0, 2, 2), 10, 9);
         d[16] ^= 0x55; // corrupt destination
-        sim.node_mut::<ScriptedHost>(src)
-            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        sim.node_mut::<ScriptedHost>(src).plan(
+            SimTime::ZERO,
+            0,
+            LinkFrame::Ipish(d).to_p2p_bytes(),
+        );
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);
         assert!(sim.node::<ScriptedHost>(dst).received.is_empty());
@@ -478,14 +483,12 @@ mod tests {
     #[test]
     fn no_route_drops() {
         let (mut sim, src, r, _dst) = one_router();
-        let d = datagram(
-            Address::new(10, 0, 1, 1),
-            Address::new(10, 9, 9, 9),
-            10,
-            9,
+        let d = datagram(Address::new(10, 0, 1, 1), Address::new(10, 9, 9, 9), 10, 9);
+        sim.node_mut::<ScriptedHost>(src).plan(
+            SimTime::ZERO,
+            0,
+            LinkFrame::Ipish(d).to_p2p_bytes(),
         );
-        sim.node_mut::<ScriptedHost>(src)
-            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);
         assert_eq!(sim.node::<IpRouter>(r).stats.drops[&IpDrop::NoRoute], 1);
@@ -526,8 +529,11 @@ mod tests {
             1000,
             9,
         );
-        sim.node_mut::<ScriptedHost>(src)
-            .plan(SimTime::ZERO, 0, LinkFrame::Ipish(d).to_p2p_bytes());
+        sim.node_mut::<ScriptedHost>(src).plan(
+            SimTime::ZERO,
+            0,
+            LinkFrame::Ipish(d).to_p2p_bytes(),
+        );
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);
 
@@ -545,7 +551,10 @@ mod tests {
         let out = out.expect("reassembles");
         assert_eq!(out.len(), HEADER_LEN + 1000);
         assert!(out[HEADER_LEN..].iter().all(|&b| b == 0xAB));
-        assert_eq!(sim.node::<IpRouter>(r).stats.fragments_made, rx.len() as u64);
+        assert_eq!(
+            sim.node::<IpRouter>(r).stats.fragments_made,
+            rx.len() as u64
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! feed-forward shim is also present after the Ethernet header for
 //! Sirpent frames, so hints survive multi-access hops too.
 
+use sirpent_wire::buf::{FrameBuf, PacketBuf};
 use sirpent_wire::ethernet;
 use sirpent_wire::{Error, Result};
 
@@ -76,8 +77,9 @@ pub enum LinkFrame {
     Sirpent {
         /// Queue occupancy behind this packet at the previous router.
         ff_hint: u8,
-        /// The Sirpent packet bytes (header segments … trailer).
-        packet: Vec<u8>,
+        /// The Sirpent packet bytes (header segments … trailer), shared
+        /// so framing for transmit never copies the packet body.
+        packet: PacketBuf,
     },
     /// Rate-control feedback.
     RateControl(RateControlMsg),
@@ -95,7 +97,7 @@ impl LinkFrame {
             LinkFrame::Sirpent { ff_hint, packet } => {
                 v.push(proto::SIRPENT);
                 v.push(*ff_hint);
-                v.extend_from_slice(packet);
+                v.extend_from_slice(packet.as_slice());
             }
             LinkFrame::RateControl(m) => {
                 v.push(proto::RATE_CONTROL);
@@ -125,7 +127,7 @@ impl LinkFrame {
                 }
                 Ok(LinkFrame::Sirpent {
                     ff_hint: b[1],
-                    packet: b[2..].to_vec(),
+                    packet: PacketBuf::from(&b[2..]),
                 })
             }
             proto::RATE_CONTROL => Ok(LinkFrame::RateControl(RateControlMsg::parse(&b[1..])?)),
@@ -135,17 +137,76 @@ impl LinkFrame {
         }
     }
 
+    /// Encode for a point-to-point link without copying the packet body:
+    /// the 2-byte link header goes in the frame's owned header, the
+    /// Sirpent packet rides as the shared body.
+    pub fn to_p2p_frame(&self) -> FrameBuf {
+        match self {
+            LinkFrame::Sirpent { ff_hint, packet } => {
+                FrameBuf::new(vec![proto::SIRPENT, *ff_hint], packet.clone())
+            }
+            other => FrameBuf::from(other.to_p2p_bytes()),
+        }
+    }
+
+    /// Decode from a point-to-point frame. The Sirpent arm is zero-copy:
+    /// the returned packet shares the frame's body store.
+    pub fn from_p2p_frame(f: &FrameBuf) -> Result<LinkFrame> {
+        match f.byte(0).ok_or(Error::Truncated)? {
+            proto::SIRPENT => {
+                let ff_hint = f.byte(1).ok_or(Error::Truncated)?;
+                let packet = f.strip_header(2).ok_or(Error::Truncated)?;
+                Ok(LinkFrame::Sirpent { ff_hint, packet })
+            }
+            _ => LinkFrame::from_p2p_bytes(&f.to_vec()),
+        }
+    }
+
+    /// Encode for an Ethernet without copying the packet body: the
+    /// 14-byte header plus the 2-byte protocol shim go in the frame's
+    /// owned header.
+    pub fn to_ethernet_frame(&self, src: ethernet::Address, dst: ethernet::Address) -> FrameBuf {
+        match self {
+            LinkFrame::Sirpent { ff_hint, packet } => {
+                let hdr = ethernet::Repr {
+                    dst,
+                    src,
+                    ethertype: ethernet::EtherType::Sirpent,
+                };
+                let mut h = hdr.to_bytes();
+                h.push(proto::SIRPENT);
+                h.push(*ff_hint);
+                FrameBuf::new(h, packet.clone())
+            }
+            other => FrameBuf::from(other.to_ethernet_bytes(src, dst)),
+        }
+    }
+
+    /// Decode an Ethernet frame; returns the header and the link frame.
+    /// The Sirpent arm is zero-copy (the packet shares the frame body).
+    pub fn from_ethernet_frame(f: &FrameBuf) -> Result<(ethernet::Repr, LinkFrame)> {
+        let hdr = {
+            let p = f.prefix(ethernet::HEADER_LEN).ok_or(Error::Truncated)?;
+            ethernet::Repr::parse(&p)?
+        };
+        let frame = match f.byte(ethernet::HEADER_LEN).ok_or(Error::Truncated)? {
+            proto::SIRPENT => {
+                let ff_hint = f.byte(ethernet::HEADER_LEN + 1).ok_or(Error::Truncated)?;
+                let packet = f
+                    .strip_header(ethernet::HEADER_LEN + 2)
+                    .ok_or(Error::Truncated)?;
+                LinkFrame::Sirpent { ff_hint, packet }
+            }
+            _ => LinkFrame::from_p2p_bytes(&f.to_vec()[ethernet::HEADER_LEN..])?,
+        };
+        Ok((hdr, frame))
+    }
+
     /// Encode for an Ethernet, prefixing the 14-byte header. `src`/`dst`
     /// are the stations; the ethertype is derived from the frame kind.
-    pub fn to_ethernet_bytes(
-        &self,
-        src: ethernet::Address,
-        dst: ethernet::Address,
-    ) -> Vec<u8> {
+    pub fn to_ethernet_bytes(&self, src: ethernet::Address, dst: ethernet::Address) -> Vec<u8> {
         let ethertype = match self {
-            LinkFrame::Sirpent { .. } | LinkFrame::RateControl(_) => {
-                ethernet::EtherType::Sirpent
-            }
+            LinkFrame::Sirpent { .. } | LinkFrame::RateControl(_) => ethernet::EtherType::Sirpent,
             LinkFrame::Ipish(_) => ethernet::EtherType::Ipish,
             LinkFrame::Cvc(_) => ethernet::EtherType::Cvc,
         };
@@ -187,7 +248,7 @@ mod tests {
         let frames = [
             LinkFrame::Sirpent {
                 ff_hint: 7,
-                packet: vec![1, 2, 3],
+                packet: PacketBuf::from(vec![1, 2, 3]),
             },
             LinkFrame::RateControl(RateControlMsg {
                 congested_router: 9,
@@ -208,7 +269,7 @@ mod tests {
     fn ethernet_roundtrip() {
         let f = LinkFrame::Sirpent {
             ff_hint: 0,
-            packet: vec![9; 40],
+            packet: PacketBuf::from(vec![9; 40]),
         };
         let src = ethernet::Address::from_index(1);
         let dst = ethernet::Address::from_index(2);
@@ -221,9 +282,77 @@ mod tests {
     }
 
     #[test]
+    fn p2p_frame_roundtrip_is_zero_copy() {
+        let packet = PacketBuf::from(vec![7u8; 64]);
+        let f = LinkFrame::Sirpent {
+            ff_hint: 3,
+            packet: packet.clone(),
+        };
+        let frame = f.to_p2p_frame();
+        // Composing copies only the 2-byte link header.
+        assert!(frame.body().shares_store_with(&packet));
+        assert_eq!(frame.to_vec(), f.to_p2p_bytes());
+        let back = LinkFrame::from_p2p_frame(&frame).unwrap();
+        match &back {
+            LinkFrame::Sirpent { ff_hint, packet: p } => {
+                assert_eq!(*ff_hint, 3);
+                // Parsing shares the same store too: no copy on receive.
+                assert!(p.shares_store_with(&packet));
+                assert_eq!(p.as_slice(), packet.as_slice());
+            }
+            other => panic!("wrong frame kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ethernet_frame_roundtrip_is_zero_copy() {
+        let packet = PacketBuf::from(vec![5u8; 80]);
+        let f = LinkFrame::Sirpent {
+            ff_hint: 9,
+            packet: packet.clone(),
+        };
+        let src = ethernet::Address::from_index(3);
+        let dst = ethernet::Address::from_index(4);
+        let frame = f.to_ethernet_frame(src, dst);
+        assert!(frame.body().shares_store_with(&packet));
+        assert_eq!(frame.to_vec(), f.to_ethernet_bytes(src, dst));
+        let (hdr, back) = LinkFrame::from_ethernet_frame(&frame).unwrap();
+        assert_eq!(hdr.src, src);
+        assert_eq!(hdr.dst, dst);
+        match &back {
+            LinkFrame::Sirpent { packet: p, .. } => {
+                assert!(p.shares_store_with(&packet));
+            }
+            other => panic!("wrong frame kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_sirpent_frames_roundtrip_via_frame_path() {
+        let frames = [
+            LinkFrame::RateControl(RateControlMsg {
+                congested_router: 1,
+                congested_port: 2,
+                allowed_bps: 3,
+                queue_len: 4,
+            }),
+            LinkFrame::Ipish(vec![4, 5]),
+            LinkFrame::Cvc(vec![6]),
+        ];
+        for f in frames {
+            let frame = f.to_p2p_frame();
+            assert_eq!(LinkFrame::from_p2p_frame(&frame).unwrap(), f);
+        }
+    }
+
+    #[test]
     fn garbage_rejected() {
         assert!(LinkFrame::from_p2p_bytes(&[]).is_err());
         assert!(LinkFrame::from_p2p_bytes(&[99, 1, 2]).is_err());
         assert!(LinkFrame::from_p2p_bytes(&[proto::RATE_CONTROL, 1]).is_err());
+        // Frame-path parsers must reject short input, never panic.
+        assert!(LinkFrame::from_p2p_frame(&FrameBuf::default()).is_err());
+        assert!(LinkFrame::from_p2p_frame(&FrameBuf::from(vec![proto::SIRPENT])).is_err());
+        assert!(LinkFrame::from_ethernet_frame(&FrameBuf::from(vec![0u8; 14])).is_err());
     }
 }

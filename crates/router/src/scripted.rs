@@ -125,10 +125,12 @@ impl Node for ScriptedHost {
         match ev {
             Event::Frame(fe) => {
                 if let Some(mac) = self.mac {
-                    if let Ok(hdr) = ethernet::Repr::parse(&fe.frame.bytes) {
-                        if hdr.dst != mac && !hdr.dst.is_broadcast() {
-                            self.filtered += 1;
-                            return;
+                    if let Some(p) = fe.frame.payload.prefix(ethernet::HEADER_LEN) {
+                        if let Ok(hdr) = ethernet::Repr::parse(&p) {
+                            if hdr.dst != mac && !hdr.dst.is_broadcast() {
+                                self.filtered += 1;
+                                return;
+                            }
                         }
                     }
                 }
@@ -136,7 +138,7 @@ impl Node for ScriptedHost {
                     first_bit: fe.first_bit,
                     last_bit: fe.last_bit,
                     port: fe.port,
-                    bytes: fe.frame.bytes,
+                    bytes: fe.frame.payload.to_vec(),
                     corrupted: fe.corrupted,
                     frame_id: fe.frame.id,
                 });
@@ -214,9 +216,10 @@ mod tests {
         let mac_c = ethernet::Address::from_index(3);
         sim.node_mut::<ScriptedHost>(b).mac = Some(mac_b);
         sim.node_mut::<ScriptedHost>(c).mac = Some(mac_c);
-        let frame = LinkFrame::Ipish(vec![7])
-            .to_ethernet_bytes(ethernet::Address::from_index(1), mac_b);
-        sim.node_mut::<ScriptedHost>(a).plan(SimTime::ZERO, 0, frame);
+        let frame =
+            LinkFrame::Ipish(vec![7]).to_ethernet_bytes(ethernet::Address::from_index(1), mac_b);
+        sim.node_mut::<ScriptedHost>(a)
+            .plan(SimTime::ZERO, 0, frame);
         ScriptedHost::start(&mut sim, a);
         sim.run(100);
         assert_eq!(sim.node::<ScriptedHost>(b).received.len(), 1);

@@ -27,13 +27,12 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use sirpent_sim::stats::Summary;
-use sirpent_sim::{
-    transmission_time, Context, Event, FrameId, Node, SimDuration, SimTime,
-};
+use sirpent_sim::{transmission_time, Context, Event, FrameId, Node, SimDuration, SimTime};
 use sirpent_token::{AuthPolicy, Decision, SealingKey, TokenCache};
-use sirpent_wire::packet::{peek_front_segment, strip_front_segment, truncate_packet};
+use sirpent_wire::buf::{FrameBuf, PacketBuf, SegmentView};
+use sirpent_wire::packet::{strip_front_segment_buf, truncate_packet_buf};
 use sirpent_wire::trailer::Entry as TrailerEntry;
-use sirpent_wire::viper::{Flags, Priority, SegmentRepr, PORT_LOCAL};
+use sirpent_wire::viper::{Flags, Priority, Segment, SegmentRepr, PORT_LOCAL};
 use sirpent_wire::{ethernet, VIPER_TRANSMISSION_UNIT};
 
 use crate::link::{LinkFrame, RateControlMsg};
@@ -243,7 +242,8 @@ impl RouterStats {
 
 /// A packet waiting on an output port.
 struct Queued {
-    frame_bytes: Vec<u8>,
+    /// The composed link frame: owned link header + shared packet body.
+    frame: FrameBuf,
     priority: Priority,
     dib: bool,
     /// Earliest instant the transmission may start (cut-through: we may
@@ -267,6 +267,18 @@ struct CurTx {
     frame: FrameId,
     priority: Priority,
     in_frame: Option<FrameId>,
+}
+
+/// Per-packet transmit metadata extracted from the stripped segment.
+/// Everything is `Copy` so the output stage never borrows (or keeps
+/// alive) the packet's shared store.
+#[derive(Clone, Copy)]
+struct TxMeta {
+    priority: Priority,
+    dib: bool,
+    /// Next-hop Ethernet destination parsed from the stripped segment's
+    /// portInfo (full or compressed form), if any.
+    eth_dst: Option<ethernet::Address>,
 }
 
 struct OutPort {
@@ -295,7 +307,7 @@ enum Pending {
 
 /// Raw arrival being held until its decision instant.
 struct Arrival {
-    packet: Vec<u8>,
+    packet: PacketBuf,
     arrival_port: u8,
     eth_return: Option<ethernet::Repr>,
     in_tail: SimTime,
@@ -305,8 +317,8 @@ struct Arrival {
 
 /// A packet mid-pipeline: segment stripped, not yet forwarded.
 struct Work {
-    packet: Vec<u8>,
-    seg: SegmentRepr,
+    packet: PacketBuf,
+    seg: SegmentView,
     arrival_port: Option<u8>,
     eth_return: Option<ethernet::Repr>,
     in_tail: SimTime,
@@ -411,7 +423,7 @@ impl ViperRouter {
         };
         let kind = op.cfg.kind.clone();
         let (link, eth_return) = match &kind {
-            PortKind::PointToPoint => match LinkFrame::from_p2p_bytes(&fe.frame.bytes) {
+            PortKind::PointToPoint => match LinkFrame::from_p2p_frame(&fe.frame.payload) {
                 Ok(f) => (f, None),
                 Err(_) => {
                     self.stats.drop(DropReason::ParseError);
@@ -419,7 +431,7 @@ impl ViperRouter {
                 }
             },
             PortKind::Ethernet { mac } => {
-                match LinkFrame::from_ethernet_bytes(&fe.frame.bytes) {
+                match LinkFrame::from_ethernet_frame(&fe.frame.payload) {
                     Ok((hdr, f)) => {
                         if hdr.dst != *mac && !hdr.dst.is_broadcast() {
                             return; // not for us; the bus delivers to all
@@ -443,8 +455,8 @@ impl ViperRouter {
                     && self.cfg.congestion.use_feedforward
                     && ff_hint as usize >= self.cfg.congestion.queue_high
                 {
-                    if let Ok(seg) = peek_front_segment(&packet) {
-                        if let PortBinding::Physical(p) = self.cfg.logical.resolve(seg.port) {
+                    if let Ok(seg) = Segment::new_checked(packet.as_slice()) {
+                        if let PortBinding::Physical(p) = self.cfg.logical.resolve(seg.port()) {
                             self.maybe_signal_feeder(ctx, p, port, ff_hint as usize);
                         }
                     }
@@ -459,8 +471,8 @@ impl ViperRouter {
                             PortKind::PointToPoint => 2,
                             PortKind::Ethernet { .. } => ethernet::HEADER_LEN + 2,
                         };
-                        let seg_len = peek_front_segment(&packet)
-                            .map(|s| s.buffer_len())
+                        let seg_len = Segment::new_checked(packet.as_slice())
+                            .map(|s| s.total_len())
                             .unwrap_or(4);
                         fe.byte_arrival(link_hdr + seg_len) + self.cfg.decision_delay
                     }
@@ -487,7 +499,7 @@ impl ViperRouter {
 
     fn process(&mut self, ctx: &mut Context<'_>, a: Arrival) {
         let mut packet = a.packet;
-        let seg = match strip_front_segment(&mut packet) {
+        let seg = match strip_front_segment_buf(&mut packet) {
             Ok(s) => s,
             Err(_) => {
                 self.stats.drop(DropReason::ParseError);
@@ -515,8 +527,8 @@ impl ViperRouter {
 
         // Tree-structured multicast: the segment's portInfo holds branch
         // routes; each branch replaces the tree segment for one copy.
-        if work.seg.flags.tree {
-            let branches = match decode_tree(&work.seg.port_info) {
+        if work.seg.flags().tree {
+            let branches = match decode_tree(work.seg.port_info()) {
                 Ok(b) => b,
                 Err(_) => {
                     self.stats.drop(DropReason::BadStructure);
@@ -524,9 +536,13 @@ impl ViperRouter {
                 }
             };
             for branch in branches {
-                let mut pkt = branch;
-                pkt.extend_from_slice(&work.packet);
-                let seg = match strip_front_segment(&mut pkt) {
+                // Tree expansion re-encodes the front of the packet, so
+                // each branch copy materializes (the shared-body fan-out
+                // applies to multicast *sets*, not tree re-writes).
+                let mut bytes = branch;
+                bytes.extend_from_slice(work.packet.as_slice());
+                let mut pkt = PacketBuf::from_vec(bytes);
+                let seg = match strip_front_segment_buf(&mut pkt) {
                     Ok(s) => s,
                     Err(_) => {
                         self.stats.drop(DropReason::ParseError);
@@ -550,13 +566,13 @@ impl ViperRouter {
             return;
         }
 
-        if work.seg.port == PORT_LOCAL {
+        if work.seg.port() == PORT_LOCAL {
             self.stats.local += 1;
-            self.local_delivered.push((ctx.now(), work.packet));
+            self.local_delivered.push((ctx.now(), work.packet.to_vec()));
             return;
         }
 
-        let out_ports: Vec<u8> = match self.cfg.logical.resolve(work.seg.port) {
+        let out_ports: Vec<u8> = match self.cfg.logical.resolve(work.seg.port()) {
             PortBinding::Physical(p) => vec![p],
             PortBinding::Trunk { members, strategy } => {
                 let now_ns = ctx.now().as_nanos();
@@ -571,7 +587,9 @@ impl ViperRouter {
                         // Penalize occupied members so FirstFree skips them.
                         now_ns + 1 + queued as u64
                     } else {
-                        ctx.channel_free_at(m).map(|t| t.as_nanos()).unwrap_or(u64::MAX)
+                        ctx.channel_free_at(m)
+                            .map(|t| t.as_nanos())
+                            .unwrap_or(u64::MAX)
                     }
                 };
                 vec![self
@@ -584,12 +602,13 @@ impl ViperRouter {
                 // route and re-route (the Blazenet entry operation). The
                 // splice costs one extra pass, mirroring "the packet
                 // delay of adding this routing information".
-                let mut pkt = Vec::new();
+                let mut bytes = Vec::new();
                 for s in &route {
-                    pkt.extend_from_slice(&s.to_bytes());
+                    bytes.extend_from_slice(&s.to_bytes());
                 }
-                pkt.extend_from_slice(&work.packet);
-                let seg = match strip_front_segment(&mut pkt) {
+                bytes.extend_from_slice(work.packet.as_slice());
+                let mut pkt = PacketBuf::from_vec(bytes);
+                let seg = match strip_front_segment_buf(&mut pkt) {
                     Ok(s) => s,
                     Err(_) => {
                         self.stats.drop(DropReason::BadStructure);
@@ -632,7 +651,7 @@ impl ViperRouter {
                 .as_ref()
                 .map(|a| a.require_token)
                 .unwrap_or(false);
-            if work.seg.port_token.is_empty() {
+            if work.seg.port_token().is_empty() {
                 if require {
                     self.stats.drop(DropReason::TokenMissing);
                     return;
@@ -644,10 +663,10 @@ impl ViperRouter {
                 // port (forward use) or the arrival port (reverse use,
                 // which additionally requires reverse authorization).
                 let outcome = cache.check(
-                    &work.seg.port_token,
-                    work.seg.port,
+                    work.seg.port_token(),
+                    work.seg.port(),
                     work.arrival_port,
-                    work.seg.priority,
+                    work.seg.priority(),
                     work.packet.len(),
                     now_s,
                 );
@@ -686,10 +705,10 @@ impl ViperRouter {
         if let Some(cache) = self.token_cache.as_mut() {
             let now_s = (ctx.now().as_nanos() / 1_000_000_000) as u32;
             let outcome = cache.recheck_blocked(
-                &work.seg.port_token,
-                work.seg.port,
+                work.seg.port_token(),
+                work.seg.port(),
                 work.arrival_port,
-                work.seg.priority,
+                work.seg.priority(),
                 work.packet.len(),
                 now_s,
             );
@@ -700,42 +719,79 @@ impl ViperRouter {
         }
     }
 
-    fn finish_forward(&mut self, ctx: &mut Context<'_>, mut work: Work, out_ports: Vec<u8>) {
+    fn finish_forward(&mut self, ctx: &mut Context<'_>, work: Work, out_ports: Vec<u8>) {
+        let Work {
+            mut packet,
+            seg,
+            arrival_port,
+            eth_return,
+            in_tail,
+            first_bit,
+            in_frame,
+            ..
+        } = work;
+        // Copy the per-hop metadata out of the segment view (all `Copy`),
+        // then release the view: it holds a reference on the packet's
+        // shared store, and the trailer append below runs in place only
+        // when the router owns that store uniquely.
+        let meta = TxMeta {
+            priority: seg.priority(),
+            dib: seg.flags().dib,
+            eth_dst: {
+                // The stripped segment's portInfo names the next-hop
+                // network header; resolve the Ethernet destination now so
+                // the output stage needs no borrowed segment bytes.
+                let info = seg.port_info();
+                if info.len() == ethernet::COMPRESSED_LEN {
+                    ethernet::Repr::parse_compressed(info, ethernet::Address::BROADCAST)
+                        .ok()
+                        .map(|h| h.dst)
+                } else {
+                    ethernet::Repr::parse(info).ok().map(|h| h.dst)
+                }
+            },
+        };
         // Return hop: arrival port, same link token, reversed network
         // header of the arrival network (§2).
-        if let Some(ap) = work.arrival_port {
-            let return_hop = SegmentRepr {
-                port: ap,
-                flags: Flags {
-                    rpf: true,
-                    ..Default::default()
-                },
-                priority: work.seg.priority,
-                port_token: work.seg.port_token.clone(),
-                port_info: work
-                    .eth_return
-                    .map(|h| h.to_bytes())
-                    .unwrap_or_default(),
-            };
-            TrailerEntry::ReturnHop(return_hop).append_to(&mut work.packet);
+        let return_hop = arrival_port.map(|ap| SegmentRepr {
+            port: ap,
+            flags: Flags {
+                rpf: true,
+                ..Default::default()
+            },
+            priority: meta.priority,
+            port_token: seg.port_token().to_vec(),
+            port_info: eth_return.map(|h| h.to_bytes()).unwrap_or_default(),
+        });
+        drop(seg);
+        if let Some(rh) = return_hop {
+            if TrailerEntry::ReturnHop(rh)
+                .append_to_buf(&mut packet)
+                .is_err()
+            {
+                self.stats.drop(DropReason::BadStructure);
+                return;
+            }
         }
 
         let copies = out_ports.len();
         for (i, &out) in out_ports.iter().enumerate() {
-            let packet = if i + 1 == copies {
-                std::mem::take(&mut work.packet)
+            // Fan-out shares the store: every copy but the last is an
+            // O(1) reference-counted clone, never a byte copy.
+            let pkt = if i + 1 == copies {
+                std::mem::take(&mut packet)
             } else {
-                work.packet.clone()
+                packet.clone()
             };
             self.enqueue(
                 ctx,
                 out,
-                packet,
-                &work.seg,
-                work.arrival_port,
-                work.in_tail,
-                work.first_bit,
-                if copies == 1 { work.in_frame } else { None },
+                pkt,
+                meta,
+                arrival_port,
+                in_tail,
+                first_bit,
+                if copies == 1 { in_frame } else { None },
             );
         }
     }
@@ -745,8 +801,8 @@ impl ViperRouter {
         &mut self,
         ctx: &mut Context<'_>,
         out: u8,
-        mut packet: Vec<u8>,
-        seg: &SegmentRepr,
+        mut packet: PacketBuf,
+        meta: TxMeta,
         arrival_port: Option<u8>,
         in_tail: SimTime,
         first_bit: SimTime,
@@ -756,36 +812,33 @@ impl ViperRouter {
             self.stats.drop(DropReason::NoSuchPort);
             return;
         };
-        let next_seg_port = peek_front_segment(&packet).ok().map(|s| s.port);
+        let next_seg_port = Segment::new_checked(packet.as_slice())
+            .ok()
+            .map(|s| s.port());
         let (mtu, kind) = {
             let op = &self.ports[&out];
             (op.cfg.mtu, op.cfg.kind.clone())
         };
 
-        // Frame for the outgoing network.
-        let compose = |packet: &[u8], qlen: usize| -> Option<Vec<u8>> {
+        // Frame for the outgoing network: a small owned link header in
+        // front of the shared packet body — the body is never copied.
+        let compose = |packet: &PacketBuf, qlen: usize| -> Option<FrameBuf> {
             let lf = LinkFrame::Sirpent {
                 ff_hint: qlen.min(255) as u8,
-                packet: packet.to_vec(),
+                packet: packet.clone(),
             };
             match &kind {
-                PortKind::PointToPoint => Some(lf.to_p2p_bytes()),
+                PortKind::PointToPoint => Some(lf.to_p2p_frame()),
                 PortKind::Ethernet { mac } => {
-                    // The stripped segment's portInfo is the Ethernet
-                    // header for this hop (§2's running example) — either
-                    // the full 14 bytes or the compressed dst+type form
-                    // (§2 footnote: the router fills in the source).
-                    let hdr = if seg.port_info.len() == ethernet::COMPRESSED_LEN {
-                        ethernet::Repr::parse_compressed(&seg.port_info, *mac).ok()?
-                    } else {
-                        ethernet::Repr::parse(&seg.port_info).ok()?
-                    };
-                    Some(lf.to_ethernet_bytes(*mac, hdr.dst))
+                    // The stripped segment's portInfo was the Ethernet
+                    // header for this hop (§2's running example), already
+                    // resolved to a destination in `meta`.
+                    Some(lf.to_ethernet_frame(*mac, meta.eth_dst?))
                 }
             }
         };
         let qlen = self.ports[&out].queue.len();
-        let mut frame_bytes = match compose(&packet, qlen) {
+        let mut frame = match compose(&packet, qlen) {
             Some(f) => f,
             None => {
                 self.stats.drop(DropReason::BadStructure);
@@ -795,13 +848,16 @@ impl ViperRouter {
 
         // Next-hop MTU: truncate and mark (§2) — the receiver's transport
         // detects the damage; nothing is silently lost.
-        if frame_bytes.len() > mtu {
-            let overhead = frame_bytes.len() - packet.len();
+        if frame.len() > mtu {
+            let overhead = frame.len() - packet.len();
             let marker = 7; // truncation trailer entry size
             let keep = mtu.saturating_sub(overhead + marker);
-            truncate_packet(&mut packet, keep);
+            // Release the composed frame's body reference first so the
+            // truncation runs on a uniquely-owned store where possible.
+            drop(frame);
+            truncate_packet_buf(&mut packet, keep);
             self.stats.truncated += 1;
-            frame_bytes = match compose(&packet, qlen) {
+            frame = match compose(&packet, qlen) {
                 Some(f) => f,
                 None => {
                     self.stats.drop(DropReason::BadStructure);
@@ -814,7 +870,7 @@ impl ViperRouter {
         // the tail has arrived (equal-rate links make this vacuous; on a
         // faster output it delays the start; §2.1 notes cut-through
         // applies when rates match).
-        let out_tx = transmission_time(frame_bytes.len(), out_rate);
+        let out_tx = transmission_time(frame.len(), out_rate);
         let earliest = if in_tail > ctx.now() + out_tx {
             SimTime(in_tail.as_nanos().saturating_sub(out_tx.as_nanos()))
         } else {
@@ -830,9 +886,9 @@ impl ViperRouter {
         let seq = self.next_key; // reuse counter for FIFO tie-break
         self.next_key += 1;
         op.queue.push(Queued {
-            frame_bytes,
-            priority: seg.priority,
-            dib: seg.flags.dib,
+            frame,
+            priority: meta.priority,
+            dib: meta.dib,
             earliest,
             next_seg_port,
             arrival_port,
@@ -927,14 +983,20 @@ impl ViperRouter {
     }
 
     fn start_tx(&mut self, ctx: &mut Context<'_>, out: u8, idx: usize) {
-        let q = self.ports.get_mut(&out).expect("port exists").queue.remove(idx);
-        let Ok(tx) = ctx.transmit(out, q.frame_bytes.clone()) else {
+        let q = self
+            .ports
+            .get_mut(&out)
+            .expect("port exists")
+            .queue
+            .remove(idx);
+        let len = q.frame.len();
+        // The frame moves into the engine — no clone, no byte copy.
+        let Ok(tx) = ctx.transmit(out, q.frame) else {
             self.stats.drop(DropReason::NoSuchPort);
             return;
         };
         // Charge rate limits.
         if let Some(next) = q.next_seg_port {
-            let len = q.frame_bytes.len();
             for l in &mut self.limits {
                 if l.out_port == out && l.next_port == next {
                     l.next_release = tx.start + transmission_time(len, l.allowed_bps.max(1));
@@ -1051,8 +1113,9 @@ impl ViperRouter {
         // broadcast the control frame (stations filter).
         let frame = match &self.ports[&feeder].cfg.kind {
             PortKind::PointToPoint => LinkFrame::RateControl(msg).to_p2p_bytes(),
-            PortKind::Ethernet { mac } => LinkFrame::RateControl(msg)
-                .to_ethernet_bytes(*mac, ethernet::Address::BROADCAST),
+            PortKind::Ethernet { mac } => {
+                LinkFrame::RateControl(msg).to_ethernet_bytes(*mac, ethernet::Address::BROADCAST)
+            }
         };
         let _ = ctx.transmit(feeder, frame);
         self.stats.backpressure_sent += 1;
@@ -1102,11 +1165,10 @@ impl ViperRouter {
         }
         // A limit that has recovered to the line rate dissolves (§2.2:
         // soft state, "it can be discarded").
-        self.limits
-            .retain(|l| match line_rates.get(&l.out_port) {
-                Some(&line) => l.allowed_bps < line,
-                None => true,
-            });
+        self.limits.retain(|l| match line_rates.get(&l.out_port) {
+            Some(&line) => l.allowed_bps < line,
+            None => true,
+        });
         self.stats.limits_installed = self.limits.len() as u64;
         if self.limits.is_empty() {
             self.tick_armed = false;

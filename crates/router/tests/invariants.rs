@@ -62,7 +62,11 @@ fn run(w: &Workload, mode: SwitchMode) -> (u64, u64, u64, u64, u64) {
         sim.node_mut::<ScriptedHost>(src).plan(
             SimTime(at),
             0,
-            LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+            LinkFrame::Sirpent {
+                ff_hint: 0,
+                packet: pkt.into(),
+            }
+            .to_p2p_bytes(),
         );
     }
     ScriptedHost::start(&mut sim, src);

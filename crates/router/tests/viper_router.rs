@@ -26,7 +26,11 @@ fn local() -> SegmentRepr {
 }
 
 fn sirpent_frame(packet: Vec<u8>) -> Vec<u8> {
-    LinkFrame::Sirpent { ff_hint: 0, packet }.to_p2p_bytes()
+    LinkFrame::Sirpent {
+        ff_hint: 0,
+        packet: packet.into(),
+    }
+    .to_p2p_bytes()
 }
 
 /// host A (port0) — router R (port1 in, port2 out) — host B (port0).
@@ -158,7 +162,8 @@ fn two_routers_reply_route_works() {
             .unwrap()
     };
     let t = sim.now();
-    sim.node_mut::<ScriptedHost>(b).plan(t, 0, sirpent_frame(reply_pkt));
+    sim.node_mut::<ScriptedHost>(b)
+        .plan(t, 0, sirpent_frame(reply_pkt));
     ScriptedHost::start(&mut sim, b);
     sim.run(10_000);
 
@@ -212,10 +217,11 @@ fn ethernet_hop_swaps_addresses_in_return_info() {
         .unwrap();
     let frame = LinkFrame::Sirpent {
         ff_hint: 0,
-        packet: pkt,
+        packet: pkt.into(),
     }
     .to_ethernet_bytes(mac_a, mac_r);
-    sim.node_mut::<ScriptedHost>(a).plan(SimTime::ZERO, 0, frame);
+    sim.node_mut::<ScriptedHost>(a)
+        .plan(SimTime::ZERO, 0, frame);
     ScriptedHost::start(&mut sim, a);
     sim.run(10_000);
 
@@ -652,11 +658,9 @@ fn tree_multicast_routes_each_branch() {
     sim.p2p(r, 3, c, 0, MBPS_10, PROP);
 
     // Tree segment with two branches: [port2, local] and [port3, local].
-    let info = sirpent_router::multicast::encode_tree(&[
-        vec![seg(2), local()],
-        vec![seg(3), local()],
-    ])
-    .unwrap();
+    let info =
+        sirpent_router::multicast::encode_tree(&[vec![seg(2), local()], vec![seg(3), local()]])
+            .unwrap();
     let tree_seg = SegmentRepr {
         port: 0, // ignored under TRB
         flags: Flags {
@@ -670,7 +674,7 @@ fn tree_multicast_routes_each_branch() {
     // top level — each branch carries its own).
     let mut pkt = tree_seg.to_bytes();
     pkt.extend_from_slice(b"branching");
-    trailer::Entry::Base.append_to(&mut pkt);
+    trailer::Entry::Base.append_to(&mut pkt).unwrap();
 
     sim.node_mut::<ScriptedHost>(a)
         .plan(SimTime::ZERO, 0, sirpent_frame(pkt));
@@ -875,8 +879,7 @@ fn cut_through_never_outruns_the_arriving_tail() {
         ingress_tail_ns
     );
     // And the payload is intact.
-    let LinkFrame::Sirpent { packet, .. } = LinkFrame::from_p2p_bytes(&rx[0].bytes).unwrap()
-    else {
+    let LinkFrame::Sirpent { packet, .. } = LinkFrame::from_p2p_bytes(&rx[0].bytes).unwrap() else {
         panic!()
     };
     let view = PacketView::parse(&packet).unwrap();

@@ -37,6 +37,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sirpent_wire::buf::FrameBuf;
 
 use crate::time::{bytes_in, transmission_time, SimDuration, SimTime};
 
@@ -53,12 +54,17 @@ pub struct ChannelId(pub usize);
 pub struct FrameId(pub u64);
 
 /// A frame in flight: an identity plus its bytes.
+///
+/// The contents are a [`FrameBuf`]: an owned link header in front of a
+/// shared, cheaply-cloneable packet body. The engine's per-tap fan-out
+/// clones the `FrameBuf`, so a broadcast to N taps copies N small link
+/// headers and zero packet bodies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Engine-assigned unique id.
     pub id: FrameId,
     /// The frame contents.
-    pub bytes: Vec<u8>,
+    pub payload: FrameBuf,
 }
 
 /// Delivery of a frame's first bit at a receiving tap.
@@ -290,7 +296,7 @@ impl Core {
         &mut self,
         sender: NodeId,
         port: u8,
-        bytes: Vec<u8>,
+        payload: FrameBuf,
     ) -> Result<TxInfo, SimError> {
         let &ch_id = self
             .tx_map
@@ -302,7 +308,7 @@ impl Core {
         let (start, end, prop, rate, receivers) = {
             let ch = &mut self.channels[ch_id.0];
             let start = ch.free_at.max(now);
-            let end = start + transmission_time(bytes.len(), ch.rate_bps);
+            let end = start + transmission_time(payload.len(), ch.rate_bps);
             ch.free_at = end;
             ch.in_flight.push_back(TxRecord {
                 sender,
@@ -311,7 +317,7 @@ impl Core {
                 end,
             });
             ch.stats.frames += 1;
-            ch.stats.bytes += bytes.len() as u64;
+            ch.stats.bytes += payload.len() as u64;
             ch.stats.busy = ch.stats.busy + (end - start);
             let receivers: Vec<(NodeId, u8)> = ch
                 .taps
@@ -335,16 +341,20 @@ impl Core {
                 self.channels[ch_id.0].stats.drops += 1;
                 continue;
             }
-            let mut copy = bytes.clone();
+            // Sharing: each tap's copy is a FrameBuf clone (header bytes
+            // only). The body is materialized into a private buffer only
+            // when the fault injector actually corrupts this copy.
+            let mut copy = payload.clone();
             let mut corrupted = false;
-            if corrupt_p > 0.0 && !copy.is_empty() && self.rng.gen_bool(corrupt_p.clamp(0.0, 1.0))
-            {
-                let i = self.rng.gen_range(0..copy.len());
+            if corrupt_p > 0.0 && !copy.is_empty() && self.rng.gen_bool(corrupt_p.clamp(0.0, 1.0)) {
+                let mut v = copy.to_vec();
+                let i = self.rng.gen_range(0..v.len());
                 let mut flip = 0u8;
                 while flip == 0 {
                     flip = self.rng.gen();
                 }
-                copy[i] ^= flip;
+                v[i] ^= flip;
+                copy = FrameBuf::from(v);
                 corrupted = true;
                 self.channels[ch_id.0].stats.corrupted += 1;
             }
@@ -352,7 +362,7 @@ impl Core {
                 port: rx_port,
                 frame: Frame {
                     id: frame,
-                    bytes: copy,
+                    payload: copy,
                 },
                 first_bit: start + prop,
                 last_bit: end + prop,
@@ -387,9 +397,8 @@ impl Core {
             ch.stats.aborts += 1;
             // Give back the unspent busy time.
             let unspent = front.end - now;
-            ch.stats.busy = SimDuration(ch.stats.busy.as_nanos().saturating_sub(
-                unspent.as_nanos(),
-            ));
+            ch.stats.busy =
+                SimDuration(ch.stats.busy.as_nanos().saturating_sub(unspent.as_nanos()));
             let bytes_sent = bytes_in(now - front.start, ch.rate_bps);
             let receivers: Vec<(NodeId, u8)> = ch
                 .taps
@@ -432,11 +441,14 @@ impl Context<'_> {
         self.me
     }
 
-    /// Queue `bytes` for transmission out `port`. If the channel is busy
-    /// the transmission starts when it frees (FIFO in call order); use
-    /// [`Context::channel_free_at`] to implement smarter queueing above.
-    pub fn transmit(&mut self, port: u8, bytes: Vec<u8>) -> Result<TxInfo, SimError> {
-        self.core.transmit_from(self.me, port, bytes)
+    /// Queue a frame for transmission out `port`. Accepts anything that
+    /// converts into a [`FrameBuf`] — a composed header+body frame, a
+    /// shared [`sirpent_wire::buf::PacketBuf`], or a plain `Vec<u8>`. If
+    /// the channel is busy the transmission starts when it frees (FIFO in
+    /// call order); use [`Context::channel_free_at`] to implement smarter
+    /// queueing above.
+    pub fn transmit(&mut self, port: u8, frame: impl Into<FrameBuf>) -> Result<TxInfo, SimError> {
+        self.core.transmit_from(self.me, port, frame.into())
     }
 
     /// When the channel behind `port` becomes idle (now or earlier means
@@ -730,13 +742,15 @@ mod tests {
     impl Node for Probe {
         fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
             match ev {
-                Event::Frame(fe) => {
-                    self.frames
-                        .push((fe.first_bit, fe.last_bit, fe.frame.bytes, fe.corrupted))
+                Event::Frame(fe) => self.frames.push((
+                    fe.first_bit,
+                    fe.last_bit,
+                    fe.frame.payload.to_vec(),
+                    fe.corrupted,
+                )),
+                Event::FrameAborted { bytes_received, .. } => {
+                    self.aborted.push((ctx.now(), bytes_received))
                 }
-                Event::FrameAborted {
-                    bytes_received, ..
-                } => self.aborted.push((ctx.now(), bytes_received)),
                 Event::TxDone { .. } => self.tx_done.push(ctx.now()),
                 Event::Timer { key } => {
                     self.timers.push((ctx.now(), key));
@@ -790,7 +804,7 @@ mod tests {
             port: 0,
             frame: Frame {
                 id: FrameId(0),
-                bytes: vec![0; 100],
+                payload: FrameBuf::from(vec![0; 100]),
             },
             first_bit: SimTime(1000),
             last_bit: SimTime(2000),
@@ -883,6 +897,63 @@ mod tests {
         assert_eq!(sim.node::<Probe>(b).frames.len(), 1);
         assert_eq!(sim.node::<Probe>(c).frames.len(), 1);
         assert_eq!(sim.node::<Probe>(a).frames.len(), 0, "no self-delivery");
+    }
+
+    #[test]
+    fn bus_fanout_shares_packet_body() {
+        use sirpent_wire::buf::PacketBuf;
+
+        #[derive(Default)]
+        struct Cap {
+            got: Vec<FrameBuf>,
+        }
+        impl Node for Cap {
+            fn on_event(&mut self, _ctx: &mut Context<'_>, ev: Event) {
+                if let Event::Frame(fe) = ev {
+                    self.got.push(fe.frame.payload);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct Sender(FrameBuf);
+        impl Node for Sender {
+            fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+                if matches!(ev, Event::Timer { .. }) {
+                    ctx.transmit(0, self.0.clone()).unwrap();
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let body = PacketBuf::from(vec![0xEE; 512]);
+        let frame = FrameBuf::new(vec![1, 0], body.clone());
+        let mut sim = Simulator::new(12);
+        let a = sim.add_node(Box::new(Sender(frame)));
+        let b = sim.add_node(Box::<Cap>::default());
+        let c = sim.add_node(Box::<Cap>::default());
+        let bus = sim.add_channel(MBPS_10, SimDuration::ZERO);
+        sim.attach(bus, a, 0);
+        sim.attach(bus, b, 0);
+        sim.attach(bus, c, 0);
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.run(100);
+        for id in [b, c] {
+            let cap = sim.node::<Cap>(id);
+            assert_eq!(cap.got.len(), 1);
+            // The delivered copy shares the sender's body store: the
+            // engine fanned out without copying the packet.
+            assert!(cap.got[0].body().shares_store_with(&body));
+        }
     }
 
     #[test]

@@ -78,10 +78,13 @@ mod tests {
         a.charge(1, 100);
         a.charge(1, 50);
         a.charge(2, 10);
-        assert_eq!(a.usage(1), Usage {
-            packets: 2,
-            bytes: 150
-        });
+        assert_eq!(
+            a.usage(1),
+            Usage {
+                packets: 2,
+                bytes: 150
+            }
+        );
         assert_eq!(a.usage(2).packets, 1);
         assert_eq!(a.usage(3), Usage::default());
         assert_eq!(a.accounts(), 2);

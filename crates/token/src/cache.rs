@@ -346,7 +346,14 @@ impl TokenCache {
         now_s: u32,
     ) -> CheckOutcome {
         debug_assert!(self.entries.contains_key(sealed), "recheck before check");
-        self.check(sealed, exit_port, arrival_port, priority, packet_bytes, now_s)
+        self.check(
+            sealed,
+            exit_port,
+            arrival_port,
+            priority,
+            packet_bytes,
+            now_s,
+        )
     }
 
     /// Number of cached entries.

@@ -206,17 +206,8 @@ impl Endpoint {
         for i in 0..n {
             let seg = group.segment(i).to_vec();
             let at = self.pacer.schedule(now, seg.len() + 50);
-            let bytes = self.packet_bytes(
-                dst,
-                transaction,
-                kind,
-                n as u8,
-                i as u8,
-                0,
-                mlen,
-                &seg,
-                at,
-            );
+            let bytes =
+                self.packet_bytes(dst, transaction, kind, n as u8, i as u8, 0, mlen, &seg, at);
             group.note_sent(i);
             actions.push(Action::Transmit { at, bytes });
         }
@@ -281,8 +272,7 @@ impl Endpoint {
         for i in missing {
             let seg = self.outgoing[&transaction].group.segment(i).to_vec();
             let at = self.pacer.schedule(now, seg.len() + 50);
-            let bytes =
-                self.packet_bytes(dst, transaction, kind, n, i as u8, 0, mlen, &seg, at);
+            let bytes = self.packet_bytes(dst, transaction, kind, n, i as u8, 0, mlen, &seg, at);
             self.outgoing
                 .get_mut(&transaction)
                 .expect("present")
@@ -316,6 +306,18 @@ impl Endpoint {
         );
         self.stats.acks_sent += 1;
         Action::Transmit { at, bytes }
+    }
+
+    /// Process one arriving VMTP packet still held in a shared
+    /// [`PacketBuf`](sirpent_wire::buf::PacketBuf) — the zero-copy path
+    /// from the host's Sirpent unwrap. No bytes are copied: the parse
+    /// borrows the buffer's payload window directly.
+    pub fn on_packet_buf(
+        &mut self,
+        now: SimTime,
+        packet: &sirpent_wire::buf::PacketBuf,
+    ) -> Vec<Action> {
+        self.on_packet(now, packet.as_slice())
     }
 
     /// Process one arriving VMTP packet (already unwrapped from its
@@ -372,8 +374,7 @@ impl Endpoint {
                     // application can re-send its response.
                     self.stats.duplicates += 1;
                     let full = GroupSender::full_mask(pkt.header.group_size as usize);
-                    let mut acts =
-                        vec![self.make_ack(now, peer, txn, pkt.header.group_size, full)];
+                    let mut acts = vec![self.make_ack(now, peer, txn, pkt.header.group_size, full)];
                     if kind == Kind::Request {
                         acts.push(Action::ReplayedRequest {
                             peer,
@@ -606,9 +607,7 @@ mod tests {
             panic!()
         };
         let first = b.on_packet(SimTime(1), bytes);
-        assert!(first
-            .iter()
-            .any(|x| matches!(x, Action::Deliver { .. })));
+        assert!(first.iter().any(|x| matches!(x, Action::Deliver { .. })));
         // Replay (e.g. a duplicate in the network).
         let again = b.on_packet(SimTime(2), bytes);
         assert!(

@@ -124,10 +124,7 @@ mod tests {
         let f = LifetimeFilter::steady(30_000, 5_000);
         let now = HOUR_MS;
         assert_eq!(f.accept(now, now + 4_999), Ok(()), "skew within residual");
-        assert_eq!(
-            f.accept(now, now + 5_001),
-            Err(LifetimeReject::FromFuture)
-        );
+        assert_eq!(f.accept(now, now + 5_001), Err(LifetimeReject::FromFuture));
     }
 
     #[test]

@@ -160,10 +160,7 @@ mod tests {
                 reserve: 1_000_000,
             },
             Message::Accept { vci: 42 },
-            Message::Reject {
-                vci: 42,
-                reason: 3,
-            },
+            Message::Reject { vci: 42, reason: 3 },
             Message::Teardown { vci: 42 },
             Message::Data {
                 vci: 42,

@@ -268,11 +268,7 @@ impl Reassembly {
             // Complete iff every byte of [0, total) is covered.
             let mut covered = vec![false; total];
             for &(s, e) in &self.have {
-                for c in covered
-                    .iter_mut()
-                    .take(e.min(total))
-                    .skip(s.min(total))
-                {
+                for c in covered.iter_mut().take(e.min(total)).skip(s.min(total)) {
                     *c = true;
                 }
             }

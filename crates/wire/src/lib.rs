@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod cvc;
 pub mod ethernet;
 pub mod ipish;
@@ -86,6 +87,9 @@ pub enum Error {
     ExceedsTransmissionUnit,
     /// A route exceeds the VIPER maximum of 48 header segments.
     TooManySegments,
+    /// A trailer entry payload exceeds the u16 length field (65535
+    /// bytes) and cannot be framed without corrupting the trailer walk.
+    TrailerPayloadTooLong,
 }
 
 impl core::fmt::Display for Error {
@@ -101,6 +105,12 @@ impl core::fmt::Display for Error {
                 write!(f, "packet exceeds the 1500-byte VIPER transmission unit")
             }
             Error::TooManySegments => write!(f, "route exceeds 48 VIPER header segments"),
+            Error::TrailerPayloadTooLong => {
+                write!(
+                    f,
+                    "trailer entry payload exceeds the 65535-byte length field"
+                )
+            }
         }
     }
 }

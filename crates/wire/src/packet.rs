@@ -18,7 +18,8 @@
 //! operations live here so the router crate manipulates real buffers, and
 //! header-overhead measurements are honest.
 
-use crate::trailer::{Entry, Trailer};
+use crate::buf::{PacketBuf, SegmentView};
+use crate::trailer::{Entry, Trailer, ENTRY_OVERHEAD};
 use crate::viper::{Segment, SegmentRepr, PORT_LOCAL};
 use crate::{Error, Result, VIPER_MAX_SEGMENTS, VIPER_TRANSMISSION_UNIT};
 
@@ -75,20 +76,42 @@ impl PacketBuilder {
             return Err(Error::Malformed);
         }
         let header: usize = self.route.iter().map(|s| s.buffer_len()).sum();
-        let mut buf = Vec::with_capacity(header + self.payload.len() + 8);
+        // Reserve room for the return-hop trailer the route will grow in
+        // flight: each transit hop appends roughly its own segment again
+        // (token reused, portInfo swapped for the return network header)
+        // plus the entry framing. Pre-reserving keeps every per-hop
+        // append in-place on the zero-copy path — no reallocation, no
+        // memmove, flat per-hop cost.
+        let trailer_room: usize = self
+            .route
+            .iter()
+            .map(|s| s.buffer_len() + RETURN_INFO_SLACK + ENTRY_OVERHEAD)
+            .sum();
+        let mut buf = Vec::with_capacity(header + self.payload.len() + trailer_room + 8);
         for seg in &self.route {
             let at = buf.len();
             buf.resize(at + seg.buffer_len(), 0);
             seg.emit(&mut buf[at..])?;
         }
         buf.extend_from_slice(&self.payload);
-        Entry::Base.append_to(&mut buf);
+        Entry::Base.append_to(&mut buf)?;
         if self.enforce_mtu && buf.len() > VIPER_TRANSMISSION_UNIT {
             return Err(Error::ExceedsTransmissionUnit);
         }
         Ok(buf)
     }
+
+    /// Assemble the packet as a shared [`PacketBuf`] ready for the
+    /// zero-copy forwarding path.
+    pub fn build_buf(self) -> Result<PacketBuf> {
+        self.build().map(PacketBuf::from_vec)
+    }
 }
+
+/// Headroom reserved per hop for the return hop's `portInfo` growing
+/// relative to the forward segment (e.g. a point-to-point forward hop
+/// reversed onto an Ethernet arrival network: 14-byte header + lengths).
+const RETURN_INFO_SLACK: usize = 20;
 
 /// A fully parsed view of a Sirpent packet (owned representation).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,14 +158,17 @@ pub fn parse_route(buffer: &[u8]) -> Result<(Vec<SegmentRepr>, usize)> {
     let mut at = 0usize;
     let mut route = Vec::new();
     loop {
-        if route.len() > VIPER_MAX_SEGMENTS {
-            return Err(Error::TooManySegments);
-        }
         let seg = Segment::new_checked(&buffer[at..])?;
         let repr = SegmentRepr::parse(&seg)?;
         at += seg.total_len();
         let local = repr.port == PORT_LOCAL;
         route.push(repr);
+        // Enforce the ≤48-segment budget *after* the push so a route of
+        // exactly 48 segments passes and 49 is rejected even when the
+        // 49th is the terminating local segment.
+        if route.len() > VIPER_MAX_SEGMENTS {
+            return Err(Error::TooManySegments);
+        }
         if local {
             return Ok((route, at));
         }
@@ -161,6 +187,16 @@ pub fn strip_front_segment(packet: &mut Vec<u8>) -> Result<SegmentRepr> {
     Ok(repr)
 }
 
+/// Zero-copy successor of [`strip_front_segment`]: strip the leading
+/// header segment off a shared [`PacketBuf`] by advancing its head
+/// offset — O(1), no memmove — and return a [`SegmentView`] whose
+/// variable fields borrow the shared store instead of allocating.
+pub fn strip_front_segment_buf(packet: &mut PacketBuf) -> Result<SegmentView> {
+    let view = SegmentView::parse(packet)?;
+    packet.advance(view.encoded_len());
+    Ok(view)
+}
+
 /// Peek at the leading header segment without consuming it. This is what
 /// a cut-through switch does: the decision fields arrive first and the
 /// switch acts while the rest of the packet is still in flight.
@@ -173,8 +209,14 @@ pub fn peek_front_segment(packet: &[u8]) -> Result<SegmentRepr> {
 /// (§2: the router "revises the network-specific portion … so that it
 /// constitutes a correct return hop through this router and appends the
 /// return port and network header fields to the end of the packet").
-pub fn append_return_hop(packet: &mut Vec<u8>, return_hop: SegmentRepr) {
-    Entry::ReturnHop(return_hop).append_to(packet);
+pub fn append_return_hop(packet: &mut Vec<u8>, return_hop: SegmentRepr) -> Result<()> {
+    Entry::ReturnHop(return_hop).append_to(packet)
+}
+
+/// Zero-copy successor of [`append_return_hop`]: appends in place when
+/// the router uniquely owns the packet (the steady per-hop state).
+pub fn append_return_hop_buf(packet: &mut PacketBuf, return_hop: SegmentRepr) -> Result<()> {
+    Entry::ReturnHop(return_hop).append_to_buf(packet)
 }
 
 /// Router operation: mark a packet as truncated after `keep` bytes. The
@@ -184,7 +226,19 @@ pub fn append_return_hop(packet: &mut Vec<u8>, return_hop: SegmentRepr) {
 pub fn truncate_packet(packet: &mut Vec<u8>, keep: usize) {
     let lost = packet.len().saturating_sub(keep) as u32;
     packet.truncate(keep);
-    Entry::Truncated { lost_bytes: lost }.append_to(packet);
+    Entry::Truncated { lost_bytes: lost }
+        .append_to(packet)
+        .expect("4-byte payload always fits the length field");
+}
+
+/// Zero-copy successor of [`truncate_packet`]: lowers the tail watermark
+/// (O(1)) and appends the truncation marker in place.
+pub fn truncate_packet_buf(packet: &mut PacketBuf, keep: usize) {
+    let lost = packet.len().saturating_sub(keep) as u32;
+    packet.truncate(keep);
+    Entry::Truncated { lost_bytes: lost }
+        .append_to_buf(packet)
+        .expect("4-byte payload always fits the length field");
 }
 
 /// Receiver operation: given a delivered packet (single local segment at
@@ -249,7 +303,10 @@ mod tests {
     #[test]
     fn empty_route_rejected() {
         assert_eq!(
-            PacketBuilder::new().payload(b"x".to_vec()).build().unwrap_err(),
+            PacketBuilder::new()
+                .payload(b"x".to_vec())
+                .build()
+                .unwrap_err(),
             Error::Malformed
         );
     }
@@ -262,6 +319,71 @@ mod tests {
         }
         let err = b.segment(local()).build().unwrap_err();
         assert_eq!(err, Error::TooManySegments);
+    }
+
+    /// Emit a route of `transit` forwarding segments plus the
+    /// terminating local segment as raw bytes, bypassing the builder, so
+    /// `parse_route`'s own bound is what gets exercised.
+    fn raw_route(transit: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut emit = |s: SegmentRepr| {
+            let at = buf.len();
+            buf.resize(at + s.buffer_len(), 0);
+            s.emit(&mut buf[at..]).unwrap();
+        };
+        for _ in 0..transit {
+            emit(seg(1));
+        }
+        emit(local());
+        buf
+    }
+
+    #[test]
+    fn steady_state_hops_never_copy_or_reallocate() {
+        // Per-hop forwarding on a uniquely-owned PacketBuf must be pure
+        // offset motion: the strip advances `head`, the trailer append
+        // lands in the pre-reserved tail. A COW would rebase `head` to 0
+        // and a reallocation would move the store base address — assert
+        // neither happens over a full 8-hop route.
+        let mut b = PacketBuilder::new().without_mtu_check();
+        for p in 1..=8u8 {
+            b = b.segment(seg(p));
+        }
+        let mut pkt = b
+            .segment(local())
+            .payload(vec![0x5A; 600])
+            .build_buf()
+            .unwrap();
+        let base = pkt.as_slice().as_ptr() as usize - pkt.head_offset();
+        for i in 0..8 {
+            let view = strip_front_segment_buf(&mut pkt).unwrap();
+            let repr = view.to_repr();
+            drop(view); // router drops its borrow before appending
+            append_return_hop_buf(&mut pkt, repr).unwrap();
+            assert!(pkt.is_unique(), "hop {i}: store must stay uniquely owned");
+            assert!(pkt.head_offset() > 0, "hop {i}: COW rebased the head");
+            assert_eq!(
+                pkt.as_slice().as_ptr() as usize - pkt.head_offset(),
+                base,
+                "hop {i}: append reallocated the store"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_route_accepts_exactly_48_segments() {
+        let buf = raw_route(VIPER_MAX_SEGMENTS - 1);
+        let (route, _) = parse_route(&buf).unwrap();
+        assert_eq!(route.len(), VIPER_MAX_SEGMENTS);
+    }
+
+    #[test]
+    fn parse_route_rejects_49_segments_even_local_terminated() {
+        // Regression: the bound used to be checked before the push, so a
+        // 48-transit route whose 49th segment was the terminating local
+        // one slipped through one over the §2.3 budget.
+        let buf = raw_route(VIPER_MAX_SEGMENTS);
+        assert_eq!(parse_route(&buf).unwrap_err(), Error::TooManySegments);
     }
 
     #[test]
@@ -298,7 +420,7 @@ mod tests {
             port: 2, // the port the packet arrived on
             ..front.clone()
         };
-        append_return_hop(&mut pkt, return_hop);
+        append_return_hop(&mut pkt, return_hop).unwrap();
 
         // Receiver: only the local segment remains up front.
         let view = PacketView::parse(&pkt).unwrap();
@@ -334,7 +456,8 @@ mod tests {
                     port: arrive_port,
                     ..front
                 },
-            );
+            )
+            .unwrap();
         }
         let view = PacketView::parse(&pkt).unwrap();
         let reply = reply_route(&view);
@@ -403,7 +526,7 @@ mod proptests {
             for i in 0..ports.len() {
                 let front = strip_front_segment(&mut pkt).unwrap();
                 prop_assert_eq!(front.port, ports[i]);
-                append_return_hop(&mut pkt, SegmentRepr { port: arrive[i], ..front });
+                append_return_hop(&mut pkt, SegmentRepr { port: arrive[i], ..front }).unwrap();
             }
 
             let view = PacketView::parse(&pkt).unwrap();
@@ -420,6 +543,65 @@ mod proptests {
         fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = PacketView::parse(&bytes);
             let _ = parse_route(&bytes);
+        }
+
+        /// The zero-copy forwarding path (PacketBuf offset moves +
+        /// in-place/COW appends) must be byte-for-byte identical to the
+        /// original Vec path across strip / return-hop append / truncate
+        /// at every hop, including the receiver's reply route.
+        #[test]
+        fn buf_path_matches_vec_path(ports in proptest::collection::vec(1u8..=255, 1..10),
+                                     arrive in proptest::collection::vec(1u8..=255, 10),
+                                     trunc_at in 0usize..20, // >=10 means "never truncate"
+                                     data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let mut b = PacketBuilder::new().without_mtu_check();
+            for &p in &ports {
+                b = b.segment(SegmentRepr::minimal(p));
+            }
+            let built = b
+                .segment(SegmentRepr::minimal(PORT_LOCAL))
+                .payload(data.clone())
+                .build()
+                .unwrap();
+            let mut vec_pkt = built.clone();
+            let mut buf_pkt = PacketBuf::from_vec(built);
+
+            for (i, &arrival_port) in arrive.iter().take(ports.len()).enumerate() {
+                let front = strip_front_segment(&mut vec_pkt).unwrap();
+                let view = strip_front_segment_buf(&mut buf_pkt).unwrap();
+                prop_assert_eq!(view.port(), front.port);
+                prop_assert_eq!(view.to_repr(), front.clone());
+                drop(view); // release the store before the append, as the router does
+                let rh = SegmentRepr { port: arrival_port, ..front };
+                append_return_hop(&mut vec_pkt, rh.clone()).unwrap();
+                append_return_hop_buf(&mut buf_pkt, rh).unwrap();
+                if trunc_at == i && vec_pkt.len() > 8 {
+                    let keep = vec_pkt.len() - 4;
+                    truncate_packet(&mut vec_pkt, keep);
+                    truncate_packet_buf(&mut buf_pkt, keep);
+                }
+                prop_assert_eq!(&vec_pkt[..], buf_pkt.as_slice());
+            }
+
+            // A mid-flight truncation may have cut the trailer walk; both
+            // paths must then agree on the failure, not just on success.
+            match (PacketView::parse(&vec_pkt), PacketView::parse(&buf_pkt)) {
+                (Ok(vv), Ok(bv)) => prop_assert_eq!(reply_route(&vv), reply_route(&bv)),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "paths diverged: vec={:?} buf={:?}",
+                                       a.map(|_| ()), b.map(|_| ())),
+            }
+        }
+
+        /// Hostile input must never panic the PacketBuf path either.
+        #[test]
+        fn buf_path_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut pkt = PacketBuf::from_vec(bytes);
+            while let Ok(seg) = strip_front_segment_buf(&mut pkt) {
+                if seg.encoded_len() == 0 || pkt.is_empty() {
+                    break;
+                }
+            }
         }
     }
 }

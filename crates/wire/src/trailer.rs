@@ -88,9 +88,24 @@ impl Entry {
         }
     }
 
-    /// Append this entry to the end of a packet buffer.
-    pub fn append_to(&self, packet: &mut Vec<u8>) {
+    /// Validate that the entry payload fits the u16 length field of the
+    /// framing. A return-hop segment can exceed it via the 255/32-bit
+    /// length escape; writing `plen as u16` would silently corrupt the
+    /// backwards walk, so oversize payloads are rejected instead.
+    fn checked_payload_len(&self) -> Result<usize> {
         let plen = self.payload_len();
+        if plen > u16::MAX as usize {
+            return Err(Error::TrailerPayloadTooLong);
+        }
+        Ok(plen)
+    }
+
+    /// Append this entry to the end of a packet buffer.
+    ///
+    /// Fails with [`Error::TrailerPayloadTooLong`] when the payload
+    /// exceeds the u16 length field; the packet is left untouched.
+    pub fn append_to(&self, packet: &mut Vec<u8>) -> Result<()> {
+        let plen = self.checked_payload_len()?;
         match self {
             Entry::Base => {}
             Entry::ReturnHop(seg) => {
@@ -104,6 +119,31 @@ impl Entry {
         }
         packet.extend_from_slice(&(plen as u16).to_be_bytes());
         packet.push(self.kind_byte());
+        Ok(())
+    }
+
+    /// Append this entry to a shared [`crate::buf::PacketBuf`]: in-place
+    /// (no copy, no allocation) in the steady per-hop state where the
+    /// router uniquely owns the packet.
+    ///
+    /// Fails with [`Error::TrailerPayloadTooLong`] when the payload
+    /// exceeds the u16 length field; the packet is left untouched.
+    pub fn append_to_buf(&self, packet: &mut crate::buf::PacketBuf) -> Result<()> {
+        let plen = self.checked_payload_len()?;
+        packet.append_with(plen + ENTRY_OVERHEAD, |dst| {
+            match self {
+                Entry::Base => {}
+                Entry::ReturnHop(seg) => {
+                    seg.emit(&mut dst[..plen]).expect("sized exactly");
+                }
+                Entry::Truncated { lost_bytes } => {
+                    dst[..4].copy_from_slice(&lost_bytes.to_be_bytes());
+                }
+            }
+            dst[plen..plen + 2].copy_from_slice(&(plen as u16).to_be_bytes());
+            dst[plen + 2] = self.kind_byte();
+        });
+        Ok(())
     }
 
     /// Decode the entry whose framing ends at `end` (exclusive) within
@@ -237,7 +277,7 @@ mod tests {
     #[test]
     fn empty_trailer_parses() {
         let mut buf = b"data".to_vec();
-        Entry::Base.append_to(&mut buf);
+        Entry::Base.append_to(&mut buf).unwrap();
         let t = Trailer::parse(&buf).unwrap();
         assert!(t.return_hops.is_empty());
         assert_eq!(t.truncated, None);
@@ -247,9 +287,9 @@ mod tests {
     #[test]
     fn hops_append_and_reverse() {
         let mut buf = b"payload".to_vec();
-        Entry::Base.append_to(&mut buf);
+        Entry::Base.append_to(&mut buf).unwrap();
         for p in [1u8, 2, 3] {
-            Entry::ReturnHop(hop(p)).append_to(&mut buf);
+            Entry::ReturnHop(hop(p)).append_to(&mut buf).unwrap();
         }
         let t = Trailer::parse(&buf).unwrap();
         assert_eq!(
@@ -270,8 +310,10 @@ mod tests {
         // entries) and appends the marker; later routers still append
         // their return hops after it.
         let mut buf = vec![0xAA; 20]; // remains of the cut packet
-        Entry::Truncated { lost_bytes: 512 }.append_to(&mut buf);
-        Entry::ReturnHop(hop(9)).append_to(&mut buf);
+        Entry::Truncated { lost_bytes: 512 }
+            .append_to(&mut buf)
+            .unwrap();
+        Entry::ReturnHop(hop(9)).append_to(&mut buf).unwrap();
         let t = Trailer::parse(&buf).unwrap();
         assert_eq!(t.truncated, Some(512));
         assert_eq!(t.return_hops.len(), 1, "hops after the marker survive");
@@ -282,18 +324,15 @@ mod tests {
     #[test]
     fn missing_base_is_detected() {
         let mut buf = Vec::new();
-        Entry::ReturnHop(hop(1)).append_to(&mut buf);
+        Entry::ReturnHop(hop(1)).append_to(&mut buf).unwrap();
         // No base entry anywhere — walk must fail, not loop or panic.
-        assert_eq!(
-            Trailer::parse(&buf).unwrap_err(),
-            Error::MissingTrailerBase
-        );
+        assert_eq!(Trailer::parse(&buf).unwrap_err(), Error::MissingTrailerBase);
     }
 
     #[test]
     fn unknown_kind_reported() {
         let mut buf = Vec::new();
-        Entry::Base.append_to(&mut buf);
+        Entry::Base.append_to(&mut buf).unwrap();
         buf.extend_from_slice(&0u16.to_be_bytes());
         buf.push(77);
         assert_eq!(
@@ -309,11 +348,56 @@ mod tests {
         // without confusion."
         let mut buf = b"data".to_vec();
         buf.extend_from_slice(&[0u8; 32]); // padding
-        Entry::Base.append_to(&mut buf);
-        Entry::ReturnHop(hop(4)).append_to(&mut buf);
+        Entry::Base.append_to(&mut buf).unwrap();
+        Entry::ReturnHop(hop(4)).append_to(&mut buf).unwrap();
         let t = Trailer::parse(&buf).unwrap();
         assert_eq!(t.return_hops.len(), 1);
         assert_eq!(t.start_offset, 4 + 32);
+    }
+
+    // A 255-escaped port token of T bytes encodes as FIXED_LEN(4) +
+    // (4 + T) segment bytes, so T = 65527 lands the entry payload on
+    // exactly u16::MAX.
+    fn giant_hop(token_len: usize) -> SegmentRepr {
+        SegmentRepr {
+            port: 9,
+            flags: Flags::default(),
+            priority: Priority::NORMAL,
+            port_token: vec![0xAB; token_len],
+            port_info: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn payload_at_u16_boundary_frames_and_walks() {
+        let entry = Entry::ReturnHop(giant_hop(65527));
+        assert_eq!(entry.encoded_len(), u16::MAX as usize + ENTRY_OVERHEAD);
+        let mut buf = b"data".to_vec();
+        Entry::Base.append_to(&mut buf).unwrap();
+        entry.append_to(&mut buf).unwrap();
+        let t = Trailer::parse(&buf).unwrap();
+        assert_eq!(t.return_hops.len(), 1);
+        assert_eq!(t.return_hops[0].port_token.len(), 65527);
+    }
+
+    #[test]
+    fn payload_past_u16_boundary_rejected_packet_untouched() {
+        let entry = Entry::ReturnHop(giant_hop(65528)); // plen = 65536
+        let mut buf = b"data".to_vec();
+        Entry::Base.append_to(&mut buf).unwrap();
+        let before = buf.clone();
+        assert_eq!(
+            entry.append_to(&mut buf).unwrap_err(),
+            Error::TrailerPayloadTooLong
+        );
+        assert_eq!(buf, before, "failed append must leave the packet intact");
+
+        let mut pb = crate::buf::PacketBuf::from_vec(before.clone());
+        assert_eq!(
+            entry.append_to_buf(&mut pb).unwrap_err(),
+            Error::TrailerPayloadTooLong
+        );
+        assert_eq!(pb.as_slice(), &before[..]);
     }
 }
 
@@ -327,9 +411,9 @@ mod proptests {
         fn trailer_roundtrip(ports in proptest::collection::vec(any::<u8>(), 0..20),
                              data in proptest::collection::vec(any::<u8>(), 0..100)) {
             let mut buf = data.clone();
-            Entry::Base.append_to(&mut buf);
+            Entry::Base.append_to(&mut buf).unwrap();
             for &p in &ports {
-                Entry::ReturnHop(SegmentRepr::minimal(p)).append_to(&mut buf);
+                Entry::ReturnHop(SegmentRepr::minimal(p)).append_to(&mut buf).unwrap();
             }
             let t = Trailer::parse(&buf).unwrap();
             prop_assert_eq!(t.start_offset, data.len());

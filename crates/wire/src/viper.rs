@@ -289,6 +289,17 @@ impl<T: AsRef<[u8]>> Segment<T> {
         &self.buffer.as_ref()[s..e]
     }
 
+    /// All field offsets of a validated segment in one pass, relative to
+    /// the segment start: `(token_start, token_end, info_start, info_end)`.
+    /// `info_end` is also the total encoded length. Used by the zero-copy
+    /// [`crate::buf::SegmentView`] to record absolute offsets instead of
+    /// copying the variable fields out.
+    pub(crate) fn field_offsets(&self) -> Result<(usize, usize, usize, usize)> {
+        let (ts, te) = self.token_bounds()?;
+        let (is_, ie) = self.info_bounds(te)?;
+        Ok((ts, te, is_, ie))
+    }
+
     /// Total encoded length of this segment, including the fixed prologue
     /// and any extended-length words.
     pub fn total_len(&self) -> usize {
@@ -615,7 +626,12 @@ mod proptests {
         )
             .prop_map(|(port, vnt, dib, rpf, tree, prio, tok, info)| SegmentRepr {
                 port,
-                flags: Flags { vnt, dib, rpf, tree },
+                flags: Flags {
+                    vnt,
+                    dib,
+                    rpf,
+                    tree,
+                },
                 priority: Priority::new(prio),
                 port_token: tok,
                 port_info: info,

@@ -148,10 +148,7 @@ impl Header {
             message_len: u32::from_be_bytes(buffer[28..32].try_into().unwrap()),
             payload_len: u16::from_be_bytes(buffer[32..34].try_into().unwrap()),
         };
-        if h.group_size == 0
-            || h.group_size as usize > MAX_GROUP
-            || h.group_index >= h.group_size
-        {
+        if h.group_size == 0 || h.group_size as usize > MAX_GROUP || h.group_index >= h.group_size {
             return Err(Error::Malformed);
         }
         Ok(h)

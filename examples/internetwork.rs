@@ -10,9 +10,7 @@
 //! Run with: `cargo run --example internetwork`
 
 use sirpent::compile::CompiledRoute;
-use sirpent::directory::{
-    AccessSpec, Directory, HopSpec, Name, Preference, RouteRecord, Security,
-};
+use sirpent::directory::{AccessSpec, Directory, HopSpec, Name, Preference, RouteRecord, Security};
 use sirpent::host::{HostEvent, HostPortKind, SirpentHost};
 use sirpent::router::viper::ViperConfig;
 use sirpent::sim::{FaultConfig, SimDuration, SimTime};
@@ -41,13 +39,25 @@ fn main() {
     // client — R1 —(primary)— server
     //        \— R2 —(backup, slower)— server
     let mut net = Net::new(31);
-    let client = net.host(0xC, vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)]);
-    let server = net.host(0x5, vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)]);
+    let client = net.host(
+        0xC,
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
+    );
+    let server = net.host(
+        0x5,
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
+    );
     let r1 = net.viper(ViperConfig::basic(1, &[1, 2]));
     let r2 = net.viper(ViperConfig::basic(2, &[1, 2]));
     net.p2p(client, 0, r1, 1, RATE, PROP);
     net.p2p(client, 1, r2, 1, RATE, PROP.times(5)); // backup is farther
-    // Primary path link r1→server; we'll fail it mid-run.
+                                                    // Primary path link r1→server; we'll fail it mid-run.
     let (r1_to_srv, srv_to_r1) = net.sim.p2p(r1, 2, server, 0, RATE, PROP);
     net.p2p(r2, 2, server, 1, RATE, PROP.times(5));
     let mut sim = net.into_sim();
@@ -98,7 +108,11 @@ fn main() {
         println!(
             "  route {}: via router {:?}, prop {}, base rtt known in advance",
             i,
-            adv.route.hops.iter().map(|h| h.router_id).collect::<Vec<_>>(),
+            adv.route
+                .hops
+                .iter()
+                .map(|h| h.router_id)
+                .collect::<Vec<_>>(),
             adv.props.prop_delay
         );
     }
@@ -129,8 +143,20 @@ fn main() {
 
     // Run to the failure point, kill the primary link (both directions).
     sim.run_until(SimTime(800_000_000));
-    sim.set_faults(r1_to_srv, FaultConfig { drop_prob: 1.0, corrupt_prob: 0.0 });
-    sim.set_faults(srv_to_r1, FaultConfig { drop_prob: 1.0, corrupt_prob: 0.0 });
+    sim.set_faults(
+        r1_to_srv,
+        FaultConfig {
+            drop_prob: 1.0,
+            corrupt_prob: 0.0,
+        },
+    );
+    sim.set_faults(
+        srv_to_r1,
+        FaultConfig {
+            drop_prob: 1.0,
+            corrupt_prob: 0.0,
+        },
+    );
     println!("\n!! primary link r1<->server failed at t = 0.8 s\n");
     sim.run_until(SimTime(4_000_000_000));
 
@@ -158,7 +184,10 @@ fn main() {
         !switches.is_empty(),
         "the client must have failed over to the backup route"
     );
-    assert!(completed >= 95, "nearly all transactions complete despite the failure");
+    assert!(
+        completed >= 95,
+        "nearly all transactions complete despite the failure"
+    );
 
     // The mean RTT before vs after the switch shows the slower backup.
     let before: Vec<f64> = c

@@ -12,9 +12,7 @@
 //! Run with: `cargo run --example policy_routing`
 
 use sirpent::compile::CompiledRoute;
-use sirpent::directory::{
-    AccessSpec, Directory, HopSpec, Name, Preference, RouteRecord, Security,
-};
+use sirpent::directory::{AccessSpec, Directory, HopSpec, Name, Preference, RouteRecord, Security};
 use sirpent::host::{HostPortKind, SirpentHost};
 use sirpent::router::viper::ViperConfig;
 use sirpent::sim::{SimDuration, SimTime};
@@ -44,11 +42,17 @@ fn main() {
     let mut net = Net::new(2001);
     let client = net.host(
         0xC1,
-        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
     );
     let server = net.host(
         0x51,
-        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
     );
     let r1 = net.viper(ViperConfig::basic(1, &[1, 2]));
     let r2 = net.viper(ViperConfig::basic(2, &[1, 2]));

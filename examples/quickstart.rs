@@ -83,7 +83,8 @@ fn main() {
         endpoint_selector: vec![],
     };
     let route = CompiledRoute::compile(&record, &[], Priority::NORMAL);
-    println!("compiled route: {} segments, {} header bytes, base RTT ≈ {}",
+    println!(
+        "compiled route: {} segments, {} header bytes, base RTT ≈ {}",
         route.segments.len(),
         route.header_bytes(),
         route.base_rtt,

@@ -33,7 +33,10 @@ fn build(video_priority: u8) -> (Simulator, Vec<SimTime>, sirpent_ids::Ids) {
     let video = sim.add_node(Box::new(ScriptedHost::new()));
     let file = sim.add_node(Box::new(ScriptedHost::new()));
     let sink = sim.add_node(Box::new(ScriptedHost::new()));
-    let r = sim.add_node(Box::new(ViperRouter::new(ViperConfig::basic(1, &[1, 2, 3]))));
+    let r = sim.add_node(Box::new(ViperRouter::new(ViperConfig::basic(
+        1,
+        &[1, 2, 3],
+    ))));
     sim.p2p(video, 0, r, 1, LINK, PROP);
     sim.p2p(file, 0, r, 2, LINK, PROP);
     sim.p2p(r, 3, sink, 0, LINK, PROP);
@@ -59,7 +62,11 @@ fn build(video_priority: u8) -> (Simulator, Vec<SimTime>, sirpent_ids::Ids) {
         sim.node_mut::<ScriptedHost>(video).plan(
             at,
             0,
-            LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+            LinkFrame::Sirpent {
+                ff_hint: 0,
+                packet: pkt.into(),
+            }
+            .to_p2p_bytes(),
         );
     }
 
@@ -79,7 +86,11 @@ fn build(video_priority: u8) -> (Simulator, Vec<SimTime>, sirpent_ids::Ids) {
         sim.node_mut::<ScriptedHost>(file).plan(
             at,
             0,
-            LinkFrame::Sirpent { ff_hint: 0, packet: pkt }.to_p2p_bytes(),
+            LinkFrame::Sirpent {
+                ff_hint: 0,
+                packet: pkt.into(),
+            }
+            .to_p2p_bytes(),
         );
     }
 
@@ -103,8 +114,12 @@ fn run(video_priority: u8) -> (Vec<(SimTime, u64)>, u64, usize) {
     let mut video_rx = Vec::new();
     let mut file_rx = 0usize;
     for (t, f) in sim.node::<ScriptedHost>(ids.sink).received_p2p() {
-        let LinkFrame::Sirpent { packet, .. } = f else { continue };
-        let Ok(view) = PacketView::parse(&packet) else { continue };
+        let LinkFrame::Sirpent { packet, .. } = f else {
+            continue;
+        };
+        let Ok(view) = PacketView::parse(&packet) else {
+            continue;
+        };
         let data = view.data(&packet);
         if data.len() >= 8 && data[8..].iter().all(|&b| b == 0x56) {
             let stamp = u64::from_be_bytes(data[..8].try_into().unwrap());
@@ -142,7 +157,10 @@ fn jitter_stats(rx: &[(SimTime, u64)]) -> (Summary, Summary) {
 
 fn main() {
     println!("video (60 frames @ 10 ms) sharing a 10 Mb/s link with a saturating file transfer\n");
-    for (label, prio) in [("video at normal priority (0)", 0u8), ("video at preemptive priority (7)", 7)] {
+    for (label, prio) in [
+        ("video at normal priority (0)", 0u8),
+        ("video at preemptive priority (7)", 7),
+    ] {
         let (rx, preempted, file_rx) = run(prio);
         let (delay, jitter) = jitter_stats(&rx);
         println!("--- {label} ---");

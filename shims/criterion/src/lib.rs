@@ -1,0 +1,327 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the criterion 0.5 API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Throughput`], [`BenchmarkId`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a straightforward warmup + fixed-sample timing loop
+//! (median + min/max over samples); there is no statistical analysis,
+//! HTML report or comparison with saved baselines. Output goes to
+//! stdout, one line per benchmark.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput basis for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The shim uses a
+/// fixed batch regardless of the variant; the type exists so call sites
+/// match the real criterion 0.5 signature.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are small; batch many per timing sample.
+    SmallInput,
+    /// Inputs are large; batch fewer per timing sample.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time and iteration count of the measured samples.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record per-iteration timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup and calibration: run until ~20ms elapsed to pick an
+        // iteration count that makes one sample at least ~1ms.
+        let warmup_budget = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while start.elapsed() < warmup_budget {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as u64 / warmup_iters.max(1);
+        let iters = (1_000_000u64 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Run `routine` over inputs produced by `setup`, timing only the
+    /// routine. Used for benchmarks whose input is consumed (or mutated)
+    /// by each call and must be rebuilt outside the measured region —
+    /// e.g. per-hop forwarding on a uniquely-owned buffer.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        const BATCH: u64 = 256;
+        for _ in 0..16 {
+            std::hint::black_box(routine(setup()));
+        }
+        self.iters_per_sample = BATCH;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn per_iter_ns(&self) -> Option<(f64, f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let med = ns[ns.len() / 2];
+        Some((ns[0], med, ns[ns.len() - 1]))
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the throughput basis used to report rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id.clone(), |b| routine(b));
+        self
+    }
+
+    /// Benchmark `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id.clone(), |b| routine(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+        };
+        routine(&mut bencher);
+        let full = format!("{}/{}", self.name, id);
+        match bencher.per_iter_ns() {
+            Some((lo, med, hi)) => {
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Bytes(n) => {
+                        format!("  thrpt: {}/s", scale_bytes(n as f64 / (med / 1e9)))
+                    }
+                    Throughput::Elements(n) => {
+                        format!("  thrpt: {} elem/s", scale_count(n as f64 / (med / 1e9)))
+                    }
+                });
+                self.criterion.report(&format!(
+                    "{full:<48} time: [{} {} {}]{}",
+                    scale_ns(lo),
+                    scale_ns(med),
+                    scale_ns(hi),
+                    rate.unwrap_or_default()
+                ));
+            }
+            None => self.criterion.report(&format!("{full:<48} (no samples)")),
+        }
+    }
+
+    /// Finish the group (reporting already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn scale_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn scale_bytes(bps: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if bps >= GIB {
+        format!("{:.3} GiB", bps / GIB)
+    } else if bps >= MIB {
+        format!("{:.3} MiB", bps / MIB)
+    } else if bps >= KIB {
+        format!("{:.3} KiB", bps / KIB)
+    } else {
+        format!("{bps:.1} B")
+    }
+}
+
+fn scale_count(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.3}G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.3}M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.3}K", n / 1e3)
+    } else {
+        format!("{n:.1}")
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    fn report(&mut self, line: &str) {
+        println!("{line}");
+        self.lines.push(line.to_string());
+    }
+}
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("noop_add", |b| b.iter(|| 1u64.wrapping_add(2)));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default();
+        quick(&mut c);
+        assert_eq!(c.lines.len(), 2);
+        assert!(c.lines[0].contains("shim/noop_add"));
+        assert!(c.lines[1].contains("shim/sum/8"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the sliver of serde it uses: `#[derive(Serialize)]` on plain
+//! structs with named fields, serialized to JSON by the companion
+//! `serde_json` shim. The [`Serialize`] trait here is *not* the real
+//! serde data model — it renders a value directly to a compact JSON
+//! string, which is all the bench result writer needs.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::Serialize;
+
+/// Render `self` as compact JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn json_to(&self, out: &mut String);
+
+    /// This value's JSON encoding as a fresh string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.json_to(&mut s);
+        s
+    }
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_to(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn json_to(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            // JSON has no Inf/NaN.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn json_to(&self, out: &mut String) {
+        (*self as f64).json_to(out);
+    }
+}
+
+impl Serialize for str {
+    fn json_to(&self, out: &mut String) {
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl Serialize for String {
+    fn json_to(&self, out: &mut String) {
+        self.as_str().json_to(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_to(&self, out: &mut String) {
+        (**self).json_to(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_to(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_to(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_to(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_to(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_to(&self, out: &mut String) {
+        self.as_slice().json_to(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_to(&self, out: &mut String) {
+        self.as_slice().json_to(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-3i32).to_json(), "-3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b\\c\nd".to_json(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(7u8).to_json(), "7");
+        assert_eq!(None::<u8>.to_json(), "null");
+        assert_eq!(Vec::<u8>::new().to_json(), "[]");
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Supports exactly what this workspace uses: `#[derive(Serialize)]` on
+//! non-generic structs with named fields. The generated impl renders
+//! the struct as a compact JSON object via the shim `serde::Serialize`
+//! trait. Implemented with hand-rolled token parsing so it needs no
+//! syn/quote dependency.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut name = None;
+    let mut fields = Vec::new();
+    let mut iter = input.into_iter().peekable();
+    let mut saw_struct = false;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes (`#[...]`, incl. doc comments).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_struct && name.is_none() {
+                    name = Some(s);
+                } else if s == "struct" {
+                    saw_struct = true;
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                fields = field_names(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = match name {
+        Some(n) if !fields.is_empty() => n,
+        _ => {
+            return r#"compile_error!("serde shim: derive(Serialize) supports only non-generic structs with named fields");"#
+                .parse()
+                .unwrap()
+        }
+    };
+
+    let mut body = String::from("let mut first = true;\nout.push('{');\n");
+    for f in &fields {
+        body.push_str(&format!(
+            "if !first {{ out.push(','); }}\nfirst = false;\n\
+             ::serde::Serialize::json_to(\"{f}\", out);\nout.push(':');\n\
+             ::serde::Serialize::json_to(&self.{f}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');\nlet _ = first;\n");
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn json_to(&self, out: &mut ::std::string::String) {{\n{body}}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim: generated impl must parse")
+}
+
+/// Extract field names from the token stream inside the struct braces.
+fn field_names(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let mut pending: Option<String> = None;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    pending = None; // attribute group follows; drop below
+                }
+                TokenTree::Group(_) if pending.is_none() => {
+                    // attribute body or pub(...) — skip
+                }
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s != "pub" {
+                        pending = Some(s);
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' => break,
+                _ => {}
+            }
+        }
+        let Some(field) = pending else { break };
+        fields.push(field);
+        // Consume the type up to a top-level comma (commas inside
+        // parens/brackets are in Groups; track only `<...>` depth).
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}

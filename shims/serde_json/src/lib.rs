@@ -1,0 +1,130 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides [`to_string_pretty`] over the shim `serde::Serialize`
+//! trait: the value renders itself to compact JSON and a small
+//! re-indenter lays it out with two-space indentation.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Serialization error (the shim never actually fails).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render `value` as pretty-printed JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(pretty(&value.to_json()))
+}
+
+/// Render `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json())
+}
+
+/// Re-indent compact JSON with two-space indentation.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_roundtrip_shape() {
+        let compact = r#"{"a":1,"b":[1,2],"c":{},"d":"x,y:{}"}"#;
+        let p = pretty(compact);
+        // Structural characters outside strings survive, whitespace added.
+        let stripped: String = {
+            let mut s = String::new();
+            let mut in_str = false;
+            let mut esc = false;
+            for c in p.chars() {
+                if in_str {
+                    s.push(c);
+                    if esc {
+                        esc = false;
+                    } else if c == '\\' {
+                        esc = true;
+                    } else if c == '"' {
+                        in_str = false;
+                    }
+                    continue;
+                }
+                if c == '"' {
+                    in_str = true;
+                }
+                if !c.is_whitespace() {
+                    s.push(c);
+                }
+            }
+            s
+        };
+        assert_eq!(stripped, compact);
+        assert!(p.contains("\n"));
+    }
+}

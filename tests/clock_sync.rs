@@ -3,13 +3,13 @@
 //! badly skewed clocks break communication, and the modelled
 //! synchronization service (the WWV/NTP substitute) restores it.
 
+use sirpent::directory::{AccessSpec, HopSpec, RouteRecord, Security};
 use sirpent::host::{HostPortKind, SirpentHost};
 use sirpent::router::viper::ViperConfig;
 use sirpent::sim::{SimDuration, SimTime};
 use sirpent::transport::{HostClock, LifetimeFilter, SyncService};
 use sirpent::wire::viper::Priority;
 use sirpent::wire::vmtp::EntityId;
-use sirpent::directory::{AccessSpec, HopSpec, RouteRecord, Security};
 use sirpent::{CompiledRoute, Net};
 
 const RATE: u64 = 10_000_000;
@@ -87,12 +87,7 @@ fn run(recv_offset_ms: i64, sync: bool) -> (usize, u64) {
     sim.run_until(SimTime(3_000_000_000));
 
     let server = sim.node::<SirpentHost>(b);
-    let rejected: u64 = server
-        .endpoint()
-        .stats
-        .lifetime_rejected
-        .values()
-        .sum();
+    let rejected: u64 = server.endpoint().stats.lifetime_rejected.values().sum();
     (server.inbox.len(), rejected)
 }
 

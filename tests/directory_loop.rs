@@ -49,11 +49,17 @@ fn requery_after_total_route_failure_recovers_service() {
     let mut net = Net::new(33);
     let client = net.host(
         0xC,
-        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
     );
     let server = net.host(
         0x5,
-        vec![(0, HostPortKind::PointToPoint), (1, HostPortKind::PointToPoint)],
+        vec![
+            (0, HostPortKind::PointToPoint),
+            (1, HostPortKind::PointToPoint),
+        ],
     );
     let r1 = net.viper(ViperConfig::basic(1, &[1, 2]));
     let r2 = net.viper(ViperConfig::basic(2, &[1, 2]));
@@ -106,7 +112,10 @@ fn requery_after_total_route_failure_recovers_service() {
             loss_threshold: 1,
             ..Default::default()
         });
-        c.install_routes(EntityId(0x5), compile_all(cache.get(&svc, SimTime::ZERO).unwrap()));
+        c.install_routes(
+            EntityId(0x5),
+            compile_all(cache.get(&svc, SimTime::ZERO).unwrap()),
+        );
         for i in 0..40u64 {
             c.queue_request(SimTime(i * 20_000_000), EntityId(0x5), vec![1; 64]);
         }

@@ -104,8 +104,11 @@ fn directory_tokens_and_transport_compose() {
     sim.node_mut::<SirpentHost>(a)
         .install_routes(EntityId(0xB), vec![route]);
     sim.node_mut::<SirpentHost>(b).auto_respond = Some(b"file contents".to_vec());
-    sim.node_mut::<SirpentHost>(a)
-        .queue_request(SimTime::ZERO, EntityId(0xB), b"read file".to_vec());
+    sim.node_mut::<SirpentHost>(a).queue_request(
+        SimTime::ZERO,
+        EntityId(0xB),
+        b"read file".to_vec(),
+    );
     SirpentHost::start(&mut sim, a);
     sim.run(1_000_000);
 

@@ -3,13 +3,13 @@
 //! Sirpent accepts (truncation, corruption) surface at the transport,
 //! never as silent data corruption.
 
+use sirpent::directory::{AccessSpec, HopSpec, RouteRecord, Security};
 use sirpent::host::{HostPortKind, SirpentHost};
 use sirpent::router::viper::ViperConfig;
 use sirpent::sim::{FaultConfig, SimDuration, SimTime};
 use sirpent::wire::viper::Priority;
 use sirpent::wire::vmtp::EntityId;
 use sirpent::{CompiledRoute, Net};
-use sirpent::directory::{AccessSpec, HopSpec, RouteRecord, Security};
 
 const RATE: u64 = 10_000_000;
 const PROP: SimDuration = SimDuration(5_000);
@@ -41,7 +41,15 @@ fn one_hop_route() -> CompiledRoute {
     )
 }
 
-fn build(seed: u64) -> (sirpent::sim::Simulator, sirpent::sim::NodeId, sirpent::sim::NodeId, sirpent::sim::ChannelId, sirpent::sim::ChannelId) {
+fn build(
+    seed: u64,
+) -> (
+    sirpent::sim::Simulator,
+    sirpent::sim::NodeId,
+    sirpent::sim::NodeId,
+    sirpent::sim::ChannelId,
+    sirpent::sim::ChannelId,
+) {
     let mut net = Net::new(seed);
     let a = net.host(0xA, vec![(0, HostPortKind::PointToPoint)]);
     let b = net.host(0xB, vec![(0, HostPortKind::PointToPoint)]);
@@ -57,8 +65,20 @@ fn build(seed: u64) -> (sirpent::sim::Simulator, sirpent::sim::NodeId, sirpent::
 #[test]
 fn large_message_survives_20_percent_loss() {
     let (mut sim, a, b, fwd, rev) = build(60);
-    sim.set_faults(fwd, FaultConfig { drop_prob: 0.2, corrupt_prob: 0.0 });
-    sim.set_faults(rev, FaultConfig { drop_prob: 0.2, corrupt_prob: 0.0 });
+    sim.set_faults(
+        fwd,
+        FaultConfig {
+            drop_prob: 0.2,
+            corrupt_prob: 0.0,
+        },
+    );
+    sim.set_faults(
+        rev,
+        FaultConfig {
+            drop_prob: 0.2,
+            corrupt_prob: 0.0,
+        },
+    );
 
     // A 12 KB message = 12 group members at the default 1000 B segment.
     let msg: Vec<u8> = (0..12_000u32).map(|i| (i % 251) as u8).collect();
@@ -84,8 +104,20 @@ fn large_message_survives_20_percent_loss() {
 #[test]
 fn many_transactions_survive_bidirectional_loss() {
     let (mut sim, a, b, fwd, rev) = build(61);
-    sim.set_faults(fwd, FaultConfig { drop_prob: 0.1, corrupt_prob: 0.02 });
-    sim.set_faults(rev, FaultConfig { drop_prob: 0.1, corrupt_prob: 0.02 });
+    sim.set_faults(
+        fwd,
+        FaultConfig {
+            drop_prob: 0.1,
+            corrupt_prob: 0.02,
+        },
+    );
+    sim.set_faults(
+        rev,
+        FaultConfig {
+            drop_prob: 0.1,
+            corrupt_prob: 0.02,
+        },
+    );
 
     sim.node_mut::<SirpentHost>(b).auto_respond = Some(vec![0x0F; 200]);
     {
@@ -123,7 +155,13 @@ fn duplicate_deliveries_are_suppressed() {
     // deliver exactly once and re-ack the rest.
     let (mut sim, a, b, _fwd, rev) = build(62);
     // Drop all acks for a while so A retransmits a completed message.
-    sim.set_faults(rev, FaultConfig { drop_prob: 0.8, corrupt_prob: 0.0 });
+    sim.set_faults(
+        rev,
+        FaultConfig {
+            drop_prob: 0.8,
+            corrupt_prob: 0.0,
+        },
+    );
 
     sim.node_mut::<SirpentHost>(a)
         .queue_request(SimTime::ZERO, EntityId(0xB), vec![0x77; 500]);
