@@ -3,10 +3,12 @@
 //! sizing larger experiments.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use sirpent::router::dataplane::{Discipline, OutputPort, Queued};
 use sirpent::router::scripted::ScriptedHost;
 use sirpent::router::viper::SwitchMode;
+use sirpent::sim::stats::PipelineStats;
 use sirpent::sim::{SimDuration, SimTime};
-use sirpent::wire::buf::PacketBuf;
+use sirpent::wire::buf::{FrameBuf, PacketBuf};
 use sirpent::wire::packet::{
     append_return_hop, append_return_hop_buf, strip_front_segment, strip_front_segment_buf,
     PacketBuilder,
@@ -167,10 +169,73 @@ fn bench_fanout_payload_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// Queue-service sweep: drain a FIFO output queue of a given depth,
+/// one head removal per serviced packet. The shared
+/// [`OutputPort`] backs its queue with a `VecDeque`, so `pop_eligible`
+/// is O(1) and the per-element cost must stay flat from depth 8 to
+/// depth 1000. The `Vec::remove(0)` baseline — what the IP and CVC
+/// planes did before adopting the shared scheduler — memmoves the
+/// whole remaining queue on every service, so its per-element cost
+/// grows linearly with depth.
+fn bench_queue_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_service");
+    g.sample_size(30);
+    let now = SimTime::ZERO;
+    for depth in [8usize, 1000] {
+        g.throughput(Throughput::Elements(depth as u64));
+        g.bench_with_input(
+            BenchmarkId::new("popfront_drain", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || {
+                        let mut stats = PipelineStats::default();
+                        let mut op = OutputPort::new(1, Discipline::Fifo, usize::MAX);
+                        for _ in 0..depth {
+                            let f = FrameBuf::from(vec![0x42u8; 64]);
+                            op.push(Queued::fifo(f, now, None), &mut stats);
+                        }
+                        op
+                    },
+                    |mut op| {
+                        while let Some(q) = op.pop_eligible(now) {
+                            std::hint::black_box(q);
+                        }
+                        op
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("vec_remove0_drain", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || {
+                        (0..depth)
+                            .map(|_| FrameBuf::from(vec![0x42u8; 64]))
+                            .collect::<Vec<_>>()
+                    },
+                    |mut q| {
+                        while !q.is_empty() {
+                            std::hint::black_box(q.remove(0));
+                        }
+                        q
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_simulation,
     bench_per_hop_payload_sweep,
-    bench_fanout_payload_sweep
+    bench_fanout_payload_sweep,
+    bench_queue_service
 );
 criterion_main!(benches);

@@ -16,10 +16,11 @@ use serde::Serialize;
 use sirpent::compile::CompiledRoute;
 use sirpent::directory::{AccessSpec, HopSpec, RouteRecord, Security};
 use sirpent::host::{HostPortKind, SirpentHost};
-use sirpent::router::ip::{IpConfig, IpDrop, IpPortConfig, IpRouter, RouteEntry};
+use sirpent::router::ip::{IpConfig, IpPortConfig, IpRouter, RouteEntry};
 use sirpent::router::link::LinkFrame;
 use sirpent::router::scripted::ScriptedHost;
 use sirpent::router::viper::{PortKind, ViperConfig, ViperRouter};
+use sirpent::sim::stats::DropReason;
 use sirpent::sim::{FaultConfig, SimDuration, SimTime};
 use sirpent::transport::RatePacer;
 use sirpent::wire::ipish;
@@ -222,9 +223,7 @@ fn ip_run(corrupt: f64) -> (u64, u64, u64) {
         .node::<IpRouter>(r2)
         .stats
         .drops
-        .get(&IpDrop::Checksum)
-        .copied()
-        .unwrap_or(0);
+        .get(DropReason::Checksum);
     let rx = &sim.node::<ScriptedHost>(dst).received;
     let delivered = rx.len() as u64;
     // IP's header checksum says nothing about the payload: count frames

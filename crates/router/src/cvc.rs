@@ -13,14 +13,21 @@
 //! optionally reserving bandwidth); `Data` packets then carry only a
 //! 3-byte header. Both the setup round trip and the state growth are the
 //! quantities E10 measures.
+//!
+//! Output ports drive the shared [`OutputPort`] scheduler
+//! ([`crate::dataplane`]) in plain FIFO discipline — O(1) service at any
+//! queue depth — and report through the unified
+//! [`PipelineStats`] / [`DropReason`] surface.
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 
-use sirpent_sim::stats::Summary;
+use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
 use sirpent_sim::{Context, Event, Node, SimDuration, SimTime};
 use sirpent_wire::cvc::{Message, Vci};
 
+use crate::dataplane::{Discipline, OutputPort, Queued};
 use crate::link::LinkFrame;
 
 /// Routing entry: flat destination → output port (0 = this switch is the
@@ -57,21 +64,36 @@ struct Leg {
     vci: Vci,
 }
 
-/// Counters.
+/// Counters: the shared staged-pipeline core plus the circuit-switching
+/// extras. `Deref`s to [`PipelineStats`]; data messages forwarded on a
+/// circuit count in `forwarded`, with their handling delay in
+/// `forward_delay`.
 #[derive(Debug, Default)]
 pub struct CvcStats {
+    /// The shared per-stage / per-drop-reason pipeline counters.
+    pub pipeline: PipelineStats,
     /// Setup messages processed.
     pub setups: u64,
     /// Setups rejected (no route / state / bandwidth).
     pub rejects: u64,
-    /// Data messages forwarded.
-    pub data_forwarded: u64,
     /// Circuits currently open.
     pub circuits_active: usize,
     /// Peak simultaneous circuits.
     pub circuits_peak: usize,
-    /// First bit in → first bit out for data messages (seconds).
-    pub forward_delay: Summary,
+}
+
+impl Deref for CvcStats {
+    type Target = PipelineStats;
+
+    fn deref(&self) -> &PipelineStats {
+        &self.pipeline
+    }
+}
+
+impl DerefMut for CvcStats {
+    fn deref_mut(&mut self) -> &mut PipelineStats {
+        &mut self.pipeline
+    }
 }
 
 enum Pending {
@@ -96,8 +118,10 @@ pub struct CvcSwitch {
     leg_reserve: HashMap<(u8, Vci), u64>,
     pending: HashMap<u64, Pending>,
     next_key: u64,
-    busy: HashMap<u8, bool>,
-    queues: HashMap<u8, Vec<Vec<u8>>>,
+    /// Output schedulers, created on first use (ports are discovered
+    /// from traffic). Unbounded FIFO, as circuit admission — not
+    /// drop-tail — is the CVC overload control.
+    ports: HashMap<u8, OutputPort>,
     /// Data delivered locally (this switch is the endpoint attachment):
     /// (time, vci, payload).
     pub local_delivered: Vec<(SimTime, Vci, Vec<u8>)>,
@@ -118,8 +142,7 @@ impl CvcSwitch {
             leg_reserve: HashMap::new(),
             pending: HashMap::new(),
             next_key: 1,
-            busy: HashMap::new(),
-            queues: HashMap::new(),
+            ports: HashMap::new(),
             local_delivered: Vec::new(),
             local_control: Vec::new(),
             stats: CvcStats::default(),
@@ -156,16 +179,19 @@ impl CvcSwitch {
 
     fn send(&mut self, ctx: &mut Context<'_>, port: u8, msg: &Message) {
         let frame = LinkFrame::Cvc(msg.to_bytes()).to_p2p_bytes();
-        let busy = *self.busy.get(&port).unwrap_or(&false);
-        if busy {
-            self.queues.entry(port).or_default().push(frame);
-        } else {
-            self.busy.insert(port, true);
-            let _ = ctx.transmit(port, frame);
-        }
+        let now = ctx.now();
+        let CvcSwitch { ports, stats, .. } = self;
+        let sched = ports
+            .entry(port)
+            .or_insert_with(|| OutputPort::new(port, Discipline::Fifo, usize::MAX));
+        // `record: None` — forwarding is accounted at handle time (the
+        // circuit decision), not at transmit start.
+        sched.push(Queued::fifo(frame.into(), now, None), stats);
+        let _ = sched.try_service(ctx, &mut (), stats);
     }
 
     fn handle(&mut self, ctx: &mut Context<'_>, in_port: u8, msg: Message, first_bit: SimTime) {
+        self.stats.enter(Stage::Route);
         match msg {
             Message::Setup { vci, dest, reserve } => {
                 self.stats.setups += 1;
@@ -268,7 +294,7 @@ impl CvcSwitch {
             }
             Message::Data { vci, payload } => match self.table.get(&(in_port, vci)).copied() {
                 Some(fwd) if fwd.port != 0 => {
-                    self.stats.data_forwarded += 1;
+                    self.stats.forwarded += 1;
                     let msg = Message::Data {
                         vci: fwd.vci,
                         payload,
@@ -280,7 +306,11 @@ impl CvcSwitch {
                 Some(fwd) => {
                     self.local_delivered.push((ctx.now(), fwd.vci, payload));
                 }
-                None => {} // unknown circuit: silently discarded
+                None => {
+                    // Data on a circuit this switch never set up: the
+                    // paper's VC model has no way to route it.
+                    self.stats.drop(DropReason::UnknownCircuit);
+                }
             },
         }
         self.stats.circuits_active = self.circuits();
@@ -301,6 +331,7 @@ impl Node for CvcSwitch {
                 let Ok(msg) = Message::parse(&bytes) else {
                     return;
                 };
+                self.stats.enter(Stage::Parse);
                 let delay = match msg {
                     Message::Setup { .. } => self.cfg.setup_delay,
                     _ => self.cfg.process_delay,
@@ -318,21 +349,11 @@ impl Node for CvcSwitch {
                 // Store-and-forward discipline.
                 ctx.schedule_at(fe.last_bit + delay, key);
             }
-            Event::TxDone { port, .. } => {
-                let next = self.queues.get_mut(&port).and_then(|q| {
-                    if q.is_empty() {
-                        None
-                    } else {
-                        Some(q.remove(0))
-                    }
-                });
-                match next {
-                    Some(frame) => {
-                        let _ = ctx.transmit(port, frame);
-                    }
-                    None => {
-                        self.busy.insert(port, false);
-                    }
+            Event::TxDone { port, frame } => {
+                let CvcSwitch { ports, stats, .. } = self;
+                if let Some(sched) = ports.get_mut(&port) {
+                    sched.on_tx_done(frame);
+                    let _ = sched.try_service(ctx, &mut (), stats);
                 }
             }
             Event::Timer { key } => {
@@ -347,6 +368,10 @@ impl Node for CvcSwitch {
             }
             Event::FrameAborted { .. } => {}
         }
+    }
+
+    fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
+        Some(&self.stats.pipeline)
     }
 
     fn as_any(&self) -> &dyn Any {

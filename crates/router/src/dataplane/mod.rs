@@ -1,0 +1,64 @@
+//! The shared staged data plane.
+//!
+//! The paper's core claim is that a Sirpent router is a *pipeline*: a
+//! constant-time switch decision on the leading segment, a token check,
+//! rate policing, then transmit (§2.1, §5). This module makes that
+//! pipeline explicit and shared:
+//!
+//! ```text
+//! parse → route → authorize → police → enqueue → transmit
+//! ```
+//!
+//! * [`Work`] is the context a packet carries between stages — the
+//!   stripped leading segment plus the arrival timing a later stage
+//!   needs. Ownership rule: `Work.seg` borrows the packet's shared
+//!   store, so the segment view **must be dropped before the enqueue
+//!   boundary** (trailer append and truncation run in place only when
+//!   the router owns the store uniquely — PR 1's refcount discipline).
+//! * [`output::OutputPort`] is the one output scheduler every node type
+//!   drives: priority queues with preemption for VIPER, plain O(1) FIFO
+//!   for the IP and CVC baselines, one busy/done transmit state machine
+//!   and one drop-tail accounting path for all three.
+//!
+//! Stage and drop accounting go through
+//! [`sirpent_sim::stats::PipelineStats`], the uniform per-node stats
+//! surface, so the sim engine and bench binaries scrape any node alike.
+
+use sirpent_sim::{FrameId, SimTime};
+use sirpent_wire::buf::{PacketBuf, SegmentView};
+use sirpent_wire::ethernet;
+
+pub mod output;
+
+pub use output::{CurTx, Discipline, OutputPort, Queued, ServiceHooks, StartedTx};
+
+/// A packet mid-pipeline: the leading segment has been stripped and
+/// parsed, the forwarding decision has not yet been made.
+///
+/// `seg` holds a reference on `packet`'s shared store; stages that
+/// mutate the packet in place (trailer append, truncation) must consume
+/// the `Work` and drop the view first. No `Work` may cross the enqueue
+/// boundary — the output stage receives only `Copy` metadata and the
+/// packet buffer itself.
+pub struct Work {
+    /// The packet with the leading segment already stripped.
+    pub packet: PacketBuf,
+    /// Parsed view of the stripped leading segment.
+    pub seg: SegmentView,
+    /// The port this packet arrived on; `None` for locally originated
+    /// or re-expanded (multicast-tree) copies.
+    pub arrival_port: Option<u8>,
+    /// Reversed network header of the arrival network, for the
+    /// return-hop trailer entry.
+    pub eth_return: Option<ethernet::Repr>,
+    /// When the incoming frame's last bit arrives (cut-through may not
+    /// finish transmitting before this).
+    pub in_tail: SimTime,
+    /// When the incoming frame's first bit arrived.
+    pub first_bit: SimTime,
+    /// Incoming frame identity while the tail is still arriving, for
+    /// abort propagation; `None` once decoupled (copies).
+    pub in_frame: Option<FrameId>,
+    /// Splice/tree recursion depth.
+    pub depth: u8,
+}

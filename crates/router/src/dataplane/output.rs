@@ -1,0 +1,425 @@
+//! The shared output-port scheduler: one queue + transmit state machine
+//! for every node type.
+//!
+//! Extracted from the VIPER router and reused by the IP and CVC
+//! baselines; the discipline differs ([`Discipline::Priority`] with
+//! preemption vs [`Discipline::Fifo`] with O(1) `pop_front`), the state
+//! machine and the drop-tail accounting do not. Router-specific policy
+//! (rate-limit release times, cut-through abort bookkeeping) hooks in
+//! via [`ServiceHooks`] so the scheduler itself stays policy-free.
+
+use std::collections::VecDeque;
+
+use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
+use sirpent_sim::{Context, FrameId, SimTime};
+use sirpent_wire::buf::FrameBuf;
+use sirpent_wire::viper::Priority;
+
+/// Queue service discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Strict FIFO: only the head is considered, `pop_front` is O(1).
+    /// The IP and CVC baselines use this.
+    Fifo,
+    /// VIPER's priority service: highest rank first, FIFO within rank,
+    /// priorities 6/7 preempt an in-progress lower-priority
+    /// transmission, and drop-if-blocked packets are discarded when the
+    /// port is busy.
+    Priority,
+}
+
+/// A frame waiting on an output port.
+pub struct Queued {
+    /// The composed link frame: owned link header + shared packet body.
+    pub frame: FrameBuf,
+    /// Service priority (ignored under [`Discipline::Fifo`]).
+    pub priority: Priority,
+    /// Drop-if-blocked flag: discard instead of waiting behind a busy
+    /// port.
+    pub dib: bool,
+    /// Earliest instant the transmission may start (cut-through: we may
+    /// not finish sending before the tail has arrived).
+    pub earliest: SimTime,
+    /// Port field of the packet's *next* segment — the classification
+    /// key for upstream rate limits.
+    pub next_seg_port: Option<u8>,
+    /// The port this packet arrived on (identifies the feeder for
+    /// backpressure); `None` for locally originated packets.
+    pub arrival_port: Option<u8>,
+    /// When `Some(first_bit)`, the scheduler counts the packet as
+    /// forwarded at transmit start and records `start − first_bit` as
+    /// its forward delay. `None` for nodes that account forwarding
+    /// elsewhere (the CVC switch records at handle time).
+    pub record: Option<SimTime>,
+    /// Incoming frame identity while the tail is still arriving (for
+    /// abort propagation).
+    pub in_frame: Option<FrameId>,
+    /// FIFO tie-break sequence; assigned by [`OutputPort::push`]
+    /// (whatever the caller sets is overwritten).
+    pub seq: u64,
+}
+
+impl Queued {
+    /// A plain FIFO frame: default priority, no cut-through constraint
+    /// beyond `now`, no rate-limit key, accounting per `record`.
+    pub fn fifo(frame: FrameBuf, now: SimTime, record: Option<SimTime>) -> Queued {
+        Queued {
+            frame,
+            priority: Priority::default(),
+            dib: false,
+            earliest: now,
+            next_seg_port: None,
+            arrival_port: None,
+            record,
+            in_frame: None,
+            seq: 0,
+        }
+    }
+}
+
+/// The transmission in progress on a port.
+pub struct CurTx {
+    /// Engine id of the outgoing frame.
+    pub frame: FrameId,
+    /// Its service priority (preemption compares against this).
+    pub priority: Priority,
+    /// The incoming frame it is cut through from, if any.
+    pub in_frame: Option<FrameId>,
+}
+
+/// What the scheduler tells its hooks when a frame starts transmitting.
+pub struct StartedTx {
+    /// Frame length on the wire, bytes.
+    pub len: usize,
+    /// Transmit start instant.
+    pub start: SimTime,
+    /// Engine id of the outgoing frame.
+    pub out_frame: FrameId,
+    /// The queued packet's rate-limit classification key.
+    pub next_seg_port: Option<u8>,
+    /// The queued packet's earliest-start constraint.
+    pub earliest: SimTime,
+    /// The queued packet's forward-delay record key (its first-bit
+    /// arrival), if the scheduler accounts it.
+    pub record: Option<SimTime>,
+    /// The incoming frame it cuts through from, if any.
+    pub in_frame: Option<FrameId>,
+}
+
+/// Router-specific policy the scheduler calls out to. All methods have
+/// no-op defaults; `()` is the hook set for routers with no policy.
+pub trait ServiceHooks {
+    /// When this queued frame may start, at earliest. The default is the
+    /// frame's own cut-through constraint; VIPER additionally applies
+    /// installed rate limits.
+    fn release_time(&self, _port: u8, q: &Queued) -> SimTime {
+        q.earliest
+    }
+
+    /// A frame started transmitting (charge rate limits, remember
+    /// cut-through state for abort propagation, …).
+    fn on_started(&mut self, _port: u8, _tx: &StartedTx) {}
+
+    /// The in-progress transmission was preempted and aborted; its
+    /// cut-through origin (if any) is passed for bookkeeping.
+    fn on_preempt_abort(&mut self, _aborted_in: Option<FrameId>) {}
+}
+
+impl ServiceHooks for () {}
+
+/// One output port: a bounded queue, the current transmission, and the
+/// armed service timer. The single busy/done/preempt state machine all
+/// node types drive.
+pub struct OutputPort {
+    port: u8,
+    discipline: Discipline,
+    capacity: usize,
+    queue: VecDeque<Queued>,
+    current: Option<CurTx>,
+    /// Earliest armed service-timer instant (stale timers are harmless —
+    /// the handler just re-runs the eligibility scan).
+    service_timer_at: Option<SimTime>,
+    next_seq: u64,
+}
+
+impl OutputPort {
+    /// An empty port scheduler.
+    pub fn new(port: u8, discipline: Discipline, capacity: usize) -> OutputPort {
+        OutputPort {
+            port,
+            discipline,
+            capacity,
+            queue: VecDeque::new(),
+            current: None,
+            service_timer_at: None,
+            next_seq: 1,
+        }
+    }
+
+    /// The port number this scheduler serves.
+    pub fn port(&self) -> u8 {
+        self.port
+    }
+
+    /// Queued frames (not counting the one in transmission).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether a transmission is in progress.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// The transmission in progress, if any.
+    pub fn current(&self) -> Option<&CurTx> {
+        self.current.as_ref()
+    }
+
+    /// The waiting frames, front (oldest) first.
+    pub fn queued(&self) -> impl Iterator<Item = &Queued> {
+        self.queue.iter()
+    }
+
+    /// Admit a frame, drop-tail. Returns `false` (after counting a
+    /// [`DropReason::QueueFull`] through the shared accounting path)
+    /// when the queue is at capacity. On success the enqueue stage and
+    /// queue-depth statistics are recorded and the FIFO sequence
+    /// assigned.
+    pub fn push(&mut self, mut q: Queued, stats: &mut PipelineStats) -> bool {
+        if self.queue.len() >= self.capacity {
+            stats.drop(DropReason::QueueFull);
+            return false;
+        }
+        q.seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push_back(q);
+        stats.enter(Stage::Enqueue);
+        stats.queue_depth.record(self.queue.len() as f64);
+        stats.max_queue = stats.max_queue.max(self.queue.len());
+        true
+    }
+
+    /// Run the service decision: pick the best eligible frame per the
+    /// discipline and start it (possibly preempting), discard
+    /// drop-if-blocked frames behind a busy port, or — when nothing is
+    /// eligible yet — request a service timer. A `Some(at)` return asks
+    /// the owning node to schedule a wake-up at `at` (the request is
+    /// deduplicated against the already-armed timer).
+    pub fn try_service<H: ServiceHooks>(
+        &mut self,
+        ctx: &mut Context<'_>,
+        hooks: &mut H,
+        stats: &mut PipelineStats,
+    ) -> Option<SimTime> {
+        let now = ctx.now();
+        // Pick the best eligible frame: highest priority rank, FIFO
+        // within rank, eligible (released) now. Under FIFO only the head
+        // is considered, so service is O(1) regardless of depth.
+        let mut best: Option<(usize, i8, u64)> = None;
+        let mut soonest: Option<SimTime> = None;
+        match self.discipline {
+            Discipline::Fifo => {
+                if let Some(q) = self.queue.front() {
+                    let rel = hooks.release_time(self.port, q);
+                    if rel <= now {
+                        best = Some((0, q.priority.rank(), q.seq));
+                    } else {
+                        soonest = Some(rel);
+                    }
+                }
+            }
+            Discipline::Priority => {
+                for (i, q) in self.queue.iter().enumerate() {
+                    let rel = hooks.release_time(self.port, q);
+                    if rel <= now {
+                        let key = (q.priority.rank(), q.seq);
+                        match best {
+                            Some((_, r, s)) if (r, u64::MAX - s) >= (key.0, u64::MAX - key.1) => {}
+                            _ => best = Some((i, key.0, key.1)),
+                        }
+                    } else {
+                        soonest = Some(soonest.map_or(rel, |s: SimTime| s.min(rel)));
+                    }
+                }
+            }
+        }
+
+        match best {
+            None => {
+                // Nothing eligible; request a service timer for the
+                // soonest release (re-arm only if a sooner one appeared).
+                if let Some(at) = soonest {
+                    let need = match self.service_timer_at {
+                        None => true,
+                        Some(armed) => at < armed,
+                    };
+                    if need {
+                        self.service_timer_at = Some(at);
+                        return Some(at);
+                    }
+                }
+                None
+            }
+            Some((idx, rank, _)) => {
+                if let Some(cur) = &self.current {
+                    // Busy: consider preemption (§5: priorities 6 and 7).
+                    let q_prio = self.queue[idx].priority;
+                    if q_prio.is_preemptive() && cur.priority.rank() < rank {
+                        let aborted_in = cur.in_frame;
+                        if ctx.abort_current_tx(self.port).is_ok() {
+                            hooks.on_preempt_abort(aborted_in);
+                            stats.drop(DropReason::Preempted);
+                            self.current = None;
+                            self.start(ctx, idx, hooks, stats);
+                        }
+                    } else if self.queue[idx].dib {
+                        // Drop-if-blocked: the port is busy, discard.
+                        self.queue.remove(idx);
+                        stats.drop(DropReason::DropIfBlocked);
+                    }
+                } else {
+                    self.start(ctx, idx, hooks, stats);
+                }
+                None
+            }
+        }
+    }
+
+    fn start<H: ServiceHooks>(
+        &mut self,
+        ctx: &mut Context<'_>,
+        idx: usize,
+        hooks: &mut H,
+        stats: &mut PipelineStats,
+    ) {
+        let Queued {
+            frame,
+            priority,
+            earliest,
+            next_seg_port,
+            record,
+            in_frame,
+            ..
+        } = self.queue.remove(idx).expect("index from the scan");
+        let len = frame.len();
+        // The frame moves into the engine — no clone, no byte copy.
+        let Ok(tx) = ctx.transmit(self.port, frame) else {
+            stats.drop(DropReason::NoSuchPort);
+            return;
+        };
+        hooks.on_started(
+            self.port,
+            &StartedTx {
+                len,
+                start: tx.start,
+                out_frame: tx.frame,
+                next_seg_port,
+                earliest,
+                record,
+                in_frame,
+            },
+        );
+        stats.enter(Stage::Transmit);
+        if let Some(first_bit) = record {
+            stats.forwarded += 1;
+            stats.forward_delay.record_duration(tx.start - first_bit);
+        }
+        self.current = Some(CurTx {
+            frame: tx.frame,
+            priority,
+            in_frame,
+        });
+    }
+
+    /// A TxDone arrived for `frame`. When it matches the transmission in
+    /// progress the port goes idle and `Some(in_frame)` (the completed
+    /// transmission's cut-through origin) is returned — the caller
+    /// should clear its abort bookkeeping and re-run
+    /// [`OutputPort::try_service`]. Stale or foreign completions return
+    /// `None`.
+    pub fn on_tx_done(&mut self, frame: FrameId) -> Option<Option<FrameId>> {
+        match &self.current {
+            Some(cur) if cur.frame == frame => {
+                let in_frame = cur.in_frame;
+                self.current = None;
+                Some(in_frame)
+            }
+            _ => None,
+        }
+    }
+
+    /// Abort the transmission in progress if it is `out_frame` (upstream
+    /// abort propagation). Counts a [`DropReason::Preempted`] and
+    /// returns `true` when the abort took; the caller should re-run
+    /// [`OutputPort::try_service`].
+    pub fn abort_current(
+        &mut self,
+        ctx: &mut Context<'_>,
+        out_frame: FrameId,
+        stats: &mut PipelineStats,
+    ) -> bool {
+        let is_current = self
+            .current
+            .as_ref()
+            .map(|c| c.frame == out_frame)
+            .unwrap_or(false);
+        if is_current && ctx.abort_current_tx(self.port).is_ok() {
+            self.current = None;
+            stats.drop(DropReason::Preempted);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discard every queued frame cut through from `in_frame` (its tail
+    /// will never arrive).
+    pub fn purge_in_frame(&mut self, in_frame: FrameId) {
+        self.queue.retain(|q| q.in_frame != Some(in_frame));
+    }
+
+    /// The armed service timer fired; clear it before re-running the
+    /// eligibility scan.
+    pub fn clear_service_timer(&mut self) {
+        self.service_timer_at = None;
+    }
+
+    /// Pop the head frame if it is eligible now, without an engine
+    /// context — the bench harness for queue-service cost. Returns the
+    /// frame so the caller can account it.
+    pub fn pop_eligible(&mut self, now: SimTime) -> Option<Queued> {
+        match self.discipline {
+            Discipline::Fifo => {
+                if self
+                    .queue
+                    .front()
+                    .map(|q| q.earliest <= now)
+                    .unwrap_or(false)
+                {
+                    self.queue.pop_front()
+                } else {
+                    None
+                }
+            }
+            Discipline::Priority => {
+                let mut best: Option<(usize, i8, u64)> = None;
+                for (i, q) in self.queue.iter().enumerate() {
+                    if q.earliest <= now {
+                        let key = (q.priority.rank(), q.seq);
+                        match best {
+                            Some((_, r, s)) if (r, u64::MAX - s) >= (key.0, u64::MAX - key.1) => {}
+                            _ => best = Some((i, key.0, key.1)),
+                        }
+                    }
+                }
+                best.and_then(|(idx, _, _)| self.queue.remove(idx))
+            }
+        }
+    }
+}

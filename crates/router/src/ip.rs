@@ -17,16 +17,23 @@
 //! Unlike the Sirpent router, per-router state grows with the
 //! internetwork: the routing table names every reachable prefix (§2.3's
 //! scalability contrast).
+//!
+//! Output ports drive the shared [`OutputPort`] scheduler
+//! ([`crate::dataplane`]) in plain FIFO discipline — O(1) service at any
+//! queue depth — and report through the unified
+//! [`PipelineStats`] / [`DropReason`] surface.
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 
-use sirpent_sim::stats::Summary;
+use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
 use sirpent_sim::{Context, Event, Node, SimDuration, SimTime};
 use sirpent_wire::ethernet;
 use sirpent_wire::ipish::{self, Address};
 
-use crate::link::LinkFrame;
+use crate::dataplane::{Discipline, OutputPort, Queued};
+use crate::link::{decode_port_frame, LinkFrame, PortDecode};
 use crate::viper::PortKind;
 
 /// One forwarding-table entry.
@@ -66,56 +73,35 @@ pub struct IpConfig {
     pub queue_capacity: usize,
 }
 
-/// Drop reasons for the stats table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum IpDrop {
-    /// Header checksum failed (corruption detected — the router pays to
-    /// notice).
-    Checksum,
-    /// TTL reached zero.
-    TtlExpired,
-    /// No matching route.
-    NoRoute,
-    /// Output queue full.
-    QueueFull,
-    /// Needs fragmentation but DF set (or unusable MTU).
-    CannotFragment,
-    /// Undecodable frame.
-    BadFrame,
-}
-
-/// Counters.
+/// Counters: the shared staged-pipeline core plus the IP-specific
+/// extras. `Deref`s to [`PipelineStats`], so `stats.forwarded`,
+/// `stats.drops[reason]`, `stats.total_drops()`, … read the shared
+/// counters directly.
 #[derive(Debug, Default)]
 pub struct IpStats {
-    /// Datagrams forwarded (fragments counted individually).
-    pub forwarded: u64,
-    /// Local deliveries.
-    pub local: u64,
-    /// Drops by reason.
-    pub drops: HashMap<IpDrop, u64>,
+    /// The shared per-stage / per-drop-reason pipeline counters.
+    pub pipeline: PipelineStats,
     /// Fragments produced.
     pub fragments_made: u64,
-    /// First bit in → first bit out, per forwarded datagram (seconds).
-    pub forward_delay: Summary,
-    /// Peak queue depth.
-    pub max_queue: usize,
 }
 
-impl IpStats {
-    fn drop(&mut self, why: IpDrop) {
-        *self.drops.entry(why).or_insert(0) += 1;
-    }
+impl Deref for IpStats {
+    type Target = PipelineStats;
 
-    /// Sum of all drops.
-    pub fn total_drops(&self) -> u64 {
-        self.drops.values().sum()
+    fn deref(&self) -> &PipelineStats {
+        &self.pipeline
     }
 }
 
-struct OutQueue {
+impl DerefMut for IpStats {
+    fn deref_mut(&mut self) -> &mut PipelineStats {
+        &mut self.pipeline
+    }
+}
+
+struct OutPort {
     cfg: IpPortConfig,
-    queue: Vec<(Vec<u8>, SimTime)>, // frame bytes, first_bit of the datagram
-    busy: bool,
+    sched: OutputPort,
 }
 
 enum Pending {
@@ -128,7 +114,7 @@ enum Pending {
 /// The store-and-forward IP-like router node.
 pub struct IpRouter {
     cfg: IpConfig,
-    ports: HashMap<u8, OutQueue>,
+    ports: HashMap<u8, OutPort>,
     pending: HashMap<u64, Pending>,
     next_key: u64,
     /// Datagrams addressed to this router (matched a local route).
@@ -146,10 +132,9 @@ impl IpRouter {
             .map(|p| {
                 (
                     p.port,
-                    OutQueue {
+                    OutPort {
                         cfg: p.clone(),
-                        queue: Vec::new(),
-                        busy: false,
+                        sched: OutputPort::new(p.port, Discipline::Fifo, cfg.queue_capacity),
                     },
                 )
             })
@@ -184,16 +169,17 @@ impl IpRouter {
         let repr = match ipish::Repr::parse(&datagram) {
             Ok(r) => r,
             Err(sirpent_wire::Error::Checksum) => {
-                self.stats.drop(IpDrop::Checksum);
+                self.stats.drop(DropReason::Checksum);
                 return;
             }
             Err(_) => {
-                self.stats.drop(IpDrop::BadFrame);
+                self.stats.drop(DropReason::BadFrame);
                 return;
             }
         };
+        self.stats.enter(Stage::Route);
         let Some(route) = self.lookup(repr.dst).cloned() else {
-            self.stats.drop(IpDrop::NoRoute);
+            self.stats.drop(DropReason::NoRoute);
             return;
         };
         if route.out_port == 0 {
@@ -206,17 +192,17 @@ impl IpRouter {
         match ipish::decrement_ttl(&mut datagram) {
             Ok(true) => {}
             Ok(false) => {
-                self.stats.drop(IpDrop::TtlExpired);
+                self.stats.drop(DropReason::TtlExpired);
                 return;
             }
             Err(_) => {
-                self.stats.drop(IpDrop::BadFrame);
+                self.stats.drop(DropReason::BadFrame);
                 return;
             }
         }
 
         let Some(op) = self.ports.get(&route.out_port) else {
-            self.stats.drop(IpDrop::NoRoute);
+            self.stats.drop(DropReason::NoRoute);
             return;
         };
         let mtu = op.cfg.mtu;
@@ -230,13 +216,14 @@ impl IpRouter {
         let pieces = match ipish::fragment(&datagram, mtu.saturating_sub(overhead)) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.drop(IpDrop::CannotFragment);
+                self.stats.drop(DropReason::CannotFragment);
                 return;
             }
         };
         if pieces.len() > 1 {
             self.stats.fragments_made += pieces.len() as u64;
         }
+        let now = ctx.now();
         for piece in pieces {
             let frame = match &kind {
                 PortKind::PointToPoint => LinkFrame::Ipish(piece).to_p2p_bytes(),
@@ -245,32 +232,24 @@ impl IpRouter {
                     LinkFrame::Ipish(piece).to_ethernet_bytes(*mac, dst)
                 }
             };
-            let op = self.ports.get_mut(&route.out_port).expect("checked");
-            if op.queue.len() >= self.cfg.queue_capacity {
-                self.stats.drop(IpDrop::QueueFull);
-                continue;
-            }
-            op.queue.push((frame, first_bit));
-            self.stats.max_queue = self.stats.max_queue.max(op.queue.len());
+            // Drop-tail accounting (QueueFull) happens inside push.
+            let IpRouter { ports, stats, .. } = self;
+            let op = ports.get_mut(&route.out_port).expect("checked");
+            op.sched
+                .push(Queued::fifo(frame.into(), now, Some(first_bit)), stats);
         }
         self.service(ctx, route.out_port);
     }
 
     fn service(&mut self, ctx: &mut Context<'_>, port: u8) {
-        let Some(op) = self.ports.get_mut(&port) else {
+        let IpRouter { ports, stats, .. } = self;
+        let Some(op) = ports.get_mut(&port) else {
             return;
         };
-        if op.busy || op.queue.is_empty() {
-            return;
-        }
-        let (frame, first_bit) = op.queue.remove(0);
-        op.busy = true;
-        if let Ok(tx) = ctx.transmit(port, frame) {
-            self.stats.forwarded += 1;
-            self.stats
-                .forward_delay
-                .record_duration(tx.start - first_bit);
-        }
+        // FIFO service is O(1): only the head is examined, pop_front
+        // never shifts. No timer is ever requested — FIFO frames are
+        // eligible the moment they are pushed.
+        let _ = op.sched.try_service(ctx, &mut (), stats);
     }
 }
 
@@ -279,32 +258,18 @@ impl Node for IpRouter {
         match ev {
             Event::Frame(fe) => {
                 let Some(op) = self.ports.get(&fe.port) else {
-                    self.stats.drop(IpDrop::BadFrame);
+                    self.stats.drop(DropReason::BadFrame);
                     return;
                 };
-                let datagram = match &op.cfg.kind {
-                    PortKind::PointToPoint => match LinkFrame::from_p2p_frame(&fe.frame.payload) {
-                        Ok(LinkFrame::Ipish(d)) => d,
-                        _ => {
-                            self.stats.drop(IpDrop::BadFrame);
-                            return;
-                        }
-                    },
-                    PortKind::Ethernet { mac } => {
-                        match LinkFrame::from_ethernet_frame(&fe.frame.payload) {
-                            Ok((hdr, LinkFrame::Ipish(d))) => {
-                                if hdr.dst != *mac && !hdr.dst.is_broadcast() {
-                                    return;
-                                }
-                                d
-                            }
-                            _ => {
-                                self.stats.drop(IpDrop::BadFrame);
-                                return;
-                            }
-                        }
+                let datagram = match decode_port_frame(&op.cfg.kind, &fe.frame.payload) {
+                    Ok(PortDecode::Frame(LinkFrame::Ipish(d), _)) => d,
+                    Ok(PortDecode::NotForUs) => return,
+                    _ => {
+                        self.stats.drop(DropReason::BadFrame);
+                        return;
                     }
                 };
+                self.stats.enter(Stage::Parse);
                 // Store-and-forward: act only after the full frame + the
                 // per-packet processing delay.
                 let key = self.next_key;
@@ -318,9 +283,9 @@ impl Node for IpRouter {
                 );
                 ctx.schedule_at(fe.last_bit + self.cfg.process_delay, key);
             }
-            Event::TxDone { port, .. } => {
+            Event::TxDone { port, frame } => {
                 if let Some(op) = self.ports.get_mut(&port) {
-                    op.busy = false;
+                    op.sched.on_tx_done(frame);
                 }
                 self.service(ctx, port);
             }
@@ -335,6 +300,10 @@ impl Node for IpRouter {
             }
             Event::FrameAborted { .. } => {}
         }
+    }
+
+    fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
+        Some(&self.stats.pipeline)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -461,7 +430,10 @@ mod tests {
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);
         assert!(sim.node::<ScriptedHost>(dst).received.is_empty());
-        assert_eq!(sim.node::<IpRouter>(r).stats.drops[&IpDrop::TtlExpired], 1);
+        assert_eq!(
+            sim.node::<IpRouter>(r).stats.drops[DropReason::TtlExpired],
+            1
+        );
     }
 
     #[test]
@@ -477,7 +449,7 @@ mod tests {
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);
         assert!(sim.node::<ScriptedHost>(dst).received.is_empty());
-        assert_eq!(sim.node::<IpRouter>(r).stats.drops[&IpDrop::Checksum], 1);
+        assert_eq!(sim.node::<IpRouter>(r).stats.drops[DropReason::Checksum], 1);
     }
 
     #[test]
@@ -491,7 +463,7 @@ mod tests {
         );
         ScriptedHost::start(&mut sim, src);
         sim.run(10_000);
-        assert_eq!(sim.node::<IpRouter>(r).stats.drops[&IpDrop::NoRoute], 1);
+        assert_eq!(sim.node::<IpRouter>(r).stats.drops[DropReason::NoRoute], 1);
     }
 
     #[test]

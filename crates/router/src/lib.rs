@@ -13,6 +13,10 @@
 //! * [`cvc`] — the X.75-style concatenated-virtual-circuit switch (§1's
 //!   other baseline): call setup/teardown, per-circuit state, bandwidth
 //!   reservation.
+//! * [`dataplane`] — the shared staged data plane: the
+//!   `parse → route → authorize → police → enqueue → transmit` pipeline
+//!   context ([`dataplane::Work`]) and the one output-port scheduler
+//!   ([`dataplane::OutputPort`]) all three node types drive.
 //! * [`link`] — link framing shared by all node types, including the
 //!   rate-control feedback message and feed-forward hints.
 //! * [`logical`] — logical ports: replicated trunks, logical-hop route
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod cvc;
+pub mod dataplane;
 pub mod ip;
 pub mod link;
 pub mod logical;

@@ -239,6 +239,37 @@ impl LinkFrame {
     }
 }
 
+/// Outcome of decoding a received frame against a port's link kind —
+/// the shared front half of every node's parse stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortDecode {
+    /// A frame addressed to this node, with the reversed Ethernet
+    /// header (for return-hop construction) when the port is an
+    /// Ethernet.
+    Frame(LinkFrame, Option<ethernet::Repr>),
+    /// A valid Ethernet frame for a different station: a multi-access
+    /// link delivers to everyone, and stations filter silently.
+    NotForUs,
+}
+
+/// Decode a received frame according to the port's link kind, applying
+/// the Ethernet destination filter. Decode errors bubble up so the
+/// caller can account a parse-stage drop.
+pub fn decode_port_frame(kind: &crate::viper::PortKind, payload: &FrameBuf) -> Result<PortDecode> {
+    match kind {
+        crate::viper::PortKind::PointToPoint => {
+            Ok(PortDecode::Frame(LinkFrame::from_p2p_frame(payload)?, None))
+        }
+        crate::viper::PortKind::Ethernet { mac } => {
+            let (hdr, f) = LinkFrame::from_ethernet_frame(payload)?;
+            if hdr.dst != *mac && !hdr.dst.is_broadcast() {
+                return Ok(PortDecode::NotForUs);
+            }
+            Ok(PortDecode::Frame(f, Some(hdr.reversed())))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,7 @@
 
 use std::any::Any;
 
+use sirpent_sim::stats::{PipelineStats, Stage};
 use sirpent_sim::{Context, Event, Node, SimTime};
 use sirpent_wire::ethernet;
 
@@ -58,6 +59,9 @@ pub struct ScriptedHost {
     /// Frames whose transmission was aborted upstream (preemption):
     /// removed from `received`, counted here.
     pub aborted: u64,
+    /// The unified scrape surface every node exposes: planned sends
+    /// count as `forwarded`, accepted receptions as `local`.
+    pub stats: PipelineStats,
 }
 
 /// Timer key used internally to trigger planned sends.
@@ -134,6 +138,8 @@ impl Node for ScriptedHost {
                         }
                     }
                 }
+                self.stats.enter(Stage::Parse);
+                self.stats.local += 1;
                 self.received.push(Received {
                     first_bit: fe.first_bit,
                     last_bit: fe.last_bit,
@@ -148,7 +154,10 @@ impl Node for ScriptedHost {
                 while self.next < self.plan.len() && self.plan[self.next].at <= ctx.now() {
                     let p = self.plan[self.next].clone();
                     self.next += 1;
-                    let _ = ctx.transmit(p.port, p.bytes);
+                    if ctx.transmit(p.port, p.bytes).is_ok() {
+                        self.stats.enter(Stage::Transmit);
+                        self.stats.forwarded += 1;
+                    }
                 }
                 if self.next < self.plan.len() {
                     ctx.schedule_at(self.plan[self.next].at, KEY_SEND);
@@ -164,6 +173,10 @@ impl Node for ScriptedHost {
             }
             _ => {}
         }
+    }
+
+    fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
+        Some(&self.stats)
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -1,0 +1,375 @@
+//! The VIPER router — the paper's switching element (§2.1, §5).
+//!
+//! Per packet, the router runs the shared staged pipeline
+//! (`parse → route → authorize → police → enqueue → transmit`,
+//! [`crate::dataplane`]); the stages live in one submodule each:
+//!
+//! 1. [`parse`](self): receive the first bits of the frame; under
+//!    **cut-through** the router acts as soon as the leading header
+//!    segment (whose fixed fields arrive first) is in, plus a
+//!    sub-microsecond decision delay; under **store-and-forward** (the
+//!    IP-style baseline discipline applied to the same wire format) it
+//!    waits for the whole frame plus a processing delay;
+//! 2. `route`: strip the leading VIPER segment and resolve its port
+//!    (identity, replicated trunk, logical-hop splice, multicast set,
+//!    broadcast, or tree branches);
+//! 3. `authorize`: check the port token against the token cache
+//!    (optimistic / blocking / drop, §2.2);
+//! 4. `police`: monitor each output queue and push **rate-control
+//!    feedback** upstream along the arrival ports feeding it (§2.2),
+//!    with optional feed-forward queue hints accelerating detection;
+//! 5. `transmit`: append the **return hop** to the trailer — the
+//!    arrival port, the same link token, and the arrival network's
+//!    header with source and destination reversed — then hand the frame
+//!    to the shared [`OutputPort`] scheduler: immediate transmit if
+//!    idle, else queued by priority, dropped (DIB flag), or — at
+//!    priorities 6/7 — **preempting** the transmission in progress.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+
+use sirpent_sim::stats::PipelineStats;
+use sirpent_sim::{Context, Event, FrameId, Node, SimDuration, SimTime};
+use sirpent_token::{AuthPolicy, SealingKey, TokenCache};
+use sirpent_wire::buf::PacketBuf;
+use sirpent_wire::{ethernet, VIPER_TRANSMISSION_UNIT};
+
+use crate::dataplane::{Discipline, OutputPort, Work};
+use crate::logical::LogicalTable;
+
+mod authorize;
+mod parse;
+mod police;
+mod route;
+mod transmit;
+
+pub use sirpent_sim::stats::DropReason;
+
+/// Switching discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchMode {
+    /// Decide and start forwarding while the packet is still arriving
+    /// (§2.1). The decision is made once the leading segment has arrived.
+    CutThrough,
+    /// Receive the whole packet, then process — the conventional
+    /// discipline the paper contrasts against.
+    StoreAndForward {
+        /// Per-packet processing time after full reception.
+        process_delay: SimDuration,
+    },
+}
+
+/// Physical characteristics of one router port.
+#[derive(Debug, Clone)]
+pub struct PortConfig {
+    /// Port number (1–255; 0 is reserved for local delivery).
+    pub port: u8,
+    /// Link type on this port.
+    pub kind: PortKind,
+    /// Maximum frame the attached network carries.
+    pub mtu: usize,
+}
+
+/// The network type behind a port — determines link framing and the
+/// return-hop `portInfo`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortKind {
+    /// A point-to-point link: no addressing needed, 2-byte shim.
+    PointToPoint,
+    /// A shared Ethernet; the router's station address on it.
+    Ethernet {
+        /// Our MAC on this segment.
+        mac: ethernet::Address,
+    },
+}
+
+/// Token-checking configuration.
+pub struct AuthConfig {
+    /// This router's sealing key (provisioned from the domain minter).
+    pub key: SealingKey,
+    /// First-packet policy.
+    pub policy: AuthPolicy,
+    /// How long a full decrypt+verify takes (the delay a blocked packet
+    /// waits; §2.2 "the blocking action allows some time for the token to
+    /// be processed").
+    pub verify_delay: SimDuration,
+    /// Whether packets without any token are refused.
+    pub require_token: bool,
+}
+
+/// Rate-based congestion-control configuration (§2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct CongestionConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Queue occupancy that triggers upstream backpressure.
+    pub queue_high: usize,
+    /// Fraction of the output rate granted (divided among feeders) when
+    /// congestion is signalled.
+    pub decrease_factor: f64,
+    /// Floor on the granted rate.
+    pub min_rate_bps: u64,
+    /// Additive re-increase applied every interval ("progressively push
+    /// the authorized rate up, similar to Jacobson's slow start … at the
+    /// network layer").
+    pub increase_step_bps: u64,
+    /// Interval between increases.
+    pub increase_interval: SimDuration,
+    /// Minimum spacing of backpressure messages per (queue, feeder).
+    pub signal_interval: SimDuration,
+    /// React to feed-forward hints on arriving packets (ablation knob).
+    pub use_feedforward: bool,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig {
+            enabled: false,
+            queue_high: 8,
+            decrease_factor: 0.5,
+            min_rate_bps: 100_000,
+            increase_step_bps: 1_000_000,
+            increase_interval: SimDuration::from_millis(10),
+            signal_interval: SimDuration::from_millis(1),
+            use_feedforward: false,
+        }
+    }
+}
+
+/// Full router configuration.
+pub struct ViperConfig {
+    /// Identity used in tokens and rate-control messages.
+    pub router_id: u32,
+    /// Switching discipline.
+    pub mode: SwitchMode,
+    /// Switch decision + setup time (§6.1: "can reasonably be
+    /// significantly less than a microsecond").
+    pub decision_delay: SimDuration,
+    /// The physical ports.
+    pub ports: Vec<PortConfig>,
+    /// Token checking; `None` disables (open network).
+    pub auth: Option<AuthConfig>,
+    /// Logical / multicast port bindings.
+    pub logical: LogicalTable,
+    /// Output queue capacity, packets.
+    pub queue_capacity: usize,
+    /// Congestion control.
+    pub congestion: CongestionConfig,
+}
+
+impl ViperConfig {
+    /// A plain cut-through router with the given point-to-point ports,
+    /// 1500-byte MTU, no tokens, no congestion control.
+    pub fn basic(router_id: u32, ports: &[u8]) -> ViperConfig {
+        ViperConfig {
+            router_id,
+            mode: SwitchMode::CutThrough,
+            decision_delay: SimDuration::from_nanos(500),
+            ports: ports
+                .iter()
+                .map(|&p| PortConfig {
+                    port: p,
+                    kind: PortKind::PointToPoint,
+                    mtu: VIPER_TRANSMISSION_UNIT + 64,
+                })
+                .collect(),
+            auth: None,
+            logical: LogicalTable::new(),
+            queue_capacity: 64,
+            congestion: CongestionConfig::default(),
+        }
+    }
+}
+
+/// Counters exposed by the router: the shared staged-pipeline core plus
+/// the VIPER-specific extras. `Deref`s to [`PipelineStats`], so
+/// `stats.forwarded`, `stats.drops[reason]`, `stats.total_drops()`, …
+/// read the shared counters directly.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// The shared per-stage / per-drop-reason pipeline counters.
+    pub pipeline: PipelineStats,
+    /// Truncations applied for next-hop MTU (§2: marker appended).
+    pub truncated: u64,
+    /// Token checks that hit the cache.
+    pub token_cache_hits: u64,
+    /// Token checks that performed the full decrypt.
+    pub token_decrypts: u64,
+    /// Packets held for blocking verification.
+    pub token_blocked: u64,
+    /// Backpressure messages sent upstream.
+    pub backpressure_sent: u64,
+    /// Rate limits currently installed (gauge at last change).
+    pub limits_installed: u64,
+}
+
+impl Deref for RouterStats {
+    type Target = PipelineStats;
+
+    fn deref(&self) -> &PipelineStats {
+        &self.pipeline
+    }
+}
+
+impl DerefMut for RouterStats {
+    fn deref_mut(&mut self) -> &mut PipelineStats {
+        &mut self.pipeline
+    }
+}
+
+/// One output port: its physical configuration plus the shared output
+/// scheduler.
+struct OutPort {
+    cfg: PortConfig,
+    sched: OutputPort,
+}
+
+/// A soft rate-limit installed by upstream backpressure (§2.2's
+/// dynamically generated per-flow soft state).
+struct FlowLimit {
+    out_port: u8,
+    next_port: u8,
+    allowed_bps: u64,
+    next_release: SimTime,
+}
+
+enum Pending {
+    Process(Arrival),
+    Service(u8),
+    Retry(Work, Vec<u8>),
+}
+
+/// Raw arrival being held until its decision instant.
+struct Arrival {
+    packet: PacketBuf,
+    arrival_port: u8,
+    eth_return: Option<ethernet::Repr>,
+    in_tail: SimTime,
+    first_bit: SimTime,
+    in_frame: FrameId,
+}
+
+const KEY_INCREASE_TICK: u64 = 0;
+const MAX_DEPTH: u8 = 8;
+
+/// The router node.
+pub struct ViperRouter {
+    cfg: ViperConfig,
+    ports: HashMap<u8, OutPort>,
+    token_cache: Option<TokenCache>,
+    limits: Vec<FlowLimit>,
+    pending: HashMap<u64, Pending>,
+    next_key: u64,
+    tick_armed: bool,
+    last_signal: HashMap<(u8, u8), SimTime>,
+    /// Packets whose final segment addressed this router (port 0).
+    pub local_delivered: Vec<(SimTime, Vec<u8>)>,
+    /// Counters.
+    pub stats: RouterStats,
+    /// Map from in-flight incoming frames we are cutting through to the
+    /// output (port, frame) — for abort propagation.
+    cutting: HashMap<FrameId, (u8, FrameId)>,
+}
+
+impl ViperRouter {
+    /// Build a router from its configuration.
+    pub fn new(cfg: ViperConfig) -> ViperRouter {
+        let ports = cfg
+            .ports
+            .iter()
+            .map(|p| {
+                (
+                    p.port,
+                    OutPort {
+                        cfg: p.clone(),
+                        sched: OutputPort::new(p.port, Discipline::Priority, cfg.queue_capacity),
+                    },
+                )
+            })
+            .collect();
+        let token_cache = cfg
+            .auth
+            .as_ref()
+            .map(|a| TokenCache::new(a.key.clone(), cfg.router_id, a.policy));
+        ViperRouter {
+            cfg,
+            ports,
+            token_cache,
+            limits: Vec::new(),
+            pending: HashMap::new(),
+            next_key: 1,
+            tick_armed: false,
+            last_signal: HashMap::new(),
+            local_delivered: Vec::new(),
+            stats: RouterStats::default(),
+            cutting: HashMap::new(),
+        }
+    }
+
+    /// This router's id.
+    pub fn router_id(&self) -> u32 {
+        self.cfg.router_id
+    }
+
+    /// The token cache (if token checking is enabled).
+    pub fn token_cache(&self) -> Option<&TokenCache> {
+        self.token_cache.as_ref()
+    }
+
+    /// Current queue depth on an output port.
+    pub fn queue_len(&self, port: u8) -> usize {
+        self.ports.get(&port).map(|p| p.sched.len()).unwrap_or(0)
+    }
+
+    /// Number of rate limits currently installed.
+    pub fn active_limits(&self) -> usize {
+        self.limits.len()
+    }
+
+    fn schedule(&mut self, ctx: &mut Context<'_>, at: SimTime, p: Pending) {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.pending.insert(key, p);
+        ctx.schedule_at(at, key);
+    }
+}
+
+impl Node for ViperRouter {
+    fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+        match ev {
+            Event::Frame(fe) => self.on_frame(ctx, fe),
+            Event::TxDone { port, frame } => self.on_tx_done(ctx, port, frame),
+            Event::FrameAborted { frame, .. } => self.on_frame_aborted(ctx, frame),
+            Event::Timer { key } => {
+                if key == KEY_INCREASE_TICK {
+                    self.on_increase_tick(ctx);
+                    return;
+                }
+                match self.pending.remove(&key) {
+                    Some(Pending::Process(a)) => self.process(ctx, a),
+                    Some(Pending::Service(port)) => {
+                        if let Some(op) = self.ports.get_mut(&port) {
+                            op.sched.clear_service_timer();
+                        }
+                        self.service_port(ctx, port);
+                    }
+                    Some(Pending::Retry(work, out_ports)) => self.retry(ctx, work, out_ports),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
+        Some(&self.stats.pipeline)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

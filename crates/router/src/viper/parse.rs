@@ -1,0 +1,80 @@
+//! Stage 1 — parse: link-frame decode, feed-forward hint inspection,
+//! and the cut-through / store-and-forward decision instant.
+
+use sirpent_sim::stats::Stage;
+use sirpent_sim::Context;
+use sirpent_wire::ethernet;
+use sirpent_wire::viper::Segment;
+
+use crate::link::{decode_port_frame, LinkFrame, PortDecode};
+use crate::logical::PortBinding;
+
+use super::{Arrival, DropReason, Pending, PortKind, SwitchMode, ViperRouter};
+
+impl ViperRouter {
+    pub(super) fn on_frame(&mut self, ctx: &mut Context<'_>, fe: sirpent_sim::FrameEvent) {
+        let port = fe.port;
+        let Some(op) = self.ports.get(&port) else {
+            self.stats.drop(DropReason::BadFrame);
+            return;
+        };
+        let kind = op.cfg.kind.clone();
+        let (link, eth_return) = match decode_port_frame(&kind, &fe.frame.payload) {
+            Ok(PortDecode::Frame(f, r)) => (f, r),
+            Ok(PortDecode::NotForUs) => return, // the bus delivers to all
+            Err(_) => {
+                self.stats.drop(DropReason::ParseError);
+                return;
+            }
+        };
+
+        match link {
+            LinkFrame::Sirpent { ff_hint, packet } => {
+                self.stats.enter(Stage::Parse);
+                // Feed-forward: a large hint warns that a burst is
+                // heading for whatever queue these packets use; treat it
+                // as an early congestion signal on this feeder.
+                if self.cfg.congestion.enabled
+                    && self.cfg.congestion.use_feedforward
+                    && ff_hint as usize >= self.cfg.congestion.queue_high
+                {
+                    if let Ok(seg) = Segment::new_checked(packet.as_slice()) {
+                        if let PortBinding::Physical(p) = self.cfg.logical.resolve(seg.port()) {
+                            self.maybe_signal_feeder(ctx, p, port, ff_hint as usize);
+                        }
+                    }
+                }
+                // Decide when the pipeline may act on this packet.
+                let ready = match self.cfg.mode {
+                    SwitchMode::CutThrough => {
+                        // The decision fields are at the very front of
+                        // the frame; the whole leading segment (port,
+                        // token, info) must be in before we can strip it.
+                        let link_hdr = match kind {
+                            PortKind::PointToPoint => 2,
+                            PortKind::Ethernet { .. } => ethernet::HEADER_LEN + 2,
+                        };
+                        let seg_len = Segment::new_checked(packet.as_slice())
+                            .map(|s| s.total_len())
+                            .unwrap_or(4);
+                        fe.byte_arrival(link_hdr + seg_len) + self.cfg.decision_delay
+                    }
+                    SwitchMode::StoreAndForward { process_delay } => fe.last_bit + process_delay,
+                };
+                let arrival = Arrival {
+                    packet,
+                    arrival_port: port,
+                    eth_return,
+                    in_tail: fe.last_bit,
+                    first_bit: fe.first_bit,
+                    in_frame: fe.frame.id,
+                };
+                self.schedule(ctx, ready, Pending::Process(arrival));
+            }
+            LinkFrame::RateControl(msg) => self.on_rate_control(ctx, port, msg),
+            LinkFrame::Ipish(_) | LinkFrame::Cvc(_) => {
+                self.stats.drop(DropReason::BadFrame);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Stage 2 — route: strip the leading segment and resolve its port
+//! through the logical table (identity, trunk, splice, multicast set,
+//! broadcast, tree branches).
+
+use sirpent_sim::stats::Stage;
+use sirpent_sim::Context;
+use sirpent_wire::buf::PacketBuf;
+use sirpent_wire::packet::strip_front_segment_buf;
+use sirpent_wire::viper::PORT_LOCAL;
+
+use crate::dataplane::Work;
+use crate::logical::PortBinding;
+use crate::multicast::decode_tree;
+
+use super::{Arrival, DropReason, ViperRouter, MAX_DEPTH};
+
+impl ViperRouter {
+    pub(super) fn process(&mut self, ctx: &mut Context<'_>, a: Arrival) {
+        let mut packet = a.packet;
+        let seg = match strip_front_segment_buf(&mut packet) {
+            Ok(s) => s,
+            Err(_) => {
+                self.stats.drop(DropReason::ParseError);
+                return;
+            }
+        };
+        let work = Work {
+            packet,
+            seg,
+            arrival_port: Some(a.arrival_port),
+            eth_return: a.eth_return,
+            in_tail: a.in_tail,
+            first_bit: a.first_bit,
+            in_frame: Some(a.in_frame),
+            depth: 0,
+        };
+        self.route_work(ctx, work);
+    }
+
+    pub(super) fn route_work(&mut self, ctx: &mut Context<'_>, work: Work) {
+        if work.depth > MAX_DEPTH {
+            self.stats.drop(DropReason::TooDeep);
+            return;
+        }
+        self.stats.enter(Stage::Route);
+
+        // Tree-structured multicast: the segment's portInfo holds branch
+        // routes; each branch replaces the tree segment for one copy.
+        if work.seg.flags().tree {
+            let branches = match decode_tree(work.seg.port_info()) {
+                Ok(b) => b,
+                Err(_) => {
+                    self.stats.drop(DropReason::BadStructure);
+                    return;
+                }
+            };
+            for branch in branches {
+                // Tree expansion re-encodes the front of the packet, so
+                // each branch copy materializes (the shared-body fan-out
+                // applies to multicast *sets*, not tree re-writes).
+                let mut bytes = branch;
+                bytes.extend_from_slice(work.packet.as_slice());
+                let mut pkt = PacketBuf::from_vec(bytes);
+                let seg = match strip_front_segment_buf(&mut pkt) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.stats.drop(DropReason::ParseError);
+                        continue;
+                    }
+                };
+                self.route_work(
+                    ctx,
+                    Work {
+                        packet: pkt,
+                        seg,
+                        arrival_port: work.arrival_port,
+                        eth_return: work.eth_return,
+                        in_tail: work.in_tail,
+                        first_bit: work.first_bit,
+                        in_frame: None, // copies decouple from the input
+                        depth: work.depth + 1,
+                    },
+                );
+            }
+            return;
+        }
+
+        if work.seg.port() == PORT_LOCAL {
+            self.stats.local += 1;
+            self.local_delivered.push((ctx.now(), work.packet.to_vec()));
+            return;
+        }
+
+        let out_ports: Vec<u8> = match self.cfg.logical.resolve(work.seg.port()) {
+            PortBinding::Physical(p) => vec![p],
+            PortBinding::Trunk { members, strategy } => {
+                let now_ns = ctx.now().as_nanos();
+                // Prefer a member that is idle *and* has an empty queue.
+                let free_at = |m: u8| -> u64 {
+                    let queued = self
+                        .ports
+                        .get(&m)
+                        .map(|p| p.sched.len() + usize::from(p.sched.is_busy()))
+                        .unwrap_or(usize::MAX);
+                    if queued > 0 {
+                        // Penalize occupied members so FirstFree skips them.
+                        now_ns + 1 + queued as u64
+                    } else {
+                        ctx.channel_free_at(m)
+                            .map(|t| t.as_nanos())
+                            .unwrap_or(u64::MAX)
+                    }
+                };
+                vec![self
+                    .cfg
+                    .logical
+                    .pick_trunk_member(&members, strategy, free_at, now_ns)]
+            }
+            PortBinding::Splice(route) => {
+                // Logical hop: replace the segment with the explicit
+                // route and re-route (the Blazenet entry operation). The
+                // splice costs one extra pass, mirroring "the packet
+                // delay of adding this routing information".
+                let mut bytes = Vec::new();
+                for s in &route {
+                    bytes.extend_from_slice(&s.to_bytes());
+                }
+                bytes.extend_from_slice(work.packet.as_slice());
+                let mut pkt = PacketBuf::from_vec(bytes);
+                let seg = match strip_front_segment_buf(&mut pkt) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        self.stats.drop(DropReason::BadStructure);
+                        return;
+                    }
+                };
+                self.route_work(
+                    ctx,
+                    Work {
+                        packet: pkt,
+                        seg,
+                        depth: work.depth + 1,
+                        ..work
+                    },
+                );
+                return;
+            }
+            PortBinding::MulticastSet(ports) => ports,
+            PortBinding::Broadcast => {
+                // Sorted for a deterministic fan-out order (the port map
+                // itself is hashed).
+                let mut ps: Vec<u8> = self
+                    .ports
+                    .keys()
+                    .copied()
+                    .filter(|&p| Some(p) != work.arrival_port)
+                    .collect();
+                ps.sort_unstable();
+                ps
+            }
+        };
+
+        if out_ports.is_empty() || out_ports.iter().any(|p| !self.ports.contains_key(p)) {
+            self.stats.drop(DropReason::NoSuchPort);
+            return;
+        }
+
+        self.auth_then_forward(ctx, work, out_ports);
+    }
+}

@@ -1,0 +1,326 @@
+//! Stages 5–6 — enqueue and transmit: return-hop trailer construction,
+//! MTU truncation, link framing, and the hand-off to the shared
+//! [`crate::dataplane::OutputPort`] scheduler. VIPER-specific service
+//! policy (rate-limit release times, cut-through abort bookkeeping)
+//! plugs into the scheduler through [`ServiceHooks`].
+
+use std::collections::HashMap;
+
+use sirpent_sim::{transmission_time, Context, FrameId, SimTime};
+use sirpent_wire::buf::{FrameBuf, PacketBuf};
+use sirpent_wire::ethernet;
+use sirpent_wire::packet::truncate_packet_buf;
+use sirpent_wire::trailer::Entry as TrailerEntry;
+use sirpent_wire::viper::{Flags, Priority, Segment, SegmentRepr};
+
+use crate::dataplane::{Queued, ServiceHooks, StartedTx, Work};
+use crate::link::LinkFrame;
+
+use super::{DropReason, FlowLimit, Pending, PortKind, ViperRouter};
+
+/// Per-packet transmit metadata extracted from the stripped segment.
+/// Everything is `Copy` so the output stage never borrows (or keeps
+/// alive) the packet's shared store.
+#[derive(Clone, Copy)]
+struct TxMeta {
+    priority: Priority,
+    dib: bool,
+    /// Next-hop Ethernet destination parsed from the stripped segment's
+    /// portInfo (full or compressed form), if any.
+    eth_dst: Option<ethernet::Address>,
+}
+
+/// The VIPER policy plugged into the shared scheduler: rate-limit
+/// release times and charging, plus the cut-through map maintenance the
+/// abort-propagation path depends on. Borrows only the router fields it
+/// needs so the scheduler can be driven with the port map split off.
+struct ViperHooks<'a> {
+    limits: &'a mut Vec<FlowLimit>,
+    cutting: &'a mut HashMap<FrameId, (u8, FrameId)>,
+}
+
+impl ServiceHooks for ViperHooks<'_> {
+    /// When this queued packet may start, considering cut-through
+    /// arrival and installed rate limits.
+    fn release_time(&self, out: u8, q: &Queued) -> SimTime {
+        let mut t = q.earliest;
+        if let Some(next) = q.next_seg_port {
+            for l in self.limits.iter() {
+                if l.out_port == out && l.next_port == next {
+                    t = t.max(l.next_release);
+                }
+            }
+        }
+        t
+    }
+
+    fn on_started(&mut self, out: u8, tx: &StartedTx) {
+        // Charge rate limits.
+        if let Some(next) = tx.next_seg_port {
+            for l in self.limits.iter_mut() {
+                if l.out_port == out && l.next_port == next {
+                    l.next_release = tx.start + transmission_time(tx.len, l.allowed_bps.max(1));
+                }
+            }
+        }
+        if let (Some(inf), Some(first_bit)) = (tx.in_frame, tx.record) {
+            if tx.earliest > first_bit {
+                // Tail may still be arriving: remember for abort
+                // propagation.
+                self.cutting.insert(inf, (out, tx.out_frame));
+            }
+        }
+    }
+
+    fn on_preempt_abort(&mut self, aborted_in: Option<FrameId>) {
+        if let Some(inf) = aborted_in {
+            self.cutting.remove(&inf);
+        }
+    }
+}
+
+impl ViperRouter {
+    pub(super) fn finish_forward(&mut self, ctx: &mut Context<'_>, work: Work, out_ports: Vec<u8>) {
+        let Work {
+            mut packet,
+            seg,
+            arrival_port,
+            eth_return,
+            in_tail,
+            first_bit,
+            in_frame,
+            ..
+        } = work;
+        // Copy the per-hop metadata out of the segment view (all `Copy`),
+        // then release the view: it holds a reference on the packet's
+        // shared store, and the trailer append below runs in place only
+        // when the router owns that store uniquely.
+        let meta = TxMeta {
+            priority: seg.priority(),
+            dib: seg.flags().dib,
+            eth_dst: {
+                // The stripped segment's portInfo names the next-hop
+                // network header; resolve the Ethernet destination now so
+                // the output stage needs no borrowed segment bytes.
+                let info = seg.port_info();
+                if info.len() == ethernet::COMPRESSED_LEN {
+                    ethernet::Repr::parse_compressed(info, ethernet::Address::BROADCAST)
+                        .ok()
+                        .map(|h| h.dst)
+                } else {
+                    ethernet::Repr::parse(info).ok().map(|h| h.dst)
+                }
+            },
+        };
+        // Return hop: arrival port, same link token, reversed network
+        // header of the arrival network (§2).
+        let return_hop = arrival_port.map(|ap| SegmentRepr {
+            port: ap,
+            flags: Flags {
+                rpf: true,
+                ..Default::default()
+            },
+            priority: meta.priority,
+            port_token: seg.port_token().to_vec(),
+            port_info: eth_return.map(|h| h.to_bytes()).unwrap_or_default(),
+        });
+        drop(seg);
+        if let Some(rh) = return_hop {
+            if TrailerEntry::ReturnHop(rh)
+                .append_to_buf(&mut packet)
+                .is_err()
+            {
+                self.stats.drop(DropReason::BadStructure);
+                return;
+            }
+        }
+
+        let copies = out_ports.len();
+        for (i, &out) in out_ports.iter().enumerate() {
+            // Fan-out shares the store: every copy but the last is an
+            // O(1) reference-counted clone, never a byte copy.
+            let pkt = if i + 1 == copies {
+                std::mem::take(&mut packet)
+            } else {
+                packet.clone()
+            };
+            self.enqueue(
+                ctx,
+                out,
+                pkt,
+                meta,
+                arrival_port,
+                in_tail,
+                first_bit,
+                if copies == 1 { in_frame } else { None },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue(
+        &mut self,
+        ctx: &mut Context<'_>,
+        out: u8,
+        mut packet: PacketBuf,
+        meta: TxMeta,
+        arrival_port: Option<u8>,
+        in_tail: SimTime,
+        first_bit: SimTime,
+        in_frame: Option<FrameId>,
+    ) {
+        let Ok(out_rate) = ctx.channel_rate(out) else {
+            self.stats.drop(DropReason::NoSuchPort);
+            return;
+        };
+        let next_seg_port = Segment::new_checked(packet.as_slice())
+            .ok()
+            .map(|s| s.port());
+        let (mtu, kind) = {
+            let op = &self.ports[&out];
+            (op.cfg.mtu, op.cfg.kind.clone())
+        };
+
+        // Frame for the outgoing network: a small owned link header in
+        // front of the shared packet body — the body is never copied.
+        let compose = |packet: &PacketBuf, qlen: usize| -> Option<FrameBuf> {
+            let lf = LinkFrame::Sirpent {
+                ff_hint: qlen.min(255) as u8,
+                packet: packet.clone(),
+            };
+            match &kind {
+                PortKind::PointToPoint => Some(lf.to_p2p_frame()),
+                PortKind::Ethernet { mac } => {
+                    // The stripped segment's portInfo was the Ethernet
+                    // header for this hop (§2's running example), already
+                    // resolved to a destination in `meta`.
+                    Some(lf.to_ethernet_frame(*mac, meta.eth_dst?))
+                }
+            }
+        };
+        let qlen = self.ports[&out].sched.len();
+        let mut frame = match compose(&packet, qlen) {
+            Some(f) => f,
+            None => {
+                self.stats.drop(DropReason::BadStructure);
+                return;
+            }
+        };
+
+        // Next-hop MTU: truncate and mark (§2) — the receiver's transport
+        // detects the damage; nothing is silently lost.
+        if frame.len() > mtu {
+            let overhead = frame.len() - packet.len();
+            let marker = 7; // truncation trailer entry size
+            let keep = mtu.saturating_sub(overhead + marker);
+            // Release the composed frame's body reference first so the
+            // truncation runs on a uniquely-owned store where possible.
+            drop(frame);
+            truncate_packet_buf(&mut packet, keep);
+            self.stats.truncated += 1;
+            frame = match compose(&packet, qlen) {
+                Some(f) => f,
+                None => {
+                    self.stats.drop(DropReason::BadStructure);
+                    return;
+                }
+            };
+        }
+
+        // Cut-through constraint: we may not finish transmitting before
+        // the tail has arrived (equal-rate links make this vacuous; on a
+        // faster output it delays the start; §2.1 notes cut-through
+        // applies when rates match).
+        let out_tx = transmission_time(frame.len(), out_rate);
+        let earliest = if in_tail > ctx.now() + out_tx {
+            SimTime(in_tail.as_nanos().saturating_sub(out_tx.as_nanos()))
+        } else {
+            ctx.now()
+        };
+
+        let pushed = {
+            let ViperRouter { ports, stats, .. } = self;
+            let op = ports.get_mut(&out).expect("validated above");
+            op.sched.push(
+                Queued {
+                    frame,
+                    priority: meta.priority,
+                    dib: meta.dib,
+                    earliest,
+                    next_seg_port,
+                    arrival_port,
+                    record: Some(first_bit),
+                    in_frame,
+                    seq: 0,
+                },
+                &mut stats.pipeline,
+            )
+        };
+        if !pushed {
+            self.maybe_signal_congestion(ctx, out);
+            return;
+        }
+        self.maybe_signal_congestion(ctx, out);
+        self.service_port(ctx, out);
+    }
+
+    // ----- output service -----------------------------------------------
+
+    /// Drive the shared scheduler on one port, with the VIPER policy
+    /// hooks plugged in; arm a service timer if the scheduler asks.
+    pub(super) fn service_port(&mut self, ctx: &mut Context<'_>, out: u8) {
+        let timer = {
+            let ViperRouter {
+                ports,
+                limits,
+                cutting,
+                stats,
+                ..
+            } = self;
+            let Some(op) = ports.get_mut(&out) else {
+                return;
+            };
+            let mut hooks = ViperHooks { limits, cutting };
+            op.sched.try_service(ctx, &mut hooks, &mut stats.pipeline)
+        };
+        if let Some(at) = timer {
+            self.schedule(ctx, at, Pending::Service(out));
+        }
+    }
+
+    pub(super) fn on_tx_done(&mut self, ctx: &mut Context<'_>, port: u8, frame: FrameId) {
+        let Some(op) = self.ports.get_mut(&port) else {
+            return;
+        };
+        // A `Some` means the completed frame was the port's current
+        // transmission (control frames and stale completions return
+        // `None`); its cut-through origin can be forgotten now.
+        if let Some(in_frame) = op.sched.on_tx_done(frame) {
+            if let Some(inf) = in_frame {
+                self.cutting.remove(&inf);
+            }
+            self.service_port(ctx, port);
+        }
+    }
+
+    pub(super) fn on_frame_aborted(&mut self, ctx: &mut Context<'_>, in_frame: FrameId) {
+        // The upstream sender aborted a frame we may be cutting through:
+        // abort our own onward transmission and drop queued copies.
+        if let Some((out, out_frame)) = self.cutting.remove(&in_frame) {
+            let aborted = {
+                let ViperRouter { ports, stats, .. } = self;
+                ports
+                    .get_mut(&out)
+                    .map(|op| op.sched.abort_current(ctx, out_frame, &mut stats.pipeline))
+                    .unwrap_or(false)
+            };
+            if aborted {
+                self.service_port(ctx, out);
+            }
+        }
+        // Also purge any queued packet that came from this frame.
+        for op in self.ports.values_mut() {
+            op.sched.purge_in_frame(in_frame);
+        }
+    }
+}

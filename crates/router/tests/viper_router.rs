@@ -319,7 +319,7 @@ fn preemptive_priority_aborts_in_flight_transmission() {
     sim.run(100_000);
 
     let stats = &sim.node::<ViperRouter>(r).stats;
-    assert_eq!(stats.drops.get(&DropReason::Preempted).copied(), Some(1));
+    assert_eq!(stats.drops.get(DropReason::Preempted), 1);
     // B sees the aborted partial announced then aborted, and the urgent
     // packet completes.
     let complete: Vec<u8> = sim
@@ -367,10 +367,7 @@ fn drop_if_blocked_discards_when_port_busy() {
     sim.run(100_000);
 
     let stats = &sim.node::<ViperRouter>(r).stats;
-    assert_eq!(
-        stats.drops.get(&DropReason::DropIfBlocked).copied(),
-        Some(1)
-    );
+    assert_eq!(stats.drops.get(DropReason::DropIfBlocked), 1);
     let datas: Vec<u8> = sim
         .node::<ScriptedHost>(b)
         .received_p2p()
@@ -492,9 +489,8 @@ fn missing_token_dropped_when_required() {
         sim.node::<ViperRouter>(r)
             .stats
             .drops
-            .get(&DropReason::TokenMissing)
-            .copied(),
-        Some(1)
+            .get(DropReason::TokenMissing),
+        1
     );
 }
 
@@ -527,9 +523,8 @@ fn forged_token_passes_once_optimistically_then_blocked() {
         sim.node::<ViperRouter>(r)
             .stats
             .drops
-            .get(&DropReason::TokenRejected)
-            .copied(),
-        Some(1)
+            .get(DropReason::TokenRejected),
+        1
     );
 }
 

@@ -238,6 +238,14 @@ pub trait Node: 'static {
 
     /// Mutable downcast support.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// The node's uniform data-plane counters, if it keeps any. Nodes
+    /// with a data plane (routers, switches, hosts) return their
+    /// [`crate::stats::PipelineStats`] here so the engine, benches, and
+    /// experiment scripts can scrape any node without downcasting.
+    fn node_stats(&self) -> Option<&dyn crate::stats::NodeStats> {
+        None
+    }
 }
 
 struct Scheduled {
@@ -720,6 +728,28 @@ impl Simulator {
             .as_any_mut()
             .downcast_mut::<T>()
             .expect("node type mismatch")
+    }
+
+    /// Scrape one node's uniform stats surface (see [`Node::node_stats`]).
+    pub fn scrape(&self, id: NodeId) -> Option<&dyn crate::stats::NodeStats> {
+        self.nodes[id.0]
+            .as_ref()
+            .expect("node present")
+            .node_stats()
+    }
+
+    /// Scrape every node that exposes the uniform stats surface, in node
+    /// id order (deterministic).
+    pub fn scrape_all(&self) -> Vec<(NodeId, &dyn crate::stats::NodeStats)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                n.as_ref()
+                    .and_then(|n| n.node_stats())
+                    .map(|s| (NodeId(i), s))
+            })
+            .collect()
     }
 }
 

@@ -1,7 +1,338 @@
-//! Measurement utilities: running summaries, delay histograms, and
-//! time-weighted averages (for queue lengths and utilization).
+//! Measurement utilities: running summaries, delay histograms,
+//! time-weighted averages (for queue lengths and utilization), and the
+//! workspace-wide observability spine — the unified [`DropReason`] /
+//! [`Stage`] taxonomy, array-backed counters, and the [`NodeStats`]
+//! scrape contract every data-plane node exposes.
+
+use std::ops::Index;
 
 use crate::time::{SimDuration, SimTime};
+
+/// The stages of the shared staged data plane
+/// (`parse → route → authorize → police → enqueue → transmit`).
+///
+/// Every router advances work items through (a subset of) these stages;
+/// [`StageCounters`] counts entries into each one so any node can be
+/// asked "how much work reached stage X" uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Link-frame decode and header extraction.
+    Parse,
+    /// Forwarding decision (segment/port resolution, table lookup).
+    Route,
+    /// Token / admission checking.
+    Authorize,
+    /// Rate policing and congestion feedback.
+    Police,
+    /// Output-queue admission.
+    Enqueue,
+    /// Frame handed to the wire.
+    Transmit,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Parse,
+        Stage::Route,
+        Stage::Authorize,
+        Stage::Police,
+        Stage::Enqueue,
+        Stage::Transmit,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Route => 1,
+            Stage::Authorize => 2,
+            Stage::Police => 3,
+            Stage::Enqueue => 4,
+            Stage::Transmit => 5,
+        }
+    }
+}
+
+/// Why a packet was dropped — one taxonomy shared by every node type
+/// (VIPER, IP, CVC), so drop accounting is comparable across routers
+/// without downcasting to per-router stat structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Leading segment or link frame failed to parse (structural damage —
+    /// Sirpent has no checksum, so this only catches framing breakage).
+    ParseError,
+    /// The resolved port has no attached channel.
+    NoSuchPort,
+    /// Output queue full (drop-tail).
+    QueueFull,
+    /// Drop-if-blocked flag set and the port was busy.
+    DropIfBlocked,
+    /// Preempted mid-transmission by a priority 6/7 packet.
+    Preempted,
+    /// Token missing and required.
+    TokenMissing,
+    /// Token rejected (any reason).
+    TokenRejected,
+    /// Malformed logical/multicast structure.
+    BadStructure,
+    /// Recursion limit on splices/trees.
+    TooDeep,
+    /// Arrived on an unknown port or with an unusable frame.
+    BadFrame,
+    /// IP header checksum failed (corruption the router pays to notice).
+    Checksum,
+    /// IP TTL reached zero.
+    TtlExpired,
+    /// No matching route for the destination.
+    NoRoute,
+    /// Needs fragmentation but cannot (DF set or unusable MTU).
+    CannotFragment,
+    /// CVC data arrived for a circuit this switch does not know.
+    UnknownCircuit,
+}
+
+impl DropReason {
+    /// Every reason, in dense-index order.
+    pub const ALL: [DropReason; 15] = [
+        DropReason::ParseError,
+        DropReason::NoSuchPort,
+        DropReason::QueueFull,
+        DropReason::DropIfBlocked,
+        DropReason::Preempted,
+        DropReason::TokenMissing,
+        DropReason::TokenRejected,
+        DropReason::BadStructure,
+        DropReason::TooDeep,
+        DropReason::BadFrame,
+        DropReason::Checksum,
+        DropReason::TtlExpired,
+        DropReason::NoRoute,
+        DropReason::CannotFragment,
+        DropReason::UnknownCircuit,
+    ];
+
+    /// Number of reasons.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::ParseError => 0,
+            DropReason::NoSuchPort => 1,
+            DropReason::QueueFull => 2,
+            DropReason::DropIfBlocked => 3,
+            DropReason::Preempted => 4,
+            DropReason::TokenMissing => 5,
+            DropReason::TokenRejected => 6,
+            DropReason::BadStructure => 7,
+            DropReason::TooDeep => 8,
+            DropReason::BadFrame => 9,
+            DropReason::Checksum => 10,
+            DropReason::TtlExpired => 11,
+            DropReason::NoRoute => 12,
+            DropReason::CannotFragment => 13,
+            DropReason::UnknownCircuit => 14,
+        }
+    }
+
+    /// The pipeline stage at which this drop occurs.
+    pub fn stage(self) -> Stage {
+        match self {
+            DropReason::ParseError | DropReason::BadFrame | DropReason::Checksum => Stage::Parse,
+            DropReason::NoSuchPort
+            | DropReason::BadStructure
+            | DropReason::TooDeep
+            | DropReason::TtlExpired
+            | DropReason::NoRoute
+            | DropReason::UnknownCircuit => Stage::Route,
+            DropReason::TokenMissing | DropReason::TokenRejected => Stage::Authorize,
+            DropReason::QueueFull | DropReason::DropIfBlocked | DropReason::CannotFragment => {
+                Stage::Enqueue
+            }
+            DropReason::Preempted => Stage::Transmit,
+        }
+    }
+}
+
+/// Dense per-reason drop counters with deterministic iteration order
+/// (declaration order of [`DropReason::ALL`], never hash order).
+#[derive(Debug, Clone, Default)]
+pub struct DropCounters([u64; DropReason::COUNT]);
+
+impl DropCounters {
+    /// All zero.
+    pub fn new() -> DropCounters {
+        DropCounters::default()
+    }
+
+    /// Count one drop.
+    pub fn record(&mut self, why: DropReason) {
+        self.0[why.index()] += 1;
+    }
+
+    /// The count for one reason.
+    pub fn get(&self, why: DropReason) -> u64 {
+        self.0[why.index()]
+    }
+
+    /// Sum across reasons.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// `(reason, count)` pairs in declaration order (including zeros).
+    pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::ALL.iter().map(|&r| (r, self.0[r.index()]))
+    }
+}
+
+impl Index<DropReason> for DropCounters {
+    type Output = u64;
+
+    fn index(&self, why: DropReason) -> &u64 {
+        &self.0[why.index()]
+    }
+}
+
+/// Dense per-stage work counters (entries into each stage).
+#[derive(Debug, Clone, Default)]
+pub struct StageCounters([u64; Stage::COUNT]);
+
+impl StageCounters {
+    /// All zero.
+    pub fn new() -> StageCounters {
+        StageCounters::default()
+    }
+
+    /// Count one entry into a stage.
+    pub fn record(&mut self, s: Stage) {
+        self.0[s.index()] += 1;
+    }
+
+    /// Entries into one stage.
+    pub fn get(&self, s: Stage) -> u64 {
+        self.0[s.index()]
+    }
+
+    /// `(stage, count)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, u64)> + '_ {
+        Stage::ALL.iter().map(|&s| (s, self.0[s.index()]))
+    }
+}
+
+impl Index<Stage> for StageCounters {
+    type Output = u64;
+
+    fn index(&self, s: Stage) -> &u64 {
+        &self.0[s.index()]
+    }
+}
+
+/// The shared per-node data-plane counters every router embeds: the
+/// uniform part of the stats surface (router-specific extras like token
+/// cache hits live in per-router wrappers that `Deref` to this).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Packets forwarded (copies and fragments count individually).
+    pub forwarded: u64,
+    /// Packets delivered to the node's own local attachment.
+    pub local: u64,
+    /// Drops, by unified reason.
+    pub drops: DropCounters,
+    /// Work entries per pipeline stage.
+    pub stages: StageCounters,
+    /// Delay from first bit in to first bit out, successfully forwarded
+    /// packets (seconds).
+    pub forward_delay: Summary,
+    /// Output-queue depth sampled at each successful enqueue.
+    pub queue_depth: Summary,
+    /// Peak output-queue depth observed.
+    pub max_queue: usize,
+}
+
+impl PipelineStats {
+    /// Empty stats.
+    pub fn new() -> PipelineStats {
+        PipelineStats::default()
+    }
+
+    /// Count one drop through the shared accounting path — exactly one
+    /// reason counter moves per dropped packet. (Stage entries are
+    /// counted separately by [`PipelineStats::enter`]; the stage a reason
+    /// belongs to is [`DropReason::stage`].)
+    pub fn drop(&mut self, why: DropReason) {
+        self.drops.record(why);
+    }
+
+    /// Count one work item entering a stage.
+    pub fn enter(&mut self, s: Stage) {
+        self.stages.record(s);
+    }
+
+    /// Total drops across reasons.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.total()
+    }
+}
+
+/// The uniform scrape contract: any node exposing this can be read by
+/// the sim engine, bench binaries, and experiment scripts without
+/// downcasting to its concrete stats struct.
+pub trait NodeStats {
+    /// Packets forwarded.
+    fn forwarded(&self) -> u64;
+    /// Packets delivered locally.
+    fn local(&self) -> u64;
+    /// Drop counters by unified reason.
+    fn drops(&self) -> &DropCounters;
+    /// Work counters per pipeline stage.
+    fn stages(&self) -> &StageCounters;
+    /// First-bit-in → first-bit-out delay summary (seconds).
+    fn forward_delay(&self) -> &Summary;
+    /// Queue-depth summary (sampled at enqueue).
+    fn queue_depth(&self) -> &Summary;
+    /// Peak queue depth.
+    fn max_queue(&self) -> usize;
+
+    /// Total drops across reasons.
+    fn total_drops(&self) -> u64 {
+        self.drops().total()
+    }
+}
+
+impl NodeStats for PipelineStats {
+    fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    fn local(&self) -> u64 {
+        self.local
+    }
+
+    fn drops(&self) -> &DropCounters {
+        &self.drops
+    }
+
+    fn stages(&self) -> &StageCounters {
+        &self.stages
+    }
+
+    fn forward_delay(&self) -> &Summary {
+        &self.forward_delay
+    }
+
+    fn queue_depth(&self) -> &Summary {
+        &self.queue_depth
+    }
+
+    fn max_queue(&self) -> usize {
+        self.max_queue
+    }
+}
 
 /// Running scalar summary: count / mean / min / max / variance (Welford).
 #[derive(Debug, Clone, Default)]

@@ -132,9 +132,7 @@ fn run(video_priority: u8) -> (Vec<(SimTime, u64)>, u64, usize) {
         .node::<ViperRouter>(ids.router)
         .stats
         .drops
-        .get(&sirpent::router::viper::DropReason::Preempted)
-        .copied()
-        .unwrap_or(0);
+        .get(sirpent::router::viper::DropReason::Preempted);
     (video_rx, preempted, file_rx)
 }
 

@@ -276,12 +276,7 @@ fn reverse_rejections_counted_at_router() {
 
     let router = sim.node::<ViperRouter>(r1);
     use sirpent::router::viper::DropReason;
-    let rejected = router
-        .stats
-        .drops
-        .get(&DropReason::TokenRejected)
-        .copied()
-        .unwrap_or(0);
+    let rejected = router.stats.drops.get(DropReason::TokenRejected);
     assert!(
         rejected > 0,
         "reverse traffic without reverse_ok must be rejected; drops={:?}",
