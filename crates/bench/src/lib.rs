@@ -4,6 +4,8 @@
 //! (see DESIGN.md §3 for the index), printing an aligned text table and
 //! dumping machine-readable JSON under `results/`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::fs;
 use std::path::Path;

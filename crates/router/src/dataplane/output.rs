@@ -77,6 +77,36 @@ impl Queued {
     }
 }
 
+/// Scan winner: the queue index plus the decision metadata (all `Copy`)
+/// the commit path needs, captured while the scan still holds the
+/// element so nothing is re-indexed afterwards.
+#[derive(Clone, Copy)]
+struct Best {
+    idx: usize,
+    rank: i8,
+    seq: u64,
+    priority: Priority,
+    dib: bool,
+}
+
+impl Best {
+    fn of(idx: usize, q: &Queued) -> Best {
+        Best {
+            idx,
+            rank: q.priority.rank(),
+            seq: q.seq,
+            priority: q.priority,
+            dib: q.dib,
+        }
+    }
+
+    /// Whether this winner keeps its seat against candidate `q`: higher
+    /// rank, or equal rank and earlier sequence (FIFO within rank).
+    fn outranks(&self, q: &Queued) -> bool {
+        (self.rank, u64::MAX - self.seq) >= (q.priority.rank(), u64::MAX - q.seq)
+    }
+}
+
 /// The transmission in progress on a port.
 pub struct CurTx {
     /// Engine id of the outgoing frame.
@@ -220,15 +250,17 @@ impl OutputPort {
         let now = ctx.now();
         // Pick the best eligible frame: highest priority rank, FIFO
         // within rank, eligible (released) now. Under FIFO only the head
-        // is considered, so service is O(1) regardless of depth.
-        let mut best: Option<(usize, i8, u64)> = None;
+        // is considered, so service is O(1) regardless of depth. The
+        // scan carries the winner's decision metadata (all `Copy`) out
+        // with the index, so nothing is ever re-indexed afterwards.
+        let mut best: Option<Best> = None;
         let mut soonest: Option<SimTime> = None;
         match self.discipline {
             Discipline::Fifo => {
                 if let Some(q) = self.queue.front() {
                     let rel = hooks.release_time(self.port, q);
                     if rel <= now {
-                        best = Some((0, q.priority.rank(), q.seq));
+                        best = Some(Best::of(0, q));
                     } else {
                         soonest = Some(rel);
                     }
@@ -238,10 +270,9 @@ impl OutputPort {
                 for (i, q) in self.queue.iter().enumerate() {
                     let rel = hooks.release_time(self.port, q);
                     if rel <= now {
-                        let key = (q.priority.rank(), q.seq);
-                        match best {
-                            Some((_, r, s)) if (r, u64::MAX - s) >= (key.0, u64::MAX - key.1) => {}
-                            _ => best = Some((i, key.0, key.1)),
+                        match &best {
+                            Some(b) if b.outranks(q) => {}
+                            _ => best = Some(Best::of(i, q)),
                         }
                     } else {
                         soonest = Some(soonest.map_or(rel, |s: SimTime| s.min(rel)));
@@ -266,25 +297,27 @@ impl OutputPort {
                 }
                 None
             }
-            Some((idx, rank, _)) => {
+            Some(best) => {
                 if let Some(cur) = &self.current {
                     // Busy: consider preemption (§5: priorities 6 and 7).
-                    let q_prio = self.queue[idx].priority;
-                    if q_prio.is_preemptive() && cur.priority.rank() < rank {
+                    if best.priority.is_preemptive() && cur.priority.rank() < best.rank {
                         let aborted_in = cur.in_frame;
                         if ctx.abort_current_tx(self.port).is_ok() {
                             hooks.on_preempt_abort(aborted_in);
                             stats.drop(DropReason::Preempted);
                             self.current = None;
-                            self.start(ctx, idx, hooks, stats);
+                            if let Some(q) = self.queue.remove(best.idx) {
+                                self.start(ctx, q, hooks, stats);
+                            }
                         }
-                    } else if self.queue[idx].dib {
+                    } else if best.dib {
                         // Drop-if-blocked: the port is busy, discard.
-                        self.queue.remove(idx);
-                        stats.drop(DropReason::DropIfBlocked);
+                        if self.queue.remove(best.idx).is_some() {
+                            stats.drop(DropReason::DropIfBlocked);
+                        }
                     }
-                } else {
-                    self.start(ctx, idx, hooks, stats);
+                } else if let Some(q) = self.queue.remove(best.idx) {
+                    self.start(ctx, q, hooks, stats);
                 }
                 None
             }
@@ -294,7 +327,7 @@ impl OutputPort {
     fn start<H: ServiceHooks>(
         &mut self,
         ctx: &mut Context<'_>,
-        idx: usize,
+        queued: Queued,
         hooks: &mut H,
         stats: &mut PipelineStats,
     ) {
@@ -306,7 +339,7 @@ impl OutputPort {
             record,
             in_frame,
             ..
-        } = self.queue.remove(idx).expect("index from the scan");
+        } = queued;
         let len = frame.len();
         // The frame moves into the engine — no clone, no byte copy.
         let Ok(tx) = ctx.transmit(self.port, frame) else {
@@ -364,11 +397,7 @@ impl OutputPort {
         out_frame: FrameId,
         stats: &mut PipelineStats,
     ) -> bool {
-        let is_current = self
-            .current
-            .as_ref()
-            .map(|c| c.frame == out_frame)
-            .unwrap_or(false);
+        let is_current = self.current.as_ref().is_some_and(|c| c.frame == out_frame);
         if is_current && ctx.abort_current_tx(self.port).is_ok() {
             self.current = None;
             stats.drop(DropReason::Preempted);
@@ -396,12 +425,7 @@ impl OutputPort {
     pub fn pop_eligible(&mut self, now: SimTime) -> Option<Queued> {
         match self.discipline {
             Discipline::Fifo => {
-                if self
-                    .queue
-                    .front()
-                    .map(|q| q.earliest <= now)
-                    .unwrap_or(false)
-                {
+                if self.queue.front().is_some_and(|q| q.earliest <= now) {
                     self.queue.pop_front()
                 } else {
                     None

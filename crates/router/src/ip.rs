@@ -224,6 +224,11 @@ impl IpRouter {
             self.stats.fragments_made += pieces.len() as u64;
         }
         let now = ctx.now();
+        let IpRouter { ports, stats, .. } = self;
+        let Some(op) = ports.get_mut(&route.out_port) else {
+            stats.drop(DropReason::NoRoute);
+            return;
+        };
         for piece in pieces {
             let frame = match &kind {
                 PortKind::PointToPoint => LinkFrame::Ipish(piece).to_p2p_bytes(),
@@ -233,8 +238,6 @@ impl IpRouter {
                 }
             };
             // Drop-tail accounting (QueueFull) happens inside push.
-            let IpRouter { ports, stats, .. } = self;
-            let op = ports.get_mut(&route.out_port).expect("checked");
             op.sched
                 .push(Queued::fifo(frame.into(), now, Some(first_bit)), stats);
         }

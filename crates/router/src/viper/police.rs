@@ -17,7 +17,10 @@ impl ViperRouter {
         if !self.cfg.congestion.enabled {
             return;
         }
-        let qlen = self.ports[&out].sched.len();
+        let Some(op) = self.ports.get(&out) else {
+            return;
+        };
+        let qlen = op.sched.len();
         if qlen < self.cfg.congestion.queue_high {
             return;
         }
@@ -26,11 +29,7 @@ impl ViperRouter {
         // the source route [and arrival ports], it can easily determine
         // the upstream routers feeding the queue").
         let feeders: Vec<u8> = {
-            let mut f: Vec<u8> = self.ports[&out]
-                .sched
-                .queued()
-                .filter_map(|q| q.arrival_port)
-                .collect();
+            let mut f: Vec<u8> = op.sched.queued().filter_map(|q| q.arrival_port).collect();
             f.sort_unstable();
             f.dedup();
             f
@@ -68,7 +67,10 @@ impl ViperRouter {
         };
         // Send upstream out the feeder port. For Ethernet feeders we
         // broadcast the control frame (stations filter).
-        let frame = match &self.ports[&feeder].cfg.kind {
+        let Some(fp) = self.ports.get(&feeder) else {
+            return;
+        };
+        let frame = match &fp.cfg.kind {
             PortKind::PointToPoint => LinkFrame::RateControl(msg).to_p2p_bytes(),
             PortKind::Ethernet { mac } => {
                 LinkFrame::RateControl(msg).to_ethernet_bytes(*mac, ethernet::Address::BROADCAST)

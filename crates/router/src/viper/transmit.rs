@@ -176,9 +176,12 @@ impl ViperRouter {
         let next_seg_port = Segment::new_checked(packet.as_slice())
             .ok()
             .map(|s| s.port());
-        let (mtu, kind) = {
-            let op = &self.ports[&out];
-            (op.cfg.mtu, op.cfg.kind.clone())
+        let (mtu, kind, qlen) = {
+            let Some(op) = self.ports.get(&out) else {
+                self.stats.drop(DropReason::NoSuchPort);
+                return;
+            };
+            (op.cfg.mtu, op.cfg.kind.clone(), op.sched.len())
         };
 
         // Frame for the outgoing network: a small owned link header in
@@ -198,7 +201,6 @@ impl ViperRouter {
                 }
             }
         };
-        let qlen = self.ports[&out].sched.len();
         let mut frame = match compose(&packet, qlen) {
             Some(f) => f,
             None => {
@@ -238,9 +240,12 @@ impl ViperRouter {
             ctx.now()
         };
 
+        let ViperRouter { ports, stats, .. } = self;
+        let Some(op) = ports.get_mut(&out) else {
+            stats.drop(DropReason::NoSuchPort);
+            return;
+        };
         let pushed = {
-            let ViperRouter { ports, stats, .. } = self;
-            let op = ports.get_mut(&out).expect("validated above");
             op.sched.push(
                 Queued {
                     frame,

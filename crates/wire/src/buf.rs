@@ -82,6 +82,7 @@ impl PacketBuf {
 
     /// The live window `store[head..tail]`.
     pub fn as_slice(&self) -> &[u8] {
+        // lint: allow(panic-free-dataplane) -- type invariant: every constructor and mutator keeps head <= tail <= store.len()
         &self.store[self.head..self.tail]
     }
 
@@ -100,6 +101,7 @@ impl PacketBuf {
     /// # Panics
     /// If `n` exceeds the live window.
     pub fn advance(&mut self, n: usize) {
+        // lint: allow(panic-free-dataplane) -- documented `# Panics` contract; callers advance by a parsed segment length already validated against the window
         assert!(n <= self.len(), "advance past end of PacketBuf");
         self.head += n;
     }
@@ -128,6 +130,7 @@ impl PacketBuf {
                 // holder can see it) and extend in place.
                 v.truncate(self.tail);
                 v.resize(self.tail + n, 0);
+                // lint: allow(panic-free-dataplane) -- store was just resized to tail + n, so tail is in range
                 fill(&mut v[self.tail..]);
                 self.tail += n;
             }
@@ -136,8 +139,10 @@ impl PacketBuf {
                 // headroom, then extend that.
                 let live = self.len();
                 let mut v = Vec::with_capacity(live + n + COW_HEADROOM);
+                // lint: allow(panic-free-dataplane) -- type invariant: head <= tail <= store.len()
                 v.extend_from_slice(&self.store[self.head..self.tail]);
                 v.resize(live + n, 0);
+                // lint: allow(panic-free-dataplane) -- fresh store was just resized to live + n, so live is in range
                 fill(&mut v[live..]);
                 self.store = Arc::new(v);
                 self.head = 0;
@@ -271,12 +276,14 @@ impl SegmentView {
 
     /// The `portToken` bytes, borrowed from the shared store.
     pub fn port_token(&self) -> &[u8] {
+        // lint: allow(panic-free-dataplane) -- offsets came from a checked parse of this store, which is immutable while shared
         &self.store[self.token.0..self.token.1]
     }
 
     /// The network-specific `portInfo` bytes, borrowed from the shared
     /// store.
     pub fn port_info(&self) -> &[u8] {
+        // lint: allow(panic-free-dataplane) -- offsets came from a checked parse of this store, which is immutable while shared
         &self.store[self.info.0..self.info.1]
     }
 
@@ -349,10 +356,9 @@ impl FrameBuf {
 
     /// Byte `i` of the frame (header and body concatenated).
     pub fn byte(&self, i: usize) -> Option<u8> {
-        if i < self.header.len() {
-            Some(self.header[i])
-        } else {
-            self.body.as_slice().get(i - self.header.len()).copied()
+        match self.header.get(i) {
+            Some(&b) => Some(b),
+            None => self.body.as_slice().get(i - self.header.len()).copied(),
         }
     }
 
@@ -362,17 +368,15 @@ impl FrameBuf {
     /// copying only in the mixed case. Link-header parsers use this.
     pub fn prefix(&self, n: usize) -> Option<std::borrow::Cow<'_, [u8]>> {
         use std::borrow::Cow;
-        if n > self.len() {
-            return None;
-        }
-        if self.header.len() >= n {
-            Some(Cow::Borrowed(&self.header[..n]))
+        if let Some(h) = self.header.get(..n) {
+            Some(Cow::Borrowed(h))
         } else if self.header.is_empty() {
-            Some(Cow::Borrowed(&self.body.as_slice()[..n]))
+            self.body.as_slice().get(..n).map(Cow::Borrowed)
         } else {
+            let rest = self.body.as_slice().get(..n - self.header.len())?;
             let mut v = Vec::with_capacity(n);
             v.extend_from_slice(&self.header);
-            v.extend_from_slice(&self.body.as_slice()[..n - self.header.len()]);
+            v.extend_from_slice(rest);
             Some(Cow::Owned(v))
         }
     }
@@ -394,8 +398,9 @@ impl FrameBuf {
             None => {
                 // Header longer than n: keep the header remainder plus
                 // the body (rare — only link formats we don't compose).
-                let mut v = Vec::with_capacity(self.len() - n);
-                v.extend_from_slice(&self.header[n..]);
+                let keep = self.header.get(n..)?;
+                let mut v = Vec::with_capacity(keep.len() + self.body.len());
+                v.extend_from_slice(keep);
                 v.extend_from_slice(self.body.as_slice());
                 Some(PacketBuf::from_vec(v))
             }

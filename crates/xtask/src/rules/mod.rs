@@ -1,0 +1,135 @@
+//! The rule framework: diagnostics, lint context, and the registry of
+//! project-invariant rules.
+//!
+//! Each rule is a token-pattern check over [`SourceFile`]s. Rules are
+//! deliberately syntactic: the invariants they guard (panic-free data
+//! plane, O(1) queue ops, single drop-accounting entry point, offline
+//! shim surface, no `unsafe`) are all expressible as "this token shape
+//! must not appear here", which a hand-rolled lexer can enforce without
+//! `syn` — a hard requirement in the registry-less build environment.
+
+use std::collections::BTreeMap;
+
+use crate::source::SourceFile;
+
+mod drop_accounting;
+mod panic_free;
+mod queue_discipline;
+mod shim_surface;
+mod unsafe_audit;
+
+pub use drop_accounting::DropAccounting;
+pub use panic_free::PanicFree;
+pub use queue_discipline::QueueDiscipline;
+pub use shim_surface::ShimSurface;
+pub use unsafe_audit::UnsafeAudit;
+
+/// One CI-failing finding, rendered as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative file path (`/` separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (the `lint: allow(<rule>)` key).
+    pub rule: String,
+    /// Human-readable finding.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(file: &str, line: u32, rule: &str, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Treat every linted file as a data-plane module (fixture mode —
+    /// the golden tests exercise data-plane rules on standalone
+    /// snippets).
+    pub all_dataplane: bool,
+    /// Workspace-relative files permitted to contain `unsafe` (the
+    /// audited allowlist). Empty: the workspace is `unsafe`-free.
+    pub unsafe_allowlist: Vec<String>,
+}
+
+/// The data-plane module set: the per-hop forwarding path whose
+/// constant-time, never-failing contract is the paper's whole
+/// performance argument (§2). Grow this list as the data plane grows.
+pub const DATAPLANE_PREFIXES: &[&str] =
+    &["crates/router/src/dataplane/", "crates/router/src/viper/"];
+
+/// Individual files in the data-plane set (see [`DATAPLANE_PREFIXES`]).
+pub const DATAPLANE_FILES: &[&str] = &[
+    "crates/router/src/ip.rs",
+    "crates/router/src/cvc.rs",
+    "crates/wire/src/buf.rs",
+];
+
+impl Config {
+    /// Whether `rel` is a data-plane module.
+    pub fn is_dataplane(&self, rel: &str) -> bool {
+        self.all_dataplane
+            || DATAPLANE_PREFIXES.iter().any(|p| rel.starts_with(p))
+            || DATAPLANE_FILES.contains(&rel)
+    }
+}
+
+/// Everything a rule can see: all analyzed files, the config, and the
+/// vendored-shim API surfaces.
+pub struct LintCtx<'a> {
+    /// All files being linted.
+    pub files: &'a [SourceFile],
+    /// Engine configuration.
+    pub cfg: &'a Config,
+    /// Shim crate name → set of identifiers its sources define.
+    pub shims: &'a BTreeMap<String, std::collections::BTreeSet<String>>,
+}
+
+/// A project-invariant rule.
+pub trait Rule {
+    /// Stable rule name — diagnostics key and `lint: allow` key.
+    fn name(&self) -> &'static str;
+    /// One-line description for `xtask lint --list`.
+    fn describe(&self) -> &'static str;
+    /// Run over the whole context, appending findings.
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The full rule registry, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PanicFree),
+        Box::new(QueueDiscipline),
+        Box::new(DropAccounting),
+        Box::new(ShimSurface),
+        Box::new(UnsafeAudit),
+    ]
+}
+
+/// Rust keywords that can directly precede a `[` without forming an
+/// index expression (`for x in [..]`, `return [..]`, …). Shared by the
+/// indexing detector.
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
+    "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
+    "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield", "await",
+];

@@ -1,0 +1,112 @@
+//! `panic-free-dataplane`: the per-hop forwarding path must not be able
+//! to panic. A `panic!` in packet-carried-state handling is an
+//! architecture violation, not a style nit — a router must survive
+//! arbitrary malformed forwarding state gracefully (cf. Slick Packets),
+//! and Sirpent's O(1) switch decision leaves no room for "can't happen"
+//! branches that abort the process.
+
+use crate::lexer::TokKind;
+use crate::rules::{Diagnostic, LintCtx, Rule, NON_INDEX_KEYWORDS};
+use crate::source::SourceFile;
+
+/// Macros whose expansion is an unconditional (or assertion) panic.
+/// `debug_assert*` is deliberately not listed: it compiles out of
+/// release builds, so it documents an invariant without putting a panic
+/// on the shipped forwarding path.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "todo",
+    "unimplemented",
+    "unreachable",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// See the module docs.
+pub struct PanicFree;
+
+impl Rule for PanicFree {
+    fn name(&self) -> &'static str {
+        "panic-free-dataplane"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo!/slice-indexing in data-plane modules outside #[cfg(test)]"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for f in ctx.files {
+            if !ctx.cfg.is_dataplane(&f.rel) {
+                continue;
+            }
+            self.check_file(f, out);
+        }
+    }
+}
+
+impl PanicFree {
+    fn check_file(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for i in 0..f.code.len() {
+            if f.in_attribute(i) {
+                continue;
+            }
+            let t = f.tok(i);
+            if f.is_test_line(t.line) {
+                continue;
+            }
+            match t.kind {
+                TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                    let prev_dot = i > 0 && f.tok(i - 1).text == ".";
+                    let next_paren = i + 1 < f.code.len() && f.tok(i + 1).text == "(";
+                    if prev_dot && next_paren {
+                        out.push(Diagnostic::new(
+                            &f.rel,
+                            t.line,
+                            self.name(),
+                            format!(
+                                "`.{}(..)` can panic on the forwarding path — return a typed \
+                                 error routed through the DropReason taxonomy instead",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+                TokKind::Ident
+                    if PANIC_MACROS.contains(&t.text.as_str())
+                        && i + 1 < f.code.len()
+                        && f.tok(i + 1).text == "!" =>
+                {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        t.line,
+                        self.name(),
+                        format!(
+                            "`{}!` aborts the data plane — handle the state as a drop \
+                             (DropReason) or restructure so it cannot occur",
+                            t.text
+                        ),
+                    ));
+                }
+                TokKind::Punct if t.text == "[" && i > 0 => {
+                    let p = f.tok(i - 1);
+                    let is_index_base = match p.kind {
+                        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                        TokKind::Punct => p.text == ")" || p.text == "]" || p.text == "?",
+                        _ => false,
+                    };
+                    if is_index_base {
+                        out.push(Diagnostic::new(
+                            &f.rel,
+                            t.line,
+                            self.name(),
+                            "indexing (`x[..]`) can panic — use `.get(..)`, pattern-match, or \
+                             carry the element out of the scan that validated the index",
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

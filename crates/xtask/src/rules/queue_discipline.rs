@@ -1,0 +1,74 @@
+//! `queue-discipline`: O(n) head operations on growable buffers are
+//! forbidden in the data plane. `Vec::remove(0)` / `insert(0, ..)`
+//! memmove the whole queue on every service — exactly the regression
+//! class the `VecDeque::pop_front` migration removed; this rule keeps it
+//! from creeping back.
+
+use crate::rules::{Diagnostic, LintCtx, Rule};
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct QueueDiscipline;
+
+impl Rule for QueueDiscipline {
+    fn name(&self) -> &'static str {
+        "queue-discipline"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no O(n) head ops (remove(0)/insert(0, ..)/swap_remove(0)) in data-plane modules"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for f in ctx.files {
+            if !ctx.cfg.is_dataplane(&f.rel) {
+                continue;
+            }
+            self.check_file(f, out);
+        }
+    }
+}
+
+impl QueueDiscipline {
+    fn check_file(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        // Pattern: `.` <method> `(` `0` <terminator>
+        for i in 2..f.code.len() {
+            if f.in_attribute(i) {
+                continue;
+            }
+            let t = f.tok(i);
+            if f.is_test_line(t.line) {
+                continue;
+            }
+            let method = t.text.as_str();
+            let terminator = match method {
+                "remove" | "swap_remove" => ")",
+                "insert" => ",",
+                _ => continue,
+            };
+            if f.tok(i - 1).text != "." {
+                continue;
+            }
+            let open = i + 1;
+            let zero = i + 2;
+            let term = i + 3;
+            if term >= f.code.len()
+                || f.tok(open).text != "("
+                || f.tok(zero).text != "0"
+                || f.tok(term).text != terminator
+            {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                &f.rel,
+                t.line,
+                self.name(),
+                format!(
+                    "`.{method}(0{})` is O(queue depth) — use a VecDeque \
+                     (`pop_front`/`push_front`) so service stays O(1)",
+                    if terminator == "," { ", .." } else { "" }
+                ),
+            ));
+        }
+    }
+}

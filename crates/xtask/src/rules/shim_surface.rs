@@ -1,0 +1,161 @@
+//! `shim-surface`: the build environment has no registry access, so
+//! `rand`/`proptest`/`criterion`/`serde`/`serde_json` resolve to minimal
+//! vendored shims under `shims/`. Code that reaches for an API the shim
+//! does not define builds fine on a developer box with a warm cache and
+//! then breaks the offline build. This rule cross-checks every
+//! `shimcrate::path` segment (in `use` trees and inline paths) against
+//! the identifiers the shim sources actually define.
+//!
+//! Approximation, by design: method calls resolved through traits
+//! (`rng.gen_range(..)`) are not path expressions and are not checked —
+//! the shim's own compile covers those. Path segments are checked
+//! against *all* identifiers the shim defines (functions, types,
+//! modules, re-exports, enum variants, macros), so a private-item hit is
+//! possible but a false "missing" is not.
+
+use crate::lexer::TokKind;
+use crate::rules::{Diagnostic, LintCtx, Rule};
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct ShimSurface;
+
+impl Rule for ShimSurface {
+    fn name(&self) -> &'static str {
+        "shim-surface"
+    }
+
+    fn describe(&self) -> &'static str {
+        "only APIs the vendored shims define may be named in shim-crate paths"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.shims.is_empty() {
+            return;
+        }
+        for f in ctx.files {
+            if f.rel.starts_with("shims/") {
+                continue; // The shims may reference themselves freely.
+            }
+            self.check_file(ctx, f, out);
+        }
+    }
+}
+
+impl ShimSurface {
+    fn check_file(&self, ctx: &LintCtx<'_>, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for i in 0..f.code.len() {
+            if f.in_attribute(i) {
+                continue;
+            }
+            let t = f.tok(i);
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let Some(surface) = ctx.shims.get(&t.text) else {
+                continue;
+            };
+            // Path root only: not preceded by `::` or `.`, followed by `::`.
+            if i > 0 && matches!(f.tok(i - 1).text.as_str(), ":" | ".") {
+                continue;
+            }
+            // `use something as rand;` or `mod rand` shadowing — skip
+            // declarations of the name itself.
+            if i > 0 && matches!(f.tok(i - 1).text.as_str(), "mod" | "as" | "fn" | "let") {
+                continue;
+            }
+            if !(i + 2 < f.code.len() && f.tok(i + 1).text == ":" && f.tok(i + 2).text == ":") {
+                continue;
+            }
+            self.walk_path(f, &t.text, surface, i + 3, out);
+        }
+    }
+
+    /// Walk the path (or `use` tree) starting at code index `j`, checking
+    /// every segment identifier against the shim surface. Returns at the
+    /// end of the path.
+    fn walk_path(
+        &self,
+        f: &SourceFile,
+        shim: &str,
+        surface: &std::collections::BTreeSet<String>,
+        mut j: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        while j < f.code.len() {
+            let t = f.tok(j);
+            match t.kind {
+                TokKind::Ident => {
+                    let seg = t.text.as_str();
+                    let skip = matches!(seg, "self" | "super" | "crate" | "as");
+                    if seg == "as" {
+                        j += 2; // The alias ident is the user's name, not the shim's.
+                        continue;
+                    }
+                    if !skip && !surface.contains(seg) {
+                        out.push(Diagnostic::new(
+                            &f.rel,
+                            t.line,
+                            self.name(),
+                            format!(
+                                "`{shim}::…::{seg}` is not defined by the vendored shim \
+                                 (shims/{shim}) — the offline build would break; extend the \
+                                 shim or drop the call"
+                            ),
+                        ));
+                    }
+                    // Continue through `::`; otherwise path ends.
+                    if j + 2 < f.code.len() && f.tok(j + 1).text == ":" && f.tok(j + 2).text == ":"
+                    {
+                        j += 3;
+                        continue;
+                    }
+                    return;
+                }
+                TokKind::Punct if t.text == "{" => {
+                    // Use-tree group: check every ident inside, honoring
+                    // `as` aliases, until the matching close.
+                    let mut depth = 0usize;
+                    let mut after_as = false;
+                    while j < f.code.len() {
+                        let u = f.tok(j);
+                        match u.text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    return;
+                                }
+                            }
+                            "," => after_as = false,
+                            "as" => after_as = true,
+                            _ => {
+                                if u.kind == TokKind::Ident
+                                    && !after_as
+                                    && !matches!(u.text.as_str(), "self" | "super" | "crate")
+                                    && !surface.contains(&u.text)
+                                {
+                                    out.push(Diagnostic::new(
+                                        &f.rel,
+                                        u.line,
+                                        self.name(),
+                                        format!(
+                                            "`{shim}::…::{}` is not defined by the vendored \
+                                             shim (shims/{shim}) — the offline build would \
+                                             break; extend the shim or drop the call",
+                                            u.text
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    return;
+                }
+                TokKind::Punct if t.text == "*" => return,
+                _ => return,
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! `unsafe-audit`: `unsafe` is forbidden everywhere except an explicit,
+//! reviewed allowlist (currently empty — the whole workspace is safe
+//! Rust), and every crate root must carry `#![forbid(unsafe_code)]` so
+//! the compiler enforces the same thing from the inside.
+
+use crate::lexer::TokKind;
+use crate::rules::{Diagnostic, LintCtx, Rule};
+
+/// See the module docs.
+pub struct UnsafeAudit;
+
+impl Rule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no `unsafe` outside the allowlist; crate roots carry #![forbid(unsafe_code)]"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for f in ctx.files {
+            let allowlisted = ctx.cfg.unsafe_allowlist.contains(&f.rel);
+            if !allowlisted {
+                for i in 0..f.code.len() {
+                    let t = f.tok(i);
+                    if t.kind == TokKind::Ident && t.text == "unsafe" && !f.in_attribute(i) {
+                        out.push(Diagnostic::new(
+                            &f.rel,
+                            t.line,
+                            self.name(),
+                            "`unsafe` outside the audited allowlist — justify it in the \
+                             allowlist (crates/xtask) or write it safely",
+                        ));
+                    }
+                }
+            }
+            // Crate roots must self-enforce via the compiler, too.
+            if (f.rel.ends_with("src/lib.rs") || f.rel.ends_with("src/main.rs")) && !allowlisted {
+                let has_forbid = f
+                    .tokens
+                    .iter()
+                    .zip(f.in_attr.iter())
+                    .any(|(t, &ia)| ia && t.kind == TokKind::Ident && t.text == "unsafe_code")
+                    && f.tokens
+                        .iter()
+                        .zip(f.in_attr.iter())
+                        .any(|(t, &ia)| ia && t.kind == TokKind::Ident && t.text == "forbid");
+                if !has_forbid {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        1,
+                        self.name(),
+                        "crate root is missing `#![forbid(unsafe_code)]` — add it so the \
+                         compiler enforces the unsafe-free invariant",
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Violating fixture: a taxonomy variant no product code constructs.
+
+/// Why a packet was dropped.
+pub enum DropReason {
+    /// The queue was full.
+    QueueFull,
+    /// Never constructed anywhere: dead taxonomy.
+    NeverUsed,
+}
+
+impl DropReason {
+    /// Table naming every variant (proves nothing about liveness).
+    pub const ALL: [DropReason; 2] = [DropReason::QueueFull, DropReason::NeverUsed];
+}
+
+/// Constructs `QueueFull` in product code, so only `NeverUsed` is dead.
+pub fn why_full() -> DropReason {
+    DropReason::QueueFull
+}

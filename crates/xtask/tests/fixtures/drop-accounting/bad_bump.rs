@@ -1,0 +1,7 @@
+//! Violating fixture: bumps a drop counter directly instead of going
+//! through the shared `PipelineStats::drop` entry point.
+
+/// Bypasses the exactly-once accounting contract.
+pub fn account(stats: &mut Stats) {
+    stats.drops.record(3);
+}

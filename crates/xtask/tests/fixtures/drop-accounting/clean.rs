@@ -1,0 +1,31 @@
+//! Clean fixture: every variant is constructed; drops go through the
+//! single entry point.
+
+/// Why a packet was dropped.
+pub enum DropReason {
+    /// The queue was full.
+    QueueFull,
+    /// The frame failed validation.
+    BadFrame,
+}
+
+/// The one legitimate entry point (mirrors `PipelineStats::drop`).
+pub struct PipelineStats {
+    count: u64,
+}
+
+impl PipelineStats {
+    /// Account one drop.
+    pub fn drop(&mut self, _why: DropReason) {
+        self.count += 1;
+    }
+}
+
+/// Product code constructing both variants.
+pub fn classify(full: bool) -> DropReason {
+    if full {
+        DropReason::QueueFull
+    } else {
+        DropReason::BadFrame
+    }
+}

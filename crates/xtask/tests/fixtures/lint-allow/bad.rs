@@ -1,0 +1,8 @@
+//! Violating fixture: a reason-less allow suppresses nothing and is
+//! itself flagged.
+
+/// The annotation below is missing its `-- <reason>` clause.
+pub fn head(v: &[u8]) -> u8 {
+    // lint: allow(panic-free-dataplane)
+    v[0]
+}

@@ -1,0 +1,7 @@
+//! Clean fixture: a justified allow suppresses the diagnostic.
+
+/// The index is backed by the caller's length contract.
+pub fn head(v: &[u8]) -> u8 {
+    // lint: allow(panic-free-dataplane) -- caller guarantees v is non-empty
+    v[0]
+}

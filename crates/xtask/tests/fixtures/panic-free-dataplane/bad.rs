@@ -1,0 +1,10 @@
+//! Violating fixture: panics on the forwarding path.
+
+pub fn forward(q: &mut Vec<u8>, i: usize) -> u8 {
+    let first = q.first().copied().unwrap();
+    let second = q.get(1).copied().expect("has two");
+    if i > q.len() {
+        panic!("index out of range");
+    }
+    first + second + q[i]
+}

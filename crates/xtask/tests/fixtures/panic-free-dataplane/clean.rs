@@ -1,0 +1,17 @@
+//! Clean fixture: the same logic without a panic path.
+
+pub fn forward(q: &mut Vec<u8>, i: usize) -> Option<u8> {
+    let first = q.first().copied()?;
+    let second = q.get(1).copied()?;
+    Some(first + second + q.get(i).copied()?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_index_and_assert() {
+        let v = vec![1u8, 2];
+        assert_eq!(v[0], 1);
+        assert!(v.last().copied().unwrap() == 2);
+    }
+}

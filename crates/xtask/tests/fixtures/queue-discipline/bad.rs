@@ -1,0 +1,10 @@
+//! Violating fixture: O(n) head operations on the service queue.
+
+pub fn service(queue: &mut Vec<u8>) -> Option<u8> {
+    if queue.is_empty() {
+        return None;
+    }
+    let head = queue.remove(0);
+    queue.insert(0, head);
+    Some(queue.swap_remove(0))
+}

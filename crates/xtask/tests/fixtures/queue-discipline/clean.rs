@@ -1,0 +1,11 @@
+//! Clean fixture: O(1) queue operations.
+
+use std::collections::VecDeque;
+
+pub fn service(queue: &mut VecDeque<u8>) -> Option<u8> {
+    queue.pop_front()
+}
+
+pub fn requeue(queue: &mut VecDeque<u8>, head: u8) {
+    queue.push_front(head);
+}

@@ -1,0 +1,8 @@
+//! Violating fixture: names APIs the vendored shims do not define.
+
+use rand::definitely_not_in_the_shim;
+
+/// Calls a function the `rand` shim does not provide.
+pub fn sample() -> u64 {
+    rand::no_such_function()
+}

@@ -1,0 +1,10 @@
+//! Clean fixture: sticks to APIs the vendored `rand` shim defines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one value through the shim surface only.
+pub fn sample(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0..10)
+}

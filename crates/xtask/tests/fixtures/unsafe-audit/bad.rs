@@ -1,0 +1,6 @@
+//! Violating fixture: reaches for `unsafe` outside the allowlist.
+
+/// Reads a byte without bounds checking.
+pub fn peek(v: &[u8], i: usize) -> u8 {
+    unsafe { *v.get_unchecked(i) }
+}

@@ -1,0 +1,6 @@
+//! Clean fixture: safe code only.
+
+/// Reads a byte with bounds checking.
+pub fn peek(v: &[u8], i: usize) -> Option<u8> {
+    v.get(i).copied()
+}

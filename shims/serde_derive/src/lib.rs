@@ -6,6 +6,8 @@
 //! trait. Implemented with hand-rolled token parsing so it needs no
 //! syn/quote dependency.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive the shim `serde::Serialize` for a named-field struct.
