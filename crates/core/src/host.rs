@@ -632,7 +632,7 @@ impl Node for SirpentHost {
                 Some(Pending::Retransmit { transaction }) => self.on_retransmit(ctx, transaction),
                 None => {}
             },
-            Event::TxDone { .. } | Event::FrameAborted { .. } => {}
+            Event::TxDone { .. } | Event::FrameAborted { .. } | Event::TxAborted { .. } => {}
         }
     }
 

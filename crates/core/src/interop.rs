@@ -236,7 +236,9 @@ impl Node for IpGateway {
                 Some(Pending::FromCloud { datagram }) => self.on_cloud_datagram(ctx, datagram),
                 None => {}
             },
-            Event::TxDone { port, .. } => {
+            // A chaos-killed transmission frees the port just like a
+            // completed one; the engine already accounted the loss.
+            Event::TxDone { port, .. } | Event::TxAborted { port, .. } => {
                 let next = self.queues.get_mut(&port).and_then(|q| {
                     if q.is_empty() {
                         None

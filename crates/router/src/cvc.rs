@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 
 use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
-use sirpent_sim::{Context, Event, Node, SimDuration, SimTime};
+use sirpent_sim::{Context, Event, FrameId, Node, SimDuration, SimTime};
 use sirpent_wire::cvc::{Message, Vci};
 
 use crate::dataplane::{Discipline, OutputPort, Queued};
@@ -101,6 +101,9 @@ enum Pending {
         port: u8,
         msg: Message,
         first_bit: SimTime,
+        /// The carrying frame — a held arrival is purged if its frame
+        /// is aborted before the store-and-forward instant.
+        in_frame: FrameId,
     },
 }
 
@@ -160,6 +163,12 @@ impl CvcSwitch {
     /// Number of open circuits (pairs of mappings).
     pub fn circuits(&self) -> usize {
         self.table.len() / 2
+    }
+
+    /// Total frames sitting in output queues across all ports (the chaos
+    /// harness's in-system conservation term).
+    pub fn queued_frames(&self) -> u64 {
+        self.ports.values().map(|s| s.len() as u64).sum()
     }
 
     fn alloc_vci(&mut self, port: u8) -> Vci {
@@ -325,10 +334,15 @@ impl Node for CvcSwitch {
     fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
         match ev {
             Event::Frame(fe) => {
+                // Undecodable input (foreign or corrupted bytes) is a
+                // counted loss: conservation checks must see every frame
+                // either delivered or in exactly one drop counter.
                 let Ok(LinkFrame::Cvc(bytes)) = LinkFrame::from_p2p_frame(&fe.frame.payload) else {
+                    self.stats.drop(DropReason::BadFrame);
                     return;
                 };
                 let Ok(msg) = Message::parse(&bytes) else {
+                    self.stats.drop(DropReason::BadFrame);
                     return;
                 };
                 self.stats.enter(Stage::Parse);
@@ -344,6 +358,7 @@ impl Node for CvcSwitch {
                         port: fe.port,
                         msg,
                         first_bit: fe.first_bit,
+                        in_frame: fe.frame.id,
                     },
                 );
                 // Store-and-forward discipline.
@@ -356,22 +371,59 @@ impl Node for CvcSwitch {
                     let _ = sched.try_service(ctx, &mut (), stats);
                 }
             }
+            Event::TxAborted { port, frame } => {
+                // The engine killed our transmission (link-down, chaos
+                // layer) and accounted the loss; just free the port.
+                let CvcSwitch { ports, stats, .. } = self;
+                if let Some(sched) = ports.get_mut(&port) {
+                    if sched.on_tx_aborted(frame) {
+                        let _ = sched.try_service(ctx, &mut (), stats);
+                    }
+                }
+            }
             Event::Timer { key } => {
                 if let Some(Pending::Deliver {
                     port,
                     msg,
                     first_bit,
+                    ..
                 }) = self.pending.remove(&key)
                 {
                     self.handle(ctx, port, msg, first_bit);
                 }
             }
-            Event::FrameAborted { .. } => {}
+            Event::FrameAborted { frame, .. } => {
+                // A held arrival whose tail never arrived must not be
+                // handled; the abort was accounted upstream.
+                self.pending
+                    .retain(|_, Pending::Deliver { in_frame, .. }| *in_frame != frame);
+            }
         }
     }
 
     fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
         Some(&self.stats.pipeline)
+    }
+
+    /// Crash/restart state-loss contract (chaos layer): ALL circuit
+    /// state is soft and lost — the VC table, VCI allocators,
+    /// reservations, held arrivals, and output queues (queued frames
+    /// accounted as `RouterDown`). Endpoints must re-setup; this is
+    /// exactly the CVC fragility §1 of the paper contrasts against
+    /// source routing.
+    fn on_restart(&mut self) {
+        self.table.clear();
+        self.next_vci.clear();
+        self.reserved_bps.clear();
+        self.leg_reserve.clear();
+        for _ in 0..self.pending.len() {
+            self.stats.pipeline.drop(DropReason::RouterDown);
+        }
+        self.pending.clear();
+        self.stats.circuits_active = 0;
+        for sched in self.ports.values_mut() {
+            sched.crash_purge(&mut self.stats.pipeline);
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

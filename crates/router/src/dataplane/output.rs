@@ -342,9 +342,16 @@ impl OutputPort {
         } = queued;
         let len = frame.len();
         // The frame moves into the engine — no clone, no byte copy.
-        let Ok(tx) = ctx.transmit(self.port, frame) else {
-            stats.drop(DropReason::NoSuchPort);
-            return;
+        let tx = match ctx.transmit(self.port, frame) {
+            Ok(tx) => tx,
+            Err(sirpent_sim::SimError::LinkDown) => {
+                stats.drop(DropReason::LinkDown);
+                return;
+            }
+            Err(_) => {
+                stats.drop(DropReason::NoSuchPort);
+                return;
+            }
         };
         hooks.on_started(
             self.port,
@@ -411,6 +418,33 @@ impl OutputPort {
     /// will never arrive).
     pub fn purge_in_frame(&mut self, in_frame: FrameId) {
         self.queue.retain(|q| q.in_frame != Some(in_frame));
+    }
+
+    /// The engine killed this port's transmission (link went down,
+    /// chaos layer). Clears the current slot **without** counting a
+    /// drop — the engine already accounted the loss — and returns
+    /// `true` when it matched, so the caller re-runs the service scan.
+    pub fn on_tx_aborted(&mut self, frame: FrameId) -> bool {
+        if self.current.as_ref().is_some_and(|c| c.frame == frame) {
+            self.current = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Crash teardown (chaos layer): the node lost its output queues.
+    /// Every queued frame is accounted as a [`DropReason::RouterDown`]
+    /// drop; the current-transmission slot and service timer are cleared
+    /// uncounted (the engine killed and accounted the wire transmission
+    /// itself).
+    pub fn crash_purge(&mut self, stats: &mut PipelineStats) {
+        for _ in 0..self.queue.len() {
+            stats.drop(DropReason::RouterDown);
+        }
+        self.queue.clear();
+        self.current = None;
+        self.service_timer_at = None;
     }
 
     /// The armed service timer fired; clear it before re-running the

@@ -108,6 +108,9 @@ enum Pending {
     Process {
         datagram: Vec<u8>,
         first_bit: SimTime,
+        /// The carrying frame — a held arrival is purged if its frame
+        /// is aborted before the store-and-forward instant.
+        in_frame: sirpent_sim::FrameId,
     },
 }
 
@@ -162,6 +165,12 @@ impl IpRouter {
     /// metric (each entry: prefix + len + port + MAC).
     pub fn state_bytes(&self) -> usize {
         self.cfg.routes.len() * (4 + 1 + 1 + 6)
+    }
+
+    /// Total frames sitting in output queues across all ports (the chaos
+    /// harness's in-system conservation term).
+    pub fn queued_frames(&self) -> u64 {
+        self.ports.values().map(|p| p.sched.len() as u64).sum()
     }
 
     fn process(&mut self, ctx: &mut Context<'_>, datagram: Vec<u8>, first_bit: SimTime) {
@@ -282,6 +291,7 @@ impl Node for IpRouter {
                     Pending::Process {
                         datagram,
                         first_bit: fe.first_bit,
+                        in_frame: fe.frame.id,
                     },
                 );
                 ctx.schedule_at(fe.last_bit + self.cfg.process_delay, key);
@@ -292,21 +302,50 @@ impl Node for IpRouter {
                 }
                 self.service(ctx, port);
             }
+            Event::TxAborted { port, frame } => {
+                // The engine killed our transmission (link-down, chaos
+                // layer) and accounted the loss; just free the port.
+                if let Some(op) = self.ports.get_mut(&port) {
+                    if op.sched.on_tx_aborted(frame) {
+                        self.service(ctx, port);
+                    }
+                }
+            }
             Event::Timer { key } => {
                 if let Some(Pending::Process {
                     datagram,
                     first_bit,
+                    ..
                 }) = self.pending.remove(&key)
                 {
                     self.process(ctx, datagram, first_bit);
                 }
             }
-            Event::FrameAborted { .. } => {}
+            Event::FrameAborted { frame, .. } => {
+                // A held arrival whose tail never arrived must not be
+                // processed; the abort was accounted upstream.
+                self.pending
+                    .retain(|_, Pending::Process { in_frame, .. }| *in_frame != frame);
+            }
         }
     }
 
     fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
         Some(&self.stats.pipeline)
+    }
+
+    /// Crash/restart state-loss contract (chaos layer): the forwarding
+    /// table is configuration and survives; held datagrams and output
+    /// queues are lost, each accounted as a `RouterDown` drop so
+    /// conservation checks balance across a crash.
+    fn on_restart(&mut self) {
+        for _ in 0..self.pending.len() {
+            self.stats.pipeline.drop(DropReason::RouterDown);
+        }
+        self.pending.clear();
+        for op in self.ports.values_mut() {
+            op.sched.crash_purge(&mut self.stats.pipeline);
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

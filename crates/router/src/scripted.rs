@@ -8,8 +8,8 @@
 
 use std::any::Any;
 
-use sirpent_sim::stats::{PipelineStats, Stage};
-use sirpent_sim::{Context, Event, Node, SimTime};
+use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
+use sirpent_sim::{Context, Event, Node, SimError, SimTime};
 use sirpent_wire::ethernet;
 
 use crate::link::LinkFrame;
@@ -154,9 +154,15 @@ impl Node for ScriptedHost {
                 while self.next < self.plan.len() && self.plan[self.next].at <= ctx.now() {
                     let p = self.plan[self.next].clone();
                     self.next += 1;
-                    if ctx.transmit(p.port, p.bytes).is_ok() {
-                        self.stats.enter(Stage::Transmit);
-                        self.stats.forwarded += 1;
+                    match ctx.transmit(p.port, p.bytes) {
+                        Ok(_) => {
+                            self.stats.enter(Stage::Transmit);
+                            self.stats.forwarded += 1;
+                        }
+                        // A planned send into a downed or missing link is
+                        // a counted loss, so conservation checks balance.
+                        Err(SimError::LinkDown) => self.stats.drop(DropReason::LinkDown),
+                        Err(_) => self.stats.drop(DropReason::NoSuchPort),
                     }
                 }
                 if self.next < self.plan.len() {

@@ -327,6 +327,14 @@ impl ViperRouter {
         self.limits.len()
     }
 
+    /// Total frames sitting in output queues across all ports. The chaos
+    /// harness closes its conservation ledger with this term: a packet
+    /// stranded behind a downed link is in-system, not lost, so at any
+    /// observation instant injected = delivered + dropped + queued.
+    pub fn queued_frames(&self) -> u64 {
+        self.ports.values().map(|p| p.sched.len() as u64).sum()
+    }
+
     fn schedule(&mut self, ctx: &mut Context<'_>, at: SimTime, p: Pending) {
         let key = self.next_key;
         self.next_key += 1;
@@ -340,6 +348,7 @@ impl Node for ViperRouter {
         match ev {
             Event::Frame(fe) => self.on_frame(ctx, fe),
             Event::TxDone { port, frame } => self.on_tx_done(ctx, port, frame),
+            Event::TxAborted { port, frame } => self.on_tx_aborted(ctx, port, frame),
             Event::FrameAborted { frame, .. } => self.on_frame_aborted(ctx, frame),
             Event::Timer { key } => {
                 if key == KEY_INCREASE_TICK {
@@ -363,6 +372,33 @@ impl Node for ViperRouter {
 
     fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
         Some(&self.stats.pipeline)
+    }
+
+    /// Crash/restart state-loss contract (chaos layer): durable
+    /// configuration and already-accumulated counters survive; all soft
+    /// state dies — the token cache (entries, accounting), installed
+    /// rate limits, held arrivals and retries, congestion bookkeeping,
+    /// cut-through maps, and the output queues. Every packet lost from a
+    /// hold or a queue is accounted as a `RouterDown` drop, so
+    /// conservation checks balance across a crash.
+    fn on_restart(&mut self) {
+        if let Some(tc) = self.token_cache.as_mut() {
+            tc.clear();
+        }
+        self.limits.clear();
+        for p in self.pending.values() {
+            // Held packets die with the router; service timers carry none.
+            if matches!(p, Pending::Process(_) | Pending::Retry(..)) {
+                self.stats.pipeline.drop(DropReason::RouterDown);
+            }
+        }
+        self.pending.clear();
+        self.tick_armed = false;
+        self.last_signal.clear();
+        self.cutting.clear();
+        for op in self.ports.values_mut() {
+            op.sched.crash_purge(&mut self.stats.pipeline);
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -308,6 +308,23 @@ impl ViperRouter {
         }
     }
 
+    /// The engine killed one of our own transmissions (link-down, chaos
+    /// layer). Release the current slot and any cut-through bookkeeping
+    /// pointing at the killed frame — without counting a drop; the
+    /// engine already accounted the loss.
+    pub(super) fn on_tx_aborted(&mut self, ctx: &mut Context<'_>, port: u8, frame: FrameId) {
+        let cleared = self
+            .ports
+            .get_mut(&port)
+            .map(|op| op.sched.on_tx_aborted(frame))
+            .unwrap_or(false);
+        if cleared {
+            self.cutting
+                .retain(|_, &mut (_, out_frame)| out_frame != frame);
+            self.service_port(ctx, port);
+        }
+    }
+
     pub(super) fn on_frame_aborted(&mut self, ctx: &mut Context<'_>, in_frame: FrameId) {
         // The upstream sender aborted a frame we may be cutting through:
         // abort our own onward transmission and drop queued copies.
@@ -327,5 +344,10 @@ impl ViperRouter {
         for op in self.ports.values_mut() {
             op.sched.purge_in_frame(in_frame);
         }
+        // And any held arrival still waiting on its decision instant:
+        // its tail will never arrive, so it must not be processed. No
+        // drop is counted here — the kill was accounted upstream.
+        self.pending
+            .retain(|_, p| !matches!(p, Pending::Process(a) if a.in_frame == in_frame));
     }
 }

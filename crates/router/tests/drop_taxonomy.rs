@@ -33,6 +33,9 @@ fn checklist(why: DropReason) -> (usize, Stage) {
         DropReason::NoRoute => (12, Stage::Route),
         DropReason::CannotFragment => (13, Stage::Enqueue),
         DropReason::UnknownCircuit => (14, Stage::Route),
+        DropReason::LinkDown => (15, Stage::Transmit),
+        DropReason::RouterDown => (16, Stage::Parse),
+        DropReason::Partitioned => (17, Stage::Transmit),
     }
 }
 

@@ -39,6 +39,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sirpent_wire::buf::FrameBuf;
 
+use crate::chaos::{ChaosAction, ChaosEvent, FaultSchedule};
+use crate::stats::{DropReason, PipelineStats};
 use crate::time::{bytes_in, transmission_time, SimDuration, SimTime};
 
 /// Identifies a node within a simulation.
@@ -115,6 +117,17 @@ pub enum Event {
         /// The completed frame.
         frame: FrameId,
     },
+    /// A transmission this node started on `port` was killed by the
+    /// engine (link went down mid-frame, chaos layer). The engine has
+    /// already accounted the loss; the node should only release any
+    /// soft state tied to the transmission (e.g. clear its "current
+    /// frame" slot) — it must **not** count a drop of its own.
+    TxAborted {
+        /// The local transmitting port.
+        port: u8,
+        /// The killed frame.
+        frame: FrameId,
+    },
     /// A timer set via [`Context::schedule_in`] / [`Context::schedule_at`]
     /// fired.
     Timer {
@@ -156,6 +169,9 @@ pub enum SimError {
     AbortWithQueue,
     /// Abort was requested but nothing this node sent is on the wire.
     NothingToAbort,
+    /// The channel behind the port is administratively down (chaos
+    /// layer); the transmission was refused.
+    LinkDown,
 }
 
 impl core::fmt::Display for SimError {
@@ -164,6 +180,7 @@ impl core::fmt::Display for SimError {
             SimError::PortNotAttached => write!(f, "port not attached to a channel"),
             SimError::AbortWithQueue => write!(f, "cannot abort with queued transmissions"),
             SimError::NothingToAbort => write!(f, "no in-flight transmission to abort"),
+            SimError::LinkDown => write!(f, "channel is down"),
         }
     }
 }
@@ -178,6 +195,20 @@ pub struct FaultConfig {
     pub drop_prob: f64,
     /// Probability one random byte of a delivered copy is corrupted.
     pub corrupt_prob: f64,
+}
+
+impl FaultConfig {
+    /// Check that both probabilities are finite and within `0.0..=1.0`.
+    /// Validated once at [`Simulator::set_faults`] time so the delivery
+    /// hot path can use them unclamped.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        for p in [self.drop_prob, self.corrupt_prob] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err("fault probability must be finite and within 0.0..=1.0");
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Per-channel counters.
@@ -195,6 +226,8 @@ pub struct ChannelStats {
     pub corrupted: u64,
     /// Transmissions aborted by their sender.
     pub aborts: u64,
+    /// Extra copies injected by a chaos duplication window.
+    pub duplicated: u64,
 }
 
 impl ChannelStats {
@@ -214,6 +247,9 @@ struct TxRecord {
     frame: FrameId,
     start: SimTime,
     end: SimTime,
+    /// Extra propagation delay drawn by an active jitter window (zero
+    /// otherwise); added to every receiver-side instant for this frame.
+    extra: SimDuration,
 }
 
 struct Channel {
@@ -224,6 +260,17 @@ struct Channel {
     in_flight: VecDeque<TxRecord>,
     faults: FaultConfig,
     stats: ChannelStats,
+    /// Administrative link state (chaos layer). Down channels refuse
+    /// transmissions.
+    up: bool,
+    /// Active duplication window probability (0 = no window).
+    dup_prob: f64,
+    /// Active jitter window bound (zero = no window).
+    jitter_max: SimDuration,
+    /// Active error-burst window probability (0 = no window).
+    burst_prob: f64,
+    /// Active error-burst window maximum run length, bytes.
+    burst_run: usize,
 }
 
 /// The behaviour of a simulated node.
@@ -246,6 +293,13 @@ pub trait Node: 'static {
     fn node_stats(&self) -> Option<&dyn crate::stats::NodeStats> {
         None
     }
+
+    /// Called by the chaos layer when the node restarts after a crash.
+    /// Implementations lose whatever their crash/restart contract says a
+    /// reboot loses (soft state: queues, caches, pacing) — durable
+    /// configuration and already-scraped counters survive. Default: the
+    /// node is stateless across restarts.
+    fn on_restart(&mut self) {}
 }
 
 struct Scheduled {
@@ -285,6 +339,22 @@ pub(crate) struct Core {
     rng: StdRng,
     trace: Option<Vec<(SimTime, NodeId, String)>>,
     events_dispatched: u64,
+    /// Remaining chaos events, time-sorted (front = next).
+    chaos: VecDeque<ChaosEvent>,
+    /// Engine-side accounting for chaos-layer losses (LinkDown,
+    /// RouterDown, Partitioned), through the shared drop taxonomy.
+    chaos_stats: PipelineStats,
+    /// Per-node crashed flag (indexed by `NodeId`).
+    down: Vec<bool>,
+    /// Per-node restart epoch: timers scheduled before this sequence
+    /// number are stale soft state from before the last crash and are
+    /// swallowed.
+    node_epoch: Vec<u64>,
+    /// Active partition window: per-node side flag (`true` = side A).
+    partition: Option<Vec<bool>>,
+    /// Frames whose scheduled deliveries were cancelled before their
+    /// first bit (queued transmissions killed by a link-down or crash).
+    cancelled: std::collections::HashSet<FrameId>,
 }
 
 impl Core {
@@ -310,9 +380,22 @@ impl Core {
             .tx_map
             .get(&(sender, port))
             .ok_or(SimError::PortNotAttached)?;
+        if !self.channels[ch_id.0].up {
+            return Err(SimError::LinkDown);
+        }
         let now = self.now;
         let frame = FrameId(self.frame_seq);
         self.frame_seq += 1;
+        // Jitter window: one extra-propagation draw per transmission,
+        // shared by every receiver of this frame so per-frame ordering
+        // invariants (abort before tail) survive reordering. No draw —
+        // and hence no RNG perturbation — outside a window.
+        let jitter_max = self.channels[ch_id.0].jitter_max;
+        let extra = if jitter_max > SimDuration::ZERO {
+            SimDuration(self.rng.gen_range(0..=jitter_max.as_nanos()))
+        } else {
+            SimDuration::ZERO
+        };
         let (start, end, prop, rate, receivers) = {
             let ch = &mut self.channels[ch_id.0];
             let start = ch.free_at.max(now);
@@ -323,6 +406,7 @@ impl Core {
                 frame,
                 start,
                 end,
+                extra,
             });
             ch.stats.frames += 1;
             ch.stats.bytes += payload.len() as u64;
@@ -341,11 +425,19 @@ impl Core {
 
         // Per-tap delivery with fault injection.
         for (node, rx_port) in receivers {
-            let (drop_p, corrupt_p) = {
-                let f = self.channels[ch_id.0].faults;
-                (f.drop_prob, f.corrupt_prob)
-            };
-            if drop_p > 0.0 && self.rng.gen_bool(drop_p.clamp(0.0, 1.0)) {
+            // Partition window: suppression is deterministic (no RNG
+            // draw), so an active partition never perturbs the fault
+            // injector's sequence for unaffected flows.
+            if let Some(sides) = self.partition.as_ref() {
+                let side = |n: NodeId| sides.get(n.0).copied().unwrap_or(false);
+                if side(sender) != side(node) {
+                    self.chaos_stats.drop(DropReason::Partitioned);
+                    continue;
+                }
+            }
+            let f = self.channels[ch_id.0].faults;
+            let (drop_p, corrupt_p) = (f.drop_prob, f.corrupt_prob);
+            if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
                 self.channels[ch_id.0].stats.drops += 1;
                 continue;
             }
@@ -354,7 +446,7 @@ impl Core {
             // when the fault injector actually corrupts this copy.
             let mut copy = payload.clone();
             let mut corrupted = false;
-            if corrupt_p > 0.0 && !copy.is_empty() && self.rng.gen_bool(corrupt_p.clamp(0.0, 1.0)) {
+            if corrupt_p > 0.0 && !copy.is_empty() && self.rng.gen_bool(corrupt_p) {
                 let mut v = copy.to_vec();
                 let i = self.rng.gen_range(0..v.len());
                 let mut flip = 0u8;
@@ -366,18 +458,45 @@ impl Core {
                 corrupted = true;
                 self.channels[ch_id.0].stats.corrupted += 1;
             }
+            // Error-burst window: a contiguous run of bytes takes hits.
+            let burst_p = self.channels[ch_id.0].burst_prob;
+            if burst_p > 0.0 && !copy.is_empty() && self.rng.gen_bool(burst_p) {
+                let mut v = copy.to_vec();
+                let run_max = self.channels[ch_id.0].burst_run.min(v.len()).max(1);
+                let run = self.rng.gen_range(1..=run_max);
+                let at = self.rng.gen_range(0..=v.len() - run);
+                for b in &mut v[at..at + run] {
+                    let mut flip = 0u8;
+                    while flip == 0 {
+                        flip = self.rng.gen();
+                    }
+                    *b ^= flip;
+                }
+                copy = FrameBuf::from(v);
+                if !corrupted {
+                    corrupted = true;
+                    self.channels[ch_id.0].stats.corrupted += 1;
+                }
+            }
             let fe = FrameEvent {
                 port: rx_port,
                 frame: Frame {
                     id: frame,
                     payload: copy,
                 },
-                first_bit: start + prop,
-                last_bit: end + prop,
+                first_bit: start + prop + extra,
+                last_bit: end + prop + extra,
                 rate_bps: rate,
                 corrupted,
             };
-            self.push(start + prop, node, Event::Frame(fe));
+            // Duplication window: the copy may be delivered twice.
+            let dup_p = self.channels[ch_id.0].dup_prob;
+            let dup = dup_p > 0.0 && self.rng.gen_bool(dup_p);
+            if dup {
+                self.channels[ch_id.0].stats.duplicated += 1;
+                self.push(start + prop + extra, node, Event::Frame(fe.clone()));
+            }
+            self.push(start + prop + extra, node, Event::Frame(fe));
         }
 
         Ok(TxInfo { frame, start, end })
@@ -389,7 +508,7 @@ impl Core {
             .get(&(sender, port))
             .ok_or(SimError::PortNotAttached)?;
         let now = self.now;
-        let (frame, bytes_sent, prop, receivers, unsent) = {
+        let (frame, bytes_sent, prop, extra, receivers) = {
             let ch = &mut self.channels[ch_id.0];
             let Some(front) = ch.in_flight.front().copied() else {
                 return Err(SimError::NothingToAbort);
@@ -414,12 +533,13 @@ impl Core {
                 .copied()
                 .filter(|&(n, _)| n != sender)
                 .collect();
-            (front.frame, bytes_sent, ch.prop, receivers, unspent)
+            (front.frame, bytes_sent, ch.prop, front.extra, receivers)
         };
-        let _ = unsent;
+        // The abort rides the same (jittered) propagation path as the
+        // frame itself, so it still lands strictly before the tail.
         for (node, rx_port) in receivers {
             self.push(
-                now + prop,
+                now + prop + extra,
                 node,
                 Event::FrameAborted {
                     port: rx_port,
@@ -429,6 +549,78 @@ impl Core {
             );
         }
         Ok(AbortInfo { frame, bytes_sent })
+    }
+
+    /// Chaos layer: kill every unfinished transmission on `ch_id` that
+    /// matches `pred`, accounting each as a `why` drop. Mid-flight
+    /// frames are aborted toward their receivers (same ordering contract
+    /// as sender aborts); queued-but-unstarted frames are cancelled
+    /// before their first bit ever appears. Records whose last bit has
+    /// already clocked out are left for normal `TxDone` retirement. The
+    /// sender of each killed transmission gets [`Event::TxAborted`].
+    fn chaos_kill(&mut self, ch_id: ChannelId, why: DropReason, pred: impl Fn(&TxRecord) -> bool) {
+        let now = self.now;
+        let (prop, rate, taps, killed) = {
+            let ch = &mut self.channels[ch_id.0];
+            let mut kept = VecDeque::new();
+            let mut killed = Vec::new();
+            while let Some(rec) = ch.in_flight.pop_front() {
+                if rec.end > now && pred(&rec) {
+                    killed.push(rec);
+                } else {
+                    kept.push_back(rec);
+                }
+            }
+            ch.in_flight = kept;
+            if !killed.is_empty() {
+                // The wire frees when the last survivor ends.
+                let tail = ch.in_flight.iter().map(|r| r.end).max().unwrap_or(now);
+                ch.free_at = tail.max(now);
+                for rec in &killed {
+                    // Give back the unspent busy time.
+                    let unspent = rec.end - rec.start.max(now);
+                    ch.stats.busy =
+                        SimDuration(ch.stats.busy.as_nanos().saturating_sub(unspent.as_nanos()));
+                    if rec.start <= now {
+                        ch.stats.aborts += 1;
+                    }
+                }
+            }
+            (ch.prop, ch.rate_bps, ch.taps.clone(), killed)
+        };
+        for rec in killed {
+            self.chaos_stats.drop(why);
+            if rec.start <= now {
+                // Mid-flight: receivers have (or will have) seen the
+                // first bit — retract it ahead of the phantom tail.
+                let bytes_sent = bytes_in(now - rec.start, rate);
+                for &(node, rx_port) in taps.iter().filter(|&&(n, _)| n != rec.sender) {
+                    self.push(
+                        now + prop + rec.extra,
+                        node,
+                        Event::FrameAborted {
+                            port: rx_port,
+                            frame: rec.frame,
+                            bytes_received: bytes_sent,
+                        },
+                    );
+                }
+            } else {
+                // Queued: the scheduled first-bit deliveries are
+                // tombstoned; receivers never hear of the frame.
+                self.cancelled.insert(rec.frame);
+            }
+            if let Some(&(_, tx_port)) = taps.iter().find(|&&(n, _)| n == rec.sender) {
+                self.push(
+                    now,
+                    rec.sender,
+                    Event::TxAborted {
+                        port: tx_port,
+                        frame: rec.frame,
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -544,6 +736,12 @@ impl Simulator {
                 rng: StdRng::seed_from_u64(seed),
                 trace: None,
                 events_dispatched: 0,
+                chaos: VecDeque::new(),
+                chaos_stats: PipelineStats::new(),
+                down: Vec::new(),
+                node_epoch: Vec::new(),
+                partition: None,
+                cancelled: std::collections::HashSet::new(),
             },
             nodes: Vec::new(),
         }
@@ -563,6 +761,8 @@ impl Simulator {
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
+        self.core.down.push(false);
+        self.core.node_epoch.push(0);
         id
     }
 
@@ -577,6 +777,11 @@ impl Simulator {
             in_flight: VecDeque::new(),
             faults: FaultConfig::default(),
             stats: ChannelStats::default(),
+            up: true,
+            dup_prob: 0.0,
+            jitter_max: SimDuration::ZERO,
+            burst_prob: 0.0,
+            burst_run: 0,
         });
         id
     }
@@ -624,8 +829,40 @@ impl Simulator {
     }
 
     /// Set fault injection for a channel.
+    ///
+    /// # Panics
+    /// Panics if either probability is NaN, infinite, or outside
+    /// `0.0..=1.0` — validated here once so the delivery hot path never
+    /// re-clamps.
     pub fn set_faults(&mut self, ch: ChannelId, faults: FaultConfig) {
+        if let Err(e) = faults.validate() {
+            panic!("set_faults on channel {}: {e}", ch.0);
+        }
         self.core.channels[ch.0].faults = faults;
+    }
+
+    /// Install a chaos [`FaultSchedule`]. Events apply when simulated
+    /// time reaches them, before node events at the same instant.
+    /// Replaces any previously installed schedule's remaining events.
+    pub fn install_schedule(&mut self, schedule: FaultSchedule) {
+        self.core.chaos = schedule.into_events().into();
+    }
+
+    /// Engine-side chaos accounting: losses the chaos layer itself
+    /// inflicted (link kills, crashed-receiver drops, partition
+    /// suppressions), through the shared drop taxonomy.
+    pub fn chaos_stats(&self) -> &PipelineStats {
+        &self.core.chaos_stats
+    }
+
+    /// Whether `node` is currently crashed by the chaos layer.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.core.down.get(node.0).copied().unwrap_or(false)
+    }
+
+    /// Whether a channel is administratively up.
+    pub fn is_link_up(&self, ch: ChannelId) -> bool {
+        self.core.channels[ch.0].up
     }
 
     /// Counters for a channel.
@@ -650,8 +887,94 @@ impl Simulator {
         self.core.push(at, node, Event::Timer { key });
     }
 
-    /// Dispatch the next event. Returns `false` when the queue is empty.
+    /// Apply the front chaos event if it is due before (or at the same
+    /// instant as) the next node event. Returns whether one was applied.
+    fn step_chaos(&mut self) -> bool {
+        let due = match (self.core.chaos.front(), self.core.heap.peek()) {
+            (Some(ce), Some(Reverse(head))) => ce.at <= head.time,
+            (Some(_), None) => true,
+            (None, _) => return false,
+        };
+        if !due {
+            return false;
+        }
+        let Some(ce) = self.core.chaos.pop_front() else {
+            return false;
+        };
+        self.core.now = self.core.now.max(ce.at);
+        self.apply_chaos(ce.action);
+        true
+    }
+
+    /// Apply one chaos action at the current instant.
+    fn apply_chaos(&mut self, action: ChaosAction) {
+        match action {
+            ChaosAction::LinkDown { ch } => {
+                self.core.channels[ch.0].up = false;
+                self.core.chaos_kill(ch, DropReason::LinkDown, |_| true);
+            }
+            ChaosAction::LinkUp { ch } => {
+                let now = self.core.now;
+                let c = &mut self.core.channels[ch.0];
+                c.up = true;
+                c.free_at = c.free_at.max(now);
+            }
+            ChaosAction::RouterCrash { node } => {
+                if let Some(d) = self.core.down.get_mut(node.0) {
+                    *d = true;
+                }
+                // The node's own transmissions die with it, wherever
+                // they are on the wire.
+                for i in 0..self.core.channels.len() {
+                    self.core
+                        .chaos_kill(ChannelId(i), DropReason::RouterDown, |r| r.sender == node);
+                }
+            }
+            ChaosAction::RouterRestart { node } => {
+                if let Some(d) = self.core.down.get_mut(node.0) {
+                    *d = false;
+                }
+                // Timers set before the crash are stale soft state.
+                if let Some(e) = self.core.node_epoch.get_mut(node.0) {
+                    *e = self.core.seq;
+                }
+                if let Some(n) = self.nodes.get_mut(node.0).and_then(|n| n.as_mut()) {
+                    n.on_restart();
+                }
+            }
+            ChaosAction::PartitionStart { side_a } => {
+                let mut sides = vec![false; self.nodes.len()];
+                for n in side_a {
+                    if let Some(s) = sides.get_mut(n.0) {
+                        *s = true;
+                    }
+                }
+                self.core.partition = Some(sides);
+            }
+            ChaosAction::PartitionEnd => self.core.partition = None,
+            ChaosAction::DuplicateStart { ch, prob } => self.core.channels[ch.0].dup_prob = prob,
+            ChaosAction::DuplicateEnd { ch } => self.core.channels[ch.0].dup_prob = 0.0,
+            ChaosAction::JitterStart { ch, max_extra } => {
+                self.core.channels[ch.0].jitter_max = max_extra;
+            }
+            ChaosAction::JitterEnd { ch } => {
+                self.core.channels[ch.0].jitter_max = SimDuration::ZERO;
+            }
+            ChaosAction::ErrorBurstStart { ch, prob, max_run } => {
+                let c = &mut self.core.channels[ch.0];
+                c.burst_prob = prob;
+                c.burst_run = max_run;
+            }
+            ChaosAction::ErrorBurstEnd { ch } => self.core.channels[ch.0].burst_prob = 0.0,
+        }
+    }
+
+    /// Dispatch the next event (or apply the next due chaos action).
+    /// Returns `false` when both queues are empty.
     pub fn step(&mut self) -> bool {
+        if self.step_chaos() {
+            return true;
+        }
         let Some(Reverse(sched)) = self.core.heap.pop() else {
             return false;
         };
@@ -677,6 +1000,35 @@ impl Simulator {
                 return true; // aborted transmission: swallow the TxDone
             }
         }
+        // Chaos: deliveries of frames whose queued transmission was
+        // killed before its first bit never happened.
+        if let Event::Frame(fe) = &sched.event {
+            if self.core.cancelled.contains(&fe.frame.id) {
+                return true;
+            }
+        }
+        // Chaos: a crashed node receives nothing. Arriving frames are
+        // accounted as RouterDown losses; everything else addressed to
+        // it dies silently.
+        if self.core.down.get(sched.target.0).copied().unwrap_or(false) {
+            if matches!(sched.event, Event::Frame(_)) {
+                self.core.chaos_stats.drop(DropReason::RouterDown);
+            }
+            return true;
+        }
+        // Chaos: timers set before the node's last restart belong to
+        // soft state the crash destroyed.
+        if matches!(sched.event, Event::Timer { .. })
+            && sched.seq
+                < self
+                    .core
+                    .node_epoch
+                    .get(sched.target.0)
+                    .copied()
+                    .unwrap_or(0)
+        {
+            return true;
+        }
         self.core.events_dispatched += 1;
         let mut node = self.nodes[sched.target.0]
             .take()
@@ -701,8 +1053,16 @@ impl Simulator {
     /// Run until simulated `deadline` (events at exactly `deadline` are
     /// processed; later ones stay queued).
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(head)) = self.core.heap.peek() {
-            if head.time > deadline {
+        loop {
+            let next_heap = self.core.heap.peek().map(|Reverse(s)| s.time);
+            let next_chaos = self.core.chaos.front().map(|c| c.at);
+            let next = match (next_heap, next_chaos) {
+                (Some(h), Some(c)) => h.min(c),
+                (Some(h), None) => h,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+            if next > deadline {
                 break;
             }
             self.step();
@@ -763,10 +1123,12 @@ mod tests {
     struct Probe {
         frames: Vec<(SimTime, SimTime, Vec<u8>, bool)>,
         aborted: Vec<(SimTime, usize)>,
+        tx_aborted: Vec<(SimTime, FrameId)>,
         tx_done: Vec<SimTime>,
         timers: Vec<(SimTime, u64)>,
         send_on_timer: Option<(u8, Vec<u8>)>,
         abort_on_timer: Option<(u64, u8)>,
+        restarts: u32,
     }
 
     impl Node for Probe {
@@ -782,6 +1144,7 @@ mod tests {
                     self.aborted.push((ctx.now(), bytes_received))
                 }
                 Event::TxDone { .. } => self.tx_done.push(ctx.now()),
+                Event::TxAborted { frame, .. } => self.tx_aborted.push((ctx.now(), frame)),
                 Event::Timer { key } => {
                     self.timers.push((ctx.now(), key));
                     if let Some((abort_key, port)) = self.abort_on_timer {
@@ -795,6 +1158,9 @@ mod tests {
                     }
                 }
             }
+        }
+        fn on_restart(&mut self) {
+            self.restarts += 1;
         }
         fn as_any(&self) -> &dyn Any {
             self
@@ -1127,5 +1493,314 @@ mod tests {
         sim.run(10);
         assert_eq!(sim.trace().len(), 1);
         assert_eq!(sim.trace()[0].2, "hello");
+    }
+
+    // ----- chaos layer ---------------------------------------------------
+
+    fn schedule(events: Vec<(u64, ChaosAction)>) -> FaultSchedule {
+        FaultSchedule::new(
+            events
+                .into_iter()
+                .map(|(at, action)| ChaosEvent {
+                    at: SimTime(at),
+                    action,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn link_down_aborts_midflight_before_tail() {
+        let mut sim = Simulator::new(20);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::from_micros(1));
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![9; 1250])); // 1 ms
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.install_schedule(schedule(vec![(400_000, ChaosAction::LinkDown { ch: ab })]));
+        sim.run(1000);
+
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len(), 1, "header already announced");
+        let tail = probe_b.frames[0].1;
+        assert_eq!(probe_b.aborted.len(), 1);
+        let (abort_seen, bytes_rx) = probe_b.aborted[0];
+        assert!(abort_seen < tail, "abort must precede the phantom tail");
+        assert_eq!(bytes_rx, 500, "400 µs at 10 Mb/s");
+        let probe_a = sim.node::<Probe>(a);
+        assert!(probe_a.tx_done.is_empty(), "no TxDone for a killed frame");
+        assert_eq!(probe_a.tx_aborted.len(), 1);
+        assert_eq!(probe_a.tx_aborted[0].0, SimTime(400_000));
+        assert_eq!(sim.chaos_stats().drops[DropReason::LinkDown], 1);
+        assert!(!sim.is_link_up(ab));
+    }
+
+    #[test]
+    fn link_down_cancels_queued_and_link_up_restores() {
+        let mut sim = Simulator::new(21);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![1; 125])); // 100 µs
+                                                                          // Two back-to-back at t=0: the first is mid-flight at 50 µs, the
+                                                                          // second still queued behind it.
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.kick(SimTime::ZERO, a, 2);
+        // A third send after the link comes back.
+        sim.kick(SimTime(400_000), a, 3);
+        sim.install_schedule(schedule(vec![
+            (50_000, ChaosAction::LinkDown { ch: ab }),
+            (300_000, ChaosAction::LinkUp { ch: ab }),
+        ]));
+        sim.run(1000);
+
+        let probe_b = sim.node::<Probe>(b);
+        // First frame: announced, then aborted. Second: cancelled before
+        // its first bit — the receiver never hears of it. Third: clean.
+        assert_eq!(probe_b.frames.len(), 2);
+        assert_eq!(probe_b.aborted.len(), 1);
+        assert_eq!(probe_b.frames[1].0, SimTime(400_000));
+        assert_eq!(sim.chaos_stats().drops[DropReason::LinkDown], 2);
+        let probe_a = sim.node::<Probe>(a);
+        assert_eq!(probe_a.tx_aborted.len(), 2, "both kills notify the sender");
+        assert_eq!(probe_a.tx_done.len(), 1, "only the clean frame completes");
+        assert!(sim.is_link_up(ab));
+    }
+
+    #[test]
+    fn transmit_on_down_link_reports_error() {
+        struct TxTry(Option<SimError>);
+        impl Node for TxTry {
+            fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+                if matches!(ev, Event::Timer { .. }) {
+                    self.0 = ctx.transmit(0, vec![1; 10]).err();
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(22);
+        let a = sim.add_node(Box::new(TxTry(None)));
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.install_schedule(schedule(vec![(0, ChaosAction::LinkDown { ch: ab })]));
+        sim.kick(SimTime(1_000), a, 1);
+        sim.run(100);
+        assert_eq!(sim.node::<TxTry>(a).0, Some(SimError::LinkDown));
+        assert!(sim.node::<Probe>(b).frames.is_empty());
+    }
+
+    #[test]
+    fn crash_swallows_traffic_and_restart_loses_timers() {
+        let mut sim = Simulator::new(23);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![5; 125]));
+        // A frame lands while b is down; a timer armed pre-crash would
+        // fire after the restart.
+        sim.kick(SimTime(100_000), a, 1);
+        sim.kick(SimTime(150_000), b, 77);
+        // After the restart a second frame goes through.
+        sim.kick(SimTime(300_000), a, 2);
+        sim.install_schedule(schedule(vec![
+            (50_000, ChaosAction::RouterCrash { node: b }),
+            (120_000, ChaosAction::RouterRestart { node: b }),
+        ]));
+        sim.run(1000);
+
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.restarts, 1, "the restart hook ran");
+        assert!(
+            probe_b.timers.is_empty(),
+            "pre-crash timers are lost soft state"
+        );
+        // The down-window frame was swallowed and accounted; the
+        // post-restart frame arrived.
+        assert_eq!(probe_b.frames.len(), 1);
+        assert_eq!(probe_b.frames[0].0, SimTime(300_000));
+        assert_eq!(sim.chaos_stats().drops[DropReason::RouterDown], 1);
+        assert!(!sim.is_down(b));
+    }
+
+    #[test]
+    fn crash_kills_the_crashed_nodes_own_transmissions() {
+        let mut sim = Simulator::new(24);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![8; 1250])); // 1 ms
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.install_schedule(schedule(vec![(
+            400_000,
+            ChaosAction::RouterCrash { node: a },
+        )]));
+        sim.run(1000);
+        // The sender crashed mid-transmission: the receiver must see the
+        // retraction, and the loss is accounted as RouterDown.
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.aborted.len(), 1);
+        assert_eq!(sim.chaos_stats().drops[DropReason::RouterDown], 1);
+        assert!(sim.is_down(a));
+    }
+
+    #[test]
+    fn partition_suppresses_cross_side_delivery_only() {
+        let mut sim = Simulator::new(25);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let c = sim.add_node(Box::<Probe>::default());
+        let bus = sim.add_channel(MBPS_10, SimDuration::ZERO);
+        sim.attach(bus, a, 0);
+        sim.attach(bus, b, 0);
+        sim.attach(bus, c, 0);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![3; 100]));
+        sim.kick(SimTime(100_000), a, 1);
+        sim.kick(SimTime(600_000), a, 2);
+        sim.install_schedule(schedule(vec![
+            (0, ChaosAction::PartitionStart { side_a: vec![a, b] }),
+            (500_000, ChaosAction::PartitionEnd),
+        ]));
+        sim.run(1000);
+        // During the window: same-side b hears a, far-side c does not.
+        // After the window heals, everyone hears everything.
+        assert_eq!(sim.node::<Probe>(b).frames.len(), 2);
+        assert_eq!(sim.node::<Probe>(c).frames.len(), 1);
+        assert_eq!(sim.chaos_stats().drops[DropReason::Partitioned], 1);
+    }
+
+    #[test]
+    fn duplication_window_delivers_twice() {
+        let mut sim = Simulator::new(26);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![4; 50]));
+        sim.kick(SimTime(100_000), a, 1);
+        sim.kick(SimTime(600_000), a, 2);
+        sim.install_schedule(schedule(vec![
+            (0, ChaosAction::DuplicateStart { ch: ab, prob: 1.0 }),
+            (500_000, ChaosAction::DuplicateEnd { ch: ab }),
+        ]));
+        sim.run(1000);
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len(), 3, "one doubled + one clean");
+        assert_eq!(probe_b.frames[0].2, probe_b.frames[1].2);
+        assert_eq!(sim.channel_stats(ab).duplicated, 1);
+    }
+
+    #[test]
+    fn jitter_keeps_abort_before_tail() {
+        let mut sim = Simulator::new(27);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::from_micros(2));
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![6; 1250])); // 1 ms
+        sim.kick(SimTime(100_000), a, 1);
+        sim.install_schedule(schedule(vec![
+            (
+                0,
+                ChaosAction::JitterStart {
+                    ch: ab,
+                    max_extra: SimDuration::from_micros(50),
+                },
+            ),
+            (500_000, ChaosAction::LinkDown { ch: ab }),
+        ]));
+        sim.run(1000);
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len(), 1);
+        assert_eq!(probe_b.aborted.len(), 1);
+        // The abort rides the same jittered path as the frame: it still
+        // lands strictly before the phantom tail.
+        assert!(probe_b.aborted[0].0 < probe_b.frames[0].1);
+        assert!(probe_b.frames[0].0 >= SimTime(102_000), "prop + jitter ≥ 0");
+    }
+
+    #[test]
+    fn error_burst_flips_a_contiguous_run() {
+        let mut sim = Simulator::new(28);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![0x55; 64]));
+        sim.kick(SimTime(100_000), a, 1);
+        sim.install_schedule(schedule(vec![(
+            0,
+            ChaosAction::ErrorBurstStart {
+                ch: ab,
+                prob: 1.0,
+                max_run: 4,
+            },
+        )]));
+        sim.run(1000);
+        let probe_b = sim.node::<Probe>(b);
+        assert_eq!(probe_b.frames.len(), 1);
+        assert!(probe_b.frames[0].3, "flagged corrupted");
+        let diffs: Vec<usize> = probe_b.frames[0]
+            .2
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &byte)| (byte != 0x55).then_some(i))
+            .collect();
+        assert!(!diffs.is_empty() && diffs.len() <= 4);
+        assert_eq!(
+            diffs.last().unwrap() - diffs[0] + 1,
+            diffs.len(),
+            "the burst is one contiguous run"
+        );
+        assert_eq!(sim.channel_stats(ab).corrupted, 1);
+    }
+
+    #[test]
+    fn empty_schedule_is_inert() {
+        fn run(install: bool) -> Vec<(SimTime, usize)> {
+            let mut sim = Simulator::new(29);
+            let a = sim.add_node(Box::<Probe>::default());
+            let b = sim.add_node(Box::<Probe>::default());
+            let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::from_micros(3));
+            sim.set_faults(
+                ab,
+                FaultConfig {
+                    drop_prob: 0.2,
+                    corrupt_prob: 0.2,
+                },
+            );
+            if install {
+                sim.install_schedule(schedule(vec![]));
+            }
+            sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![1; 99]));
+            for i in 0..50 {
+                sim.kick(SimTime(i * 500_000), a, 1);
+            }
+            sim.run(10_000);
+            sim.node::<Probe>(b)
+                .frames
+                .iter()
+                .map(|f| (f.0, f.2.len()))
+                .collect()
+        }
+        assert_eq!(run(false), run(true), "chaos present-but-idle is free");
+    }
+
+    #[test]
+    #[should_panic(expected = "set_faults")]
+    fn set_faults_rejects_nan() {
+        let mut sim = Simulator::new(30);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.set_faults(
+            ab,
+            FaultConfig {
+                drop_prob: f64::NAN,
+                corrupt_prob: 0.0,
+            },
+        );
     }
 }

@@ -10,6 +10,9 @@
 //!
 //! * [`engine`] — event queue, nodes, channels (point-to-point links and
 //!   shared broadcast segments), preemptive aborts, fault injection.
+//! * [`chaos`] — scheduled fault events (link flaps, router crash and
+//!   restart, partitions, duplication/jitter/error-burst windows)
+//!   applied deterministically by the engine.
 //! * [`time`] — nanosecond clock and rate arithmetic.
 //! * [`workload`] — the paper's §6.2 packet-size mix and hop-count
 //!   locality model, plus Poisson/CBR/bursty-on-off arrival processes.
@@ -19,11 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod stats;
 pub mod time;
 pub mod workload;
 
+pub use chaos::{ChaosAction, ChaosError, ChaosEvent, FaultSchedule};
 pub use engine::{
     AbortInfo, ChannelId, Context, Event, FaultConfig, Frame, FrameEvent, FrameId, Node, NodeId,
     SimError, Simulator, TxInfo,

@@ -93,11 +93,20 @@ pub enum DropReason {
     CannotFragment,
     /// CVC data arrived for a circuit this switch does not know.
     UnknownCircuit,
+    /// The outgoing (or carrying) link was administratively down — the
+    /// frame was killed on the wire or refused at transmit time.
+    LinkDown,
+    /// The receiving router was crashed when the frame arrived, or the
+    /// frame was purged from a queue by a crash (chaos layer).
+    RouterDown,
+    /// Delivery suppressed by an active partition window between the
+    /// sender's side and the receiver's side.
+    Partitioned,
 }
 
 impl DropReason {
     /// Every reason, in dense-index order.
-    pub const ALL: [DropReason; 15] = [
+    pub const ALL: [DropReason; 18] = [
         DropReason::ParseError,
         DropReason::NoSuchPort,
         DropReason::QueueFull,
@@ -113,6 +122,9 @@ impl DropReason {
         DropReason::NoRoute,
         DropReason::CannotFragment,
         DropReason::UnknownCircuit,
+        DropReason::LinkDown,
+        DropReason::RouterDown,
+        DropReason::Partitioned,
     ];
 
     /// Number of reasons.
@@ -136,6 +148,9 @@ impl DropReason {
             DropReason::NoRoute => 12,
             DropReason::CannotFragment => 13,
             DropReason::UnknownCircuit => 14,
+            DropReason::LinkDown => 15,
+            DropReason::RouterDown => 16,
+            DropReason::Partitioned => 17,
         }
     }
 
@@ -153,7 +168,10 @@ impl DropReason {
             DropReason::QueueFull | DropReason::DropIfBlocked | DropReason::CannotFragment => {
                 Stage::Enqueue
             }
-            DropReason::Preempted => Stage::Transmit,
+            DropReason::Preempted | DropReason::LinkDown | DropReason::Partitioned => {
+                Stage::Transmit
+            }
+            DropReason::RouterDown => Stage::Parse,
         }
     }
 }

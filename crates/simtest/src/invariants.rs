@@ -1,0 +1,158 @@
+//! The five global invariants, as reusable checkers.
+//!
+//! Each checker runs the scenario (twice — determinism is itself an
+//! invariant) and returns `None` on success or `Some(description)` of
+//! the first violated property. The same functions back the proptest
+//! suites, the soak corpus, and the shrinker's failure predicate, so a
+//! shrunk fixture reproduces exactly what the suite saw.
+
+use crate::scenario::{execute, RunReport};
+use crate::spec::Scenario;
+
+/// Upper bound on per-marker deliveries when a duplication window was
+/// scheduled on the marker's rail. The engine duplicates at most once
+/// per channel traversal, so a 5-hop rail cannot exceed 2^5 copies;
+/// 32 covers the deepest rail the generator emits.
+pub const DUP_BOUND: u32 = 32;
+
+fn drop_ledger(r: &RunReport) -> u64 {
+    r.node_drops + r.chan_drops + r.chaos_drops + r.leftover_queued
+}
+
+fn determinism(spec: &Scenario) -> Result<RunReport, String> {
+    let a = execute(spec);
+    let b = execute(spec);
+    if a.digest != b.digest {
+        return Err(format!(
+            "determinism: seed {} produced two different digests across \
+             identical runs ({} vs {} bytes)",
+            spec.seed,
+            a.digest.len(),
+            b.digest.len()
+        ));
+    }
+    Ok(a)
+}
+
+/// Exact-tier invariants: strict packet conservation, exactly-once
+/// delivery, phantom-freedom, reply routing, determinism.
+///
+/// Valid for scenarios generated with [`crate::spec::Profile::Exact`]:
+/// no CVC rails (their switches originate control traffic, which breaks
+/// the one-injection-one-delivery ledger) and no duplication windows.
+pub fn check_exact(spec: &Scenario) -> Option<String> {
+    let r = match determinism(spec) {
+        Ok(r) => r,
+        Err(e) => return Some(e),
+    };
+
+    let accounted = r.delivered_frames + drop_ledger(&r);
+    if r.injected != accounted {
+        return Some(format!(
+            "conservation: injected {} != delivered {} + node_drops {} + \
+             chan_drops {} + chaos_drops {} + queued {} (= {})",
+            r.injected,
+            r.delivered_frames,
+            r.node_drops,
+            r.chan_drops,
+            r.chaos_drops,
+            r.leftover_queued,
+            accounted
+        ));
+    }
+    // A copy corrupted on an intermediate hop can be forwarded (payload
+    // damage passes an IP header checksum) and arrive flagged clean but
+    // with a mangled marker, so each phantom needs a corruption event
+    // somewhere upstream to explain it. With no corruption scheduled,
+    // the bound is zero: the network never invents packets.
+    if r.phantom_frames > r.chan_corrupted {
+        return Some(format!(
+            "phantom: {} uncorrupted deliveries matched no injected marker, \
+             but only {} channel corruption events could explain them",
+            r.phantom_frames, r.chan_corrupted
+        ));
+    }
+    if let Some((m, n)) = r.marker_hits.iter().find(|&(_, &n)| n > 1) {
+        return Some(format!(
+            "exactly-once: marker {m:016x} delivered {n} times with no \
+             duplication window scheduled"
+        ));
+    }
+    if let Some(m) = r
+        .replies_expected
+        .iter()
+        .find(|m| r.reply_hits.get(m).copied().unwrap_or(0) == 0)
+    {
+        return Some(format!(
+            "reply-route: trailer-derived reply {m:016x} never reached the \
+             source host"
+        ));
+    }
+    None
+}
+
+/// Corpus-tier invariants: set-based conservation, bounded duplication,
+/// phantom-freedom, reply routing, determinism.
+///
+/// Handles everything the generator can emit — CVC rails, duplication
+/// windows, error bursts — at the cost of a weaker ledger: every
+/// undelivered marker must be covered by the global drop budget, rather
+/// than each injection matching exactly one counter.
+pub fn check_corpus(spec: &Scenario) -> Option<String> {
+    let r = match determinism(spec) {
+        Ok(r) => r,
+        Err(e) => return Some(e),
+    };
+
+    // A copy corrupted on an intermediate hop can be forwarded (payload
+    // damage passes an IP header checksum) and arrive flagged clean but
+    // with a mangled marker, so each phantom needs a corruption event
+    // somewhere upstream to explain it. With no corruption scheduled,
+    // the bound is zero: the network never invents packets.
+    if r.phantom_frames > r.chan_corrupted {
+        return Some(format!(
+            "phantom: {} uncorrupted deliveries matched no injected marker, \
+             but only {} channel corruption events could explain them",
+            r.phantom_frames, r.chan_corrupted
+        ));
+    }
+    for (m, &n) in &r.marker_hits {
+        let bound = if r.dup_markers.contains(m) {
+            DUP_BOUND
+        } else {
+            1
+        };
+        if n > bound {
+            return Some(format!(
+                "duplication: marker {m:016x} delivered {n} times (bound {bound})"
+            ));
+        }
+    }
+    let undelivered = spec
+        .rails
+        .iter()
+        .flat_map(|rail| rail.packets.iter().map(|p| p.marker))
+        .filter(|m| r.marker_hits.get(m).copied().unwrap_or(0) == 0)
+        .count() as u64;
+    // `chan_corrupted` covers both final-hop flagged deliveries and
+    // mid-path marker damage (each is one corruption event on some
+    // channel).
+    let budget = drop_ledger(&r) + r.chan_corrupted;
+    if undelivered > budget {
+        return Some(format!(
+            "conservation(set): {undelivered} markers undelivered but the \
+             drop budget only explains {budget}"
+        ));
+    }
+    if let Some(m) = r
+        .replies_expected
+        .iter()
+        .find(|m| r.reply_hits.get(m).copied().unwrap_or(0) == 0)
+    {
+        return Some(format!(
+            "reply-route: trailer-derived reply {m:016x} never reached the \
+             source host"
+        ));
+    }
+    None
+}

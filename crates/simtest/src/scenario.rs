@@ -1,0 +1,786 @@
+//! Turn a [`Scenario`] into a running simulation and scrape the result.
+//!
+//! The builder is a pure function of the spec: the same [`Scenario`]
+//! always produces the same topology, workload bytes, chaos schedule,
+//! and — because the engine is deterministic — the same [`RunReport`]
+//! and digest. Rails are disjoint chains (`src host → r1 … rN → dst`)
+//! so faults on one rail cannot leak packets into another; the
+//! conservation ledger is still computed globally.
+
+use std::collections::HashMap;
+
+use sirpent_router::cvc::{CvcConfig, CvcRoute, CvcSwitch};
+use sirpent_router::ip::{IpConfig, IpPortConfig, IpRouter, RouteEntry};
+use sirpent_router::link::LinkFrame;
+use sirpent_router::scripted::ScriptedHost;
+use sirpent_router::viper::{
+    CongestionConfig, PortConfig, PortKind, SwitchMode, ViperConfig, ViperRouter,
+};
+use sirpent_router::LogicalTable;
+use sirpent_sim::stats::Summary;
+use sirpent_sim::{
+    ChannelId, ChaosAction, ChaosEvent, FaultConfig, FaultSchedule, NodeId, SimDuration, SimTime,
+    Simulator,
+};
+use sirpent_wire::cvc::Message;
+use sirpent_wire::ipish::{self, Address};
+use sirpent_wire::packet::PacketBuilder;
+use sirpent_wire::trailer::Trailer;
+use sirpent_wire::viper::{SegmentRepr, PORT_LOCAL};
+
+use crate::spec::{FaultSpec, RailKind, Scenario, FLUSH_US};
+
+/// Link rate used on every rail channel.
+const RATE_BPS: u64 = 10_000_000;
+/// Propagation delay on every rail channel.
+const PROP: SimDuration = SimDuration(2_000);
+/// End of phase 1 (workload + chaos + drain), nanoseconds.
+const PHASE1_END: SimTime = SimTime(1_000_000_000);
+/// End of phase 2 (reply routing), nanoseconds.
+const PHASE2_END: SimTime = SimTime(2_000_000_000);
+/// XOR salt deriving a reply marker from a delivered workload marker.
+const REPLY_SALT: u64 = 0xA5A5_5A5A_A5A5_5A5A;
+
+/// One instantiated rail with its engine ids.
+pub struct BuiltRail {
+    /// Forwarding plane of this rail.
+    pub kind: RailKind,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host (unused sink on CVC rails, which deliver at the
+    /// terminal switch's local attachment).
+    pub dst: NodeId,
+    /// The chain's routers/switches, in forward order.
+    pub routers: Vec<NodeId>,
+    /// Forward-direction channels: `src→r1, r1→r2, …, rN→dst`.
+    pub fwd: Vec<ChannelId>,
+    /// Reverse-direction channels, same hop order.
+    pub rev: Vec<ChannelId>,
+    /// Workload markers injected on this rail.
+    pub markers: Vec<u64>,
+    /// The drain flush packet's marker.
+    pub flush_marker: u64,
+    /// Whether any duplication window targets this rail.
+    pub dup_window: bool,
+}
+
+/// A scenario instantiated into a simulator (not yet run).
+pub struct BuiltScenario {
+    /// The engine.
+    pub sim: Simulator,
+    /// Per-rail ids and marker books.
+    pub rails: Vec<BuiltRail>,
+    /// Count of planned injections so far (workload + flush).
+    pub injected: u64,
+}
+
+/// Everything the invariant checks need from one finished run.
+pub struct RunReport {
+    /// Total packets planned (workload + flush + phase-2 replies).
+    pub injected: u64,
+    /// Frames recorded at host sinks plus CVC local deliveries
+    /// (corrupted copies included — they arrived).
+    pub delivered_frames: u64,
+    /// Sum of every node's unified drop counters (hosts and routers).
+    pub node_drops: u64,
+    /// Sum of channel fault-injection drops.
+    pub chan_drops: u64,
+    /// Engine chaos-layer drops (link/router/partition kills).
+    pub chaos_drops: u64,
+    /// Frames still sitting in router output queues at the horizon.
+    pub leftover_queued: u64,
+    /// Delivery count per known marker, uncorrupted copies only.
+    pub marker_hits: HashMap<u64, u32>,
+    /// Markers of rails that had a duplication window (hits may exceed 1).
+    pub dup_markers: Vec<u64>,
+    /// Reply markers planned in phase 2 (VIPER rails only).
+    pub replies_expected: Vec<u64>,
+    /// Delivery count per reply marker at the source hosts.
+    pub reply_hits: HashMap<u64, u32>,
+    /// Uncorrupted frames at VIPER/IP rail destinations carrying no
+    /// known marker — phantom deliveries (must be zero).
+    pub phantom_frames: u64,
+    /// Frames that arrived at a destination host with the corruption
+    /// flag set — delivered, but excluded from marker accounting.
+    pub corrupted_delivered: u64,
+    /// Total copies the fault injector corrupted on any channel. A
+    /// frame corrupted mid-path can be forwarded onward (payload damage
+    /// passes an IP header checksum) and arrive at the destination with
+    /// a clean final-hop flag but a mangled marker, so the phantom
+    /// check budgets against this instead of the per-delivery flag.
+    pub chan_corrupted: u64,
+    /// Canonical byte-exact digest of the run (determinism invariant).
+    pub digest: String,
+}
+
+/// FNV-1a over a byte slice — stable, dependency-free content hash.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Bit-exact signature of a delay summary.
+pub fn summary_sig(s: &Summary) -> String {
+    format!(
+        "{}:{:016x}:{:016x}:{:016x}:{:016x}",
+        s.count(),
+        s.mean().to_bits(),
+        s.stddev().to_bits(),
+        s.min().to_bits(),
+        s.max().to_bits()
+    )
+}
+
+fn us(t: u64) -> SimTime {
+    SimTime(t * 1_000)
+}
+
+fn marker_payload(marker: u64, len: usize) -> Vec<u8> {
+    let mut p = marker.to_le_bytes().to_vec();
+    p.resize(len.max(16), 0x5C);
+    p
+}
+
+fn contains_marker(bytes: &[u8], marker: u64) -> bool {
+    let needle = marker.to_le_bytes();
+    bytes.windows(8).any(|w| w == needle)
+}
+
+fn viper_cfg(router_id: u32, kind: RailKind) -> ViperConfig {
+    ViperConfig {
+        router_id,
+        mode: match kind {
+            RailKind::ViperCut => SwitchMode::CutThrough,
+            _ => SwitchMode::StoreAndForward {
+                process_delay: SimDuration::from_micros(20),
+            },
+        },
+        decision_delay: SimDuration::from_nanos(500),
+        ports: vec![
+            PortConfig {
+                port: 1,
+                kind: PortKind::PointToPoint,
+                mtu: 1600,
+            },
+            PortConfig {
+                port: 2,
+                kind: PortKind::PointToPoint,
+                mtu: 1600,
+            },
+        ],
+        auth: None,
+        logical: LogicalTable::new(),
+        queue_capacity: 8,
+        congestion: CongestionConfig::default(),
+    }
+}
+
+fn viper_workload_frame(hops: usize, marker: u64, len: usize) -> Vec<u8> {
+    let mut b = PacketBuilder::new();
+    for _ in 0..hops {
+        b = b.segment(SegmentRepr {
+            port: 2,
+            ..Default::default()
+        });
+    }
+    let packet = b
+        .segment(SegmentRepr::minimal(PORT_LOCAL))
+        .payload(marker_payload(marker, len))
+        .build()
+        .expect("workload packet builds");
+    LinkFrame::Sirpent {
+        ff_hint: 0,
+        packet: packet.into(),
+    }
+    .to_p2p_bytes()
+}
+
+fn ip_rail_addrs(rail_idx: usize) -> (Address, Address) {
+    let i = rail_idx as u8;
+    (Address::new(10, i, 1, 1), Address::new(10, i, 2, 2))
+}
+
+fn ip_workload_frame(rail_idx: usize, marker: u64, len: usize, ident: u16) -> Vec<u8> {
+    let (src, dst) = ip_rail_addrs(rail_idx);
+    let payload = marker_payload(marker, len);
+    let mut d = ipish::Repr {
+        tos: 0,
+        total_len: (ipish::HEADER_LEN + payload.len()) as u16,
+        ident,
+        dont_frag: false,
+        more_frags: false,
+        frag_offset: 0,
+        ttl: ipish::DEFAULT_TTL,
+        protocol: 17,
+        src,
+        dst,
+    }
+    .to_bytes();
+    d.extend(payload);
+    LinkFrame::Ipish(d).to_p2p_bytes()
+}
+
+fn cvc_dest(rail_idx: usize) -> u32 {
+    0xC0A8_0000 + rail_idx as u32
+}
+
+fn cvc_frame(m: Message) -> Vec<u8> {
+    LinkFrame::Cvc(m.to_bytes()).to_p2p_bytes()
+}
+
+/// Instantiate the scenario: nodes, channels, static fault configs,
+/// workload plans (including the drain flush), and the chaos schedule.
+pub fn build(spec: &Scenario) -> BuiltScenario {
+    let mut sim = Simulator::new(spec.seed);
+    let mut rails = Vec::new();
+
+    for (rail_idx, r) in spec.rails.iter().enumerate() {
+        let src = sim.add_node(Box::new(ScriptedHost::new()));
+        let mut routers = Vec::new();
+        for j in 0..r.routers {
+            let id: Box<dyn sirpent_sim::Node> = match r.kind {
+                RailKind::ViperSf | RailKind::ViperCut => Box::new(ViperRouter::new(viper_cfg(
+                    (rail_idx * 16 + j + 1) as u32,
+                    r.kind,
+                ))),
+                RailKind::Ip => {
+                    let subnet = Address::new(10, rail_idx as u8, 2, 0);
+                    Box::new(IpRouter::new(IpConfig {
+                        process_delay: SimDuration::from_micros(20),
+                        ports: vec![
+                            IpPortConfig {
+                                port: 1,
+                                kind: PortKind::PointToPoint,
+                                mtu: 1500,
+                            },
+                            IpPortConfig {
+                                port: 2,
+                                kind: PortKind::PointToPoint,
+                                mtu: 1500,
+                            },
+                        ],
+                        routes: vec![RouteEntry {
+                            prefix: subnet,
+                            prefix_len: 24,
+                            out_port: 2,
+                            next_hop_mac: None,
+                        }],
+                        queue_capacity: 8,
+                    }))
+                }
+                RailKind::Cvc => Box::new(CvcSwitch::new(CvcConfig {
+                    process_delay: SimDuration::from_micros(5),
+                    setup_delay: SimDuration::from_micros(200),
+                    routes: vec![CvcRoute {
+                        dest: cvc_dest(rail_idx),
+                        // The terminal switch is the circuit's local
+                        // attachment; earlier switches forward on.
+                        out_port: if j + 1 == r.routers { 0 } else { 2 },
+                    }],
+                    max_circuits: 100,
+                    reservable_fraction: 0.8,
+                })),
+            };
+            routers.push(sim.add_node(id));
+        }
+        let dst = sim.add_node(Box::new(ScriptedHost::new()));
+
+        let mut fwd = Vec::new();
+        let mut rev = Vec::new();
+        let (f, b) = sim.p2p(src, 0, routers[0], 1, RATE_BPS, PROP);
+        fwd.push(f);
+        rev.push(b);
+        for w in routers.windows(2) {
+            let (f, b) = sim.p2p(w[0], 2, w[1], 1, RATE_BPS, PROP);
+            fwd.push(f);
+            rev.push(b);
+        }
+        let (f, b) = sim.p2p(routers[r.routers - 1], 2, dst, 0, RATE_BPS, PROP);
+        fwd.push(f);
+        rev.push(b);
+
+        // Static per-frame faults on forward channels only: replies in
+        // phase 2 ride the reverse channels, which stay clean.
+        if r.drop_pm > 0 || r.corrupt_pm > 0 {
+            for &ch in &fwd {
+                sim.set_faults(
+                    ch,
+                    FaultConfig {
+                        drop_prob: r.drop_pm as f64 / 1000.0,
+                        corrupt_prob: r.corrupt_pm as f64 / 1000.0,
+                    },
+                );
+            }
+        }
+
+        let flush_marker = fnv64(
+            &[
+                spec.seed.to_le_bytes(),
+                (rail_idx as u64).to_le_bytes(),
+                u64::from_le_bytes(*b"flush!!\0").to_le_bytes(),
+            ]
+            .concat(),
+        );
+
+        // Plan the workload and the drain flush.
+        let markers: Vec<u64> = r.packets.iter().map(|p| p.marker).collect();
+        {
+            let host = sim.node_mut::<ScriptedHost>(src);
+            match r.kind {
+                RailKind::ViperSf | RailKind::ViperCut => {
+                    for p in &r.packets {
+                        host.plan(
+                            us(p.at_us),
+                            0,
+                            viper_workload_frame(r.routers, p.marker, p.payload_len),
+                        );
+                    }
+                    host.plan(
+                        us(FLUSH_US),
+                        0,
+                        viper_workload_frame(r.routers, flush_marker, 16),
+                    );
+                }
+                RailKind::Ip => {
+                    for (k, p) in r.packets.iter().enumerate() {
+                        host.plan(
+                            us(p.at_us),
+                            0,
+                            ip_workload_frame(rail_idx, p.marker, p.payload_len, k as u16),
+                        );
+                    }
+                    host.plan(
+                        us(FLUSH_US),
+                        0,
+                        ip_workload_frame(rail_idx, flush_marker, 16, 0xFFFF),
+                    );
+                }
+                RailKind::Cvc => {
+                    host.plan(
+                        SimTime::ZERO,
+                        0,
+                        cvc_frame(Message::Setup {
+                            vci: 9,
+                            dest: cvc_dest(rail_idx),
+                            reserve: 0,
+                        }),
+                    );
+                    for p in &r.packets {
+                        host.plan(
+                            us(p.at_us.max(2_000)),
+                            0,
+                            cvc_frame(Message::Data {
+                                vci: 9,
+                                payload: marker_payload(p.marker, p.payload_len),
+                            }),
+                        );
+                    }
+                    host.plan(
+                        us(FLUSH_US),
+                        0,
+                        cvc_frame(Message::Data {
+                            vci: 9,
+                            payload: marker_payload(flush_marker, 16),
+                        }),
+                    );
+                }
+            }
+        }
+
+        rails.push(BuiltRail {
+            kind: r.kind,
+            src,
+            dst,
+            routers,
+            fwd,
+            rev,
+            markers,
+            flush_marker,
+            dup_window: false,
+        });
+    }
+
+    // Expand the fault schedule into engine chaos events.
+    let mut events = Vec::new();
+    for f in &spec.faults {
+        let rail = &mut rails[f.rail()];
+        match *f {
+            FaultSpec::LinkFlap {
+                hop,
+                down_us,
+                up_us,
+                ..
+            } => {
+                let ch = rail.fwd[hop];
+                events.push(ChaosEvent {
+                    at: us(down_us),
+                    action: ChaosAction::LinkDown { ch },
+                });
+                events.push(ChaosEvent {
+                    at: us(up_us),
+                    action: ChaosAction::LinkUp { ch },
+                });
+            }
+            FaultSpec::Crash {
+                router,
+                down_us,
+                up_us,
+                ..
+            } => {
+                let node = rail.routers[router];
+                events.push(ChaosEvent {
+                    at: us(down_us),
+                    action: ChaosAction::RouterCrash { node },
+                });
+                events.push(ChaosEvent {
+                    at: us(up_us),
+                    action: ChaosAction::RouterRestart { node },
+                });
+            }
+            FaultSpec::Partition {
+                start_us, end_us, ..
+            } => {
+                let mut side_a = vec![rail.src];
+                side_a.extend(rail.routers.iter().take(rail.routers.len().div_ceil(2)));
+                events.push(ChaosEvent {
+                    at: us(start_us),
+                    action: ChaosAction::PartitionStart { side_a },
+                });
+                events.push(ChaosEvent {
+                    at: us(end_us),
+                    action: ChaosAction::PartitionEnd,
+                });
+            }
+            FaultSpec::Jitter {
+                hop,
+                start_us,
+                end_us,
+                max_extra_us,
+                ..
+            } => {
+                let ch = rail.fwd[hop];
+                events.push(ChaosEvent {
+                    at: us(start_us),
+                    action: ChaosAction::JitterStart {
+                        ch,
+                        max_extra: SimDuration::from_micros(max_extra_us),
+                    },
+                });
+                events.push(ChaosEvent {
+                    at: us(end_us),
+                    action: ChaosAction::JitterEnd { ch },
+                });
+            }
+            FaultSpec::Duplicate {
+                hop,
+                start_us,
+                end_us,
+                prob_pm,
+                ..
+            } => {
+                let ch = rail.fwd[hop];
+                rail.dup_window = true;
+                events.push(ChaosEvent {
+                    at: us(start_us),
+                    action: ChaosAction::DuplicateStart {
+                        ch,
+                        prob: prob_pm as f64 / 1000.0,
+                    },
+                });
+                events.push(ChaosEvent {
+                    at: us(end_us),
+                    action: ChaosAction::DuplicateEnd { ch },
+                });
+            }
+            FaultSpec::ErrorBurst {
+                hop,
+                start_us,
+                end_us,
+                prob_pm,
+                max_run,
+                ..
+            } => {
+                let ch = rail.fwd[hop];
+                events.push(ChaosEvent {
+                    at: us(start_us),
+                    action: ChaosAction::ErrorBurstStart {
+                        ch,
+                        prob: prob_pm as f64 / 1000.0,
+                        max_run,
+                    },
+                });
+                events.push(ChaosEvent {
+                    at: us(end_us),
+                    action: ChaosAction::ErrorBurstEnd { ch },
+                });
+            }
+        }
+    }
+    sim.install_schedule(FaultSchedule::new(events).expect("normalized schedule is valid"));
+
+    let injected = spec
+        .rails
+        .iter()
+        .map(|r| r.packets.len() as u64 + 1 + u64::from(r.kind == RailKind::Cvc))
+        .sum();
+    for rail in &rails {
+        ScriptedHost::start(&mut sim, rail.src);
+    }
+
+    BuiltScenario {
+        sim,
+        rails,
+        injected,
+    }
+}
+
+/// Run a built scenario through both phases and scrape the report.
+///
+/// Phase 1 runs workload + chaos + drain to quiescence. Phase 2 (VIPER
+/// rails) parses the reply trailer out of every delivered, uncorrupted
+/// workload packet at the destination, builds the reverse-route reply
+/// the paper promises ("the return route is accumulated in the packet
+/// trailer"), and sends it back — across router state that chaos may
+/// have crashed away, which is exactly the point: source routes survive
+/// router restarts.
+pub fn run(mut built: BuiltScenario) -> RunReport {
+    built.sim.run_until(PHASE1_END);
+
+    // Phase 2: reverse-route replies from delivered trailers.
+    let mut replies_expected = Vec::new();
+    for rail in &built.rails {
+        if !matches!(rail.kind, RailKind::ViperSf | RailKind::ViperCut) {
+            continue;
+        }
+        let mut reply_plans = Vec::new();
+        {
+            let dst = built.sim.node::<ScriptedHost>(rail.dst);
+            for rec in dst.received.iter().filter(|r| !r.corrupted) {
+                let Ok(LinkFrame::Sirpent { packet, .. }) = LinkFrame::from_p2p_bytes(&rec.bytes)
+                else {
+                    continue;
+                };
+                let Some(&marker) = rail.markers.iter().find(|&&m| contains_marker(&packet, m))
+                else {
+                    continue;
+                };
+                let reply_marker = marker ^ REPLY_SALT;
+                if replies_expected.contains(&reply_marker) {
+                    continue; // duplicated delivery: one reply is enough
+                }
+                let trailer = Trailer::parse(&packet).expect("delivered packet has a trailer");
+                let mut b = PacketBuilder::new();
+                for seg in trailer.return_route() {
+                    b = b.segment(seg);
+                }
+                let reply = b
+                    .segment(SegmentRepr::minimal(PORT_LOCAL))
+                    .payload(marker_payload(reply_marker, 16))
+                    .build()
+                    .expect("reply packet builds");
+                replies_expected.push(reply_marker);
+                reply_plans.push(
+                    LinkFrame::Sirpent {
+                        ff_hint: 0,
+                        packet: reply.into(),
+                    }
+                    .to_p2p_bytes(),
+                );
+            }
+        }
+        if !reply_plans.is_empty() {
+            let now = built.sim.now();
+            let host = built.sim.node_mut::<ScriptedHost>(rail.dst);
+            for (i, bytes) in reply_plans.into_iter().enumerate() {
+                host.plan(
+                    now + SimDuration::from_micros(100 * (i as u64 + 1)),
+                    0,
+                    bytes,
+                );
+                built.injected += 1;
+            }
+            ScriptedHost::start(&mut built.sim, rail.dst);
+        }
+    }
+    built.sim.run_until(PHASE2_END);
+
+    scrape(built, replies_expected)
+}
+
+fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {
+    let sim = &built.sim;
+    let node_drops: u64 = sim.scrape_all().iter().map(|(_, s)| s.total_drops()).sum();
+    let chaos_drops = sim.chaos_stats().total_drops();
+
+    let mut chan_drops = 0u64;
+    let mut chan_corrupted = 0u64;
+    let mut delivered_frames = 0u64;
+    let mut leftover_queued = 0u64;
+    let mut marker_hits: HashMap<u64, u32> = HashMap::new();
+    let mut reply_hits: HashMap<u64, u32> = HashMap::new();
+    let mut dup_markers = Vec::new();
+    let mut phantom_frames = 0u64;
+    let mut corrupted_delivered = 0u64;
+    let mut digest = String::new();
+    digest.push_str(&format!("seed={}\n", fnv64(&built.injected.to_le_bytes())));
+    digest.push_str(&format!("events={}\n", sim.events_dispatched()));
+
+    for (rail_idx, rail) in built.rails.iter().enumerate() {
+        for &ch in rail.fwd.iter().chain(&rail.rev) {
+            let s = sim.channel_stats(ch);
+            chan_drops += s.drops;
+            chan_corrupted += s.corrupted;
+            digest.push_str(&format!(
+                "chan r{rail_idx} frames={} bytes={} busy={} drops={} corrupt={} aborts={} dup={}\n",
+                s.frames,
+                s.bytes,
+                s.busy.as_nanos(),
+                s.drops,
+                s.corrupted,
+                s.aborts,
+                s.duplicated,
+            ));
+        }
+        if rail.dup_window {
+            dup_markers.extend(&rail.markers);
+            dup_markers.push(rail.flush_marker);
+        }
+
+        for &node in &rail.routers {
+            leftover_queued += match rail.kind {
+                RailKind::ViperSf | RailKind::ViperCut => {
+                    sim.node::<ViperRouter>(node).queued_frames()
+                }
+                RailKind::Ip => sim.node::<IpRouter>(node).queued_frames(),
+                RailKind::Cvc => sim.node::<CvcSwitch>(node).queued_frames(),
+            };
+        }
+
+        // Deliveries: host sinks for VIPER/IP, the terminal switch's
+        // local attachment for CVC.
+        let mut known = rail.markers.clone();
+        known.push(rail.flush_marker);
+        match rail.kind {
+            RailKind::ViperSf | RailKind::ViperCut | RailKind::Ip => {
+                let dst = sim.node::<ScriptedHost>(rail.dst);
+                delivered_frames += dst.received.len() as u64;
+                for rec in &dst.received {
+                    if rec.corrupted {
+                        corrupted_delivered += 1;
+                        continue;
+                    }
+                    match known.iter().find(|&&m| contains_marker(&rec.bytes, m)) {
+                        Some(&m) => *marker_hits.entry(m).or_insert(0) += 1,
+                        None => phantom_frames += 1,
+                    }
+                }
+            }
+            RailKind::Cvc => {
+                let term = sim.node::<CvcSwitch>(*rail.routers.last().expect("rail has routers"));
+                delivered_frames += term.local_delivered.len() as u64;
+                for (_, _, payload) in &term.local_delivered {
+                    match known.iter().find(|&&m| contains_marker(payload, m)) {
+                        Some(&m) => *marker_hits.entry(m).or_insert(0) += 1,
+                        None => phantom_frames += 1,
+                    }
+                }
+                let dst = sim.node::<ScriptedHost>(rail.dst);
+                delivered_frames += dst.received.len() as u64;
+            }
+        }
+
+        // Replies land at the rail's source host.
+        let src = sim.node::<ScriptedHost>(rail.src);
+        delivered_frames += src.received.len() as u64;
+        for rec in src.received.iter().filter(|r| !r.corrupted) {
+            if let Some(&m) = replies_expected
+                .iter()
+                .find(|&&m| contains_marker(&rec.bytes, m))
+            {
+                *reply_hits.entry(m).or_insert(0) += 1;
+            }
+        }
+
+        for (label, host) in [("src", rail.src), ("dst", rail.dst)] {
+            let h = sim.node::<ScriptedHost>(host);
+            let rx: Vec<String> = h
+                .received
+                .iter()
+                .map(|r| {
+                    format!(
+                        "({},{},{},{:016x},{})",
+                        r.last_bit.as_nanos(),
+                        r.port,
+                        r.bytes.len(),
+                        fnv64(&r.bytes),
+                        u8::from(r.corrupted),
+                    )
+                })
+                .collect();
+            digest.push_str(&format!(
+                "host r{rail_idx}/{label} aborted={} filtered={} rx=[{}] txdone={}\n",
+                h.aborted,
+                h.filtered,
+                rx.join(";"),
+                h.tx_done.len(),
+            ));
+        }
+    }
+
+    // Uniform per-node scrape lines, node-id order.
+    for (id, s) in sim.scrape_all() {
+        let mut drops: Vec<String> = s
+            .drops()
+            .iter()
+            .filter(|&(_, v)| v > 0)
+            .map(|(k, v)| format!("{k:?}={v}"))
+            .collect();
+        drops.sort();
+        digest.push_str(&format!(
+            "node {} fwd={} local={} maxq={} drops[{}] delay={}\n",
+            id.0,
+            s.forwarded(),
+            s.local(),
+            s.max_queue(),
+            drops.join(","),
+            summary_sig(s.forward_delay()),
+        ));
+    }
+    {
+        let mut drops: Vec<String> = sim
+            .chaos_stats()
+            .drops
+            .iter()
+            .filter(|&(_, v)| v > 0)
+            .map(|(k, v)| format!("{k:?}={v}"))
+            .collect();
+        drops.sort();
+        digest.push_str(&format!("chaos drops[{}]\n", drops.join(",")));
+    }
+
+    RunReport {
+        injected: built.injected,
+        delivered_frames,
+        node_drops,
+        chan_drops,
+        chaos_drops,
+        leftover_queued,
+        marker_hits,
+        dup_markers,
+        replies_expected,
+        reply_hits,
+        phantom_frames,
+        corrupted_delivered,
+        chan_corrupted,
+        digest,
+    }
+}
+
+/// Build and run a scenario in one step.
+pub fn execute(spec: &Scenario) -> RunReport {
+    run(build(spec))
+}

@@ -1,0 +1,259 @@
+//! Scenario minimization: a ddmin-style greedy shrinker.
+//!
+//! Given a failing scenario and the failure predicate, [`shrink`]
+//! repeatedly tries structural reductions — drop fault chunks, remove
+//! whole rails, thin workloads, shorten chains, zero fault
+//! probabilities — keeping a mutation only if the predicate still
+//! fails, until a fixpoint or the attempt budget runs out. The result
+//! is written out as a rerunnable text fixture with [`write_fixture`].
+//!
+//! The shrinker never invents state: every candidate is `normalize`d,
+//! so the minimized scenario is exactly as runnable as the original.
+
+use crate::spec::{FaultSpec, Scenario};
+
+/// Upper bound on predicate evaluations per [`shrink`] call. Each
+/// evaluation replays the scenario twice (determinism check), so this
+/// caps shrink time at roughly 200 short runs.
+pub const SHRINK_BUDGET: usize = 200;
+
+fn set_rail(f: &mut FaultSpec, new: usize) {
+    match f {
+        FaultSpec::LinkFlap { rail, .. }
+        | FaultSpec::Crash { rail, .. }
+        | FaultSpec::Partition { rail, .. }
+        | FaultSpec::Jitter { rail, .. }
+        | FaultSpec::Duplicate { rail, .. }
+        | FaultSpec::ErrorBurst { rail, .. } => *rail = new,
+    }
+}
+
+fn remove_rail(s: &mut Scenario, idx: usize) {
+    s.rails.remove(idx);
+    s.faults.retain(|f| f.rail() != idx);
+    for f in &mut s.faults {
+        let r = f.rail();
+        if r > idx {
+            set_rail(f, r - 1);
+        }
+    }
+}
+
+/// Try one mutation against the predicate. Returns the accepted smaller
+/// scenario, or `None` when the mutation is inapplicable, a no-op, out
+/// of budget, or no longer failing.
+fn attempt(
+    best: &Scenario,
+    budget: &mut usize,
+    failing: &dyn Fn(&Scenario) -> Option<String>,
+    mutate: impl FnOnce(&mut Scenario) -> bool,
+) -> Option<Scenario> {
+    if *budget == 0 {
+        return None;
+    }
+    let mut cand = best.clone();
+    if !mutate(&mut cand) {
+        return None;
+    }
+    cand.normalize();
+    if cand == *best {
+        return None;
+    }
+    *budget -= 1;
+    if failing(&cand).is_some() {
+        Some(cand)
+    } else {
+        None
+    }
+}
+
+/// Minimize a failing scenario. `failing` must return `Some(reason)`
+/// for the input (and for any candidate that still reproduces the
+/// failure); the returned scenario is the smallest found that still
+/// fails it.
+pub fn shrink(start: &Scenario, failing: &dyn Fn(&Scenario) -> Option<String>) -> Scenario {
+    let mut best = start.clone();
+    best.normalize();
+    let mut budget = SHRINK_BUDGET;
+
+    loop {
+        let mut improved = false;
+
+        // 1. Drop fault chunks, coarse to fine.
+        let mut sz = best.faults.len().max(1);
+        loop {
+            let mut i = 0;
+            while i < best.faults.len() {
+                match attempt(&best, &mut budget, failing, |s| {
+                    let end = (i + sz).min(s.faults.len());
+                    if i >= end {
+                        return false;
+                    }
+                    s.faults.drain(i..end);
+                    true
+                }) {
+                    Some(c) => {
+                        best = c;
+                        improved = true;
+                    }
+                    None => i += sz,
+                }
+            }
+            if sz == 1 {
+                break;
+            }
+            sz /= 2;
+        }
+
+        // 2. Remove whole rails (keep at least one).
+        let mut i = 0;
+        while best.rails.len() > 1 && i < best.rails.len() {
+            match attempt(&best, &mut budget, failing, |s| {
+                remove_rail(s, i);
+                true
+            }) {
+                Some(c) => {
+                    best = c;
+                    improved = true;
+                }
+                None => i += 1,
+            }
+        }
+
+        // 3. Thin workloads: try collapsing to one packet, then remove
+        // packets one at a time (a rail keeps at least one so it is not
+        // deleted out from under the faults that target it).
+        for ri in 0..best.rails.len() {
+            if best.rails[ri].packets.len() > 1 {
+                if let Some(c) = attempt(&best, &mut budget, failing, |s| {
+                    s.rails[ri].packets.truncate(1);
+                    true
+                }) {
+                    best = c;
+                    improved = true;
+                }
+            }
+            let mut pi = 0;
+            while best.rails[ri].packets.len() > 1 && pi < best.rails[ri].packets.len() {
+                match attempt(&best, &mut budget, failing, |s| {
+                    if s.rails[ri].packets.len() > 1 {
+                        s.rails[ri].packets.remove(pi);
+                        true
+                    } else {
+                        false
+                    }
+                }) {
+                    Some(c) => {
+                        best = c;
+                        improved = true;
+                    }
+                    None => pi += 1,
+                }
+            }
+        }
+
+        // 4. Shorten chains.
+        for ri in 0..best.rails.len() {
+            while best.rails[ri].routers > 1 {
+                match attempt(&best, &mut budget, failing, |s| {
+                    s.rails[ri].routers -= 1;
+                    true
+                }) {
+                    Some(c) => {
+                        best = c;
+                        improved = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        // 5. Quiet the static fault injector.
+        for ri in 0..best.rails.len() {
+            if let Some(c) = attempt(&best, &mut budget, failing, |s| {
+                if s.rails[ri].drop_pm == 0 && s.rails[ri].corrupt_pm == 0 {
+                    return false;
+                }
+                s.rails[ri].drop_pm = 0;
+                s.rails[ri].corrupt_pm = 0;
+                true
+            }) {
+                best = c;
+                improved = true;
+            }
+        }
+
+        if !improved || budget == 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Write a scenario as a rerunnable fixture under `target/simtest/` and
+/// return the path. The soak suite calls this for the shrunk reproducer
+/// of any failing seed so CI can upload it as an artifact.
+pub fn write_fixture(spec: &Scenario, name: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/simtest");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, spec.to_fixture_string())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Profile;
+
+    /// A planted failure: the "bug" triggers whenever any link-flap is
+    /// scheduled, regardless of everything else in the scenario.
+    fn planted(s: &Scenario) -> Option<String> {
+        s.faults
+            .iter()
+            .any(|f| matches!(f, FaultSpec::LinkFlap { .. }))
+            .then(|| "planted: link-flap present".to_string())
+    }
+
+    /// Find a generated corpus scenario that trips the planted bug and
+    /// check the shrinker strips it to the bone: one short rail, one
+    /// fault, one packet.
+    #[test]
+    fn shrinker_minimizes_planted_bug() {
+        let mut shrunk_any = false;
+        for seed in 0..64u64 {
+            let s = Scenario::from_seed(seed, Profile::Corpus);
+            if planted(&s).is_none() {
+                continue;
+            }
+            let small = shrink(&s, &planted);
+            assert!(
+                planted(&small).is_some(),
+                "seed {seed}: shrink lost the failure"
+            );
+            assert!(
+                small.nodes() <= 4,
+                "seed {seed}: shrunk to {} nodes, want <= 4",
+                small.nodes()
+            );
+            assert!(
+                small.schedule_events() <= 8,
+                "seed {seed}: shrunk to {} schedule events, want <= 8",
+                small.schedule_events()
+            );
+            assert_eq!(small.faults.len(), 1, "seed {seed}: exactly the culprit");
+            assert_eq!(small.rails[0].packets.len(), 1, "seed {seed}");
+            shrunk_any = true;
+        }
+        assert!(shrunk_any, "no corpus seed in 0..64 scheduled a link-flap");
+    }
+
+    #[test]
+    fn fixture_write_round_trips() {
+        let s = Scenario::from_seed(7, Profile::Corpus);
+        let path = write_fixture(&s, "selftest_seed7.txt").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = Scenario::from_fixture_string(&text).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,73 @@
+//! The soak corpus (satellite 6 / CI `simtest-soak`): 100 fixed seeds
+//! through the full corpus profile — mixed VIPER/IP/CVC rails,
+//! duplication windows, error bursts, crashes, partitions. Every seed
+//! must satisfy the set-based invariants and reproduce its digest on a
+//! second run. A failing seed is shrunk and written to
+//! `target/simtest/` so CI can upload the reproducer.
+
+use sirpent_simtest::scenario::execute;
+use sirpent_simtest::{check_corpus, shrink, write_fixture, Profile, Scenario};
+
+#[test]
+fn corpus_100_seeds_hold_all_invariants() {
+    let mut failures = Vec::new();
+    for seed in 0..100u64 {
+        let spec = Scenario::from_seed(seed, Profile::Corpus);
+        if let Some(err) = check_corpus(&spec) {
+            let small = shrink(&spec, &|s| check_corpus(s));
+            let path = write_fixture(&small, &format!("shrunk_corpus_{seed}.txt"))
+                .expect("fixture written");
+            failures.push(format!(
+                "seed {seed}: {err}\n  shrunk reproducer: {}",
+                path.display()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The corpus must actually exercise the chaos layer — deliveries,
+/// drops, chaos-layer kills, corruption, and trailer replies all have
+/// to occur somewhere in the 100 seeds, or a regression that silently
+/// disables fault injection would pass every invariant vacuously.
+#[test]
+fn corpus_is_not_vacuous() {
+    let (mut delivered, mut drops, mut chaos, mut corrupted, mut replies, mut reply_hits) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    for seed in 0..100u64 {
+        let r = execute(&Scenario::from_seed(seed, Profile::Corpus));
+        delivered += r.delivered_frames;
+        drops += r.node_drops + r.chan_drops;
+        chaos += r.chaos_drops;
+        corrupted += r.chan_corrupted;
+        replies += r.replies_expected.len() as u64;
+        reply_hits += r.reply_hits.values().map(|&n| n as u64).sum::<u64>();
+    }
+    assert!(delivered > 100, "corpus barely delivers ({delivered})");
+    assert!(drops > 0, "no node/channel drops across the whole corpus");
+    assert!(chaos > 0, "the chaos layer never killed a frame");
+    assert!(corrupted > 0, "the fault injector never corrupted a copy");
+    assert!(replies > 0, "no trailer-derived replies were ever planned");
+    assert!(reply_hits >= replies, "some replies were planned but lost");
+}
+
+/// A scenario replayed from its text fixture is the same run, bit for
+/// bit — the contract that makes shrunk reproducers trustworthy.
+#[test]
+fn fixture_replay_reproduces_digest() {
+    for seed in [2u64, 41, 77] {
+        let spec = Scenario::from_seed(seed, Profile::Corpus);
+        let direct = execute(&spec).digest;
+        let replayed =
+            Scenario::from_fixture_string(&spec.to_fixture_string()).expect("fixture parses");
+        assert_eq!(
+            execute(&replayed).digest,
+            direct,
+            "seed {seed}: fixture replay diverged"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Abort ordering under chaos (satellite 3): a receiver must hear that
+//! a frame was aborted *strictly before* the instant its last bit would
+//! have arrived — otherwise a cut-through consumer could act on a
+//! truncated frame it believes is complete. Link-down windows are timed
+//! to hit transmissions mid-frame.
+
+use sirpent_router::ScriptedHost;
+use sirpent_sim::{ChaosAction, ChaosEvent, FaultSchedule, SimDuration, SimTime, Simulator};
+use sirpent_simtest::Sink;
+
+#[test]
+fn aborts_land_before_last_bit_under_link_flaps() {
+    let mut total_aborts = 0u64;
+    for seed in 0..32u64 {
+        let mut sim = Simulator::new(seed);
+        let src = sim.add_node(Box::new(ScriptedHost::new()));
+        let dst = sim.add_node(Box::new(Sink::new()));
+        // 1 Mbps: a 200-byte frame spends 1.6 ms on the wire, so the
+        // seeded flap windows below cut through transmissions.
+        let (fwd, _rev) = sim.p2p(src, 0, dst, 0, 1_000_000, SimDuration::from_micros(2));
+        {
+            let h = sim.node_mut::<ScriptedHost>(src);
+            for k in 0..20u64 {
+                h.plan(SimTime(k * 2_000_000), 0, vec![0xAB; 200]);
+            }
+        }
+        ScriptedHost::start(&mut sim, src);
+
+        // Two deterministic, seed-derived down windows inside the send
+        // burst (0–40 ms).
+        let a_us = 500 + (seed * 137) % 3_000;
+        let b_us = a_us + 300 + (seed * 29) % 2_000;
+        let c_us = 15_000 + (seed * 211) % 10_000;
+        let d_us = c_us + 500 + (seed * 61) % 3_000;
+        let events = vec![
+            ChaosEvent {
+                at: SimTime(a_us * 1_000),
+                action: ChaosAction::LinkDown { ch: fwd },
+            },
+            ChaosEvent {
+                at: SimTime(b_us * 1_000),
+                action: ChaosAction::LinkUp { ch: fwd },
+            },
+            ChaosEvent {
+                at: SimTime(c_us * 1_000),
+                action: ChaosAction::LinkDown { ch: fwd },
+            },
+            ChaosEvent {
+                at: SimTime(d_us * 1_000),
+                action: ChaosAction::LinkUp { ch: fwd },
+            },
+        ];
+        sim.install_schedule(FaultSchedule::new(events).expect("valid schedule"));
+        sim.run_until(SimTime(200_000_000));
+
+        let sink = sim.node::<Sink>(dst);
+        for &(fid, at) in &sink.aborts {
+            let (_, first_bit, last_bit) = *sink
+                .frames
+                .iter()
+                .find(|(id, _, _)| *id == fid)
+                .expect("abort refers to an announced frame");
+            assert!(
+                at < last_bit,
+                "seed {seed}: abort for frame {fid:?} delivered at {at:?}, \
+                 not strictly before its last bit {last_bit:?}"
+            );
+            assert!(
+                at >= first_bit,
+                "seed {seed}: abort for frame {fid:?} delivered at {at:?}, \
+                 before its first bit {first_bit:?}"
+            );
+        }
+        total_aborts += sink.aborts.len() as u64;
+
+        // Channel accounting matches what the sink observed.
+        assert_eq!(
+            sim.channel_stats(fwd).aborts,
+            sink.aborts.len() as u64,
+            "seed {seed}: channel abort count disagrees with the receiver"
+        );
+    }
+    assert!(
+        total_aborts > 0,
+        "no flap window ever caught a frame mid-wire; the test exercises nothing"
+    );
+}

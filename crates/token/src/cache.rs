@@ -151,6 +151,18 @@ impl TokenCache {
         self.attack = a;
     }
 
+    /// Crash state loss (chaos layer): drop everything rebuilt from
+    /// traffic — verified/invalid entries, flood-response sightings, and
+    /// per-account usage accounting. The sealing key, policy, attack
+    /// parameters, and the `optimistic_passes` telemetry counter are
+    /// durable and survive; subsequent packets re-verify from scratch
+    /// (and may ride the optimistic first-packet window again).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.invalid_events.clear();
+        self.accounting = Accounting::new();
+    }
+
     /// The configured policy.
     pub fn policy(&self) -> AuthPolicy {
         self.policy

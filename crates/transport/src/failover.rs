@@ -185,6 +185,20 @@ impl<R> RouteSet<R> {
         }
     }
 
+    /// Crash/restart state-loss contract (chaos layer): RTT samples and
+    /// loss counts are observations — soft state — while the route set
+    /// itself is directory-sourced configuration and survives. A
+    /// restarted client forgets all health history and starts over on
+    /// the primary route; the cumulative `switches` telemetry is kept.
+    pub fn reset_health(&mut self) {
+        for m in &mut self.routes {
+            m.consecutive_losses = 0;
+            m.samples = 0;
+            m.last_rtt = None;
+        }
+        self.current = 0;
+    }
+
     /// Replace the whole set after a directory re-query.
     pub fn replace(&mut self, routes: Vec<(R, SimDuration)>) {
         assert!(!routes.is_empty());
@@ -277,6 +291,20 @@ mod tests {
         s.replace(vec![("fresh", SimDuration::from_millis(1))]);
         assert_eq!(*s.current(), "fresh");
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn reset_health_forgets_observations_keeps_routes() {
+        let mut s = set();
+        s.on_loss(SimTime(1));
+        s.on_loss(SimTime(2)); // switched to backup
+        assert_eq!(*s.current(), "backup");
+        s.reset_health();
+        assert_eq!(*s.current(), "primary", "starts over on the primary");
+        assert_eq!(s.len(), 2, "routes are configuration and survive");
+        assert_eq!(s.switches, 1, "telemetry survives");
+        assert_eq!(s.timeout(), SimDuration::from_millis(4), "2× base again");
+        assert_eq!(s.on_loss(SimTime(3)), Verdict::Stay, "counters cleared");
     }
 
     #[test]

@@ -68,6 +68,16 @@ impl RatePacer {
         self.rate_bps = (self.rate_bps / 2).clamp(self.min_bps, self.max_bps);
     }
 
+    /// Crash/restart state-loss contract (chaos layer): everything the
+    /// pacer has learned is soft state. A restarted sender forgets its
+    /// pacing clock and its backpressure history — it begins again at
+    /// the configured ceiling and re-learns from fresh feedback.
+    pub fn reset(&mut self, now: SimTime) {
+        self.rate_bps = self.max_bps;
+        self.next_send = now;
+        self.last_increase = now;
+    }
+
     fn maybe_recover(&mut self, now: SimTime) {
         while now - self.last_increase >= self.increase_interval {
             self.last_increase += self.increase_interval;
@@ -116,6 +126,17 @@ mod tests {
         assert_eq!(p.rate_bps, 125_000);
         p.on_loss();
         assert_eq!(p.rate_bps, 100_000, "floor");
+    }
+
+    #[test]
+    fn reset_forgets_learned_state() {
+        let mut p = RatePacer::new(8_000_000, 100_000, 10_000_000);
+        p.on_backpressure(500_000);
+        p.schedule(SimTime::ZERO, 10_000);
+        p.reset(SimTime(5_000_000));
+        assert_eq!(p.rate_bps, 10_000_000, "back at the ceiling");
+        // The pacing clock restarted too: the next slot is immediate.
+        assert_eq!(p.schedule(SimTime(5_000_000), 100), SimTime(5_000_000));
     }
 
     #[test]
