@@ -193,7 +193,7 @@ fn bench_queue_service(c: &mut Criterion) {
                         let mut op = OutputPort::new(1, Discipline::Fifo, usize::MAX);
                         for _ in 0..depth {
                             let f = FrameBuf::from(vec![0x42u8; 64]);
-                            op.push(Queued::fifo(f, now, None), &mut stats);
+                            op.push_untimed(Queued::fifo(f, now, None), &mut stats);
                         }
                         op
                     },

@@ -1,0 +1,442 @@
+//! BENCH-5 — the CI perf-regression gate workload.
+//!
+//! Runs a fixed three-topology workload — a VIPER cut-through chain, a
+//! VIPER store-and-forward chain, and an ipish datagram chain — with the
+//! flight recorder enabled, and emits `results/BENCH_5.json` holding,
+//! per topology:
+//!
+//! * wall-clock throughput (delivered packets/sec and simulator
+//!   events/sec, best of [`TIMING_RUNS`] runs),
+//! * trace-derived per-hop latency (mean, p50, p99 in simulated ns,
+//!   reconstructed from the flight recorder's router-hop spans),
+//! * end-to-end delivery latency (p50).
+//!
+//! With `--check`, the run is additionally compared against the blessed
+//! `results/bench_baseline.json`: the binary exits nonzero when
+//! wall-clock throughput regresses more than [`THROUGHPUT_REGRESSION`]
+//! or p99 hop latency grows more than [`P99_GROWTH`]. The simulated-time
+//! numbers are deterministic, so the p99 arm only fires on a real
+//! behavior change; the throughput arm tolerates CI-runner noise via its
+//! margin and the best-of-N measurement.
+//!
+//! **Re-blessing.** After an intentional change (new pipeline stage,
+//! different queueing policy), regenerate and commit the baseline:
+//!
+//! ```text
+//! cargo run --release -p sirpent-bench --bin exp_bench_gate
+//! cp results/BENCH_5.json results/bench_baseline.json
+//! ```
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sirpent::router::ip::{IpConfig, IpPortConfig, IpRouter, RouteEntry};
+use sirpent::router::link::LinkFrame;
+use sirpent::router::scripted::ScriptedHost;
+use sirpent::router::viper::{PortKind, SwitchMode, ViperConfig, ViperRouter};
+use sirpent::sim::{NodeId, SimDuration, SimTime, Simulator};
+use sirpent::wire::ipish::{self, Address};
+use sirpent::wire::packet::PacketBuilder;
+use sirpent::wire::viper::{SegmentRepr, PORT_LOCAL};
+use sirpent_bench::{write_json, Table};
+
+/// Link rate for every hop, bits/sec.
+const RATE_BPS: u64 = 10_000_000;
+/// Per-link propagation delay.
+const PROP: SimDuration = SimDuration(2_000);
+/// Routers per chain.
+const HOPS: usize = 4;
+/// Packets injected per topology.
+const PACKETS: usize = 300;
+/// Payload bytes per packet (the first 8 carry the flight key).
+const PAYLOAD: usize = 512;
+/// Inter-packet injection spacing. A 512 B payload takes ≈410 µs of
+/// wire time at 10 Mb/s, so 450 µs spacing keeps the chain busy with
+/// shallow, bounded queues — per-hop latency measures the pipeline, not
+/// an ever-growing backlog.
+const SPACING: SimDuration = SimDuration(450_000);
+/// Flight-recorder ring capacity — sized so no workload event is evicted.
+const FLIGHT_CAP: usize = 1 << 16;
+/// Wall-clock timing runs per topology; the best (highest throughput)
+/// run is reported, discounting scheduler hiccups on shared CI runners.
+const TIMING_RUNS: usize = 3;
+/// Allowed wall-clock throughput regression vs the baseline (fraction).
+const THROUGHPUT_REGRESSION: f64 = 0.10;
+/// Allowed p99 hop-latency growth vs the baseline (fraction).
+const P99_GROWTH: f64 = 0.15;
+
+/// The three gate topologies.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Topo {
+    ViperCut,
+    ViperSf,
+    Ip,
+}
+
+impl Topo {
+    const ALL: [Topo; 3] = [Topo::ViperCut, Topo::ViperSf, Topo::Ip];
+
+    fn name(self) -> &'static str {
+        match self {
+            Topo::ViperCut => "viper_cut",
+            Topo::ViperSf => "viper_sf",
+            Topo::Ip => "ip",
+        }
+    }
+}
+
+/// Marker payload: the flight key (`topo_idx << 32 | packet_idx`) in the
+/// first 8 LE bytes, padded to [`PAYLOAD`] — the simtest convention.
+fn marker_payload(key: u64) -> Vec<u8> {
+    let mut p = key.to_le_bytes().to_vec();
+    p.resize(PAYLOAD, 0x5C);
+    p
+}
+
+fn viper_frame(key: u64) -> Vec<u8> {
+    let mut b = PacketBuilder::new();
+    for _ in 0..HOPS {
+        b = b.segment(SegmentRepr {
+            port: 2,
+            ..Default::default()
+        });
+    }
+    let packet = b
+        .segment(SegmentRepr::minimal(PORT_LOCAL))
+        .payload(marker_payload(key))
+        .build()
+        .expect("gate packet builds");
+    LinkFrame::Sirpent {
+        ff_hint: 0,
+        packet: packet.into(),
+    }
+    .to_p2p_bytes()
+}
+
+fn ip_frame(key: u64, ident: u16) -> Vec<u8> {
+    let payload = marker_payload(key);
+    let mut d = ipish::Repr {
+        tos: 0,
+        total_len: (ipish::HEADER_LEN + payload.len()) as u16,
+        ident,
+        dont_frag: false,
+        more_frags: false,
+        frag_offset: 0,
+        ttl: ipish::DEFAULT_TTL,
+        protocol: 17,
+        src: Address::new(10, 0, 1, 1),
+        dst: Address::new(10, 0, 2, 2),
+    }
+    .to_bytes();
+    d.extend(payload);
+    LinkFrame::Ipish(d).to_p2p_bytes()
+}
+
+struct Built {
+    sim: Simulator,
+    dst: NodeId,
+    routers: Vec<NodeId>,
+}
+
+/// Build one gate chain (src — R1 … Rn — dst) with its workload planned
+/// and armed. Identical construction for every timing run, so wall-clock
+/// differences are measurement noise, not workload drift.
+fn build(topo: Topo) -> Built {
+    let mut sim = Simulator::new(5);
+    let src = sim.add_node(Box::new(ScriptedHost::new()));
+    let routers: Vec<NodeId> = (0..HOPS)
+        .map(|j| -> NodeId {
+            match topo {
+                Topo::ViperCut | Topo::ViperSf => {
+                    let mut cfg = ViperConfig::basic(j as u32 + 1, &[1, 2]);
+                    cfg.mode = if topo == Topo::ViperCut {
+                        SwitchMode::CutThrough
+                    } else {
+                        SwitchMode::StoreAndForward {
+                            process_delay: SimDuration::from_micros(50),
+                        }
+                    };
+                    sim.add_node(Box::new(ViperRouter::new(cfg)))
+                }
+                Topo::Ip => sim.add_node(Box::new(IpRouter::new(IpConfig {
+                    process_delay: SimDuration::from_micros(20),
+                    ports: vec![
+                        IpPortConfig {
+                            port: 1,
+                            kind: PortKind::PointToPoint,
+                            mtu: 1500,
+                        },
+                        IpPortConfig {
+                            port: 2,
+                            kind: PortKind::PointToPoint,
+                            mtu: 1500,
+                        },
+                    ],
+                    routes: vec![RouteEntry {
+                        prefix: Address::new(10, 0, 2, 0),
+                        prefix_len: 24,
+                        out_port: 2,
+                        next_hop_mac: None,
+                    }],
+                    queue_capacity: 64,
+                }))),
+            }
+        })
+        .collect();
+    let dst = sim.add_node(Box::new(ScriptedHost::new()));
+
+    sim.p2p(src, 0, routers[0], 1, RATE_BPS, PROP);
+    for w in routers.windows(2) {
+        sim.p2p(w[0], 2, w[1], 1, RATE_BPS, PROP);
+    }
+    sim.p2p(routers[HOPS - 1], 2, dst, 0, RATE_BPS, PROP);
+
+    let topo_idx = Topo::ALL.iter().position(|t| *t == topo).unwrap_or(0) as u64;
+    {
+        let h = sim.node_mut::<ScriptedHost>(src);
+        for i in 0..PACKETS {
+            let key = (topo_idx << 32) | i as u64;
+            let at = SimTime(SPACING.0 * i as u64);
+            let bytes = match topo {
+                Topo::ViperCut | Topo::ViperSf => viper_frame(key),
+                Topo::Ip => ip_frame(key, i as u16),
+            };
+            h.plan(at, 0, bytes);
+        }
+    }
+    ScriptedHost::start(&mut sim, src);
+    Built { sim, dst, routers }
+}
+
+/// One topology's row in `BENCH_5.json` (and the baseline).
+#[derive(Serialize)]
+struct TopoReport {
+    name: &'static str,
+    hops: usize,
+    packets: usize,
+    delivered: usize,
+    pkts_per_sec_wall: f64,
+    events_per_sec_wall: f64,
+    per_hop_ns_mean: u64,
+    hop_p50_ns: u64,
+    hop_p99_ns: u64,
+    end_to_end_p50_ns: u64,
+}
+
+/// The full gate report.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rate_bps: u64,
+    timing_runs: usize,
+    topologies: Vec<TopoReport>,
+}
+
+/// Run one topology: a flight-recorded run for the deterministic
+/// latency numbers, then [`TIMING_RUNS`] timed runs for wall-clock
+/// throughput (recorder enabled in both, so the gate measures the
+/// instrumented system it ships).
+fn run_topo(topo: Topo) -> TopoReport {
+    // Deterministic pass: trace-derived latency.
+    let mut b = build(topo);
+    b.sim.enable_flight(FLIGHT_CAP);
+    b.sim.run_until(SimTime(1_000_000_000));
+    let delivered = b.sim.node::<ScriptedHost>(b.dst).received.len();
+
+    let router_ids: Vec<u32> = b.routers.iter().map(|r| r.0 as u32).collect();
+    let mut hop_ns: Vec<u64> = Vec::new();
+    let mut e2e_ns: Vec<u64> = Vec::new();
+    let traces = b.sim.flight().map(|f| f.reconstruct()).unwrap_or_default();
+    for t in &traces {
+        let Some(e2e) = t.end_to_end_ns() else {
+            continue;
+        };
+        e2e_ns.push(e2e);
+        for h in t.hops() {
+            if router_ids.contains(&h.node) {
+                hop_ns.push(h.latency_ns());
+            }
+        }
+    }
+    hop_ns.sort_unstable();
+    e2e_ns.sort_unstable();
+
+    // Timed passes: wall-clock throughput, best of N.
+    let mut best_pkts = 0.0f64;
+    let mut best_events = 0.0f64;
+    for _ in 0..TIMING_RUNS {
+        let mut b = build(topo);
+        b.sim.enable_flight(FLIGHT_CAP);
+        let t0 = Instant::now();
+        b.sim.run_until(SimTime(1_000_000_000));
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let got = b.sim.node::<ScriptedHost>(b.dst).received.len();
+        best_pkts = best_pkts.max(got as f64 / secs);
+        best_events = best_events.max(b.sim.events_dispatched() as f64 / secs);
+    }
+
+    TopoReport {
+        name: topo.name(),
+        hops: HOPS,
+        packets: PACKETS,
+        delivered,
+        pkts_per_sec_wall: best_pkts,
+        events_per_sec_wall: best_events,
+        per_hop_ns_mean: mean(&hop_ns),
+        hop_p50_ns: percentile(&hop_ns, 50),
+        hop_p99_ns: percentile(&hop_ns, 99),
+        end_to_end_p50_ns: percentile(&e2e_ns, 50),
+    }
+}
+
+/// Exact percentile (nearest-rank) of an already-sorted sample. The
+/// registry's log-bucketed [`sirpent::telemetry::Histogram`] is the
+/// right scrape shape, but its power-of-two bucket bounds are too coarse
+/// for a ±15% gate — here the raw trace spans are in hand, so the gate
+/// pins exact values.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Mean of a sample, zero when empty.
+fn mean(xs: &[u64]) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    (xs.iter().map(|&x| x as u128).sum::<u128>() / xs.len() as u128) as u64
+}
+
+/// Pull `"field": <number>` for the `"name": "<topo>"` object out of a
+/// baseline document this binary wrote itself. Schema-bound by design —
+/// the shim serde stack is serialize-only, and a hand-rolled reader of
+/// our own output beats growing a JSON parser for one file.
+fn extract(doc: &str, topo: &str, field: &str) -> Option<f64> {
+    let obj = doc.find(&format!("\"{topo}\""))?;
+    let rest = doc.get(obj..)?;
+    let at = rest.find(&format!("\"{field}\""))?;
+    let after = rest.get(at..)?;
+    let colon = after.find(':')?;
+    let num: String = after
+        .get(colon + 1..)?
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+/// Compare the fresh report against the blessed baseline; returns the
+/// list of violations (empty = gate passes).
+fn gate(report: &Report, baseline: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    for t in &report.topologies {
+        match extract(baseline, t.name, "pkts_per_sec_wall") {
+            Some(base) if base > 0.0 => {
+                let floor = base * (1.0 - THROUGHPUT_REGRESSION);
+                if t.pkts_per_sec_wall < floor {
+                    bad.push(format!(
+                        "{}: throughput {:.0} pkt/s < {:.0} (baseline {:.0} − {:.0}%)",
+                        t.name,
+                        t.pkts_per_sec_wall,
+                        floor,
+                        base,
+                        THROUGHPUT_REGRESSION * 100.0
+                    ));
+                }
+            }
+            _ => bad.push(format!("{}: baseline missing pkts_per_sec_wall", t.name)),
+        }
+        match extract(baseline, t.name, "hop_p99_ns") {
+            Some(base) if base > 0.0 => {
+                let ceil = base * (1.0 + P99_GROWTH);
+                if t.hop_p99_ns as f64 > ceil {
+                    bad.push(format!(
+                        "{}: p99 hop latency {} ns > {:.0} (baseline {:.0} + {:.0}%)",
+                        t.name,
+                        t.hop_p99_ns,
+                        ceil,
+                        base,
+                        P99_GROWTH * 100.0
+                    ));
+                }
+            }
+            _ => bad.push(format!("{}: baseline missing hop_p99_ns", t.name)),
+        }
+    }
+    bad
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    let mut t = Table::new(
+        "BENCH-5 — perf gate workload (4-router chains, 300 pkts, 10 Mb/s)",
+        &[
+            "topology",
+            "delivered",
+            "pkt/s (wall)",
+            "hop mean ns",
+            "hop p50 ns",
+            "hop p99 ns",
+            "e2e p50 ns",
+        ],
+    );
+    let mut topologies = Vec::new();
+    for topo in Topo::ALL {
+        let r = run_topo(topo);
+        let pkts = format!("{:.0}", r.pkts_per_sec_wall);
+        t.row(&[
+            &r.name,
+            &r.delivered,
+            &pkts,
+            &r.per_hop_ns_mean,
+            &r.hop_p50_ns,
+            &r.hop_p99_ns,
+            &r.end_to_end_p50_ns,
+        ]);
+        topologies.push(r);
+    }
+    t.print();
+
+    let report = Report {
+        experiment: "bench_gate",
+        rate_bps: RATE_BPS,
+        timing_runs: TIMING_RUNS,
+        topologies,
+    };
+    write_json("BENCH_5", &report);
+
+    for r in &report.topologies {
+        assert_eq!(
+            r.delivered, PACKETS,
+            "{}: gate workload must deliver every packet",
+            r.name
+        );
+    }
+
+    if check {
+        let path = "results/bench_baseline.json";
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("perf gate: cannot read {path}: {e}");
+                eprintln!("bless one with: cp results/BENCH_5.json {path}");
+                std::process::exit(2);
+            }
+        };
+        let bad = gate(&report, &baseline);
+        if bad.is_empty() {
+            println!("perf gate: PASS (vs {path})");
+        } else {
+            for b in &bad {
+                eprintln!("perf gate: FAIL — {b}");
+            }
+            eprintln!("intentional change? re-bless: cp results/BENCH_5.json {path}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -636,6 +636,13 @@ impl Node for SirpentHost {
         }
     }
 
+    fn publish_telemetry(
+        &self,
+        reg: &mut sirpent_telemetry::Registry,
+    ) -> Result<(), sirpent_telemetry::RegistryError> {
+        self.endpoint.pacer.publish_telemetry(reg)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -95,6 +95,7 @@ pub use interop::{GatewayConfig, IpGateway, IPPROTO_SIRPENT};
 pub use sirpent_directory as directory;
 pub use sirpent_router as router;
 pub use sirpent_sim as sim;
+pub use sirpent_telemetry as telemetry;
 pub use sirpent_token as token;
 pub use sirpent_transport as transport;
 pub use sirpent_wire as wire;

@@ -25,6 +25,7 @@ use std::ops::{Deref, DerefMut};
 
 use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
 use sirpent_sim::{Context, Event, FrameId, Node, SimDuration, SimTime};
+use sirpent_telemetry::HopKind;
 use sirpent_wire::cvc::{Message, Vci};
 
 use crate::dataplane::{Discipline, OutputPort, Queued};
@@ -93,6 +94,20 @@ impl Deref for CvcStats {
 impl DerefMut for CvcStats {
     fn deref_mut(&mut self) -> &mut PipelineStats {
         &mut self.pipeline
+    }
+}
+
+/// Flight-recorder identity of a CVC message: the first 8 little-endian
+/// bytes of a `Data` payload — the simtest marker convention. Control
+/// messages carry no workload payload and are never traced. Returns
+/// `None` (never panics) for short payloads.
+pub(crate) fn cvc_flight_key(msg: &Message) -> Option<u64> {
+    match msg {
+        Message::Data { payload, .. } => {
+            let head: [u8; 8] = payload.get(..8)?.try_into().ok()?;
+            Some(u64::from_le_bytes(head))
+        }
+        _ => None,
     }
 }
 
@@ -189,17 +204,38 @@ impl CvcSwitch {
     fn send(&mut self, ctx: &mut Context<'_>, port: u8, msg: &Message) {
         let frame = LinkFrame::Cvc(msg.to_bytes()).to_p2p_bytes();
         let now = ctx.now();
+        let flight_key = if ctx.flight_enabled() {
+            cvc_flight_key(msg)
+        } else {
+            None
+        };
         let CvcSwitch { ports, stats, .. } = self;
         let sched = ports
             .entry(port)
             .or_insert_with(|| OutputPort::new(port, Discipline::Fifo, usize::MAX));
         // `record: None` — forwarding is accounted at handle time (the
         // circuit decision), not at transmit start.
-        sched.push(Queued::fifo(frame.into(), now, None), stats);
+        let mut q = Queued::fifo(frame.into(), now, None);
+        q.flight_key = flight_key;
+        sched.push(ctx, q, stats);
         let _ = sched.try_service(ctx, &mut (), stats);
     }
 
     fn handle(&mut self, ctx: &mut Context<'_>, in_port: u8, msg: Message, first_bit: SimTime) {
+        // The decision instant: first-bit arrival → now spans full
+        // reception plus the per-message processing delay.
+        self.stats
+            .pipeline
+            .parse_latency_ns
+            .record((ctx.now() - first_bit).as_nanos());
+        let flight_key = if ctx.flight_enabled() {
+            cvc_flight_key(&msg)
+        } else {
+            None
+        };
+        if let Some(key) = flight_key {
+            ctx.flight_record(key, HopKind::SwitchDecision);
+        }
         self.stats.enter(Stage::Route);
         match msg {
             Message::Setup { vci, dest, reserve } => {
@@ -313,12 +349,18 @@ impl CvcSwitch {
                     self.send(ctx, fwd.port, &msg);
                 }
                 Some(fwd) => {
+                    if let Some(key) = flight_key {
+                        ctx.flight_record(key, HopKind::Delivered);
+                    }
                     self.local_delivered.push((ctx.now(), fwd.vci, payload));
                 }
                 None => {
                     // Data on a circuit this switch never set up: the
                     // paper's VC model has no way to route it.
                     self.stats.drop(DropReason::UnknownCircuit);
+                    if let Some(key) = flight_key {
+                        ctx.flight_record(key, HopKind::Drop(DropReason::UnknownCircuit.label()));
+                    }
                 }
             },
         }
@@ -346,6 +388,11 @@ impl Node for CvcSwitch {
                     return;
                 };
                 self.stats.enter(Stage::Parse);
+                if ctx.flight_enabled() {
+                    if let Some(k) = cvc_flight_key(&msg) {
+                        ctx.flight_record_at(fe.first_bit, k, HopKind::ArrivalFirstBit);
+                    }
+                }
                 let delay = match msg {
                     Message::Setup { .. } => self.cfg.setup_delay,
                     _ => self.cfg.process_delay,
@@ -403,6 +450,16 @@ impl Node for CvcSwitch {
 
     fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
         Some(&self.stats.pipeline)
+    }
+
+    fn publish_telemetry(
+        &self,
+        reg: &mut sirpent_telemetry::Registry,
+    ) -> Result<(), sirpent_telemetry::RegistryError> {
+        self.stats.pipeline.publish_telemetry(reg)?;
+        let mut depth = sirpent_telemetry::Gauge::new();
+        depth.set(self.queued_frames() as i64);
+        reg.publish_gauge(sirpent_telemetry::names::ROUTER_QUEUE_DEPTH, &depth)
     }
 
     /// Crash/restart state-loss contract (chaos layer): ALL circuit

@@ -27,6 +27,7 @@
 use sirpent_sim::{FrameId, SimTime};
 use sirpent_wire::buf::{PacketBuf, SegmentView};
 use sirpent_wire::ethernet;
+use sirpent_wire::packet::PacketView;
 
 pub mod output;
 
@@ -61,4 +62,21 @@ pub struct Work {
     pub in_frame: Option<FrameId>,
     /// Splice/tree recursion depth.
     pub depth: u8,
+    /// Flight-recorder packet identity (first 8 LE bytes of the
+    /// transport payload); `None` whenever the recorder is off, so the
+    /// disabled path extracts nothing.
+    pub flight_key: Option<u64>,
+}
+
+/// Flight-recorder identity of a Sirpent packet: the first 8
+/// little-endian bytes of its transport payload — the simtest marker
+/// convention. Works mid-route because the terminating local segment
+/// survives every per-hop strip, so `PacketView` finds the payload at
+/// any hop. Returns `None` (never panics) for malformed or short
+/// packets; callers only invoke this when the recorder is enabled.
+pub fn flight_key_of(packet: &PacketBuf) -> Option<u64> {
+    let bytes = packet.as_slice();
+    let view = PacketView::parse(bytes).ok()?;
+    let head: [u8; 8] = view.data(bytes).get(..8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(head))
 }

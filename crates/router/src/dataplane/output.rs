@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
 use sirpent_sim::{Context, FrameId, SimTime};
+use sirpent_telemetry::HopKind;
 use sirpent_wire::buf::FrameBuf;
 use sirpent_wire::viper::Priority;
 
@@ -54,6 +55,12 @@ pub struct Queued {
     /// Incoming frame identity while the tail is still arriving (for
     /// abort propagation).
     pub in_frame: Option<FrameId>,
+    /// Flight-recorder packet identity; `None` when the recorder is off.
+    pub flight_key: Option<u64>,
+    /// When the frame entered the queue; assigned by
+    /// [`OutputPort::push`] (whatever the caller sets is overwritten)
+    /// and used to account the queue-wait histogram at transmit start.
+    pub enqueued_at: SimTime,
     /// FIFO tie-break sequence; assigned by [`OutputPort::push`]
     /// (whatever the caller sets is overwritten).
     pub seq: u64,
@@ -72,6 +79,8 @@ impl Queued {
             arrival_port: None,
             record,
             in_frame: None,
+            flight_key: None,
+            enqueued_at: now,
             seq: 0,
         }
     }
@@ -219,20 +228,49 @@ impl OutputPort {
     /// Admit a frame, drop-tail. Returns `false` (after counting a
     /// [`DropReason::QueueFull`] through the shared accounting path)
     /// when the queue is at capacity. On success the enqueue stage and
-    /// queue-depth statistics are recorded and the FIFO sequence
-    /// assigned.
-    pub fn push(&mut self, mut q: Queued, stats: &mut PipelineStats) -> bool {
+    /// queue-depth statistics are recorded, the enqueue instant stamped,
+    /// and the FIFO sequence assigned. Flight hop events (queue-enter,
+    /// tail drop) are recorded when the packet carries a key.
+    pub fn push(
+        &mut self,
+        ctx: &mut Context<'_>,
+        mut q: Queued,
+        stats: &mut PipelineStats,
+    ) -> bool {
+        if self.queue.len() >= self.capacity {
+            stats.drop(DropReason::QueueFull);
+            if let Some(key) = q.flight_key {
+                ctx.flight_record(key, HopKind::Drop(DropReason::QueueFull.label()));
+            }
+            return false;
+        }
+        q.enqueued_at = ctx.now();
+        if let Some(key) = q.flight_key {
+            ctx.flight_record(key, HopKind::QueueEnter);
+        }
+        self.admit(q, stats);
+        true
+    }
+
+    /// [`OutputPort::push`] without an engine context — for harnesses
+    /// (the switching bench) that drive the queue directly. No flight
+    /// events are recorded; `q.enqueued_at` is taken as given.
+    pub fn push_untimed(&mut self, q: Queued, stats: &mut PipelineStats) -> bool {
         if self.queue.len() >= self.capacity {
             stats.drop(DropReason::QueueFull);
             return false;
         }
+        self.admit(q, stats);
+        true
+    }
+
+    fn admit(&mut self, mut q: Queued, stats: &mut PipelineStats) {
         q.seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push_back(q);
         stats.enter(Stage::Enqueue);
         stats.queue_depth.record(self.queue.len() as f64);
         stats.max_queue = stats.max_queue.max(self.queue.len());
-        true
     }
 
     /// Run the service decision: pick the best eligible frame per the
@@ -338,21 +376,41 @@ impl OutputPort {
             next_seg_port,
             record,
             in_frame,
+            flight_key,
+            enqueued_at,
             ..
         } = queued;
         let len = frame.len();
+        if let Some(key) = flight_key {
+            ctx.flight_record(key, HopKind::QueueLeave);
+        }
         // The frame moves into the engine — no clone, no byte copy.
         let tx = match ctx.transmit(self.port, frame) {
             Ok(tx) => tx,
             Err(sirpent_sim::SimError::LinkDown) => {
                 stats.drop(DropReason::LinkDown);
+                if let Some(key) = flight_key {
+                    ctx.flight_record(key, HopKind::Drop(DropReason::LinkDown.label()));
+                }
                 return;
             }
             Err(_) => {
                 stats.drop(DropReason::NoSuchPort);
+                if let Some(key) = flight_key {
+                    ctx.flight_record(key, HopKind::Drop(DropReason::NoSuchPort.label()));
+                }
                 return;
             }
         };
+        if let Some(key) = flight_key {
+            ctx.flight_record_at(tx.start, key, HopKind::TransmitStart);
+        }
+        stats
+            .queue_wait_ns
+            .record((tx.start - enqueued_at).as_nanos());
+        stats
+            .transmit_latency_ns
+            .record((tx.end - tx.start).as_nanos());
         hooks.on_started(
             self.port,
             &StartedTx {

@@ -29,6 +29,7 @@ use std::ops::{Deref, DerefMut};
 
 use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
 use sirpent_sim::{Context, Event, Node, SimDuration, SimTime};
+use sirpent_telemetry::HopKind;
 use sirpent_wire::ethernet;
 use sirpent_wire::ipish::{self, Address};
 
@@ -111,7 +112,23 @@ enum Pending {
         /// The carrying frame — a held arrival is purged if its frame
         /// is aborted before the store-and-forward instant.
         in_frame: sirpent_sim::FrameId,
+        /// Flight-recorder identity, extracted once at parse time;
+        /// `None` when the recorder is off.
+        flight_key: Option<u64>,
     },
+}
+
+/// Flight-recorder identity of an ipish datagram: the first 8
+/// little-endian bytes of its payload (after the fixed header) — the
+/// simtest marker convention. Returns `None` (never panics) for short
+/// or header-only datagrams.
+pub(crate) fn ip_flight_key(datagram: &[u8]) -> Option<u64> {
+    let head: [u8; 8] = datagram
+        .get(ipish::HEADER_LEN..)?
+        .get(..8)?
+        .try_into()
+        .ok()?;
+    Some(u64::from_le_bytes(head))
 }
 
 /// The store-and-forward IP-like router node.
@@ -173,26 +190,52 @@ impl IpRouter {
         self.ports.values().map(|p| p.sched.len() as u64).sum()
     }
 
-    fn process(&mut self, ctx: &mut Context<'_>, datagram: Vec<u8>, first_bit: SimTime) {
+    /// Count a drop and, when the packet carries a flight key, record
+    /// the matching flight-recorder drop event.
+    fn drop_keyed(&mut self, ctx: &mut Context<'_>, key: Option<u64>, reason: DropReason) {
+        self.stats.drop(reason);
+        if let Some(key) = key {
+            ctx.flight_record(key, HopKind::Drop(reason.label()));
+        }
+    }
+
+    fn process(
+        &mut self,
+        ctx: &mut Context<'_>,
+        datagram: Vec<u8>,
+        first_bit: SimTime,
+        flight_key: Option<u64>,
+    ) {
+        // The decision instant: first-bit arrival → now spans full
+        // reception plus the per-packet processing delay.
+        self.stats
+            .parse_latency_ns
+            .record((ctx.now() - first_bit).as_nanos());
+        if let Some(key) = flight_key {
+            ctx.flight_record(key, HopKind::SwitchDecision);
+        }
         // Verify + parse (checksum check is mandatory per-hop work).
         let repr = match ipish::Repr::parse(&datagram) {
             Ok(r) => r,
             Err(sirpent_wire::Error::Checksum) => {
-                self.stats.drop(DropReason::Checksum);
+                self.drop_keyed(ctx, flight_key, DropReason::Checksum);
                 return;
             }
             Err(_) => {
-                self.stats.drop(DropReason::BadFrame);
+                self.drop_keyed(ctx, flight_key, DropReason::BadFrame);
                 return;
             }
         };
         self.stats.enter(Stage::Route);
         let Some(route) = self.lookup(repr.dst).cloned() else {
-            self.stats.drop(DropReason::NoRoute);
+            self.drop_keyed(ctx, flight_key, DropReason::NoRoute);
             return;
         };
         if route.out_port == 0 {
             self.stats.local += 1;
+            if let Some(key) = flight_key {
+                ctx.flight_record(key, HopKind::Delivered);
+            }
             self.local_delivered.push((ctx.now(), datagram));
             return;
         }
@@ -201,17 +244,17 @@ impl IpRouter {
         match ipish::decrement_ttl(&mut datagram) {
             Ok(true) => {}
             Ok(false) => {
-                self.stats.drop(DropReason::TtlExpired);
+                self.drop_keyed(ctx, flight_key, DropReason::TtlExpired);
                 return;
             }
             Err(_) => {
-                self.stats.drop(DropReason::BadFrame);
+                self.drop_keyed(ctx, flight_key, DropReason::BadFrame);
                 return;
             }
         }
 
         let Some(op) = self.ports.get(&route.out_port) else {
-            self.stats.drop(DropReason::NoRoute);
+            self.drop_keyed(ctx, flight_key, DropReason::NoRoute);
             return;
         };
         let mtu = op.cfg.mtu;
@@ -225,7 +268,7 @@ impl IpRouter {
         let pieces = match ipish::fragment(&datagram, mtu.saturating_sub(overhead)) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.drop(DropReason::CannotFragment);
+                self.drop_keyed(ctx, flight_key, DropReason::CannotFragment);
                 return;
             }
         };
@@ -247,8 +290,9 @@ impl IpRouter {
                 }
             };
             // Drop-tail accounting (QueueFull) happens inside push.
-            op.sched
-                .push(Queued::fifo(frame.into(), now, Some(first_bit)), stats);
+            let mut q = Queued::fifo(frame.into(), now, Some(first_bit));
+            q.flight_key = flight_key;
+            op.sched.push(ctx, q, stats);
         }
         self.service(ctx, route.out_port);
     }
@@ -282,6 +326,16 @@ impl Node for IpRouter {
                     }
                 };
                 self.stats.enter(Stage::Parse);
+                // Flight recorder: extract the packet identity exactly
+                // once, and only when recording is on.
+                let flight_key = if ctx.flight_enabled() {
+                    ip_flight_key(&datagram)
+                } else {
+                    None
+                };
+                if let Some(k) = flight_key {
+                    ctx.flight_record_at(fe.first_bit, k, HopKind::ArrivalFirstBit);
+                }
                 // Store-and-forward: act only after the full frame + the
                 // per-packet processing delay.
                 let key = self.next_key;
@@ -292,6 +346,7 @@ impl Node for IpRouter {
                         datagram,
                         first_bit: fe.first_bit,
                         in_frame: fe.frame.id,
+                        flight_key,
                     },
                 );
                 ctx.schedule_at(fe.last_bit + self.cfg.process_delay, key);
@@ -315,10 +370,11 @@ impl Node for IpRouter {
                 if let Some(Pending::Process {
                     datagram,
                     first_bit,
+                    flight_key,
                     ..
                 }) = self.pending.remove(&key)
                 {
-                    self.process(ctx, datagram, first_bit);
+                    self.process(ctx, datagram, first_bit, flight_key);
                 }
             }
             Event::FrameAborted { frame, .. } => {
@@ -332,6 +388,16 @@ impl Node for IpRouter {
 
     fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
         Some(&self.stats.pipeline)
+    }
+
+    fn publish_telemetry(
+        &self,
+        reg: &mut sirpent_telemetry::Registry,
+    ) -> Result<(), sirpent_telemetry::RegistryError> {
+        self.stats.pipeline.publish_telemetry(reg)?;
+        let mut depth = sirpent_telemetry::Gauge::new();
+        depth.set(self.queued_frames() as i64);
+        reg.publish_gauge(sirpent_telemetry::names::ROUTER_QUEUE_DEPTH, &depth)
     }
 
     /// Crash/restart state-loss contract (chaos layer): the forwarding

@@ -12,7 +12,35 @@ use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
 use sirpent_sim::{Context, Event, Node, SimError, SimTime};
 use sirpent_wire::ethernet;
 
+use sirpent_telemetry::HopKind;
+
 use crate::link::LinkFrame;
+
+/// Flight-recorder identity of a decoded link frame, extracted the way
+/// the owning plane would — Sirpent packets via the packet payload,
+/// ipish datagrams via the post-header payload, CVC `Data` messages via
+/// the message payload. Control traffic carries no key. Never panics.
+fn link_flight_key(link: &LinkFrame) -> Option<u64> {
+    match link {
+        LinkFrame::Sirpent { packet, .. } => crate::dataplane::flight_key_of(packet),
+        LinkFrame::Ipish(datagram) => crate::ip::ip_flight_key(datagram),
+        LinkFrame::Cvc(bytes) => {
+            let msg = sirpent_wire::cvc::Message::parse(bytes).ok()?;
+            crate::cvc::cvc_flight_key(&msg)
+        }
+        LinkFrame::RateControl(_) => None,
+    }
+}
+
+/// [`link_flight_key`] over raw planned bytes: try the point-to-point
+/// framing first, then Ethernet. Undecodable bytes carry no key.
+fn frame_flight_key(bytes: &[u8]) -> Option<u64> {
+    let link = match LinkFrame::from_p2p_bytes(bytes) {
+        Ok(f) => f,
+        Err(_) => LinkFrame::from_ethernet_bytes(bytes).ok()?.1,
+    };
+    link_flight_key(&link)
+}
 
 /// One record of a received frame.
 #[derive(Debug, Clone)]
@@ -140,6 +168,14 @@ impl Node for ScriptedHost {
                 }
                 self.stats.enter(Stage::Parse);
                 self.stats.local += 1;
+                if ctx.flight_enabled() {
+                    let link = LinkFrame::from_p2p_frame(&fe.frame.payload).or_else(|_| {
+                        LinkFrame::from_ethernet_frame(&fe.frame.payload).map(|(_, f)| f)
+                    });
+                    if let Some(key) = link.ok().as_ref().and_then(link_flight_key) {
+                        ctx.flight_record_at(fe.last_bit, key, HopKind::Delivered);
+                    }
+                }
                 self.received.push(Received {
                     first_bit: fe.first_bit,
                     last_bit: fe.last_bit,
@@ -154,10 +190,18 @@ impl Node for ScriptedHost {
                 while self.next < self.plan.len() && self.plan[self.next].at <= ctx.now() {
                     let p = self.plan[self.next].clone();
                     self.next += 1;
+                    let key = if ctx.flight_enabled() {
+                        frame_flight_key(&p.bytes)
+                    } else {
+                        None
+                    };
                     match ctx.transmit(p.port, p.bytes) {
                         Ok(_) => {
                             self.stats.enter(Stage::Transmit);
                             self.stats.forwarded += 1;
+                            if let Some(key) = key {
+                                ctx.flight_record(key, HopKind::Inject);
+                            }
                         }
                         // A planned send into a downed or missing link is
                         // a counted loss, so conservation checks balance.
@@ -183,6 +227,17 @@ impl Node for ScriptedHost {
 
     fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
         Some(&self.stats)
+    }
+
+    fn publish_telemetry(
+        &self,
+        reg: &mut sirpent_telemetry::Registry,
+    ) -> Result<(), sirpent_telemetry::RegistryError> {
+        use sirpent_telemetry::names;
+        self.stats.publish_telemetry(reg)?;
+        reg.publish_count(names::HOST_INJECTED_TOTAL, self.stats.forwarded)?;
+        reg.publish_count(names::HOST_DELIVERED_TOTAL, self.stats.local)?;
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -25,7 +25,7 @@ impl ViperRouter {
                 .unwrap_or(false);
             if work.seg.port_token().is_empty() {
                 if require {
-                    self.stats.drop(DropReason::TokenMissing);
+                    self.drop_keyed(ctx, work.flight_key, DropReason::TokenMissing);
                     return;
                 }
             } else {
@@ -48,6 +48,16 @@ impl ViperRouter {
                 }
                 if outcome.did_decrypt {
                     self.stats.token_decrypts += 1;
+                    // The modeled decrypt cost is the configured verify
+                    // delay (the cache resolves synchronously; the delay
+                    // is charged to blocked packets as wait time).
+                    let cost = self
+                        .cfg
+                        .auth
+                        .as_ref()
+                        .map(|a| a.verify_delay)
+                        .unwrap_or(SimDuration::from_micros(100));
+                    self.stats.token_decrypt_ns.record(cost.as_nanos());
                 }
                 match outcome.decision {
                     Decision::Forward => {}
@@ -64,7 +74,7 @@ impl ViperRouter {
                         return;
                     }
                     Decision::Reject(_) => {
-                        self.stats.drop(DropReason::TokenRejected);
+                        self.drop_keyed(ctx, work.flight_key, DropReason::TokenRejected);
                         return;
                     }
                 }
@@ -87,7 +97,7 @@ impl ViperRouter {
             );
             match outcome.decision {
                 Decision::Forward => self.finish_forward(ctx, work, out_ports),
-                _ => self.stats.drop(DropReason::TokenRejected),
+                _ => self.drop_keyed(ctx, work.flight_key, DropReason::TokenRejected),
             }
         }
     }

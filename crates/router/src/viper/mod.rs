@@ -202,6 +202,8 @@ pub struct RouterStats {
     pub backpressure_sent: u64,
     /// Rate limits currently installed (gauge at last change).
     pub limits_installed: u64,
+    /// Modeled full-decrypt cost per token-cache miss, nanoseconds.
+    pub token_decrypt_ns: sirpent_telemetry::Histogram,
 }
 
 impl Deref for RouterStats {
@@ -248,6 +250,9 @@ struct Arrival {
     in_tail: SimTime,
     first_bit: SimTime,
     in_frame: FrameId,
+    /// Flight-recorder identity, extracted once at parse time; `None`
+    /// when the recorder is off.
+    flight_key: Option<u64>,
 }
 
 const KEY_INCREASE_TICK: u64 = 0;
@@ -372,6 +377,32 @@ impl Node for ViperRouter {
 
     fn node_stats(&self) -> Option<&dyn sirpent_sim::stats::NodeStats> {
         Some(&self.stats.pipeline)
+    }
+
+    fn publish_telemetry(
+        &self,
+        reg: &mut sirpent_telemetry::Registry,
+    ) -> Result<(), sirpent_telemetry::RegistryError> {
+        use sirpent_telemetry::names;
+        self.stats.pipeline.publish_telemetry(reg)?;
+        let mut depth = sirpent_telemetry::Gauge::new();
+        depth.set(self.queued_frames() as i64);
+        reg.publish_gauge(names::ROUTER_QUEUE_DEPTH, &depth)?;
+        if self.token_cache.is_some() {
+            reg.publish_count(names::TOKEN_CACHE_HITS_TOTAL, self.stats.token_cache_hits)?;
+            // Every full decrypt is a cache miss (the fast path never
+            // decrypts), so the decrypt counter *is* the miss counter.
+            reg.publish_count(names::TOKEN_CACHE_MISSES_TOTAL, self.stats.token_decrypts)?;
+            reg.publish_count(
+                names::TOKEN_OPTIMISTIC_ADMITS_TOTAL,
+                self.token_cache.as_ref().map_or(0, |c| c.optimistic_passes),
+            )?;
+            reg.publish_histogram(
+                names::TOKEN_DECRYPT_LATENCY_NS,
+                &self.stats.token_decrypt_ns,
+            )?;
+        }
+        Ok(())
     }
 
     /// Crash/restart state-loss contract (chaos layer): durable

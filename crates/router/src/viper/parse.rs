@@ -3,6 +3,7 @@
 
 use sirpent_sim::stats::Stage;
 use sirpent_sim::Context;
+use sirpent_telemetry::HopKind;
 use sirpent_wire::ethernet;
 use sirpent_wire::viper::Segment;
 
@@ -61,6 +62,20 @@ impl ViperRouter {
                     }
                     SwitchMode::StoreAndForward { process_delay } => fe.last_bit + process_delay,
                 };
+                // Flight recorder: extract the packet identity exactly
+                // once, and only when recording is on — the disabled
+                // path does no work beyond this branch test.
+                let flight_key = if ctx.flight_enabled() {
+                    crate::dataplane::flight_key_of(&packet)
+                } else {
+                    None
+                };
+                if let Some(key) = flight_key {
+                    ctx.flight_record_at(fe.first_bit, key, HopKind::ArrivalFirstBit);
+                    if matches!(self.cfg.mode, SwitchMode::CutThrough) {
+                        ctx.flight_record_at(ready, key, HopKind::CutThroughStart);
+                    }
+                }
                 let arrival = Arrival {
                     packet,
                     arrival_port: port,
@@ -68,6 +83,7 @@ impl ViperRouter {
                     in_tail: fe.last_bit,
                     first_bit: fe.first_bit,
                     in_frame: fe.frame.id,
+                    flight_key,
                 };
                 self.schedule(ctx, ready, Pending::Process(arrival));
             }

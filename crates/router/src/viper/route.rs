@@ -11,16 +11,25 @@ use sirpent_wire::viper::PORT_LOCAL;
 use crate::dataplane::Work;
 use crate::logical::PortBinding;
 use crate::multicast::decode_tree;
+use sirpent_telemetry::HopKind;
 
 use super::{Arrival, DropReason, ViperRouter, MAX_DEPTH};
 
 impl ViperRouter {
     pub(super) fn process(&mut self, ctx: &mut Context<'_>, a: Arrival) {
+        // The decision instant: first-bit arrival → now spans link-frame
+        // decode plus the cut-through/store-and-forward wait.
+        self.stats
+            .parse_latency_ns
+            .record((ctx.now() - a.first_bit).as_nanos());
+        if let Some(key) = a.flight_key {
+            ctx.flight_record(key, HopKind::SwitchDecision);
+        }
         let mut packet = a.packet;
         let seg = match strip_front_segment_buf(&mut packet) {
             Ok(s) => s,
             Err(_) => {
-                self.stats.drop(DropReason::ParseError);
+                self.drop_keyed(ctx, a.flight_key, DropReason::ParseError);
                 return;
             }
         };
@@ -33,13 +42,28 @@ impl ViperRouter {
             first_bit: a.first_bit,
             in_frame: Some(a.in_frame),
             depth: 0,
+            flight_key: a.flight_key,
         };
         self.route_work(ctx, work);
     }
 
+    /// Count a drop and, when the packet carries a flight key, record
+    /// the matching flight-recorder drop event.
+    pub(super) fn drop_keyed(
+        &mut self,
+        ctx: &mut Context<'_>,
+        key: Option<u64>,
+        reason: DropReason,
+    ) {
+        self.stats.drop(reason);
+        if let Some(key) = key {
+            ctx.flight_record(key, HopKind::Drop(reason.label()));
+        }
+    }
+
     pub(super) fn route_work(&mut self, ctx: &mut Context<'_>, work: Work) {
         if work.depth > MAX_DEPTH {
-            self.stats.drop(DropReason::TooDeep);
+            self.drop_keyed(ctx, work.flight_key, DropReason::TooDeep);
             return;
         }
         self.stats.enter(Stage::Route);
@@ -50,7 +74,7 @@ impl ViperRouter {
             let branches = match decode_tree(work.seg.port_info()) {
                 Ok(b) => b,
                 Err(_) => {
-                    self.stats.drop(DropReason::BadStructure);
+                    self.drop_keyed(ctx, work.flight_key, DropReason::BadStructure);
                     return;
                 }
             };
@@ -64,7 +88,7 @@ impl ViperRouter {
                 let seg = match strip_front_segment_buf(&mut pkt) {
                     Ok(s) => s,
                     Err(_) => {
-                        self.stats.drop(DropReason::ParseError);
+                        self.drop_keyed(ctx, work.flight_key, DropReason::ParseError);
                         continue;
                     }
                 };
@@ -79,6 +103,7 @@ impl ViperRouter {
                         first_bit: work.first_bit,
                         in_frame: None, // copies decouple from the input
                         depth: work.depth + 1,
+                        flight_key: work.flight_key,
                     },
                 );
             }
@@ -87,6 +112,9 @@ impl ViperRouter {
 
         if work.seg.port() == PORT_LOCAL {
             self.stats.local += 1;
+            if let Some(key) = work.flight_key {
+                ctx.flight_record(key, HopKind::Delivered);
+            }
             self.local_delivered.push((ctx.now(), work.packet.to_vec()));
             return;
         }
@@ -130,7 +158,7 @@ impl ViperRouter {
                 let seg = match strip_front_segment_buf(&mut pkt) {
                     Ok(s) => s,
                     Err(_) => {
-                        self.stats.drop(DropReason::BadStructure);
+                        self.drop_keyed(ctx, work.flight_key, DropReason::BadStructure);
                         return;
                     }
                 };
@@ -161,7 +189,7 @@ impl ViperRouter {
         };
 
         if out_ports.is_empty() || out_ports.iter().any(|p| !self.ports.contains_key(p)) {
-            self.stats.drop(DropReason::NoSuchPort);
+            self.drop_keyed(ctx, work.flight_key, DropReason::NoSuchPort);
             return;
         }
 

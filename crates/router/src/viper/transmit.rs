@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 
 use sirpent_sim::{transmission_time, Context, FrameId, SimTime};
+use sirpent_telemetry::HopKind;
 use sirpent_wire::buf::{FrameBuf, PacketBuf};
 use sirpent_wire::ethernet;
 use sirpent_wire::packet::truncate_packet_buf;
@@ -89,6 +90,7 @@ impl ViperRouter {
             in_tail,
             first_bit,
             in_frame,
+            flight_key,
             ..
         } = work;
         // Copy the per-hop metadata out of the segment view (all `Copy`),
@@ -133,6 +135,9 @@ impl ViperRouter {
                 self.stats.drop(DropReason::BadStructure);
                 return;
             }
+            if let Some(key) = flight_key {
+                ctx.flight_record(key, HopKind::TrailerAppend);
+            }
         }
 
         let copies = out_ports.len();
@@ -153,6 +158,7 @@ impl ViperRouter {
                 in_tail,
                 first_bit,
                 if copies == 1 { in_frame } else { None },
+                flight_key,
             );
         }
     }
@@ -168,6 +174,7 @@ impl ViperRouter {
         in_tail: SimTime,
         first_bit: SimTime,
         in_frame: Option<FrameId>,
+        flight_key: Option<u64>,
     ) {
         let Ok(out_rate) = ctx.channel_rate(out) else {
             self.stats.drop(DropReason::NoSuchPort);
@@ -234,10 +241,11 @@ impl ViperRouter {
         // faster output it delays the start; §2.1 notes cut-through
         // applies when rates match).
         let out_tx = transmission_time(frame.len(), out_rate);
-        let earliest = if in_tail > ctx.now() + out_tx {
+        let now = ctx.now();
+        let earliest = if in_tail > now + out_tx {
             SimTime(in_tail.as_nanos().saturating_sub(out_tx.as_nanos()))
         } else {
-            ctx.now()
+            now
         };
 
         let ViperRouter { ports, stats, .. } = self;
@@ -247,6 +255,7 @@ impl ViperRouter {
         };
         let pushed = {
             op.sched.push(
+                ctx,
                 Queued {
                     frame,
                     priority: meta.priority,
@@ -256,6 +265,8 @@ impl ViperRouter {
                     arrival_port,
                     record: Some(first_bit),
                     in_frame,
+                    flight_key,
+                    enqueued_at: now,
                     seq: 0,
                 },
                 &mut stats.pipeline,

@@ -37,6 +37,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sirpent_telemetry::{Counter, FlightRecorder, HopEvent, HopKind, Registry, RegistryError};
 use sirpent_wire::buf::FrameBuf;
 
 use crate::chaos::{ChaosAction, ChaosEvent, FaultSchedule};
@@ -300,6 +301,15 @@ pub trait Node: 'static {
     /// configuration and already-scraped counters survive. Default: the
     /// node is stateless across restarts.
     fn on_restart(&mut self) {}
+
+    /// Publish this node's telemetry instruments into `reg` at scrape
+    /// time, under static names from [`sirpent_telemetry::names`].
+    /// [`Simulator::scrape_telemetry`] absorbs every node's registry
+    /// into one fleet-wide scrape. Default: publishes nothing.
+    fn publish_telemetry(&self, reg: &mut Registry) -> Result<(), RegistryError> {
+        let _ = reg;
+        Ok(())
+    }
 }
 
 struct Scheduled {
@@ -324,6 +334,22 @@ impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> core::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
+}
+
+/// Chaos-layer event counters (telemetry instruments; published by
+/// [`Simulator::scrape_telemetry`] under the `chaos_*` names).
+#[derive(Debug, Default)]
+struct ChaosCounters {
+    /// Every applied chaos action.
+    events: Counter,
+    /// Link up/down transitions.
+    link: Counter,
+    /// Router crash/restart transitions.
+    router: Counter,
+    /// Partition windows opened or closed.
+    partition: Counter,
+    /// Channel-condition window updates (dup / jitter / error burst).
+    windows: Counter,
 }
 
 /// Everything in the simulator except the node objects themselves — this
@@ -355,6 +381,11 @@ pub(crate) struct Core {
     /// Frames whose scheduled deliveries were cancelled before their
     /// first bit (queued transmissions killed by a link-down or crash).
     cancelled: std::collections::HashSet<FrameId>,
+    /// Chaos-layer telemetry counters.
+    chaos_counters: ChaosCounters,
+    /// The per-packet flight recorder; `None` (the default) records
+    /// nothing and leaves every instrumented path byte-identical.
+    flight: Option<FlightRecorder>,
 }
 
 impl Core {
@@ -714,6 +745,34 @@ impl Context<'_> {
             t.push((self.core.now, self.me, line));
         }
     }
+
+    /// Whether the flight recorder is on. Callers use this to skip key
+    /// extraction entirely when disabled, keeping the off path free.
+    pub fn flight_enabled(&self) -> bool {
+        self.core.flight.is_some()
+    }
+
+    /// Record a flight hop event for packet `key` at the current instant
+    /// (no-op when the recorder is disabled). Draws no randomness.
+    pub fn flight_record(&mut self, key: u64, kind: HopKind) {
+        let now = self.core.now;
+        self.flight_record_at(now, key, kind);
+    }
+
+    /// Record a flight hop event at an explicit instant — e.g. a frame's
+    /// first-bit arrival, which precedes the dispatch instant the node
+    /// runs at (no-op when the recorder is disabled).
+    pub fn flight_record_at(&mut self, t: SimTime, key: u64, kind: HopKind) {
+        let node = self.me.0 as u32;
+        if let Some(fr) = self.core.flight.as_mut() {
+            fr.record(HopEvent {
+                key,
+                node,
+                t_ns: t.as_nanos(),
+                kind,
+            });
+        }
+    }
 }
 
 /// The simulator: nodes + core.
@@ -742,6 +801,8 @@ impl Simulator {
                 node_epoch: Vec::new(),
                 partition: None,
                 cancelled: std::collections::HashSet::new(),
+                chaos_counters: ChaosCounters::default(),
+                flight: None,
             },
             nodes: Vec::new(),
         }
@@ -855,6 +916,71 @@ impl Simulator {
         &self.core.chaos_stats
     }
 
+    /// Turn on the per-packet flight recorder with a ring bound of
+    /// `capacity` hop events. Off by default: a disabled recorder draws
+    /// no randomness, allocates nothing, and leaves every instrumented
+    /// path — and therefore golden digests — byte-identical.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or its byte size overflows the
+    /// address space — validated here once (the [`Simulator::set_faults`]
+    /// hoist pattern) so the record hot path never re-checks.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        match FlightRecorder::new(capacity) {
+            Ok(fr) => self.core.flight = Some(fr),
+            Err(e) => panic!("enable_flight: {e}"),
+        }
+    }
+
+    /// The flight recorder, when enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.core.flight.as_ref()
+    }
+
+    /// Scrape telemetry fleet-wide: every node's
+    /// [`Node::publish_telemetry`] registry plus the engine's own chaos
+    /// and flight-recorder instruments, absorbed into one [`Registry`]
+    /// (counters and gauges add, histograms merge — order-independent).
+    pub fn scrape_telemetry(&self) -> Result<Registry, RegistryError> {
+        let mut fleet = Registry::new();
+        for node in self.nodes.iter().flatten() {
+            let mut reg = Registry::new();
+            node.publish_telemetry(&mut reg)?;
+            fleet.absorb(reg)?;
+        }
+        let mut engine = Registry::new();
+        let c = &self.core.chaos_counters;
+        engine.publish_counter(sirpent_telemetry::names::CHAOS_EVENTS_TOTAL, &c.events)?;
+        engine.publish_counter(
+            sirpent_telemetry::names::CHAOS_LINK_TRANSITIONS_TOTAL,
+            &c.link,
+        )?;
+        engine.publish_counter(
+            sirpent_telemetry::names::CHAOS_ROUTER_TRANSITIONS_TOTAL,
+            &c.router,
+        )?;
+        engine.publish_counter(
+            sirpent_telemetry::names::CHAOS_PARTITION_WINDOWS_TOTAL,
+            &c.partition,
+        )?;
+        engine.publish_counter(
+            sirpent_telemetry::names::CHAOS_WINDOW_UPDATES_TOTAL,
+            &c.windows,
+        )?;
+        if let Some(fr) = &self.core.flight {
+            engine.publish_counter(
+                sirpent_telemetry::names::FLIGHT_EVENTS_RECORDED_TOTAL,
+                &fr.recorded,
+            )?;
+            engine.publish_counter(
+                sirpent_telemetry::names::FLIGHT_EVENTS_EVICTED_TOTAL,
+                &fr.evicted,
+            )?;
+        }
+        fleet.absorb(engine)?;
+        Ok(fleet)
+    }
+
     /// Whether `node` is currently crashed by the chaos layer.
     pub fn is_down(&self, node: NodeId) -> bool {
         self.core.down.get(node.0).copied().unwrap_or(false)
@@ -908,6 +1034,19 @@ impl Simulator {
 
     /// Apply one chaos action at the current instant.
     fn apply_chaos(&mut self, action: ChaosAction) {
+        let c = &mut self.core.chaos_counters;
+        c.events.inc();
+        match action {
+            ChaosAction::LinkDown { .. } | ChaosAction::LinkUp { .. } => c.link.inc(),
+            ChaosAction::RouterCrash { .. } | ChaosAction::RouterRestart { .. } => c.router.inc(),
+            ChaosAction::PartitionStart { .. } | ChaosAction::PartitionEnd => c.partition.inc(),
+            ChaosAction::DuplicateStart { .. }
+            | ChaosAction::DuplicateEnd { .. }
+            | ChaosAction::JitterStart { .. }
+            | ChaosAction::JitterEnd { .. }
+            | ChaosAction::ErrorBurstStart { .. }
+            | ChaosAction::ErrorBurstEnd { .. } => c.windows.inc(),
+        }
         match action {
             ChaosAction::LinkDown { ch } => {
                 self.core.channels[ch.0].up = false;
@@ -1786,6 +1925,76 @@ mod tests {
                 .collect()
         }
         assert_eq!(run(false), run(true), "chaos present-but-idle is free");
+    }
+
+    #[test]
+    fn scrape_telemetry_counts_chaos_and_flight_events() {
+        use sirpent_telemetry::names;
+
+        let mut sim = Simulator::new(31);
+        let a = sim.add_node(Box::<Probe>::default());
+        let b = sim.add_node(Box::<Probe>::default());
+        let (ab, _) = sim.p2p(a, 0, b, 0, MBPS_10, SimDuration::ZERO);
+        sim.enable_flight(64);
+        sim.node_mut::<Probe>(a).send_on_timer = Some((0, vec![9; 1250]));
+        sim.kick(SimTime::ZERO, a, 1);
+        sim.install_schedule(schedule(vec![
+            (400_000, ChaosAction::LinkDown { ch: ab }),
+            (500_000, ChaosAction::LinkUp { ch: ab }),
+            (600_000, ChaosAction::DuplicateStart { ch: ab, prob: 0.5 }),
+            (700_000, ChaosAction::DuplicateEnd { ch: ab }),
+        ]));
+        sim.run(1000);
+        let reg = sim.scrape_telemetry().unwrap();
+        assert_eq!(reg.counter(names::CHAOS_EVENTS_TOTAL), 4);
+        assert_eq!(reg.counter(names::CHAOS_LINK_TRANSITIONS_TOTAL), 2);
+        assert_eq!(reg.counter(names::CHAOS_WINDOW_UPDATES_TOTAL), 2);
+        assert_eq!(reg.counter(names::CHAOS_ROUTER_TRANSITIONS_TOTAL), 0);
+        // The recorder is live (Probe records nothing itself, so zero
+        // events is correct) and its instruments are published.
+        assert!(reg.get(names::FLIGHT_EVENTS_RECORDED_TOTAL).is_some());
+        assert!(sim.flight().unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_flight")]
+    fn enable_flight_rejects_zero_capacity() {
+        let mut sim = Simulator::new(32);
+        sim.enable_flight(0);
+    }
+
+    #[test]
+    fn flight_record_via_context_is_stamped_with_node_and_time() {
+        struct Recorder;
+        impl Node for Recorder {
+            fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
+                if matches!(ev, Event::Timer { .. }) {
+                    assert!(ctx.flight_enabled());
+                    ctx.flight_record(0xFEED, HopKind::Inject);
+                    ctx.flight_record_at(SimTime(9_999_999), 0xFEED, HopKind::Delivered);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new(33);
+        let a = sim.add_node(Box::new(Recorder));
+        sim.enable_flight(8);
+        sim.kick(SimTime(1_000), a, 0);
+        sim.run(10);
+        let fr = sim.flight().unwrap();
+        let evs: Vec<HopEvent> = fr.events().copied().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].node, a.0 as u32);
+        assert_eq!(evs[0].t_ns, 1_000);
+        assert_eq!(evs[1].t_ns, 9_999_999);
+        let traces = fr.reconstruct();
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].is_complete());
     }
 
     #[test]

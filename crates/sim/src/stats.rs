@@ -154,6 +154,31 @@ impl DropReason {
         }
     }
 
+    /// Stable `snake_case` label, used by the flight recorder's drop
+    /// events and trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::ParseError => "parse_error",
+            DropReason::NoSuchPort => "no_such_port",
+            DropReason::QueueFull => "queue_full",
+            DropReason::DropIfBlocked => "drop_if_blocked",
+            DropReason::Preempted => "preempted",
+            DropReason::TokenMissing => "token_missing",
+            DropReason::TokenRejected => "token_rejected",
+            DropReason::BadStructure => "bad_structure",
+            DropReason::TooDeep => "too_deep",
+            DropReason::BadFrame => "bad_frame",
+            DropReason::Checksum => "checksum",
+            DropReason::TtlExpired => "ttl_expired",
+            DropReason::NoRoute => "no_route",
+            DropReason::CannotFragment => "cannot_fragment",
+            DropReason::UnknownCircuit => "unknown_circuit",
+            DropReason::LinkDown => "link_down",
+            DropReason::RouterDown => "router_down",
+            DropReason::Partitioned => "partitioned",
+        }
+    }
+
     /// The pipeline stage at which this drop occurs.
     pub fn stage(self) -> Stage {
         match self {
@@ -270,6 +295,13 @@ pub struct PipelineStats {
     pub queue_depth: Summary,
     /// Peak output-queue depth observed.
     pub max_queue: usize,
+    /// Arrival-to-decision service latency (first bit in → forwarding
+    /// decision), nanoseconds.
+    pub parse_latency_ns: sirpent_telemetry::Histogram,
+    /// Output-queue wait (enqueue → transmit start), nanoseconds.
+    pub queue_wait_ns: sirpent_telemetry::Histogram,
+    /// Frame transmission time on the output link, nanoseconds.
+    pub transmit_latency_ns: sirpent_telemetry::Histogram,
 }
 
 impl PipelineStats {
@@ -294,6 +326,44 @@ impl PipelineStats {
     /// Total drops across reasons.
     pub fn total_drops(&self) -> u64 {
         self.drops.total()
+    }
+
+    /// Publish the shared pipeline surface into a scrape registry under
+    /// the static names of [`sirpent_telemetry::names`]. The live
+    /// occupancy gauge is published by the owning node (it knows its
+    /// current `queued_frames()`); everything here is counter/histogram
+    /// state the pipeline maintains itself.
+    pub fn publish_telemetry(
+        &self,
+        reg: &mut sirpent_telemetry::Registry,
+    ) -> Result<(), sirpent_telemetry::registry::RegistryError> {
+        use sirpent_telemetry::names;
+        reg.publish_count(names::ROUTER_FORWARDED_TOTAL, self.forwarded)?;
+        reg.publish_count(names::ROUTER_LOCAL_DELIVERED_TOTAL, self.local)?;
+        reg.publish_count(names::ROUTER_DROPS_TOTAL, self.total_drops())?;
+        for (stage, count) in self.stages.iter() {
+            reg.publish_count(stage_metric_name(stage), count)?;
+        }
+        reg.publish_histogram(names::ROUTER_PARSE_LATENCY_NS, &self.parse_latency_ns)?;
+        reg.publish_histogram(names::ROUTER_QUEUE_WAIT_NS, &self.queue_wait_ns)?;
+        reg.publish_histogram(names::ROUTER_TRANSMIT_LATENCY_NS, &self.transmit_latency_ns)?;
+        let mut peak = sirpent_telemetry::Gauge::new();
+        peak.set(self.max_queue as i64);
+        reg.publish_gauge(names::ROUTER_QUEUE_PEAK, &peak)?;
+        Ok(())
+    }
+}
+
+/// The registry name each stage-occupancy counter is published under.
+pub fn stage_metric_name(s: Stage) -> &'static str {
+    use sirpent_telemetry::names;
+    match s {
+        Stage::Parse => names::ROUTER_STAGE_PARSE_TOTAL,
+        Stage::Route => names::ROUTER_STAGE_ROUTE_TOTAL,
+        Stage::Authorize => names::ROUTER_STAGE_AUTHORIZE_TOTAL,
+        Stage::Police => names::ROUTER_STAGE_POLICE_TOTAL,
+        Stage::Enqueue => names::ROUTER_STAGE_ENQUEUE_TOTAL,
+        Stage::Transmit => names::ROUTER_STAGE_TRANSMIT_TOTAL,
     }
 }
 

@@ -31,7 +31,7 @@ pub mod shrink;
 pub mod spec;
 
 pub use invariants::{check_corpus, check_exact};
-pub use scenario::{build, execute, run, RunReport};
+pub use scenario::{build, execute, run, run_traced, RunReport};
 pub use shrink::{shrink, write_fixture};
 pub use spec::{Profile, Scenario};
 

@@ -547,7 +547,17 @@ pub fn build(spec: &Scenario) -> BuiltScenario {
 /// trailer"), and sends it back — across router state that chaos may
 /// have crashed away, which is exactly the point: source routes survive
 /// router restarts.
-pub fn run(mut built: BuiltScenario) -> RunReport {
+pub fn run(built: BuiltScenario) -> RunReport {
+    run_traced(built).0
+}
+
+/// [`run`], but also hand back the engine's flight recorder (when one
+/// was enabled on the built scenario before running) so the trace
+/// cross-check can reconcile reconstructed per-packet traces against
+/// the scraped conservation ledger.
+pub fn run_traced(
+    mut built: BuiltScenario,
+) -> (RunReport, Option<sirpent_telemetry::FlightRecorder>) {
     built.sim.run_until(PHASE1_END);
 
     // Phase 2: reverse-route replies from delivered trailers.
@@ -608,7 +618,8 @@ pub fn run(mut built: BuiltScenario) -> RunReport {
     }
     built.sim.run_until(PHASE2_END);
 
-    scrape(built, replies_expected)
+    let flight = built.sim.flight().cloned();
+    (scrape(built, replies_expected), flight)
 }
 
 fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {

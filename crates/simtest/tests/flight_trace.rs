@@ -1,0 +1,167 @@
+//! Flight-recorder cross-check (PR 5 satellite): on a 16-seed
+//! Exact-profile corpus, the reconstructed per-packet traces must agree
+//! with the conservation ledger the simtest harness already pins, and
+//! recording must not perturb the run.
+//!
+//! Per seed:
+//!
+//! * **Zero perturbation** — the digest of a recorder-on run is byte
+//!   identical to the recorder-off run of the same spec.
+//! * **Delivery agreement** — for every known marker (workload, flush,
+//!   phase-2 replies), the number of `Delivered` hop events under that
+//!   key is at least the ledger's uncorrupted hit count, and the total
+//!   excess across all markers is bounded by the corrupted-delivery
+//!   count (a final-hop-corrupted frame still records a `Delivered`
+//!   event under its intact key, but the ledger excludes it).
+//! * **Telescoping** — for every complete trace, the per-hop latency
+//!   spans sum exactly to the end-to-end latency.
+//! * **Drop agreement** — `Drop` hop events never exceed the ledger's
+//!   node-drop total (channel and chaos kills leave no per-node drop
+//!   event, so traces they truncate simply end).
+//! * **No eviction** — the ring is sized for the workload, so the
+//!   reconstruction saw every recorded event.
+
+use sirpent_simtest::scenario::{build, execute, run_traced};
+use sirpent_simtest::{Profile, Scenario};
+use sirpent_telemetry::HopKind;
+
+/// Ring capacity for the cross-check runs — far above the event count
+/// of any Exact-profile scenario, so nothing is evicted.
+const FLIGHT_CAP: usize = 1 << 16;
+
+#[test]
+fn traces_agree_with_conservation_ledger_on_16_seeds() {
+    for seed in 0..16u64 {
+        let spec = Scenario::from_seed(seed, Profile::Exact);
+
+        let baseline = execute(&spec);
+
+        let mut built = build(&spec);
+        built.sim.enable_flight(FLIGHT_CAP);
+        let (report, flight) = run_traced(built);
+        let flight = flight.expect("recorder was enabled");
+
+        assert_eq!(
+            report.digest, baseline.digest,
+            "seed {seed}: enabling the flight recorder changed the run"
+        );
+        assert_eq!(
+            flight.evicted.get(),
+            0,
+            "seed {seed}: ring evicted events; cross-check would be partial"
+        );
+
+        let traces = flight.reconstruct();
+
+        // Every known marker: workload + flush (delivered at rail dst)
+        // and phase-2 replies (delivered back at rail src).
+        let rebuilt = build(&spec);
+        let mut known: Vec<(u64, u32)> = Vec::new();
+        for rail in &rebuilt.rails {
+            for &m in &rail.markers {
+                known.push((m, report.marker_hits.get(&m).copied().unwrap_or(0)));
+            }
+            let f = rail.flush_marker;
+            known.push((f, report.marker_hits.get(&f).copied().unwrap_or(0)));
+        }
+        for &m in &report.replies_expected {
+            known.push((m, report.reply_hits.get(&m).copied().unwrap_or(0)));
+        }
+
+        let delivered_events = |key: u64| -> u32 {
+            traces
+                .iter()
+                .find(|t| t.key == key)
+                .map(|t| {
+                    t.events
+                        .iter()
+                        .filter(|e| e.kind == HopKind::Delivered)
+                        .count() as u32
+                })
+                .unwrap_or(0)
+        };
+
+        let mut excess = 0u64;
+        for &(m, hits) in &known {
+            let ev = delivered_events(m);
+            assert!(
+                ev >= hits,
+                "seed {seed}: marker {m:#x} has {hits} ledger hits but only {ev} Delivered events"
+            );
+            excess += u64::from(ev - hits);
+
+            if hits > 0 && report.chan_corrupted == 0 {
+                let t = traces
+                    .iter()
+                    .find(|t| t.key == m)
+                    .expect("delivered marker has a trace");
+                assert!(
+                    t.is_complete(),
+                    "seed {seed}: delivered marker {m:#x} trace is not inject→delivered: {:?}",
+                    t.events
+                );
+            }
+        }
+        assert!(
+            excess <= report.corrupted_delivered + report.chan_corrupted,
+            "seed {seed}: {excess} Delivered events beyond ledger hits, but only {} corrupted \
+             deliveries / {} corrupted copies can explain them",
+            report.corrupted_delivered,
+            report.chan_corrupted,
+        );
+
+        // Telescoping: per-hop spans tile every complete trace exactly.
+        for t in &traces {
+            if let Some(e2e) = t.end_to_end_ns() {
+                let sum: u64 = t.hops().iter().map(|h| h.exit_ns - h.enter_ns).sum();
+                assert_eq!(
+                    sum, e2e,
+                    "seed {seed}: key {:#x}: hop spans sum to {sum} ns, end-to-end is {e2e} ns",
+                    t.key
+                );
+            }
+        }
+
+        // Drop events are a subset of the ledger's node drops.
+        let drop_events: u64 = traces
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| matches!(e.kind, HopKind::Drop(_)))
+            .count() as u64;
+        assert!(
+            drop_events <= report.node_drops,
+            "seed {seed}: {drop_events} Drop hop events but ledger counts only {} node drops",
+            report.node_drops
+        );
+    }
+}
+
+/// The cross-check must not be vacuous: across the 16 seeds, traces
+/// must actually contain deliveries, multi-hop routes, and at least one
+/// drop or truncated trace somewhere — otherwise a recorder that logs
+/// nothing would pass every assertion above.
+#[test]
+fn sixteen_seed_corpus_exercises_the_recorder() {
+    let (mut complete, mut hops, mut drops) = (0u64, 0u64, 0u64);
+    for seed in 0..16u64 {
+        let spec = Scenario::from_seed(seed, Profile::Exact);
+        let mut built = build(&spec);
+        built.sim.enable_flight(FLIGHT_CAP);
+        let (_, flight) = run_traced(built);
+        for t in flight.expect("recorder was enabled").reconstruct() {
+            if t.is_complete() {
+                complete += 1;
+                hops += t.nodes_visited() as u64;
+            }
+            if t.was_dropped() {
+                drops += 1;
+            }
+        }
+    }
+    assert!(complete > 16, "corpus barely delivers ({complete} traces)");
+    assert!(
+        hops > 3 * complete,
+        "complete traces average under 3 nodes — instrumentation holes"
+    );
+    assert!(drops > 0, "no trace ever recorded a drop across 16 seeds");
+}

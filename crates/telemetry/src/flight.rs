@@ -1,0 +1,418 @@
+//! The per-packet flight recorder: a bounded ring buffer of hop events
+//! keyed by the workload marker, a trace reconstructor that emits
+//! per-hop latency breakdowns, and a JSONL exporter.
+//!
+//! **Key.** A packet is identified across hops by the first 8
+//! little-endian bytes of its transport payload — exactly the simtest
+//! marker convention — because link-frame identities change at every
+//! hop while the payload rides through unchanged.
+//!
+//! **Determinism.** Recording draws no randomness and reads no clocks:
+//! callers stamp events with simulated time, and appending to the ring
+//! is pure bookkeeping, so an enabled recorder cannot perturb a run and
+//! a disabled one leaves every byte of output unchanged.
+//!
+//! **Capacity.** The ring bound is validated once at construction
+//! ([`FlightRecorder::new`] rejects zero and address-space-overflowing
+//! capacities); the hot path never clamps or re-checks.
+
+use std::collections::VecDeque;
+
+use crate::metrics::Counter;
+
+/// What happened to a packet at one instant on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopKind {
+    /// Source host handed the frame to its link.
+    Inject,
+    /// First bit of the frame reached a node.
+    ArrivalFirstBit,
+    /// The router fixed its forwarding decision (cut-through: before the
+    /// tail arrived; store-and-forward: after full reception +
+    /// processing).
+    SwitchDecision,
+    /// Onward transmission began while the tail was still arriving.
+    CutThroughStart,
+    /// The packet entered an output queue.
+    QueueEnter,
+    /// The packet left an output queue (was picked for service).
+    QueueLeave,
+    /// Transmission on the output link began.
+    TransmitStart,
+    /// A return-hop trailer entry was appended (§2 of the paper).
+    TrailerAppend,
+    /// The packet was dropped; the payload names the `DropReason`.
+    Drop(&'static str),
+    /// The destination host received the frame (stamped at last bit).
+    Delivered,
+}
+
+impl HopKind {
+    /// Stable lower-case label for exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HopKind::Inject => "inject",
+            HopKind::ArrivalFirstBit => "arrival_first_bit",
+            HopKind::SwitchDecision => "switch_decision",
+            HopKind::CutThroughStart => "cut_through_start",
+            HopKind::QueueEnter => "queue_enter",
+            HopKind::QueueLeave => "queue_leave",
+            HopKind::TransmitStart => "transmit_start",
+            HopKind::TrailerAppend => "trailer_append",
+            HopKind::Drop(_) => "drop",
+            HopKind::Delivered => "delivered",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopEvent {
+    /// Packet identity: first 8 LE bytes of the transport payload.
+    pub key: u64,
+    /// Node the event happened on.
+    pub node: u32,
+    /// Simulated time, nanoseconds.
+    pub t_ns: u64,
+    /// The event.
+    pub kind: HopKind,
+}
+
+/// Why a capacity was rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityError {
+    /// A zero-capacity ring records nothing and hides it.
+    Zero,
+    /// `capacity × size_of::<HopEvent>()` overflows the address space.
+    Overflow,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacityError::Zero => write!(f, "flight recorder capacity must be non-zero"),
+            CapacityError::Overflow => {
+                write!(f, "flight recorder capacity overflows the address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// The bounded event ring. When full, the oldest event is evicted (and
+/// counted), so the recorder holds the most recent window of activity.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: VecDeque<HopEvent>,
+    /// Events appended over the recorder's lifetime.
+    pub recorded: Counter,
+    /// Events evicted by the capacity bound.
+    pub evicted: Counter,
+}
+
+impl FlightRecorder {
+    /// Build a recorder holding at most `capacity` events.
+    ///
+    /// Capacity is validated **here, once** — zero and capacities whose
+    /// byte size overflows `usize` are construction errors — so
+    /// [`FlightRecorder::record`] stays branch-minimal (the PR 4
+    /// `FaultConfig` hoist pattern).
+    pub fn new(capacity: usize) -> Result<FlightRecorder, CapacityError> {
+        if capacity == 0 {
+            return Err(CapacityError::Zero);
+        }
+        if capacity
+            .checked_mul(std::mem::size_of::<HopEvent>())
+            .is_none()
+        {
+            return Err(CapacityError::Overflow);
+        }
+        Ok(FlightRecorder {
+            cap: capacity,
+            buf: VecDeque::new(),
+            recorded: Counter::new(),
+            evicted: Counter::new(),
+        })
+    }
+
+    /// The validated capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one event, evicting the oldest when full.
+    pub fn record(&mut self, ev: HopEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted.inc();
+        }
+        self.buf.push_back(ev);
+        self.recorded.inc();
+    }
+
+    /// The held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &HopEvent> {
+        self.buf.iter()
+    }
+
+    /// Reconstruct per-packet traces from the held events.
+    pub fn reconstruct(&self) -> Vec<PacketTrace> {
+        reconstruct(self.buf.iter().copied())
+    }
+}
+
+/// One hop of a reconstructed trace: the span between reaching `node`
+/// and reaching the next node (or final delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Node the span starts on.
+    pub node: u32,
+    /// First event on this node, nanoseconds.
+    pub enter_ns: u64,
+    /// First event on the next node (or the trace's final instant).
+    pub exit_ns: u64,
+}
+
+impl Hop {
+    /// Latency charged to this hop.
+    pub fn latency_ns(&self) -> u64 {
+        self.exit_ns - self.enter_ns
+    }
+}
+
+/// All recorded events of one packet, time-ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// Packet identity.
+    pub key: u64,
+    /// Events sorted by time (ties keep recording order).
+    pub events: Vec<HopEvent>,
+}
+
+impl PacketTrace {
+    /// Whether the trace starts at an injection and ends at a delivery.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.events.first(), Some(e) if e.kind == HopKind::Inject)
+            && matches!(self.events.last(), Some(e) if e.kind == HopKind::Delivered)
+    }
+
+    /// Whether any event records a drop.
+    pub fn was_dropped(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, HopKind::Drop(_)))
+    }
+
+    /// Injection-to-delivery latency for complete traces.
+    pub fn end_to_end_ns(&self) -> Option<u64> {
+        if !self.is_complete() {
+            return None;
+        }
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => Some(b.t_ns - a.t_ns),
+            _ => None,
+        }
+    }
+
+    /// Per-hop latency breakdown: one [`Hop`] per node visited, spanning
+    /// from the first event on that node to the first event on the next
+    /// (the last hop ends at the trace's final event). The spans tile
+    /// the trace, so their latencies sum **exactly** to
+    /// [`PacketTrace::end_to_end_ns`] — the telescoping identity the
+    /// simtest cross-check pins for every delivered packet.
+    pub fn hops(&self) -> Vec<Hop> {
+        let mut hops: Vec<Hop> = Vec::new();
+        for ev in &self.events {
+            match hops.last_mut() {
+                Some(h) if h.node == ev.node => h.exit_ns = ev.t_ns,
+                _ => {
+                    if let Some(h) = hops.last_mut() {
+                        h.exit_ns = ev.t_ns;
+                    }
+                    hops.push(Hop {
+                        node: ev.node,
+                        enter_ns: ev.t_ns,
+                        exit_ns: ev.t_ns,
+                    });
+                }
+            }
+        }
+        hops
+    }
+
+    /// Number of distinct node visits (forwarding hops + endpoints).
+    pub fn nodes_visited(&self) -> usize {
+        self.hops().len()
+    }
+}
+
+/// Group events by key and sort each group by time (stable, so
+/// same-instant events keep recording order). Traces come out sorted by
+/// key — fully deterministic.
+pub fn reconstruct(events: impl IntoIterator<Item = HopEvent>) -> Vec<PacketTrace> {
+    let mut by_key: std::collections::BTreeMap<u64, Vec<HopEvent>> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        by_key.entry(ev.key).or_default().push(ev);
+    }
+    by_key
+        .into_iter()
+        .map(|(key, mut events)| {
+            events.sort_by_key(|e| e.t_ns);
+            PacketTrace { key, events }
+        })
+        .collect()
+}
+
+/// Render traces as JSONL: one self-contained JSON object per line,
+/// events inline with node / time / kind (and the reason for drops).
+pub fn to_jsonl(traces: &[PacketTrace]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for t in traces {
+        let _ = write!(out, "{{\"key\":\"{:016x}\",\"events\":[", t.key);
+        for (i, ev) in t.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"node\":{},\"t_ns\":{},\"kind\":\"{}\"",
+                ev.node,
+                ev.t_ns,
+                ev.kind.label()
+            );
+            if let HopKind::Drop(reason) = ev.kind {
+                let _ = write!(out, ",\"reason\":\"{reason}\"");
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(key: u64, node: u32, t_ns: u64, kind: HopKind) -> HopEvent {
+        HopEvent {
+            key,
+            node,
+            t_ns,
+            kind,
+        }
+    }
+
+    #[test]
+    fn capacity_validated_at_construction() {
+        assert_eq!(FlightRecorder::new(0).unwrap_err(), CapacityError::Zero);
+        assert_eq!(
+            FlightRecorder::new(usize::MAX).unwrap_err(),
+            CapacityError::Overflow
+        );
+        assert_eq!(FlightRecorder::new(4).unwrap().capacity(), 4);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut r = FlightRecorder::new(2).unwrap();
+        r.record(ev(1, 0, 10, HopKind::Inject));
+        r.record(ev(1, 1, 20, HopKind::ArrivalFirstBit));
+        r.record(ev(1, 2, 30, HopKind::Delivered));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.recorded.get(), 3);
+        assert_eq!(r.evicted.get(), 1);
+        let held: Vec<u64> = r.events().map(|e| e.t_ns).collect();
+        assert_eq!(held, vec![20, 30]);
+    }
+
+    #[test]
+    fn hops_telescope_to_end_to_end() {
+        let events = vec![
+            ev(7, 0, 0, HopKind::Inject),
+            ev(7, 2, 100, HopKind::ArrivalFirstBit),
+            ev(7, 2, 150, HopKind::SwitchDecision),
+            ev(7, 2, 160, HopKind::QueueEnter),
+            ev(7, 2, 170, HopKind::TransmitStart),
+            ev(7, 1, 300, HopKind::Delivered),
+        ];
+        let traces = reconstruct(events);
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert!(t.is_complete());
+        assert_eq!(t.end_to_end_ns(), Some(300));
+        let hops = t.hops();
+        assert_eq!(hops.len(), 3);
+        let sum: u64 = hops.iter().map(Hop::latency_ns).sum();
+        assert_eq!(sum, 300, "per-hop latencies tile the trace");
+        assert_eq!(
+            hops[0],
+            Hop {
+                node: 0,
+                enter_ns: 0,
+                exit_ns: 100
+            }
+        );
+        assert_eq!(
+            hops[1],
+            Hop {
+                node: 2,
+                enter_ns: 100,
+                exit_ns: 300
+            }
+        );
+        assert_eq!(
+            hops[2],
+            Hop {
+                node: 1,
+                enter_ns: 300,
+                exit_ns: 300
+            }
+        );
+    }
+
+    #[test]
+    fn reconstruct_groups_and_sorts() {
+        let events = vec![
+            ev(2, 0, 50, HopKind::Inject),
+            ev(1, 0, 10, HopKind::Inject),
+            ev(1, 1, 5, HopKind::Drop("link_down")),
+        ];
+        let traces = reconstruct(events);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].key, 1);
+        assert_eq!(traces[0].events[0].t_ns, 5, "sorted by time");
+        assert!(traces[0].was_dropped());
+        assert!(!traces[0].is_complete());
+        assert_eq!(traces[1].key, 2);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let traces = reconstruct(vec![
+            ev(0xAB, 0, 1, HopKind::Inject),
+            ev(0xAB, 3, 9, HopKind::Drop("queue_full")),
+        ]);
+        let line = to_jsonl(&traces);
+        assert_eq!(
+            line,
+            "{\"key\":\"00000000000000ab\",\"events\":[\
+             {\"node\":0,\"t_ns\":1,\"kind\":\"inject\"},\
+             {\"node\":3,\"t_ns\":9,\"kind\":\"drop\",\"reason\":\"queue_full\"}]}\n"
+        );
+    }
+}

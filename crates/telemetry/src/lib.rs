@@ -1,0 +1,35 @@
+//! Deterministic, dependency-free observability for the Sirpent repro.
+//!
+//! Two halves (DESIGN.md §9):
+//!
+//! * [`metrics`] + [`registry`] — fixed-point counters, gauges and
+//!   log₂-bucketed histograms owned as plain struct fields by the
+//!   components they instrument, published under static `snake_case`
+//!   names (all centralized in [`names`]) into a [`registry::Registry`]
+//!   at scrape time and rendered as deterministic sorted JSON.
+//! * [`flight`] — a bounded per-packet flight recorder: hop events keyed
+//!   by the 8-byte workload marker, with a reconstructor that emits
+//!   per-hop latency breakdowns and a JSONL trace exporter.
+//!
+//! The crate deliberately depends on nothing — not even the simulator's
+//! time types — so every layer of the workspace (wire, token, transport,
+//! sim, router) can instrument itself without dependency cycles. All
+//! durations are plain `u64` nanoseconds.
+//!
+//! **Determinism contract**: nothing in this crate draws randomness,
+//! reads clocks, or touches the filesystem. Recording a hop event is a
+//! ring-buffer append; with the recorder disabled (the default) the
+//! instrumented code paths are byte-for-byte identical in behavior, so
+//! golden-trace digests and committed experiment numbers do not move.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod metrics;
+pub mod names;
+pub mod registry;
+
+pub use flight::{CapacityError, FlightRecorder, HopEvent, HopKind, PacketTrace};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{Registry, RegistryError};

@@ -1,0 +1,283 @@
+//! The scrape-time metrics registry: static-name publication, duplicate
+//! rejection, cross-node aggregation, and deterministic JSON rendering.
+//!
+//! Components own their instruments ([`crate::metrics`]); at scrape time
+//! each component publishes them under static names from
+//! [`crate::names`]. A name may be published **exactly once** per
+//! registry (the `telemetry-naming` xtask lint pins the complementary
+//! static side: every name is a `snake_case` const in `names.rs`).
+//! Aggregation across nodes goes through [`Registry::absorb`], which
+//! merges same-named entries — counters and gauges add, histograms merge
+//! pointwise — so fleet-wide scrapes are order-independent.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// A published metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time level (fixed-point, see [`crate::metrics::Gauge`]).
+    Gauge(i64),
+    /// Full histogram state (boxed: a `Histogram` is ~560 bytes of
+    /// buckets, and the registry holds mostly counters/gauges).
+    Histogram(Box<Histogram>),
+}
+
+/// Publication / aggregation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name was already published into this registry.
+    Duplicate(&'static str),
+    /// `absorb` met the same name with two different metric kinds.
+    KindMismatch(&'static str),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Duplicate(n) => write!(f, "metric {n} published twice"),
+            RegistryError::KindMismatch(n) => write!(f, "metric {n} has conflicting kinds"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A scrape in progress: name → value, ordered (and therefore rendered)
+/// deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    entries: BTreeMap<&'static str, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn publish(&mut self, name: &'static str, m: Metric) -> Result<(), RegistryError> {
+        debug_assert!(
+            !name.is_empty()
+                && name.as_bytes()[0].is_ascii_lowercase()
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+            "metric names are snake_case statics: {name:?}"
+        );
+        if self.entries.contains_key(name) {
+            return Err(RegistryError::Duplicate(name));
+        }
+        self.entries.insert(name, m);
+        Ok(())
+    }
+
+    /// Publish a counter under `name`.
+    pub fn publish_counter(
+        &mut self,
+        name: &'static str,
+        c: &Counter,
+    ) -> Result<(), RegistryError> {
+        self.publish(name, Metric::Counter(c.get()))
+    }
+
+    /// Publish a plain count (for components that keep a raw `u64`
+    /// alongside the `Counter` instruments).
+    pub fn publish_count(&mut self, name: &'static str, v: u64) -> Result<(), RegistryError> {
+        self.publish(name, Metric::Counter(v))
+    }
+
+    /// Publish a gauge under `name`.
+    pub fn publish_gauge(&mut self, name: &'static str, g: &Gauge) -> Result<(), RegistryError> {
+        self.publish(name, Metric::Gauge(g.get()))
+    }
+
+    /// Publish a histogram under `name`.
+    pub fn publish_histogram(
+        &mut self,
+        name: &'static str,
+        h: &Histogram,
+    ) -> Result<(), RegistryError> {
+        self.publish(name, Metric::Histogram(Box::new(h.clone())))
+    }
+
+    /// Look a published value up (tests, gates).
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name)
+    }
+
+    /// Published counter value, zero when absent or not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Number of published entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another registry into this one: same-named counters and
+    /// gauges add, histograms merge pointwise. This is how per-node
+    /// scrapes aggregate into a fleet scrape; histogram merge
+    /// associativity (pinned by property tests) makes the result
+    /// independent of absorption order.
+    pub fn absorb(&mut self, other: Registry) -> Result<(), RegistryError> {
+        for (name, m) in other.entries {
+            match (self.entries.get_mut(name), m) {
+                (None, m) => {
+                    self.entries.insert(name, m);
+                }
+                (Some(Metric::Counter(a)), Metric::Counter(b)) => *a = a.saturating_add(b),
+                (Some(Metric::Gauge(a)), Metric::Gauge(b)) => *a = a.saturating_add(b),
+                (Some(Metric::Histogram(a)), Metric::Histogram(b)) => a.merge(&b),
+                _ => return Err(RegistryError::KindMismatch(name)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the scrape as deterministic JSON: three sorted maps
+    /// (`counters`, `gauges`, `histograms`); histograms carry count /
+    /// sum / min / max / p50 / p99 and the non-empty `[bound, count]`
+    /// bucket pairs.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        for (name, m) in &self.entries {
+            match m {
+                Metric::Counter(v) => {
+                    push_entry(&mut counters, name, &v.to_string());
+                }
+                Metric::Gauge(v) => {
+                    push_entry(&mut gauges, name, &v.to_string());
+                }
+                Metric::Histogram(h) => {
+                    let mut v = format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.quantile_pm(500),
+                        h.quantile_pm(990)
+                    );
+                    let mut first = true;
+                    for (i, &c) in h.buckets().iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            v.push(',');
+                        }
+                        first = false;
+                        let _ = write!(v, "[{},{}]", Histogram::bucket_bound(i), c);
+                    }
+                    v.push_str("]}");
+                    push_entry(&mut hists, name, &v);
+                }
+            }
+        }
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{hists}}}}}"
+        )
+    }
+}
+
+fn push_entry(out: &mut String, name: &str, value: &str) {
+    if !out.is_empty() {
+        out.push(',');
+    }
+    let _ = write!(out, "\"{name}\":{value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_publication_rejected() {
+        let mut r = Registry::new();
+        let c = Counter::new();
+        r.publish_counter("a_total", &c).unwrap();
+        assert_eq!(
+            r.publish_counter("a_total", &c),
+            Err(RegistryError::Duplicate("a_total"))
+        );
+        let g = Gauge::new();
+        assert_eq!(
+            r.publish_gauge("a_total", &g),
+            Err(RegistryError::Duplicate("a_total"))
+        );
+    }
+
+    #[test]
+    fn absorb_merges_by_kind() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        let mut c1 = Counter::new();
+        c1.add(3);
+        let mut c2 = Counter::new();
+        c2.add(4);
+        a.publish_counter("hits_total", &c1).unwrap();
+        b.publish_counter("hits_total", &c2).unwrap();
+        let mut h1 = Histogram::new();
+        h1.record(10);
+        let mut h2 = Histogram::new();
+        h2.record(20);
+        a.publish_histogram("lat_ns", &h1).unwrap();
+        b.publish_histogram("lat_ns", &h2).unwrap();
+        a.absorb(b).unwrap();
+        assert_eq!(a.counter("hits_total"), 7);
+        match a.get("lat_ns") {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absorb_rejects_kind_mismatch() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.publish_counter("x", &Counter::new()).unwrap();
+        b.publish_gauge("x", &Gauge::new()).unwrap();
+        assert_eq!(a.absorb(b), Err(RegistryError::KindMismatch("x")));
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut r = Registry::new();
+        let mut c = Counter::new();
+        c.add(2);
+        r.publish_counter("zz_total", &c).unwrap();
+        r.publish_counter("aa_total", &c).unwrap();
+        let mut g = Gauge::new();
+        g.set(-5);
+        r.publish_gauge("depth", &g).unwrap();
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(100);
+        r.publish_histogram("lat_ns", &h).unwrap();
+        let j = r.to_json();
+        assert_eq!(
+            j,
+            "{\"counters\":{\"aa_total\":2,\"zz_total\":2},\"gauges\":{\"depth\":-5},\
+             \"histograms\":{\"lat_ns\":{\"count\":2,\"sum\":103,\"min\":3,\"max\":100,\
+             \"p50\":3,\"p99\":127,\"buckets\":[[3,1],[127,1]]}}}"
+        );
+        // Deterministic: same registry renders identically.
+        assert_eq!(j, r.to_json());
+    }
+}

@@ -22,6 +22,13 @@ pub struct RatePacer {
     pub increase_step_bps: u64,
     /// Recovery interval.
     pub increase_interval: SimDuration,
+    /// Backpressure (rate-control) signals applied, lifetime total.
+    /// Telemetry only — survives [`RatePacer::reset`], which models a
+    /// crash losing protocol soft state, not the observer's memory.
+    pub backpressure_events: u64,
+    /// Loss/timeout signals applied (multiplicative decrease), lifetime
+    /// total. Telemetry only, like `backpressure_events`.
+    pub loss_events: u64,
     next_send: SimTime,
     last_increase: SimTime,
 }
@@ -35,6 +42,8 @@ impl RatePacer {
             min_bps,
             increase_step_bps: max_bps / 10,
             increase_interval: SimDuration::from_millis(10),
+            backpressure_events: 0,
+            loss_events: 0,
             next_send: SimTime::ZERO,
             last_increase: SimTime::ZERO,
         }
@@ -57,6 +66,7 @@ impl RatePacer {
     /// Network backpressure arrived granting `allowed_bps`: clamp down
     /// (never up — recovery is additive).
     pub fn on_backpressure(&mut self, allowed_bps: u64) {
+        self.backpressure_events += 1;
         self.rate_bps = self
             .rate_bps
             .min(allowed_bps)
@@ -65,7 +75,26 @@ impl RatePacer {
 
     /// A loss/timeout signal: halve.
     pub fn on_loss(&mut self) {
+        self.loss_events += 1;
         self.rate_bps = (self.rate_bps / 2).clamp(self.min_bps, self.max_bps);
+    }
+
+    /// Publish the pacer's scrape surface: the current rate as a gauge
+    /// and the lifetime backpressure/loss signal counts.
+    pub fn publish_telemetry(
+        &self,
+        reg: &mut sirpent_telemetry::Registry,
+    ) -> Result<(), sirpent_telemetry::RegistryError> {
+        use sirpent_telemetry::names;
+        let mut rate = sirpent_telemetry::Gauge::new();
+        rate.set(self.rate_bps as i64);
+        reg.publish_gauge(names::TRANSPORT_PACER_RATE_BPS, &rate)?;
+        reg.publish_count(
+            names::TRANSPORT_BACKPRESSURE_TOTAL,
+            self.backpressure_events,
+        )?;
+        reg.publish_count(names::TRANSPORT_LOSS_EVENTS_TOTAL, self.loss_events)?;
+        Ok(())
     }
 
     /// Crash/restart state-loss contract (chaos layer): everything the

@@ -17,6 +17,9 @@
 //!   every `DropReason` variant is constructed in product code.
 //! * `shim-surface` — only APIs the vendored shims define may be named
 //!   in shim-crate paths.
+//! * `telemetry-naming` — metric names are snake_case constants
+//!   registered exactly once in the telemetry name registry; `publish_*`
+//!   call sites never pass raw string literals.
 //! * `unsafe-audit` — no `unsafe` outside the (empty) allowlist; crate
 //!   roots carry `#![forbid(unsafe_code)]`.
 //!

@@ -16,12 +16,14 @@ mod drop_accounting;
 mod panic_free;
 mod queue_discipline;
 mod shim_surface;
+mod telemetry_naming;
 mod unsafe_audit;
 
 pub use drop_accounting::DropAccounting;
 pub use panic_free::PanicFree;
 pub use queue_discipline::QueueDiscipline;
 pub use shim_surface::ShimSurface;
+pub use telemetry_naming::TelemetryNaming;
 pub use unsafe_audit::UnsafeAudit;
 
 /// One CI-failing finding, rendered as `file:line: [rule] message`.
@@ -121,6 +123,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(QueueDiscipline),
         Box::new(DropAccounting),
         Box::new(ShimSurface),
+        Box::new(TelemetryNaming),
         Box::new(UnsafeAudit),
     ]
 }

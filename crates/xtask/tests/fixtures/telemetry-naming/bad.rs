@@ -1,0 +1,13 @@
+//! Violating fixture: metric-name discipline breaches.
+
+/// Not snake_case: scrape keys are `[a-z][a-z0-9_]*`.
+pub const SHOUTING: &str = "Router_Forwarded_Total";
+/// First registration of the key.
+pub const HITS: &str = "cache_hits_total";
+/// Second registration of the same key.
+pub const HITS_AGAIN: &str = "cache_hits_total";
+
+/// Inline literal at a publish site.
+pub fn scrape(reg: &mut Registry, hits: u64) {
+    reg.publish_count("inline_literal_total", hits).unwrap();
+}

@@ -1,0 +1,12 @@
+//! Clean fixture: snake_case metric names, each registered once, and
+//! publish calls that name metrics through the registered constants.
+
+/// Packets forwarded by the stage.
+pub const FORWARDED_TOTAL: &str = "forwarded_total";
+/// Output-queue depth at scrape time.
+pub const QUEUE_DEPTH: &str = "queue_depth";
+
+/// Publish through constants — never inline literals.
+pub fn scrape(reg: &mut Registry, forwarded: u64) {
+    reg.publish_count(FORWARDED_TOTAL, forwarded).unwrap();
+}

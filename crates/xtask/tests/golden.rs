@@ -17,6 +17,7 @@ const FIXTURES: &[(&str, &str)] = &[
     ("queue-discipline", "queue-discipline"),
     ("drop-accounting", "drop-accounting"),
     ("shim-surface", "shim-surface"),
+    ("telemetry-naming", "telemetry-naming"),
     ("unsafe-audit", "unsafe-audit"),
     ("lint-allow", "panic-free-dataplane"),
 ];
