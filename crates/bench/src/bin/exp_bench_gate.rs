@@ -158,28 +158,31 @@ fn build(topo: Topo) -> Built {
                     };
                     sim.add_node(Box::new(ViperRouter::new(cfg)))
                 }
-                Topo::Ip => sim.add_node(Box::new(IpRouter::new(IpConfig {
-                    process_delay: SimDuration::from_micros(20),
-                    ports: vec![
-                        IpPortConfig {
-                            port: 1,
-                            kind: PortKind::PointToPoint,
-                            mtu: 1500,
-                        },
-                        IpPortConfig {
-                            port: 2,
-                            kind: PortKind::PointToPoint,
-                            mtu: 1500,
-                        },
-                    ],
-                    routes: vec![RouteEntry {
-                        prefix: Address::new(10, 0, 2, 0),
-                        prefix_len: 24,
-                        out_port: 2,
-                        next_hop_mac: None,
-                    }],
-                    queue_capacity: 64,
-                }))),
+                Topo::Ip => sim.add_node(Box::new(
+                    IpRouter::new(IpConfig {
+                        process_delay: SimDuration::from_micros(20),
+                        ports: vec![
+                            IpPortConfig {
+                                port: 1,
+                                kind: PortKind::PointToPoint,
+                                mtu: 1500,
+                            },
+                            IpPortConfig {
+                                port: 2,
+                                kind: PortKind::PointToPoint,
+                                mtu: 1500,
+                            },
+                        ],
+                        routes: vec![RouteEntry {
+                            prefix: Address::new(10, 0, 2, 0),
+                            prefix_len: 24,
+                            out_port: 2,
+                            next_hop_mac: None,
+                        }],
+                        queue_capacity: 64,
+                    })
+                    .expect("bench ip config"),
+                )),
             }
         })
         .collect();

@@ -173,6 +173,7 @@ fn ip_run(corrupt: f64) -> (u64, u64, u64) {
             routes,
             queue_capacity: 256,
         })
+        .expect("bench ip config")
     };
     let r1 = sim.add_node(Box::new(mk(vec![RouteEntry {
         prefix: ipish::Address::new(10, 0, 2, 0),

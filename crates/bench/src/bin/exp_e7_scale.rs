@@ -72,7 +72,8 @@ fn main() {
                 .collect(),
             routes,
             queue_capacity: 64,
-        });
+        })
+        .expect("bench ip config");
         let ip = r.state_bytes();
         t.row(&[&n, &s, &ip, &format!("{:.0}×", ip as f64 / s as f64)]);
         rows.push(StateRow {

@@ -1,0 +1,242 @@
+//! BENCH-6 — event-queue density microbenchmark: calendar wheel vs
+//! reference binary heap.
+//!
+//! The macro gate (BENCH-5) runs whole routers, where per-packet parse,
+//! route, and transmit work dominates and the scheduler is one cost
+//! among many. This benchmark isolates the scheduler itself at the
+//! pending-event densities where the two structures actually diverge:
+//! a binary heap pays `O(log n)` per operation with cache-hostile
+//! sift paths, while the calendar wheel stays `O(1)` per push/pop as
+//! long as occupied slots stay dense.
+//!
+//! Workload per (structure, density): pre-fill `n` events over one
+//! wheel horizon, then a hold-`n`-churn phase (pop one, push one at a
+//! bounded offset — the engine's steady state under load), then a full
+//! drain. The push offsets follow the engine's caller contract (never
+//! before the last popped time) and mix in-window with far-future
+//! times so the wheel's overflow level is exercised, not dodged.
+//!
+//! Run: `cargo run --release -p sirpent-bench --bin exp_queue_density`.
+//! Writes `results/BENCH_6.json` (uploaded as a CI artifact by the
+//! perf-gate job). The `--check` flag fails the process unless the
+//! wheel sustains at least [`REQUIRED_SPEEDUP`]× the heap's churn
+//! throughput at every density of at least 100k pending events.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sirpent::sim::queue::{CalendarQueue, EventQueue, HeapQueue, Keyed, SLOTS, SLOT_SHIFT};
+use sirpent_bench::{write_json, Table};
+
+/// Pending-event populations to hold during the churn phase.
+const DENSITIES: [usize; 3] = [10_000, 100_000, 1_000_000];
+/// Pop-push pairs timed per churn phase.
+const CHURN_OPS: usize = 1_000_000;
+/// Wall-clock runs per configuration; best run reported (same rationale
+/// as BENCH-5: discount scheduler hiccups on shared runners).
+const TIMING_RUNS: usize = 3;
+/// Minimum wheel-over-heap churn speedup demanded by `--check` at
+/// densities >= [`CHECK_DENSITY_FLOOR`].
+const REQUIRED_SPEEDUP: f64 = 2.0;
+/// `--check` ignores densities below this: at small populations both
+/// structures fit in cache and the comparison measures noise.
+const CHECK_DENSITY_FLOOR: usize = 100_000;
+
+/// What the engine's `Scheduled` looks like to the queue: a key and a
+/// payload the queue must carry without inspecting.
+#[derive(Clone)]
+struct Item {
+    time: u64,
+    seq: u64,
+    #[allow(dead_code)]
+    payload: u64,
+}
+
+impl Keyed for Item {
+    fn key(&self) -> (u64, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// xorshift64* — deterministic, dependency-free; identical op streams
+/// for both structures.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One timed pass over one structure. Returns phase wall times in ns.
+fn run_once<Q: EventQueue<Item>>(queue: &mut Q, density: usize, seed: u64) -> (u64, u64, u64) {
+    let horizon = (SLOTS as u64) << SLOT_SHIFT;
+    let mut rng = Rng(seed | 1);
+    let mut seq = 0u64;
+
+    let t0 = Instant::now();
+    for _ in 0..density {
+        let time = rng.below(horizon);
+        queue.push(Item {
+            time,
+            seq,
+            payload: seq,
+        });
+        seq += 1;
+    }
+    let prefill_ns = t0.elapsed().as_nanos() as u64;
+
+    let t1 = Instant::now();
+    for _ in 0..CHURN_OPS {
+        let it = queue.pop().expect("population is held constant");
+        let floor = it.time;
+        // 1/8 of pushes land beyond the wheel horizon (overflow level);
+        // the rest spread over the coming window.
+        let delta = if rng.below(8) == 0 {
+            horizon + rng.below(horizon * 2)
+        } else {
+            rng.below(horizon)
+        };
+        queue.push(Item {
+            time: floor + delta,
+            seq,
+            payload: seq,
+        });
+        seq += 1;
+    }
+    let churn_ns = t1.elapsed().as_nanos() as u64;
+
+    let t2 = Instant::now();
+    let mut drained = 0usize;
+    while queue.pop().is_some() {
+        drained += 1;
+    }
+    let drain_ns = t2.elapsed().as_nanos() as u64;
+    assert_eq!(drained, density, "population leaked");
+
+    (prefill_ns, churn_ns, drain_ns)
+}
+
+/// Best-of-[`TIMING_RUNS`] for one (structure, density) cell.
+fn measure<Q: EventQueue<Item>>(mut make: impl FnMut() -> Q, density: usize) -> Cell {
+    let mut best: Option<(u64, u64, u64)> = None;
+    for run in 0..TIMING_RUNS {
+        let mut q = make();
+        let sample = run_once(&mut q, density, 0x9E37_79B9 + run as u64);
+        best = Some(match best {
+            Some(b) if b.1 <= sample.1 => b,
+            _ => sample,
+        });
+    }
+    let (prefill_ns, churn_ns, drain_ns) = best.expect("TIMING_RUNS >= 1");
+    Cell {
+        prefill_ns,
+        churn_ns,
+        drain_ns,
+        churn_ops_per_sec: CHURN_OPS as f64 / (churn_ns as f64 / 1e9),
+    }
+}
+
+#[derive(Clone, Copy, Serialize)]
+struct Cell {
+    prefill_ns: u64,
+    churn_ns: u64,
+    drain_ns: u64,
+    churn_ops_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct DensityReport {
+    pending_events: usize,
+    heap: Cell,
+    wheel: Cell,
+    churn_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    churn_ops: usize,
+    timing_runs: usize,
+    densities: Vec<DensityReport>,
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    let mut t = Table::new(
+        "BENCH-6: event-queue density, calendar wheel vs binary heap",
+        &[
+            "pending",
+            "heap churn/s",
+            "wheel churn/s",
+            "speedup",
+            "heap drain ms",
+            "wheel drain ms",
+        ],
+    );
+    let mut densities = Vec::new();
+    for &density in &DENSITIES {
+        let heap = measure(HeapQueue::<Item>::new, density);
+        let wheel = measure(CalendarQueue::<Item>::new, density);
+        let churn_speedup = wheel.churn_ops_per_sec / heap.churn_ops_per_sec;
+        let heap_rate = format!("{:.0}", heap.churn_ops_per_sec);
+        let wheel_rate = format!("{:.0}", wheel.churn_ops_per_sec);
+        let speedup = format!("{churn_speedup:.2}x");
+        let heap_drain = format!("{:.2}", heap.drain_ns as f64 / 1e6);
+        let wheel_drain = format!("{:.2}", wheel.drain_ns as f64 / 1e6);
+        t.row(&[
+            &density,
+            &heap_rate,
+            &wheel_rate,
+            &speedup,
+            &heap_drain,
+            &wheel_drain,
+        ]);
+        densities.push(DensityReport {
+            pending_events: density,
+            heap,
+            wheel,
+            churn_speedup,
+        });
+    }
+    t.print();
+
+    let report = Report {
+        experiment: "queue_density",
+        churn_ops: CHURN_OPS,
+        timing_runs: TIMING_RUNS,
+        densities,
+    };
+    write_json("BENCH_6", &report);
+
+    if check {
+        let mut failed = false;
+        for d in &report.densities {
+            if d.pending_events < CHECK_DENSITY_FLOOR {
+                continue;
+            }
+            if d.churn_speedup < REQUIRED_SPEEDUP {
+                eprintln!(
+                    "FAIL: at {} pending events the wheel is only {:.2}x the heap \
+                     (required {REQUIRED_SPEEDUP:.1}x)",
+                    d.pending_events, d.churn_speedup
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("[queue density check passed]");
+    }
+}

@@ -202,7 +202,7 @@ impl CvcSwitch {
     }
 
     fn send(&mut self, ctx: &mut Context<'_>, port: u8, msg: &Message) {
-        let frame = LinkFrame::Cvc(msg.to_bytes()).to_p2p_bytes();
+        let frame = LinkFrame::Cvc(msg.to_bytes()).into_p2p_frame();
         let now = ctx.now();
         let flight_key = if ctx.flight_enabled() {
             cvc_flight_key(msg)
@@ -215,7 +215,7 @@ impl CvcSwitch {
             .or_insert_with(|| OutputPort::new(port, Discipline::Fifo, usize::MAX));
         // `record: None` — forwarding is accounted at handle time (the
         // circuit decision), not at transmit start.
-        let mut q = Queued::fifo(frame.into(), now, None);
+        let mut q = Queued::fifo(frame, now, None);
         q.flight_key = flight_key;
         sched.push(ctx, q, stats);
         let _ = sched.try_service(ctx, &mut (), stats);

@@ -24,7 +24,7 @@
 //! [`PipelineStats`] / [`DropReason`] surface.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
 
 use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
@@ -59,6 +59,40 @@ pub struct IpPortConfig {
     pub kind: PortKind,
     /// MTU of the attached network.
     pub mtu: usize,
+}
+
+/// A rejected [`IpConfig`] — the router refuses to build rather than
+/// carry a port that can never frame a minimum fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpConfigError {
+    /// The offending port number.
+    pub port: u8,
+    /// Its configured MTU.
+    pub mtu: usize,
+    /// The smallest usable MTU for that port's link type: framing
+    /// overhead + IP header + the 8-byte minimum fragment payload.
+    pub min: usize,
+}
+
+impl core::fmt::Display for IpConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "port {} MTU {} below minimum {} (framing + header + 8-byte fragment)",
+            self.port, self.mtu, self.min
+        )
+    }
+}
+
+impl std::error::Error for IpConfigError {}
+
+/// Link-framing bytes added on top of an IP datagram for a port kind:
+/// the 1-byte frame tag, plus the Ethernet header where applicable.
+fn link_overhead(kind: &PortKind) -> usize {
+    match kind {
+        PortKind::PointToPoint => 1,
+        PortKind::Ethernet { .. } => ethernet::HEADER_LEN + 1,
+    }
 }
 
 /// Router configuration.
@@ -134,8 +168,10 @@ pub(crate) fn ip_flight_key(datagram: &[u8]) -> Option<u64> {
 /// The store-and-forward IP-like router node.
 pub struct IpRouter {
     cfg: IpConfig,
-    ports: HashMap<u8, OutPort>,
-    pending: HashMap<u64, Pending>,
+    ports: Vec<OutPort>,
+    // Held arrivals, FIFO by timer key. A handful are in flight at
+    // once, so a scan beats hashing on the per-packet path.
+    pending: VecDeque<(u64, Pending)>,
     next_key: u64,
     /// Datagrams addressed to this router (matched a local route).
     pub local_delivered: Vec<(SimTime, Vec<u8>)>,
@@ -144,29 +180,38 @@ pub struct IpRouter {
 }
 
 impl IpRouter {
-    /// Build the router.
-    pub fn new(cfg: IpConfig) -> IpRouter {
+    /// Build the router. Rejects any port whose MTU cannot carry the
+    /// link framing plus a minimum IP fragment (header + 8 payload
+    /// bytes) — such a port would hand [`ipish::fragment`] a zero or
+    /// sub-minimum budget on every forward, so the misconfiguration is
+    /// refused at construction instead of surfacing as per-packet drops.
+    pub fn new(cfg: IpConfig) -> Result<IpRouter, IpConfigError> {
+        for p in &cfg.ports {
+            let min = link_overhead(&p.kind) + ipish::HEADER_LEN + 8;
+            if p.mtu < min {
+                return Err(IpConfigError {
+                    port: p.port,
+                    mtu: p.mtu,
+                    min,
+                });
+            }
+        }
         let ports = cfg
             .ports
             .iter()
-            .map(|p| {
-                (
-                    p.port,
-                    OutPort {
-                        cfg: p.clone(),
-                        sched: OutputPort::new(p.port, Discipline::Fifo, cfg.queue_capacity),
-                    },
-                )
+            .map(|p| OutPort {
+                cfg: p.clone(),
+                sched: OutputPort::new(p.port, Discipline::Fifo, cfg.queue_capacity),
             })
             .collect();
-        IpRouter {
+        Ok(IpRouter {
             cfg,
             ports,
-            pending: HashMap::new(),
+            pending: VecDeque::new(),
             next_key: 1,
             local_delivered: Vec::new(),
             stats: IpStats::default(),
-        }
+        })
     }
 
     /// Longest-prefix match.
@@ -187,7 +232,7 @@ impl IpRouter {
     /// Total frames sitting in output queues across all ports (the chaos
     /// harness's in-system conservation term).
     pub fn queued_frames(&self) -> u64 {
-        self.ports.values().map(|p| p.sched.len() as u64).sum()
+        self.ports.iter().map(|p| p.sched.len() as u64).sum()
     }
 
     /// Count a drop and, when the packet carries a flight key, record
@@ -226,6 +271,14 @@ impl IpRouter {
                 return;
             }
         };
+        // A total_len that disagrees with the bytes on the wire is a
+        // forged length (e.g. a builder whose payload wrapped the
+        // 16-bit field) — drop it here so the bogus value can never
+        // index a reassembly or fragmentation buffer downstream.
+        if repr.total_len as usize != datagram.len() {
+            self.drop_keyed(ctx, flight_key, DropReason::BadLength);
+            return;
+        }
         self.stats.enter(Stage::Route);
         let Some(route) = self.lookup(repr.dst).cloned() else {
             self.drop_keyed(ctx, flight_key, DropReason::NoRoute);
@@ -253,23 +306,29 @@ impl IpRouter {
             }
         }
 
-        let Some(op) = self.ports.get(&route.out_port) else {
+        let Some(op) = self.ports.iter().find(|p| p.cfg.port == route.out_port) else {
             self.drop_keyed(ctx, flight_key, DropReason::NoRoute);
             return;
         };
         let mtu = op.cfg.mtu;
         let kind = op.cfg.kind.clone();
         // The link framing costs a byte or 14; fragment the IP datagram
-        // so the *framed* size fits.
-        let overhead = match &kind {
-            PortKind::PointToPoint => 1,
-            PortKind::Ethernet { .. } => ethernet::HEADER_LEN + 1,
-        };
-        let pieces = match ipish::fragment(&datagram, mtu.saturating_sub(overhead)) {
-            Ok(p) => p,
-            Err(_) => {
-                self.drop_keyed(ctx, flight_key, DropReason::CannotFragment);
-                return;
+        // so the *framed* size fits. `new` guarantees the budget covers
+        // at least a minimum fragment.
+        let overhead = link_overhead(&kind);
+        let budget = mtu.saturating_sub(overhead);
+        // Steady-state fast path: a datagram that already fits moves
+        // straight into the frame body, zero copies. `fragment` applies
+        // the same fits-check first, so behavior is identical.
+        let pieces = if datagram.len() <= budget {
+            vec![datagram]
+        } else {
+            match ipish::fragment(&datagram, budget) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.drop_keyed(ctx, flight_key, DropReason::CannotFragment);
+                    return;
+                }
             }
         };
         if pieces.len() > 1 {
@@ -277,20 +336,20 @@ impl IpRouter {
         }
         let now = ctx.now();
         let IpRouter { ports, stats, .. } = self;
-        let Some(op) = ports.get_mut(&route.out_port) else {
+        let Some(op) = ports.iter_mut().find(|p| p.cfg.port == route.out_port) else {
             stats.drop(DropReason::NoRoute);
             return;
         };
         for piece in pieces {
             let frame = match &kind {
-                PortKind::PointToPoint => LinkFrame::Ipish(piece).to_p2p_bytes(),
+                PortKind::PointToPoint => LinkFrame::Ipish(piece).into_p2p_frame(),
                 PortKind::Ethernet { mac } => {
                     let dst = route.next_hop_mac.unwrap_or(ethernet::Address::BROADCAST);
-                    LinkFrame::Ipish(piece).to_ethernet_bytes(*mac, dst)
+                    LinkFrame::Ipish(piece).into_ethernet_frame(*mac, dst)
                 }
             };
             // Drop-tail accounting (QueueFull) happens inside push.
-            let mut q = Queued::fifo(frame.into(), now, Some(first_bit));
+            let mut q = Queued::fifo(frame, now, Some(first_bit));
             q.flight_key = flight_key;
             op.sched.push(ctx, q, stats);
         }
@@ -299,7 +358,7 @@ impl IpRouter {
 
     fn service(&mut self, ctx: &mut Context<'_>, port: u8) {
         let IpRouter { ports, stats, .. } = self;
-        let Some(op) = ports.get_mut(&port) else {
+        let Some(op) = ports.iter_mut().find(|p| p.cfg.port == port) else {
             return;
         };
         // FIFO service is O(1): only the head is examined, pop_front
@@ -313,7 +372,7 @@ impl Node for IpRouter {
     fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event) {
         match ev {
             Event::Frame(fe) => {
-                let Some(op) = self.ports.get(&fe.port) else {
+                let Some(op) = self.ports.iter().find(|p| p.cfg.port == fe.port) else {
                     self.stats.drop(DropReason::BadFrame);
                     return;
                 };
@@ -340,7 +399,7 @@ impl Node for IpRouter {
                 // per-packet processing delay.
                 let key = self.next_key;
                 self.next_key += 1;
-                self.pending.insert(
+                self.pending.push_back((
                     key,
                     Pending::Process {
                         datagram,
@@ -348,11 +407,11 @@ impl Node for IpRouter {
                         in_frame: fe.frame.id,
                         flight_key,
                     },
-                );
+                ));
                 ctx.schedule_at(fe.last_bit + self.cfg.process_delay, key);
             }
             Event::TxDone { port, frame } => {
-                if let Some(op) = self.ports.get_mut(&port) {
+                if let Some(op) = self.ports.iter_mut().find(|p| p.cfg.port == port) {
                     op.sched.on_tx_done(frame);
                 }
                 self.service(ctx, port);
@@ -360,28 +419,37 @@ impl Node for IpRouter {
             Event::TxAborted { port, frame } => {
                 // The engine killed our transmission (link-down, chaos
                 // layer) and accounted the loss; just free the port.
-                if let Some(op) = self.ports.get_mut(&port) {
+                if let Some(op) = self.ports.iter_mut().find(|p| p.cfg.port == port) {
                     if op.sched.on_tx_aborted(frame) {
                         self.service(ctx, port);
                     }
                 }
             }
             Event::Timer { key } => {
-                if let Some(Pending::Process {
-                    datagram,
-                    first_bit,
-                    flight_key,
-                    ..
-                }) = self.pending.remove(&key)
-                {
-                    self.process(ctx, datagram, first_bit, flight_key);
-                }
+                // Timers fire in key order, so the match is nearly
+                // always at the front.
+                let Some(i) = self.pending.iter().position(|(k, _)| *k == key) else {
+                    return;
+                };
+                let Some((
+                    _,
+                    Pending::Process {
+                        datagram,
+                        first_bit,
+                        flight_key,
+                        ..
+                    },
+                )) = self.pending.remove(i)
+                else {
+                    return;
+                };
+                self.process(ctx, datagram, first_bit, flight_key);
             }
             Event::FrameAborted { frame, .. } => {
                 // A held arrival whose tail never arrived must not be
                 // processed; the abort was accounted upstream.
                 self.pending
-                    .retain(|_, Pending::Process { in_frame, .. }| *in_frame != frame);
+                    .retain(|(_, Pending::Process { in_frame, .. })| *in_frame != frame);
             }
         }
     }
@@ -409,7 +477,7 @@ impl Node for IpRouter {
             self.stats.pipeline.drop(DropReason::RouterDown);
         }
         self.pending.clear();
-        for op in self.ports.values_mut() {
+        for op in self.ports.iter_mut() {
             op.sched.crash_purge(&mut self.stats.pipeline);
         }
     }
@@ -435,7 +503,7 @@ mod tests {
     fn datagram(src: Address, dst: Address, payload: usize, ttl: u8) -> Vec<u8> {
         let mut d = Repr {
             tos: 0,
-            total_len: (HEADER_LEN + payload) as u16,
+            total_len: ipish::checked_total_len(payload).expect("test payload fits"),
             ident: 7,
             dont_frag: false,
             more_frags: false,
@@ -459,28 +527,31 @@ mod tests {
         let mut sim = Simulator::new(1);
         let src = sim.add_node(Box::new(ScriptedHost::new()));
         let dst = sim.add_node(Box::new(ScriptedHost::new()));
-        let r = sim.add_node(Box::new(IpRouter::new(IpConfig {
-            process_delay: SimDuration::from_micros(50),
-            ports: vec![
-                IpPortConfig {
-                    port: 1,
-                    kind: PortKind::PointToPoint,
-                    mtu: 1500,
-                },
-                IpPortConfig {
-                    port: 2,
-                    kind: PortKind::PointToPoint,
-                    mtu: 1500,
-                },
-            ],
-            routes: vec![RouteEntry {
-                prefix: Address::new(10, 0, 2, 0),
-                prefix_len: 24,
-                out_port: 2,
-                next_hop_mac: None,
-            }],
-            queue_capacity: 32,
-        })));
+        let r = sim.add_node(Box::new(
+            IpRouter::new(IpConfig {
+                process_delay: SimDuration::from_micros(50),
+                ports: vec![
+                    IpPortConfig {
+                        port: 1,
+                        kind: PortKind::PointToPoint,
+                        mtu: 1500,
+                    },
+                    IpPortConfig {
+                        port: 2,
+                        kind: PortKind::PointToPoint,
+                        mtu: 1500,
+                    },
+                ],
+                routes: vec![RouteEntry {
+                    prefix: Address::new(10, 0, 2, 0),
+                    prefix_len: 24,
+                    out_port: 2,
+                    next_hop_mac: None,
+                }],
+                queue_capacity: 32,
+            })
+            .expect("ip config"),
+        ));
         sim.p2p(src, 0, r, 1, MBPS_10, SimDuration::from_micros(1));
         sim.p2p(r, 2, dst, 0, MBPS_10, SimDuration::from_micros(1));
         (sim, src, r, dst)
@@ -579,28 +650,31 @@ mod tests {
         let mut sim = Simulator::new(2);
         let src = sim.add_node(Box::new(ScriptedHost::new()));
         let dst = sim.add_node(Box::new(ScriptedHost::new()));
-        let r = sim.add_node(Box::new(IpRouter::new(IpConfig {
-            process_delay: SimDuration::from_micros(50),
-            ports: vec![
-                IpPortConfig {
-                    port: 1,
-                    kind: PortKind::PointToPoint,
-                    mtu: 1500,
-                },
-                IpPortConfig {
-                    port: 2,
-                    kind: PortKind::PointToPoint,
-                    mtu: 256,
-                },
-            ],
-            routes: vec![RouteEntry {
-                prefix: Address::new(10, 0, 2, 0),
-                prefix_len: 24,
-                out_port: 2,
-                next_hop_mac: None,
-            }],
-            queue_capacity: 32,
-        })));
+        let r = sim.add_node(Box::new(
+            IpRouter::new(IpConfig {
+                process_delay: SimDuration::from_micros(50),
+                ports: vec![
+                    IpPortConfig {
+                        port: 1,
+                        kind: PortKind::PointToPoint,
+                        mtu: 1500,
+                    },
+                    IpPortConfig {
+                        port: 2,
+                        kind: PortKind::PointToPoint,
+                        mtu: 256,
+                    },
+                ],
+                routes: vec![RouteEntry {
+                    prefix: Address::new(10, 0, 2, 0),
+                    prefix_len: 24,
+                    out_port: 2,
+                    next_hop_mac: None,
+                }],
+                queue_capacity: 32,
+            })
+            .expect("ip config"),
+        ));
         sim.p2p(src, 0, r, 1, MBPS_10, SimDuration::ZERO);
         sim.p2p(r, 2, dst, 0, MBPS_10, SimDuration::ZERO);
         let d = datagram(
@@ -637,6 +711,145 @@ mod tests {
         );
     }
 
+    fn big_packet_router() -> (
+        Simulator,
+        sirpent_sim::NodeId,
+        sirpent_sim::NodeId,
+        sirpent_sim::NodeId,
+    ) {
+        let mut sim = Simulator::new(3);
+        let src = sim.add_node(Box::new(ScriptedHost::new()));
+        let dst = sim.add_node(Box::new(ScriptedHost::new()));
+        let r = sim.add_node(Box::new(
+            IpRouter::new(IpConfig {
+                process_delay: SimDuration::from_micros(50),
+                ports: vec![
+                    IpPortConfig {
+                        port: 1,
+                        kind: PortKind::PointToPoint,
+                        mtu: 1500,
+                    },
+                    IpPortConfig {
+                        port: 2,
+                        kind: PortKind::PointToPoint,
+                        mtu: 1500,
+                    },
+                ],
+                routes: vec![RouteEntry {
+                    prefix: Address::new(10, 0, 2, 0),
+                    prefix_len: 24,
+                    out_port: 2,
+                    next_hop_mac: None,
+                }],
+                // Deep enough for a maximum datagram's fragment burst.
+                queue_capacity: 64,
+            })
+            .expect("ip config"),
+        ));
+        sim.p2p(src, 0, r, 1, MBPS_10, SimDuration::ZERO);
+        sim.p2p(r, 2, dst, 0, MBPS_10, SimDuration::ZERO);
+        (sim, src, r, dst)
+    }
+
+    #[test]
+    fn max_total_len_datagram_is_forwarded() {
+        // Boundary: payload = 65535 − HEADER_LEN fills total_len exactly
+        // and must traverse the router (fragmented to the MTU) intact.
+        let (mut sim, src, r, dst) = big_packet_router();
+        let d = datagram(
+            Address::new(10, 0, 1, 1),
+            Address::new(10, 0, 2, 2),
+            ipish::MAX_PAYLOAD,
+            DEFAULT_TTL,
+        );
+        assert_eq!(d.len(), u16::MAX as usize);
+        sim.node_mut::<ScriptedHost>(src).plan(
+            SimTime::ZERO,
+            0,
+            LinkFrame::Ipish(d).to_p2p_bytes(),
+        );
+        ScriptedHost::start(&mut sim, src);
+        sim.run(100_000);
+
+        let rstats = &sim.node::<IpRouter>(r).stats;
+        assert_eq!(rstats.drops[DropReason::BadLength], 0);
+        assert_eq!(rstats.total_drops(), 0);
+        let rx = sim.node::<ScriptedHost>(dst).received_p2p();
+        let mut re = sirpent_wire::ipish::Reassembly::new();
+        let mut out = None;
+        for (_, f) in &rx {
+            let LinkFrame::Ipish(d) = f else { panic!() };
+            if let Some(done) = re.push(d).unwrap() {
+                out = Some(done);
+            }
+        }
+        assert_eq!(out.expect("reassembles").len(), u16::MAX as usize);
+    }
+
+    #[test]
+    fn wrapped_total_len_is_rejected_and_dropped() {
+        // One past the boundary: the checked builder refuses it...
+        assert_eq!(
+            ipish::checked_total_len(ipish::MAX_PAYLOAD + 1),
+            Err(sirpent_wire::Error::DatagramTooLong)
+        );
+        // ...and a hand-forged datagram whose total_len wrapped to 0 is
+        // dropped at the router with an explicit BadLength, not
+        // forwarded with a forged tiny length.
+        let (mut sim, src, r, dst) = big_packet_router();
+        let payload = ipish::MAX_PAYLOAD + 1;
+        let mut d = Repr {
+            tos: 0,
+            total_len: (HEADER_LEN + payload) as u16, // wraps to 0
+            ident: 7,
+            dont_frag: false,
+            more_frags: false,
+            frag_offset: 0,
+            ttl: DEFAULT_TTL,
+            protocol: 17,
+            src: Address::new(10, 0, 1, 1),
+            dst: Address::new(10, 0, 2, 2),
+        }
+        .to_bytes();
+        d.extend(vec![0xAB; payload]);
+        sim.node_mut::<ScriptedHost>(src).plan(
+            SimTime::ZERO,
+            0,
+            LinkFrame::Ipish(d).to_p2p_bytes(),
+        );
+        ScriptedHost::start(&mut sim, src);
+        sim.run(100_000);
+
+        let rstats = &sim.node::<IpRouter>(r).stats;
+        assert_eq!(rstats.drops[DropReason::BadLength], 1);
+        assert_eq!(rstats.forwarded, 0);
+        assert!(sim.node::<ScriptedHost>(dst).received_p2p().is_empty());
+    }
+
+    #[test]
+    fn undersized_mtu_rejected_at_construction() {
+        let cfg = |mtu| IpConfig {
+            process_delay: SimDuration::ZERO,
+            ports: vec![IpPortConfig {
+                port: 1,
+                kind: PortKind::PointToPoint,
+                mtu,
+            }],
+            routes: vec![],
+            queue_capacity: 1,
+        };
+        // p2p minimum: 1 framing byte + 20 header + 8 fragment payload.
+        let err = match IpRouter::new(cfg(28)) {
+            Err(e) => e,
+            Ok(_) => panic!("28 is one short and must be rejected"),
+        };
+        assert_eq!((err.port, err.mtu, err.min), (1, 28, 29));
+        assert!(IpRouter::new(cfg(29)).is_ok());
+        // Zero MTU (the original 0-byte fragment budget bug) is caught
+        // by the same check.
+        assert!(IpRouter::new(cfg(0)).is_err());
+    }
+
     #[test]
     fn longest_prefix_wins() {
         let r = IpRouter::new(IpConfig {
@@ -657,7 +870,8 @@ mod tests {
                 },
             ],
             queue_capacity: 1,
-        });
+        })
+        .expect("ip config");
         assert_eq!(r.lookup(Address::new(10, 0, 2, 9)).unwrap().out_port, 2);
         assert_eq!(r.lookup(Address::new(10, 7, 7, 7)).unwrap().out_port, 1);
         assert!(r.lookup(Address::new(11, 0, 0, 1)).is_none());

@@ -149,14 +149,40 @@ impl LinkFrame {
         }
     }
 
+    /// Encode for a point-to-point link, consuming the frame. The
+    /// Sirpent arm shares the packet body like [`Self::to_p2p_frame`];
+    /// the Ipish/Cvc arms *move* their owned bytes into the frame body
+    /// — the tag rides in the 1-byte owned header, so the baseline
+    /// routers' per-hop transmit copies nothing either.
+    pub fn into_p2p_frame(self) -> FrameBuf {
+        match self {
+            LinkFrame::Sirpent { ff_hint, packet } => {
+                FrameBuf::new(vec![proto::SIRPENT, ff_hint], packet)
+            }
+            LinkFrame::Ipish(d) => FrameBuf::new(vec![proto::IPISH], PacketBuf::from_vec(d)),
+            LinkFrame::Cvc(d) => FrameBuf::new(vec![proto::CVC], PacketBuf::from_vec(d)),
+            other => FrameBuf::from(other.to_p2p_bytes()),
+        }
+    }
+
     /// Decode from a point-to-point frame. The Sirpent arm is zero-copy:
-    /// the returned packet shares the frame's body store.
+    /// the returned packet shares the frame's body store. The Ipish/Cvc
+    /// arms copy their owned payload exactly once (they are mutated
+    /// in place by the receiving router), never the whole frame.
     pub fn from_p2p_frame(f: &FrameBuf) -> Result<LinkFrame> {
         match f.byte(0).ok_or(Error::Truncated)? {
             proto::SIRPENT => {
                 let ff_hint = f.byte(1).ok_or(Error::Truncated)?;
                 let packet = f.strip_header(2).ok_or(Error::Truncated)?;
                 Ok(LinkFrame::Sirpent { ff_hint, packet })
+            }
+            proto::IPISH => {
+                let body = f.strip_header(1).ok_or(Error::Truncated)?;
+                Ok(LinkFrame::Ipish(body.to_vec()))
+            }
+            proto::CVC => {
+                let body = f.strip_header(1).ok_or(Error::Truncated)?;
+                Ok(LinkFrame::Cvc(body.to_vec()))
             }
             _ => LinkFrame::from_p2p_bytes(&f.to_vec()),
         }
@@ -182,6 +208,29 @@ impl LinkFrame {
         }
     }
 
+    /// Encode for an Ethernet, consuming the frame: the 14-byte header
+    /// plus the 1-byte protocol tag go in the frame's owned header and
+    /// the Ipish/Cvc payload bytes *move* into the body uncopied.
+    pub fn into_ethernet_frame(self, src: ethernet::Address, dst: ethernet::Address) -> FrameBuf {
+        let (tag, body) = match self {
+            LinkFrame::Ipish(d) => (proto::IPISH, d),
+            LinkFrame::Cvc(d) => (proto::CVC, d),
+            other => return FrameBuf::from(other.to_ethernet_bytes(src, dst)),
+        };
+        let ethertype = match tag {
+            proto::IPISH => ethernet::EtherType::Ipish,
+            _ => ethernet::EtherType::Cvc,
+        };
+        let mut h = ethernet::Repr {
+            dst,
+            src,
+            ethertype,
+        }
+        .to_bytes();
+        h.push(tag);
+        FrameBuf::new(h, PacketBuf::from_vec(body))
+    }
+
     /// Decode an Ethernet frame; returns the header and the link frame.
     /// The Sirpent arm is zero-copy (the packet shares the frame body).
     pub fn from_ethernet_frame(f: &FrameBuf) -> Result<(ethernet::Repr, LinkFrame)> {
@@ -196,6 +245,18 @@ impl LinkFrame {
                     .strip_header(ethernet::HEADER_LEN + 2)
                     .ok_or(Error::Truncated)?;
                 LinkFrame::Sirpent { ff_hint, packet }
+            }
+            proto::IPISH => {
+                let body = f
+                    .strip_header(ethernet::HEADER_LEN + 1)
+                    .ok_or(Error::Truncated)?;
+                LinkFrame::Ipish(body.to_vec())
+            }
+            proto::CVC => {
+                let body = f
+                    .strip_header(ethernet::HEADER_LEN + 1)
+                    .ok_or(Error::Truncated)?;
+                LinkFrame::Cvc(body.to_vec())
             }
             _ => LinkFrame::from_p2p_bytes(&f.to_vec()[ethernet::HEADER_LEN..])?,
         };

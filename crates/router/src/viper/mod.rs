@@ -26,7 +26,6 @@
 //!    priorities 6/7 — **preempting** the transmission in progress.
 
 use std::any::Any;
-use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 
 use sirpent_sim::stats::PipelineStats;
@@ -38,7 +37,10 @@ use sirpent_wire::{ethernet, VIPER_TRANSMISSION_UNIT};
 use crate::dataplane::{Discipline, OutputPort, Work};
 use crate::logical::LogicalTable;
 
+use linear::LinearMap;
+
 mod authorize;
+mod linear;
 mod parse;
 mod police;
 mod route;
@@ -261,20 +263,20 @@ const MAX_DEPTH: u8 = 8;
 /// The router node.
 pub struct ViperRouter {
     cfg: ViperConfig,
-    ports: HashMap<u8, OutPort>,
+    ports: LinearMap<u8, OutPort>,
     token_cache: Option<TokenCache>,
     limits: Vec<FlowLimit>,
-    pending: HashMap<u64, Pending>,
+    pending: LinearMap<u64, Pending>,
     next_key: u64,
     tick_armed: bool,
-    last_signal: HashMap<(u8, u8), SimTime>,
+    last_signal: LinearMap<(u8, u8), SimTime>,
     /// Packets whose final segment addressed this router (port 0).
     pub local_delivered: Vec<(SimTime, Vec<u8>)>,
     /// Counters.
     pub stats: RouterStats,
     /// Map from in-flight incoming frames we are cutting through to the
     /// output (port, frame) — for abort propagation.
-    cutting: HashMap<FrameId, (u8, FrameId)>,
+    cutting: LinearMap<FrameId, (u8, FrameId)>,
 }
 
 impl ViperRouter {
@@ -302,13 +304,13 @@ impl ViperRouter {
             ports,
             token_cache,
             limits: Vec::new(),
-            pending: HashMap::new(),
+            pending: LinearMap::new(),
             next_key: 1,
             tick_armed: false,
-            last_signal: HashMap::new(),
+            last_signal: LinearMap::new(),
             local_delivered: Vec::new(),
             stats: RouterStats::default(),
-            cutting: HashMap::new(),
+            cutting: LinearMap::new(),
         }
     }
 

@@ -4,8 +4,6 @@
 //! policy (rate-limit release times, cut-through abort bookkeeping)
 //! plugs into the scheduler through [`ServiceHooks`].
 
-use std::collections::HashMap;
-
 use sirpent_sim::{transmission_time, Context, FrameId, SimTime};
 use sirpent_telemetry::HopKind;
 use sirpent_wire::buf::{FrameBuf, PacketBuf};
@@ -37,7 +35,7 @@ struct TxMeta {
 /// needs so the scheduler can be driven with the port map split off.
 struct ViperHooks<'a> {
     limits: &'a mut Vec<FlowLimit>,
-    cutting: &'a mut HashMap<FrameId, (u8, FrameId)>,
+    cutting: &'a mut super::linear::LinearMap<FrameId, (u8, FrameId)>,
 }
 
 impl ServiceHooks for ViperHooks<'_> {

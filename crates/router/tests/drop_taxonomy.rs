@@ -36,6 +36,7 @@ fn checklist(why: DropReason) -> (usize, Stage) {
         DropReason::LinkDown => (15, Stage::Transmit),
         DropReason::RouterDown => (16, Stage::Parse),
         DropReason::Partitioned => (17, Stage::Transmit),
+        DropReason::BadLength => (18, Stage::Parse),
     }
 }
 

@@ -32,8 +32,7 @@
 //! run is reproducible bit-for-bit from its seed.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,6 +40,7 @@ use sirpent_telemetry::{Counter, FlightRecorder, HopEvent, HopKind, Registry, Re
 use sirpent_wire::buf::FrameBuf;
 
 use crate::chaos::{ChaosAction, ChaosEvent, FaultSchedule};
+use crate::queue::{CalendarQueue, EventQueue, HeapQueue, Keyed, QueueKind};
 use crate::stats::{DropReason, PipelineStats};
 use crate::time::{bytes_in, transmission_time, SimDuration, SimTime};
 
@@ -280,6 +280,24 @@ pub trait Node: 'static {
     /// scheduler.
     fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event);
 
+    /// Handle a batch of same-instant events addressed to this node, in
+    /// scheduling order. The engine gathers maximal runs of events with
+    /// the same `(time, target)` and delivers them through this entry
+    /// point, amortizing dispatch overhead; `TxDone` is always delivered
+    /// solo through [`Node::on_event`] (its transmit-retirement
+    /// bookkeeping must interleave exactly with abort decisions).
+    ///
+    /// The default drains the batch through [`Node::on_event`] one
+    /// event at a time, so overriding is purely an optimization; an
+    /// override must preserve per-event observable behavior (stats,
+    /// transmissions, timers) exactly — the golden-trace fixtures pin
+    /// it.
+    fn on_events(&mut self, ctx: &mut Context<'_>, batch: &mut Vec<Event>) {
+        for ev in batch.drain(..) {
+            self.on_event(ctx, ev);
+        }
+    }
+
     /// Downcast support (used by tests and harnesses to inspect node
     /// state after a run).
     fn as_any(&self) -> &dyn Any;
@@ -319,20 +337,60 @@ struct Scheduled {
     event: Event,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl Keyed for Scheduled {
+    fn key(&self) -> (u64, u64) {
+        (self.time.as_nanos(), self.seq)
     }
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// The engine's event queue: either implementation behind static
+/// dispatch (an enum, not a trait object, keeps the per-event hot path
+/// free of virtual calls). Both drain in identical `(time, seq)` order;
+/// the differential suite in `tests/queue_differential.rs` holds them to
+/// it.
+enum EngineQueue {
+    Heap(HeapQueue<Scheduled>),
+    Wheel(CalendarQueue<Scheduled>),
 }
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+impl EngineQueue {
+    fn new(kind: QueueKind) -> EngineQueue {
+        match kind {
+            QueueKind::Heap => EngineQueue::Heap(HeapQueue::new()),
+            QueueKind::Calendar => EngineQueue::Wheel(CalendarQueue::new()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, item: Scheduled) {
+        match self {
+            EngineQueue::Heap(q) => q.push(item),
+            EngineQueue::Wheel(q) => q.push(item),
+        }
+    }
+
+    #[inline]
+    fn min_key(&mut self) -> Option<(u64, u64)> {
+        match self {
+            EngineQueue::Heap(q) => q.min_key(),
+            EngineQueue::Wheel(q) => q.min_key(),
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<&Scheduled> {
+        match self {
+            EngineQueue::Heap(q) => q.peek(),
+            EngineQueue::Wheel(q) => q.peek(),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Scheduled> {
+        match self {
+            EngineQueue::Heap(q) => q.pop(),
+            EngineQueue::Wheel(q) => q.pop(),
+        }
     }
 }
 
@@ -357,11 +415,22 @@ struct ChaosCounters {
 /// it is itself borrowed for dispatch.
 pub(crate) struct Core {
     now: SimTime,
+    /// Scheduling sequence: strictly monotone for the whole run. Chaos
+    /// restarts and purges never rewind it — `node_epoch` fences stale
+    /// timers by remembering the sequence watermark instead — so a
+    /// `(time, seq)` key is never reused and tie-breaks stay
+    /// deterministic across crash/restart cycles.
     seq: u64,
     frame_seq: u64,
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    queue: EngineQueue,
     channels: Vec<Channel>,
-    tx_map: HashMap<(NodeId, u8), ChannelId>,
+    /// Transmit attachment per node: `(port, channel)` pairs, linear
+    /// scanned (nodes have a handful of ports; beats hashing on the
+    /// per-event path).
+    tx_map: Vec<Vec<(u8, ChannelId)>>,
+    /// Reusable receiver scratch for `transmit_from`/`abort_from` — the
+    /// per-transmission fan-out list without a per-call allocation.
+    rx_scratch: Vec<(NodeId, u8)>,
     rng: StdRng,
     trace: Option<Vec<(SimTime, NodeId, String)>>,
     events_dispatched: u64,
@@ -393,12 +462,41 @@ impl Core {
         debug_assert!(time >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
+        // Sequence-reuse audit: the counter must never wrap within a run
+        // (a reused `(time, seq)` key would silently break tie-break
+        // determinism — and the calendar queue's drain contract).
+        debug_assert!(self.seq != 0, "scheduling sequence wrapped");
+        self.queue.push(Scheduled {
             time,
             seq,
             target,
             event,
-        }));
+        });
+    }
+
+    /// The channel `(node, port)` transmits into, if attached.
+    #[inline]
+    fn tx_lookup(&self, node: NodeId, port: u8) -> Option<ChannelId> {
+        self.tx_map
+            .get(node.0)?
+            .iter()
+            .find(|&&(p, _)| p == port)
+            .map(|&(_, ch)| ch)
+    }
+
+    /// Record a transmit attachment. Returns `false` when the pair is
+    /// already attached elsewhere.
+    fn tx_insert(&mut self, node: NodeId, port: u8, ch: ChannelId) -> bool {
+        while self.tx_map.len() <= node.0 {
+            self.tx_map.push(Vec::new());
+        }
+        if self.tx_lookup(node, port).is_some() {
+            return false;
+        }
+        if let Some(ports) = self.tx_map.get_mut(node.0) {
+            ports.push((port, ch));
+        }
+        true
     }
 
     fn transmit_from(
@@ -407,9 +505,8 @@ impl Core {
         port: u8,
         payload: FrameBuf,
     ) -> Result<TxInfo, SimError> {
-        let &ch_id = self
-            .tx_map
-            .get(&(sender, port))
+        let ch_id = self
+            .tx_lookup(sender, port)
             .ok_or(SimError::PortNotAttached)?;
         if !self.channels[ch_id.0].up {
             return Err(SimError::LinkDown);
@@ -427,7 +524,9 @@ impl Core {
         } else {
             SimDuration::ZERO
         };
-        let (start, end, prop, rate, receivers) = {
+        let mut receivers = std::mem::take(&mut self.rx_scratch);
+        receivers.clear();
+        let (start, end, prop, rate) = {
             let ch = &mut self.channels[ch_id.0];
             let start = ch.free_at.max(now);
             let end = start + transmission_time(payload.len(), ch.rate_bps);
@@ -442,20 +541,19 @@ impl Core {
             ch.stats.frames += 1;
             ch.stats.bytes += payload.len() as u64;
             ch.stats.busy = ch.stats.busy + (end - start);
-            let receivers: Vec<(NodeId, u8)> = ch
-                .taps
-                .iter()
-                .copied()
-                .filter(|&(n, _)| n != sender)
-                .collect();
-            (start, end, ch.prop, ch.rate_bps, receivers)
+            receivers.extend(ch.taps.iter().copied().filter(|&(n, _)| n != sender));
+            (start, end, ch.prop, ch.rate_bps)
         };
 
         // Sender notification when the last bit clocks out.
         self.push(end, sender, Event::TxDone { port, frame });
 
-        // Per-tap delivery with fault injection.
-        for (node, rx_port) in receivers {
+        // Per-tap delivery with fault injection. The payload moves into
+        // the final tap's copy — a point-to-point link (one receiver)
+        // delivers with zero clones.
+        let n_receivers = receivers.len();
+        let mut payload = Some(payload);
+        for (i, &(node, rx_port)) in receivers.iter().enumerate() {
             // Partition window: suppression is deterministic (no RNG
             // draw), so an active partition never perturbs the fault
             // injector's sequence for unaffected flows.
@@ -473,9 +571,15 @@ impl Core {
                 continue;
             }
             // Sharing: each tap's copy is a FrameBuf clone (header bytes
-            // only). The body is materialized into a private buffer only
-            // when the fault injector actually corrupts this copy.
-            let mut copy = payload.clone();
+            // only); the last tap takes the original. The body is
+            // materialized into a private buffer only when the fault
+            // injector actually corrupts this copy.
+            let copy = if i + 1 == n_receivers {
+                payload.take()
+            } else {
+                payload.clone()
+            };
+            let Some(mut copy) = copy else { continue };
             let mut corrupted = false;
             if corrupt_p > 0.0 && !copy.is_empty() && self.rng.gen_bool(corrupt_p) {
                 let mut v = copy.to_vec();
@@ -529,25 +633,30 @@ impl Core {
             }
             self.push(start + prop + extra, node, Event::Frame(fe));
         }
+        self.rx_scratch = receivers;
 
         Ok(TxInfo { frame, start, end })
     }
 
     fn abort_from(&mut self, sender: NodeId, port: u8) -> Result<AbortInfo, SimError> {
-        let &ch_id = self
-            .tx_map
-            .get(&(sender, port))
+        let ch_id = self
+            .tx_lookup(sender, port)
             .ok_or(SimError::PortNotAttached)?;
         let now = self.now;
-        let (frame, bytes_sent, prop, extra, receivers) = {
+        let mut receivers = std::mem::take(&mut self.rx_scratch);
+        receivers.clear();
+        let (frame, bytes_sent, prop, extra) = {
             let ch = &mut self.channels[ch_id.0];
             let Some(front) = ch.in_flight.front().copied() else {
+                self.rx_scratch = receivers;
                 return Err(SimError::NothingToAbort);
             };
             if front.sender != sender || front.start > now || front.end <= now {
+                self.rx_scratch = receivers;
                 return Err(SimError::NothingToAbort);
             }
             if ch.in_flight.len() > 1 {
+                self.rx_scratch = receivers;
                 return Err(SimError::AbortWithQueue);
             }
             ch.in_flight.pop_front();
@@ -558,17 +667,12 @@ impl Core {
             ch.stats.busy =
                 SimDuration(ch.stats.busy.as_nanos().saturating_sub(unspent.as_nanos()));
             let bytes_sent = bytes_in(now - front.start, ch.rate_bps);
-            let receivers: Vec<(NodeId, u8)> = ch
-                .taps
-                .iter()
-                .copied()
-                .filter(|&(n, _)| n != sender)
-                .collect();
-            (front.frame, bytes_sent, ch.prop, front.extra, receivers)
+            receivers.extend(ch.taps.iter().copied().filter(|&(n, _)| n != sender));
+            (front.frame, bytes_sent, ch.prop, front.extra)
         };
         // The abort rides the same (jittered) propagation path as the
         // frame itself, so it still lands strictly before the tail.
-        for (node, rx_port) in receivers {
+        for &(node, rx_port) in receivers.iter() {
             self.push(
                 now + prop + extra,
                 node,
@@ -579,6 +683,7 @@ impl Core {
                 },
             );
         }
+        self.rx_scratch = receivers;
         Ok(AbortInfo { frame, bytes_sent })
     }
 
@@ -685,30 +790,27 @@ impl Context<'_> {
     /// When the channel behind `port` becomes idle (now or earlier means
     /// idle already).
     pub fn channel_free_at(&self, port: u8) -> Result<SimTime, SimError> {
-        let &ch = self
+        let ch = self
             .core
-            .tx_map
-            .get(&(self.me, port))
+            .tx_lookup(self.me, port)
             .ok_or(SimError::PortNotAttached)?;
         Ok(self.core.channels[ch.0].free_at)
     }
 
     /// The data rate of the channel behind `port`.
     pub fn channel_rate(&self, port: u8) -> Result<u64, SimError> {
-        let &ch = self
+        let ch = self
             .core
-            .tx_map
-            .get(&(self.me, port))
+            .tx_lookup(self.me, port)
             .ok_or(SimError::PortNotAttached)?;
         Ok(self.core.channels[ch.0].rate_bps)
     }
 
     /// The propagation delay of the channel behind `port`.
     pub fn channel_prop(&self, port: u8) -> Result<SimDuration, SimError> {
-        let &ch = self
+        let ch = self
             .core
-            .tx_map
-            .get(&(self.me, port))
+            .tx_lookup(self.me, port)
             .ok_or(SimError::PortNotAttached)?;
         Ok(self.core.channels[ch.0].prop)
     }
@@ -779,19 +881,30 @@ impl Context<'_> {
 pub struct Simulator {
     core: Core,
     nodes: Vec<Option<Box<dyn Node>>>,
+    /// Reusable same-instant dispatch batch (see [`Node::on_events`]).
+    batch: Vec<Event>,
 }
 
 impl Simulator {
-    /// Create a simulator with the given RNG seed.
+    /// Create a simulator with the given RNG seed, on the default
+    /// (calendar-queue) scheduler.
     pub fn new(seed: u64) -> Simulator {
+        Simulator::with_queue(seed, QueueKind::default())
+    }
+
+    /// Create a simulator on an explicit [`QueueKind`] — the reference
+    /// heap or the calendar queue. Identical seeds must produce
+    /// identical runs on either; the differential suite asserts it.
+    pub fn with_queue(seed: u64, kind: QueueKind) -> Simulator {
         Simulator {
             core: Core {
                 now: SimTime::ZERO,
                 seq: 0,
                 frame_seq: 0,
-                heap: BinaryHeap::new(),
+                queue: EngineQueue::new(kind),
                 channels: Vec::new(),
-                tx_map: HashMap::new(),
+                tx_map: Vec::new(),
+                rx_scratch: Vec::new(),
                 rng: StdRng::seed_from_u64(seed),
                 trace: None,
                 events_dispatched: 0,
@@ -805,6 +918,7 @@ impl Simulator {
                 flight: None,
             },
             nodes: Vec::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -854,9 +968,8 @@ impl Simulator {
     /// Panics if the `(node, port)` pair is already attached for
     /// transmission elsewhere — a port fronts exactly one channel.
     pub fn attach(&mut self, ch: ChannelId, node: NodeId, port: u8) {
-        let prev = self.core.tx_map.insert((node, port), ch);
         assert!(
-            prev.is_none(),
+            self.core.tx_insert(node, port, ch),
             "port {port} of node {node:?} already attached"
         );
         self.core.channels[ch.0].taps.push((node, port));
@@ -878,12 +991,10 @@ impl Simulator {
         // Simplex: the tx side is attached via tx_map; the rx side is a
         // tap that never transmits. Attach sender to its channel and add
         // the receiver as a bare tap.
-        let prev = self.core.tx_map.insert((a, a_port), ab);
-        assert!(prev.is_none(), "port already attached");
+        assert!(self.core.tx_insert(a, a_port, ab), "port already attached");
         self.core.channels[ab.0].taps.push((a, a_port));
         self.core.channels[ab.0].taps.push((b, b_port));
-        let prev = self.core.tx_map.insert((b, b_port), ba);
-        assert!(prev.is_none(), "port already attached");
+        assert!(self.core.tx_insert(b, b_port, ba), "port already attached");
         self.core.channels[ba.0].taps.push((b, b_port));
         self.core.channels[ba.0].taps.push((a, a_port));
         (ab, ba)
@@ -1016,8 +1127,9 @@ impl Simulator {
     /// Apply the front chaos event if it is due before (or at the same
     /// instant as) the next node event. Returns whether one was applied.
     fn step_chaos(&mut self) -> bool {
-        let due = match (self.core.chaos.front(), self.core.heap.peek()) {
-            (Some(ce), Some(Reverse(head))) => ce.at <= head.time,
+        let next_key = self.core.queue.min_key();
+        let due = match (self.core.chaos.front(), next_key) {
+            (Some(ce), Some(k)) => ce.at.as_nanos() <= k.0,
             (Some(_), None) => true,
             (None, _) => return false,
         };
@@ -1108,21 +1220,16 @@ impl Simulator {
         }
     }
 
-    /// Dispatch the next event (or apply the next due chaos action).
-    /// Returns `false` when both queues are empty.
-    pub fn step(&mut self) -> bool {
-        if self.step_chaos() {
-            return true;
-        }
-        let Some(Reverse(sched)) = self.core.heap.pop() else {
-            return false;
-        };
-        self.core.now = sched.time;
+    /// Filter one popped event against the chaos bookkeeping (cancelled
+    /// frames, crashed targets, pre-crash timers) and, for `TxDone`,
+    /// retire the matching tx record. Returns `false` when the event is
+    /// swallowed without dispatch.
+    fn admit(core: &mut Core, sched: &Scheduled) -> bool {
         // Engine-internal bookkeeping: retire the matching tx record so
         // stale TxDones from aborted transmissions are suppressed.
         if let Event::TxDone { port, .. } = sched.event {
-            let valid = if let Some(&ch) = self.core.tx_map.get(&(sched.target, port)) {
-                let inflight = &mut self.core.channels[ch.0].in_flight;
+            let valid = if let Some(ch) = core.tx_lookup(sched.target, port) {
+                let inflight = &mut core.channels[ch.0].in_flight;
                 if let Some(pos) = inflight
                     .iter()
                     .position(|t| t.end == sched.time && t.sender == sched.target)
@@ -1136,50 +1243,106 @@ impl Simulator {
                 false
             };
             if !valid {
-                return true; // aborted transmission: swallow the TxDone
+                return false; // aborted transmission: swallow the TxDone
             }
         }
         // Chaos: deliveries of frames whose queued transmission was
         // killed before its first bit never happened.
         if let Event::Frame(fe) = &sched.event {
-            if self.core.cancelled.contains(&fe.frame.id) {
-                return true;
+            if !core.cancelled.is_empty() && core.cancelled.contains(&fe.frame.id) {
+                return false;
             }
         }
         // Chaos: a crashed node receives nothing. Arriving frames are
         // accounted as RouterDown losses; everything else addressed to
         // it dies silently.
-        if self.core.down.get(sched.target.0).copied().unwrap_or(false) {
+        if core.down.get(sched.target.0).copied().unwrap_or(false) {
             if matches!(sched.event, Event::Frame(_)) {
-                self.core.chaos_stats.drop(DropReason::RouterDown);
+                core.chaos_stats.drop(DropReason::RouterDown);
             }
-            return true;
+            return false;
         }
         // Chaos: timers set before the node's last restart belong to
         // soft state the crash destroyed.
         if matches!(sched.event, Event::Timer { .. })
-            && sched.seq
-                < self
-                    .core
-                    .node_epoch
-                    .get(sched.target.0)
-                    .copied()
-                    .unwrap_or(0)
+            && sched.seq < core.node_epoch.get(sched.target.0).copied().unwrap_or(0)
         {
+            return false;
+        }
+        true
+    }
+
+    /// Dispatch the next event — along with any same-instant events for
+    /// the same node, batched through [`Node::on_events`] — or apply the
+    /// next due chaos action. Returns `false` when both queues are
+    /// empty.
+    ///
+    /// Batching is dispatch-order preserving: the gathered run is
+    /// exactly the consecutive `(time, seq)` prefix addressed to one
+    /// node, every chaos filter is applied per event, and
+    /// `events_dispatched` counts each event individually — so digests
+    /// and traces are byte-identical to one-at-a-time dispatch. `TxDone`
+    /// never joins or extends a batch: its in-flight retirement (done
+    /// here, engine-side) must stay exactly interleaved with any abort
+    /// decisions the node makes in between.
+    pub fn step(&mut self) -> bool {
+        if self.step_chaos() {
+            return true;
+        }
+        let Some(sched) = self.core.queue.pop() else {
+            return false;
+        };
+        self.core.now = sched.time;
+        if !Self::admit(&mut self.core, &sched) {
             return true;
         }
         self.core.events_dispatched += 1;
-        let mut node = self.nodes[sched.target.0]
+        let target = sched.target;
+        let now = sched.time;
+        let solo = matches!(sched.event, Event::TxDone { .. });
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        batch.push(sched.event);
+        if !solo {
+            // Gather the same-instant run for this node. Chaos cannot
+            // fire mid-run (every action due at `now` was applied before
+            // the first pop), so the filters in `admit` see the same
+            // state each event would have seen dispatched one at a time.
+            while let Some(next) = self.core.queue.peek() {
+                if next.time != now
+                    || next.target != target
+                    || matches!(next.event, Event::TxDone { .. })
+                {
+                    break;
+                }
+                let Some(next) = self.core.queue.pop() else {
+                    break;
+                };
+                if Self::admit(&mut self.core, &next) {
+                    self.core.events_dispatched += 1;
+                    batch.push(next.event);
+                }
+            }
+        }
+        let mut node = self.nodes[target.0]
             .take()
             .expect("node re-entrancy is impossible in a sequential engine");
         {
             let mut ctx = Context {
                 core: &mut self.core,
-                me: sched.target,
+                me: target,
             };
-            node.on_event(&mut ctx, sched.event);
+            if batch.len() == 1 {
+                if let Some(ev) = batch.pop() {
+                    node.on_event(&mut ctx, ev);
+                }
+            } else {
+                node.on_events(&mut ctx, &mut batch);
+            }
         }
-        self.nodes[sched.target.0] = Some(node);
+        self.nodes[target.0] = Some(node);
+        batch.clear();
+        self.batch = batch;
         true
     }
 
@@ -1193,9 +1356,9 @@ impl Simulator {
     /// processed; later ones stay queued).
     pub fn run_until(&mut self, deadline: SimTime) {
         loop {
-            let next_heap = self.core.heap.peek().map(|Reverse(s)| s.time);
+            let next_queue = self.core.queue.min_key().map(|k| SimTime(k.0));
             let next_chaos = self.core.chaos.front().map(|c| c.at);
-            let next = match (next_heap, next_chaos) {
+            let next = match (next_queue, next_chaos) {
                 (Some(h), Some(c)) => h.min(c),
                 (Some(h), None) => h,
                 (None, Some(c)) => c,

@@ -24,6 +24,7 @@
 
 pub mod chaos;
 pub mod engine;
+pub mod queue;
 pub mod stats;
 pub mod time;
 pub mod workload;
@@ -33,4 +34,5 @@ pub use engine::{
     AbortInfo, ChannelId, Context, Event, FaultConfig, Frame, FrameEvent, FrameId, Node, NodeId,
     SimError, Simulator, TxInfo,
 };
+pub use queue::QueueKind;
 pub use time::{bytes_in, transmission_time, SimDuration, SimTime};

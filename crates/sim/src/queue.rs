@@ -1,0 +1,537 @@
+//! Pluggable event queues: the reference binary heap and the calendar
+//! (timing-wheel) queue the engine runs on.
+//!
+//! Both implementations drain items in identical `(time, seq)` total
+//! order — the engine's determinism contract — so they are differentially
+//! testable: any schedule pushed into both must pop identically. The
+//! heap is the obviously-correct reference; the calendar queue is the
+//! fast path, O(1) amortized at high event density where a binary heap
+//! pays O(log n) sift moves per operation.
+//!
+//! ## Wheel geometry
+//!
+//! Near-future items live on a **wheel** of [`SLOTS`] buckets, each
+//! covering a window of `2^`[`SLOT_SHIFT`] nanoseconds; the wheel as a
+//! whole spans `SLOTS × 2^SLOT_SHIFT` ns from the current drain position
+//! (`cur_abs`, an absolute bucket index). Items beyond that horizon go
+//! to a sorted **overflow** level (a binary heap — the "far-future
+//! timer" fallback). Buckets are unsorted append-only vectors until the
+//! drain reaches them, at which point they are sorted once (descending,
+//! so `pop` is an O(1) tail removal); bucket vectors are reused across
+//! rotations, so a warm wheel allocates nothing on the hot path.
+//!
+//! ## The caller contract
+//!
+//! Pushed keys must be `>=` the key of the last popped item (the
+//! engine's "no scheduling into the past" rule). This is what lets the
+//! drain position advance monotonically: the wheel never needs to look
+//! behind `cur_abs`. The drain position only advances inside [`pop`] —
+//! never in [`peek`]/[`min_key`] — because between a peek and a pop the
+//! engine may still push same-instant events (the chaos layer injects
+//! aborts *at* the current instant), and those must land in front of the
+//! drain, not behind it.
+//!
+//! [`pop`]: EventQueue::pop
+//! [`peek`]: EventQueue::peek
+//! [`min_key`]: EventQueue::min_key
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total order key: `(time_ns, seq)`. The sequence is unique within a
+/// run, so keys never tie.
+pub type Key = (u64, u64);
+
+/// An item with a stable scheduling key.
+pub trait Keyed {
+    /// The item's `(time_ns, seq)` ordering key. Must not change while
+    /// the item is queued.
+    fn key(&self) -> Key;
+}
+
+/// A queue that drains [`Keyed`] items in ascending key order.
+///
+/// `min_key` and `peek` take `&mut self` — implementations may reorganize
+/// storage (sort a bucket) to answer, but must not advance the drain
+/// position: after a peek, pushing a key equal to the peeked key must
+/// still be accepted and ordered correctly.
+pub trait EventQueue<T: Keyed> {
+    /// Insert an item. The key must be `>=` the last popped key.
+    fn push(&mut self, item: T);
+    /// The smallest key currently queued.
+    fn min_key(&mut self) -> Option<Key>;
+    /// Borrow the item with the smallest key.
+    fn peek(&mut self) -> Option<&T>;
+    /// Remove and return the item with the smallest key.
+    fn pop(&mut self) -> Option<T>;
+    /// Queued item count.
+    fn len(&self) -> usize;
+    /// Whether nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Heap entry: key cached so ordering never re-asks the item.
+struct Entry<T> {
+    key: Key,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The reference implementation: a plain binary min-heap. O(log n)
+/// push/pop, trivially correct — kept as the differential-test oracle
+/// and selectable via [`QueueKind::Heap`].
+#[derive(Default)]
+pub struct HeapQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+}
+
+impl<T: Keyed> HeapQueue<T> {
+    /// An empty heap queue.
+    pub fn new() -> HeapQueue<T> {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<T: Keyed> EventQueue<T> for HeapQueue<T> {
+    fn push(&mut self, item: T) {
+        let key = item.key();
+        self.heap.push(Reverse(Entry { key, item }));
+    }
+
+    fn min_key(&mut self) -> Option<Key> {
+        self.heap.peek().map(|Reverse(e)| e.key)
+    }
+
+    fn peek(&mut self) -> Option<&T> {
+        self.heap.peek().map(|Reverse(e)| &e.item)
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|Reverse(e)| e.item)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// log2 of the bucket width in nanoseconds: 2^13 ns ≈ 8.2 µs — on the
+/// order of a small frame's transmission time at 10 Mb/s, so a busy
+/// link's events spread over a handful of buckets instead of piling
+/// into one.
+pub const SLOT_SHIFT: u32 = 13;
+
+/// Bucket count (power of two). The wheel horizon is
+/// `SLOTS << SLOT_SHIFT` ns ≈ 4.2 ms; anything scheduled further out
+/// waits in the overflow level.
+pub const SLOTS: usize = 512;
+
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+const WORDS: usize = SLOTS / 64;
+
+/// One wheel bucket. `sorted` means `items` is in *descending* key
+/// order, so the minimum is at the tail and `pop` moves nothing.
+struct Bucket<T> {
+    items: Vec<(Key, T)>,
+    sorted: bool,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Bucket<T> {
+        Bucket {
+            items: Vec::new(),
+            sorted: false,
+        }
+    }
+}
+
+/// The calendar queue: a timing wheel over near-future buckets with a
+/// heap-sorted overflow level. See the module docs for geometry and the
+/// caller contract.
+pub struct CalendarQueue<T> {
+    buckets: Vec<Bucket<T>>,
+    /// Occupancy bitmap over slots (bit set ⇔ bucket non-empty).
+    occupied: [u64; WORDS],
+    /// Absolute index (`time_ns >> SLOT_SHIFT`) of the drain bucket: no
+    /// queued item lives below it.
+    cur_abs: u64,
+    /// Items currently on the wheel (the rest are in `overflow`).
+    wheel_len: usize,
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    len: usize,
+}
+
+impl<T: Keyed> Default for CalendarQueue<T> {
+    fn default() -> CalendarQueue<T> {
+        CalendarQueue::new()
+    }
+}
+
+impl<T: Keyed> CalendarQueue<T> {
+    /// An empty calendar queue with its drain position at time zero.
+    pub fn new() -> CalendarQueue<T> {
+        let mut buckets = Vec::with_capacity(SLOTS);
+        buckets.resize_with(SLOTS, Bucket::default);
+        CalendarQueue {
+            buckets,
+            occupied: [0; WORDS],
+            cur_abs: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(abs: u64) -> usize {
+        (abs & SLOT_MASK) as usize
+    }
+
+    #[inline]
+    fn set_bit(&mut self, slot: usize) {
+        if let Some(w) = self.occupied.get_mut(slot >> 6) {
+            *w |= 1u64 << (slot & 63);
+        }
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, slot: usize) {
+        if let Some(w) = self.occupied.get_mut(slot >> 6) {
+            *w &= !(1u64 << (slot & 63));
+        }
+    }
+
+    /// Absolute index of the first non-empty bucket at or after `from`,
+    /// scanning the occupancy bitmap circularly (the wheel invariant —
+    /// every occupied slot holds items within `[cur_abs, cur_abs+SLOTS)`
+    /// — makes circular distance equal absolute distance).
+    fn next_occupied(&self, from: u64) -> Option<u64> {
+        let start = Self::slot_of(from);
+        let mut idx = start >> 6;
+        let mut word = self.occupied.get(idx).copied().unwrap_or(0) & (!0u64 << (start & 63));
+        for _ in 0..=WORDS {
+            if word != 0 {
+                let bit = (idx << 6) + word.trailing_zeros() as usize;
+                let d = (bit + SLOTS - start) % SLOTS;
+                return Some(from + d as u64);
+            }
+            idx = (idx + 1) % WORDS;
+            word = self.occupied.get(idx).copied().unwrap_or(0);
+        }
+        None
+    }
+
+    /// Place an item into its wheel bucket (`abs` must be within the
+    /// current window).
+    fn wheel_insert(&mut self, abs: u64, key: Key, item: T) {
+        debug_assert!(abs >= self.cur_abs && abs < self.cur_abs + SLOTS as u64);
+        let slot = Self::slot_of(abs);
+        if let Some(b) = self.buckets.get_mut(slot) {
+            if b.items.is_empty() {
+                // Fresh fill: cheap append mode until the drain arrives.
+                b.sorted = false;
+                b.items.push((key, item));
+            } else if b.sorted {
+                // The drain is (or has been) in this bucket: keep the
+                // descending order with a binary-search insert.
+                let pos = b.items.partition_point(|e| e.0 > key);
+                b.items.insert(pos, (key, item));
+            } else {
+                b.items.push((key, item));
+            }
+            self.set_bit(slot);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Advance the drain position and pull overflow items that the wider
+    /// window now covers onto the wheel. Keeps the invariant that the
+    /// overflow level only holds items beyond the horizon, which is what
+    /// makes "wheel min < overflow min whenever the wheel is non-empty"
+    /// true.
+    fn advance_to(&mut self, new_abs: u64) {
+        debug_assert!(new_abs >= self.cur_abs);
+        self.cur_abs = new_abs;
+        let horizon = new_abs + SLOTS as u64;
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if (e.key.0 >> SLOT_SHIFT) >= horizon {
+                break;
+            }
+            if let Some(Reverse(e)) = self.overflow.pop() {
+                let abs = e.key.0 >> SLOT_SHIFT;
+                self.wheel_insert(abs, e.key, e.item);
+            }
+        }
+    }
+
+    /// Sort the drain bucket on first touch (descending: minimum at the
+    /// tail). Keys are unique, so unstable sort is deterministic.
+    fn ensure_sorted(b: &mut Bucket<T>) {
+        if !b.sorted {
+            b.items.sort_unstable_by_key(|z| Reverse(z.0));
+            b.sorted = true;
+        }
+    }
+
+    /// Locate the bucket holding the wheel minimum and sort it. Returns
+    /// its absolute index. Does not advance the drain position.
+    fn locate_min(&mut self) -> Option<u64> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let abs = self.next_occupied(self.cur_abs)?;
+        let slot = Self::slot_of(abs);
+        if let Some(b) = self.buckets.get_mut(slot) {
+            Self::ensure_sorted(b);
+        }
+        Some(abs)
+    }
+}
+
+impl<T: Keyed> EventQueue<T> for CalendarQueue<T> {
+    fn push(&mut self, item: T) {
+        let key = item.key();
+        let abs = key.0 >> SLOT_SHIFT;
+        debug_assert!(
+            abs >= self.cur_abs,
+            "pushed key below the drain position (scheduling into the past)"
+        );
+        if abs < self.cur_abs + SLOTS as u64 {
+            self.wheel_insert(abs, key, item);
+        } else {
+            self.overflow.push(Reverse(Entry { key, item }));
+        }
+        self.len += 1;
+    }
+
+    fn min_key(&mut self) -> Option<Key> {
+        if let Some(abs) = self.locate_min() {
+            let slot = Self::slot_of(abs);
+            return self
+                .buckets
+                .get(slot)
+                .and_then(|b| b.items.last())
+                .map(|e| e.0);
+        }
+        self.overflow.peek().map(|Reverse(e)| e.key)
+    }
+
+    fn peek(&mut self) -> Option<&T> {
+        if let Some(abs) = self.locate_min() {
+            let slot = Self::slot_of(abs);
+            return self
+                .buckets
+                .get(slot)
+                .and_then(|b| b.items.last())
+                .map(|e| &e.1);
+        }
+        self.overflow.peek().map(|Reverse(e)| &e.item)
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        if self.wheel_len == 0 {
+            // Wheel dry: jump the window to the overflow minimum. This
+            // is the only place the drain may skip ahead, and it is safe
+            // because the caller contract forbids later pushes below the
+            // popped key.
+            let min_abs = {
+                let Reverse(e) = self.overflow.peek()?;
+                e.key.0 >> SLOT_SHIFT
+            };
+            self.advance_to(min_abs);
+        }
+        let abs = self.next_occupied(self.cur_abs)?;
+        if abs > self.cur_abs {
+            // Walking forward also widens the horizon; migrate overflow
+            // items the window now covers (they all sit in buckets at or
+            // above `abs`, so the minimum stays where we found it).
+            self.advance_to(abs);
+        }
+        let slot = Self::slot_of(abs);
+        let popped = if let Some(b) = self.buckets.get_mut(slot) {
+            Self::ensure_sorted(b);
+            let popped = b.items.pop();
+            if b.items.is_empty() {
+                // Keep the allocation (bucket pooling), drop the bit.
+                b.sorted = false;
+                self.clear_bit(slot);
+            }
+            popped
+        } else {
+            None
+        };
+        if let Some((_, item)) = popped {
+            self.wheel_len -= 1;
+            self.len -= 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Which queue implementation the engine runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// The reference binary heap.
+    Heap,
+    /// The calendar/timing-wheel queue (the default).
+    #[default]
+    Calendar,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq)]
+    struct Item(u64, u64);
+    impl Keyed for Item {
+        fn key(&self) -> Key {
+            (self.0, self.1)
+        }
+    }
+
+    fn drain<Q: EventQueue<Item>>(q: &mut Q) -> Vec<Key> {
+        let mut out = Vec::new();
+        while let Some(i) = q.pop() {
+            out.push(i.key());
+        }
+        out
+    }
+
+    #[test]
+    fn empty_queues() {
+        let mut w: CalendarQueue<Item> = CalendarQueue::new();
+        let mut h: HeapQueue<Item> = HeapQueue::new();
+        assert!(w.pop().is_none() && h.pop().is_none());
+        assert!(w.min_key().is_none() && h.min_key().is_none());
+        assert!(w.is_empty() && h.is_empty());
+    }
+
+    #[test]
+    fn same_bucket_ordering_by_seq() {
+        let mut w: CalendarQueue<Item> = CalendarQueue::new();
+        for seq in [3u64, 1, 2, 0] {
+            w.push(Item(100, seq));
+        }
+        assert_eq!(drain(&mut w), vec![(100, 0), (100, 1), (100, 2), (100, 3)]);
+    }
+
+    #[test]
+    fn far_future_goes_to_overflow_and_back() {
+        let mut w: CalendarQueue<Item> = CalendarQueue::new();
+        let horizon = (SLOTS as u64) << SLOT_SHIFT;
+        w.push(Item(horizon * 3, 0));
+        w.push(Item(5, 1));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.min_key(), Some((5, 1)));
+        assert_eq!(w.pop().map(|i| i.key()), Some((5, 1)));
+        assert_eq!(w.pop().map(|i| i.key()), Some((horizon * 3, 0)));
+        assert!(w.pop().is_none());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn push_at_popped_instant_lands_in_front() {
+        // The chaos-layer pattern: peek, then push at the peeked instant,
+        // then pop — the same-instant push must come out in seq order.
+        let mut w: CalendarQueue<Item> = CalendarQueue::new();
+        w.push(Item(1000, 0));
+        w.push(Item(2000, 1));
+        assert_eq!(w.min_key(), Some((1000, 0)));
+        w.push(Item(1000, 2)); // injected at the peeked instant
+        assert_eq!(
+            drain(&mut w),
+            vec![(1000, 0), (1000, 2), (2000, 1)],
+            "same-instant injection after a peek must not fall behind the drain"
+        );
+    }
+
+    #[test]
+    fn window_advance_migrates_overflow_before_wheel_items_pass_it() {
+        let mut w: CalendarQueue<Item> = CalendarQueue::new();
+        let horizon = (SLOTS as u64) << SLOT_SHIFT;
+        // Overflow item just past the horizon…
+        w.push(Item(horizon + 10, 0));
+        // …and a near item. Popping the near item advances the window far
+        // enough that the overflow item is now inside it.
+        w.push(Item(horizon - 10, 1));
+        assert_eq!(w.pop().map(|i| i.key()), Some((horizon - 10, 1)));
+        // A later wheel push *above* the migrated overflow item must not
+        // overtake it.
+        w.push(Item(horizon + 20, 2));
+        assert_eq!(w.pop().map(|i| i.key()), Some((horizon + 10, 0)));
+        assert_eq!(w.pop().map(|i| i.key()), Some((horizon + 20, 2)));
+    }
+
+    #[test]
+    fn interleaved_random_schedule_matches_heap() {
+        // A miniature differential check (the full 32-seed suite lives in
+        // tests/queue_differential.rs): pseudo-random pushes interleaved
+        // with pops, clock advancing to each popped time.
+        let mut lcg = 0x2545F4914F6CDD1Du64;
+        let mut rnd = move || {
+            lcg ^= lcg << 13;
+            lcg ^= lcg >> 7;
+            lcg ^= lcg << 17;
+            lcg
+        };
+        let mut w: CalendarQueue<Item> = CalendarQueue::new();
+        let mut h: HeapQueue<Item> = HeapQueue::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut popped = (Vec::new(), Vec::new());
+        for _ in 0..5_000 {
+            if rnd() % 3 != 0 {
+                let dt = rnd() % 5_000_000; // up to 5 ms ahead (≥ horizon)
+                let t = now + dt;
+                w.push(Item(t, seq));
+                h.push(Item(t, seq));
+                seq += 1;
+            } else {
+                let (a, b) = (w.pop(), h.pop());
+                assert_eq!(a.as_ref().map(Item::key), b.as_ref().map(Item::key));
+                if let Some(i) = &a {
+                    now = i.0;
+                    popped.0.push(i.key());
+                }
+                if let Some(i) = &b {
+                    popped.1.push(i.key());
+                }
+            }
+            assert_eq!(w.len(), h.len());
+        }
+        while let (Some(a), Some(b)) = (w.pop(), h.pop()) {
+            assert_eq!(a.key(), b.key());
+            popped.0.push(a.key());
+            popped.1.push(b.key());
+        }
+        assert!(w.pop().is_none() && h.pop().is_none());
+        assert_eq!(popped.0, popped.1);
+    }
+}

@@ -102,11 +102,16 @@ pub enum DropReason {
     /// Delivery suppressed by an active partition window between the
     /// sender's side and the receiver's side.
     Partitioned,
+    /// A length field disagrees with the bytes on the wire — e.g. an IP
+    /// `total_len` that wrapped the 16-bit field at build time, or a
+    /// datagram truncated/padded in transit. Caught at parse so the
+    /// bogus length can never index past a buffer downstream.
+    BadLength,
 }
 
 impl DropReason {
     /// Every reason, in dense-index order.
-    pub const ALL: [DropReason; 18] = [
+    pub const ALL: [DropReason; 19] = [
         DropReason::ParseError,
         DropReason::NoSuchPort,
         DropReason::QueueFull,
@@ -125,6 +130,7 @@ impl DropReason {
         DropReason::LinkDown,
         DropReason::RouterDown,
         DropReason::Partitioned,
+        DropReason::BadLength,
     ];
 
     /// Number of reasons.
@@ -151,6 +157,7 @@ impl DropReason {
             DropReason::LinkDown => 15,
             DropReason::RouterDown => 16,
             DropReason::Partitioned => 17,
+            DropReason::BadLength => 18,
         }
     }
 
@@ -176,13 +183,17 @@ impl DropReason {
             DropReason::LinkDown => "link_down",
             DropReason::RouterDown => "router_down",
             DropReason::Partitioned => "partitioned",
+            DropReason::BadLength => "bad_length",
         }
     }
 
     /// The pipeline stage at which this drop occurs.
     pub fn stage(self) -> Stage {
         match self {
-            DropReason::ParseError | DropReason::BadFrame | DropReason::Checksum => Stage::Parse,
+            DropReason::ParseError
+            | DropReason::BadFrame
+            | DropReason::Checksum
+            | DropReason::BadLength => Stage::Parse,
             DropReason::NoSuchPort
             | DropReason::BadStructure
             | DropReason::TooDeep

@@ -31,7 +31,9 @@ pub mod shrink;
 pub mod spec;
 
 pub use invariants::{check_corpus, check_exact};
-pub use scenario::{build, execute, run, run_traced, RunReport};
+pub use scenario::{
+    build, build_with_queue, execute, execute_with_queue, run, run_traced, RunReport,
+};
 pub use shrink::{shrink, write_fixture};
 pub use spec::{Profile, Scenario};
 

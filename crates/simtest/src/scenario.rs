@@ -235,7 +235,14 @@ fn cvc_frame(m: Message) -> Vec<u8> {
 /// Instantiate the scenario: nodes, channels, static fault configs,
 /// workload plans (including the drain flush), and the chaos schedule.
 pub fn build(spec: &Scenario) -> BuiltScenario {
-    let mut sim = Simulator::new(spec.seed);
+    build_with_queue(spec, sirpent_sim::QueueKind::default())
+}
+
+/// [`build`], but on an explicit engine event-queue implementation —
+/// the heap-vs-calendar differential suite runs the same scenario on
+/// both and demands byte-identical digests.
+pub fn build_with_queue(spec: &Scenario, queue: sirpent_sim::QueueKind) -> BuiltScenario {
+    let mut sim = Simulator::with_queue(spec.seed, queue);
     let mut rails = Vec::new();
 
     for (rail_idx, r) in spec.rails.iter().enumerate() {
@@ -249,28 +256,31 @@ pub fn build(spec: &Scenario) -> BuiltScenario {
                 ))),
                 RailKind::Ip => {
                     let subnet = Address::new(10, rail_idx as u8, 2, 0);
-                    Box::new(IpRouter::new(IpConfig {
-                        process_delay: SimDuration::from_micros(20),
-                        ports: vec![
-                            IpPortConfig {
-                                port: 1,
-                                kind: PortKind::PointToPoint,
-                                mtu: 1500,
-                            },
-                            IpPortConfig {
-                                port: 2,
-                                kind: PortKind::PointToPoint,
-                                mtu: 1500,
-                            },
-                        ],
-                        routes: vec![RouteEntry {
-                            prefix: subnet,
-                            prefix_len: 24,
-                            out_port: 2,
-                            next_hop_mac: None,
-                        }],
-                        queue_capacity: 8,
-                    }))
+                    Box::new(
+                        IpRouter::new(IpConfig {
+                            process_delay: SimDuration::from_micros(20),
+                            ports: vec![
+                                IpPortConfig {
+                                    port: 1,
+                                    kind: PortKind::PointToPoint,
+                                    mtu: 1500,
+                                },
+                                IpPortConfig {
+                                    port: 2,
+                                    kind: PortKind::PointToPoint,
+                                    mtu: 1500,
+                                },
+                            ],
+                            routes: vec![RouteEntry {
+                                prefix: subnet,
+                                prefix_len: 24,
+                                out_port: 2,
+                                next_hop_mac: None,
+                            }],
+                            queue_capacity: 8,
+                        })
+                        .expect("scenario ip config is valid"),
+                    )
                 }
                 RailKind::Cvc => Box::new(CvcSwitch::new(CvcConfig {
                     process_delay: SimDuration::from_micros(5),
@@ -794,4 +804,9 @@ fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {
 /// Build and run a scenario in one step.
 pub fn execute(spec: &Scenario) -> RunReport {
     run(build(spec))
+}
+
+/// [`execute`], but on an explicit engine event-queue implementation.
+pub fn execute_with_queue(spec: &Scenario, queue: sirpent_sim::QueueKind) -> RunReport {
+    run(build_with_queue(spec, queue))
 }

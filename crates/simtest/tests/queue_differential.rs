@@ -1,0 +1,41 @@
+//! Heap-vs-calendar differential suite, scenario level: the engine's
+//! calendar queue must be observationally identical to the reference
+//! `BinaryHeap` — not just same pop order in isolation, but identical
+//! byte-exact digests through full scenarios (same-instant bursts,
+//! store-and-forward timers, chaos crashes/partitions/duplication all
+//! interleaved). 32 corpus seeds on each queue implementation.
+
+use sirpent_sim::QueueKind;
+use sirpent_simtest::{execute_with_queue, Profile, Scenario};
+
+#[test]
+fn digests_identical_heap_vs_calendar_32_seeds() {
+    for seed in 0..32u64 {
+        let spec = Scenario::from_seed(seed, Profile::Corpus);
+        let heap = execute_with_queue(&spec, QueueKind::Heap);
+        let wheel = execute_with_queue(&spec, QueueKind::Calendar);
+        assert_eq!(
+            heap.digest, wheel.digest,
+            "seed {seed}: calendar queue diverged from reference heap"
+        );
+        assert_eq!(
+            heap.delivered_frames, wheel.delivered_frames,
+            "seed {seed}: delivery count diverged"
+        );
+    }
+}
+
+#[test]
+fn exact_profile_digests_identical_heap_vs_calendar() {
+    // The Exact profile drives the invariant-checked VIPER/IP rails the
+    // golden fixtures use — divergence here would also break fixtures.
+    for seed in 0..32u64 {
+        let spec = Scenario::from_seed(seed, Profile::Exact);
+        let heap = execute_with_queue(&spec, QueueKind::Heap);
+        let wheel = execute_with_queue(&spec, QueueKind::Calendar);
+        assert_eq!(
+            heap.digest, wheel.digest,
+            "seed {seed}: calendar queue diverged from reference heap"
+        );
+    }
+}

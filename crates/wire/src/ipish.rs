@@ -41,6 +41,22 @@ impl core::fmt::Display for Address {
 /// Header length without options (we carry none): 20 bytes.
 pub const HEADER_LEN: usize = 20;
 
+/// Largest payload a single datagram can carry: `total_len` is a 16-bit
+/// field covering header + payload, so anything past this wraps the
+/// field and forges a tiny bogus length.
+pub const MAX_PAYLOAD: usize = u16::MAX as usize - HEADER_LEN;
+
+/// The `total_len` value for a datagram carrying `payload` bytes, or
+/// [`Error::DatagramTooLong`] when it would wrap the 16-bit field.
+/// Builders must use this instead of `(HEADER_LEN + payload) as u16` —
+/// the unchecked cast silently truncates near-65535 payloads.
+pub fn checked_total_len(payload: usize) -> Result<u16> {
+    if payload > MAX_PAYLOAD {
+        return Err(Error::DatagramTooLong);
+    }
+    Ok((HEADER_LEN + payload) as u16)
+}
+
 /// Default TTL for new datagrams.
 pub const DEFAULT_TTL: u8 = 32;
 
@@ -181,6 +197,12 @@ pub fn decrement_ttl(buffer: &mut [u8]) -> Result<bool> {
 /// [`Error::Malformed`] when `dont_frag` is set and fragmentation is
 /// needed — the caller then drops the packet.
 pub fn fragment(packet: &[u8], mtu: usize) -> Result<Vec<Vec<u8>>> {
+    // A zero fragment budget can never carry anything — reject before
+    // the fits-fast-path so an empty packet cannot sneak through as a
+    // zero-byte "fragment" (the misconfigured-MTU failure mode).
+    if mtu == 0 {
+        return Err(Error::Malformed);
+    }
     if packet.len() <= mtu {
         return Ok(vec![packet.to_vec()]);
     }
@@ -250,7 +272,12 @@ impl Reassembly {
     /// Feed one fragment. Returns the reassembled datagram when complete.
     pub fn push(&mut self, fragment: &[u8]) -> Result<Option<Vec<u8>>> {
         let repr = Repr::parse(fragment)?;
-        let payload = &fragment[HEADER_LEN..repr.total_len as usize];
+        let end = repr.total_len as usize;
+        if end < HEADER_LEN || end > fragment.len() {
+            // A wrapped or forged total_len must never index the buffer.
+            return Err(Error::Truncated);
+        }
+        let payload = &fragment[HEADER_LEN..end];
         let start = repr.frag_offset as usize * 8;
         let end = start + payload.len();
         if self.data.len() < end {
@@ -410,6 +437,57 @@ mod tests {
         .to_bytes();
         pkt.extend_from_slice(&payload);
         assert!(fragment(&pkt, 256).is_err());
+    }
+
+    #[test]
+    fn total_len_boundaries() {
+        // 65535 − HEADER_LEN fits exactly; one more wraps the 16-bit
+        // field and must be refused at build time.
+        assert_eq!(checked_total_len(MAX_PAYLOAD), Ok(u16::MAX));
+        assert_eq!(
+            checked_total_len(MAX_PAYLOAD + 1),
+            Err(Error::DatagramTooLong)
+        );
+        assert_eq!(checked_total_len(0), Ok(HEADER_LEN as u16));
+    }
+
+    #[test]
+    fn zero_mtu_is_rejected() {
+        // Even an empty packet must not escape through the fits-fast-path
+        // as a zero-byte "fragment".
+        assert!(fragment(&[], 0).is_err());
+        let pkt = header().to_bytes();
+        assert!(fragment(&pkt, 0).is_err());
+        // A budget below header + 8 is equally unusable once the packet
+        // actually needs splitting.
+        let mut big = Repr {
+            total_len: (HEADER_LEN + 64) as u16,
+            ..header()
+        }
+        .to_bytes();
+        big.extend_from_slice(&[0u8; 64]);
+        assert!(fragment(&big, HEADER_LEN + 7).is_err());
+    }
+
+    #[test]
+    fn reassembly_rejects_forged_total_len() {
+        // A total_len pointing past the buffer (or inside the header)
+        // must error instead of indexing out of bounds.
+        let mut short = Repr {
+            total_len: (HEADER_LEN + 64) as u16,
+            ..header()
+        }
+        .to_bytes();
+        short.extend_from_slice(&[0u8; 8]); // 56 bytes missing
+        let mut re = Reassembly::new();
+        assert_eq!(re.push(&short), Err(Error::Truncated));
+
+        let tiny = Repr {
+            total_len: (HEADER_LEN - 1) as u16,
+            ..header()
+        }
+        .to_bytes();
+        assert_eq!(Reassembly::new().push(&tiny), Err(Error::Truncated));
     }
 
     #[test]

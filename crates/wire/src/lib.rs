@@ -90,6 +90,9 @@ pub enum Error {
     /// A trailer entry payload exceeds the u16 length field (65535
     /// bytes) and cannot be framed without corrupting the trailer walk.
     TrailerPayloadTooLong,
+    /// An IP-like datagram's payload would wrap the 16-bit `total_len`
+    /// field (payload > 65535 − header), forging a bogus tiny length.
+    DatagramTooLong,
 }
 
 impl core::fmt::Display for Error {
@@ -105,6 +108,9 @@ impl core::fmt::Display for Error {
                 write!(f, "packet exceeds the 1500-byte VIPER transmission unit")
             }
             Error::TooManySegments => write!(f, "route exceeds 48 VIPER header segments"),
+            Error::DatagramTooLong => {
+                write!(f, "datagram payload would wrap the 16-bit total_len field")
+            }
             Error::TrailerPayloadTooLong => {
                 write!(
                     f,

@@ -84,6 +84,7 @@ pub const DATAPLANE_FILES: &[&str] = &[
     "crates/router/src/ip.rs",
     "crates/router/src/cvc.rs",
     "crates/wire/src/buf.rs",
+    "crates/sim/src/queue.rs",
 ];
 
 impl Config {

@@ -288,28 +288,31 @@ fn build(seed: u64) -> Topology {
     // --- IP plane: hC -> ipr -> hD -------------------------------------
     let hc = sim.add_node(Box::new(ScriptedHost::new()));
     let hd = sim.add_node(Box::new(ScriptedHost::new()));
-    let ipr = sim.add_node(Box::new(IpRouter::new(IpConfig {
-        process_delay: SimDuration::from_micros(50),
-        ports: vec![
-            IpPortConfig {
-                port: 1,
-                kind: PortKind::PointToPoint,
-                mtu: 1500,
-            },
-            IpPortConfig {
-                port: 2,
-                kind: PortKind::PointToPoint,
-                mtu: 256,
-            },
-        ],
-        routes: vec![RouteEntry {
-            prefix: Address::new(10, 0, 2, 0),
-            prefix_len: 24,
-            out_port: 2,
-            next_hop_mac: None,
-        }],
-        queue_capacity: 32,
-    })));
+    let ipr = sim.add_node(Box::new(
+        IpRouter::new(IpConfig {
+            process_delay: SimDuration::from_micros(50),
+            ports: vec![
+                IpPortConfig {
+                    port: 1,
+                    kind: PortKind::PointToPoint,
+                    mtu: 1500,
+                },
+                IpPortConfig {
+                    port: 2,
+                    kind: PortKind::PointToPoint,
+                    mtu: 256,
+                },
+            ],
+            routes: vec![RouteEntry {
+                prefix: Address::new(10, 0, 2, 0),
+                prefix_len: 24,
+                out_port: 2,
+                next_hop_mac: None,
+            }],
+            queue_capacity: 32,
+        })
+        .expect("ip config"),
+    ));
     let (c_ip, ip_c) = sim.p2p(hc, 0, ipr, 1, MBPS_10, PROP);
     let (ip_d, d_ip) = sim.p2p(ipr, 2, hd, 0, MBPS_10, PROP);
     channels.extend([c_ip, ip_c, ip_d, d_ip]);

@@ -43,36 +43,39 @@ fn sirpent_crosses_ip_cloud_and_reply_returns() {
         ttl: 16,
     })));
     // One IP router in the middle of the cloud.
-    let cloud = net.sim.add_node(Box::new(IpRouter::new(IpConfig {
-        process_delay: SimDuration::from_micros(50),
-        ports: vec![
-            IpPortConfig {
-                port: 1,
-                kind: PortKind::PointToPoint,
-                mtu: 1600,
-            },
-            IpPortConfig {
-                port: 2,
-                kind: PortKind::PointToPoint,
-                mtu: 1600,
-            },
-        ],
-        routes: vec![
-            RouteEntry {
-                prefix: GW2_IP,
-                prefix_len: 24,
-                out_port: 2,
-                next_hop_mac: None,
-            },
-            RouteEntry {
-                prefix: GW1_IP,
-                prefix_len: 24,
-                out_port: 1,
-                next_hop_mac: None,
-            },
-        ],
-        queue_capacity: 64,
-    })));
+    let cloud = net.sim.add_node(Box::new(
+        IpRouter::new(IpConfig {
+            process_delay: SimDuration::from_micros(50),
+            ports: vec![
+                IpPortConfig {
+                    port: 1,
+                    kind: PortKind::PointToPoint,
+                    mtu: 1600,
+                },
+                IpPortConfig {
+                    port: 2,
+                    kind: PortKind::PointToPoint,
+                    mtu: 1600,
+                },
+            ],
+            routes: vec![
+                RouteEntry {
+                    prefix: GW2_IP,
+                    prefix_len: 24,
+                    out_port: 2,
+                    next_hop_mac: None,
+                },
+                RouteEntry {
+                    prefix: GW1_IP,
+                    prefix_len: 24,
+                    out_port: 1,
+                    next_hop_mac: None,
+                },
+            ],
+            queue_capacity: 64,
+        })
+        .expect("ip config"),
+    ));
     net.p2p(a, 0, gw1, 1, RATE, PROP);
     net.p2p(gw1, 2, cloud, 1, RATE, PROP);
     net.p2p(cloud, 2, gw2, 2, RATE, PROP);
