@@ -243,7 +243,7 @@ impl ChannelStats {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct TxRecord {
+pub(crate) struct TxRecord {
     sender: NodeId,
     frame: FrameId,
     start: SimTime,
@@ -253,29 +253,56 @@ struct TxRecord {
     extra: SimDuration,
 }
 
-struct Channel {
-    rate_bps: u64,
-    prop: SimDuration,
-    taps: Vec<(NodeId, u8)>,
-    free_at: SimTime,
-    in_flight: VecDeque<TxRecord>,
-    faults: FaultConfig,
-    stats: ChannelStats,
+pub(crate) struct Channel {
+    pub(crate) rate_bps: u64,
+    pub(crate) prop: SimDuration,
+    pub(crate) taps: Vec<(NodeId, u8)>,
+    pub(crate) free_at: SimTime,
+    pub(crate) in_flight: VecDeque<TxRecord>,
+    pub(crate) faults: FaultConfig,
+    pub(crate) stats: ChannelStats,
     /// Administrative link state (chaos layer). Down channels refuse
     /// transmissions.
-    up: bool,
+    pub(crate) up: bool,
     /// Active duplication window probability (0 = no window).
-    dup_prob: f64,
+    pub(crate) dup_prob: f64,
     /// Active jitter window bound (zero = no window).
-    jitter_max: SimDuration,
+    pub(crate) jitter_max: SimDuration,
     /// Active error-burst window probability (0 = no window).
-    burst_prob: f64,
+    pub(crate) burst_prob: f64,
     /// Active error-burst window maximum run length, bytes.
-    burst_run: usize,
+    pub(crate) burst_run: usize,
+}
+
+impl Channel {
+    /// An empty shell mirroring a channel owned by another shard: same
+    /// wire parameters (so id-indexed lookups stay aligned) but no taps,
+    /// so nothing can transmit into it and no state ever accrues.
+    pub(crate) fn shell(rate_bps: u64, prop: SimDuration) -> Channel {
+        Channel {
+            rate_bps,
+            prop,
+            taps: Vec::new(),
+            free_at: SimTime::ZERO,
+            in_flight: VecDeque::new(),
+            faults: FaultConfig::default(),
+            stats: ChannelStats::default(),
+            up: true,
+            dup_prob: 0.0,
+            jitter_max: SimDuration::ZERO,
+            burst_prob: 0.0,
+            burst_run: 0,
+        }
+    }
 }
 
 /// The behaviour of a simulated node.
-pub trait Node: 'static {
+///
+/// `Send` is a supertrait so a [`Simulator`] (and therefore one shard of
+/// a [`crate::shard::ShardedSimulator`]) can move across the scoped
+/// worker threads of the parallel runner; node state is owned plain data,
+/// never shared, so no `Sync` bound is needed.
+pub trait Node: Send + 'static {
     /// Handle one event. `ctx` gives access to the clock, channels and
     /// scheduler.
     fn on_event(&mut self, ctx: &mut Context<'_>, ev: Event);
@@ -330,11 +357,11 @@ pub trait Node: 'static {
     }
 }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    target: NodeId,
-    event: Event,
+pub(crate) struct Scheduled {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) target: NodeId,
+    pub(crate) event: Event,
 }
 
 impl Keyed for Scheduled {
@@ -348,7 +375,7 @@ impl Keyed for Scheduled {
 /// free of virtual calls). Both drain in identical `(time, seq)` order;
 /// the differential suite in `tests/queue_differential.rs` holds them to
 /// it.
-enum EngineQueue {
+pub(crate) enum EngineQueue {
     Heap(HeapQueue<Scheduled>),
     Wheel(CalendarQueue<Scheduled>),
 }
@@ -362,7 +389,7 @@ impl EngineQueue {
     }
 
     #[inline]
-    fn push(&mut self, item: Scheduled) {
+    pub(crate) fn push(&mut self, item: Scheduled) {
         match self {
             EngineQueue::Heap(q) => q.push(item),
             EngineQueue::Wheel(q) => q.push(item),
@@ -370,7 +397,7 @@ impl EngineQueue {
     }
 
     #[inline]
-    fn min_key(&mut self) -> Option<(u64, u64)> {
+    pub(crate) fn min_key(&mut self) -> Option<(u64, u64)> {
         match self {
             EngineQueue::Heap(q) => q.min_key(),
             EngineQueue::Wheel(q) => q.min_key(),
@@ -386,7 +413,7 @@ impl EngineQueue {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<Scheduled> {
+    pub(crate) fn pop(&mut self) -> Option<Scheduled> {
         match self {
             EngineQueue::Heap(q) => q.pop(),
             EngineQueue::Wheel(q) => q.pop(),
@@ -394,72 +421,128 @@ impl EngineQueue {
     }
 }
 
+/// A scheduling request that crossed a shard boundary. Produced by
+/// [`Core::push`] when the target node lives on another shard (and by
+/// [`Core::chaos_kill`] for tombstones of frames already exported); the
+/// window runner in [`crate::sync`] exchanges these between shards at
+/// window barriers. Conservative-lookahead windows guarantee every
+/// `Deliver` lands at or after the next window's start, so the receiving
+/// shard's clock has never passed it.
+#[derive(Debug, Clone)]
+pub(crate) enum OutMsg {
+    /// Schedule `event` for `target` at `time` on the target's shard.
+    Deliver {
+        /// Absolute delivery instant (≥ the end of the window that
+        /// produced it).
+        time: SimTime,
+        /// The remote node the event is addressed to.
+        target: NodeId,
+        /// The event itself.
+        event: Event,
+    },
+    /// Tombstone a frame id on every other shard: its queued transmission
+    /// was chaos-killed before the first bit, after delivery events may
+    /// already have been exported. Exchanged at the window barrier, which
+    /// always precedes the delivery's dispatch window.
+    Cancel {
+        /// The cancelled frame.
+        frame: FrameId,
+    },
+}
+
 /// Chaos-layer event counters (telemetry instruments; published by
 /// [`Simulator::scrape_telemetry`] under the `chaos_*` names).
 #[derive(Debug, Default)]
-struct ChaosCounters {
+pub(crate) struct ChaosCounters {
     /// Every applied chaos action.
-    events: Counter,
+    pub(crate) events: Counter,
     /// Link up/down transitions.
-    link: Counter,
+    pub(crate) link: Counter,
     /// Router crash/restart transitions.
-    router: Counter,
+    pub(crate) router: Counter,
     /// Partition windows opened or closed.
-    partition: Counter,
+    pub(crate) partition: Counter,
     /// Channel-condition window updates (dup / jitter / error burst).
-    windows: Counter,
+    pub(crate) windows: Counter,
 }
 
 /// Everything in the simulator except the node objects themselves — this
 /// split lets a node borrow the core mutably (through [`Context`]) while
 /// it is itself borrowed for dispatch.
 pub(crate) struct Core {
-    now: SimTime,
+    pub(crate) now: SimTime,
     /// Scheduling sequence: strictly monotone for the whole run. Chaos
     /// restarts and purges never rewind it — `node_epoch` fences stale
     /// timers by remembering the sequence watermark instead — so a
     /// `(time, seq)` key is never reused and tie-breaks stay
     /// deterministic across crash/restart cycles.
-    seq: u64,
-    frame_seq: u64,
-    queue: EngineQueue,
-    channels: Vec<Channel>,
+    pub(crate) seq: u64,
+    pub(crate) frame_seq: u64,
+    pub(crate) queue: EngineQueue,
+    pub(crate) channels: Vec<Channel>,
     /// Transmit attachment per node: `(port, channel)` pairs, linear
     /// scanned (nodes have a handful of ports; beats hashing on the
     /// per-event path).
-    tx_map: Vec<Vec<(u8, ChannelId)>>,
+    pub(crate) tx_map: Vec<Vec<(u8, ChannelId)>>,
     /// Reusable receiver scratch for `transmit_from`/`abort_from` — the
     /// per-transmission fan-out list without a per-call allocation.
     rx_scratch: Vec<(NodeId, u8)>,
-    rng: StdRng,
-    trace: Option<Vec<(SimTime, NodeId, String)>>,
-    events_dispatched: u64,
+    pub(crate) rng: StdRng,
+    pub(crate) trace: Option<Vec<(SimTime, NodeId, String)>>,
+    pub(crate) events_dispatched: u64,
     /// Remaining chaos events, time-sorted (front = next).
-    chaos: VecDeque<ChaosEvent>,
+    pub(crate) chaos: VecDeque<ChaosEvent>,
     /// Engine-side accounting for chaos-layer losses (LinkDown,
     /// RouterDown, Partitioned), through the shared drop taxonomy.
-    chaos_stats: PipelineStats,
+    pub(crate) chaos_stats: PipelineStats,
     /// Per-node crashed flag (indexed by `NodeId`).
-    down: Vec<bool>,
+    pub(crate) down: Vec<bool>,
     /// Per-node restart epoch: timers scheduled before this sequence
     /// number are stale soft state from before the last crash and are
     /// swallowed.
-    node_epoch: Vec<u64>,
+    pub(crate) node_epoch: Vec<u64>,
     /// Active partition window: per-node side flag (`true` = side A).
-    partition: Option<Vec<bool>>,
+    pub(crate) partition: Option<Vec<bool>>,
     /// Frames whose scheduled deliveries were cancelled before their
     /// first bit (queued transmissions killed by a link-down or crash).
-    cancelled: std::collections::HashSet<FrameId>,
+    pub(crate) cancelled: std::collections::HashSet<FrameId>,
     /// Chaos-layer telemetry counters.
-    chaos_counters: ChaosCounters,
+    pub(crate) chaos_counters: ChaosCounters,
     /// The per-packet flight recorder; `None` (the default) records
     /// nothing and leaves every instrumented path byte-identical.
-    flight: Option<FlightRecorder>,
+    pub(crate) flight: Option<FlightRecorder>,
+    /// The RNG seed this core was created with (recorded so the shard
+    /// splitter can derive per-shard streams from the master seed).
+    pub(crate) seed: u64,
+    /// Which [`EngineQueue`] implementation this core runs on (recorded
+    /// so shard shells inherit it).
+    pub(crate) queue_kind: QueueKind,
+    /// Sharding: `remote[n]` marks nodes owned by another shard. Empty
+    /// (or all-false) in a serial simulator, so the single branch it adds
+    /// to [`Core::push`] never fires and serial behavior — including seq
+    /// allocation — is byte-identical.
+    pub(crate) remote: Vec<bool>,
+    /// Sharding: events addressed to remote nodes, awaiting the next
+    /// window-barrier exchange. Always empty in a serial simulator.
+    pub(crate) outbox: Vec<OutMsg>,
+    /// Sharding: this shard holds a broadcast mirror of global chaos
+    /// state (partition windows). Mirrors apply the state change but
+    /// suppress the partition telemetry counters so a merged scrape
+    /// counts each global event exactly once.
+    pub(crate) chaos_mirror: bool,
 }
 
 impl Core {
-    fn push(&mut self, time: SimTime, target: NodeId, event: Event) {
+    pub(crate) fn push(&mut self, time: SimTime, target: NodeId, event: Event) {
         debug_assert!(time >= self.now, "cannot schedule into the past");
+        if self.remote.get(target.0).copied().unwrap_or(false) {
+            self.outbox.push(OutMsg::Deliver {
+                time,
+                target,
+                event,
+            });
+            return;
+        }
         let seq = self.seq;
         self.seq += 1;
         // Sequence-reuse audit: the counter must never wrap within a run
@@ -743,8 +826,21 @@ impl Core {
                 }
             } else {
                 // Queued: the scheduled first-bit deliveries are
-                // tombstoned; receivers never hear of the frame.
+                // tombstoned; receivers never hear of the frame. If any
+                // tap lives on another shard, the delivery was already
+                // exported — send the tombstone after it. The window
+                // algebra guarantees it wins the race: the kill happens
+                // inside the current window while the delivery dispatches
+                // no earlier than the next one, and the barrier exchange
+                // sits in between.
                 self.cancelled.insert(rec.frame);
+                if !self.remote.is_empty()
+                    && taps
+                        .iter()
+                        .any(|&(n, _)| self.remote.get(n.0).copied().unwrap_or(false))
+                {
+                    self.outbox.push(OutMsg::Cancel { frame: rec.frame });
+                }
             }
             if let Some(&(_, tx_port)) = taps.iter().find(|&&(n, _)| n == rec.sender) {
                 self.push(
@@ -879,10 +975,10 @@ impl Context<'_> {
 
 /// The simulator: nodes + core.
 pub struct Simulator {
-    core: Core,
-    nodes: Vec<Option<Box<dyn Node>>>,
+    pub(crate) core: Core,
+    pub(crate) nodes: Vec<Option<Box<dyn Node>>>,
     /// Reusable same-instant dispatch batch (see [`Node::on_events`]).
-    batch: Vec<Event>,
+    pub(crate) batch: Vec<Event>,
 }
 
 impl Simulator {
@@ -916,6 +1012,11 @@ impl Simulator {
                 cancelled: std::collections::HashSet::new(),
                 chaos_counters: ChaosCounters::default(),
                 flight: None,
+                seed,
+                queue_kind: kind,
+                remote: Vec::new(),
+                outbox: Vec::new(),
+                chaos_mirror: false,
             },
             nodes: Vec::new(),
             batch: Vec::new(),
@@ -938,6 +1039,9 @@ impl Simulator {
         self.nodes.push(Some(node));
         self.core.down.push(false);
         self.core.node_epoch.push(0);
+        if !self.core.remote.is_empty() {
+            self.core.remote.push(false);
+        }
         id
     }
 
@@ -1146,18 +1250,30 @@ impl Simulator {
 
     /// Apply one chaos action at the current instant.
     fn apply_chaos(&mut self, action: ChaosAction) {
-        let c = &mut self.core.chaos_counters;
-        c.events.inc();
-        match action {
-            ChaosAction::LinkDown { .. } | ChaosAction::LinkUp { .. } => c.link.inc(),
-            ChaosAction::RouterCrash { .. } | ChaosAction::RouterRestart { .. } => c.router.inc(),
-            ChaosAction::PartitionStart { .. } | ChaosAction::PartitionEnd => c.partition.inc(),
-            ChaosAction::DuplicateStart { .. }
-            | ChaosAction::DuplicateEnd { .. }
-            | ChaosAction::JitterStart { .. }
-            | ChaosAction::JitterEnd { .. }
-            | ChaosAction::ErrorBurstStart { .. }
-            | ChaosAction::ErrorBurstEnd { .. } => c.windows.inc(),
+        // Partition windows are global state, broadcast to every shard;
+        // only the primary (shard 0, or a serial simulator) counts them,
+        // so a merged scrape sees each global event exactly once.
+        let mirror_silent = self.core.chaos_mirror
+            && matches!(
+                action,
+                ChaosAction::PartitionStart { .. } | ChaosAction::PartitionEnd
+            );
+        if !mirror_silent {
+            let c = &mut self.core.chaos_counters;
+            c.events.inc();
+            match action {
+                ChaosAction::LinkDown { .. } | ChaosAction::LinkUp { .. } => c.link.inc(),
+                ChaosAction::RouterCrash { .. } | ChaosAction::RouterRestart { .. } => {
+                    c.router.inc()
+                }
+                ChaosAction::PartitionStart { .. } | ChaosAction::PartitionEnd => c.partition.inc(),
+                ChaosAction::DuplicateStart { .. }
+                | ChaosAction::DuplicateEnd { .. }
+                | ChaosAction::JitterStart { .. }
+                | ChaosAction::JitterEnd { .. }
+                | ChaosAction::ErrorBurstStart { .. }
+                | ChaosAction::ErrorBurstEnd { .. } => c.windows.inc(),
+            }
         }
         match action {
             ChaosAction::LinkDown { ch } => {
@@ -1370,6 +1486,67 @@ impl Simulator {
             self.step();
         }
         self.core.now = self.core.now.max(deadline);
+    }
+
+    /// Run strictly *before* `end`: process every event and chaos action
+    /// with `time < end`, then advance the clock to `end`. This is the
+    /// window primitive of the parallel runner — events at exactly `end`
+    /// belong to the next window (they may be preceded by cross-shard
+    /// arrivals landing at `end`, which the barrier exchange has not yet
+    /// delivered).
+    pub(crate) fn run_before(&mut self, end: SimTime) {
+        loop {
+            let next_queue = self.core.queue.min_key().map(|k| SimTime(k.0));
+            let next_chaos = self.core.chaos.front().map(|c| c.at);
+            let next = match (next_queue, next_chaos) {
+                (Some(h), Some(c)) => h.min(c),
+                (Some(h), None) => h,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+            if next >= end {
+                break;
+            }
+            self.step();
+        }
+        self.core.now = self.core.now.max(end);
+    }
+
+    /// The instant of the next pending work item — node event or chaos
+    /// action — in nanoseconds, if any. The parallel runner's window
+    /// placement starts each window at the global minimum of these.
+    pub(crate) fn next_event_ns(&mut self) -> Option<u64> {
+        let next_queue = self.core.queue.min_key().map(|k| k.0);
+        let next_chaos = self.core.chaos.front().map(|c| c.at.as_nanos());
+        match (next_queue, next_chaos) {
+            (Some(h), Some(c)) => Some(h.min(c)),
+            (Some(h), None) => Some(h),
+            (None, Some(c)) => Some(c),
+            (None, None) => None,
+        }
+    }
+
+    /// Take this shard's accumulated cross-shard messages (empty for a
+    /// serial simulator).
+    pub(crate) fn take_outbox(&mut self) -> Vec<OutMsg> {
+        std::mem::take(&mut self.core.outbox)
+    }
+
+    /// Schedule a cross-shard arrival on this (owning) shard. The caller
+    /// — the window runner — guarantees `time >= now` via the lookahead
+    /// window algebra; `target` must be local to this shard.
+    pub(crate) fn inject(&mut self, time: SimTime, target: NodeId, event: Event) {
+        debug_assert!(
+            !self.core.remote.get(target.0).copied().unwrap_or(false),
+            "cross-shard injection must target the owning shard"
+        );
+        self.core.push(time, target, event);
+    }
+
+    /// Tombstone a frame cancelled on another shard: any of its delivery
+    /// events still queued here will be swallowed by `admit`.
+    pub(crate) fn inject_cancel(&mut self, frame: FrameId) {
+        self.core.cancelled.insert(frame);
     }
 
     /// Immutable access to a node, downcast to its concrete type.

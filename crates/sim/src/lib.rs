@@ -18,6 +18,10 @@
 //!   locality model, plus Poisson/CBR/bursty-on-off arrival processes.
 //! * [`stats`] — summaries, histograms, time-weighted averages, and the
 //!   analytic M/D/1 results §6.1 quotes.
+//! * [`shard`] — deterministic topology partitioner and the sharded
+//!   simulator façade (split / parallel run / merge back to serial).
+//! * `sync` (crate-private) — conservative time-window runner driving
+//!   the shards on scoped worker threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +29,9 @@
 pub mod chaos;
 pub mod engine;
 pub mod queue;
+pub mod shard;
 pub mod stats;
+mod sync;
 pub mod time;
 pub mod workload;
 
@@ -35,4 +41,5 @@ pub use engine::{
     SimError, Simulator, TxInfo,
 };
 pub use queue::QueueKind;
+pub use shard::{partition_topology, shard_seed, Partition, ShardedSimulator};
 pub use time::{bytes_in, transmission_time, SimDuration, SimTime};

@@ -1,0 +1,247 @@
+//! Conservative time-window execution of sharded simulators.
+//!
+//! The runner advances all shards in lockstep windows `[W, W + L)` where
+//! `L` is the partition's lookahead (minimum propagation delay of any
+//! cross-shard channel). Safety argument, spelled out in DESIGN.md §11:
+//! every cross-shard message produced while a shard executes inside
+//! `[W, W + L)` carries an arrival time `>= send_time + prop >= W + L`,
+//! i.e. it lands at or after the *next* window's start — so executing
+//! the current window without seeing it can never violate causality.
+//!
+//! Window starts hop straight to the global minimum pending event time
+//! (published through per-shard atomics, reduced after a barrier), so
+//! sparse regions of simulated time cost one barrier round, not
+//! `horizon / L` of them.
+//!
+//! Worker threads own disjoint, contiguous slices of the shard vector.
+//! All cross-thread traffic flows through per-shard mailboxes locked
+//! only at window edges; the two barriers per iteration order "publish
+//! next-event times" and "exchange mailboxes" so that a mailbox is
+//! never written and drained in the same half-window. Thread count
+//! therefore cannot affect any simulation-visible ordering — only which
+//! OS thread happens to execute a shard's (already deterministic) work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::engine::{OutMsg, Simulator};
+use crate::time::SimTime;
+
+/// If a worker's node code panics while other workers wait on a
+/// barrier, the process would deadlock (std's `Barrier` has no poison
+/// protocol). This guard turns such a panic into a process abort with
+/// the panic message already printed — loud and immediate beats hung.
+struct AbortOnPanic;
+
+impl Drop for AbortOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            std::process::abort();
+        }
+    }
+}
+
+/// Run every shard up to and including `deadline` using at most
+/// `threads` worker threads (clamped to the shard count).
+pub(crate) fn run_windows(
+    shards: &mut [Simulator],
+    owner: &[usize],
+    lookahead_ns: Option<u64>,
+    deadline: SimTime,
+    threads: usize,
+) {
+    let s = shards.len();
+    if s == 0 {
+        return;
+    }
+    if s == 1 {
+        if let Some(sim) = shards.first_mut() {
+            sim.run_until(deadline);
+        }
+        return;
+    }
+    // No cross-shard link: every shard is causally independent and can
+    // run to the deadline in one shot (lookahead saturates the window).
+    let lookahead = lookahead_ns.unwrap_or(u64::MAX);
+
+    let workers = threads.clamp(1, s);
+    let chunk = s.div_ceil(workers);
+    let spawned = s.div_ceil(chunk);
+    let barrier = Barrier::new(spawned);
+    let mailboxes: Vec<Mutex<Vec<(u32, OutMsg)>>> =
+        (0..s).map(|_| Mutex::new(Vec::new())).collect();
+    let next_times: Vec<AtomicU64> = (0..s).map(|_| AtomicU64::new(u64::MAX)).collect();
+
+    std::thread::scope(|scope| {
+        for (w, slice) in shards.chunks_mut(chunk).enumerate() {
+            let base = w * chunk;
+            let barrier = &barrier;
+            let mailboxes = &mailboxes;
+            let next_times = &next_times;
+            scope.spawn(move || {
+                let _guard = AbortOnPanic;
+                worker_loop(
+                    slice, base, owner, s, lookahead, deadline, barrier, mailboxes, next_times,
+                );
+            });
+        }
+    });
+}
+
+/// One worker's share of the window protocol. `sims` is the contiguous
+/// run of shards starting at global index `base`.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    sims: &mut [Simulator],
+    base: usize,
+    owner: &[usize],
+    total_shards: usize,
+    lookahead: u64,
+    deadline: SimTime,
+    barrier: &Barrier,
+    mailboxes: &[Mutex<Vec<(u32, OutMsg)>>],
+    next_times: &[AtomicU64],
+) {
+    loop {
+        // Publish each owned shard's next pending event time. Relaxed
+        // suffices: the barrier provides the ordering edge.
+        for (i, sim) in sims.iter_mut().enumerate() {
+            let t = sim.next_event_ns().unwrap_or(u64::MAX);
+            if let Some(slot) = next_times.get(base + i) {
+                slot.store(t, Ordering::Relaxed);
+            }
+        }
+        barrier.wait();
+        // Every worker computes the same global minimum from the same
+        // (barrier-frozen) slots, so all take the same branch below.
+        let global_next = next_times
+            .iter()
+            .map(|slot| slot.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+
+        if global_next > deadline.as_nanos() {
+            // Nothing left inside the horizon anywhere: finish clocks
+            // (chaos scheduled exactly at the deadline still applies)
+            // and stop. Mailboxes are provably empty here — every
+            // window's sends were drained before its next publish.
+            for sim in sims.iter_mut() {
+                sim.run_until(deadline);
+            }
+            barrier.wait();
+            return;
+        }
+
+        let w_end = global_next.saturating_add(lookahead);
+        if w_end > deadline.as_nanos() {
+            // Final window: run through the deadline inclusively, then
+            // do one last exchange so deliveries landing beyond the
+            // deadline are queued (not lost) for any later phase.
+            for (i, sim) in sims.iter_mut().enumerate() {
+                sim.run_until(deadline);
+                flush_outbox(base + i, sim, owner, total_shards, mailboxes);
+            }
+        } else {
+            // Interior window [global_next, w_end): strictly-before so
+            // events at exactly w_end see mail sent during this window.
+            let end = SimTime(w_end);
+            for (i, sim) in sims.iter_mut().enumerate() {
+                sim.run_before(end);
+                flush_outbox(base + i, sim, owner, total_shards, mailboxes);
+            }
+        }
+        barrier.wait();
+        // Drain after the barrier: every producer finished flushing, and
+        // nobody writes mailboxes again until after the next barrier.
+        for (i, sim) in sims.iter_mut().enumerate() {
+            deliver_inbox(base + i, sim, mailboxes);
+        }
+    }
+}
+
+/// Route one shard's outbox into the destination mailboxes: deliveries
+/// to the shard owning the target node, cancel tombstones to every
+/// other shard (any of them may hold an undelivered copy).
+fn flush_outbox(
+    me: usize,
+    sim: &mut Simulator,
+    owner: &[usize],
+    total_shards: usize,
+    mailboxes: &[Mutex<Vec<(u32, OutMsg)>>],
+) {
+    let out = sim.take_outbox();
+    if out.is_empty() {
+        return;
+    }
+    // Group per destination first so each mailbox is locked once per
+    // window, not once per message.
+    let mut per: Vec<Vec<(u32, OutMsg)>> = (0..total_shards).map(|_| Vec::new()).collect();
+    for msg in out {
+        let dest = match &msg {
+            OutMsg::Deliver { target, .. } => Some(owner.get(target.0).copied().unwrap_or(0)),
+            OutMsg::Cancel { .. } => None,
+        };
+        match dest {
+            Some(d) => {
+                if let Some(v) = per.get_mut(d) {
+                    v.push((me as u32, msg));
+                }
+            }
+            None => {
+                for (d, v) in per.iter_mut().enumerate() {
+                    if d != me {
+                        v.push((me as u32, msg.clone()));
+                    }
+                }
+            }
+        }
+    }
+    for (d, batch) in per.into_iter().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        if let Some(m) = mailboxes.get(d) {
+            let mut guard = match m.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.extend(batch);
+        }
+    }
+}
+
+/// Drain this shard's mailbox in a deterministic order: cancels first
+/// (tombstones must beat the deliveries they refer to), then deliveries
+/// by (arrival time, source shard); `sort_by_key` is stable, so each
+/// source's in-order batch stays in order on ties.
+fn deliver_inbox(me: usize, sim: &mut Simulator, mailboxes: &[Mutex<Vec<(u32, OutMsg)>>]) {
+    let mut inbox = match mailboxes.get(me) {
+        Some(m) => {
+            let mut guard = match m.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::mem::take(&mut *guard)
+        }
+        None => return,
+    };
+    if inbox.is_empty() {
+        return;
+    }
+    inbox.sort_by_key(|(src, msg)| match msg {
+        OutMsg::Cancel { .. } => (0u64, *src),
+        // Arrival times are strictly positive (>= window end), so
+        // clamping to 1 keeps cancels unambiguously first.
+        OutMsg::Deliver { time, .. } => (time.as_nanos().max(1), *src),
+    });
+    for (_, msg) in inbox {
+        match msg {
+            OutMsg::Deliver {
+                time,
+                target,
+                event,
+            } => sim.inject(time, target, event),
+            OutMsg::Cancel { frame } => sim.inject_cancel(frame),
+        }
+    }
+}

@@ -29,13 +29,16 @@ pub mod invariants;
 pub mod scenario;
 pub mod shrink;
 pub mod spec;
+pub mod topo;
 
 pub use invariants::{check_corpus, check_exact};
 pub use scenario::{
-    build, build_with_queue, execute, execute_with_queue, run, run_traced, RunReport,
+    build, build_with_queue, execute, execute_sharded, execute_with_queue, run, run_traced,
+    RunReport,
 };
 pub use shrink::{shrink, write_fixture};
 pub use spec::{Profile, Scenario};
+pub use topo::{RelayNode, TopoReport, TopoShape, TopoSpec};
 
 use sirpent_sim::{Context, Event, FrameId, Node, SimTime};
 use std::any::Any;

@@ -85,6 +85,8 @@ pub const DATAPLANE_FILES: &[&str] = &[
     "crates/router/src/cvc.rs",
     "crates/wire/src/buf.rs",
     "crates/sim/src/queue.rs",
+    "crates/sim/src/shard.rs",
+    "crates/sim/src/sync.rs",
 ];
 
 impl Config {
