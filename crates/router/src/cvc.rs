@@ -20,7 +20,7 @@
 //! [`PipelineStats`] / [`DropReason`] surface.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
 
 use sirpent_sim::stats::{DropReason, PipelineStats, Stage};
@@ -127,19 +127,19 @@ pub struct CvcSwitch {
     /// Configuration (public so harnesses can adjust caps between runs).
     pub cfg: CvcConfig,
     /// (in port, in vci) → (out port, out vci); both directions stored.
-    table: HashMap<(u8, Vci), Leg>,
+    table: BTreeMap<(u8, Vci), Leg>,
     /// Next VCI to allocate per output port.
-    next_vci: HashMap<u8, Vci>,
+    next_vci: BTreeMap<u8, Vci>,
     /// Reserved bandwidth per port.
-    reserved_bps: HashMap<u8, u64>,
+    reserved_bps: BTreeMap<u8, u64>,
     /// Reservation carried by each circuit leg, for release on teardown.
-    leg_reserve: HashMap<(u8, Vci), u64>,
-    pending: HashMap<u64, Pending>,
+    leg_reserve: BTreeMap<(u8, Vci), u64>,
+    pending: BTreeMap<u64, Pending>,
     next_key: u64,
     /// Output schedulers, created on first use (ports are discovered
     /// from traffic). Unbounded FIFO, as circuit admission — not
     /// drop-tail — is the CVC overload control.
-    ports: HashMap<u8, OutputPort>,
+    ports: BTreeMap<u8, OutputPort>,
     /// Data delivered locally (this switch is the endpoint attachment):
     /// (time, vci, payload).
     pub local_delivered: Vec<(SimTime, Vci, Vec<u8>)>,
@@ -154,13 +154,13 @@ impl CvcSwitch {
     pub fn new(cfg: CvcConfig) -> CvcSwitch {
         CvcSwitch {
             cfg,
-            table: HashMap::new(),
-            next_vci: HashMap::new(),
-            reserved_bps: HashMap::new(),
-            leg_reserve: HashMap::new(),
-            pending: HashMap::new(),
+            table: BTreeMap::new(),
+            next_vci: BTreeMap::new(),
+            reserved_bps: BTreeMap::new(),
+            leg_reserve: BTreeMap::new(),
+            pending: BTreeMap::new(),
             next_key: 1,
-            ports: HashMap::new(),
+            ports: BTreeMap::new(),
             local_delivered: Vec::new(),
             local_control: Vec::new(),
             stats: CvcStats::default(),

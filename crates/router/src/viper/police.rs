@@ -2,7 +2,7 @@
 //! signalling along feeder ports, soft flow-limit installation, and the
 //! additive-increase recovery tick (§2.2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sirpent_sim::stats::Stage;
 use sirpent_sim::{Context, SimTime};
@@ -114,7 +114,7 @@ impl ViperRouter {
 
     pub(super) fn on_increase_tick(&mut self, ctx: &mut Context<'_>) {
         let step = self.cfg.congestion.increase_step_bps;
-        let mut line_rates: HashMap<u8, u64> = HashMap::new();
+        let mut line_rates: BTreeMap<u8, u64> = BTreeMap::new();
         for l in &self.limits {
             if let Ok(r) = ctx.channel_rate(l.out_port) {
                 line_rates.insert(l.out_port, r);

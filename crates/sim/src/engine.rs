@@ -53,7 +53,7 @@ pub struct NodeId(pub usize);
 pub struct ChannelId(pub usize);
 
 /// Identifies one transmitted frame instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FrameId(pub u64);
 
 /// A frame in flight: an identity plus its bytes.
@@ -505,7 +505,7 @@ pub(crate) struct Core {
     pub(crate) partition: Option<Vec<bool>>,
     /// Frames whose scheduled deliveries were cancelled before their
     /// first bit (queued transmissions killed by a link-down or crash).
-    pub(crate) cancelled: std::collections::HashSet<FrameId>,
+    pub(crate) cancelled: std::collections::BTreeSet<FrameId>,
     /// Chaos-layer telemetry counters.
     pub(crate) chaos_counters: ChaosCounters,
     /// The per-packet flight recorder; `None` (the default) records
@@ -1009,7 +1009,7 @@ impl Simulator {
                 down: Vec::new(),
                 node_epoch: Vec::new(),
                 partition: None,
-                cancelled: std::collections::HashSet::new(),
+                cancelled: std::collections::BTreeSet::new(),
                 chaos_counters: ChaosCounters::default(),
                 flight: None,
                 seed,

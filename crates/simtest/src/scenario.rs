@@ -7,7 +7,7 @@
 //! so faults on one rail cannot leak packets into another; the
 //! conservation ledger is still computed globally.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sirpent_router::cvc::{CvcConfig, CvcRoute, CvcSwitch};
 use sirpent_router::ip::{IpConfig, IpPortConfig, IpRouter, RouteEntry};
@@ -90,13 +90,13 @@ pub struct RunReport {
     /// Frames still sitting in router output queues at the horizon.
     pub leftover_queued: u64,
     /// Delivery count per known marker, uncorrupted copies only.
-    pub marker_hits: HashMap<u64, u32>,
+    pub marker_hits: BTreeMap<u64, u32>,
     /// Markers of rails that had a duplication window (hits may exceed 1).
     pub dup_markers: Vec<u64>,
     /// Reply markers planned in phase 2 (VIPER rails only).
     pub replies_expected: Vec<u64>,
     /// Delivery count per reply marker at the source hosts.
-    pub reply_hits: HashMap<u64, u32>,
+    pub reply_hits: BTreeMap<u64, u32>,
     /// Uncorrupted frames at VIPER/IP rail destinations carrying no
     /// known marker — phantom deliveries (must be zero).
     pub phantom_frames: u64,
@@ -663,8 +663,8 @@ fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {
     let mut chan_corrupted = 0u64;
     let mut delivered_frames = 0u64;
     let mut leftover_queued = 0u64;
-    let mut marker_hits: HashMap<u64, u32> = HashMap::new();
-    let mut reply_hits: HashMap<u64, u32> = HashMap::new();
+    let mut marker_hits: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut reply_hits: BTreeMap<u64, u32> = BTreeMap::new();
     let mut dup_markers = Vec::new();
     let mut phantom_frames = 0u64;
     let mut corrupted_delivered = 0u64;

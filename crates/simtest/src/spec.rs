@@ -402,7 +402,7 @@ impl Scenario {
             }
         }
         let rails = &self.rails;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut have_partition = false;
         self.faults.retain_mut(|f| {
             let Some(rail) = rails.get(f.rail()) else {
@@ -672,8 +672,8 @@ fn clamp_window(a: &mut u64, b: &mut u64) {
 
 fn parse_kv<'a>(
     parts: impl Iterator<Item = &'a str>,
-) -> Result<std::collections::HashMap<&'a str, &'a str>, String> {
-    let mut kv = std::collections::HashMap::new();
+) -> Result<std::collections::BTreeMap<&'a str, &'a str>, String> {
+    let mut kv = std::collections::BTreeMap::new();
     for p in parts {
         let (k, v) = p.split_once('=').ok_or_else(|| format!("bad token {p}"))?;
         kv.insert(k, v);
@@ -681,14 +681,14 @@ fn parse_kv<'a>(
     Ok(kv)
 }
 
-fn get(kv: &std::collections::HashMap<&str, &str>, key: &str) -> Result<u64, String> {
+fn get(kv: &std::collections::BTreeMap<&str, &str>, key: &str) -> Result<u64, String> {
     kv.get(key)
         .ok_or_else(|| format!("missing key {key}"))?
         .parse()
         .map_err(|e| format!("bad {key}: {e}"))
 }
 
-fn get_hex(kv: &std::collections::HashMap<&str, &str>, key: &str) -> Result<u64, String> {
+fn get_hex(kv: &std::collections::BTreeMap<&str, &str>, key: &str) -> Result<u64, String> {
     u64::from_str_radix(kv.get(key).ok_or_else(|| format!("missing key {key}"))?, 16)
         .map_err(|e| format!("bad {key}: {e}"))
 }

@@ -5,7 +5,7 @@
 //! by the token." The ledger lives beside the token cache; the routing
 //! directory (which mints tokens) can collect it for billing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sirpent_wire::token::AccountId;
 
@@ -21,7 +21,7 @@ pub struct Usage {
 /// The ledger: account → usage.
 #[derive(Debug, Clone, Default)]
 pub struct Accounting {
-    ledger: HashMap<AccountId, Usage>,
+    ledger: BTreeMap<AccountId, Usage>,
 }
 
 impl Accounting {
@@ -42,7 +42,7 @@ impl Accounting {
         self.ledger.get(&account).copied().unwrap_or_default()
     }
 
-    /// Iterate over all (account, usage) pairs in unspecified order.
+    /// Iterate over all (account, usage) pairs in ascending account order.
     pub fn iter(&self) -> impl Iterator<Item = (AccountId, Usage)> + '_ {
         self.ledger.iter().map(|(&a, &u)| (a, u))
     }

@@ -1,0 +1,390 @@
+//! Over-approximate caller→callee graph over the workspace symbol
+//! table.
+//!
+//! Edges are recovered from three call shapes (DESIGN.md §12.2):
+//!
+//! * **Bare calls** `f(..)` — resolved through the file's `use` map,
+//!   then same-file free fns, then same-crate fns of that name.
+//! * **Qualified calls** `a::b::f(..)` — the path head is resolved to a
+//!   workspace crate (`sirpent_sim` → `sim`), to `Self`/`crate`/`super`
+//!   (the caller's own crate), or to a known `impl` target type
+//!   (`Type::method`); `std`/`core`/`alloc` heads are external and
+//!   produce no edge.
+//! * **Method calls** `.m(..)` — receiver types are unknown to a
+//!   lexer-level analysis, so the edge goes to *every* workspace method
+//!   named `m` defined in a crate the caller's crate depends on. This
+//!   is the graph's deliberate over-approximation: it can invent edges,
+//!   never miss one that name matching could see.
+//!
+//! Macro invocations (`name!(`) and calls into non-workspace code
+//! produce no edges; the determinism rule's *source* detection covers
+//! the std surfaces that matter (`std::time`, `std::env`,
+//! `std::thread`, hash-container iteration, ambient RNG).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
+
+/// The workspace call graph, indexed like `SymbolTable::fns`.
+pub struct CallGraph {
+    /// fn id → (callee fn id, 1-based call-site line), deduped.
+    pub callees: Vec<Vec<(usize, u32)>>,
+    /// fn id → caller fn ids, deduped.
+    pub callers: Vec<Vec<usize>>,
+}
+
+/// Rust keywords that can precede `(` without the ident being a call.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "as", "move", "else", "loop", "let", "fn",
+    "where", "impl", "dyn", "mut", "ref", "break", "continue", "unsafe", "use", "pub", "crate",
+];
+
+impl CallGraph {
+    /// Build the graph for the lint file set.
+    pub fn build(files: &[SourceFile], sym: &SymbolTable) -> CallGraph {
+        let n = sym.fns.len();
+        let mut callees: Vec<BTreeSet<(usize, u32)>> = vec![BTreeSet::new(); n];
+        for (caller_id, item) in sym.fns.iter().enumerate() {
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            let f = &files[item.file];
+            for i in open + 1..close {
+                if f.in_attribute(i) {
+                    continue;
+                }
+                let t = f.tok(i);
+                if t.kind != TokKind::Ident || i + 1 > close {
+                    continue;
+                }
+                // A call: `ident (`; `ident !` is a macro — skip.
+                if f.tok(i + 1).text != "(" {
+                    continue;
+                }
+                if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+                    continue;
+                }
+                let line = t.line;
+                for callee in resolve(files, sym, caller_id, i) {
+                    callees[caller_id].insert((callee, line));
+                }
+            }
+        }
+        let mut callers: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (caller, outs) in callees.iter().enumerate() {
+            for (callee, _) in outs {
+                callers[*callee].insert(caller);
+            }
+        }
+        CallGraph {
+            callees: callees
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            callers: callers
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+        }
+    }
+
+    /// Shortest caller chain from any fn satisfying `is_root` down to
+    /// `target`, as a list of fn ids `[root, .., target]`. BFS over the
+    /// reverse edges; deterministic because adjacency lists are sorted.
+    pub fn chain_to<F: Fn(usize) -> bool>(
+        &self,
+        sym: &SymbolTable,
+        target: usize,
+        is_root: F,
+    ) -> Option<Vec<usize>> {
+        let n = sym.fns.len();
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[target] = true;
+        queue.push_back(target);
+        while let Some(cur) = queue.pop_front() {
+            if is_root(cur) {
+                // Walk back down to the target.
+                let mut chain = vec![cur];
+                let mut at = cur;
+                while let Some(next) = prev[at] {
+                    chain.push(next);
+                    at = next;
+                }
+                return Some(chain);
+            }
+            for &c in &self.callers[cur] {
+                if !seen[c] {
+                    seen[c] = true;
+                    prev[c] = Some(cur);
+                    queue.push_back(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Resolve the call whose name ident sits at code index `i` to a set of
+/// candidate workspace fns.
+fn resolve(files: &[SourceFile], sym: &SymbolTable, caller_id: usize, i: usize) -> Vec<usize> {
+    let item = &sym.fns[caller_id];
+    let f = &files[item.file];
+    let name = f.tok(i).text.as_str();
+    let Some(candidates) = sym.by_name.get(name) else {
+        return Vec::new();
+    };
+    let viable = |id: &&usize| -> bool {
+        let callee = &sym.fns[**id];
+        !callee.is_test && sym.depends_on(&item.krate, &callee.krate)
+    };
+
+    let prev = (i > 0).then(|| f.tok(i - 1).text.as_str());
+    // Method call `.name(` — every dependency-visible method of that
+    // name (the documented over-approximation).
+    if prev == Some(".") {
+        return candidates
+            .iter()
+            .filter(viable)
+            .filter(|&&id| sym.fns[id].impl_of.is_some())
+            .copied()
+            .collect();
+    }
+    // Qualified call `path::name(` — the lexer emits `::` as two `:`.
+    if prev == Some(":") && i >= 2 && f.tok(i - 2).text == ":" {
+        let path = collect_path(f, i);
+        let Some(head) = path.first() else {
+            return Vec::new();
+        };
+        let head = head.as_str();
+        // External stdlib: no workspace edge.
+        if matches!(head, "std" | "core" | "alloc") {
+            return Vec::new();
+        }
+        // `Self::name` — methods of the caller's own impl target.
+        if head == "Self" {
+            return candidates
+                .iter()
+                .filter(viable)
+                .filter(|&&id| sym.fns[id].impl_of == item.impl_of)
+                .copied()
+                .collect();
+        }
+        // `crate::`/`self::`/`super::` — same crate.
+        if matches!(head, "crate" | "self" | "super") {
+            return candidates
+                .iter()
+                .filter(viable)
+                .filter(|&&id| sym.fns[id].krate == item.krate)
+                .copied()
+                .collect();
+        }
+        // Head names another workspace crate (`sirpent_sim::…`).
+        if let Some(krate) = sym.pkg_idents.get(head) {
+            return candidates
+                .iter()
+                .filter(viable)
+                .filter(|&&id| &sym.fns[id].krate == krate)
+                .copied()
+                .collect();
+        }
+        // `Type::method` — the segment just before the fn name, which
+        // also covers `module::Type::method`.
+        let ty = path.last().map(String::as_str).unwrap_or(head);
+        if sym.type_names.contains(ty) {
+            return candidates
+                .iter()
+                .filter(viable)
+                .filter(|&&id| sym.fns[id].impl_of.as_deref() == Some(ty))
+                .copied()
+                .collect();
+        }
+        // A CamelCase tail that is not a known workspace type is an
+        // external type's associated fn (`Vec::new`,
+        // `StdRng::seed_from_u64`) — no workspace edge.
+        if ty.chars().next().is_some_and(|c| c.is_uppercase()) {
+            return Vec::new();
+        }
+        // A use-mapped head (`use sirpent_sim::engine; engine::run()`).
+        if let Some(full) = sym.uses[item.file].get(head) {
+            if let Some(krate) = full.first().and_then(|h| sym.pkg_idents.get(h)) {
+                return candidates
+                    .iter()
+                    .filter(viable)
+                    .filter(|&&id| &sym.fns[id].krate == krate)
+                    .copied()
+                    .collect();
+            }
+            if full
+                .first()
+                .is_some_and(|h| matches!(h.as_str(), "crate" | "self" | "super"))
+            {
+                return candidates
+                    .iter()
+                    .filter(viable)
+                    .filter(|&&id| sym.fns[id].krate == item.krate)
+                    .copied()
+                    .collect();
+            }
+            return Vec::new(); // use-mapped to std/external
+        }
+        // Module path we cannot pin down: stay within the caller's
+        // crate (modules do not cross crates without a `use`).
+        return candidates
+            .iter()
+            .filter(viable)
+            .filter(|&&id| sym.fns[id].krate == item.krate)
+            .copied()
+            .collect();
+    }
+    // Bare call `name(` — use map first, then same file, then crate.
+    if let Some(full) = sym.uses[item.file].get(name) {
+        if let Some(krate) = full.first().and_then(|h| sym.pkg_idents.get(h)) {
+            return candidates
+                .iter()
+                .filter(viable)
+                .filter(|&&id| &sym.fns[id].krate == krate && sym.fns[id].impl_of.is_none())
+                .copied()
+                .collect();
+        }
+        if !full
+            .first()
+            .is_some_and(|h| matches!(h.as_str(), "crate" | "self" | "super"))
+        {
+            return Vec::new(); // imported from std/external
+        }
+    }
+    let same_file: Vec<usize> = candidates
+        .iter()
+        .filter(viable)
+        .filter(|&&id| sym.fns[id].file == item.file && sym.fns[id].impl_of.is_none())
+        .copied()
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    candidates
+        .iter()
+        .filter(viable)
+        .filter(|&&id| sym.fns[id].krate == item.krate && sym.fns[id].impl_of.is_none())
+        .copied()
+        .collect()
+}
+
+/// Collect the `::`-separated path ending at the fn-name ident `i`,
+/// walking backwards over `seg :: seg :: name`. Returns the segments
+/// *before* the name, in source order.
+fn collect_path(f: &SourceFile, i: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = i;
+    while j >= 3 && f.tok(j - 1).text == ":" && f.tok(j - 2).text == ":" {
+        let seg = f.tok(j - 3);
+        // `<T as Trait>::f` or turbofish tails end the walk.
+        if seg.kind != TokKind::Ident {
+            break;
+        }
+        segs.push(seg.text.clone());
+        j -= 3;
+    }
+    segs.reverse();
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn build(srcs: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(rel, src)| SourceFile::analyze(rel.to_string(), src))
+            .collect();
+        let sym = SymbolTable::build(Path::new("/nonexistent"), &files);
+        let graph = CallGraph::build(&files, &sym);
+        (sym, graph)
+    }
+
+    fn id(sym: &SymbolTable, name: &str) -> usize {
+        sym.by_name[name][0]
+    }
+
+    #[test]
+    fn bare_calls_link_same_file_then_crate() {
+        let (sym, g) = build(&[
+            (
+                "crates/sim/src/a.rs",
+                "pub fn top() { helper(); }\nfn helper() { crate::b::deep(); }\n",
+            ),
+            ("crates/sim/src/b.rs", "pub fn deep() {}\n"),
+        ]);
+        let top = id(&sym, "top");
+        let helper = id(&sym, "helper");
+        let deep = id(&sym, "deep");
+        assert!(g.callees[top].iter().any(|&(c, _)| c == helper));
+        assert!(g.callees[helper].iter().any(|&(c, _)| c == deep));
+    }
+
+    #[test]
+    fn method_calls_overapproximate_by_name() {
+        let (sym, g) = build(&[(
+            "crates/sim/src/a.rs",
+            "struct S;\nimpl S { fn poke(&self) {} }\nfn run(s: &S) { s.poke(); }\n",
+        )]);
+        let run = id(&sym, "run");
+        let poke = id(&sym, "poke");
+        assert!(g.callees[run].iter().any(|&(c, _)| c == poke));
+    }
+
+    #[test]
+    fn std_paths_make_no_edges() {
+        let (sym, g) = build(&[(
+            "crates/sim/src/a.rs",
+            "fn take() { let v: Vec<u8> = Vec::new(); std::mem::take(&mut ()); }\n",
+        )]);
+        // `take` must not call itself through `std::mem::take`.
+        let take = id(&sym, "take");
+        assert!(g.callees[take].is_empty());
+    }
+
+    #[test]
+    fn type_qualified_calls_link_to_that_impl() {
+        let (sym, g) = build(&[(
+            "crates/sim/src/a.rs",
+            "struct A;\nstruct B;\nimpl A { fn mk() {} }\nimpl B { fn mk() {} }\nfn go() { A::mk(); }\n",
+        )]);
+        let go = id(&sym, "go");
+        assert_eq!(g.callees[go].len(), 1);
+        let callee = g.callees[go][0].0;
+        assert_eq!(sym.fns[callee].impl_of.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn chain_walks_callers_to_root() {
+        let (sym, g) = build(&[(
+            "crates/sim/src/core.rs",
+            "pub fn entry() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        )]);
+        let entry = id(&sym, "entry");
+        let leaf = id(&sym, "leaf");
+        let chain = g
+            .chain_to(&sym, leaf, |f| sym.fns[f].name == "entry")
+            .expect("chain");
+        assert_eq!(chain.first(), Some(&entry));
+        assert_eq!(chain.last(), Some(&leaf));
+        assert_eq!(chain.len(), 3);
+    }
+
+    #[test]
+    fn test_fns_are_not_edge_targets() {
+        let (sym, g) = build(&[(
+            "crates/sim/src/a.rs",
+            "pub fn live() { probe(); }\n#[cfg(test)]\nmod t { pub fn probe() {} }\nfn probe2() {}\n",
+        )]);
+        let live = id(&sym, "live");
+        assert!(g.callees[live].is_empty(), "test fn must not be a target");
+    }
+}

@@ -33,9 +33,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
 use lexer::TokKind;
 use rules::{Config, Diagnostic, LintCtx, Rule};
@@ -201,10 +203,14 @@ pub fn lint_files(
         files.push(SourceFile::analyze(rel.clone(), &src));
     }
     let shims = discover_shims(root);
+    let sym = symbols::SymbolTable::build(root, &files);
+    let graph = callgraph::CallGraph::build(&files, &sym);
     let ctx = LintCtx {
         files: &files,
         cfg,
         shims: &shims,
+        symbols: &sym,
+        graph: &graph,
     };
     let rules: Vec<Box<dyn Rule>> = rules::all_rules()
         .into_iter()
@@ -218,17 +224,27 @@ pub fn lint_files(
     for rule in &rules {
         rule.check(&ctx, &mut diags);
     }
-    // Honor `lint: allow(<rule>) -- <reason>` annotations.
+    // Honor `lint: allow(<rule>) -- <reason>` annotations, remembering
+    // what each one actually suppressed so stale allows can be flagged.
+    let mut suppressed: Vec<Diagnostic> = Vec::new();
     diags.retain(|d| {
-        files
+        let covered = files
             .iter()
             .find(|f| f.rel == d.file)
-            .map(|f| !f.is_allowed(&d.rule, d.line))
-            .unwrap_or(true)
+            .map(|f| f.is_allowed(&d.rule, d.line))
+            .unwrap_or(false);
+        if covered {
+            suppressed.push(d.clone());
+        }
+        !covered
     });
-    // The escape hatch itself is linted: a reason is mandatory, and the
-    // rule name must exist (a typo would silently suppress nothing).
+    // The escape hatch itself is linted: a reason is mandatory, the rule
+    // name must exist (a typo would silently suppress nothing), and a
+    // reasoned allow must still be earning its keep — an allow whose
+    // rule ran but which suppressed no diagnostic is stale and must be
+    // deleted, or it will mask a future regression at that site.
     let known: Vec<&'static str> = rules::all_rules().iter().map(|r| r.name()).collect();
+    let active: Vec<&'static str> = rules.iter().map(|r| r.name()).collect();
     for f in &files {
         for a in &f.allows {
             if !known.contains(&a.rule.as_str()) {
@@ -251,6 +267,23 @@ pub fn lint_files(
                         "`lint: allow({})` requires a written reason: \
                          `// lint: allow({}) -- <why this site is safe>`",
                         a.rule, a.rule
+                    ),
+                ));
+            } else if active.contains(&a.rule.as_str())
+                && !suppressed.iter().any(|d| {
+                    d.file == f.rel
+                        && d.rule == a.rule
+                        && (d.line == a.line || d.line == a.line + 1)
+                })
+            {
+                diags.push(Diagnostic::new(
+                    &f.rel,
+                    a.line,
+                    "lint-allow",
+                    format!(
+                        "stale `lint: allow({})` — it suppresses nothing; delete it so it \
+                         cannot mask a future violation at this site",
+                        a.rule
                     ),
                 ));
             }

@@ -1,0 +1,370 @@
+//! `determinism`: nondeterminism sources must not reach the
+//! deterministic core.
+//!
+//! The simulation's whole verification story — golden digests, 32-seed
+//! replay suites, shard-count invariance — rests on core behaviour
+//! being a pure function of (topology, seed). This rule finds the
+//! ambient-state sources that silently break that contract:
+//!
+//! * hash-ordered iteration (`HashMap`/`HashSet` iteration order varies
+//!   per process since Rust randomizes SipHash keys),
+//! * wall-clock reads (`std::time::Instant`, `SystemTime`),
+//! * process environment reads (`std::env`),
+//! * thread creation outside the sync nucleus (`thread::spawn`,
+//!   `thread::scope`, builder `.spawn(..)`),
+//! * ambient RNG (`thread_rng`, `from_entropy`, `OsRng`) that bypasses
+//!   the engine-owned seeded stream behind `Context::rng()`.
+//!
+//! Findings come in two flavours. A source *inside* a core crate
+//! ([`crate::rules::CORE_CRATES`]) is flagged at its own site. A source
+//! in a non-core fn is flagged only when the call graph shows a path
+//! from a core fn down to it — the diagnostic carries the caller chain
+//! (`sim::Engine::run -> bench::stamp`), which is what a per-file token
+//! scan structurally cannot see.
+
+use crate::lexer::TokKind;
+use crate::rules::{Diagnostic, LintCtx, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Methods whose receiver order is the container's iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "retain_mut",
+];
+
+/// One detected nondeterminism source.
+struct SourceSite {
+    /// Code index of the offending token.
+    code_idx: usize,
+    /// 1-based line.
+    line: u32,
+    /// Human-readable description of the source.
+    what: String,
+}
+
+/// See the module docs.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no hash-ordered iteration, wall-clock, env, thread, or ambient-RNG source in (or reachable from) the deterministic core"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for (fi, f) in ctx.files.iter().enumerate() {
+            if crate::symbols::is_test_location(&f.rel) {
+                continue;
+            }
+            let in_core = ctx.cfg.is_core_file(&f.rel);
+            let exempt_thread = ctx.cfg.is_sync_module(&f.rel);
+            let (taints, containers) = find_sources(f, exempt_thread);
+            if in_core {
+                // Direct findings: the source sits in the core itself.
+                for s in containers.iter().chain(taints.iter()) {
+                    out.push(Diagnostic::new(&f.rel, s.line, self.name(), s.what.clone()));
+                }
+                continue;
+            }
+            // Interprocedural: flag the source only if a core fn can
+            // reach the fn containing it.
+            for s in &taints {
+                let Some(target) = ctx.symbols.enclosing_fn(fi, s.code_idx) else {
+                    continue;
+                };
+                if ctx.symbols.fns[target].is_test {
+                    continue;
+                }
+                let chain = ctx.graph.chain_to(ctx.symbols, target, |id| {
+                    id != target
+                        && !ctx.symbols.fns[id].is_test
+                        && ctx
+                            .cfg
+                            .is_core_file(&ctx.files[ctx.symbols.fns[id].file].rel)
+                });
+                if let Some(chain) = chain {
+                    let labels: Vec<String> = chain
+                        .iter()
+                        .map(|&id| ctx.symbols.fns[id].label())
+                        .collect();
+                    out.push(
+                        Diagnostic::new(
+                            &f.rel,
+                            s.line,
+                            self.name(),
+                            format!("{} — and the deterministic core can reach it", s.what),
+                        )
+                        .with_chain(labels),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Scan one file for nondeterminism sources. Returns `(taints,
+/// containers)`: taints participate in interprocedural reachability;
+/// container-type sites (a `HashMap`/`HashSet` ident at all) are only
+/// reported when the file itself is core — owning one in the core is
+/// already a latent iteration hazard.
+fn find_sources(f: &SourceFile, exempt_thread: bool) -> (Vec<SourceSite>, Vec<SourceSite>) {
+    let hash_names = hash_bound_names(f);
+    let mut taints = Vec::new();
+    let mut containers = Vec::new();
+    let n = f.code.len();
+    for i in 0..n {
+        if f.in_attribute(i) {
+            continue;
+        }
+        let t = f.tok(i);
+        if t.kind != TokKind::Ident || f.is_test_line(t.line) {
+            continue;
+        }
+        let prev = (i > 0).then(|| f.tok(i - 1).text.as_str());
+        let next = (i + 1 < n).then(|| f.tok(i + 1).text.as_str());
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if prev != Some("fn") => {
+                containers.push(SourceSite {
+                    code_idx: i,
+                    line: t.line,
+                    what: format!(
+                        "`{}` in the deterministic core — iteration order varies per process; \
+                         use BTreeMap/BTreeSet, LinearMap, or a sorted Vec",
+                        t.text
+                    ),
+                });
+            }
+            m if ITER_METHODS.contains(&m)
+                && prev == Some(".")
+                && next == Some("(")
+                && i >= 2
+                && f.tok(i - 2).kind == TokKind::Ident
+                && hash_names.contains(&f.tok(i - 2).text) =>
+            {
+                taints.push(SourceSite {
+                    code_idx: i,
+                    line: t.line,
+                    what: format!(
+                        "iteration over hash-ordered `{}` is nondeterministic — \
+                         use BTreeMap/BTreeSet or sort before iterating",
+                        f.tok(i - 2).text
+                    ),
+                });
+            }
+            "for" => {
+                if let Some(site) = for_loop_over_hash(f, i, &hash_names) {
+                    taints.push(site);
+                }
+            }
+            "Instant" | "SystemTime" if prev != Some("fn") => {
+                taints.push(SourceSite {
+                    code_idx: i,
+                    line: t.line,
+                    what: format!(
+                        "`{}` reads wall-clock time — core behaviour must be a function of \
+                         SimTime (and the seed) only",
+                        t.text
+                    ),
+                });
+            }
+            "env" if next == Some(":") && i >= 3 && f.tok(i - 3).text == "std" => {
+                taints.push(SourceSite {
+                    code_idx: i,
+                    line: t.line,
+                    what: "`std::env` reads ambient process state — thread configuration \
+                           through SimConfig instead"
+                        .to_string(),
+                });
+            }
+            "spawn" | "scope"
+                if !exempt_thread
+                    && next == Some("(")
+                    && ((i >= 3 && f.tok(i - 3).text == "thread") || prev == Some(".")) =>
+            {
+                // `thread::spawn` / `thread::scope` / builder `.spawn(`.
+                // `.scope(` alone is too generic to claim.
+                if t.text == "scope"
+                    && prev == Some(".")
+                    && !(i >= 3 && f.tok(i - 3).text == "thread")
+                {
+                    continue;
+                }
+                taints.push(SourceSite {
+                    code_idx: i,
+                    line: t.line,
+                    what: format!(
+                        "`{}` creates threads outside sim/sync.rs — scheduling order would \
+                         leak into results; all parallelism goes through the conservative \
+                         window protocol",
+                        t.text
+                    ),
+                });
+            }
+            "thread_rng" | "from_entropy" | "OsRng" if prev != Some("fn") => {
+                taints.push(SourceSite {
+                    code_idx: i,
+                    line: t.line,
+                    what: format!(
+                        "`{}` is ambient (entropy-seeded) RNG — draw through the \
+                         engine-owned seeded stream (`Context::rng()`) so runs replay \
+                         by seed",
+                        t.text
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    (taints, containers)
+}
+
+/// Names bound to a `HashMap`/`HashSet` anywhere in the file: struct
+/// fields and let-bindings with an explicit type annotation
+/// (`x: HashMap<..>`), plus `let x = HashMap::new()`-style inits.
+fn hash_bound_names(f: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..f.code.len() {
+        let t = f.tok(i);
+        if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "HashMap" | "HashSet") {
+            continue;
+        }
+        // Walk back over a `std::collections::` style path prefix.
+        let mut j = i;
+        while j >= 3
+            && f.tok(j - 1).text == ":"
+            && f.tok(j - 2).text == ":"
+            && f.tok(j - 3).kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        // Skip reference/mutability sigils before the path.
+        let mut p = j;
+        while p > 0 && matches!(f.tok(p - 1).text.as_str(), "&" | "mut") {
+            p -= 1;
+        }
+        if p < 2 {
+            continue;
+        }
+        let sep = f.tok(p - 1);
+        let cand = f.tok(p - 2);
+        let is_single_colon = sep.text == ":" && (p < 3 || f.tok(p - 3).text != ":");
+        if (is_single_colon || sep.text == "=") && cand.kind == TokKind::Ident {
+            names.insert(cand.text.clone());
+        }
+    }
+    names
+}
+
+/// `for pat in <expr mentioning a hash-bound name> {` — report the
+/// mention. Bounded lookahead; stops at the loop's opening brace.
+fn for_loop_over_hash(
+    f: &SourceFile,
+    for_idx: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<SourceSite> {
+    let n = f.code.len();
+    let mut seen_in = false;
+    for j in for_idx + 1..(for_idx + 96).min(n) {
+        let t = f.tok(j);
+        match t.text.as_str() {
+            "{" if seen_in => return None,
+            "in" if t.kind == TokKind::Ident => seen_in = true,
+            _ => {
+                if seen_in && t.kind == TokKind::Ident && hash_names.contains(&t.text) {
+                    return Some(SourceSite {
+                        code_idx: j,
+                        line: t.line,
+                        what: format!(
+                            "iteration over hash-ordered `{}` is nondeterministic — \
+                             use BTreeMap/BTreeSet or sort before iterating",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_names_from_fields_and_lets() {
+        let f = SourceFile::analyze(
+            "crates/sim/src/x.rs".into(),
+            "struct S { table: std::collections::HashMap<u8, u8> }\n\
+             fn f() { let seen = HashSet::new(); let v: Vec<u8> = Vec::new(); }\n",
+        );
+        let names = hash_bound_names(&f);
+        assert!(names.contains("table"));
+        assert!(names.contains("seen"));
+        assert!(!names.contains("v"));
+    }
+
+    #[test]
+    fn iteration_sites_detected() {
+        let f = SourceFile::analyze(
+            "crates/sim/src/x.rs".into(),
+            "struct S { m: HashMap<u8, u8> }\n\
+             impl S { fn go(&self) { for k in self.m.keys() {} } }\n",
+        );
+        let (taints, containers) = find_sources(&f, false);
+        assert!(!containers.is_empty());
+        assert!(taints.iter().any(|s| s.what.contains("`m`")));
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let f = SourceFile::analyze(
+            "crates/sim/src/x.rs".into(),
+            "use std::collections::BTreeMap;\n\
+             fn go(m: &BTreeMap<u8, u8>) { for k in m.keys() {} }\n",
+        );
+        let (taints, containers) = find_sources(&f, false);
+        assert!(taints.is_empty());
+        assert!(containers.is_empty());
+    }
+
+    #[test]
+    fn clock_env_thread_rng_sources() {
+        let f = SourceFile::analyze(
+            "crates/bench/src/x.rs".into(),
+            "fn a() { let t = std::time::Instant::now(); }\n\
+             fn b() { let p = std::env::var(\"X\"); }\n\
+             fn c() { std::thread::spawn(|| {}); }\n\
+             fn d() { let r = rand::thread_rng(); }\n",
+        );
+        let (taints, _) = find_sources(&f, false);
+        assert_eq!(taints.len(), 4);
+    }
+
+    #[test]
+    fn sync_module_thread_use_is_exempt() {
+        let f = SourceFile::analyze(
+            "crates/sim/src/sync.rs".into(),
+            "fn run() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n",
+        );
+        let (taints, _) = find_sources(&f, true);
+        assert!(
+            taints.is_empty(),
+            "{:?}",
+            taints.iter().map(|s| &s.what).collect::<Vec<_>>()
+        );
+    }
+}

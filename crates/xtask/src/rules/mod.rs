@@ -10,19 +10,27 @@
 
 use std::collections::BTreeMap;
 
+use crate::callgraph::CallGraph;
 use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
 
+mod determinism;
 mod drop_accounting;
 mod panic_free;
 mod queue_discipline;
+mod rng_draw_order;
 mod shim_surface;
+mod sync_discipline;
 mod telemetry_naming;
 mod unsafe_audit;
 
+pub use determinism::Determinism;
 pub use drop_accounting::DropAccounting;
 pub use panic_free::PanicFree;
 pub use queue_discipline::QueueDiscipline;
+pub use rng_draw_order::RngDrawOrder;
 pub use shim_surface::ShimSurface;
+pub use sync_discipline::SyncDiscipline;
 pub use telemetry_naming::TelemetryNaming;
 pub use unsafe_audit::UnsafeAudit;
 
@@ -37,6 +45,10 @@ pub struct Diagnostic {
     pub rule: String,
     /// Human-readable finding.
     pub msg: String,
+    /// Interprocedural findings: the caller chain from the deterministic
+    /// core down to the source site (`crate::Type::fn` labels). Empty
+    /// for intraprocedural findings.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
@@ -47,7 +59,14 @@ impl Diagnostic {
             line,
             rule: rule.to_string(),
             msg: msg.into(),
+            chain: Vec::new(),
         }
+    }
+
+    /// Attach a call chain (core entry first, source fn last).
+    pub fn with_chain(mut self, chain: Vec<String>) -> Diagnostic {
+        self.chain = chain;
+        self
     }
 }
 
@@ -57,7 +76,11 @@ impl std::fmt::Display for Diagnostic {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.msg
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, " (reached from core via {})", self.chain.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -71,6 +94,12 @@ pub struct Config {
     /// Workspace-relative files permitted to contain `unsafe` (the
     /// audited allowlist). Empty: the workspace is `unsafe`-free.
     pub unsafe_allowlist: Vec<String>,
+    /// Fixture mode for the interprocedural rules: derive a file's scope
+    /// from its stem (`*core*` → deterministic core, `*sync*` → the sync
+    /// module, `*node*` → node/router code) instead of its workspace
+    /// path, so standalone golden snippets can exercise scope-sensitive
+    /// rules.
+    pub fixture_scopes: bool,
 }
 
 /// The data-plane module set: the per-hop forwarding path whose
@@ -89,12 +118,61 @@ pub const DATAPLANE_FILES: &[&str] = &[
     "crates/sim/src/sync.rs",
 ];
 
+/// The deterministic core: crates where simulated behaviour must be a
+/// pure function of (topology, seed). Nondeterminism reaching these —
+/// directly or through calls — breaks golden digests and seed replay.
+pub const CORE_CRATES: &[&str] = &["sim", "router", "wire", "simtest", "telemetry"];
+
+/// Crates holding node/router logic, where every random draw must go
+/// through `Context::rng()` so per-shard RNG streams stay aligned.
+pub const NODE_CODE_PREFIXES: &[&str] = &[
+    "crates/router/src/",
+    "crates/core/src/",
+    "crates/transport/src/",
+];
+
+/// The one file allowed to construct `std::sync` primitives: the sharded
+/// engine's synchronization nucleus.
+pub const SYNC_MODULE: &str = "crates/sim/src/sync.rs";
+
+fn stem_has(rel: &str, marker: &str) -> bool {
+    let stem = rel.rsplit('/').next().unwrap_or(rel);
+    let stem = stem.strip_suffix(".rs").unwrap_or(stem);
+    stem.contains(marker)
+}
+
 impl Config {
     /// Whether `rel` is a data-plane module.
     pub fn is_dataplane(&self, rel: &str) -> bool {
         self.all_dataplane
             || DATAPLANE_PREFIXES.iter().any(|p| rel.starts_with(p))
             || DATAPLANE_FILES.contains(&rel)
+    }
+
+    /// Whether `rel` belongs to the deterministic core ([`CORE_CRATES`]).
+    pub fn is_core_file(&self, rel: &str) -> bool {
+        if self.fixture_scopes {
+            return stem_has(rel, "core");
+        }
+        CORE_CRATES
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+    }
+
+    /// Whether `rel` is the sync nucleus ([`SYNC_MODULE`]).
+    pub fn is_sync_module(&self, rel: &str) -> bool {
+        if self.fixture_scopes {
+            return stem_has(rel, "sync");
+        }
+        rel == SYNC_MODULE
+    }
+
+    /// Whether `rel` is node/router code ([`NODE_CODE_PREFIXES`]).
+    pub fn is_node_code(&self, rel: &str) -> bool {
+        if self.fixture_scopes {
+            return stem_has(rel, "node");
+        }
+        NODE_CODE_PREFIXES.iter().any(|p| rel.starts_with(p))
     }
 }
 
@@ -107,6 +185,10 @@ pub struct LintCtx<'a> {
     pub cfg: &'a Config,
     /// Shim crate name → set of identifiers its sources define.
     pub shims: &'a BTreeMap<String, std::collections::BTreeSet<String>>,
+    /// Workspace symbol table (fn items, use maps, crate dep closure).
+    pub symbols: &'a SymbolTable,
+    /// Over-approximate caller → callee graph over [`Self::symbols`].
+    pub graph: &'a CallGraph,
 }
 
 /// A project-invariant rule.
@@ -128,6 +210,9 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ShimSurface),
         Box::new(TelemetryNaming),
         Box::new(UnsafeAudit),
+        Box::new(Determinism),
+        Box::new(SyncDiscipline),
+        Box::new(RngDrawOrder),
     ]
 }
 

@@ -1,0 +1,608 @@
+//! Workspace-level symbol table: fn-item extraction, `use`-path
+//! resolution, and the crate dependency closure.
+//!
+//! This is the layer that promotes the linter from per-file token
+//! patterns to interprocedural analysis (DESIGN.md §12). It stays
+//! deliberately dependency-free: everything is recovered from the
+//! hand-rolled lexer's token stream plus file paths and a minimal
+//! `Cargo.toml` scan — no `syn`, no `cargo metadata`.
+//!
+//! The model is over-approximate by construction: every `fn` item is
+//! recorded with its crate, enclosing `impl`/`trait` type (when any)
+//! and body extent; resolution errs toward *more* candidate symbols,
+//! never fewer, so a rule built on top can miss nothing that the token
+//! stream exposes (it may flag conservatively — that is what the
+//! reasoned `lint: allow` escape hatch is for).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// One extracted `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the defining file in the lint file set.
+    pub file: usize,
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` target type name, when the fn is a
+    /// method (`impl Foo { fn bar }` → `Some("Foo")`).
+    pub impl_of: Option<String>,
+    /// Crate id (directory name under `crates/` or `shims/`).
+    pub krate: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Code-index range of the body braces `[open, close]`; `None` for
+    /// bodiless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `#[cfg(test)]` extent.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// `crate::Type::name`-style label for call-chain rendering.
+    pub fn label(&self) -> String {
+        match &self.impl_of {
+            Some(t) => format!("{}::{}::{}", self.krate, t, self.name),
+            None => format!("{}::{}", self.krate, self.name),
+        }
+    }
+}
+
+/// The whole-workspace symbol table.
+pub struct SymbolTable {
+    /// Every extracted fn item, in (file, position) order.
+    pub fns: Vec<FnItem>,
+    /// fn name → indices into `fns`.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Per-file `use` map: local identifier → full path segments.
+    pub uses: Vec<BTreeMap<String, Vec<String>>>,
+    /// Per-file crate id (parallel to the lint file set).
+    pub crate_of_file: Vec<String>,
+    /// Crate id → transitive dependency closure (includes the crate
+    /// itself). Built from a minimal `Cargo.toml` scan; `workspace`
+    /// (root `tests/`, `examples/`) depends on everything.
+    pub deps: BTreeMap<String, BTreeSet<String>>,
+    /// Code identifier → crate id (`sirpent_sim` → `sim`, `rand` →
+    /// `rand`), for resolving qualified call paths.
+    pub pkg_idents: BTreeMap<String, String>,
+    /// Every `impl`/`trait` target type name seen anywhere (for
+    /// `Type::method` call resolution).
+    pub type_names: BTreeSet<String>,
+}
+
+/// Crate id of a workspace-relative path: the directory name under
+/// `crates/` or `shims/`; root `tests/`/`examples/` map to the
+/// `workspace` pseudo-crate.
+pub fn crate_of(rel: &str) -> String {
+    for prefix in ["crates/", "shims/"] {
+        if let Some(rest) = rel.strip_prefix(prefix) {
+            if let Some((name, _)) = rest.split_once('/') {
+                return name.to_string();
+            }
+        }
+    }
+    "workspace".to_string()
+}
+
+/// Whether `rel` is test-only source by location: integration tests,
+/// benches, or examples (their fns never run on the product path).
+/// The linter's own golden fixtures are exempt — they are
+/// product-shaped snippets that exist to be analyzed.
+pub fn is_test_location(rel: &str) -> bool {
+    if rel.contains("tests/fixtures/") {
+        return false;
+    }
+    rel.contains("/tests/") || rel.contains("/benches/") || rel.starts_with("tests/")
+}
+
+impl SymbolTable {
+    /// Build the table over the lint file set. `root` is used only to
+    /// scan workspace `Cargo.toml`s for the dependency closure; pass a
+    /// directory without manifests (fixtures) and every crate simply
+    /// depends on itself alone plus the `workspace` catch-all.
+    pub fn build(root: &Path, files: &[SourceFile]) -> SymbolTable {
+        let crate_of_file: Vec<String> = files.iter().map(|f| crate_of(&f.rel)).collect();
+        let (deps, pkg_idents) = dependency_closure(root, &crate_of_file);
+        let mut fns = Vec::new();
+        let mut type_names = BTreeSet::new();
+        let mut uses = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            extract_fns(f, fi, &crate_of_file[fi], &mut fns, &mut type_names);
+            uses.push(parse_uses(f));
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, item) in fns.iter().enumerate() {
+            by_name.entry(item.name.clone()).or_default().push(i);
+        }
+        SymbolTable {
+            fns,
+            by_name,
+            uses,
+            crate_of_file,
+            deps,
+            pkg_idents,
+            type_names,
+        }
+    }
+
+    /// The fn whose body contains code index `idx` of file `file`.
+    /// Nested fns win over their enclosing fn (innermost match).
+    pub fn enclosing_fn(&self, file: usize, idx: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.file != file {
+                continue;
+            }
+            if let Some((open, close)) = f.body {
+                if (open..=close).contains(&idx) {
+                    best = match best {
+                        // Innermost body = the one that opens latest.
+                        Some(b) if self.fns[b].body.is_some_and(|(o, _)| o >= open) => Some(b),
+                        _ => Some(i),
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether crate `user` may call into crate `dep` (transitively).
+    pub fn depends_on(&self, user: &str, dep: &str) -> bool {
+        user == dep
+            || self
+                .deps
+                .get(user)
+                .map(|c| c.contains(dep))
+                .unwrap_or(false)
+    }
+}
+
+/// Parse every `crates/*/Cargo.toml` and `shims/*/Cargo.toml` under
+/// `root` into a transitive dependency closure keyed by crate id.
+/// Dev-dependencies are excluded on purpose: non-test product code
+/// cannot call into them, and including them would let (say) the
+/// criterion shim's `Instant` use taint method-name matches from
+/// product code.
+fn dependency_closure(
+    root: &Path,
+    crates_in_use: &[String],
+) -> (BTreeMap<String, BTreeSet<String>>, BTreeMap<String, String>) {
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut pkg_idents: BTreeMap<String, String> = BTreeMap::new();
+    let mut pkg_to_crate: BTreeMap<String, String> = BTreeMap::new();
+    let mut manifests: Vec<(String, String)> = Vec::new(); // (crate id, manifest text)
+    for prefix in ["crates", "shims"] {
+        let Ok(entries) = std::fs::read_dir(root.join(prefix)) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let dir = e.path();
+            let Some(id) = dir.file_name().map(|n| n.to_string_lossy().to_string()) else {
+                continue;
+            };
+            let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) else {
+                continue;
+            };
+            if let Some(pkg) = package_name(&text) {
+                pkg_idents.insert(pkg.replace('-', "_"), id.clone());
+                pkg_to_crate.insert(pkg, id.clone());
+            }
+            manifests.push((id, text));
+        }
+    }
+    for (id, text) in &manifests {
+        let mut set = BTreeSet::new();
+        for dep_pkg in dependency_names(text) {
+            if let Some(dep_id) = pkg_to_crate.get(&dep_pkg) {
+                set.insert(dep_id.clone());
+            }
+        }
+        direct.insert(id.clone(), set);
+    }
+    // Transitive closure (the graph is tiny; fixpoint iteration is fine).
+    let mut closure = direct.clone();
+    loop {
+        let mut grew = false;
+        let snapshot = closure.clone();
+        for set in closure.values_mut() {
+            let mut add = BTreeSet::new();
+            for d in set.iter() {
+                if let Some(trans) = snapshot.get(d) {
+                    for t in trans {
+                        if !set.contains(t) {
+                            add.insert(t.clone());
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                set.extend(add);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // The `workspace` pseudo-crate (root tests/, examples/) and any
+    // crate with no manifest in sight (fixture runs) see everything
+    // that is actually in the lint set.
+    let all: BTreeSet<String> = crates_in_use.iter().cloned().collect();
+    closure.insert("workspace".to_string(), all.clone());
+    for c in crates_in_use {
+        closure.entry(c.clone()).or_insert_with(|| all.clone());
+    }
+    (closure, pkg_idents)
+}
+
+/// `name = "…"` under `[package]`.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Dependency package names under `[dependencies]` (dev-dependencies
+/// excluded — see [`dependency_closure`]).
+fn dependency_names(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            let key = line
+                .split(['=', '.'])
+                .next()
+                .map(str::trim)
+                .unwrap_or_default();
+            if !key.is_empty() {
+                out.push(key.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Extract every fn item (plus impl/trait target type names) from one
+/// file. A single forward pass tracks brace depth and a stack of
+/// `impl`/`trait` frames so each fn knows its enclosing type.
+fn extract_fns(
+    f: &SourceFile,
+    file_idx: usize,
+    krate: &str,
+    out: &mut Vec<FnItem>,
+    type_names: &mut BTreeSet<String>,
+) {
+    let n = f.code.len();
+    let mut depth: i64 = 0;
+    // (brace depth at which the frame closes, impl/trait type name)
+    let mut frames: Vec<(i64, Option<String>)> = Vec::new();
+    // A parsed impl/trait header waiting for its opening brace.
+    let mut pending_frame: Option<Option<String>> = None;
+    let mut i = 0usize;
+    while i < n {
+        if f.in_attribute(i) {
+            i += 1;
+            continue;
+        }
+        let t = f.tok(i);
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                depth += 1;
+                if let Some(name) = pending_frame.take() {
+                    frames.push((depth, name));
+                }
+            }
+            (TokKind::Punct, "}") => {
+                if let Some((d, _)) = frames.last() {
+                    if *d == depth {
+                        frames.pop();
+                    }
+                }
+                depth -= 1;
+            }
+            (TokKind::Ident, "impl") | (TokKind::Ident, "trait") => {
+                let name = parse_impl_target(f, i);
+                if let Some(name) = &name {
+                    type_names.insert(name.clone());
+                }
+                pending_frame = Some(name);
+            }
+            (TokKind::Ident, "struct") | (TokKind::Ident, "enum")
+                if i + 1 < n && f.tok(i + 1).kind == TokKind::Ident =>
+            {
+                type_names.insert(f.tok(i + 1).text.clone());
+            }
+            // `fn` in type position (`fn(u8) -> u8`) has no name.
+            (TokKind::Ident, "fn") if i + 1 < n && f.tok(i + 1).kind == TokKind::Ident => {
+                let name = f.tok(i + 1).text.clone();
+                let line = t.line;
+                let impl_of = frames.last().and_then(|(_, n)| n.clone());
+                let body = fn_body_extent(f, i + 2);
+                out.push(FnItem {
+                    file: file_idx,
+                    name,
+                    impl_of,
+                    krate: krate.to_string(),
+                    line,
+                    body,
+                    is_test: f.is_test_line(line) || is_test_location(&f.rel),
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// The target type name of an `impl`/`trait` header starting at code
+/// index `i` (the keyword): `impl Foo`, `impl<T> Foo<T>`,
+/// `impl Trait for Foo`, `trait Name`. Returns `None` when no ident is
+/// found before the body brace.
+fn parse_impl_target(f: &SourceFile, i: usize) -> Option<String> {
+    let n = f.code.len();
+    let mut angle: i64 = 0;
+    let mut after_for: Option<String> = None;
+    let mut first_path_last: Option<String> = None;
+    let mut want_for_path = false;
+    let mut j = i + 1;
+    while j < n {
+        let t = f.tok(j);
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "<") => angle += 1,
+            // `->` must not close an angle bracket (Fn-sugar bounds).
+            (TokKind::Punct, ">") if j > 0 && f.tok(j - 1).text != "-" => angle -= 1,
+            (TokKind::Punct, "{") | (TokKind::Punct, ";") if angle <= 0 => break,
+            (TokKind::Ident, "where") if angle <= 0 => break,
+            (TokKind::Ident, "for") if angle <= 0 => {
+                want_for_path = true;
+            }
+            (TokKind::Ident, w) if angle <= 0 => {
+                if want_for_path {
+                    // Track the last segment of the path after `for`.
+                    after_for = Some(w.to_string());
+                } else if after_for.is_none() {
+                    first_path_last = Some(w.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    after_for.or(first_path_last)
+}
+
+/// Body extent of a fn whose signature starts at code index `p` (just
+/// past the name): the first `{` at zero paren/bracket depth opens the
+/// body; a `;` there means a bodiless declaration.
+fn fn_body_extent(f: &SourceFile, p: usize) -> Option<(usize, usize)> {
+    let n = f.code.len();
+    let mut paren: i64 = 0;
+    let mut bracket: i64 = 0;
+    let mut j = p;
+    while j < n {
+        match f.tok(j).text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => {
+                // Match braces to the close.
+                let mut depth = 0i64;
+                let mut k = j;
+                while k < n {
+                    match f.tok(k).text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((j, k));
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return Some((j, n - 1));
+            }
+            ";" if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse the file's `use` declarations into local-name → full-path
+/// entries. Handles nested groups (`use a::{b, c::d}`), renames
+/// (`as x`), and ignores globs (the call resolver falls back to
+/// crate-level name matching for those).
+fn parse_uses(f: &SourceFile) -> BTreeMap<String, Vec<String>> {
+    let mut map = BTreeMap::new();
+    let n = f.code.len();
+    let mut i = 0usize;
+    while i < n {
+        if f.tok(i).kind == TokKind::Ident && f.tok(i).text == "use" && !f.in_attribute(i) {
+            // Collect tokens to the terminating `;`.
+            let mut j = i + 1;
+            let mut toks: Vec<&str> = Vec::new();
+            while j < n && f.tok(j).text != ";" {
+                toks.push(f.tok(j).text.as_str());
+                j += 1;
+            }
+            expand_use_tree(&toks, &mut Vec::new(), &mut map);
+            i = j;
+        }
+        i += 1;
+    }
+    map
+}
+
+/// Recursively expand one use-tree token slice under `prefix`.
+fn expand_use_tree(
+    toks: &[&str],
+    prefix: &mut Vec<String>,
+    out: &mut BTreeMap<String, Vec<String>>,
+) {
+    let mut i = 0usize;
+    let depth_base = prefix.len();
+    while i < toks.len() {
+        match toks[i] {
+            "::" | ":" => {} // `::` arrives as two `:` puncts
+            "{" => {
+                // Split the group body at top-level commas and recurse.
+                let mut depth = 1usize;
+                let mut j = i + 1;
+                let mut start = j;
+                while j < toks.len() && depth > 0 {
+                    match toks[j] {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                expand_use_tree(&toks[start..j], &mut prefix.clone(), out);
+                            }
+                        }
+                        "," if depth == 1 => {
+                            expand_use_tree(&toks[start..j], &mut prefix.clone(), out);
+                            start = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                prefix.truncate(depth_base);
+                return;
+            }
+            "*" => {
+                prefix.truncate(depth_base);
+                return; // glob: not tracked
+            }
+            "as" => {
+                // `path as rename`: bind the rename to the path so far.
+                if i + 1 < toks.len() {
+                    out.insert(toks[i + 1].to_string(), prefix.clone());
+                }
+                prefix.truncate(depth_base);
+                return;
+            }
+            seg if seg
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_') =>
+            {
+                prefix.push(seg.to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if prefix.len() > depth_base || depth_base > 0 {
+        if let Some(last) = prefix.last() {
+            out.insert(last.clone(), prefix.clone());
+        }
+    }
+    prefix.truncate(depth_base);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> (SymbolTable, Vec<SourceFile>) {
+        let files = vec![SourceFile::analyze("crates/sim/src/x.rs".into(), src)];
+        let t = SymbolTable::build(Path::new("/nonexistent"), &files);
+        (t, files)
+    }
+
+    #[test]
+    fn extracts_free_fns_and_methods() {
+        let (t, _) = table(
+            "pub fn free() {}\nstruct S;\nimpl S {\n  pub fn method(&self) -> u8 { 0 }\n}\n\
+             impl std::fmt::Display for S {\n  fn fmt(&self) -> u8 { 1 }\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>)> = t
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_of.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            [("free", None), ("method", Some("S")), ("fmt", Some("S")),]
+        );
+        assert!(t.type_names.contains("S"));
+    }
+
+    #[test]
+    fn impl_header_with_fn_sugar_bound() {
+        let (t, _) = table("struct W;\nimpl<F: Fn(u8) -> u8> W {\n  fn go(&self) {}\n}\n");
+        assert_eq!(t.fns[0].impl_of.as_deref(), Some("W"));
+    }
+
+    #[test]
+    fn trait_default_methods_and_signatures() {
+        let (t, _) = table("trait T {\n  fn sig(&self);\n  fn dflt(&self) -> u8 { 0 }\n}\n");
+        assert_eq!(t.fns[0].name, "sig");
+        assert!(t.fns[0].body.is_none());
+        assert_eq!(t.fns[1].name, "dflt");
+        assert!(t.fns[1].body.is_some());
+        assert_eq!(t.fns[1].impl_of.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn nested_fn_is_attributed_innermost() {
+        let (t, _) = table("fn outer() {\n  fn inner() { leak(); }\n  inner();\n}\nfn leak() {}\n");
+        let inner = t.fns.iter().position(|f| f.name == "inner").unwrap();
+        let (open, _) = t.fns[inner].body.unwrap();
+        assert_eq!(t.enclosing_fn(0, open + 1), Some(inner));
+    }
+
+    #[test]
+    fn use_map_groups_and_renames() {
+        let (t, _) = table(
+            "use std::collections::{BTreeMap, BTreeSet};\nuse rand::rngs::StdRng as R;\n\
+             use sirpent_wire::buf::PacketBuf;\nfn f() {}\n",
+        );
+        let u = &t.uses[0];
+        assert_eq!(u["BTreeMap"], ["std", "collections", "BTreeMap"]);
+        assert_eq!(u["BTreeSet"], ["std", "collections", "BTreeSet"]);
+        assert_eq!(u["R"], ["rand", "rngs", "StdRng"]);
+        assert_eq!(u["PacketBuf"], ["sirpent_wire", "buf", "PacketBuf"]);
+    }
+
+    #[test]
+    fn crate_ids_from_paths() {
+        assert_eq!(crate_of("crates/sim/src/engine.rs"), "sim");
+        assert_eq!(crate_of("shims/rand/src/lib.rs"), "rand");
+        assert_eq!(crate_of("tests/golden_trace.rs"), "workspace");
+        assert_eq!(crate_of("examples/quickstart.rs"), "workspace");
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let (t, _) = table("fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\n");
+        assert!(!t.fns[0].is_test);
+        assert!(t.fns[1].is_test);
+    }
+}

@@ -1,0 +1,9 @@
+//! Interprocedural fixture, core side: this file contains no
+//! nondeterminism token at all — the violation exists only because the
+//! call graph connects it, two hops away, to the wall-clock read in
+//! `bad_leak.rs`. A per-file token scan must find nothing here.
+
+/// Core entry point: folds refreshed metrics into the window close.
+pub fn core_window_close(now: u64) -> u64 {
+    now + refresh_metrics()
+}

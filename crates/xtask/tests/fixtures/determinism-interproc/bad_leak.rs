@@ -1,0 +1,12 @@
+//! Interprocedural fixture, leaf: the actual wall-clock read that the
+//! core reaches through two calls.
+
+use std::time::SystemTime;
+
+/// Reads ambient wall-clock time.
+pub fn stamp_millis() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_millis() as u64,
+        Err(_) => 0,
+    }
+}

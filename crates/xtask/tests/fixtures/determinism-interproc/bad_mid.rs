@@ -1,0 +1,7 @@
+//! Interprocedural fixture, middle hop: no sources of its own, just a
+//! forwarding call to the leaking leaf.
+
+/// Mid-layer helper between the core and the leaf.
+pub fn refresh_metrics() -> u64 {
+    stamp_millis()
+}

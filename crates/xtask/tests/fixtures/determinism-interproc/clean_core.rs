@@ -1,0 +1,7 @@
+//! Clean fixture, core side: the same call shape as the violating pair,
+//! but the helper it reaches is deterministic.
+
+/// Core entry point: folds refreshed metrics into the window close.
+pub fn core_window_close(now: u64) -> u64 {
+    now + refresh_metrics()
+}

@@ -1,0 +1,6 @@
+//! Clean fixture, middle hop: pure arithmetic, nothing ambient.
+
+/// Deterministic helper — a fixed refresh cost.
+pub fn refresh_metrics() -> u64 {
+    7
+}

@@ -1,0 +1,25 @@
+//! Violating fixture: nondeterminism sources inside the deterministic
+//! core are flagged at their own sites.
+
+use std::collections::HashMap;
+
+/// Hash-ordered state inside the core.
+pub struct Metrics {
+    counts: HashMap<u8, u64>,
+}
+
+impl Metrics {
+    /// Iterates in hash order — varies per process.
+    pub fn dump(&self) -> Vec<(u8, u64)> {
+        let mut out = Vec::new();
+        for (k, v) in self.counts.iter() {
+            out.push((*k, *v));
+        }
+        out
+    }
+
+    /// Wall-clock read inside the core.
+    pub fn stamp_nanos(&self) -> u64 {
+        std::time::Instant::now().elapsed().as_nanos() as u64
+    }
+}

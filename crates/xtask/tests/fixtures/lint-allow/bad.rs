@@ -1,8 +1,15 @@
 //! Violating fixture: a reason-less allow suppresses nothing and is
-//! itself flagged.
+//! itself flagged; a reasoned allow that suppresses nothing is stale.
 
 /// The annotation below is missing its `-- <reason>` clause.
 pub fn head(v: &[u8]) -> u8 {
     // lint: allow(panic-free-dataplane)
     v[0]
+}
+
+/// The annotation below is reasoned, but the violation it once covered
+/// is gone — left in place it would mask the next regression here.
+pub fn safe_head(v: &[u8]) -> Option<u8> {
+    // lint: allow(panic-free-dataplane) -- the index was bounds-checked here once
+    v.first().copied()
 }

@@ -1,0 +1,9 @@
+//! Violating fixture: std::sync primitive construction outside the
+//! sync nucleus.
+
+/// Ad-hoc synchronization that belongs in sim/sync.rs.
+pub fn rogue() -> std::sync::Mutex<u8> {
+    let gate = std::sync::Barrier::new(4);
+    let _ = &gate;
+    std::sync::Mutex::new(0)
+}

@@ -1,0 +1,21 @@
+//! Violating fixture: a mailbox guard held across the window barrier
+//! (the deadlock shape), and mailbox locks acquired out of order.
+
+use std::sync::{Barrier, Mutex};
+
+/// Deadlock shape: the guard is still live at the barrier. A shard
+/// parked here holding `inbox` starves every peer that needs mailbox 2
+/// before it can reach the same barrier.
+pub fn close_window(barrier: &Barrier, mailboxes: &[Mutex<Vec<u8>>]) {
+    let mut inbox = mailboxes[2].lock().unwrap();
+    inbox.push(1);
+    barrier.wait();
+}
+
+/// AB/BA shape: descending acquisition order.
+pub fn crossing_transfer(mailboxes: &[Mutex<Vec<u8>>]) {
+    let hi = mailboxes[3].lock().unwrap();
+    let lo = mailboxes[1].lock().unwrap();
+    drop(lo);
+    drop(hi);
+}

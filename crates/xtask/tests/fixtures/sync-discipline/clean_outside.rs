@@ -1,0 +1,6 @@
+//! Clean fixture: no std::sync construction outside the nucleus.
+
+/// Plain data handling, no ad-hoc synchronization.
+pub fn tally(xs: &[u8]) -> u64 {
+    xs.iter().map(|&x| x as u64).sum()
+}

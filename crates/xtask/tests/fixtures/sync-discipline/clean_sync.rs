@@ -1,0 +1,21 @@
+//! Clean fixture: the guard is scoped out before the barrier, and
+//! nested mailbox locks ascend.
+
+use std::sync::{Barrier, Mutex};
+
+/// Guard dropped (by scope) before synchronizing.
+pub fn close_window(barrier: &Barrier, mailboxes: &[Mutex<Vec<u8>>]) {
+    {
+        let mut inbox = mailboxes[2].lock().unwrap();
+        inbox.push(1);
+    }
+    barrier.wait();
+}
+
+/// Ascending acquisition order.
+pub fn crossing_transfer(mailboxes: &[Mutex<Vec<u8>>]) {
+    let lo = mailboxes[1].lock().unwrap();
+    let hi = mailboxes[3].lock().unwrap();
+    drop(hi);
+    drop(lo);
+}
