@@ -11,7 +11,7 @@
 use sirpent_directory::{AccessSpec, RouteRecord};
 use sirpent_sim::SimDuration;
 use sirpent_wire::ethernet;
-use sirpent_wire::viper::{Flags, Priority, SegmentRepr, PORT_LOCAL};
+use sirpent_wire::viper::{AltBranch, Flags, Priority, SegmentRepr, ALT_SUFFIX_LEN, PORT_LOCAL};
 
 /// A route ready to stamp onto packets.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +23,11 @@ pub struct CompiledRoute {
     pub first_eth: Option<ethernet::Repr>,
     /// The VIPER segments, one per router, plus the final local segment.
     pub segments: Vec<SegmentRepr>,
+    /// The recovery segment list for protected routes (empty when no hop
+    /// carries an alternate branch): the route's own tail, which the
+    /// per-segment splice indices point into. Rides between the header
+    /// and the data on every packet stamped from this route.
+    pub recovery: Vec<SegmentRepr>,
     /// Path MTU, known up front (§2: no MTU discovery needed).
     pub path_mtu: usize,
     /// Base round-trip estimate for a ~1 KB request / small reply.
@@ -75,6 +80,7 @@ impl CompiledRoute {
                 priority,
                 port_token: tokens.get(i).cloned().unwrap_or_default(),
                 port_info,
+                alt: None,
             });
         }
         segments.push(SegmentRepr {
@@ -92,10 +98,44 @@ impl CompiledRoute {
                 ethertype: ethernet::EtherType::Sirpent,
             }),
             segments,
+            recovery: Vec::new(),
             path_mtu: props.mtu,
             base_rtt: record.base_rtt(1024, 64),
             router_ids: record.hops.iter().map(|h| h.router_id).collect(),
         }
+    }
+
+    /// Like [`CompiledRoute::compile`], but armed with directory-computed
+    /// alternate branches (`branches` is parallel to `record.hops`, as
+    /// produced by `sirpent_directory::Topology::protect`). Protected
+    /// hops get their branch stamped into the segment, and the canonical
+    /// recovery list — the route's own tail, ending in the local
+    /// terminator — is attached for the splice indices to point into.
+    /// When no hop has a branch the result is byte-identical to the
+    /// unprotected compilation.
+    pub fn compile_protected(
+        record: &RouteRecord,
+        tokens: &[Vec<u8>],
+        priority: Priority,
+        branches: &[Option<AltBranch>],
+    ) -> CompiledRoute {
+        let mut c = Self::compile(record, tokens, priority);
+        if branches.iter().any(Option::is_some) {
+            // Snapshot the tail *before* stamping branches: the recovery
+            // list must stay branch-free.
+            c.recovery = c.segments.iter().skip(1).cloned().collect();
+            for (seg, br) in c.segments.iter_mut().zip(branches) {
+                if br.is_some() {
+                    seg.alt = *br;
+                    // The alternate marker recycles the VNT/TREE flag
+                    // bits on the wire; a protected segment cannot carry
+                    // either hint.
+                    seg.flags.vnt = false;
+                    seg.flags.tree = false;
+                }
+            }
+        }
+        c
     }
 
     /// A direct route on the local network: no routers, just the access
@@ -110,9 +150,21 @@ impl CompiledRoute {
     }
 
     /// Total VIPER header bytes this route adds to every packet — the
-    /// quantity §6.2's overhead arithmetic is about.
+    /// quantity §6.2's overhead arithmetic is about. Protected routes
+    /// pay for their recovery tail and the descriptor suffix on the
+    /// local terminator too.
     pub fn header_bytes(&self) -> usize {
-        self.segments.iter().map(|s| s.buffer_len()).sum()
+        let descriptor = if self.recovery.is_empty() {
+            0
+        } else {
+            ALT_SUFFIX_LEN
+        };
+        self.segments
+            .iter()
+            .chain(&self.recovery)
+            .map(|s| s.buffer_len())
+            .sum::<usize>()
+            + descriptor
     }
 }
 
@@ -190,6 +242,56 @@ mod tests {
         // §6.2: "a VIPER header plus Ethernet header" = 18 bytes…
         // plus the 32-byte token when authorization is in use.
         assert_eq!(c.segments[0].buffer_len(), 18 + 32);
+    }
+
+    #[test]
+    fn protected_compile_arms_branches_and_recovery_tail() {
+        let record = RouteRecord {
+            access: access_p2p(),
+            hops: vec![hop_p2p(1, 2), hop_p2p(2, 2), hop_p2p(3, 2)],
+            endpoint_selector: vec![0xAB],
+        };
+        let branches = vec![
+            Some(AltBranch { port: 3, splice: 1 }),
+            None,
+            Some(AltBranch { port: 3, splice: 2 }),
+        ];
+        let c = CompiledRoute::compile_protected(&record, &[], Priority::NORMAL, &branches);
+        assert_eq!(c.segments[0].alt, branches[0]);
+        assert_eq!(c.segments[1].alt, None);
+        assert_eq!(c.segments[2].alt, branches[2]);
+        assert!(
+            !c.segments[0].flags.vnt,
+            "marker recycles the flag bits; hint cleared"
+        );
+        // Recovery = the route's own tail: hops 2 and 3, then local.
+        assert_eq!(c.recovery.len(), 3);
+        assert_eq!(c.recovery[0].port, 2);
+        assert!(c.recovery.iter().all(|s| s.alt.is_none()));
+        assert_eq!(c.recovery[2].port, PORT_LOCAL);
+        assert_eq!(c.recovery[2].port_info, vec![0xAB]);
+        // 3 transit segments (one carrying two 2-byte branch suffixes
+        // between them... exactly two of the three) + local w/ selector,
+        // plus the recovery tail and the 2-byte descriptor.
+        let base = 4 + 4 + 4 + 5;
+        let tail = 4 + 4 + 5;
+        assert_eq!(c.header_bytes(), base + 2 * ALT_SUFFIX_LEN + tail + 2);
+
+        // A packet stamped from it round-trips, descriptor normalized.
+        let pkt = sirpent_wire::packet::PacketBuilder::new()
+            .route(c.segments.clone())
+            .recovery(c.recovery.clone())
+            .payload(vec![1, 2, 3])
+            .build()
+            .unwrap();
+        let v = sirpent_wire::packet::PacketView::parse(&pkt).unwrap();
+        assert_eq!(v.route, c.segments);
+        assert_eq!(v.recovery, c.recovery);
+
+        // No branches → identical to the plain compilation.
+        let plain = CompiledRoute::compile(&record, &[], Priority::NORMAL);
+        let unarmed = CompiledRoute::compile_protected(&record, &[], Priority::NORMAL, &[None; 3]);
+        assert_eq!(plain, unarmed);
     }
 
     #[test]

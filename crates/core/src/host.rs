@@ -266,17 +266,20 @@ impl SirpentHost {
 
     /// Frame and schedule one Sirpent packet built from `vmtp` bytes
     /// over an explicit (route, port, eth) path.
+    #[allow(clippy::too_many_arguments)]
     fn ship(
         &mut self,
         ctx: &mut Context<'_>,
         at: SimTime,
         vmtp: Vec<u8>,
         segments: &[SegmentRepr],
+        recovery: &[SegmentRepr],
         host_port: u8,
         eth: Option<ethernet::Repr>,
     ) {
         let Ok(packet) = PacketBuilder::new()
             .route(segments.to_vec())
+            .recovery(recovery.to_vec())
             .payload(vmtp)
             .build()
         else {
@@ -321,13 +324,23 @@ impl SirpentHost {
                             continue;
                         };
                         let (route, port, eth) = (rc.route.clone(), rc.host_port, rc.eth);
-                        self.ship(ctx, at, bytes, &route, port, eth);
+                        // Replies ride the trailer-derived reverse route,
+                        // which carries no alternate protection.
+                        self.ship(ctx, at, bytes, &route, &[], port, eth);
                     } else {
                         let Some(set) = self.routes.get(&dst) else {
                             continue;
                         };
                         let r = set.current().clone();
-                        self.ship(ctx, at, bytes, &r.segments, r.host_port, r.first_eth);
+                        self.ship(
+                            ctx,
+                            at,
+                            bytes,
+                            &r.segments,
+                            &r.recovery,
+                            r.host_port,
+                            r.first_eth,
+                        );
                     }
                 }
                 Action::Deliver {

@@ -140,6 +140,7 @@ impl IpGateway {
             priority: seg.priority(),
             port_token: seg.port_token().to_vec(),
             port_info: Vec::new(),
+            alt: None,
         };
         drop(seg);
         if append_return_hop_buf(&mut packet, return_hop).is_err() {

@@ -13,16 +13,21 @@
 //!   queries, load/failure reports, token issuance, billing aggregation,
 //!   and the region-distance query-latency model;
 //! * [`cache`] — the client-side advisory cache with on-use staleness
-//!   detection.
+//!   detection;
+//! * [`alternates`] — route protection at grant time: per-hop
+//!   link-disjoint detours encoded as Slick-Packets-style alternate
+//!   branches over the route's own tail.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alternates;
 pub mod cache;
 pub mod name;
 pub mod route;
 pub mod server;
 
+pub use alternates::{Peer, Topology};
 pub use cache::RouteCache;
 pub use name::Name;
 pub use route::{

@@ -184,6 +184,22 @@ impl ViperConfig {
     }
 }
 
+/// In-network failover counters (Slick-Packets alternate branches).
+///
+/// `diversions` counts packets spliced onto their alternate branch;
+/// the two failure counters split the route-time `NextHopDown` drops by
+/// cause, so a scrape can tell "no protection encoded" from "protection
+/// encoded but the detour was down too".
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FailoverStats {
+    /// Packets diverted onto an alternate branch.
+    pub diversions: u64,
+    /// Next hop down and the segment carried no alternate.
+    pub no_alternate: u64,
+    /// Next hop down and the alternate's link or peer was down as well.
+    pub alternate_down: u64,
+}
+
 /// Counters exposed by the router: the shared staged-pipeline core plus
 /// the VIPER-specific extras. `Deref`s to [`PipelineStats`], so
 /// `stats.forwarded`, `stats.drops[reason]`, `stats.total_drops()`, …
@@ -206,6 +222,8 @@ pub struct RouterStats {
     pub limits_installed: u64,
     /// Modeled full-decrypt cost per token-cache miss, nanoseconds.
     pub token_decrypt_ns: sirpent_telemetry::Histogram,
+    /// In-network failover (alternate-branch diversion) counters.
+    pub failover: FailoverStats,
 }
 
 impl Deref for RouterStats {
@@ -390,6 +408,18 @@ impl Node for ViperRouter {
         let mut depth = sirpent_telemetry::Gauge::new();
         depth.set(self.queued_frames() as i64);
         reg.publish_gauge(names::ROUTER_QUEUE_DEPTH, &depth)?;
+        reg.publish_count(
+            names::FAILOVER_DIVERSIONS_TOTAL,
+            self.stats.failover.diversions,
+        )?;
+        reg.publish_count(
+            names::FAILOVER_NO_ALTERNATE_TOTAL,
+            self.stats.failover.no_alternate,
+        )?;
+        reg.publish_count(
+            names::FAILOVER_ALTERNATE_DOWN_TOTAL,
+            self.stats.failover.alternate_down,
+        )?;
         if self.token_cache.is_some() {
             reg.publish_count(names::TOKEN_CACHE_HITS_TOTAL, self.stats.token_cache_hits)?;
             // Every full decrypt is a cache miss (the fast path never

@@ -4,6 +4,7 @@
 
 use sirpent_sim::stats::Stage;
 use sirpent_sim::Context;
+use sirpent_wire::alt::{divert_onto_recovery, recovery_block_len};
 use sirpent_wire::buf::PacketBuf;
 use sirpent_wire::packet::strip_front_segment_buf;
 use sirpent_wire::viper::PORT_LOCAL;
@@ -111,16 +112,47 @@ impl ViperRouter {
         }
 
         if work.seg.port() == PORT_LOCAL {
+            // A terminating segment's alternate slot is overloaded as the
+            // recovery-list descriptor: the detour segments ride between
+            // the header and the data and must be skipped on delivery.
+            let payload = match work.seg.alt() {
+                None => work.packet.to_vec(),
+                Some(d) => {
+                    let skipped = recovery_block_len(work.packet.as_slice(), d.port)
+                        .ok()
+                        .and_then(|n| work.packet.as_slice().get(n..).map(<[u8]>::to_vec));
+                    match skipped {
+                        Some(p) => p,
+                        None => {
+                            self.drop_keyed(ctx, work.flight_key, DropReason::BadStructure);
+                            return;
+                        }
+                    }
+                }
+            };
             self.stats.local += 1;
             if let Some(key) = work.flight_key {
                 ctx.flight_record(key, HopKind::Delivered);
             }
-            self.local_delivered.push((ctx.now(), work.packet.to_vec()));
+            self.local_delivered.push((ctx.now(), payload));
             return;
         }
 
         let out_ports: Vec<u8> = match self.cfg.logical.resolve(work.seg.port()) {
-            PortBinding::Physical(p) => vec![p],
+            PortBinding::Physical(p) => {
+                // One liveness question for both failure modes: a dead
+                // wire and a crashed peer router are the same event to the
+                // forwarding decision — divert if the segment carries an
+                // alternate branch, else drop `NextHopDown`. (A port with
+                // no channel at all falls through to the `NoSuchPort`
+                // check below, as before.)
+                if self.next_hop_up(ctx, p) {
+                    vec![p]
+                } else {
+                    self.divert_or_drop(ctx, work);
+                    return;
+                }
+            }
             PortBinding::Trunk { members, strategy } => {
                 let now_ns = ctx.now().as_nanos();
                 // Prefer a member that is idle *and* has an empty queue.
@@ -194,5 +226,55 @@ impl ViperRouter {
         }
 
         self.auth_then_forward(ctx, work, out_ports);
+    }
+
+    /// Whether the resolved next hop is reachable *right now*: the
+    /// outgoing channel is up **and** the peer behind it (when the
+    /// channel is point-to-point) is running. Ports without an attached
+    /// channel answer `true` so the legacy `NoSuchPort` accounting keeps
+    /// claiming them.
+    fn next_hop_up(&self, ctx: &Context<'_>, port: u8) -> bool {
+        ctx.link_up(port).unwrap_or(true) && ctx.peer_up(port).unwrap_or(true)
+    }
+
+    /// The primary next hop is down. Splice onto the segment's alternate
+    /// branch if it carries one and the detour's first hop is itself
+    /// alive; otherwise drop with the unified `NextHopDown` reason.
+    fn divert_or_drop(&mut self, ctx: &mut Context<'_>, work: Work) {
+        let Some(ab) = work.seg.alt() else {
+            self.stats.failover.no_alternate += 1;
+            self.drop_keyed(ctx, work.flight_key, DropReason::NextHopDown);
+            return;
+        };
+        // No nested alternates: the recovery list is branch-free, so a
+        // detour whose own first hop is dead has nowhere left to go.
+        let alt_alive = self.ports.contains_key(&ab.port)
+            && matches!(ctx.link_up(ab.port), Ok(true))
+            && matches!(ctx.peer_up(ab.port), Ok(true));
+        if !alt_alive {
+            self.stats.failover.alternate_down += 1;
+            self.drop_keyed(ctx, work.flight_key, DropReason::NextHopDown);
+            return;
+        }
+        // Rebuild the header in place: detour segments from the splice
+        // point replace the remaining primary route; the landing router
+        // strips `recovery[splice]` through the ordinary route stage.
+        let diverted = match divert_onto_recovery(work.packet.as_slice(), ab.splice) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.drop_keyed(ctx, work.flight_key, DropReason::BadStructure);
+                return;
+            }
+        };
+        self.stats.failover.diversions += 1;
+        if let Some(key) = work.flight_key {
+            ctx.flight_record(key, HopKind::Diverted);
+        }
+        let out = ab.port;
+        let work = Work {
+            packet: PacketBuf::from_vec(diverted),
+            ..work
+        };
+        self.auth_then_forward(ctx, work, vec![out]);
     }
 }

@@ -123,6 +123,7 @@ impl ViperRouter {
             priority: meta.priority,
             port_token: seg.port_token().to_vec(),
             port_info: eth_return.map(|h| h.to_bytes()).unwrap_or_default(),
+            alt: None,
         });
         drop(seg);
         if let Some(rh) = return_hop {

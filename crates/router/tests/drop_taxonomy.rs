@@ -37,6 +37,7 @@ fn checklist(why: DropReason) -> (usize, Stage) {
         DropReason::RouterDown => (16, Stage::Parse),
         DropReason::Partitioned => (17, Stage::Transmit),
         DropReason::BadLength => (18, Stage::Parse),
+        DropReason::NextHopDown => (19, Stage::Route),
     }
 }
 

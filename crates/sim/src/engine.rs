@@ -251,6 +251,10 @@ pub(crate) struct TxRecord {
     /// Extra propagation delay drawn by an active jitter window (zero
     /// otherwise); added to every receiver-side instant for this frame.
     extra: SimDuration,
+    /// Every receiver copy was suppressed at transmit time (partition
+    /// cut or fault-injector drop) and accounted there. A later chaos
+    /// kill must not count this record a second time.
+    condemned: bool,
 }
 
 pub(crate) struct Channel {
@@ -506,6 +510,11 @@ pub(crate) struct Core {
     /// Frames whose scheduled deliveries were cancelled before their
     /// first bit (queued transmissions killed by a link-down or crash).
     pub(crate) cancelled: std::collections::BTreeSet<FrameId>,
+    /// Frames already charged to the chaos ledger by a mid-flight kill
+    /// whose (stale) delivery events are still queued. [`admit`] drains
+    /// entries as those events surface so a crashed receiver doesn't
+    /// charge the same frame a second `RouterDown` drop.
+    pub(crate) charged: std::collections::BTreeSet<FrameId>,
     /// Chaos-layer telemetry counters.
     pub(crate) chaos_counters: ChaosCounters,
     /// The per-packet flight recorder; `None` (the default) records
@@ -620,6 +629,7 @@ impl Core {
                 start,
                 end,
                 extra,
+                condemned: false,
             });
             ch.stats.frames += 1;
             ch.stats.bytes += payload.len() as u64;
@@ -635,6 +645,7 @@ impl Core {
         // the final tap's copy — a point-to-point link (one receiver)
         // delivers with zero clones.
         let n_receivers = receivers.len();
+        let mut suppressed = 0usize;
         let mut payload = Some(payload);
         for (i, &(node, rx_port)) in receivers.iter().enumerate() {
             // Partition window: suppression is deterministic (no RNG
@@ -644,6 +655,7 @@ impl Core {
                 let side = |n: NodeId| sides.get(n.0).copied().unwrap_or(false);
                 if side(sender) != side(node) {
                     self.chaos_stats.drop(DropReason::Partitioned);
+                    suppressed += 1;
                     continue;
                 }
             }
@@ -651,6 +663,7 @@ impl Core {
             let (drop_p, corrupt_p) = (f.drop_prob, f.corrupt_prob);
             if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
                 self.channels[ch_id.0].stats.drops += 1;
+                suppressed += 1;
                 continue;
             }
             // Sharing: each tap's copy is a FrameBuf clone (header bytes
@@ -715,6 +728,20 @@ impl Core {
                 self.push(start + prop + extra, node, Event::Frame(fe.clone()));
             }
             self.push(start + prop + extra, node, Event::Frame(fe));
+        }
+        // Every copy was suppressed and accounted above: mark the record
+        // so a chaos kill that later sweeps this channel doesn't charge
+        // the same frame a second drop. The record still occupies the
+        // wire until its last bit — the sender really transmitted.
+        if n_receivers > 0 && suppressed == n_receivers {
+            if let Some(rec) = self.channels[ch_id.0]
+                .in_flight
+                .iter_mut()
+                .rev()
+                .find(|r| r.frame == frame)
+            {
+                rec.condemned = true;
+            }
         }
         self.rx_scratch = receivers;
 
@@ -808,10 +835,23 @@ impl Core {
             (ch.prop, ch.rate_bps, ch.taps.clone(), killed)
         };
         for rec in killed {
-            self.chaos_stats.drop(why);
+            // A condemned record was already accounted (partition cut or
+            // fault-injector drop) when its deliveries were suppressed at
+            // transmit time; charging it again here would break packet
+            // conservation. The wire-freeing and abort notices above and
+            // below still apply — only the ledger entry is skipped.
+            if !rec.condemned {
+                self.chaos_stats.drop(why);
+            }
             if rec.start <= now {
                 // Mid-flight: receivers have (or will have) seen the
-                // first bit — retract it ahead of the phantom tail.
+                // first bit — retract it ahead of the phantom tail. The
+                // already-scheduled delivery events stay queued; remember
+                // the charge so a crashed receiver's `admit` doesn't
+                // count the frame again when they surface.
+                if !rec.condemned {
+                    self.charged.insert(rec.frame);
+                }
                 let bytes_sent = bytes_in(now - rec.start, rate);
                 for &(node, rx_port) in taps.iter().filter(|&&(n, _)| n != rec.sender) {
                     self.push(
@@ -909,6 +949,38 @@ impl Context<'_> {
             .tx_lookup(self.me, port)
             .ok_or(SimError::PortNotAttached)?;
         Ok(self.core.channels[ch.0].prop)
+    }
+
+    /// Whether the channel behind `port` is up (chaos link state). This
+    /// is what a real switch learns from loss-of-carrier on the failed
+    /// link — local knowledge, available at route-decision time.
+    pub fn link_up(&self, port: u8) -> Result<bool, SimError> {
+        let ch = self
+            .core
+            .tx_lookup(self.me, port)
+            .ok_or(SimError::PortNotAttached)?;
+        Ok(self.core.channels[ch.0].up)
+    }
+
+    /// Whether the peer behind `port` is up. Exact for point-to-point
+    /// links (one non-self tap: that node's crashed flag); conservative
+    /// `true` for shared-bus channels, where no single peer owns the
+    /// medium. Models link-level liveness detection (keepalive /
+    /// carrier) between adjacent routers — still strictly local state.
+    pub fn peer_up(&self, port: u8) -> Result<bool, SimError> {
+        let ch = self
+            .core
+            .tx_lookup(self.me, port)
+            .ok_or(SimError::PortNotAttached)?;
+        let mut peers = self.core.channels[ch.0]
+            .taps
+            .iter()
+            .filter(|&&(n, _)| n != self.me)
+            .map(|&(n, _)| n);
+        match (peers.next(), peers.next()) {
+            (Some(peer), None) => Ok(!self.core.down.get(peer.0).copied().unwrap_or(false)),
+            _ => Ok(true),
+        }
     }
 
     /// Abort this node's own in-flight transmission on `port` (priority
@@ -1010,6 +1082,7 @@ impl Simulator {
                 node_epoch: Vec::new(),
                 partition: None,
                 cancelled: std::collections::BTreeSet::new(),
+                charged: std::collections::BTreeSet::new(),
                 chaos_counters: ChaosCounters::default(),
                 flight: None,
                 seed,
@@ -1252,12 +1325,22 @@ impl Simulator {
     fn apply_chaos(&mut self, action: ChaosAction) {
         // Partition windows are global state, broadcast to every shard;
         // only the primary (shard 0, or a serial simulator) counts them,
-        // so a merged scrape sees each global event exactly once.
-        let mirror_silent = self.core.chaos_mirror
+        // so a merged scrape sees each global event exactly once. Router
+        // crash/restart is likewise broadcast (adjacent routers on other
+        // shards read the crashed flag through `Context::peer_up`); only
+        // the shard hosting the node object counts it.
+        let resident = match action {
+            ChaosAction::RouterCrash { node } | ChaosAction::RouterRestart { node } => {
+                self.nodes.get(node.0).map(|n| n.is_some()).unwrap_or(false)
+            }
+            _ => true,
+        };
+        let mirror_silent = (self.core.chaos_mirror
             && matches!(
                 action,
                 ChaosAction::PartitionStart { .. } | ChaosAction::PartitionEnd
-            );
+            ))
+            || !resident;
         if !mirror_silent {
             let c = &mut self.core.chaos_counters;
             c.events.inc();
@@ -1364,16 +1447,21 @@ impl Simulator {
         }
         // Chaos: deliveries of frames whose queued transmission was
         // killed before its first bit never happened.
+        let mut charged = false;
         if let Event::Frame(fe) = &sched.event {
             if !core.cancelled.is_empty() && core.cancelled.contains(&fe.frame.id) {
                 return false;
             }
+            // Drain the charged tombstone either way — the frame's loss
+            // (if any) is settled once its delivery event surfaces.
+            charged = !core.charged.is_empty() && core.charged.remove(&fe.frame.id);
         }
         // Chaos: a crashed node receives nothing. Arriving frames are
-        // accounted as RouterDown losses; everything else addressed to
-        // it dies silently.
+        // accounted as RouterDown losses — unless a mid-flight kill
+        // already charged them — and everything else addressed to it
+        // dies silently.
         if core.down.get(sched.target.0).copied().unwrap_or(false) {
-            if matches!(sched.event, Event::Frame(_)) {
+            if matches!(sched.event, Event::Frame(_)) && !charged {
                 core.chaos_stats.drop(DropReason::RouterDown);
             }
             return false;

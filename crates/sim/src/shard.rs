@@ -340,6 +340,7 @@ impl ShardedSimulator {
             sx.core.chaos_mirror = k != 0;
             sx.core.partition = core.partition.clone();
             sx.core.cancelled = core.cancelled.clone();
+            sx.core.charged = core.charged.clone();
             if let Some(cap) = flight_cap {
                 if let Ok(fr) = FlightRecorder::new(cap) {
                     sx.core.flight = Some(fr);
@@ -525,9 +526,13 @@ impl ShardedSimulator {
 }
 
 /// Which shard(s) a chaos event belongs to: channel-scoped events go to
-/// the channel's owner, router events to the node's owner, and global
-/// partition flips to every shard (mirrors apply the state change but
-/// suppress the counters).
+/// the channel's owner; router crash/restart and global partition flips
+/// go to every shard (mirrors apply the state change but suppress the
+/// counters). Broadcasting crashes keeps the per-node `down` flags —
+/// which adjacent routers on *other* shards read through
+/// `Context::peer_up` at route-decision time — coherent across the
+/// fleet: chaos applies at window barriers, so every shard sees the
+/// flip before any event in the affected window dispatches.
 fn chaos_goes_to(action: &ChaosAction, shard: usize, part: &Partition) -> bool {
     match action {
         ChaosAction::LinkDown { ch }
@@ -540,10 +545,10 @@ fn chaos_goes_to(action: &ChaosAction, shard: usize, part: &Partition) -> bool {
         | ChaosAction::ErrorBurstEnd { ch } => {
             part.ch_owner.get(ch.0).copied().unwrap_or(0) == shard
         }
-        ChaosAction::RouterCrash { node } | ChaosAction::RouterRestart { node } => {
-            part.owner.get(node.0).copied().unwrap_or(0) == shard
-        }
-        ChaosAction::PartitionStart { .. } | ChaosAction::PartitionEnd => true,
+        ChaosAction::RouterCrash { .. }
+        | ChaosAction::RouterRestart { .. }
+        | ChaosAction::PartitionStart { .. }
+        | ChaosAction::PartitionEnd => true,
     }
 }
 
@@ -656,6 +661,9 @@ fn merge_shards(
             .add(c.chaos_counters.windows.get());
         for f in &c.cancelled {
             merged.core.cancelled.insert(*f);
+        }
+        for f in &c.charged {
+            merged.core.charged.insert(*f);
         }
     }
     merged.core.partition = cores.first().and_then(|c| c.partition.clone());

@@ -107,11 +107,21 @@ pub enum DropReason {
     /// datagram truncated/padded in transit. Caught at parse so the
     /// bogus length can never index past a buffer downstream.
     BadLength,
+    /// The resolved next hop was unreachable at forwarding time — the
+    /// outgoing link or the peer router behind it was down — and the
+    /// segment carried no usable alternate branch. Unlike [`LinkDown`]
+    /// (killed on the wire) or [`RouterDown`] (purged on arrival), this
+    /// is a *route-time* decision: the router saw the failure and had
+    /// nowhere to divert.
+    ///
+    /// [`LinkDown`]: DropReason::LinkDown
+    /// [`RouterDown`]: DropReason::RouterDown
+    NextHopDown,
 }
 
 impl DropReason {
     /// Every reason, in dense-index order.
-    pub const ALL: [DropReason; 19] = [
+    pub const ALL: [DropReason; 20] = [
         DropReason::ParseError,
         DropReason::NoSuchPort,
         DropReason::QueueFull,
@@ -131,6 +141,7 @@ impl DropReason {
         DropReason::RouterDown,
         DropReason::Partitioned,
         DropReason::BadLength,
+        DropReason::NextHopDown,
     ];
 
     /// Number of reasons.
@@ -158,6 +169,7 @@ impl DropReason {
             DropReason::RouterDown => 16,
             DropReason::Partitioned => 17,
             DropReason::BadLength => 18,
+            DropReason::NextHopDown => 19,
         }
     }
 
@@ -184,6 +196,7 @@ impl DropReason {
             DropReason::RouterDown => "router_down",
             DropReason::Partitioned => "partitioned",
             DropReason::BadLength => "bad_length",
+            DropReason::NextHopDown => "next_hop_down",
         }
     }
 
@@ -199,7 +212,8 @@ impl DropReason {
             | DropReason::TooDeep
             | DropReason::TtlExpired
             | DropReason::NoRoute
-            | DropReason::UnknownCircuit => Stage::Route,
+            | DropReason::UnknownCircuit
+            | DropReason::NextHopDown => Stage::Route,
             DropReason::TokenMissing | DropReason::TokenRejected => Stage::Authorize,
             DropReason::QueueFull | DropReason::DropIfBlocked | DropReason::CannotFragment => {
                 Stage::Enqueue

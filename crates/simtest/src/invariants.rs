@@ -1,4 +1,4 @@
-//! The five global invariants, as reusable checkers.
+//! The six global invariants, as reusable checkers.
 //!
 //! Each checker runs the scenario (twice — determinism is itself an
 //! invariant) and returns `None` on success or `Some(description)` of
@@ -19,6 +19,62 @@ fn drop_ledger(r: &RunReport) -> u64 {
     r.node_drops + r.chan_drops + r.chaos_drops + r.leftover_queued
 }
 
+/// The **diverted-replies-route-back** invariant: every forward packet
+/// that reached its destination via an in-network diversion (a bypass
+/// landing at a router's port 4 or at the destination's port 5/6) must
+/// get its phase-2 reply delivered, and the reply's own trailer must
+/// retrace — in reverse — the path the forward packet *actually took*:
+/// the reply arrives at each router on that router's forward *output*
+/// port, which is 3 exactly where the forward packet diverted and 2
+/// everywhere else.
+pub fn diverted_replies_route_back(r: &RunReport) -> Option<String> {
+    for rec in &r.reply_book {
+        let landed_by_bypass = rec.dst_port != 0;
+        let diverted = rec.protected && (landed_by_bypass || rec.forward_hops.contains(&4));
+        if !diverted {
+            continue;
+        }
+        let m = rec.reply_marker;
+        if r.reply_hits.get(&m).copied().unwrap_or(0) == 0 {
+            return Some(format!(
+                "diverted-reply: reply {m:016x} to a diverted flow (forward hops \
+                 {:?}, dst port {}) never reached the source host",
+                rec.forward_hops, rec.dst_port
+            ));
+        }
+        let Some(reply_hops) = r.reply_trailer_hops.get(&m) else {
+            return Some(format!(
+                "diverted-reply: reply {m:016x} was delivered but its trailer \
+                 could not be parsed back"
+            ));
+        };
+        let hops = &rec.forward_hops;
+        let mut expect: Vec<u8> = (0..hops.len())
+            .map(|i| {
+                let next_is_bypass = match hops.get(i + 1) {
+                    Some(&p) => p == 4,
+                    None => landed_by_bypass,
+                };
+                if next_is_bypass {
+                    3
+                } else {
+                    2
+                }
+            })
+            .collect();
+        expect.reverse();
+        if reply_hops != &expect {
+            return Some(format!(
+                "diverted-reply: reply {m:016x} took path {reply_hops:?} back, \
+                 but the forward path (arrival ports {hops:?}, dst port {}) \
+                 demands {expect:?}",
+                rec.dst_port
+            ));
+        }
+    }
+    None
+}
+
 fn determinism(spec: &Scenario) -> Result<RunReport, String> {
     let a = execute(spec);
     let b = execute(spec);
@@ -35,7 +91,8 @@ fn determinism(spec: &Scenario) -> Result<RunReport, String> {
 }
 
 /// Exact-tier invariants: strict packet conservation, exactly-once
-/// delivery, phantom-freedom, reply routing, determinism.
+/// delivery, phantom-freedom, reply routing, diverted-reply
+/// path-retracing, determinism.
 ///
 /// Valid for scenarios generated with [`crate::spec::Profile::Exact`]:
 /// no CVC rails (their switches originate control traffic, which breaks
@@ -88,11 +145,12 @@ pub fn check_exact(spec: &Scenario) -> Option<String> {
              source host"
         ));
     }
-    None
+    diverted_replies_route_back(&r)
 }
 
 /// Corpus-tier invariants: set-based conservation, bounded duplication,
-/// phantom-freedom, reply routing, determinism.
+/// phantom-freedom, reply routing, diverted-reply path-retracing,
+/// determinism.
 ///
 /// Handles everything the generator can emit — CVC rails, duplication
 /// windows, error bursts — at the cost of a weaker ledger: every
@@ -154,5 +212,5 @@ pub fn check_corpus(spec: &Scenario) -> Option<String> {
              source host"
         ));
     }
-    None
+    diverted_replies_route_back(&r)
 }

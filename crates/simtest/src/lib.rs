@@ -2,7 +2,7 @@
 //!
 //! One seed deterministically generates a mixed VIPER/IP/CVC topology,
 //! a workload, and a timed fault schedule ([`spec`]); the harness
-//! instantiates and runs it ([`scenario`]) and checks five global
+//! instantiates and runs it ([`scenario`]) and checks six global
 //! invariants ([`invariants`]):
 //!
 //! 1. **Packet conservation** — every injected packet is delivered,
@@ -16,7 +16,11 @@
 //! 4. **Reply routing** — the return route accumulated in a delivered
 //!    packet's trailer routes a reply back to the source, even across
 //!    router crashes (source routes live in packets, not routers).
-//! 5. **Determinism** — the same seed produces a byte-identical run
+//! 5. **Diverted replies route back** — a packet delivered via an
+//!    in-network diversion (Slick-Packets alternate branch) still gets
+//!    its reply, and the reply's trailer retraces the path the forward
+//!    packet *actually took*, bypass hops included.
+//! 6. **Determinism** — the same seed produces a byte-identical run
 //!    digest, every time.
 //!
 //! When a seed fails, the [`shrink`] module minimizes the scenario with
@@ -31,10 +35,10 @@ pub mod shrink;
 pub mod spec;
 pub mod topo;
 
-pub use invariants::{check_corpus, check_exact};
+pub use invariants::{check_corpus, check_exact, diverted_replies_route_back};
 pub use scenario::{
-    build, build_with_queue, execute, execute_sharded, execute_with_queue, run, run_traced,
-    RunReport,
+    build, build_stripped, build_with_queue, execute, execute_sharded, execute_stripped,
+    execute_with_queue, outcome_digest, run, run_traced, ReplyRecord, RunReport,
 };
 pub use shrink::{shrink, write_fixture};
 pub use spec::{Profile, Scenario};

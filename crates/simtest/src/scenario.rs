@@ -26,7 +26,7 @@ use sirpent_wire::cvc::Message;
 use sirpent_wire::ipish::{self, Address};
 use sirpent_wire::packet::PacketBuilder;
 use sirpent_wire::trailer::Trailer;
-use sirpent_wire::viper::{SegmentRepr, PORT_LOCAL};
+use sirpent_wire::viper::{AltBranch, SegmentRepr, PORT_LOCAL};
 
 use crate::spec::{FaultSpec, RailKind, Scenario, FLUSH_US};
 
@@ -56,6 +56,12 @@ pub struct BuiltRail {
     pub fwd: Vec<ChannelId>,
     /// Reverse-direction channels, same hop order.
     pub rev: Vec<ChannelId>,
+    /// Bypass channels of a protected rail (both directions, in router
+    /// order): router `j`'s port-3 detour around its forward hop.
+    pub bypass: Vec<ChannelId>,
+    /// Whether the rail carries alternate-branch protection (see
+    /// [`crate::spec::RailSpec::protected`]).
+    pub protected: bool,
     /// Workload markers injected on this rail.
     pub markers: Vec<u64>,
     /// The drain flush packet's marker.
@@ -72,6 +78,26 @@ pub struct BuiltScenario {
     pub rails: Vec<BuiltRail>,
     /// Count of planned injections so far (workload + flush).
     pub injected: u64,
+}
+
+/// Book-keeping for one planned phase-2 reply: everything the
+/// diverted-replies-route-back invariant needs to pin the reply's path
+/// against the forward path the packet *actually took* (which, on a
+/// protected rail under chaos, may differ from the primary route).
+#[derive(Debug, Clone)]
+pub struct ReplyRecord {
+    /// The reply's marker (forward marker XOR the reply salt).
+    pub reply_marker: u64,
+    /// Arrival ports the forward packet's trailer recorded, one per
+    /// router visited, in forward order. Port 4 marks a bypass landing.
+    pub forward_hops: Vec<u8>,
+    /// The destination-host port the forward packet arrived on: 0 is the
+    /// primary chain, 5/6 are bypass landings from the last two routers.
+    pub dst_port: u8,
+    /// Routers on the rail's primary chain.
+    pub rail_routers: usize,
+    /// Whether the rail was protected.
+    pub protected: bool,
 }
 
 /// Everything the invariant checks need from one finished run.
@@ -97,6 +123,13 @@ pub struct RunReport {
     pub replies_expected: Vec<u64>,
     /// Delivery count per reply marker at the source hosts.
     pub reply_hits: BTreeMap<u64, u32>,
+    /// One record per planned reply, pinning the forward path taken.
+    pub reply_book: Vec<ReplyRecord>,
+    /// Arrival ports each *delivered* reply's own trailer recorded, in
+    /// the reply's visit order, keyed by reply marker.
+    pub reply_trailer_hops: BTreeMap<u64, Vec<u8>>,
+    /// Total in-network diversions across every VIPER router.
+    pub diversions: u64,
     /// Uncorrupted frames at VIPER/IP rail destinations carrying no
     /// known marker — phantom deliveries (must be zero).
     pub phantom_frames: u64,
@@ -150,7 +183,22 @@ fn contains_marker(bytes: &[u8], marker: u64) -> bool {
     bytes.windows(8).any(|w| w == needle)
 }
 
-fn viper_cfg(router_id: u32, kind: RailKind) -> ViperConfig {
+fn viper_cfg(router_id: u32, kind: RailKind, protected: bool) -> ViperConfig {
+    // Protected rails add port 3 (bypass out) and port 4 (bypass in);
+    // unprotected rails keep the historical two-port shape so their runs
+    // stay byte-identical to pre-failover builds.
+    let mut port_ids = vec![1u8, 2];
+    if protected {
+        port_ids.extend([3, 4]);
+    }
+    let ports = port_ids
+        .into_iter()
+        .map(|port| PortConfig {
+            port,
+            kind: PortKind::PointToPoint,
+            mtu: 1600,
+        })
+        .collect();
     ViperConfig {
         router_id,
         mode: match kind {
@@ -160,18 +208,7 @@ fn viper_cfg(router_id: u32, kind: RailKind) -> ViperConfig {
             },
         },
         decision_delay: SimDuration::from_nanos(500),
-        ports: vec![
-            PortConfig {
-                port: 1,
-                kind: PortKind::PointToPoint,
-                mtu: 1600,
-            },
-            PortConfig {
-                port: 2,
-                kind: PortKind::PointToPoint,
-                mtu: 1600,
-            },
-        ],
+        ports,
         auth: None,
         logical: LogicalTable::new(),
         queue_capacity: 8,
@@ -192,6 +229,45 @@ fn viper_workload_frame(hops: usize, marker: u64, len: usize) -> Vec<u8> {
         .payload(marker_payload(marker, len))
         .build()
         .expect("workload packet builds");
+    LinkFrame::Sirpent {
+        ff_hint: 0,
+        packet: packet.into(),
+    }
+    .to_p2p_bytes()
+}
+
+/// The armed counterpart of [`viper_workload_frame`]: every transit
+/// segment carries an alternate branch out port 3, spliced into the
+/// route's own tail. Router `j` (1-based) of an `n`-router chain detours
+/// to router `j+2` — rejoining at recovery index `j` — except the last
+/// two routers, whose bypass wires land directly on the destination
+/// (recovery's final, local entry at index `n-1`).
+fn viper_protected_frame(hops: usize, marker: u64, len: usize) -> Vec<u8> {
+    let n = hops;
+    let mut b = PacketBuilder::new();
+    for j in 1..=n {
+        b = b.segment(SegmentRepr {
+            port: 2,
+            alt: Some(AltBranch {
+                port: 3,
+                splice: j.min(n - 1) as u8,
+            }),
+            ..Default::default()
+        });
+    }
+    let mut recovery: Vec<SegmentRepr> = (1..n)
+        .map(|_| SegmentRepr {
+            port: 2,
+            ..Default::default()
+        })
+        .collect();
+    recovery.push(SegmentRepr::minimal(PORT_LOCAL));
+    let packet = b
+        .segment(SegmentRepr::minimal(PORT_LOCAL))
+        .recovery(recovery)
+        .payload(marker_payload(marker, len))
+        .build()
+        .expect("protected workload packet builds");
     LinkFrame::Sirpent {
         ff_hint: 0,
         packet: packet.into(),
@@ -242,6 +318,19 @@ pub fn build(spec: &Scenario) -> BuiltScenario {
 /// the heap-vs-calendar differential suite runs the same scenario on
 /// both and demands byte-identical digests.
 pub fn build_with_queue(spec: &Scenario, queue: sirpent_sim::QueueKind) -> BuiltScenario {
+    build_inner(spec, queue, true)
+}
+
+/// [`build`], but with the alternate branches *stripped from the
+/// headers*: identical topology (bypass wires and all), workload, and
+/// fault schedule, except protected rails inject plain unprotected
+/// packets. The failover differential suite runs armed and stripped
+/// builds of the same scenario and compares outcomes.
+pub fn build_stripped(spec: &Scenario) -> BuiltScenario {
+    build_inner(spec, sirpent_sim::QueueKind::default(), false)
+}
+
+fn build_inner(spec: &Scenario, queue: sirpent_sim::QueueKind, arm: bool) -> BuiltScenario {
     let mut sim = Simulator::with_queue(spec.seed, queue);
     let mut rails = Vec::new();
 
@@ -249,52 +338,52 @@ pub fn build_with_queue(spec: &Scenario, queue: sirpent_sim::QueueKind) -> Built
         let src = sim.add_node(Box::new(ScriptedHost::new()));
         let mut routers = Vec::new();
         for j in 0..r.routers {
-            let id: Box<dyn sirpent_sim::Node> = match r.kind {
-                RailKind::ViperSf | RailKind::ViperCut => Box::new(ViperRouter::new(viper_cfg(
-                    (rail_idx * 16 + j + 1) as u32,
-                    r.kind,
-                ))),
-                RailKind::Ip => {
-                    let subnet = Address::new(10, rail_idx as u8, 2, 0);
-                    Box::new(
-                        IpRouter::new(IpConfig {
-                            process_delay: SimDuration::from_micros(20),
-                            ports: vec![
-                                IpPortConfig {
-                                    port: 1,
-                                    kind: PortKind::PointToPoint,
-                                    mtu: 1500,
-                                },
-                                IpPortConfig {
-                                    port: 2,
-                                    kind: PortKind::PointToPoint,
-                                    mtu: 1500,
-                                },
-                            ],
-                            routes: vec![RouteEntry {
-                                prefix: subnet,
-                                prefix_len: 24,
-                                out_port: 2,
-                                next_hop_mac: None,
-                            }],
-                            queue_capacity: 8,
-                        })
-                        .expect("scenario ip config is valid"),
-                    )
-                }
-                RailKind::Cvc => Box::new(CvcSwitch::new(CvcConfig {
-                    process_delay: SimDuration::from_micros(5),
-                    setup_delay: SimDuration::from_micros(200),
-                    routes: vec![CvcRoute {
-                        dest: cvc_dest(rail_idx),
-                        // The terminal switch is the circuit's local
-                        // attachment; earlier switches forward on.
-                        out_port: if j + 1 == r.routers { 0 } else { 2 },
-                    }],
-                    max_circuits: 100,
-                    reservable_fraction: 0.8,
-                })),
-            };
+            let id: Box<dyn sirpent_sim::Node> =
+                match r.kind {
+                    RailKind::ViperSf | RailKind::ViperCut => Box::new(ViperRouter::new(
+                        viper_cfg((rail_idx * 16 + j + 1) as u32, r.kind, r.protected),
+                    )),
+                    RailKind::Ip => {
+                        let subnet = Address::new(10, rail_idx as u8, 2, 0);
+                        Box::new(
+                            IpRouter::new(IpConfig {
+                                process_delay: SimDuration::from_micros(20),
+                                ports: vec![
+                                    IpPortConfig {
+                                        port: 1,
+                                        kind: PortKind::PointToPoint,
+                                        mtu: 1500,
+                                    },
+                                    IpPortConfig {
+                                        port: 2,
+                                        kind: PortKind::PointToPoint,
+                                        mtu: 1500,
+                                    },
+                                ],
+                                routes: vec![RouteEntry {
+                                    prefix: subnet,
+                                    prefix_len: 24,
+                                    out_port: 2,
+                                    next_hop_mac: None,
+                                }],
+                                queue_capacity: 8,
+                            })
+                            .expect("scenario ip config is valid"),
+                        )
+                    }
+                    RailKind::Cvc => Box::new(CvcSwitch::new(CvcConfig {
+                        process_delay: SimDuration::from_micros(5),
+                        setup_delay: SimDuration::from_micros(200),
+                        routes: vec![CvcRoute {
+                            dest: cvc_dest(rail_idx),
+                            // The terminal switch is the circuit's local
+                            // attachment; earlier switches forward on.
+                            out_port: if j + 1 == r.routers { 0 } else { 2 },
+                        }],
+                        max_circuits: 100,
+                        reservable_fraction: 0.8,
+                    })),
+                };
             routers.push(sim.add_node(id));
         }
         let dst = sim.add_node(Box::new(ScriptedHost::new()));
@@ -312,6 +401,27 @@ pub fn build_with_queue(spec: &Scenario, queue: sirpent_sim::QueueKind) -> Built
         let (f, b) = sim.p2p(routers[r.routers - 1], 2, dst, 0, RATE_BPS, PROP);
         fwd.push(f);
         rev.push(b);
+
+        // Protected rails: wire router j's bypass (port 3) around its
+        // forward hop — to router j+2's port 4 where one exists, else
+        // straight to the destination (ports 5 and 6 for the last two
+        // routers). The wiring exists whether or not the headers are
+        // armed, so the stripped differential arm sees the same network.
+        let mut bypass = Vec::new();
+        if r.protected {
+            for j in 1..=r.routers {
+                let (to_node, to_port) = if j + 2 <= r.routers {
+                    (routers[j + 1], 4)
+                } else if j + 1 == r.routers {
+                    (dst, 5)
+                } else {
+                    (dst, 6)
+                };
+                let (f, b) = sim.p2p(routers[j - 1], 3, to_node, to_port, RATE_BPS, PROP);
+                bypass.push(f);
+                bypass.push(b);
+            }
+        }
 
         // Static per-frame faults on forward channels only: replies in
         // phase 2 ride the reverse channels, which stay clean.
@@ -342,18 +452,15 @@ pub fn build_with_queue(spec: &Scenario, queue: sirpent_sim::QueueKind) -> Built
             let host = sim.node_mut::<ScriptedHost>(src);
             match r.kind {
                 RailKind::ViperSf | RailKind::ViperCut => {
+                    let frame = if r.protected && arm {
+                        viper_protected_frame
+                    } else {
+                        viper_workload_frame
+                    };
                     for p in &r.packets {
-                        host.plan(
-                            us(p.at_us),
-                            0,
-                            viper_workload_frame(r.routers, p.marker, p.payload_len),
-                        );
+                        host.plan(us(p.at_us), 0, frame(r.routers, p.marker, p.payload_len));
                     }
-                    host.plan(
-                        us(FLUSH_US),
-                        0,
-                        viper_workload_frame(r.routers, flush_marker, 16),
-                    );
+                    host.plan(us(FLUSH_US), 0, frame(r.routers, flush_marker, 16));
                 }
                 RailKind::Ip => {
                     for (k, p) in r.packets.iter().enumerate() {
@@ -408,6 +515,8 @@ pub fn build_with_queue(spec: &Scenario, queue: sirpent_sim::QueueKind) -> Built
             routers,
             fwd,
             rev,
+            bypass,
+            protected: r.protected,
             markers,
             flush_marker,
             dup_window: false,
@@ -593,7 +702,7 @@ pub fn execute_sharded(spec: &Scenario, shards: usize, threads: usize) -> RunRep
 /// and everything from reply planning onward is serial.
 fn finish(mut built: BuiltScenario) -> (RunReport, Option<sirpent_telemetry::FlightRecorder>) {
     // Phase 2: reverse-route replies from delivered trailers.
-    let mut replies_expected = Vec::new();
+    let mut reply_book: Vec<ReplyRecord> = Vec::new();
     for rail in &built.rails {
         if !matches!(rail.kind, RailKind::ViperSf | RailKind::ViperCut) {
             continue;
@@ -611,7 +720,7 @@ fn finish(mut built: BuiltScenario) -> (RunReport, Option<sirpent_telemetry::Fli
                     continue;
                 };
                 let reply_marker = marker ^ REPLY_SALT;
-                if replies_expected.contains(&reply_marker) {
+                if reply_book.iter().any(|b| b.reply_marker == reply_marker) {
                     continue; // duplicated delivery: one reply is enough
                 }
                 let trailer = Trailer::parse(&packet).expect("delivered packet has a trailer");
@@ -624,23 +733,34 @@ fn finish(mut built: BuiltScenario) -> (RunReport, Option<sirpent_telemetry::Fli
                     .payload(marker_payload(reply_marker, 16))
                     .build()
                     .expect("reply packet builds");
-                replies_expected.push(reply_marker);
-                reply_plans.push(
+                reply_book.push(ReplyRecord {
+                    reply_marker,
+                    forward_hops: trailer.return_hops.iter().map(|s| s.port).collect(),
+                    dst_port: rec.port,
+                    rail_routers: rail.routers.len(),
+                    protected: rail.protected,
+                });
+                // The reply leaves on the port the forward packet
+                // arrived on: a bypass landing must be answered over the
+                // bypass wire, or the trailer route starts at the wrong
+                // router.
+                reply_plans.push((
+                    rec.port,
                     LinkFrame::Sirpent {
                         ff_hint: 0,
                         packet: reply.into(),
                     }
                     .to_p2p_bytes(),
-                );
+                ));
             }
         }
         if !reply_plans.is_empty() {
             let now = built.sim.now();
             let host = built.sim.node_mut::<ScriptedHost>(rail.dst);
-            for (i, bytes) in reply_plans.into_iter().enumerate() {
+            for (i, (port, bytes)) in reply_plans.into_iter().enumerate() {
                 host.plan(
                     now + SimDuration::from_micros(100 * (i as u64 + 1)),
-                    0,
+                    port,
                     bytes,
                 );
                 built.injected += 1;
@@ -651,11 +771,12 @@ fn finish(mut built: BuiltScenario) -> (RunReport, Option<sirpent_telemetry::Fli
     built.sim.run_until(PHASE2_END);
 
     let flight = built.sim.flight().cloned();
-    (scrape(built, replies_expected), flight)
+    (scrape(built, reply_book), flight)
 }
 
-fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {
+fn scrape(built: BuiltScenario, reply_book: Vec<ReplyRecord>) -> RunReport {
     let sim = &built.sim;
+    let replies_expected: Vec<u64> = reply_book.iter().map(|b| b.reply_marker).collect();
     let node_drops: u64 = sim.scrape_all().iter().map(|(_, s)| s.total_drops()).sum();
     let chaos_drops = sim.chaos_stats().total_drops();
 
@@ -665,15 +786,17 @@ fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {
     let mut leftover_queued = 0u64;
     let mut marker_hits: BTreeMap<u64, u32> = BTreeMap::new();
     let mut reply_hits: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut reply_trailer_hops: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut dup_markers = Vec::new();
     let mut phantom_frames = 0u64;
     let mut corrupted_delivered = 0u64;
+    let mut diversions = 0u64;
     let mut digest = String::new();
     digest.push_str(&format!("seed={}\n", fnv64(&built.injected.to_le_bytes())));
     digest.push_str(&format!("events={}\n", sim.events_dispatched()));
 
     for (rail_idx, rail) in built.rails.iter().enumerate() {
-        for &ch in rail.fwd.iter().chain(&rail.rev) {
+        for &ch in rail.fwd.iter().chain(&rail.rev).chain(&rail.bypass) {
             let s = sim.channel_stats(ch);
             chan_drops += s.drops;
             chan_corrupted += s.corrupted;
@@ -701,6 +824,23 @@ fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {
                 RailKind::Ip => sim.node::<IpRouter>(node).queued_frames(),
                 RailKind::Cvc => sim.node::<CvcSwitch>(node).queued_frames(),
             };
+        }
+
+        // Failover counters on VIPER rails: scraped for the differential
+        // suite and pinned into the digest so the determinism invariant
+        // covers diversion decisions too.
+        if matches!(rail.kind, RailKind::ViperSf | RailKind::ViperCut) {
+            let (mut div, mut noalt, mut altdown) = (0u64, 0u64, 0u64);
+            for &node in &rail.routers {
+                let f = sim.node::<ViperRouter>(node).stats.failover;
+                div += f.diversions;
+                noalt += f.no_alternate;
+                altdown += f.alternate_down;
+            }
+            diversions += div;
+            digest.push_str(&format!(
+                "failover r{rail_idx} div={div} noalt={noalt} altdown={altdown}\n"
+            ));
         }
 
         // Deliveries: host sinks for VIPER/IP, the terminal switch's
@@ -745,6 +885,17 @@ fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {
                 .find(|&&m| contains_marker(&rec.bytes, m))
             {
                 *reply_hits.entry(m).or_insert(0) += 1;
+                // The reply's own trailer names the path it took back —
+                // the diverted-replies invariant checks it mirrors the
+                // forward path.
+                if let Ok(LinkFrame::Sirpent { packet, .. }) = LinkFrame::from_p2p_bytes(&rec.bytes)
+                {
+                    if let Ok(t) = Trailer::parse(&packet) {
+                        reply_trailer_hops
+                            .entry(m)
+                            .or_insert_with(|| t.return_hops.iter().map(|s| s.port).collect());
+                    }
+                }
             }
         }
 
@@ -816,6 +967,9 @@ fn scrape(built: BuiltScenario, replies_expected: Vec<u64>) -> RunReport {
         dup_markers,
         replies_expected,
         reply_hits,
+        reply_book,
+        reply_trailer_hops,
+        diversions,
         phantom_frames,
         corrupted_delivered,
         chan_corrupted,
@@ -831,4 +985,37 @@ pub fn execute(spec: &Scenario) -> RunReport {
 /// [`execute`], but on an explicit engine event-queue implementation.
 pub fn execute_with_queue(spec: &Scenario, queue: sirpent_sim::QueueKind) -> RunReport {
     run(build_with_queue(spec, queue))
+}
+
+/// [`execute`], but with alternate branches stripped from the headers
+/// (see [`build_stripped`]) — the control arm of the failover
+/// differential suite.
+pub fn execute_stripped(spec: &Scenario) -> RunReport {
+    run(build_stripped(spec))
+}
+
+/// An *outcome* digest: what was delivered, answered, and diverted —
+/// deliberately free of byte counts, channel timings, and event totals,
+/// which legitimately differ between an armed run (longer headers,
+/// bypass traffic) and its stripped control. With an empty fault
+/// schedule the two arms must produce byte-identical outcome digests;
+/// under chaos the armed arm may only deliver *more*.
+pub fn outcome_digest(r: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "injected={} delivered={} diversions={} phantoms={}\n",
+        r.injected, r.delivered_frames, r.diversions, r.phantom_frames
+    ));
+    for (m, n) in &r.marker_hits {
+        out.push_str(&format!("marker {m:016x} hits={n}\n"));
+    }
+    let mut replies: Vec<u64> = r.replies_expected.clone();
+    replies.sort_unstable();
+    for m in replies {
+        out.push_str(&format!(
+            "reply {m:016x} hits={}\n",
+            r.reply_hits.get(&m).copied().unwrap_or(0)
+        ));
+    }
+    out
 }

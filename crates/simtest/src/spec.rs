@@ -87,6 +87,13 @@ pub struct RailSpec {
     /// legitimately consumed without a drop counter, which would poison
     /// exact conservation.
     pub corrupt_pm: u32,
+    /// Whether the rail carries Slick-Packets-style alternate branches:
+    /// every router gets a bypass wire (port 3) around its forward hop,
+    /// and workload headers are armed so a router adjacent to a failed
+    /// hop diverts in-network instead of dropping. Normalization zeroes
+    /// this on non-VIPER rails — only the VIPER forwarding plane
+    /// understands alternate segments.
+    pub protected: bool,
     /// The workload.
     pub packets: Vec<PacketSpec>,
 }
@@ -275,6 +282,11 @@ impl Scenario {
             } else {
                 0
             };
+            // Protect VIPER rails often: the failover invariants are only
+            // exercised when chaos windows intersect armed traffic, so the
+            // corpus needs plenty of protected rails to stay non-vacuous.
+            let protected =
+                matches!(kind, RailKind::ViperSf | RailKind::ViperCut) && rng.gen_bool(0.6);
             let n_packets = rng.gen_range(2..=8usize);
             let packets = (0..n_packets)
                 .map(|_| {
@@ -292,6 +304,7 @@ impl Scenario {
                 routers,
                 drop_pm,
                 corrupt_pm,
+                protected,
                 packets,
             });
         }
@@ -303,7 +316,11 @@ impl Scenario {
             let r = &rails[rail];
             let a = rng.gen_range(CHAOS_START_US..CHAOS_END_US - 100);
             let b = rng.gen_range(a + 50..CHAOS_END_US);
-            let hop = rng.gen_range(0..=r.routers);
+            // On protected rails, aim chaos at hops a router can actually
+            // divert around: hop 0 (host → first router) and the first
+            // router have no upstream VIPER router to make the failover
+            // decision, so faults there never exercise the alternate path.
+            let hop = rng.gen_range(usize::from(r.protected)..=r.routers);
             let max_kind = match profile {
                 Profile::Exact => 4,
                 Profile::Corpus => 6,
@@ -317,7 +334,7 @@ impl Scenario {
                 },
                 1 => FaultSpec::Crash {
                     rail,
-                    router: rng.gen_range(0..r.routers),
+                    router: rng.gen_range(usize::from(r.protected && r.routers > 1)..r.routers),
                     down_us: a,
                     up_us: b,
                 },
@@ -372,6 +389,8 @@ impl Scenario {
     ///   global);
     /// * corruption and error bursts only on IP rails (see
     ///   [`RailSpec::corrupt_pm`]);
+    /// * alternate-branch protection only on VIPER rails (see
+    ///   [`RailSpec::protected`]);
     /// * marker payloads long enough to carry the marker.
     pub fn normalize(&mut self) {
         self.rails.retain(|r| !r.packets.is_empty());
@@ -381,6 +400,7 @@ impl Scenario {
                 routers: 1,
                 drop_pm: 0,
                 corrupt_pm: 0,
+                protected: false,
                 packets: vec![PacketSpec {
                     at_us: 0,
                     payload_len: 16,
@@ -395,6 +415,9 @@ impl Scenario {
                 r.corrupt_pm = 0;
             } else {
                 r.corrupt_pm = r.corrupt_pm.min(1000);
+            }
+            if !matches!(r.kind, RailKind::ViperSf | RailKind::ViperCut) {
+                r.protected = false;
             }
             for p in &mut r.packets {
                 p.at_us = p.at_us.min(INJECT_END_US);
@@ -491,11 +514,12 @@ impl Scenario {
         out.push_str(&format!("seed {}\n", self.seed));
         for r in &self.rails {
             out.push_str(&format!(
-                "rail {} routers={} drop_pm={} corrupt_pm={}\n",
+                "rail {} routers={} drop_pm={} corrupt_pm={} protected={}\n",
                 r.kind.token(),
                 r.routers,
                 r.drop_pm,
-                r.corrupt_pm
+                r.corrupt_pm,
+                u8::from(r.protected)
             ));
             for p in &r.packets {
                 out.push_str(&format!(
@@ -592,6 +616,8 @@ impl Scenario {
                         routers: get(&kv, "routers")? as usize,
                         drop_pm: get(&kv, "drop_pm")? as u32,
                         corrupt_pm: get(&kv, "corrupt_pm")? as u32,
+                        // Absent in pre-failover fixtures: default off.
+                        protected: get_or(&kv, "protected", 0)? != 0,
                         packets: Vec::new(),
                     });
                 }
@@ -688,6 +714,19 @@ fn get(kv: &std::collections::BTreeMap<&str, &str>, key: &str) -> Result<u64, St
         .map_err(|e| format!("bad {key}: {e}"))
 }
 
+/// Like [`get`], but an absent key yields `default` — for fields added
+/// after fixtures already existed in the wild.
+fn get_or(
+    kv: &std::collections::BTreeMap<&str, &str>,
+    key: &str,
+    default: u64,
+) -> Result<u64, String> {
+    match kv.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad {key}: {e}")),
+    }
+}
+
 fn get_hex(kv: &std::collections::BTreeMap<&str, &str>, key: &str) -> Result<u64, String> {
     u64::from_str_radix(kv.get(key).ok_or_else(|| format!("missing key {key}"))?, 16)
         .map_err(|e| format!("bad {key}: {e}"))
@@ -747,6 +786,32 @@ mod tests {
                 assert_eq!(r.corrupt_pm, 0);
             }
         }
+    }
+
+    #[test]
+    fn normalize_limits_protection_to_viper_rails() {
+        let mut s = Scenario::from_seed(1, Profile::Corpus);
+        for r in &mut s.rails {
+            r.protected = true;
+        }
+        s.normalize();
+        for r in &s.rails {
+            assert_eq!(
+                r.protected,
+                matches!(r.kind, RailKind::ViperSf | RailKind::ViperCut),
+                "protection survives exactly on VIPER rails"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_failover_fixture_parses_with_protection_off() {
+        let text = "simtest-fixture v1\n\
+                    seed 5\n\
+                    rail viper-sf routers=2 drop_pm=0 corrupt_pm=0\n\
+                    packet at=100 len=32 marker=00000000deadbeef\n";
+        let s = Scenario::from_fixture_string(text).expect("legacy fixture parses");
+        assert!(!s.rails[0].protected);
     }
 
     #[test]

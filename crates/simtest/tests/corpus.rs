@@ -31,21 +31,32 @@ fn corpus_100_seeds_hold_all_invariants() {
 }
 
 /// The corpus must actually exercise the chaos layer — deliveries,
-/// drops, chaos-layer kills, corruption, and trailer replies all have
-/// to occur somewhere in the 100 seeds, or a regression that silently
-/// disables fault injection would pass every invariant vacuously.
+/// drops, chaos-layer kills, corruption, trailer replies, and
+/// in-network failover diversions all have to occur somewhere in the
+/// 100 seeds, or a regression that silently disables fault injection
+/// (or the alternate-branch machinery) would pass every invariant
+/// vacuously.
 #[test]
 fn corpus_is_not_vacuous() {
     let (mut delivered, mut drops, mut chaos, mut corrupted, mut replies, mut reply_hits) =
         (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut protected_rails, mut diversions, mut diverted_flows) = (0u64, 0u64, 0u64);
     for seed in 0..100u64 {
-        let r = execute(&Scenario::from_seed(seed, Profile::Corpus));
+        let spec = Scenario::from_seed(seed, Profile::Corpus);
+        protected_rails += spec.rails.iter().filter(|r| r.protected).count() as u64;
+        let r = execute(&spec);
         delivered += r.delivered_frames;
         drops += r.node_drops + r.chan_drops;
         chaos += r.chaos_drops;
         corrupted += r.chan_corrupted;
         replies += r.replies_expected.len() as u64;
         reply_hits += r.reply_hits.values().map(|&n| n as u64).sum::<u64>();
+        diversions += r.diversions;
+        diverted_flows += r
+            .reply_book
+            .iter()
+            .filter(|b| b.protected && (b.dst_port != 0 || b.forward_hops.contains(&4)))
+            .count() as u64;
     }
     assert!(delivered > 100, "corpus barely delivers ({delivered})");
     assert!(drops > 0, "no node/channel drops across the whole corpus");
@@ -53,6 +64,21 @@ fn corpus_is_not_vacuous() {
     assert!(corrupted > 0, "the fault injector never corrupted a copy");
     assert!(replies > 0, "no trailer-derived replies were ever planned");
     assert!(reply_hits >= replies, "some replies were planned but lost");
+    assert!(
+        protected_rails > 0,
+        "the generator never emitted a protected rail"
+    );
+    assert!(
+        diversions > 0,
+        "no router ever diverted onto an alternate branch \
+         ({protected_rails} protected rails in the corpus) — the \
+         failover invariant is running vacuously"
+    );
+    assert!(
+        diverted_flows > 0,
+        "{diversions} diversions occurred but no diverted flow completed \
+         its round trip — the diverted-reply invariant never fired"
+    );
 }
 
 /// A scenario replayed from its text fixture is the same run, bit for

@@ -1,0 +1,204 @@
+//! The failover differential suite (satellite 2 / CI `failover-soak`):
+//! every scenario runs twice on the *same* topology, workload, and
+//! fault schedule — once with alternate branches armed in the headers
+//! (the Slick-Packets DAG) and once with them stripped (plain linear
+//! source routes). The pair pins three properties:
+//!
+//! 1. **Conservation closes in both arms** — arming headers must not
+//!    open a leak in the packet ledger.
+//! 2. **Alternates only help** — under a deterministic single-fault
+//!    schedule, every marker the stripped arm delivers, the armed arm
+//!    delivers too; in the hand-built scenario the armed arm delivers
+//!    packets the stripped arm provably loses.
+//! 3. **No fault, no difference** — with an empty fault schedule the
+//!    two arms produce byte-identical *outcome* digests (deliveries,
+//!    replies, diversions), so the alternate machinery is inert until
+//!    a failure actually occurs.
+
+use sirpent_simtest::spec::{FaultSpec, PacketSpec, Profile, RailKind, RailSpec, Scenario};
+use sirpent_simtest::{execute, execute_stripped, outcome_digest};
+
+/// Derive a differential-safe scenario from a seed: deterministic
+/// frames only (no random drop/corruption — those draw per-transmission
+/// RNG, and the two arms transmit different byte counts), every VIPER
+/// rail protected, and at most one link-flap or crash fault. Jitter,
+/// partitions, and second faults are discarded: they can punish the
+/// armed arm's longer frames (or its bypass wires) for reasons that
+/// have nothing to do with the failover logic under test.
+fn differential_scenario(seed: u64) -> Scenario {
+    let mut s = Scenario::from_seed(seed, Profile::Exact);
+    for r in &mut s.rails {
+        r.drop_pm = 0;
+        r.corrupt_pm = 0;
+        if matches!(r.kind, RailKind::ViperSf | RailKind::ViperCut) {
+            r.protected = true;
+        }
+    }
+    let keep = s
+        .faults
+        .iter()
+        .find(|f| matches!(f, FaultSpec::LinkFlap { .. } | FaultSpec::Crash { .. }))
+        .cloned();
+    s.faults = keep.into_iter().collect();
+    s.normalize();
+    s
+}
+
+fn assert_conserves(arm: &str, seed: u64, r: &sirpent_simtest::RunReport) {
+    let accounted =
+        r.delivered_frames + r.node_drops + r.chan_drops + r.chaos_drops + r.leftover_queued;
+    assert_eq!(
+        r.injected,
+        accounted,
+        "seed {seed} ({arm}): injected {} but accounted {} (delivered {} node {} \
+         chan {} chaos {} queued {})",
+        r.injected,
+        accounted,
+        r.delivered_frames,
+        r.node_drops,
+        r.chan_drops,
+        r.chaos_drops,
+        r.leftover_queued
+    );
+}
+
+/// 32 seeds, armed vs stripped under the identical single-fault
+/// schedule: conservation closes in both arms, the armed arm delivers a
+/// superset of the stripped arm's markers and answers a superset of its
+/// replies, and at least one seed in the batch actually diverts.
+#[test]
+fn armed_arm_dominates_stripped_arm_over_32_seeds() {
+    let mut total_diversions = 0u64;
+    for seed in 0..32u64 {
+        let spec = differential_scenario(seed);
+        let armed = execute(&spec);
+        let stripped = execute_stripped(&spec);
+
+        assert_conserves("armed", seed, &armed);
+        assert_conserves("stripped", seed, &stripped);
+        // (`injected` counts phase-2 replies too, so the arms may
+        // legitimately differ there — more deliveries, more replies.)
+        assert_eq!(
+            stripped.diversions, 0,
+            "seed {seed}: the stripped arm diverted — alternates leaked \
+             into the control headers"
+        );
+
+        for (m, &hits) in &stripped.marker_hits {
+            let armed_hits = armed.marker_hits.get(m).copied().unwrap_or(0);
+            assert!(
+                armed_hits >= hits,
+                "seed {seed}: marker {m:016x} delivered {hits}x stripped but \
+                 only {armed_hits}x armed — alternates made delivery worse"
+            );
+        }
+        assert!(
+            armed.delivered_frames >= stripped.delivered_frames,
+            "seed {seed}: armed delivered {} < stripped {}",
+            armed.delivered_frames,
+            stripped.delivered_frames
+        );
+        for m in &stripped.replies_expected {
+            if stripped.reply_hits.get(m).copied().unwrap_or(0) > 0 {
+                assert!(
+                    armed.reply_hits.get(m).copied().unwrap_or(0) > 0,
+                    "seed {seed}: reply {m:016x} completed stripped but not armed"
+                );
+            }
+        }
+        total_diversions += armed.diversions;
+    }
+    assert!(
+        total_diversions > 0,
+        "32 differential seeds and not one in-network diversion — the \
+         suite is running vacuously"
+    );
+}
+
+/// The flagship deterministic case: a 3-router protected VIPER rail
+/// whose R2→R3 link is down for the entire injection window. Every
+/// workload packet reaches R2 while its primary next hop is dead; the
+/// armed arm diverts each one onto R2's bypass (straight to the
+/// destination) and completes the round trip, while the stripped arm
+/// loses every single one to `next_hop_down`.
+#[test]
+fn armed_arm_delivers_what_stripped_arm_provably_loses() {
+    let packets: Vec<PacketSpec> = (0..4u64)
+        .map(|i| PacketSpec {
+            at_us: 2_000 + i * 3_000,
+            payload_len: 200,
+            marker: 0xD1FF_0000_0000_0A00 | i,
+        })
+        .collect();
+    let markers: Vec<u64> = packets.iter().map(|p| p.marker).collect();
+    let mut spec = Scenario {
+        seed: 0x0FA1_10E4,
+        rails: vec![RailSpec {
+            kind: RailKind::ViperSf,
+            routers: 3,
+            drop_pm: 0,
+            corrupt_pm: 0,
+            protected: true,
+            packets,
+        }],
+        faults: vec![FaultSpec::LinkFlap {
+            rail: 0,
+            hop: 2,
+            down_us: 200,
+            up_us: 30_000,
+        }],
+    };
+    spec.normalize();
+
+    let armed = execute(&spec);
+    let stripped = execute_stripped(&spec);
+    assert_conserves("armed", spec.seed, &armed);
+    assert_conserves("stripped", spec.seed, &stripped);
+
+    for m in &markers {
+        assert_eq!(
+            armed.marker_hits.get(m).copied().unwrap_or(0),
+            1,
+            "armed arm failed to deliver marker {m:016x} around the dead link"
+        );
+        assert_eq!(
+            stripped.marker_hits.get(m).copied().unwrap_or(0),
+            0,
+            "stripped arm delivered marker {m:016x} across a link that was down"
+        );
+        let reply = m ^ 0xA5A5_5A5A_A5A5_5A5A;
+        assert!(
+            armed.reply_hits.get(&reply).copied().unwrap_or(0) > 0,
+            "diverted flow {m:016x} never completed its round trip"
+        );
+    }
+    assert!(
+        armed.diversions >= markers.len() as u64,
+        "expected at least {} diversions, counted {}",
+        markers.len(),
+        armed.diversions
+    );
+    assert_eq!(stripped.diversions, 0);
+}
+
+/// With no faults scheduled, arming the headers must change *nothing*
+/// observable about outcomes: same deliveries, same replies, zero
+/// diversions — byte-identical outcome digests.
+#[test]
+fn quiet_network_outcome_digests_are_byte_identical() {
+    for seed in [7u64, 19, 23, 31] {
+        let mut spec = differential_scenario(seed);
+        spec.faults.clear();
+        let armed = execute(&spec);
+        let stripped = execute_stripped(&spec);
+        assert_eq!(
+            outcome_digest(&armed),
+            outcome_digest(&stripped),
+            "seed {seed}: a fault-free network told the two arms apart"
+        );
+        assert_eq!(
+            armed.diversions, 0,
+            "seed {seed}: diversion without a fault"
+        );
+    }
+}

@@ -41,6 +41,9 @@ pub enum HopKind {
     TransmitStart,
     /// A return-hop trailer entry was appended (§2 of the paper).
     TrailerAppend,
+    /// The router found the primary next hop unreachable and spliced the
+    /// packet onto its alternate branch (Slick-Packets failover).
+    Diverted,
     /// The packet was dropped; the payload names the `DropReason`.
     Drop(&'static str),
     /// The destination host received the frame (stamped at last bit).
@@ -59,6 +62,7 @@ impl HopKind {
             HopKind::QueueLeave => "queue_leave",
             HopKind::TransmitStart => "transmit_start",
             HopKind::TrailerAppend => "trailer_append",
+            HopKind::Diverted => "diverted",
             HopKind::Drop(_) => "drop",
             HopKind::Delivered => "delivered",
         }

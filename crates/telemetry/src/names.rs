@@ -75,6 +75,18 @@ pub const CHAOS_PARTITION_WINDOWS_TOTAL: &str = "chaos_partition_windows_total";
 /// bursts).
 pub const CHAOS_WINDOW_UPDATES_TOTAL: &str = "chaos_window_updates_total";
 
+// ---- failover (router::viper alternate branches) ------------------------
+
+/// Packets diverted onto an alternate branch because the primary next
+/// hop (link or peer) was down.
+pub const FAILOVER_DIVERSIONS_TOTAL: &str = "failover_diversions_total";
+/// Packets dropped at route time because the next hop was down and no
+/// usable alternate existed.
+pub const FAILOVER_NO_ALTERNATE_TOTAL: &str = "failover_no_alternate_total";
+/// Packets whose alternate branch was itself unreachable when the
+/// primary failed (counted in addition to the resulting drop).
+pub const FAILOVER_ALTERNATE_DOWN_TOTAL: &str = "failover_alternate_down_total";
+
 // ---- flight recorder (this crate) ---------------------------------------
 
 /// Hop events appended to the flight ring.
@@ -123,6 +135,9 @@ mod tests {
             super::CHAOS_ROUTER_TRANSITIONS_TOTAL,
             super::CHAOS_PARTITION_WINDOWS_TOTAL,
             super::CHAOS_WINDOW_UPDATES_TOTAL,
+            super::FAILOVER_DIVERSIONS_TOTAL,
+            super::FAILOVER_NO_ALTERNATE_TOTAL,
+            super::FAILOVER_ALTERNATE_DOWN_TOTAL,
             super::FLIGHT_EVENTS_RECORDED_TOTAL,
             super::FLIGHT_EVENTS_EVICTED_TOTAL,
             super::HOST_INJECTED_TOTAL,

@@ -48,7 +48,7 @@
 
 use std::sync::Arc;
 
-use crate::viper::{Flags, Priority, Segment, SegmentRepr};
+use crate::viper::{AltBranch, Flags, Priority, Segment, SegmentRepr};
 use crate::Result;
 
 /// Headroom added when a copy-on-write happens, so the fresh store can
@@ -234,6 +234,7 @@ pub struct SegmentView {
     port: u8,
     flags: Flags,
     priority: Priority,
+    alt: Option<AltBranch>,
 }
 
 impl SegmentView {
@@ -246,10 +247,11 @@ impl SegmentView {
             store: Arc::clone(&buf.store),
             token: (base + ts, base + te),
             info: (base + is_, base + ie),
-            total: ie,
+            total: seg.total_len(),
             port: seg.port(),
             flags: seg.flags(),
             priority: seg.priority(),
+            alt: seg.alt(),
         })
     }
 
@@ -268,8 +270,13 @@ impl SegmentView {
         self.priority
     }
 
+    /// The alternate (failover) branch, when the segment carries one.
+    pub fn alt(&self) -> Option<AltBranch> {
+        self.alt
+    }
+
     /// Encoded length of the segment (what [`PacketBuf::advance`] should
-    /// strip).
+    /// strip). Includes the alternate-branch suffix when present.
     pub fn encoded_len(&self) -> usize {
         self.total
     }
@@ -297,6 +304,7 @@ impl SegmentView {
             priority: self.priority,
             port_token: self.port_token().to_vec(),
             port_info: self.port_info().to_vec(),
+            alt: self.alt,
         }
     }
 }

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alt;
 pub mod buf;
 pub mod cvc;
 pub mod ethernet;
@@ -93,6 +94,9 @@ pub enum Error {
     /// An IP-like datagram's payload would wrap the 16-bit `total_len`
     /// field (payload > 65535 − header), forging a bogus tiny length.
     DatagramTooLong,
+    /// An alternate branch's splice index points outside the recovery
+    /// segment list, or past its last local-delivery terminator.
+    BadSpliceIndex,
 }
 
 impl core::fmt::Display for Error {
@@ -116,6 +120,9 @@ impl core::fmt::Display for Error {
                     f,
                     "trailer entry payload exceeds the 65535-byte length field"
                 )
+            }
+            Error::BadSpliceIndex => {
+                write!(f, "alternate splice index outside the recovery list")
             }
         }
     }
@@ -153,6 +160,7 @@ mod tests {
             Error::UnknownTrailerKind(7).to_string(),
             Error::ExceedsTransmissionUnit.to_string(),
             Error::TooManySegments.to_string(),
+            Error::BadSpliceIndex.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -20,13 +20,14 @@
 
 use crate::buf::{PacketBuf, SegmentView};
 use crate::trailer::{Entry, Trailer, ENTRY_OVERHEAD};
-use crate::viper::{Segment, SegmentRepr, PORT_LOCAL};
+use crate::viper::{AltBranch, Segment, SegmentRepr, PORT_LOCAL};
 use crate::{Error, Result, VIPER_MAX_SEGMENTS, VIPER_TRANSMISSION_UNIT};
 
 /// Builder for a fresh Sirpent packet at the sending host.
 #[derive(Debug, Clone, Default)]
 pub struct PacketBuilder {
     route: Vec<SegmentRepr>,
+    recovery: Vec<SegmentRepr>,
     payload: Vec<u8>,
     enforce_mtu: bool,
 }
@@ -52,6 +53,15 @@ impl PacketBuilder {
         self
     }
 
+    /// Set the recovery segment list for Slick-Packets failover. Route
+    /// segments reference entries of this list via their
+    /// [`AltBranch::splice`] index; the list is encoded between the
+    /// terminating local segment and the user data (see [`crate::alt`]).
+    pub fn recovery(mut self, segs: impl IntoIterator<Item = SegmentRepr>) -> PacketBuilder {
+        self.recovery = segs.into_iter().collect();
+        self
+    }
+
     /// Set the user data.
     pub fn payload(mut self, data: impl Into<Vec<u8>>) -> PacketBuilder {
         self.payload = data.into();
@@ -65,17 +75,33 @@ impl PacketBuilder {
         self
     }
 
-    /// Assemble the packet bytes: route segments, payload, and the trailer
-    /// base marker.
-    pub fn build(self) -> Result<Vec<u8>> {
-        if self.route.len() > VIPER_MAX_SEGMENTS {
+    /// Assemble the packet bytes: route segments, the recovery list (if
+    /// any), payload, and the trailer base marker.
+    pub fn build(mut self) -> Result<Vec<u8>> {
+        if self.route.len() > VIPER_MAX_SEGMENTS || self.recovery.len() > VIPER_MAX_SEGMENTS {
             return Err(Error::TooManySegments);
         }
         if self.route.is_empty() || self.route.last().map(|s| s.port) != Some(PORT_LOCAL) {
             // Every route must terminate with a local-delivery segment.
             return Err(Error::Malformed);
         }
-        let header: usize = self.route.iter().map(|s| s.buffer_len()).sum();
+        self.validate_alternates()?;
+        if !self.recovery.is_empty() {
+            // Stamp the recovery-list descriptor onto the terminating
+            // local segment (count in the `port` slot, splice 0).
+            if let Some(last) = self.route.last_mut() {
+                last.alt = Some(AltBranch {
+                    port: self.recovery.len() as u8,
+                    splice: 0,
+                });
+            }
+        }
+        let header: usize = self
+            .route
+            .iter()
+            .chain(&self.recovery)
+            .map(|s| s.buffer_len())
+            .sum();
         // Reserve room for the return-hop trailer the route will grow in
         // flight: each transit hop appends roughly its own segment again
         // (token reused, portInfo swapped for the return network header)
@@ -88,7 +114,7 @@ impl PacketBuilder {
             .map(|s| s.buffer_len() + RETURN_INFO_SLACK + ENTRY_OVERHEAD)
             .sum();
         let mut buf = Vec::with_capacity(header + self.payload.len() + trailer_room + 8);
-        for seg in &self.route {
+        for seg in self.route.iter().chain(&self.recovery) {
             let at = buf.len();
             buf.resize(at + seg.buffer_len(), 0);
             seg.emit(&mut buf[at..])?;
@@ -99,6 +125,34 @@ impl PacketBuilder {
             return Err(Error::ExceedsTransmissionUnit);
         }
         Ok(buf)
+    }
+
+    /// Check the route/recovery cross-references before encoding: a
+    /// branch needs a recovery list, every splice must land on a list
+    /// entry with a local-delivery terminator at or after it, the list
+    /// itself must be branch-free (the DAG is depth-1), and the
+    /// builder-owned descriptor slot on the terminating segment must be
+    /// free.
+    fn validate_alternates(&self) -> Result<()> {
+        if self.route.last().and_then(|s| s.alt).is_some() {
+            return Err(Error::Malformed);
+        }
+        if self.recovery.iter().any(|s| s.alt.is_some()) {
+            return Err(Error::Malformed);
+        }
+        if !self.recovery.is_empty() && self.recovery.last().map(|s| s.port) != Some(PORT_LOCAL) {
+            // A terminator-less list would strand the highest splices.
+            return Err(Error::Malformed);
+        }
+        for branch in self.route.iter().filter_map(|s| s.alt) {
+            if self.recovery.is_empty() {
+                return Err(Error::Malformed);
+            }
+            if branch.splice as usize >= self.recovery.len() {
+                return Err(Error::BadSpliceIndex);
+            }
+        }
+        Ok(())
     }
 
     /// Assemble the packet as a shared [`PacketBuf`] ready for the
@@ -117,8 +171,12 @@ const RETURN_INFO_SLACK: usize = 20;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PacketView {
     /// Remaining route: the header segments still at the front, ending
-    /// with the local-delivery segment.
+    /// with the local-delivery segment (its recovery descriptor, if any,
+    /// is normalized away — see [`PacketView::recovery`]).
     pub route: Vec<SegmentRepr>,
+    /// The recovery segment list encoded after the route (empty for
+    /// packets without alternates).
+    pub recovery: Vec<SegmentRepr>,
     /// Offset where user data begins.
     pub data_start: usize,
     /// Offset where user data ends (= trailer start; may include null
@@ -131,13 +189,14 @@ pub struct PacketView {
 impl PacketView {
     /// Parse a complete Sirpent packet.
     pub fn parse(buffer: &[u8]) -> Result<PacketView> {
-        let (route, data_start) = parse_route(buffer)?;
+        let (route, recovery, data_start) = parse_route_full(buffer)?;
         let trailer = Trailer::parse(buffer)?;
         if trailer.start_offset < data_start {
             return Err(Error::Malformed);
         }
         Ok(PacketView {
             route,
+            recovery,
             data_start,
             data_end: trailer.start_offset,
             trailer,
@@ -152,13 +211,25 @@ impl PacketView {
 }
 
 /// Walk the leading header segments of a packet. Segments are read until
-/// (and including) the local-delivery segment (`port == 0`). Returns the
-/// segments and the offset of the first byte after them.
+/// (and including) the local-delivery segment (`port == 0`), then any
+/// recovery list the local segment's descriptor announces. Returns the
+/// route and the offset of the first byte after route **and** recovery
+/// (i.e. where user data begins). See [`parse_route_full`] to also get
+/// the recovery segments.
 pub fn parse_route(buffer: &[u8]) -> Result<(Vec<SegmentRepr>, usize)> {
+    let (route, _, at) = parse_route_full(buffer)?;
+    Ok((route, at))
+}
+
+/// [`parse_route`] plus the decoded recovery segment list. The
+/// terminating local segment's repr is normalized (its descriptor
+/// branch is removed) so a route parsed back equals the one handed to
+/// [`PacketBuilder`].
+pub fn parse_route_full(buffer: &[u8]) -> Result<(Vec<SegmentRepr>, Vec<SegmentRepr>, usize)> {
     let mut at = 0usize;
     let mut route = Vec::new();
     loop {
-        let seg = Segment::new_checked(&buffer[at..])?;
+        let seg = Segment::new_checked(buffer.get(at..).ok_or(Error::Truncated)?)?;
         let repr = SegmentRepr::parse(&seg)?;
         at += seg.total_len();
         let local = repr.port == PORT_LOCAL;
@@ -170,9 +241,22 @@ pub fn parse_route(buffer: &[u8]) -> Result<(Vec<SegmentRepr>, usize)> {
             return Err(Error::TooManySegments);
         }
         if local {
-            return Ok((route, at));
+            break;
         }
     }
+    let mut recovery = Vec::new();
+    if let Some(descriptor) = route.last_mut().and_then(|s| s.alt.take()) {
+        let count = descriptor.port as usize;
+        if count > VIPER_MAX_SEGMENTS {
+            return Err(Error::TooManySegments);
+        }
+        for _ in 0..count {
+            let seg = Segment::new_checked(buffer.get(at..).ok_or(Error::Truncated)?)?;
+            recovery.push(SegmentRepr::parse(&seg)?);
+            at += seg.total_len();
+        }
+    }
+    Ok((route, recovery, at))
 }
 
 /// Router operation: strip the leading header segment off a packet,
@@ -483,6 +567,164 @@ mod tests {
         assert_eq!(t.truncated, Some((orig - 40) as u32));
         assert!(t.return_hops.is_empty());
         assert!(pkt.len() < orig);
+    }
+
+    #[test]
+    fn recovery_list_roundtrips_and_normalizes_descriptor() {
+        use crate::viper::AltBranch;
+        let bytes = PacketBuilder::new()
+            .segment(SegmentRepr {
+                port: 2,
+                alt: Some(AltBranch { port: 3, splice: 0 }),
+                ..Default::default()
+            })
+            .segment(local())
+            .recovery(vec![SegmentRepr::minimal(2), local()])
+            .payload(b"pay".to_vec())
+            .build()
+            .unwrap();
+        let view = PacketView::parse(&bytes).unwrap();
+        assert_eq!(view.route.len(), 2);
+        assert_eq!(view.route[0].alt, Some(AltBranch { port: 3, splice: 0 }));
+        assert_eq!(
+            view.route[1].alt, None,
+            "descriptor is builder-owned and parses back out"
+        );
+        assert_eq!(view.recovery.len(), 2);
+        assert_eq!(view.recovery[1].port, PORT_LOCAL);
+        assert_eq!(view.data(&bytes), b"pay");
+    }
+
+    #[test]
+    fn branch_splice_one_past_recovery_list_rejected() {
+        use crate::viper::AltBranch;
+        let err = PacketBuilder::new()
+            .segment(SegmentRepr {
+                port: 2,
+                alt: Some(AltBranch { port: 3, splice: 2 }),
+                ..Default::default()
+            })
+            .segment(local())
+            .recovery(vec![SegmentRepr::minimal(2), local()])
+            .payload(b"x".to_vec())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::BadSpliceIndex);
+    }
+
+    #[test]
+    fn branch_without_recovery_list_rejected() {
+        use crate::viper::AltBranch;
+        let err = PacketBuilder::new()
+            .segment(SegmentRepr {
+                port: 2,
+                alt: Some(AltBranch { port: 3, splice: 0 }),
+                ..Default::default()
+            })
+            .segment(local())
+            .payload(b"x".to_vec())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::Malformed);
+    }
+
+    #[test]
+    fn recovery_list_must_end_local_and_be_branch_free() {
+        use crate::viper::AltBranch;
+        let err = PacketBuilder::new()
+            .segment(seg(2))
+            .segment(local())
+            .recovery(vec![SegmentRepr::minimal(2)])
+            .payload(b"x".to_vec())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::Malformed);
+        let err = PacketBuilder::new()
+            .segment(seg(2))
+            .segment(local())
+            .recovery(vec![
+                SegmentRepr {
+                    port: 2,
+                    alt: Some(AltBranch { port: 4, splice: 0 }),
+                    ..Default::default()
+                },
+                local(),
+            ])
+            .payload(b"x".to_vec())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::Malformed);
+    }
+
+    #[test]
+    fn recovery_list_at_max_count_roundtrips_and_over_rejected() {
+        use crate::viper::AltBranch;
+        let full: Vec<SegmentRepr> = (0..VIPER_MAX_SEGMENTS - 1)
+            .map(|_| SegmentRepr::minimal(2))
+            .chain([local()])
+            .collect();
+        let bytes = PacketBuilder::new()
+            .without_mtu_check()
+            .segment(SegmentRepr {
+                port: 2,
+                alt: Some(AltBranch {
+                    port: 3,
+                    splice: (VIPER_MAX_SEGMENTS - 1) as u8,
+                }),
+                ..Default::default()
+            })
+            .segment(local())
+            .recovery(full.clone())
+            .payload(b"x".to_vec())
+            .build()
+            .unwrap();
+        let view = PacketView::parse(&bytes).unwrap();
+        assert_eq!(view.recovery.len(), VIPER_MAX_SEGMENTS);
+
+        let mut over = full;
+        over.insert(0, SegmentRepr::minimal(2));
+        let err = PacketBuilder::new()
+            .without_mtu_check()
+            .segment(seg(2))
+            .segment(local())
+            .recovery(over)
+            .payload(b"x".to_vec())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::TooManySegments);
+    }
+
+    #[test]
+    fn every_transit_hop_can_carry_a_branch() {
+        use crate::viper::AltBranch;
+        // Max alternate count: all 47 transit hops of a full-size route
+        // marked, each splicing one entry deeper.
+        let mut b = PacketBuilder::new().without_mtu_check();
+        for i in 0..VIPER_MAX_SEGMENTS - 1 {
+            b = b.segment(SegmentRepr {
+                port: 2,
+                alt: Some(AltBranch {
+                    port: 3,
+                    splice: i.min(VIPER_MAX_SEGMENTS - 1) as u8,
+                }),
+                ..Default::default()
+            });
+        }
+        let recovery: Vec<SegmentRepr> = (0..VIPER_MAX_SEGMENTS - 1)
+            .map(|_| SegmentRepr::minimal(2))
+            .chain([local()])
+            .collect();
+        let bytes = b
+            .segment(local())
+            .recovery(recovery)
+            .payload(b"x".to_vec())
+            .build()
+            .unwrap();
+        let view = PacketView::parse(&bytes).unwrap();
+        assert_eq!(view.route.len(), VIPER_MAX_SEGMENTS);
+        assert!(view.route[..VIPER_MAX_SEGMENTS - 1]
+            .iter()
+            .all(|s| s.alt.is_some()));
     }
 
     #[test]

@@ -271,6 +271,7 @@ mod tests {
             priority: Priority::NORMAL,
             port_token: vec![port; 8],
             port_info: vec![port ^ 0xFF; 14],
+            alt: None,
         }
     }
 
@@ -365,6 +366,7 @@ mod tests {
             priority: Priority::NORMAL,
             port_token: vec![0xAB; token_len],
             port_info: Vec::new(),
+            alt: None,
         }
     }
 

@@ -24,6 +24,22 @@
 //! 32 bits starting at the corresponding variable field, followed by that
 //! many payload bytes (§5: "A value of 255 is reserved to indicate that
 //! the actual length is larger than 254 octets").
+//!
+//! ## Alternate branches (Slick-Packets failover)
+//!
+//! A segment may additionally carry a compact fallback branch — an
+//! alternate output port plus a splice index into the packet's recovery
+//! segment list — so the router *adjacent* to a failed next hop can
+//! divert the packet in one hop time instead of letting it die. The
+//! branch is a two-byte suffix `[alt_port, splice]` that trails the
+//! `portInfo` field and is **not** counted by either length byte, so the
+//! fixed prologue and both variable fields keep their exact legacy
+//! layout. Its presence is signalled by setting both the VNT and TRB
+//! flag bits together — a combination that is contradictory as literal
+//! flags ("another segment follows" + "portInfo is a tree spec") and was
+//! never emitted, which makes a header with zero alternates byte-
+//! identical to the pre-failover format. Parsing a marked segment
+//! reports `vnt = tree = false` plus the decoded [`AltBranch`].
 
 use crate::{Error, Result};
 
@@ -37,6 +53,11 @@ pub const LEN_ESCAPE: u8 = 255;
 /// port value meaning 'local', the effective number of ports per switch is
 /// limited to 255").
 pub const PORT_LOCAL: u8 = 0;
+
+/// Length of the alternate-branch suffix (`[alt_port, splice]`) that
+/// trails the `portInfo` field when the flags nibble carries the ALT
+/// marker (see the [module docs](self)).
+pub const ALT_SUFFIX_LEN: usize = 2;
 
 /// Byte offsets of the fixed prologue fields.
 mod field {
@@ -73,6 +94,9 @@ impl Flags {
     const DIB_BIT: u8 = 0b0100;
     const RPF_BIT: u8 = 0b0010;
     const TREE_BIT: u8 = 0b0001;
+    /// The ALT-marker pattern: VNT and TRB set together signals an
+    /// alternate-branch suffix, not the (contradictory) literal flags.
+    pub(crate) const ALT_MARKER: u8 = Self::VNT_BIT | Self::TREE_BIT;
 
     /// Decode from the high nibble of the flags/priority byte.
     pub fn from_nibble(n: u8) -> Flags {
@@ -158,6 +182,27 @@ impl Default for Priority {
     }
 }
 
+/// A Slick-Packets-style fallback branch attached to a primary header
+/// segment.
+///
+/// When the router owning the segment finds its primary next hop
+/// unreachable (link down, or the peer router itself down), it diverts
+/// the packet out `port` instead, re-headed with the recovery-list
+/// suffix starting at index `splice` (up to and including the first
+/// local-delivery segment at or after it).
+///
+/// On the *terminating* (port-0) segment of a route the branch is
+/// overloaded as the recovery-list descriptor: `port` holds the number
+/// of recovery segments that follow the route, and `splice` is 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AltBranch {
+    /// Alternate output port to divert on (recovery-segment count on the
+    /// terminating segment).
+    pub port: u8,
+    /// Splice index into the packet's recovery segment list.
+    pub splice: u8,
+}
+
 /// A zero-copy view of a VIPER header segment at the *front* of a buffer.
 ///
 /// The buffer may extend beyond the segment (and normally does — the rest
@@ -190,7 +235,12 @@ impl<T: AsRef<[u8]>> Segment<T> {
         }
         let (_, end) = self.token_bounds()?;
         let (_, info_end) = self.info_bounds(end)?;
-        if info_end > data.len() {
+        let total = if self.has_alt() {
+            info_end + ALT_SUFFIX_LEN
+        } else {
+            info_end
+        };
+        if total > data.len() {
             return Err(Error::Truncated);
         }
         Ok(())
@@ -216,9 +266,43 @@ impl<T: AsRef<[u8]>> Segment<T> {
         self.buffer.as_ref()[field::PORT]
     }
 
-    /// The segment flags.
+    /// The raw flags nibble, before ALT-marker normalization.
+    fn flags_nibble(&self) -> u8 {
+        self.buffer.as_ref()[field::FLAGS_PRIORITY] >> 4
+    }
+
+    /// Whether the flags nibble carries the ALT marker (an alternate-
+    /// branch suffix follows the `portInfo` field).
+    pub fn has_alt(&self) -> bool {
+        self.flags_nibble() & Flags::ALT_MARKER == Flags::ALT_MARKER
+    }
+
+    /// The segment flags. For a marked segment the recycled VNT/TRB bits
+    /// are reported as `false` — the marker is surfaced via
+    /// [`Segment::alt`], never as literal flags, so flag-driven paths
+    /// (tree decode, next-type chaining) cannot misfire on it.
     pub fn flags(&self) -> Flags {
-        Flags::from_nibble(self.buffer.as_ref()[field::FLAGS_PRIORITY] >> 4)
+        let mut f = Flags::from_nibble(self.flags_nibble());
+        if self.has_alt() {
+            f.vnt = false;
+            f.tree = false;
+        }
+        f
+    }
+
+    /// The alternate branch, when the ALT marker is present. Call only
+    /// on a validated segment.
+    pub fn alt(&self) -> Option<AltBranch> {
+        if !self.has_alt() {
+            return None;
+        }
+        let (_, te) = self.token_bounds().expect("validated by check_len");
+        let (_, ie) = self.info_bounds(te).expect("validated by check_len");
+        let data = self.buffer.as_ref();
+        Some(AltBranch {
+            port: data[ie],
+            splice: data[ie + 1],
+        })
     }
 
     /// The segment priority.
@@ -300,12 +384,17 @@ impl<T: AsRef<[u8]>> Segment<T> {
         Ok((ts, te, is_, ie))
     }
 
-    /// Total encoded length of this segment, including the fixed prologue
-    /// and any extended-length words.
+    /// Total encoded length of this segment, including the fixed prologue,
+    /// any extended-length words, and the alternate-branch suffix when the
+    /// ALT marker is present.
     pub fn total_len(&self) -> usize {
         let (_, te) = self.token_bounds().expect("validated by check_len");
         let (_, ie) = self.info_bounds(te).expect("validated by check_len");
-        ie
+        if self.has_alt() {
+            ie + ALT_SUFFIX_LEN
+        } else {
+            ie
+        }
     }
 
     /// The bytes of the buffer following this segment (the rest of the
@@ -348,6 +437,12 @@ pub struct SegmentRepr {
     /// Network-specific port information (e.g. an Ethernet header for the
     /// next hop). Empty for point-to-point links.
     pub port_info: Vec<u8>,
+    /// Optional Slick-Packets fallback branch. `None` encodes byte-
+    /// identically to the pre-failover format. When `Some`, `flags.vnt`
+    /// and `flags.tree` must be `false` — the wire nibble is taken over
+    /// by the ALT marker, and [`SegmentRepr::emit`] rejects the
+    /// non-canonical combinations.
+    pub alt: Option<AltBranch>,
 }
 
 impl SegmentRepr {
@@ -369,6 +464,7 @@ impl SegmentRepr {
             priority: seg.priority(),
             port_token: seg.port_token().to_vec(),
             port_info: seg.port_info().to_vec(),
+            alt: seg.alt(),
         })
     }
 
@@ -395,11 +491,33 @@ impl SegmentRepr {
         FIXED_LEN
             + Self::var_field_len(self.port_token.len())
             + Self::var_field_len(self.port_info.len())
+            + if self.alt.is_some() {
+                ALT_SUFFIX_LEN
+            } else {
+                0
+            }
     }
 
     /// Emit into the front of `buffer`, which must be at least
     /// [`SegmentRepr::buffer_len`] bytes. Returns the bytes written.
+    ///
+    /// Fails with [`Error::Malformed`] on the non-canonical flag/branch
+    /// combinations: VNT+TRB set together without an alternate branch
+    /// (that nibble *is* the ALT marker — emitting it bare would make
+    /// the parser read payload bytes as a branch), or an alternate
+    /// branch alongside a set VNT or TRB bit (the marker overrides them
+    /// on the wire, so they would not round-trip).
     pub fn emit(&self, buffer: &mut [u8]) -> Result<usize> {
+        let nibble = self.flags.to_nibble();
+        match self.alt {
+            None if nibble & Flags::ALT_MARKER == Flags::ALT_MARKER => {
+                return Err(Error::Malformed);
+            }
+            Some(_) if self.flags.vnt || self.flags.tree => {
+                return Err(Error::Malformed);
+            }
+            _ => {}
+        }
         let need = self.buffer_len();
         if buffer.len() < need {
             return Err(Error::Truncated);
@@ -415,7 +533,12 @@ impl SegmentRepr {
             self.port_token.len() as u8
         };
         buffer[field::PORT] = self.port;
-        buffer[field::FLAGS_PRIORITY] = (self.flags.to_nibble() << 4) | self.priority.raw();
+        let wire_nibble = if self.alt.is_some() {
+            nibble | Flags::ALT_MARKER
+        } else {
+            nibble
+        };
+        buffer[field::FLAGS_PRIORITY] = (wire_nibble << 4) | self.priority.raw();
         let mut at = FIXED_LEN;
         for (bytes, _name) in [(&self.port_token, "token"), (&self.port_info, "info")] {
             if bytes.len() > 254 {
@@ -425,14 +548,23 @@ impl SegmentRepr {
             buffer[at..at + bytes.len()].copy_from_slice(bytes);
             at += bytes.len();
         }
+        if let Some(ab) = self.alt {
+            buffer[at] = ab.port;
+            buffer[at + 1] = ab.splice;
+            at += ALT_SUFFIX_LEN;
+        }
         debug_assert_eq!(at, need);
         Ok(need)
     }
 
     /// Emit into a fresh vector.
+    ///
+    /// # Panics
+    /// On the non-canonical flag/branch combinations [`SegmentRepr::emit`]
+    /// rejects (no construction site in this workspace produces them).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut v = vec![0u8; self.buffer_len()];
-        self.emit(&mut v).expect("sized exactly");
+        self.emit(&mut v).expect("canonical repr sized exactly");
         v
     }
 }
@@ -481,6 +613,7 @@ mod tests {
             priority: Priority::new(6),
             port_token: (0..32).collect(),
             port_info: (0..14).rev().collect(),
+            alt: None,
         };
         assert_eq!(roundtrip(&r), r);
     }
@@ -606,6 +739,124 @@ mod tests {
         let seg = Segment::new_checked(&bytes[..]).unwrap();
         assert_eq!(seg.rest(), b"payload");
     }
+
+    #[test]
+    fn alt_branch_roundtrips_as_two_byte_suffix() {
+        let plain = SegmentRepr {
+            port: 7,
+            port_token: vec![1, 2, 3],
+            port_info: vec![9; 14],
+            ..Default::default()
+        };
+        let marked = SegmentRepr {
+            alt: Some(AltBranch { port: 3, splice: 5 }),
+            ..plain.clone()
+        };
+        assert_eq!(marked.buffer_len(), plain.buffer_len() + ALT_SUFFIX_LEN);
+        let bytes = marked.to_bytes();
+        // The suffix is exactly [alt_port, splice] at the tail, and the
+        // prefix before it matches the unmarked encoding everywhere but
+        // the flags nibble.
+        assert_eq!(&bytes[bytes.len() - 2..], &[3, 5]);
+        assert_eq!(roundtrip(&marked), marked);
+        // rest() must skip the suffix too.
+        let mut framed = bytes.clone();
+        framed.extend_from_slice(b"data");
+        let seg = Segment::new_checked(&framed[..]).unwrap();
+        assert_eq!(seg.rest(), b"data");
+        assert_eq!(seg.alt(), Some(AltBranch { port: 3, splice: 5 }));
+    }
+
+    #[test]
+    fn zero_alternates_is_byte_identical_to_legacy_format() {
+        // The whole golden-trace compatibility argument: a repr without
+        // an alternate must encode exactly as it did before the ALT
+        // suffix existed (fixed prologue + token + info, nothing more).
+        let r = SegmentRepr {
+            port: 5,
+            flags: Flags {
+                dib: true,
+                ..Default::default()
+            },
+            priority: Priority::new(6),
+            port_token: vec![0xAA; 8],
+            port_info: vec![0x55; 14],
+            alt: None,
+        };
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), FIXED_LEN + 8 + 14);
+        assert_eq!(bytes[field::PORT_INFO_LEN], 14);
+        assert_eq!(bytes[field::PORT_TOKEN_LEN], 8);
+        assert_eq!(bytes[field::FLAGS_PRIORITY], (0b0100 << 4) | 6);
+    }
+
+    #[test]
+    fn marked_segment_reports_clean_flags() {
+        let r = SegmentRepr {
+            port: 2,
+            flags: Flags {
+                dib: true,
+                rpf: true,
+                ..Default::default()
+            },
+            alt: Some(AltBranch { port: 9, splice: 0 }),
+            ..Default::default()
+        };
+        let bytes = r.to_bytes();
+        let seg = Segment::new_checked(&bytes[..]).unwrap();
+        // The recycled VNT/TRB bits never surface as literal flags.
+        let f = seg.flags();
+        assert!(!f.vnt && !f.tree && f.dib && f.rpf);
+        assert!(seg.has_alt());
+        assert_eq!(roundtrip(&r), r);
+    }
+
+    #[test]
+    fn marked_segment_truncated_suffix_rejected() {
+        let r = SegmentRepr {
+            port: 1,
+            port_info: vec![4; 6],
+            alt: Some(AltBranch { port: 2, splice: 1 }),
+            ..Default::default()
+        };
+        let bytes = r.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Segment::new_checked(&bytes[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        assert!(Segment::new_checked(&bytes[..]).is_ok());
+    }
+
+    #[test]
+    fn non_canonical_marker_combinations_rejected() {
+        // VNT+TRB without a branch IS the marker — emitting it bare
+        // would alias payload bytes into a branch on reparse.
+        let bare = SegmentRepr {
+            flags: Flags {
+                vnt: true,
+                tree: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut buf = [0u8; 16];
+        assert_eq!(bare.emit(&mut buf).unwrap_err(), Error::Malformed);
+        // A branch alongside a set VNT or TRB bit would not round-trip.
+        for (vnt, tree) in [(true, false), (false, true), (true, true)] {
+            let r = SegmentRepr {
+                flags: Flags {
+                    vnt,
+                    tree,
+                    ..Default::default()
+                },
+                alt: Some(AltBranch { port: 1, splice: 0 }),
+                ..Default::default()
+            };
+            assert_eq!(r.emit(&mut buf).unwrap_err(), Error::Malformed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -616,25 +867,37 @@ mod proptests {
     fn arb_repr() -> impl Strategy<Value = SegmentRepr> {
         (
             any::<u8>(),
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>(),
-            any::<bool>(),
+            0u8..16,
             0u8..16,
             proptest::collection::vec(any::<u8>(), 0..400),
             proptest::collection::vec(any::<u8>(), 0..400),
+            (any::<bool>(), any::<u8>(), any::<u8>()),
         )
-            .prop_map(|(port, vnt, dib, rpf, tree, prio, tok, info)| SegmentRepr {
-                port,
-                flags: Flags {
-                    vnt,
-                    dib,
-                    rpf,
-                    tree,
-                },
-                priority: Priority::new(prio),
-                port_token: tok,
-                port_info: info,
+            .prop_map(|(port, nibble, prio, tok, info, alt_raw)| {
+                let alt = alt_raw.0.then_some(AltBranch {
+                    port: alt_raw.1,
+                    splice: alt_raw.2,
+                });
+                let mut flags = Flags::from_nibble(nibble);
+                // Keep the repr canonical: with a branch the recycled
+                // VNT/TRB bits must be clear; without one they must not
+                // both be set (that nibble is the ALT marker).
+                match alt {
+                    Some(_) => {
+                        flags.vnt = false;
+                        flags.tree = false;
+                    }
+                    None if flags.vnt && flags.tree => flags.tree = false,
+                    None => {}
+                }
+                SegmentRepr {
+                    port,
+                    flags,
+                    priority: Priority::new(prio),
+                    port_token: tok,
+                    port_info: info,
+                    alt,
+                }
             })
     }
 
@@ -651,6 +914,14 @@ mod proptests {
         #[test]
         fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
             // Hostile input: parsing must fail cleanly or succeed, never panic.
+            let _ = SegmentRepr::parse_prefix(&bytes);
+        }
+
+        #[test]
+        fn marked_parse_never_panics(mut bytes in proptest::collection::vec(any::<u8>(), 4..64)) {
+            // Hostile input with the ALT marker forced on, steering every
+            // case through the suffix-aware parse path.
+            bytes[3] |= 0b1001 << 4;
             let _ = SegmentRepr::parse_prefix(&bytes);
         }
 

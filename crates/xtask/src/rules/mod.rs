@@ -113,6 +113,7 @@ pub const DATAPLANE_FILES: &[&str] = &[
     "crates/router/src/ip.rs",
     "crates/router/src/cvc.rs",
     "crates/wire/src/buf.rs",
+    "crates/wire/src/alt.rs",
     "crates/sim/src/queue.rs",
     "crates/sim/src/shard.rs",
     "crates/sim/src/sync.rs",

@@ -109,6 +109,7 @@ fn sirpent_crosses_ip_cloud_and_reply_returns() {
                 ..Default::default()
             },
         ],
+        recovery: vec![],
         path_mtu: 1400,
         base_rtt: SimDuration::from_millis(5),
         router_ids: vec![],
