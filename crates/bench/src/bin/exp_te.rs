@@ -1,0 +1,219 @@
+//! TE — traffic-engineered directory under a heavy-traffic flash
+//! crowd: weighted k-constrained routes + residual-weighted per-flow
+//! spreading vs shortest-path-only, on a 10 000-node `simtest::topo`
+//! mesh.
+//!
+//! Thousands of heavy-tailed flows start inside one 50 ms arrival
+//! window, three of four aimed at a handful of hotspot destinations
+//! from clustered crowd origins — the concentration pattern shortest
+//! path trees cannot escape. The TE configuration asks the directory
+//! for `k = 3` stretch-bounded alternates, spreads flows across them
+//! weighted by advertised residual capacity, and lets detour insertion
+//! route around trunks that crossed the congestion threshold during
+//! placement. Both configurations then execute their planned source
+//! routes on the real engine; per-channel busy time is ground truth.
+//!
+//! Run: `cargo run --release -p sirpent-bench --bin exp_te`.
+//! Writes `results/TE.json` (uploaded as a CI artifact by the te-soak
+//! job). `--check` fails the process unless:
+//!
+//! * TE peak trunk utilization ≤ 80 % of the shortest-path-only peak
+//!   (the load actually spread);
+//! * every TE route respects the 1.5× stretch bound;
+//! * zero starved flows and zero unroutable flows in both configs;
+//! * the sharded engine (2 and 4 shards) reproduces the serial digest
+//!   byte for byte.
+//!
+//! `--small` swaps in the 256-node configuration for quick local runs
+//! (same gates, seconds instead of minutes).
+
+use serde::Serialize;
+use sirpent_bench::{write_json, Table};
+use sirpent_simtest::te::{plan, run, TePlan, TeRunReport, TeWorkload};
+
+/// Bench seed — fixed so CI compares like with like across commits.
+const SEED: u64 = 42;
+/// Shard counts the digest gate sweeps.
+const SHARD_SWEEP: [usize; 2] = [2, 4];
+/// TE peak must come in at or under this many percent of the
+/// shortest-path-only peak.
+const PEAK_PCT_CEILING: u64 = 80;
+
+#[derive(Serialize)]
+struct ConfigOut {
+    label: String,
+    k: usize,
+    flows: usize,
+    unroutable: u64,
+    detours: u64,
+    injected_pkts: u64,
+    delivered_pkts: u64,
+    starved_flows: u64,
+    incomplete_flows: u64,
+    peak_util_milli: u64,
+    mean_util_milli: u64,
+    p50_completion_ns: u64,
+    p99_completion_ns: u64,
+    max_stretch_milli: u64,
+    mean_stretch_milli: u64,
+    events: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    seed: u64,
+    nodes: usize,
+    peak_reduction_percent: i64,
+    stretch_bound_milli: u32,
+    sharded_digest_match: bool,
+    configs: Vec<ConfigOut>,
+}
+
+fn config_out(label: &str, spec: &TeWorkload, r: &TeRunReport) -> ConfigOut {
+    ConfigOut {
+        label: label.to_string(),
+        k: spec.k,
+        flows: r.flows,
+        unroutable: r.unroutable,
+        detours: r.detours,
+        injected_pkts: r.injected_pkts,
+        delivered_pkts: r.delivered_pkts,
+        starved_flows: r.starved_flows,
+        incomplete_flows: r.incomplete_flows,
+        peak_util_milli: r.peak_util_milli,
+        mean_util_milli: r.mean_util_milli,
+        p50_completion_ns: r.p50_completion_ns,
+        p99_completion_ns: r.p99_completion_ns,
+        max_stretch_milli: r.max_stretch_milli,
+        mean_stretch_milli: r.mean_stretch_milli,
+        events: r.events,
+    }
+}
+
+fn row(t: &mut Table, label: &str, r: &TeRunReport) {
+    let peak = format!("{:.1}%", r.peak_util_milli as f64 / 10.0);
+    let p99 = format!("{:.2}", r.p99_completion_ns as f64 / 1e6);
+    let stretch = format!("{:.2}x", r.max_stretch_milli as f64 / 1e3);
+    t.row(&[
+        &label,
+        &r.flows,
+        &r.delivered_pkts,
+        &peak,
+        &p99,
+        &stretch,
+        &r.starved_flows,
+        &r.detours,
+    ]);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let small = args.iter().any(|a| a == "--small");
+
+    let te_spec = if small {
+        TeWorkload::small(SEED)
+    } else {
+        TeWorkload::heavy(SEED)
+    };
+    let sp_spec = te_spec.shortest_path_only();
+
+    println!(
+        "[planning {} flows over {} nodes, k={} vs shortest-path-only]",
+        te_spec.flows, te_spec.nodes, te_spec.k
+    );
+    let te_plan: TePlan = plan(&te_spec);
+    let sp_plan: TePlan = plan(&sp_spec);
+
+    let te = run(&te_spec, &te_plan, 1, 1);
+    let sp = run(&sp_spec, &sp_plan, 1, 1);
+
+    // Shard-invariance gate: same plan, sharded engine, byte-identical
+    // digest. Single worker thread — the digest must not depend on
+    // parallelism, and CI containers may have one core.
+    let mut digests_match = true;
+    for &shards in &SHARD_SWEEP {
+        let sharded = run(&te_spec, &te_plan, shards, 1);
+        if sharded.digest != te.digest {
+            eprintln!("FAIL: {shards}-shard digest diverged from serial");
+            digests_match = false;
+        }
+    }
+
+    let mut t = Table::new(
+        "TE: flash-crowd load spread, weighted k-constrained routes vs shortest path",
+        &[
+            "config",
+            "flows",
+            "delivered",
+            "peak util",
+            "p99 ms",
+            "stretch",
+            "starved",
+            "detours",
+        ],
+    );
+    row(&mut t, "shortest-path", &sp);
+    row(&mut t, "traffic-engineered", &te);
+    t.print();
+
+    let reduction = 100i64 - (te.peak_util_milli as i64 * 100) / sp.peak_util_milli.max(1) as i64;
+    println!(
+        "[peak trunk utilization: {:.1}% -> {:.1}% ({reduction}% reduction); \
+         sharded digests: {}]",
+        sp.peak_util_milli as f64 / 10.0,
+        te.peak_util_milli as f64 / 10.0,
+        if digests_match { "match" } else { "MISMATCH" }
+    );
+
+    let report = Report {
+        experiment: "te",
+        seed: SEED,
+        nodes: te_spec.nodes,
+        peak_reduction_percent: reduction,
+        stretch_bound_milli: te_spec.max_stretch_milli,
+        sharded_digest_match: digests_match,
+        configs: vec![
+            config_out("shortest_path", &sp_spec, &sp),
+            config_out("te", &te_spec, &te),
+        ],
+    };
+    write_json("TE", &report);
+
+    if check {
+        let mut failed = !digests_match;
+        if te.peak_util_milli * 100 > sp.peak_util_milli * PEAK_PCT_CEILING {
+            eprintln!(
+                "FAIL: TE peak {} milli exceeds {PEAK_PCT_CEILING}% of the \
+                 shortest-path peak {} milli",
+                te.peak_util_milli, sp.peak_util_milli
+            );
+            failed = true;
+        }
+        if te.max_stretch_milli > te_spec.max_stretch_milli as u64 {
+            eprintln!(
+                "FAIL: max stretch {} milli exceeds the {} milli bound",
+                te.max_stretch_milli, te_spec.max_stretch_milli
+            );
+            failed = true;
+        }
+        for (label, r) in [("shortest-path", &sp), ("TE", &te)] {
+            if r.starved_flows > 0 {
+                eprintln!("FAIL: {label} run starved {} flow(s)", r.starved_flows);
+                failed = true;
+            }
+            if r.unroutable > 0 {
+                eprintln!(
+                    "FAIL: {label} plan left {} flow(s) unroutable",
+                    r.unroutable
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("[te check passed]");
+    }
+}

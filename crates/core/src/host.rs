@@ -233,9 +233,32 @@ impl SirpentHost {
             .insert(dst, RouteSet::new(pairs.collect(), self.failover));
     }
 
+    /// Install weighted route alternatives for a destination (from TE
+    /// advisories: weight = advertised residual capacity). Each new
+    /// transaction is then pinned to a route by the weighted per-flow
+    /// hash, spreading flows across the k grants instead of piling onto
+    /// the first; failover health still gates which routes are eligible.
+    pub fn install_routes_weighted(&mut self, dst: EntityId, routes: Vec<(CompiledRoute, u64)>) {
+        assert!(!routes.is_empty(), "need at least one route");
+        let triples = routes.into_iter().map(|(r, w)| {
+            let rtt = r.base_rtt;
+            (r, rtt, w)
+        });
+        self.routes.insert(
+            dst,
+            RouteSet::new_weighted(triples.collect(), self.failover),
+        );
+    }
+
     /// Which route index is currently used toward `dst`.
     pub fn current_route_index(&self, dst: EntityId) -> Option<usize> {
         self.routes.get(&dst).map(|r| r.current_index())
+    }
+
+    /// How many weighted per-flow re-selections changed the route
+    /// toward `dst` (0 for unweighted sets).
+    pub fn route_reselections(&self, dst: EntityId) -> u64 {
+        self.routes.get(&dst).map(|r| r.reselections).unwrap_or(0)
     }
 
     /// Queue a request for later sending; call [`SirpentHost::start`]
@@ -458,6 +481,11 @@ impl SirpentHost {
                 continue;
             };
             self.stats.requests_sent += 1;
+            // TE spreading: pin this transaction's route by the weighted
+            // per-flow hash (no-op for unweighted sets).
+            if let Some(set) = self.routes.get_mut(&dst) {
+                set.select_for_flow(txn as u64);
+            }
             let payload_len = payload.len();
             self.inflight.insert(
                 txn,
@@ -527,6 +555,12 @@ impl SirpentHost {
             }
         }
         self.endpoint.pacer.on_loss();
+        // Re-pin the transaction's weighted route among the still-healthy
+        // alternatives (no-op for unweighted sets, which retransmit on
+        // whatever route failover just chose).
+        if let Some(set) = self.routes.get_mut(&dst) {
+            set.select_for_flow(txn as u64);
+        }
         let mut actions = self.endpoint.on_retransmit_timer(now, txn);
         if actions.is_empty() {
             // The request is fully acknowledged but no response came:

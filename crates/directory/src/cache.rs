@@ -6,6 +6,13 @@
 //! directory servers." The cache holds whole advisories; a client that
 //! experiences a failure on a cached route *invalidates on use* and
 //! re-queries.
+//!
+//! Entries are additionally keyed by the **topology epoch** they were
+//! fetched at ([`crate::te::TeTopology::epoch`]). A TTL alone cannot
+//! catch weight or congestion changes — a route computed before a load
+//! report may be arbitrarily bad after it — so a lookup presents the
+//! current epoch and any entry fetched under an older epoch is treated
+//! as stale and dropped, never served.
 
 use std::collections::HashMap;
 
@@ -19,6 +26,8 @@ use crate::server::Advisory;
 struct CacheEntry {
     advisories: Vec<Advisory>,
     fetched_at: SimTime,
+    /// Topology epoch the advisories were computed under.
+    epoch: u64,
 }
 
 /// Client-side cache of route advisories.
@@ -31,6 +40,8 @@ pub struct RouteCache {
     pub misses: u64,
     /// On-use invalidations after route failures.
     pub invalidations: u64,
+    /// Entries dropped because the topology epoch moved past them.
+    pub epoch_evictions: u64,
 }
 
 impl RouteCache {
@@ -42,12 +53,23 @@ impl RouteCache {
             hits: 0,
             misses: 0,
             invalidations: 0,
+            epoch_evictions: 0,
         }
     }
 
-    /// Look up fresh advisories for `service`.
-    pub fn get(&mut self, service: &Name, now: SimTime) -> Option<&[Advisory]> {
+    /// Look up advisories for `service` that are fresh at `now` *and*
+    /// were fetched under the current topology `epoch`. An entry from
+    /// an older epoch is dropped and counted, never served — weight and
+    /// congestion updates invalidate routes that a TTL would still
+    /// consider live.
+    pub fn get(&mut self, service: &Name, now: SimTime, epoch: u64) -> Option<&[Advisory]> {
         match self.entries.get(service) {
+            Some(e) if e.epoch != epoch => {
+                self.entries.remove(service);
+                self.epoch_evictions += 1;
+                self.misses += 1;
+                None
+            }
             Some(e) if now - e.fetched_at <= self.ttl => {
                 self.hits += 1;
                 Some(&self.entries[service].advisories)
@@ -59,13 +81,16 @@ impl RouteCache {
         }
     }
 
-    /// Store a query result.
-    pub fn put(&mut self, service: Name, advisories: Vec<Advisory>, now: SimTime) {
+    /// Store a query result fetched at `now` under topology `epoch`
+    /// (use [`crate::Directory::topology_epoch`]; 0 when the directory
+    /// has no TE topology).
+    pub fn put(&mut self, service: Name, advisories: Vec<Advisory>, now: SimTime, epoch: u64) {
         self.entries.insert(
             service,
             CacheEntry {
                 advisories,
                 fetched_at: now,
+                epoch,
             },
         );
     }
@@ -127,6 +152,7 @@ mod tests {
             route,
             tokens: vec![],
             reported_load: 0.0,
+            residual_bps: 1,
         }
     }
 
@@ -137,10 +163,10 @@ mod tests {
     #[test]
     fn hit_within_ttl_miss_after() {
         let mut c = RouteCache::new(SimDuration::from_secs(10));
-        assert!(c.get(&svc(), SimTime::ZERO).is_none());
-        c.put(svc(), vec![adv(1)], SimTime::ZERO);
-        assert!(c.get(&svc(), SimTime(5_000_000_000)).is_some());
-        assert!(c.get(&svc(), SimTime(11_000_000_000)).is_none());
+        assert!(c.get(&svc(), SimTime::ZERO, 0).is_none());
+        c.put(svc(), vec![adv(1)], SimTime::ZERO, 0);
+        assert!(c.get(&svc(), SimTime(5_000_000_000), 0).is_some());
+        assert!(c.get(&svc(), SimTime(11_000_000_000), 0).is_none());
         assert_eq!(c.hits, 1);
         assert_eq!(c.misses, 2);
     }
@@ -148,9 +174,9 @@ mod tests {
     #[test]
     fn invalidate_on_use() {
         let mut c = RouteCache::new(SimDuration::from_secs(10));
-        c.put(svc(), vec![adv(1)], SimTime::ZERO);
+        c.put(svc(), vec![adv(1)], SimTime::ZERO, 0);
         c.invalidate(&svc());
-        assert!(c.get(&svc(), SimTime(1)).is_none());
+        assert!(c.get(&svc(), SimTime(1), 0).is_none());
         assert_eq!(c.invalidations, 1);
         // Invalidating a missing entry is a no-op.
         c.invalidate(&svc());
@@ -160,14 +186,69 @@ mod tests {
     #[test]
     fn drop_route_keeps_alternates() {
         let mut c = RouteCache::new(SimDuration::from_secs(10));
-        c.put(svc(), vec![adv(1), adv(2)], SimTime::ZERO);
+        c.put(svc(), vec![adv(1), adv(2)], SimTime::ZERO, 0);
         c.drop_route(&svc(), 0);
-        let got = c.get(&svc(), SimTime(1)).unwrap();
+        let got = c.get(&svc(), SimTime(1), 0).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].route.access.host_port, 2);
         // Dropping the last one removes the entry.
         c.drop_route(&svc(), 0);
         assert!(c.is_empty());
         assert_eq!(c.invalidations, 1);
+    }
+
+    /// Regression: before epoch keying, an entry fetched before a
+    /// topology-weight change stayed servable for its whole TTL. Now a
+    /// lookup under a newer epoch must never see the stale routes.
+    #[test]
+    fn epoch_bump_evicts_stale_entry_within_ttl() {
+        let mut c = RouteCache::new(SimDuration::from_secs(10));
+        c.put(svc(), vec![adv(1)], SimTime::ZERO, 7);
+        // Same epoch, well within TTL: served.
+        assert!(c.get(&svc(), SimTime(1_000), 7).is_some());
+        // A weight update bumped the topology epoch; the entry is still
+        // within TTL but must not be served.
+        assert!(c.get(&svc(), SimTime(2_000), 8).is_none());
+        assert_eq!(c.epoch_evictions, 1);
+        assert!(c.is_empty(), "stale entry dropped, next send re-queries");
+        // Once refilled under the new epoch it serves again.
+        c.put(svc(), vec![adv(2)], SimTime(3_000), 8);
+        assert!(c.get(&svc(), SimTime(4_000), 8).is_some());
+    }
+
+    /// End-to-end with a live directory: a load report on the TE
+    /// topology invalidates what was cached before it.
+    #[test]
+    fn stale_route_never_served_after_directory_report() {
+        use crate::te::{LinkMetrics, TeQuery};
+        use crate::{Directory, Peer, TeTopology};
+
+        let mut t = TeTopology::new();
+        t.add_link(0, 0, Peer::Router(1), LinkMetrics::basic());
+        t.add_link(1, 0, Peer::Host(9), LinkMetrics::basic());
+        let mut d = Directory::new().with_te(t);
+
+        let access = AccessSpec {
+            host_port: 0,
+            ethernet_next: None,
+            bandwidth_bps: 10_000_000,
+            prop_delay: SimDuration::ZERO,
+            mtu: 1500,
+        };
+        let advs = d.te_advisories(0, Peer::Host(9), &TeQuery::default(), &access, &[], 1);
+        assert_eq!(advs.len(), 1);
+
+        let mut c = RouteCache::new(SimDuration::from_secs(3600));
+        c.put(svc(), advs, SimTime::ZERO, d.topology_epoch());
+        assert!(c.get(&svc(), SimTime(1), d.topology_epoch()).is_some());
+
+        // Rate-control feedback arrives: the trunk is loaded. The epoch
+        // moves, and the hour-long TTL no longer matters.
+        d.report_load(0, 0, 0.9);
+        assert!(
+            c.get(&svc(), SimTime(2), d.topology_epoch()).is_none(),
+            "stale cached route served after an epoch bump"
+        );
+        assert_eq!(c.epoch_evictions, 1);
     }
 }

@@ -16,7 +16,11 @@
 //!   detection;
 //! * [`alternates`] — route protection at grant time: per-hop
 //!   link-disjoint detours encoded as Slick-Packets-style alternate
-//!   branches over the route's own tail.
+//!   branches over the route's own tail;
+//! * [`te`] — the traffic-engineering control plane: a weighted link
+//!   map (per-link delay / bandwidth / MTU / cost plus reported load)
+//!   with an epoch counter, and a constrained Yen-style k-shortest
+//!   route search with congestion detours.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@ pub mod cache;
 pub mod name;
 pub mod route;
 pub mod server;
+pub mod te;
 
 pub use alternates::{Peer, Topology};
 pub use cache::RouteCache;
@@ -34,3 +39,4 @@ pub use route::{
     AccessSpec, EthernetHop, HopSpec, Preference, RouteProperties, RouteRecord, Security,
 };
 pub use server::{Advisory, Directory, QueryResult, ServiceRecord, TokenIssue};
+pub use te::{LinkMetrics, TeQuery, TeRoute, TeTopology};

@@ -17,11 +17,14 @@
 use std::collections::HashMap;
 
 use sirpent_sim::SimDuration;
+use sirpent_telemetry::names;
+use sirpent_telemetry::{Registry, RegistryError};
 use sirpent_token::{Accounting, Grant, TokenMinter};
 use sirpent_wire::viper::Priority;
 
 use crate::name::Name;
-use crate::route::{Preference, RouteProperties, RouteRecord};
+use crate::route::{AccessSpec, Preference, RouteProperties, RouteRecord};
+use crate::te::{TeQuery, TeRoute, TeTopology, LOAD_SCALE};
 
 /// A route advisory returned to a client.
 #[derive(Debug, Clone)]
@@ -36,6 +39,10 @@ pub struct Advisory {
     pub tokens: Vec<Vec<u8>>,
     /// Current worst-case reported load along the route, 0.0–1.0.
     pub reported_load: f64,
+    /// Advertised residual capacity of the route's bottleneck link,
+    /// bits/sec — what TE clients weight their per-flow route choice
+    /// by. Equal to the bottleneck bandwidth when no load is known.
+    pub residual_bps: u64,
 }
 
 /// Everything known about one named service.
@@ -85,6 +92,7 @@ pub struct Directory {
     records: HashMap<Name, ServiceRecord>,
     links: HashMap<(u32, u8), LinkStatus>,
     issue: Option<TokenIssue>,
+    te: Option<TeTopology>,
     /// Aggregated usage collected from router ledgers.
     pub billing: Accounting,
     /// Base RTT to a same-region server.
@@ -95,6 +103,14 @@ pub struct Directory {
     pub queries: u64,
     /// Queries that had to climb at least one region level.
     pub delegated_queries: u64,
+    /// TE queries served.
+    pub te_queries: u64,
+    /// Routes returned across all TE queries.
+    pub te_routes_returned: u64,
+    /// Congestion detours inserted into returned TE route sets.
+    pub te_detours: u64,
+    /// TE queries with no feasible route under the client's bounds.
+    pub te_infeasible: u64,
 }
 
 impl Directory {
@@ -105,11 +121,16 @@ impl Directory {
             records: HashMap::new(),
             links: HashMap::new(),
             issue: None,
+            te: None,
             billing: Accounting::new(),
             base_query_rtt: SimDuration::from_micros(500),
             per_level_rtt: SimDuration::from_millis(1),
             queries: 0,
             delegated_queries: 0,
+            te_queries: 0,
+            te_routes_returned: 0,
+            te_detours: 0,
+            te_infeasible: 0,
         }
     }
 
@@ -117,6 +138,32 @@ impl Directory {
     pub fn with_tokens(mut self, issue: TokenIssue) -> Directory {
         self.issue = Some(issue);
         self
+    }
+
+    /// Attach a weighted TE topology: the directory then computes
+    /// constrained k-shortest routes on demand ([`Directory::te_query`])
+    /// instead of only serving registered records, and link reports
+    /// bump the topology epoch so client caches can detect staleness.
+    pub fn with_te(mut self, te: TeTopology) -> Directory {
+        self.te = Some(te);
+        self
+    }
+
+    /// The attached TE topology, if any.
+    pub fn te(&self) -> Option<&TeTopology> {
+        self.te.as_ref()
+    }
+
+    /// Mutable access to the TE topology (monitoring stations push
+    /// weight updates through here; every mutation bumps the epoch).
+    pub fn te_mut(&mut self) -> Option<&mut TeTopology> {
+        self.te.as_mut()
+    }
+
+    /// Current topology epoch (0 when no TE topology is attached).
+    /// Route caches key entries by this value.
+    pub fn topology_epoch(&self) -> u64 {
+        self.te.as_ref().map(|t| t.epoch()).unwrap_or(0)
     }
 
     /// Register (or extend) a service record.
@@ -152,20 +199,32 @@ impl Directory {
             .map(|s| s.as_str())
     }
 
-    /// A router/monitor load report for one link.
+    /// A router/monitor load report for one link. With a TE topology
+    /// attached the report also updates the link weight there, bumping
+    /// the topology epoch.
     pub fn report_load(&mut self, router_id: u32, port: u8, load: f64) {
-        self.links.entry((router_id, port)).or_default().load = load.clamp(0.0, 1.0);
+        let load = load.clamp(0.0, 1.0);
+        self.links.entry((router_id, port)).or_default().load = load;
+        if let Some(te) = self.te.as_mut() {
+            te.set_load_milli(router_id, port, (load * LOAD_SCALE as f64) as u32);
+        }
     }
 
     /// A link-failure report ("individual routers and sources
     /// experiencing problems with routes they are using", §6.3).
     pub fn report_down(&mut self, router_id: u32, port: u8) {
         self.links.entry((router_id, port)).or_default().down = true;
+        if let Some(te) = self.te.as_mut() {
+            te.set_down(router_id, port);
+        }
     }
 
     /// A link-recovery report.
     pub fn report_up(&mut self, router_id: u32, port: u8) {
         self.links.entry((router_id, port)).or_default().down = false;
+        if let Some(te) = self.te.as_mut() {
+            te.set_up(router_id, port);
+        }
     }
 
     /// Fold a router's accounting ledger into the billing aggregate.
@@ -247,9 +306,11 @@ impl Directory {
                         })
                         .collect(),
                 };
+                let free = (LOAD_SCALE as f64 * (1.0 - load)) as u64;
                 Advisory {
                     props,
                     reported_load: load,
+                    residual_bps: props.bandwidth_bps / LOAD_SCALE as u64 * free,
                     tokens,
                     route,
                 }
@@ -261,6 +322,91 @@ impl Directory {
             region_levels: levels,
             latency,
         }
+    }
+
+    /// Compute constrained k-shortest routes from a client's first
+    /// router to `dst` on the attached TE topology. Returns raw
+    /// [`TeRoute`]s, best first; empty when no topology is attached or
+    /// no feasible route exists.
+    pub fn te_query(&mut self, src_router: u32, dst: crate::Peer, q: &TeQuery) -> Vec<TeRoute> {
+        self.te_queries += 1;
+        let routes = self
+            .te
+            .as_ref()
+            .map(|t| t.k_routes(src_router, dst, q))
+            .unwrap_or_default();
+        self.te_routes_returned += routes.len() as u64;
+        self.te_detours += routes.iter().filter(|r| r.detour).count() as u64;
+        if routes.is_empty() {
+            self.te_infeasible += 1;
+        }
+        routes
+    }
+
+    /// Like [`Directory::te_query`], but materializes full advisories:
+    /// route records (with the client's access link), aggregate
+    /// properties, per-hop tokens (when minting is configured), and the
+    /// advertised residual capacity.
+    pub fn te_advisories(
+        &mut self,
+        src_router: u32,
+        dst: crate::Peer,
+        q: &TeQuery,
+        access: &AccessSpec,
+        endpoint_selector: &[u8],
+        account: u32,
+    ) -> Vec<Advisory> {
+        let routes = self.te_query(src_router, dst, q);
+        let mut advisories = Vec::with_capacity(routes.len());
+        for r in &routes {
+            let record = self
+                .te
+                .as_ref()
+                .and_then(|t| t.record(r, access.clone(), endpoint_selector.to_vec()));
+            let Some(route) = record else {
+                continue;
+            };
+            let tokens = match self.issue.as_mut() {
+                None => Vec::new(),
+                Some(issue) => route
+                    .hops
+                    .iter()
+                    .map(|h| {
+                        issue
+                            .minter
+                            .mint(Grant {
+                                router_id: h.router_id,
+                                port: h.port,
+                                max_priority: issue.max_priority,
+                                reverse_ok: issue.reverse_ok,
+                                account,
+                                byte_limit: issue.byte_limit,
+                                expiry_s: issue.expiry_s,
+                            })
+                            .to_vec()
+                    })
+                    .collect(),
+            };
+            let (_, load) = self.route_status(&route);
+            advisories.push(Advisory {
+                props: route.properties(),
+                reported_load: load,
+                residual_bps: r.residual_bps,
+                tokens,
+                route,
+            });
+        }
+        advisories
+    }
+
+    /// Publish the directory's TE counters into a telemetry registry.
+    pub fn publish_telemetry(&self, reg: &mut Registry) -> Result<(), RegistryError> {
+        reg.publish_count(names::TE_QUERIES_TOTAL, self.te_queries)?;
+        reg.publish_count(names::TE_ROUTES_RETURNED_TOTAL, self.te_routes_returned)?;
+        reg.publish_count(names::TE_DETOURS_TOTAL, self.te_detours)?;
+        reg.publish_count(names::TE_INFEASIBLE_TOTAL, self.te_infeasible)?;
+        reg.publish_count(names::TE_EPOCH_BUMPS_TOTAL, self.topology_epoch())?;
+        Ok(())
     }
 }
 
@@ -422,6 +568,102 @@ mod tests {
         assert!(b2.reverse_ok);
         // Cross-checking fails: hop-1 token does not verify at router 2.
         assert!(key2.unseal(&adv.tokens[0]).is_err());
+    }
+
+    fn te_diamond() -> crate::TeTopology {
+        use crate::te::LinkMetrics;
+        use crate::Peer;
+        let mut t = crate::TeTopology::new();
+        let fast = LinkMetrics {
+            prop_delay: SimDuration::from_micros(10),
+            ..LinkMetrics::basic()
+        };
+        let slow = LinkMetrics {
+            prop_delay: SimDuration::from_micros(50),
+            ..LinkMetrics::basic()
+        };
+        t.add_link(0, 0, Peer::Router(1), fast);
+        t.add_link(0, 1, Peer::Router(2), slow);
+        t.add_link(1, 0, Peer::Router(3), fast);
+        t.add_link(2, 0, Peer::Router(3), fast);
+        t.add_link(3, 0, Peer::Host(9), fast);
+        t
+    }
+
+    #[test]
+    fn te_query_serves_routes_and_reports_feed_the_topology() {
+        let mut d = Directory::new().with_te(te_diamond());
+        let q = TeQuery {
+            k: 2,
+            ..TeQuery::default()
+        };
+        let routes = d.te_query(0, crate::Peer::Host(9), &q);
+        assert_eq!(routes.len(), 2);
+        assert_eq!(d.te_queries, 1);
+        assert_eq!(d.te_routes_returned, 2);
+
+        // A load report reaches the TE view and bumps the epoch …
+        let e = d.topology_epoch();
+        d.report_load(1, 0, 0.95);
+        assert!(d.topology_epoch() > e, "weight change bumps the epoch");
+
+        // … so an avoid-congested query detours around the hot trunk.
+        let q = TeQuery {
+            k: 1,
+            avoid_congested: true,
+            ..TeQuery::default()
+        };
+        let routes = d.te_query(0, crate::Peer::Host(9), &q);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].congested_hops, 0);
+        assert!(d.te_detours >= 1);
+
+        // A down report removes the arm entirely.
+        d.report_down(0, 1);
+        d.report_down(1, 0);
+        let routes = d.te_query(0, crate::Peer::Host(9), &TeQuery::default());
+        assert!(routes.is_empty());
+        assert_eq!(d.te_infeasible, 1);
+    }
+
+    #[test]
+    fn te_advisories_mint_tokens_and_carry_residual() {
+        let minter = TokenMinter::new(0xFEED_FACE, 3);
+        let key = minter.router_key(0);
+        let mut d = Directory::new()
+            .with_te(te_diamond())
+            .with_tokens(TokenIssue {
+                minter,
+                max_priority: Priority::new(5),
+                reverse_ok: true,
+                byte_limit: 0,
+                expiry_s: 0,
+            });
+        d.te_mut().unwrap().set_load_milli(0, 0, 250);
+        let q = TeQuery {
+            k: 1,
+            ..TeQuery::default()
+        };
+        let advs = d.te_advisories(0, crate::Peer::Host(9), &q, &access(), &[7], 42);
+        assert_eq!(advs.len(), 1);
+        let adv = &advs[0];
+        assert_eq!(adv.route.hops.len(), 3, "one HopSpec per transit hop");
+        assert_eq!(adv.tokens.len(), 3, "one token per hop (§5)");
+        assert_eq!(adv.residual_bps, 7_500_000, "10 Mb/s × 0.75 bottleneck");
+        assert_eq!(adv.route.endpoint_selector, vec![7]);
+        let b = key.unseal(&adv.tokens[0]).unwrap();
+        assert_eq!(b.account, 42);
+        assert_eq!(b.port, adv.route.hops[0].port);
+    }
+
+    #[test]
+    fn te_counters_publish_under_registered_names() {
+        let mut d = Directory::new().with_te(te_diamond());
+        d.te_query(0, crate::Peer::Host(9), &TeQuery::default());
+        let mut reg = Registry::new();
+        d.publish_telemetry(&mut reg).unwrap();
+        assert_eq!(reg.counter("te_queries_total"), 1);
+        assert_eq!(reg.counter("te_routes_returned_total"), 1);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Property suite for the TE constrained route search.
+//!
+//! Random weighted topologies (ring for connectivity + random chords,
+//! random loads, random down links) and random attribute bounds; every
+//! route `k_routes` returns must:
+//!
+//! * satisfy each bound in the query exactly (MTU, bandwidth, delay,
+//!   cost, stretch),
+//! * be loop-free (no router visited twice),
+//! * walk real, up links hop by hop and terminate on the destination.
+//!
+//! Plus the 32-seed determinism contract: the same (topology, query)
+//! built twice yields byte-identical route sets — the client spreading
+//! logic and the `exp_te` digests replay this.
+
+use proptest::prelude::*;
+
+use sirpent_directory::te::LOAD_SCALE;
+use sirpent_directory::{LinkMetrics, Peer, TeQuery, TeTopology};
+use sirpent_sim::SimDuration;
+
+/// SplitMix64 step — the house seed-expansion primitive.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Varied per-link metrics drawn from a seed stream.
+fn metrics_from(s: &mut u64) -> LinkMetrics {
+    let bw = [1_000_000u64, 10_000_000, 100_000_000][(splitmix(s) % 3) as usize];
+    let mtu = [576usize, 1500, 9000][(splitmix(s) % 3) as usize];
+    LinkMetrics {
+        bandwidth_bps: bw,
+        prop_delay: SimDuration::from_micros(1 + splitmix(s) % 50),
+        mtu,
+        cost: 1 + (splitmix(s) % 4) as u32,
+        ..LinkMetrics::basic()
+    }
+}
+
+/// A generated topology plus the bookkeeping the invariant checks need:
+/// which `(router, port)` links were marked down.
+struct GenTopo {
+    te: TeTopology,
+    down: Vec<(u32, u8)>,
+}
+
+/// Build a connected random topology: an n-ring (both directions, so
+/// src→dst is always feasible through up links) plus up to n random
+/// chords, random loads everywhere, and a few chords taken down.
+fn build_topology(seed: u64, n: u32) -> GenTopo {
+    let mut s = seed;
+    let mut te = TeTopology::new();
+    let mut next_port = vec![0u8; n as usize];
+    let mut chords: Vec<(u32, u8)> = Vec::new();
+    let link = |te: &mut TeTopology,
+                ports: &mut Vec<u8>,
+                s: &mut u64,
+                a: u32,
+                b: u32|
+     -> Option<(u32, u8)> {
+        let p = *ports.get(a as usize)?;
+        if p == u8::MAX {
+            return None;
+        }
+        if let Some(slot) = ports.get_mut(a as usize) {
+            *slot = p + 1;
+        }
+        te.add_link(a, p, Peer::Router(b), metrics_from(s));
+        Some((a, p))
+    };
+    for i in 0..n {
+        let j = (i + 1) % n;
+        link(&mut te, &mut next_port, &mut s, i, j);
+        link(&mut te, &mut next_port, &mut s, j, i);
+    }
+    for _ in 0..n {
+        let a = (splitmix(&mut s) % n as u64) as u32;
+        let b = (splitmix(&mut s) % n as u64) as u32;
+        if a != b {
+            if let Some(id) = link(&mut te, &mut next_port, &mut s, a, b) {
+                chords.push(id);
+            }
+        }
+    }
+    // Load every link somewhere in [0, 1.2×line-rate); drop ~1/4 of the
+    // chords (never ring links, preserving connectivity).
+    for i in 0..n {
+        for p in 0..*next_port.get(i as usize).unwrap_or(&0) {
+            te.set_load_milli(
+                i,
+                p,
+                (splitmix(&mut s) % (LOAD_SCALE as u64 * 6 / 5)) as u32,
+            );
+        }
+    }
+    let mut down = Vec::new();
+    for &(a, p) in &chords {
+        if splitmix(&mut s).is_multiple_of(4) {
+            te.set_down(a, p);
+            down.push((a, p));
+        }
+    }
+    GenTopo { te, down }
+}
+
+/// A query with bounds drawn from the seed stream — roughly half the
+/// draws leave each bound open so both pruned and unpruned searches are
+/// exercised.
+fn query_from(s: &mut u64) -> TeQuery {
+    TeQuery {
+        k: 1 + (splitmix(s) % 4) as usize,
+        min_mtu: [0usize, 576, 1500][(splitmix(s) % 3) as usize],
+        min_bandwidth_bps: [0u64, 5_000_000][(splitmix(s) % 2) as usize],
+        max_delay: match splitmix(s) % 3 {
+            0 => None,
+            1 => Some(SimDuration::from_micros(60 + splitmix(s) % 200)),
+            _ => Some(SimDuration::from_millis(10)),
+        },
+        max_cost: match splitmix(s) % 3 {
+            0 => None,
+            _ => Some(4 + (splitmix(s) % 40) as u32),
+        },
+        max_stretch_milli: [0u32, 1200, 1500, 2500][(splitmix(s) % 4) as usize],
+        avoid_congested: splitmix(s).is_multiple_of(2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    #[test]
+    fn routes_satisfy_bounds_and_are_loop_free(seed in any::<u64>(), n in 4u32..24) {
+        let topo = build_topology(seed, n);
+        let mut s = seed ^ 0xD1F7;
+        let src = (splitmix(&mut s) % n as u64) as u32;
+        let dst = {
+            let d = (splitmix(&mut s) % (n as u64 - 1)) as u32;
+            if d >= src { d + 1 } else { d }
+        };
+        let q = query_from(&mut s);
+        let routes = topo.te.k_routes(src, Peer::Router(dst), &q);
+        prop_assert!(routes.len() <= q.k.max(1));
+        let best_weight = routes.first().map(|r| r.weight_ns()).unwrap_or(0);
+        for r in &routes {
+            // Loop-free: Yen's algorithm promises loopless paths — a
+            // repeated transit router would be a forwarding loop.
+            let mut visited: Vec<u32> = r.hops.iter().map(|&(router, _)| router).collect();
+            visited.sort_unstable();
+            let before = visited.len();
+            visited.dedup();
+            prop_assert_eq!(before, visited.len(), "route revisits a router: {:?}", r.hops);
+
+            // Hop-by-hop walk: every hop is a live link in the topology,
+            // consecutive hops chain, and the last hop lands on dst.
+            prop_assert_eq!(r.hops.first().map(|&(router, _)| router), Some(src));
+            for (i, &(router, port)) in r.hops.iter().enumerate() {
+                let peer = topo.te.peer(router, port);
+                prop_assert!(peer.is_some(), "hop {i} names a missing link");
+                prop_assert!(
+                    !topo.down.contains(&(router, port)),
+                    "route crosses a down link ({router}, {port})"
+                );
+                let expect = match r.hops.get(i + 1) {
+                    Some(&(next, _)) => Peer::Router(next),
+                    None => Peer::Router(dst),
+                };
+                prop_assert_eq!(peer, Some(expect), "hop {} does not chain", i);
+                let m = topo.te.metrics(router, port).unwrap_or(LinkMetrics::basic());
+                if q.min_mtu > 0 {
+                    prop_assert!(m.mtu >= q.min_mtu);
+                }
+                if q.min_bandwidth_bps > 0 {
+                    prop_assert!(m.bandwidth_bps >= q.min_bandwidth_bps);
+                }
+            }
+
+            // Aggregate bounds, exactly as the query stated them.
+            if q.min_mtu > 0 {
+                prop_assert!(r.mtu >= q.min_mtu);
+            }
+            if q.min_bandwidth_bps > 0 {
+                prop_assert!(r.bandwidth_bps >= q.min_bandwidth_bps);
+            }
+            if let Some(d) = q.max_delay {
+                prop_assert!(r.delay <= d);
+            }
+            if let Some(c) = q.max_cost {
+                prop_assert!(r.cost <= c);
+            }
+            if q.max_stretch_milli > 0 {
+                prop_assert!(
+                    r.weight_ns() as u128 * LOAD_SCALE as u128
+                        <= best_weight as u128 * q.max_stretch_milli as u128,
+                    "stretch bound violated: {} vs best {}",
+                    r.weight_ns(),
+                    best_weight
+                );
+            }
+        }
+        // Best-first order is part of the contract the client spreader
+        // relies on (routes[0] is the unconstrained shortest).
+        for w in routes.windows(2) {
+            if let [a, b] = w {
+                prop_assert!(a.weight_ns() <= b.weight_ns());
+            }
+        }
+    }
+}
+
+/// 32-seed determinism: the same seed builds the same topology twice,
+/// and every query returns byte-identical route sets — formatted to
+/// strings so any divergence (order, metrics, detour flags) is caught.
+#[test]
+fn k_route_sets_are_byte_identical_across_rebuilds() {
+    for seed in 0u64..32 {
+        let n = 6 + (seed % 12) as u32;
+        let a = build_topology(seed.wrapping_mul(0x9E37), n);
+        let b = build_topology(seed.wrapping_mul(0x9E37), n);
+        assert_eq!(a.te.epoch(), b.te.epoch(), "seed {seed}: epochs diverge");
+        let mut s = seed ^ 0xBEEF;
+        for _ in 0..8 {
+            let src = (splitmix(&mut s) % n as u64) as u32;
+            let dst = (splitmix(&mut s) % n as u64) as u32;
+            let q = query_from(&mut s);
+            let ra = a.te.k_routes(src, Peer::Router(dst), &q);
+            let rb = b.te.k_routes(src, Peer::Router(dst), &q);
+            assert_eq!(
+                format!("{ra:?}"),
+                format!("{rb:?}"),
+                "seed {seed}: route sets diverge for {src}->{dst} {q:?}"
+            );
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod invariants;
 pub mod scenario;
 pub mod shrink;
 pub mod spec;
+pub mod te;
 pub mod topo;
 
 pub use invariants::{check_corpus, check_exact, diverted_replies_route_back};
@@ -42,6 +43,7 @@ pub use scenario::{
 };
 pub use shrink::{shrink, write_fixture};
 pub use spec::{Profile, Scenario};
+pub use te::{FlowNode, TePlan, TeRunReport, TeWorkload};
 pub use topo::{RelayNode, TopoReport, TopoShape, TopoSpec};
 
 use sirpent_sim::{Context, Event, FrameId, Node, SimTime};

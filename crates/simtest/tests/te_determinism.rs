@@ -1,0 +1,93 @@
+//! The TE determinism suite: the heavy-traffic workload must be a pure
+//! function of its spec at every level.
+//!
+//! * **Plan determinism, 32 seeds** — `te::plan` run twice on the same
+//!   spec yields byte-identical output: same `routes_digest` (an
+//!   order-sensitive fold over every k-route set the directory
+//!   returned) and the same flows, formatted to strings so any
+//!   divergence in placement, route choice, or timing is caught.
+//! * **Shard invariance** — the same planned crowd executed on the
+//!   serial engine and on the conservative time-window engine at 2 and
+//!   4 shards produces one digest. The `te-soak` CI gate replays this
+//!   at 10k-node scale; here a seed sweep covers it at property scale.
+//! * **k-independence** — shortest-path-only planning (`k = 1`) agrees
+//!   with the first route of the k-constrained plan on hop counts,
+//!   because the constrained search's weight is load-blind and sorted
+//!   best-first.
+
+use sirpent_simtest::te;
+use sirpent_simtest::TeWorkload;
+
+#[test]
+fn plan_is_byte_identical_across_32_seeds() {
+    for seed in 0u64..32 {
+        let spec = TeWorkload::small(seed);
+        let a = te::plan(&spec);
+        let b = te::plan(&spec);
+        assert_eq!(
+            a.routes_digest, b.routes_digest,
+            "seed {seed}: directory returned different k-route sets"
+        );
+        assert_eq!(
+            format!("{:?}", a.flows),
+            format!("{:?}", b.flows),
+            "seed {seed}: flow plans diverge"
+        );
+        assert_eq!(
+            (a.unroutable, a.detours, a.queries, a.epoch),
+            (b.unroutable, b.detours, b.queries, b.epoch),
+            "seed {seed}: plan statistics diverge"
+        );
+        assert!(
+            !a.flows.is_empty(),
+            "seed {seed}: vacuous — no flow was planned"
+        );
+    }
+}
+
+#[test]
+fn run_digest_is_shard_count_invariant() {
+    for seed in [3u64, 17, 29, 41] {
+        let spec = TeWorkload::small(seed);
+        let plan = te::plan(&spec);
+        let serial = te::run(&spec, &plan, 1, 1);
+        assert!(
+            serial.delivered_pkts > 0,
+            "seed {seed}: vacuous — nothing was delivered"
+        );
+        for shards in [2usize, 4] {
+            let sharded = te::run(&spec, &plan, shards, 1);
+            assert_eq!(
+                serial.digest, sharded.digest,
+                "seed {seed}: digest diverges at {shards} shards"
+            );
+            assert_eq!(
+                serial.delivered_pkts, sharded.delivered_pkts,
+                "seed {seed}: delivery count diverges at {shards} shards"
+            );
+        }
+    }
+}
+
+#[test]
+fn first_constrained_route_matches_shortest_path() {
+    for seed in [5u64, 23] {
+        let spec = TeWorkload::small(seed);
+        let sp = te::plan(&spec.shortest_path_only());
+        let full = te::plan(&spec);
+        // Same placements (src, dst, size) regardless of k — route
+        // choice must not perturb the workload itself.
+        let sp_keys: Vec<(usize, usize, u32)> =
+            sp.flows.iter().map(|f| (f.src, f.dst, f.pkts)).collect();
+        let full_keys: Vec<(usize, usize, u32)> =
+            full.flows.iter().map(|f| (f.src, f.dst, f.pkts)).collect();
+        assert_eq!(sp_keys, full_keys, "seed {seed}: workloads diverge with k");
+        // And the stretch base every flow records is the k=1 hop count.
+        for (a, b) in sp.flows.iter().zip(full.flows.iter()) {
+            assert_eq!(
+                a.hops, b.sp_hops,
+                "seed {seed}: sp_hops is not the shortest-path hop count"
+            );
+        }
+    }
+}

@@ -94,6 +94,19 @@ pub const FLIGHT_EVENTS_RECORDED_TOTAL: &str = "flight_events_recorded_total";
 /// Hop events evicted from the ring by the capacity bound.
 pub const FLIGHT_EVENTS_EVICTED_TOTAL: &str = "flight_events_evicted_total";
 
+// ---- traffic-engineered directory (sirpent-directory::te) ---------------
+
+/// TE route queries served by the directory.
+pub const TE_QUERIES_TOTAL: &str = "te_queries_total";
+/// Routes returned across all TE queries.
+pub const TE_ROUTES_RETURNED_TOTAL: &str = "te_routes_returned_total";
+/// Congestion detours inserted into returned route sets.
+pub const TE_DETOURS_TOTAL: &str = "te_detours_total";
+/// TE queries that found no feasible route under the client's bounds.
+pub const TE_INFEASIBLE_TOTAL: &str = "te_infeasible_total";
+/// Topology epoch bumps observed (weight / load / up-down mutations).
+pub const TE_EPOCH_BUMPS_TOTAL: &str = "te_epoch_bumps_total";
+
 // ---- hosts --------------------------------------------------------------
 
 /// Frames injected by scripted hosts.
@@ -138,6 +151,11 @@ mod tests {
             super::FAILOVER_DIVERSIONS_TOTAL,
             super::FAILOVER_NO_ALTERNATE_TOTAL,
             super::FAILOVER_ALTERNATE_DOWN_TOTAL,
+            super::TE_QUERIES_TOTAL,
+            super::TE_ROUTES_RETURNED_TOTAL,
+            super::TE_DETOURS_TOTAL,
+            super::TE_INFEASIBLE_TOTAL,
+            super::TE_EPOCH_BUMPS_TOTAL,
             super::FLIGHT_EVENTS_RECORDED_TOTAL,
             super::FLIGHT_EVENTS_EVICTED_TOTAL,
             super::HOST_INJECTED_TOTAL,

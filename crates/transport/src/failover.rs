@@ -10,8 +10,47 @@
 //!
 //! The manager is generic over the route payload `R` (the core crate
 //! stores compiled VIPER routes in it).
+//!
+//! **Weighted spreading.** A set built with
+//! [`RouteSet::new_weighted`] additionally carries a weight per route —
+//! the directory's advertised residual capacity — and
+//! [`RouteSet::select_for_flow`] pins each transaction to a route by
+//! weighted rendezvous hashing: flows spread across the k granted
+//! routes in proportion to the advertised headroom instead of piling
+//! onto the first one. The choice is a pure function of the flow key
+//! and the weights (integer arithmetic, deterministic tie-break by
+//! route index), so every run — and every shard count — picks the same
+//! routes.
 
 use sirpent_sim::{SimDuration, SimTime};
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Pick an index from `weights` for `flow`, deterministically: hash the
+/// flow key, reduce modulo the total weight, and walk the cumulative
+/// weights in index order (zero weights are treated as 1 so every route
+/// keeps a sliver of traffic and the total can never be zero). Exposed
+/// so control-plane planners can mirror exactly what a host would pick.
+pub fn weighted_pick(weights: &[u64], flow: u64) -> usize {
+    if weights.is_empty() {
+        return 0;
+    }
+    let total: u128 = weights.iter().map(|&w| w.max(1) as u128).sum();
+    let mut r = (splitmix64(flow) as u128) % total;
+    for (i, &w) in weights.iter().enumerate() {
+        let w = w.max(1) as u128;
+        if r < w {
+            return i;
+        }
+        r -= w;
+    }
+    weights.len() - 1
+}
 
 /// Detection thresholds.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +78,9 @@ impl Default for FailoverPolicy {
 struct Managed<R> {
     route: R,
     base_rtt: SimDuration,
+    /// Spreading weight (advertised residual capacity); 0 in unweighted
+    /// sets.
+    weight: u64,
     consecutive_losses: u32,
     samples: u64,
     last_rtt: Option<SimDuration>,
@@ -62,8 +104,12 @@ pub struct RouteSet<R> {
     routes: Vec<Managed<R>>,
     current: usize,
     policy: FailoverPolicy,
+    /// Whether per-flow weighted spreading is enabled (weighted sets).
+    spread: bool,
     /// Total route switches performed.
     pub switches: u64,
+    /// Per-flow weighted re-selections that changed the current route.
+    pub reselections: u64,
     /// When the last switch happened.
     pub last_switch: Option<SimTime>,
 }
@@ -79,6 +125,7 @@ impl<R> RouteSet<R> {
                 .map(|(route, base_rtt)| Managed {
                     route,
                     base_rtt,
+                    weight: 0,
                     consecutive_losses: 0,
                     samples: 0,
                     last_rtt: None,
@@ -86,7 +133,35 @@ impl<R> RouteSet<R> {
                 .collect(),
             current: 0,
             policy,
+            spread: false,
             switches: 0,
+            reselections: 0,
+            last_switch: None,
+        }
+    }
+
+    /// Manage a set of (route, base-RTT, weight) alternatives with
+    /// per-flow weighted spreading enabled. Weights are the directory's
+    /// advertised residual capacity; a zero weight is treated as 1.
+    pub fn new_weighted(routes: Vec<(R, SimDuration, u64)>, policy: FailoverPolicy) -> RouteSet<R> {
+        assert!(!routes.is_empty(), "at least one route required");
+        RouteSet {
+            routes: routes
+                .into_iter()
+                .map(|(route, base_rtt, weight)| Managed {
+                    route,
+                    base_rtt,
+                    weight,
+                    consecutive_losses: 0,
+                    samples: 0,
+                    last_rtt: None,
+                })
+                .collect(),
+            current: 0,
+            policy,
+            spread: true,
+            switches: 0,
+            reselections: 0,
             last_switch: None,
         }
     }
@@ -204,6 +279,47 @@ impl<R> RouteSet<R> {
         assert!(!routes.is_empty());
         *self = RouteSet::new(routes, self.policy);
     }
+
+    /// Replace the whole set with a weighted one after a TE re-query.
+    pub fn replace_weighted(&mut self, routes: Vec<(R, SimDuration, u64)>) {
+        assert!(!routes.is_empty());
+        *self = RouteSet::new_weighted(routes, self.policy);
+    }
+
+    /// Whether per-flow weighted spreading is enabled.
+    pub fn spreads(&self) -> bool {
+        self.spread
+    }
+
+    /// Pin the current route for one flow/transaction by weighted
+    /// rendezvous hash over the *healthy* routes (those under the loss
+    /// threshold). No-op for unweighted sets — existing failover-only
+    /// clients keep their sticky-route behavior. Returns the index now
+    /// current.
+    ///
+    /// Health still matters: a route that crossed the loss threshold
+    /// receives no new flows until a success resets its counter or
+    /// [`RouteSet::reset_health`] runs, but selection never touches the
+    /// failover bookkeeping (`switches` / `last_switch`), so the two
+    /// mechanisms stay independently observable.
+    pub fn select_for_flow(&mut self, flow: u64) -> usize {
+        if !self.spread {
+            return self.current;
+        }
+        let healthy: Vec<usize> = (0..self.routes.len())
+            .filter(|&i| self.routes[i].consecutive_losses < self.policy.loss_threshold)
+            .collect();
+        if healthy.is_empty() {
+            return self.current;
+        }
+        let weights: Vec<u64> = healthy.iter().map(|&i| self.routes[i].weight).collect();
+        let chosen = healthy[weighted_pick(&weights, flow)];
+        if chosen != self.current {
+            self.current = chosen;
+            self.reselections += 1;
+        }
+        chosen
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +421,70 @@ mod tests {
         assert_eq!(s.switches, 1, "telemetry survives");
         assert_eq!(s.timeout(), SimDuration::from_millis(4), "2× base again");
         assert_eq!(s.on_loss(SimTime(3)), Verdict::Stay, "counters cleared");
+    }
+
+    #[test]
+    fn weighted_pick_is_deterministic_and_proportional() {
+        let weights = [3_000_000u64, 1_000_000];
+        let mut counts = [0usize; 2];
+        for flow in 0..4000u64 {
+            let i = weighted_pick(&weights, flow);
+            assert_eq!(i, weighted_pick(&weights, flow), "pure function");
+            counts[i] += 1;
+        }
+        // 3:1 weights → roughly 3:1 split (hash noise allowed).
+        assert!(counts[0] > counts[1] * 2, "split was {counts:?}");
+        assert!(counts[1] > 500, "split was {counts:?}");
+        // Zero weights never divide by zero and keep a sliver.
+        assert_eq!(weighted_pick(&[0, 0], 1), weighted_pick(&[1, 1], 1));
+        assert_eq!(weighted_pick(&[], 7), 0);
+    }
+
+    #[test]
+    fn select_for_flow_spreads_weighted_sets_only() {
+        let mut uw = set();
+        assert_eq!(uw.select_for_flow(123), 0, "unweighted: sticky");
+        assert_eq!(uw.reselections, 0);
+
+        let mut s = RouteSet::new_weighted(
+            vec![
+                ("wide", SimDuration::from_millis(2), 9_000_000),
+                ("thin", SimDuration::from_millis(2), 1_000_000),
+            ],
+            FailoverPolicy::default(),
+        );
+        assert!(s.spreads());
+        let mut hits = [0usize; 2];
+        for flow in 0..1000u64 {
+            hits[s.select_for_flow(flow)] += 1;
+        }
+        assert!(hits[0] > 800, "wide route dominates: {hits:?}");
+        assert!(hits[1] > 30, "thin route still serves flows: {hits:?}");
+        assert!(s.reselections > 0);
+        assert_eq!(s.switches, 0, "spreading is not failover");
+    }
+
+    #[test]
+    fn select_for_flow_skips_unhealthy_routes() {
+        let mut s = RouteSet::new_weighted(
+            vec![
+                ("a", SimDuration::from_millis(2), 1),
+                ("b", SimDuration::from_millis(2), 1),
+            ],
+            FailoverPolicy::default(),
+        );
+        // Drive route a (initially current) over the loss threshold;
+        // the second loss also fails over to b.
+        s.on_loss(SimTime(1));
+        s.on_loss(SimTime(2));
+        for flow in 0..100u64 {
+            assert_eq!(s.select_for_flow(flow), 1, "dead route gets no flows");
+        }
+        // Operator recovery: forget health, both routes rotate again.
+        s.reset_health();
+        let spread: std::collections::BTreeSet<usize> =
+            (0..100u64).map(|f| s.select_for_flow(f)).collect();
+        assert_eq!(spread.len(), 2, "both routes back in rotation");
     }
 
     #[test]

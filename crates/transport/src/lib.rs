@@ -29,7 +29,7 @@ pub mod rate;
 
 pub use clock::{HostClock, SyncService};
 pub use endpoint::{Action, Endpoint, EndpointConfig, TransportStats};
-pub use failover::{FailoverPolicy, RouteSet, Verdict};
+pub use failover::{weighted_pick, FailoverPolicy, RouteSet, Verdict};
 pub use group::{GroupReceiver, GroupSender};
 pub use lifetime::{LifetimeFilter, LifetimeReject};
 pub use rate::RatePacer;

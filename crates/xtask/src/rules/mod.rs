@@ -117,12 +117,20 @@ pub const DATAPLANE_FILES: &[&str] = &[
     "crates/sim/src/queue.rs",
     "crates/sim/src/shard.rs",
     "crates/sim/src/sync.rs",
+    "crates/directory/src/te.rs",
+    "crates/simtest/src/te.rs",
 ];
 
 /// The deterministic core: crates where simulated behaviour must be a
 /// pure function of (topology, seed). Nondeterminism reaching these —
 /// directly or through calls — breaks golden digests and seed replay.
 pub const CORE_CRATES: &[&str] = &["sim", "router", "wire", "simtest", "telemetry"];
+
+/// Individual files outside [`CORE_CRATES`] held to the same
+/// determinism contract: the TE route search must return byte-identical
+/// k-route sets for a given (topology, query) — client spreading and
+/// the `exp_te` digests replay it.
+pub const CORE_FILES: &[&str] = &["crates/directory/src/te.rs"];
 
 /// Crates holding node/router logic, where every random draw must go
 /// through `Context::rng()` so per-shard RNG streams stay aligned.
@@ -150,7 +158,8 @@ impl Config {
             || DATAPLANE_FILES.contains(&rel)
     }
 
-    /// Whether `rel` belongs to the deterministic core ([`CORE_CRATES`]).
+    /// Whether `rel` belongs to the deterministic core ([`CORE_CRATES`]
+    /// or the [`CORE_FILES`] additions).
     pub fn is_core_file(&self, rel: &str) -> bool {
         if self.fixture_scopes {
             return stem_has(rel, "core");
@@ -158,6 +167,7 @@ impl Config {
         CORE_CRATES
             .iter()
             .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+            || CORE_FILES.contains(&rel)
     }
 
     /// Whether `rel` is the sync nucleus ([`SYNC_MODULE`]).

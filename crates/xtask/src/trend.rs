@@ -1,0 +1,389 @@
+//! `bench-trend` — one readable table over every bench gate.
+//!
+//! The perf gates live in the bench binaries (`exp_bench_gate
+//! --check`, `exp_queue_density --check`, `exp_scale_parallel
+//! --check`, `exp_te --check`): each fails red on its own threshold.
+//! What they don't give CI is a *single view* — which metric moved,
+//! by how much, against which bound. This module re-reads the JSON
+//! reports those binaries wrote (`results/BENCH_5.json`, `BENCH_6`,
+//! `BENCH_7`, `TE.json`) plus the blessed `results/bench_baseline.json`
+//! and renders one markdown table, one row per gated metric, with the
+//! same thresholds the binaries enforce:
+//!
+//! * BENCH-5 vs baseline: per-topology wall-clock throughput may drop
+//!   at most 10 %, p99 hop latency may grow at most 15 %;
+//! * BENCH-6: wheel-over-heap churn speedup ≥ 2× at ≥ 100 k pending;
+//! * BENCH-7: every sharded digest matches serial; the 8-thread
+//!   speedup floor scales with host cores (waived on 1 core);
+//! * TE: peak-trunk utilization ≤ 80 % of shortest-path-only, stretch
+//!   within bound, zero starved / unroutable flows, sharded digest
+//!   match.
+//!
+//! `run_bench_trend` returns the rendered table and the list of
+//! violations; the CLI prints the table, appends it to
+//! `$GITHUB_STEP_SUMMARY` when that variable is set, and exits
+//! nonzero on any violation — same thresholds, now readable.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// BENCH-5: allowed throughput regression vs baseline (fraction).
+const THROUGHPUT_REGRESSION: f64 = 0.10;
+/// BENCH-5: allowed p99 hop-latency growth vs baseline (fraction).
+const P99_GROWTH: f64 = 0.15;
+/// BENCH-6: required wheel-over-heap churn speedup …
+const QUEUE_SPEEDUP: f64 = 2.0;
+/// … at or above this many pending events.
+const QUEUE_MIN_DENSITY: f64 = 100_000.0;
+/// TE: peak utilization ceiling as a percentage of shortest-path.
+const TE_PEAK_PCT_CEILING: f64 = 80.0;
+
+/// One gated metric's row in the trend table.
+struct Row {
+    bench: &'static str,
+    metric: String,
+    baseline: String,
+    current: String,
+    delta: String,
+    ok: bool,
+}
+
+/// Outcome of a trend evaluation: the rendered markdown table plus
+/// every violation in `file: message` form.
+pub struct TrendReport {
+    /// Markdown table, ready for `$GITHUB_STEP_SUMMARY`.
+    pub markdown: String,
+    /// Human-readable gate violations; empty means green.
+    pub violations: Vec<String>,
+}
+
+fn load(results: &Path, name: &str) -> Result<Json, String> {
+    let path = results.join(name);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn pct_delta(current: f64, base: f64) -> String {
+    if base == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", (current / base - 1.0) * 100.0)
+}
+
+/// BENCH-5 vs the blessed baseline: throughput floor, p99 ceiling.
+fn bench5_rows(current: &Json, baseline: &Json, rows: &mut Vec<Row>) -> Result<(), String> {
+    let cur = current.get("topologies").and_then(Json::arr).unwrap_or(&[]);
+    let base = baseline
+        .get("topologies")
+        .and_then(Json::arr)
+        .unwrap_or(&[]);
+    if cur.is_empty() || base.is_empty() {
+        return Err("BENCH_5.json or bench_baseline.json has no topologies".into());
+    }
+    for b in base {
+        let name = b.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(c) = cur
+            .iter()
+            .find(|t| t.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            return Err(format!("BENCH_5.json lost baseline topology `{name}`"));
+        };
+        let b_tp = b
+            .get("pkts_per_sec_wall")
+            .and_then(Json::num)
+            .unwrap_or(0.0);
+        let c_tp = c
+            .get("pkts_per_sec_wall")
+            .and_then(Json::num)
+            .unwrap_or(0.0);
+        rows.push(Row {
+            bench: "BENCH-5",
+            metric: format!("{name} throughput (pkts/s)"),
+            baseline: format!("{b_tp:.0} (floor −{:.0}%)", THROUGHPUT_REGRESSION * 100.0),
+            current: format!("{c_tp:.0}"),
+            delta: pct_delta(c_tp, b_tp),
+            ok: c_tp >= b_tp * (1.0 - THROUGHPUT_REGRESSION),
+        });
+        let b_p99 = b.get("hop_p99_ns").and_then(Json::num).unwrap_or(0.0);
+        let c_p99 = c.get("hop_p99_ns").and_then(Json::num).unwrap_or(f64::MAX);
+        rows.push(Row {
+            bench: "BENCH-5",
+            metric: format!("{name} hop p99 (ns)"),
+            baseline: format!("{b_p99:.0} (ceiling +{:.0}%)", P99_GROWTH * 100.0),
+            current: format!("{c_p99:.0}"),
+            delta: pct_delta(c_p99, b_p99),
+            ok: c_p99 <= b_p99 * (1.0 + P99_GROWTH),
+        });
+    }
+    Ok(())
+}
+
+/// BENCH-6: churn speedup per density, gated at ≥ 100 k pending.
+fn bench6_rows(current: &Json, rows: &mut Vec<Row>) -> Result<(), String> {
+    let densities = current.get("densities").and_then(Json::arr).unwrap_or(&[]);
+    if densities.is_empty() {
+        return Err("BENCH_6.json has no densities".into());
+    }
+    for d in densities {
+        let pending = d.get("pending_events").and_then(Json::num).unwrap_or(0.0);
+        let speedup = d.get("churn_speedup").and_then(Json::num).unwrap_or(0.0);
+        let gated = pending >= QUEUE_MIN_DENSITY;
+        rows.push(Row {
+            bench: "BENCH-6",
+            metric: format!("wheel churn speedup @ {pending:.0} pending"),
+            baseline: if gated {
+                format!("≥ {QUEUE_SPEEDUP:.1}x")
+            } else {
+                "(informational)".into()
+            },
+            current: format!("{speedup:.2}x"),
+            delta: "—".into(),
+            ok: !gated || speedup >= QUEUE_SPEEDUP,
+        });
+    }
+    Ok(())
+}
+
+/// BENCH-7: digest invariance always; speedup floor scaled to cores.
+fn bench7_rows(current: &Json, rows: &mut Vec<Row>) -> Result<(), String> {
+    let configs = current.get("configs").and_then(Json::arr).unwrap_or(&[]);
+    if configs.is_empty() {
+        return Err("BENCH_7.json has no configs".into());
+    }
+    let digests_ok = configs
+        .iter()
+        .all(|c| c.get("digest_matches_serial").and_then(Json::as_bool) == Some(true));
+    rows.push(Row {
+        bench: "BENCH-7",
+        metric: "sharded digests == serial".into(),
+        baseline: "all match".into(),
+        current: if digests_ok {
+            "match".into()
+        } else {
+            "MISMATCH".into()
+        },
+        delta: "—".into(),
+        ok: digests_ok,
+    });
+    let cores = current.get("host_cores").and_then(Json::num).unwrap_or(1.0) as usize;
+    // Mirror of exp_scale_parallel's hardware-aware floor.
+    let floor = match cores {
+        0 | 1 => None,
+        2 | 3 => Some(1.1),
+        4..=7 => Some(1.5),
+        _ => Some(3.0),
+    };
+    let best_at_8 = configs
+        .iter()
+        .filter(|c| c.get("threads").and_then(Json::num) == Some(8.0))
+        .filter_map(|c| c.get("speedup_vs_serial").and_then(Json::num))
+        .fold(0.0f64, f64::max);
+    rows.push(Row {
+        bench: "BENCH-7",
+        metric: format!("8-thread speedup ({cores}-core host)"),
+        baseline: match floor {
+            Some(f) => format!("≥ {f:.1}x"),
+            None => "waived (1 core)".into(),
+        },
+        current: format!("{best_at_8:.2}x"),
+        delta: "—".into(),
+        ok: floor.map(|f| best_at_8 >= f).unwrap_or(true),
+    });
+    Ok(())
+}
+
+/// TE: load actually spread, within stretch, nobody starved, digests
+/// shard-invariant.
+fn te_rows(current: &Json, rows: &mut Vec<Row>) -> Result<(), String> {
+    let configs = current.get("configs").and_then(Json::arr).unwrap_or(&[]);
+    let find = |label: &str| {
+        configs
+            .iter()
+            .find(|c| c.get("label").and_then(Json::as_str) == Some(label))
+    };
+    let (Some(sp), Some(te)) = (find("shortest_path"), find("te")) else {
+        return Err("TE.json lacks shortest_path/te configs".into());
+    };
+    let sp_peak = sp.get("peak_util_milli").and_then(Json::num).unwrap_or(0.0);
+    let te_peak = te
+        .get("peak_util_milli")
+        .and_then(Json::num)
+        .unwrap_or(f64::MAX);
+    rows.push(Row {
+        bench: "TE",
+        metric: "peak trunk util vs shortest-path".into(),
+        baseline: format!("≤ {TE_PEAK_PCT_CEILING:.0}% of {:.1}%", sp_peak / 10.0),
+        current: format!("{:.1}%", te_peak / 10.0),
+        delta: pct_delta(te_peak, sp_peak),
+        ok: te_peak * 100.0 <= sp_peak * TE_PEAK_PCT_CEILING,
+    });
+    let bound = current
+        .get("stretch_bound_milli")
+        .and_then(Json::num)
+        .unwrap_or(1_500.0);
+    let stretch = te
+        .get("max_stretch_milli")
+        .and_then(Json::num)
+        .unwrap_or(f64::MAX);
+    rows.push(Row {
+        bench: "TE",
+        metric: "max route stretch".into(),
+        baseline: format!("≤ {:.2}x", bound / 1e3),
+        current: format!("{:.2}x", stretch / 1e3),
+        delta: "—".into(),
+        ok: stretch <= bound,
+    });
+    let starved = sp.get("starved_flows").and_then(Json::num).unwrap_or(1.0)
+        + te.get("starved_flows").and_then(Json::num).unwrap_or(1.0);
+    let unroutable = sp.get("unroutable").and_then(Json::num).unwrap_or(1.0)
+        + te.get("unroutable").and_then(Json::num).unwrap_or(1.0);
+    rows.push(Row {
+        bench: "TE",
+        metric: "starved + unroutable flows".into(),
+        baseline: "0".into(),
+        current: format!("{:.0}", starved + unroutable),
+        delta: "—".into(),
+        ok: starved + unroutable == 0.0,
+    });
+    let digest = current
+        .get("sharded_digest_match")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    rows.push(Row {
+        bench: "TE",
+        metric: "sharded digests == serial".into(),
+        baseline: "match".into(),
+        current: if digest {
+            "match".into()
+        } else {
+            "MISMATCH".into()
+        },
+        delta: "—".into(),
+        ok: digest,
+    });
+    Ok(())
+}
+
+/// Evaluate every bench report under `results/` against its gate and
+/// render the trend table. IO or parse failures are violations too —
+/// a missing report must not read as green.
+pub fn run_bench_trend(results: &Path) -> TrendReport {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+
+    type SectionFn = fn(&Json, &mut Vec<Row>) -> Result<(), String>;
+    let sections: [(&str, SectionFn); 3] = [
+        ("BENCH_6.json", bench6_rows),
+        ("BENCH_7.json", bench7_rows),
+        ("TE.json", te_rows),
+    ];
+    match (
+        load(results, "BENCH_5.json"),
+        load(results, "bench_baseline.json"),
+    ) {
+        (Ok(cur), Ok(base)) => {
+            if let Err(e) = bench5_rows(&cur, &base, &mut rows) {
+                violations.push(e);
+            }
+        }
+        (c, b) => {
+            for r in [c, b] {
+                if let Err(e) = r {
+                    violations.push(e);
+                }
+            }
+        }
+    }
+    for (name, f) in sections {
+        match load(results, name) {
+            Ok(j) => {
+                if let Err(e) = f(&j, &mut rows) {
+                    violations.push(e);
+                }
+            }
+            Err(e) => violations.push(e),
+        }
+    }
+
+    for r in &rows {
+        if !r.ok {
+            violations.push(format!(
+                "{}: {} = {} violates {}",
+                r.bench, r.metric, r.current, r.baseline
+            ));
+        }
+    }
+
+    let mut md = String::new();
+    let _ = writeln!(md, "### Bench trend\n");
+    let _ = writeln!(
+        md,
+        "| bench | metric | bound / baseline | current | delta | status |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for r in &rows {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} |",
+            r.bench,
+            r.metric,
+            r.baseline,
+            r.current,
+            r.delta,
+            if r.ok { "ok" } else { "**FAIL**" }
+        );
+    }
+    if rows.is_empty() {
+        let _ = writeln!(md, "\n_No bench reports readable._");
+    }
+
+    TrendReport {
+        markdown: md,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed results must pass their own gates — the trend
+    /// table over the repo's checked-in reports is green.
+    #[test]
+    fn committed_results_are_green() {
+        let results = crate::workspace_root().join("results");
+        let report = run_bench_trend(&results);
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report.violations
+        );
+        assert!(report.markdown.contains("| TE |"));
+        assert!(report.markdown.contains("BENCH-5"));
+        assert!(!report.markdown.contains("FAIL"));
+    }
+
+    #[test]
+    fn regression_is_flagged() {
+        // Synthesize a results dir whose BENCH_5 throughput cratered.
+        let dir = std::env::temp_dir().join("xtask-trend-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let base = r#"{"topologies":[{"name":"t","pkts_per_sec_wall":1000.0,"hop_p99_ns":100}]}"#;
+        let cur = r#"{"topologies":[{"name":"t","pkts_per_sec_wall":500.0,"hop_p99_ns":100}]}"#;
+        std::fs::write(dir.join("bench_baseline.json"), base).unwrap();
+        std::fs::write(dir.join("BENCH_5.json"), cur).unwrap();
+        for f in ["BENCH_6.json", "BENCH_7.json", "TE.json"] {
+            let _ = std::fs::remove_file(dir.join(f));
+        }
+        let report = run_bench_trend(&dir);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("throughput") && v.contains("violates")));
+        // Missing reports are violations, not silence.
+        assert!(report.violations.iter().any(|v| v.contains("BENCH_6.json")));
+        assert!(report.markdown.contains("**FAIL**"));
+    }
+}

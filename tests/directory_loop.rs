@@ -94,11 +94,16 @@ fn requery_after_total_route_failure_recovers_service() {
     let mut cache = RouteCache::new(SimDuration::from_secs(60));
 
     // Initial query (miss → directory), then a cache hit.
-    assert!(cache.get(&svc, sim.now()).is_none());
+    assert!(cache.get(&svc, sim.now(), dir.topology_epoch()).is_none());
     let q = dir.query(&me, &svc, Preference::LowDelay, 4, 1);
     assert_eq!(q.advisories.len(), 2);
-    cache.put(svc.clone(), q.advisories.clone(), sim.now());
-    assert!(cache.get(&svc, sim.now()).is_some());
+    cache.put(
+        svc.clone(),
+        q.advisories.clone(),
+        sim.now(),
+        dir.topology_epoch(),
+    );
+    assert!(cache.get(&svc, sim.now(), dir.topology_epoch()).is_some());
     assert_eq!(cache.hits, 1);
 
     let compile_all = |advs: &[sirpent::directory::Advisory]| -> Vec<CompiledRoute> {
@@ -114,7 +119,11 @@ fn requery_after_total_route_failure_recovers_service() {
         });
         c.install_routes(
             EntityId(0x5),
-            compile_all(cache.get(&svc, SimTime::ZERO).unwrap()),
+            compile_all(
+                cache
+                    .get(&svc, SimTime::ZERO, dir.topology_epoch())
+                    .unwrap(),
+            ),
         );
         for i in 0..40u64 {
             c.queue_request(SimTime(i * 20_000_000), EntityId(0x5), vec![1; 64]);
@@ -162,7 +171,12 @@ fn requery_after_total_route_failure_recovers_service() {
     let q3 = dir.query(&me, &svc, Preference::LowDelay, 4, 1);
     assert_eq!(q3.advisories.len(), 1, "only the revived route");
     assert_eq!(q3.advisories[0].route.hops[0].router_id, 2);
-    cache.put(svc.clone(), q3.advisories.clone(), sim.now());
+    cache.put(
+        svc.clone(),
+        q3.advisories.clone(),
+        sim.now(),
+        dir.topology_epoch(),
+    );
 
     // Install the fresh route set and finish the workload.
     {
